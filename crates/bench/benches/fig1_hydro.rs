@@ -1,0 +1,29 @@
+//! Figure 1 bench: simulate the Hydro Fragment (SD, skew 11) at the
+//! figure's reference points, and regenerate the full figure grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sa_core::simulate;
+use sa_loops::k01_hydro;
+use sa_machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let kernel = k01_hydro::build(1001);
+    let mut g = c.benchmark_group("fig1_hydro");
+    g.sample_size(20);
+
+    g.bench_function("sim_8pe_ps32_cache", |b| {
+        let cfg = MachineConfig::paper(8, 32);
+        b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
+    });
+    g.bench_function("sim_8pe_ps32_nocache", |b| {
+        let cfg = MachineConfig::paper_no_cache(8, 32);
+        b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
+    });
+    g.bench_function("full_figure_grid", |b| b.iter(|| black_box(bench::fig1())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 2 bench: ICCG (CD) at the figure's reference points plus the
+//! full grid regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sa_core::simulate;
+use sa_loops::k02_iccg;
+use sa_machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let kernel = k02_iccg::build(1001);
+    let mut g = c.benchmark_group("fig2_iccg");
+    g.sample_size(20);
+
+    g.bench_function("sim_32pe_ps64_cache", |b| {
+        let cfg = MachineConfig::paper(32, 64);
+        b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
+    });
+    g.bench_function("sim_32pe_ps64_nocache", |b| {
+        let cfg = MachineConfig::paper_no_cache(32, 64);
+        b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
+    });
+    g.bench_function("full_figure_grid", |b| b.iter(|| black_box(bench::fig2())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 3 bench: multi-pass 2-D Explicit Hydrodynamics (CD).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sa_core::simulate;
+use sa_loops::k18_hydro2d;
+use sa_machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let kernel = k18_hydro2d::build_with_passes(101, 5);
+    let mut g = c.benchmark_group("fig3_hydro2d");
+    g.sample_size(10);
+
+    g.bench_function("sim_16pe_ps32_cache_5passes", |b| {
+        let cfg = MachineConfig::paper(16, 32);
+        b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
+    });
+    g.bench_function("full_figure_grid", |b| b.iter(|| black_box(bench::fig3())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 4 bench: GLRE (RD) — the thrashing regime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sa_core::simulate;
+use sa_loops::k06_glre;
+use sa_machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let kernel = k06_glre::build(64);
+    let mut g = c.benchmark_group("fig4_glre");
+    g.sample_size(20);
+
+    g.bench_function("sim_16pe_ps32_cache", |b| {
+        let cfg = MachineConfig::paper(16, 32);
+        b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
+    });
+    g.bench_function("sim_16pe_ps32_bigcache", |b| {
+        let cfg = MachineConfig::paper(16, 32).with_cache_elems(4096);
+        b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
+    });
+    g.bench_function("full_figure_grid", |b| b.iter(|| black_box(bench::fig4())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 5 bench: the 64-PE load-balance run (paper-scale K18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sa_core::simulate;
+use sa_loops::k18_hydro2d;
+use sa_machine::{load_balance, MachineConfig};
+
+fn bench(c: &mut Criterion) {
+    let kernel = k18_hydro2d::build_with_passes(1022, 2);
+    let mut g = c.benchmark_group("fig5_loadbalance");
+    g.sample_size(10);
+
+    g.bench_function("sim_64pe_ps32", |b| {
+        let cfg = MachineConfig::paper(64, 32);
+        b.iter(|| {
+            let rep = simulate(black_box(&kernel.program), &cfg).unwrap();
+            let lb = load_balance(&rep.stats.local_reads_per_pe());
+            black_box(lb.cv)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

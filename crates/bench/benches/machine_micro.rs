@@ -1,0 +1,105 @@
+//! Microbenchmarks of the machine substrate's hot paths: classified reads,
+//! cache probes, ownership arithmetic, network routing, and the
+//! single-assignment memory cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sa_machine::machine::{ArraySpec, DistributedMachine};
+use sa_machine::{
+    CachePolicy, MachineConfig, NetworkTopology, PageCache, PageKey, PartialPagePolicy,
+    PartitionScheme,
+};
+use sa_mem::{SaArray, TagBits};
+
+fn machine_with_data(cfg: MachineConfig) -> DistributedMachine {
+    DistributedMachine::new(
+        cfg,
+        vec![ArraySpec {
+            name: "B".into(),
+            len: 4096,
+            init: (0..4096).map(|i| i as f64).collect(),
+        }],
+    )
+    .unwrap()
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_read");
+    g.bench_function("local", |b| {
+        let mut m = machine_with_data(MachineConfig::paper(4, 32));
+        b.iter(|| m.read(0, 0, black_box(5)).unwrap().0)
+    });
+    g.bench_function("cached", |b| {
+        let mut m = machine_with_data(MachineConfig::paper(4, 32));
+        m.read(0, 0, 40).unwrap(); // warm the page
+        b.iter(|| m.read(0, 0, black_box(41)).unwrap().0)
+    });
+    g.bench_function("remote_nocache", |b| {
+        let mut m = machine_with_data(MachineConfig::paper_no_cache(4, 32));
+        b.iter(|| m.read(0, 0, black_box(40)).unwrap().0)
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_cache");
+    g.bench_function("probe_hit", |b| {
+        let mut cache = PageCache::new(8, CachePolicy::Lru);
+        let key = PageKey { array: 0, page: 3, generation: 0 };
+        cache.insert(key, None);
+        b.iter(|| cache.probe(black_box(key), 0, PartialPagePolicy::Ignore))
+    });
+    g.bench_function("insert_evict", |b| {
+        let mut cache = PageCache::new(8, CachePolicy::Lru);
+        let mut p = 0usize;
+        b.iter(|| {
+            p += 1;
+            cache.insert(PageKey { array: 0, page: p, generation: 0 }, None)
+        })
+    });
+    g.finish();
+}
+
+fn bench_partition_and_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+    g.bench_function("owner_modulo", |b| {
+        b.iter(|| PartitionScheme::Modulo.owner(black_box(123), 251, 64))
+    });
+    g.bench_function("owner_block", |b| {
+        b.iter(|| PartitionScheme::Block.owner(black_box(123), 251, 64))
+    });
+    g.bench_function("mesh_hops", |b| {
+        b.iter(|| NetworkTopology::Mesh2D.hops(64, black_box(3), black_box(60)))
+    });
+    g.bench_function("hypercube_hops", |b| {
+        b.iter(|| NetworkTopology::Hypercube.hops(64, black_box(3), black_box(60)))
+    });
+    g.finish();
+}
+
+fn bench_sa_memory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sa_memory");
+    g.bench_function("array_write_read", |b| {
+        b.iter(|| {
+            let mut a = SaArray::new("A", 1024);
+            for i in 0..1024 {
+                a.write(i, i as f64).unwrap();
+            }
+            black_box(*a.read(1023).unwrap().unwrap())
+        })
+    });
+    g.bench_function("tagbits_set_scan", |b| {
+        b.iter(|| {
+            let mut t = TagBits::new(4096);
+            for i in (0..4096).step_by(3) {
+                t.set(i);
+            }
+            black_box(t.count_ones())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reads, bench_cache, bench_partition_and_network, bench_sa_memory);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Summary-table bench: the whole Livermore suite at the reference
+//! configuration — the §8 claims table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sa_core::simulate;
+use sa_loops::suite;
+use sa_machine::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let kernels = suite();
+    let mut g = c.benchmark_group("summary_table");
+    g.sample_size(10);
+
+    g.bench_function("all_kernels_16pe_ps32", |b| {
+        let cfg = MachineConfig::paper(16, 32);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in &kernels {
+                acc += simulate(black_box(&k.program), &cfg).unwrap().remote_pct();
+            }
+            black_box(acc)
+        })
+    });
+    // Static classification of the whole suite (compiler-side cost).
+    g.bench_function("classify_suite_static", |b| {
+        b.iter(|| {
+            kernels
+                .iter()
+                .map(|k| sa_ir::classify_program(black_box(&k.program)).class)
+                .max()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerate every figure/table of the paper (plus the ablations and the
+//! timing extension) as markdown + ASCII charts.
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures            # everything
+//! cargo run -p bench --release --bin figures -- fig1    # one artifact
+//! ```
+
+use bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    let artifacts: [(&str, fn() -> String); 10] = [
+        ("fig1", fig1),
+        ("fig2", fig2),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("summary", summary),
+        ("ablation-partition", ablation_partition),
+        ("ablation-cache", ablation_cache),
+        ("ablation-pagesize", ablation_pagesize),
+        ("ablation-policy", ablation_policy),
+    ];
+    let mut ran = false;
+    for (name, f) in artifacts {
+        if want(name) {
+            println!("{}", f());
+            ran = true;
+        }
+    }
+    if want("timing") {
+        println!("{}", timing());
+        ran = true;
+    }
+    if !ran {
+        eprintln!(
+            "unknown artifact; choose from: fig1..fig5, summary, ablation-partition, \
+             ablation-cache, ablation-pagesize, ablation-policy, timing, all"
+        );
+        std::process::exit(2);
+    }
+}

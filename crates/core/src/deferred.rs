@@ -1,0 +1,443 @@
+//! Event-driven timing pass with deferred reads — the "more sophisticated
+//! simulation [that] will better explore the problems of execution time and
+//! network contention" the paper lists as future work (§9).
+//!
+//! The counting pass ([`crate::exec::simulate_traced`]) captures each PE's
+//! statement instances in its local order, with every read already
+//! classified (local / cached / remote + hop count). This module replays
+//! those traces against per-PE clocks:
+//!
+//! * each access costs [`AccessCosts`] cycles (remote cost grows with hops),
+//! * a read of a cell whose producer has not yet executed **parks** the PE
+//!   on that cell's deferred-read queue — precisely the I-structure
+//!   write-before-read synchronization of paper §3,
+//! * reductions make their scalar available once every participating PE has
+//!   contributed and shipped its partial to the scalar's host PE,
+//! * a re-initialization phase is a global barrier plus protocol cost (§5).
+//!
+//! The output is an estimated parallel makespan, from which speedup curves
+//! are derived.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use sa_ir::Program;
+use sa_machine::{host_of, AccessCosts, MachineConfig};
+
+use crate::exec::{simulate_traced, ExecTrace, Instance, PhaseTrace, SimError};
+
+/// Errors from the timing replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingError {
+    /// No PE can make progress but instances remain — a dependency cycle,
+    /// which a valid single-assignment program cannot produce.
+    Deadlock {
+        /// PEs still holding unexecuted instances.
+        stuck_pes: Vec<usize>,
+    },
+    /// The underlying counting simulation failed.
+    Sim(SimError),
+}
+
+impl core::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TimingError::Deadlock { stuck_pes } => {
+                write!(f, "timing deadlock; stuck PEs: {stuck_pes:?}")
+            }
+            TimingError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+impl From<SimError> for TimingError {
+    fn from(e: SimError) -> Self {
+        TimingError::Sim(e)
+    }
+}
+
+/// Estimated execution-time profile.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Makespan: the last PE's finish time.
+    pub total_cycles: u64,
+    /// Finish time per PE.
+    pub per_pe_cycles: Vec<u64>,
+    /// Cycles each PE spent parked on deferred reads or barriers.
+    pub stall_cycles: Vec<u64>,
+    /// Total statement instances executed.
+    pub instances: u64,
+}
+
+impl TimingReport {
+    /// Speedup of this run relative to `baseline` (usually the 1-PE run).
+    pub fn speedup_over(&self, baseline: &TimingReport) -> f64 {
+        if self.total_cycles == 0 {
+            return 1.0;
+        }
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Parallel efficiency over `n` PEs given the 1-PE baseline.
+    pub fn efficiency_over(&self, baseline: &TimingReport, n: usize) -> f64 {
+        self.speedup_over(baseline) / n.max(1) as f64
+    }
+}
+
+type CellKey = (usize, u32, usize); // (array, generation, addr)
+
+struct Engine {
+    clock: Vec<u64>,
+    stall: Vec<u64>,
+    write_time: HashMap<CellKey, u64>,
+    scalar_time: HashMap<usize, u64>,
+    costs: AccessCosts,
+    n_pes: usize,
+    instances_done: u64,
+}
+
+impl Engine {
+    fn new(program: &Program, costs: AccessCosts, n_pes: usize) -> Self {
+        let mut write_time = HashMap::new();
+        for (a, d) in program.arrays.iter().enumerate() {
+            for addr in 0..d.init.defined_len(d.len()) {
+                write_time.insert((a, 0u32, addr), 0u64);
+            }
+        }
+        Engine {
+            clock: vec![0; n_pes],
+            stall: vec![0; n_pes],
+            write_time,
+            scalar_time: HashMap::new(),
+            costs,
+            n_pes,
+            instances_done: 0,
+        }
+    }
+
+    /// Replay one loop phase's per-PE instance lists.
+    fn run_loop_phase(&mut self, per_pe: &[Vec<Instance>]) -> Result<(), TimingError> {
+        let n = self.n_pes;
+        let mut ip = vec![0usize; n]; // instruction pointer per PE
+        let mut read_idx = vec![0usize; n]; // progress within the instance
+        let mut parked = vec![false; n];
+        let mut cell_waiters: HashMap<CellKey, Vec<usize>> = HashMap::new();
+        let mut scalar_waiters: HashMap<usize, Vec<usize>> = HashMap::new();
+
+        // Pending reduction contributions per scalar in this phase, and the
+        // running availability time (max over contribution arrival times).
+        let mut pending: HashMap<usize, (usize, u64)> = HashMap::new();
+        for insts in per_pe {
+            for i in insts {
+                if let Some(sid) = i.reduce {
+                    pending.entry(sid).or_insert((0, 0)).0 += 1;
+                }
+            }
+        }
+
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for pe in 0..n {
+            if !per_pe[pe].is_empty() {
+                heap.push(Reverse((self.clock[pe], pe)));
+            }
+        }
+
+        let mut done = vec![false; n];
+        for (pe, d) in done.iter_mut().enumerate() {
+            *d = per_pe[pe].is_empty();
+        }
+
+        while let Some(Reverse((t, pe))) = heap.pop() {
+            if done[pe] || parked[pe] {
+                continue; // stale heap entry
+            }
+            let mut t = t.max(self.clock[pe]);
+            let inst = &per_pe[pe][ip[pe]];
+
+            // Element reads, resuming where we left off if re-woken.
+            let mut blocked = false;
+            while read_idx[pe] < inst.reads.len() {
+                let r = &inst.reads[read_idx[pe]];
+                let key = (r.array, r.generation, r.addr);
+                match self.write_time.get(&key) {
+                    None => {
+                        parked[pe] = true;
+                        cell_waiters.entry(key).or_default().push(pe);
+                        self.clock[pe] = t;
+                        blocked = true;
+                        break;
+                    }
+                    Some(&wt) => {
+                        if wt > t {
+                            self.stall[pe] += wt - t;
+                            t = wt;
+                        }
+                        t += self.costs.of(r.kind, r.hops);
+                        read_idx[pe] += 1;
+                    }
+                }
+            }
+            if blocked {
+                continue;
+            }
+
+            // Scalar reads (reduction results from earlier nests).
+            let mut scalar_block = None;
+            for &sid in &inst.scalar_reads {
+                match self.scalar_time.get(&sid) {
+                    Some(&st) => {
+                        if st > t {
+                            self.stall[pe] += st - t;
+                            t = st;
+                        }
+                    }
+                    None => {
+                        scalar_block = Some(sid);
+                        break;
+                    }
+                }
+            }
+            if let Some(sid) = scalar_block {
+                parked[pe] = true;
+                scalar_waiters.entry(sid).or_default().push(pe);
+                self.clock[pe] = t;
+                continue;
+            }
+
+            // Execute: arithmetic, then the write or reduction bookkeeping.
+            t += self.costs.compute;
+            if let Some((a, generation, addr)) = inst.write {
+                t += self.costs.write;
+                let key = (a, generation, addr);
+                self.write_time.insert(key, t);
+                if let Some(waiters) = cell_waiters.remove(&key) {
+                    for w in waiters {
+                        parked[w] = false;
+                        heap.push(Reverse((self.clock[w], w)));
+                    }
+                }
+            }
+            if let Some(sid) = inst.reduce {
+                let host = host_of(sid, n);
+                // Non-host contributors ship a partial result.
+                let arrival = if pe == host { t } else { t + self.costs.remote_base };
+                let entry = pending.get_mut(&sid).expect("counted during setup");
+                entry.0 -= 1;
+                entry.1 = entry.1.max(arrival);
+                if entry.0 == 0 {
+                    let avail = entry.1 + self.costs.compute; // host combine
+                    self.scalar_time.insert(sid, avail);
+                    if let Some(waiters) = scalar_waiters.remove(&sid) {
+                        for w in waiters {
+                            parked[w] = false;
+                            heap.push(Reverse((self.clock[w], w)));
+                        }
+                    }
+                }
+            }
+
+            self.instances_done += 1;
+            self.clock[pe] = t;
+            ip[pe] += 1;
+            read_idx[pe] = 0;
+            if ip[pe] == per_pe[pe].len() {
+                done[pe] = true;
+            } else {
+                heap.push(Reverse((t, pe)));
+            }
+        }
+
+        let stuck: Vec<usize> = (0..n).filter(|&pe| !done[pe]).collect();
+        if stuck.is_empty() {
+            Ok(())
+        } else {
+            Err(TimingError::Deadlock { stuck_pes: stuck })
+        }
+    }
+
+    /// Global barrier + host-protocol cost for a re-initialization.
+    fn run_reinit(&mut self, messages: u64) {
+        let t = self.clock.iter().copied().max().unwrap_or(0);
+        let cost = self.costs.remote_base + messages * self.costs.per_hop;
+        for pe in 0..self.n_pes {
+            self.stall[pe] += t - self.clock[pe];
+            self.clock[pe] = t + cost;
+        }
+    }
+
+    fn finish(self) -> TimingReport {
+        TimingReport {
+            total_cycles: self.clock.iter().copied().max().unwrap_or(0),
+            per_pe_cycles: self.clock,
+            stall_cycles: self.stall,
+            instances: self.instances_done,
+        }
+    }
+}
+
+/// Replay a captured trace under the cost model.
+pub fn estimate_timing_from_trace(
+    program: &Program,
+    trace: &ExecTrace,
+    costs: AccessCosts,
+) -> Result<TimingReport, TimingError> {
+    let mut engine = Engine::new(program, costs, trace.n_pes);
+    for phase in &trace.phases {
+        match phase {
+            PhaseTrace::Loop { per_pe } => engine.run_loop_phase(per_pe)?,
+            PhaseTrace::Reinit { messages } => engine.run_reinit(*messages),
+        }
+    }
+    Ok(engine.finish())
+}
+
+/// Convenience: run the counting pass and the timing replay in one call.
+pub fn estimate_timing(
+    program: &Program,
+    cfg: &MachineConfig,
+) -> Result<TimingReport, TimingError> {
+    let rep = simulate_traced(program, cfg)?;
+    let trace = rep.trace.as_ref().expect("simulate_traced always captures");
+    estimate_timing_from_trace(program, trace, cfg.costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{InitPattern, ProgramBuilder};
+
+    fn map_kernel(n: usize) -> Program {
+        // Embarrassingly parallel matched loop: X(k) = 2·Y(k).
+        let mut b = ProgramBuilder::new("map");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("map", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 2.0);
+        });
+        b.finish()
+    }
+
+    fn chain_kernel(n: usize) -> Program {
+        // Fully serial recurrence: X(i) = X(i-1) + 1.
+        let mut b = ProgramBuilder::new("chain");
+        let x = b.array_with(
+            "X",
+            &[n],
+            sa_ir::program::ArrayInit::Prefix { pattern: InitPattern::Zero, len: 1 },
+        );
+        b.nest("chain", &[("i", 1, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(x, [iv(0).plus(-1)]) + 1.0);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn single_pe_timing_is_sum_of_costs() {
+        let p = map_kernel(64);
+        let t = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
+        let c = AccessCosts::default();
+        // 64 instances × (local read + compute + write)
+        let expected = 64 * (c.local_read + c.compute + c.write);
+        assert_eq!(t.total_cycles, expected);
+        assert_eq!(t.instances, 64);
+        assert_eq!(t.stall_cycles, vec![0]);
+    }
+
+    #[test]
+    fn matched_loop_scales_nearly_linearly() {
+        let p = map_kernel(1024);
+        let t1 = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
+        let t8 = estimate_timing(&p, &MachineConfig::paper(8, 32)).unwrap();
+        let s = t8.speedup_over(&t1);
+        assert!(s > 7.9 && s <= 8.0, "matched loop must scale ~linearly, got {s:.2}");
+    }
+
+    #[test]
+    fn serial_chain_does_not_scale() {
+        let p = chain_kernel(512);
+        let t1 = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
+        let t8 = estimate_timing(&p, &MachineConfig::paper(8, 32)).unwrap();
+        let s = t8.speedup_over(&t1);
+        assert!(s <= 1.05, "a serial chain cannot speed up, got {s:.2}");
+        // The chain crosses page boundaries: later PEs must have stalled.
+        assert!(t8.stall_cycles.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn speedup_never_exceeds_pe_count() {
+        let p = map_kernel(300);
+        let t1 = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
+        for n in [2usize, 4, 8, 16] {
+            let tn = estimate_timing(&p, &MachineConfig::paper(n, 32)).unwrap();
+            let s = tn.speedup_over(&t1);
+            assert!(s <= n as f64 + 1e-9, "speedup {s:.2} > {n} PEs");
+            assert!(tn.efficiency_over(&t1, n) <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn remote_reads_cost_more_than_local() {
+        // Same kernel, skewed so page-crossing reads go remote without a
+        // cache: timing must be strictly worse than the cached config.
+        let mut b = ProgramBuilder::new("skew");
+        let y = b.input("Y", &[1040], InitPattern::Wavy);
+        let x = b.output("X", &[1024]);
+        b.nest("skew", &[("k", 0, 1023)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(16)]));
+        });
+        let p = b.finish();
+        let cached = estimate_timing(&p, &MachineConfig::paper(4, 32)).unwrap();
+        let uncached = estimate_timing(&p, &MachineConfig::paper_no_cache(4, 32)).unwrap();
+        assert!(
+            uncached.total_cycles > cached.total_cycles,
+            "uncached {} ≤ cached {}",
+            uncached.total_cycles,
+            cached.total_cycles
+        );
+    }
+
+    #[test]
+    fn reduction_barrier_orders_scalar_consumers() {
+        // s = Σ Y(k); then X(k) = s + Y(k). Consumers must wait for s.
+        let mut b = ProgramBuilder::new("redchain");
+        let y = b.input("Y", &[128], InitPattern::Const(1.0));
+        let x = b.output("X", &[128]);
+        let s = b.scalar("s");
+        b.nest("sum", &[("k", 0, 127)], |nb| {
+            nb.reduce(s, sa_ir::ReduceOp::Sum, nb.read(y, [iv(0)]));
+        });
+        b.nest("use", &[("k", 0, 127)], |nb| {
+            nb.assign(x, [iv(0)], nb.scalar_value(s) + nb.read(y, [iv(0)]));
+        });
+        let p = b.finish();
+        let t = estimate_timing(&p, &MachineConfig::paper(4, 32)).unwrap();
+        assert_eq!(t.instances, 256);
+        // All PEs consumed s, which was only available after every partial
+        // arrived — so no PE can have finished before the reduction did.
+        let c = AccessCosts::default();
+        let reduce_min = 32 * (c.local_read + c.compute); // one PE's partials
+        assert!(t.total_cycles > reduce_min);
+    }
+
+    #[test]
+    fn reinit_barrier_synchronizes_clocks() {
+        let mut b = ProgramBuilder::new("gen");
+        let y = b.input("Y", &[64], InitPattern::Wavy);
+        let x = b.output("X", &[64]);
+        b.nest("g0", &[("k", 0, 63)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]));
+        });
+        b.reinit(x);
+        b.nest("g1", &[("k", 0, 63)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 3.0);
+        });
+        let p = b.finish();
+        let t = estimate_timing(&p, &MachineConfig::paper(4, 16)).unwrap();
+        // After a barrier everyone advances in lockstep; with a symmetric
+        // workload the finish times are identical.
+        assert!(t.per_pe_cycles.iter().all(|&c| c == t.per_pe_cycles[0]));
+    }
+}

@@ -1,0 +1,221 @@
+//! Parameter sweeps: the machinery behind every figure in the paper.
+
+use sa_ir::Program;
+use sa_machine::{AccessCosts, CachePolicy, MachineConfig, PartitionScheme};
+
+use crate::deferred::{estimate_timing, TimingError};
+use crate::exec::{simulate, SimError};
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// PE count.
+    pub n_pes: usize,
+    /// Page size in elements.
+    pub page_size: usize,
+    /// Whether the 256-element cache was enabled.
+    pub cached: bool,
+    /// The paper's headline metric: % of reads remote.
+    pub remote_pct: f64,
+    /// % of reads served by the cache.
+    pub cached_pct: f64,
+    /// Absolute remote reads.
+    pub remote_reads: u64,
+    /// Absolute total reads.
+    pub total_reads: u64,
+    /// Network messages (page fetches ×2 + protocol traffic).
+    pub messages: u64,
+}
+
+/// Sweep PE counts × page sizes × cache on/off (the axes of Figures 1–4).
+pub fn pe_sweep(
+    program: &Program,
+    pes: &[usize],
+    page_sizes: &[usize],
+    cache_options: &[bool],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut out = Vec::with_capacity(pes.len() * page_sizes.len() * cache_options.len());
+    for &page_size in page_sizes {
+        for &cached in cache_options {
+            for &n_pes in pes {
+                let cfg = if cached {
+                    MachineConfig::paper(n_pes, page_size)
+                } else {
+                    MachineConfig::paper_no_cache(n_pes, page_size)
+                };
+                let rep = simulate(program, &cfg)?;
+                out.push(SweepPoint {
+                    n_pes,
+                    page_size,
+                    cached,
+                    remote_pct: rep.remote_pct(),
+                    cached_pct: rep.stats.cached_read_pct(),
+                    remote_reads: rep.stats.remote_reads(),
+                    total_reads: rep.stats.total_reads(),
+                    messages: rep.network_messages,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Sweep cache sizes (the §7.1.4 remedy for Random-class loops).
+pub fn cache_sweep(
+    program: &Program,
+    n_pes: usize,
+    page_size: usize,
+    cache_elems: &[usize],
+) -> Result<Vec<(usize, f64)>, SimError> {
+    let mut out = Vec::with_capacity(cache_elems.len());
+    for &elems in cache_elems {
+        let cfg = MachineConfig::paper(n_pes, page_size).with_cache_elems(elems);
+        let rep = simulate(program, &cfg)?;
+        out.push((elems, rep.remote_pct()));
+    }
+    Ok(out)
+}
+
+/// Compare partitioning schemes (§9: modulo vs the division scheme).
+pub fn partition_sweep(
+    program: &Program,
+    n_pes: usize,
+    page_size: usize,
+    schemes: &[PartitionScheme],
+) -> Result<Vec<(String, f64)>, SimError> {
+    let mut out = Vec::with_capacity(schemes.len());
+    for &scheme in schemes {
+        let cfg = MachineConfig::paper(n_pes, page_size).with_partition(scheme);
+        let rep = simulate(program, &cfg)?;
+        out.push((scheme.name(), rep.remote_pct()));
+    }
+    Ok(out)
+}
+
+/// Compare replacement policies (§4 chose LRU).
+pub fn policy_sweep(
+    program: &Program,
+    n_pes: usize,
+    page_size: usize,
+    policies: &[CachePolicy],
+) -> Result<Vec<(String, f64)>, SimError> {
+    let mut out = Vec::with_capacity(policies.len());
+    for &policy in policies {
+        let cfg = MachineConfig::paper(n_pes, page_size).with_cache_policy(policy);
+        let rep = simulate(program, &cfg)?;
+        let name = match policy {
+            CachePolicy::Lru => "lru".to_string(),
+            CachePolicy::Fifo => "fifo".to_string(),
+            CachePolicy::Random { .. } => "random".to_string(),
+        };
+        out.push((name, rep.remote_pct()));
+    }
+    Ok(out)
+}
+
+/// Estimated speedup vs PE count (the §9 execution-time extension).
+pub fn speedup_sweep(
+    program: &Program,
+    pes: &[usize],
+    page_size: usize,
+    costs: AccessCosts,
+) -> Result<Vec<(usize, f64)>, TimingError> {
+    let base = estimate_timing(program, &MachineConfig::paper(1, page_size).with_costs(costs))?;
+    let mut out = Vec::with_capacity(pes.len());
+    for &n in pes {
+        let t = estimate_timing(program, &MachineConfig::paper(n, page_size).with_costs(costs))?;
+        out.push((n, t.speedup_over(&base)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{InitPattern, ProgramBuilder};
+
+    fn skewed(n: usize, skew: i64) -> Program {
+        let mut b = ProgramBuilder::new("sk");
+        let y = b.input("Y", &[n + skew as usize], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(skew)]));
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let p = skewed(512, 11);
+        let pts = pe_sweep(&p, &[1, 2, 4], &[32, 64], &[true, false]).unwrap();
+        assert_eq!(pts.len(), 3 * 2 * 2);
+        // 1 PE always 0 % remote.
+        for pt in pts.iter().filter(|p| p.n_pes == 1) {
+            assert_eq!(pt.remote_pct, 0.0);
+        }
+        // Cache can only help.
+        for ps in [32, 64] {
+            for n in [2, 4] {
+                let with = pts
+                    .iter()
+                    .find(|p| p.n_pes == n && p.page_size == ps && p.cached)
+                    .unwrap();
+                let without = pts
+                    .iter()
+                    .find(|p| p.n_pes == n && p.page_size == ps && !p.cached)
+                    .unwrap();
+                assert!(with.remote_pct <= without.remote_pct);
+            }
+        }
+    }
+
+    #[test]
+    fn cache_sweep_is_monotone_for_skewed() {
+        let p = skewed(1024, 11);
+        let pts = cache_sweep(&p, 4, 32, &[0, 64, 256, 1024]).unwrap();
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "more cache must not increase remote %: {pts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_sweep_names_schemes() {
+        let p = skewed(256, 1);
+        let rows = partition_sweep(
+            &p,
+            4,
+            32,
+            &[PartitionScheme::Modulo, PartitionScheme::Block],
+        )
+        .unwrap();
+        assert_eq!(rows[0].0, "modulo");
+        assert_eq!(rows[1].0, "block");
+    }
+
+    #[test]
+    fn policy_sweep_runs_all_policies() {
+        let p = skewed(256, 5);
+        let rows = policy_sweep(
+            &p,
+            4,
+            32,
+            &[CachePolicy::Lru, CachePolicy::Fifo, CachePolicy::Random { seed: 1 }],
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|(_, pct)| *pct >= 0.0));
+    }
+
+    #[test]
+    fn speedup_sweep_monotonic_domain() {
+        let p = skewed(512, 0);
+        let s = speedup_sweep(&p, &[1, 2, 4, 8], 32, AccessCosts::default()).unwrap();
+        assert_eq!(s[0].1, 1.0);
+        assert!(s[3].1 > s[1].1, "a matched loop should keep speeding up: {s:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # sa-core — automatic partitioning, distributed execution, experiments
+//!
+//! This crate glues the substrates together into the paper's system:
+//!
+//! * [`screening`] — the *index screening* of §3: every statement instance
+//!   is mapped to the PE that owns the element it writes (owner-computes).
+//! * [`exec`] — the access-counting distributed interpreter: runs an
+//!   `sa-ir` program on an `sa-machine`, classifying every read as
+//!   local / cached / remote exactly as the paper's simulation did, while
+//!   also computing real values so results can be verified against the
+//!   sequential reference.
+//! * [`deferred`] — the event-driven *timing* pass (§9 future work):
+//!   replays the execution with per-PE clocks, I-structure stalls on
+//!   not-yet-produced cells, network hop latencies and host-protocol
+//!   barriers, yielding estimated cycles and speedup curves.
+//! * [`classify`] — dynamic (measurement-based) access-class detection,
+//!   cross-checking the static classifier in `sa-ir`.
+//! * [`experiment`] — parameter sweeps (PEs × page size × cache × scheme).
+//! * [`report`] — markdown / CSV / ASCII-chart emitters for the figures.
+//! * [`verify`] — end-to-end equivalence with the reference interpreter.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod deferred;
+pub mod exec;
+pub mod experiment;
+pub mod report;
+pub mod screening;
+pub mod verify;
+
+pub use classify::{classify_dynamic, DynamicClassification};
+pub use deferred::{estimate_timing, TimingReport};
+pub use exec::{simulate, simulate_traced, SimError, SimReport};
+pub use experiment::{pe_sweep, SweepPoint};
+pub use screening::PartitionMap;
+pub use verify::verify_against_reference;

@@ -1,0 +1,156 @@
+//! Report emitters: markdown tables, CSV, and ASCII line charts that stand
+//! in for the paper's figures.
+
+/// Render a GitHub-flavoured markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render rows as CSV with a header line.
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = headers.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a percentage like the paper's axes (`12.34%`).
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:.2}%")
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. `"Cache, ps 32"`).
+    pub label: String,
+    /// `(x, y)` points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render series as a fixed-size ASCII line chart (the stand-in for the
+/// paper's figures in terminal output and EXPERIMENTS.md).
+pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let symbols = ['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (0.0f64, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+    }
+    if !xmin.is_finite() || xmax <= xmin {
+        xmax = xmin + 1.0;
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+
+    for (si, s) in series.iter().enumerate() {
+        let sym = symbols[si % symbols.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = sym;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("  y: {ymin:.2} .. {ymax:.2}\n"));
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("   x: {xmin:.0} .. {xmax:.0}\n"));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("   {} {}\n", symbols[si % symbols.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["PEs", "remote %"],
+            &[vec!["4".into(), "1.23%".into()], vec!["8".into(), "1.10%".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("PEs"));
+        assert!(lines[1].contains("---"));
+        assert!(lines[2].contains("1.23%"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let c = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(21.875), "21.88%");
+        assert_eq!(fmt_pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let s = vec![
+            Series { label: "cache".into(), points: vec![(1.0, 0.0), (32.0, 5.0)] },
+            Series { label: "no cache".into(), points: vec![(1.0, 0.0), (32.0, 20.0)] },
+        ];
+        let chart = ascii_chart("Fig 1", &s, 40, 10);
+        assert!(chart.contains("Fig 1"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("cache"));
+        // Height = 10 grid rows plus decorations.
+        assert!(chart.lines().count() >= 13);
+    }
+
+    #[test]
+    fn chart_handles_degenerate_ranges() {
+        let s = vec![Series { label: "flat".into(), points: vec![(1.0, 0.0)] }];
+        let chart = ascii_chart("flat", &s, 10, 4);
+        assert!(chart.contains('*'));
+        let empty = ascii_chart("none", &[], 10, 4);
+        assert!(empty.contains("none"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Index screening: mapping statement instances to their owning PE.
+//!
+//! Paper §3: "Each PE may write only into undefined array cells and only
+//! into those mapped to that PE … This is achieved by screening the array
+//! indices so that the right-hand side of the assignment is evaluated only
+//! for a given PE's subranges."
+//!
+//! [`PartitionMap`] is the lightweight, immutable ownership oracle shared
+//! by the counting simulator, the timing pass and the real-thread runtime.
+
+use sa_ir::nest::Stmt;
+use sa_ir::{analysis, ArrayId, Program};
+use sa_machine::{pages_in, MachineConfig, PartitionScheme};
+
+/// Immutable page-ownership map for one (program, machine) pair.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    n_pes: usize,
+    page_size: usize,
+    scheme: PartitionScheme,
+    array_pages: Vec<usize>,
+}
+
+impl PartitionMap {
+    /// Build the map for `program` on a machine described by `cfg`.
+    pub fn new(program: &Program, cfg: &MachineConfig) -> Self {
+        PartitionMap {
+            n_pes: cfg.n_pes,
+            page_size: cfg.page_size,
+            scheme: cfg.partition,
+            array_pages: program
+                .arrays
+                .iter()
+                .map(|d| pages_in(d.len(), cfg.page_size))
+                .collect(),
+        }
+    }
+
+    /// Number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Page size in elements.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Owning PE of linear address `addr` in array `a`.
+    pub fn owner(&self, a: ArrayId, addr: usize) -> usize {
+        let page = addr / self.page_size;
+        self.scheme.owner(page, self.array_pages[a.0], self.n_pes)
+    }
+
+    /// Owning PE of a statement instance at iteration `ivs`, or `None` for
+    /// anchorless statements (e.g. a reduction of pure parameters), which
+    /// the executor deals out round-robin.
+    ///
+    /// The anchor is the write target for assignments and the first read
+    /// for reductions (see [`analysis::anchor_ref`]). Indirect anchors are
+    /// resolved by the executor (they need memory); this fast path covers
+    /// the affine case used by owner screening.
+    pub fn anchor_owner(&self, program: &Program, stmt: &Stmt, ivs: &[i64]) -> Option<usize> {
+        let anchor = analysis::anchor_ref(stmt)?;
+        let affine = anchor.affine_indices()?;
+        let decl = program.array(anchor.array);
+        let idx: Vec<i64> = affine.iter().map(|a| a.eval(ivs)).collect();
+        let addr = decl.linearize(&idx).ok()?;
+        Some(self.owner(anchor.array, addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{InitPattern, ProgramBuilder};
+
+    fn hydro_like(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("t");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("main", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]));
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn owner_matches_machine_partition() {
+        let p = hydro_like(100);
+        let cfg = MachineConfig::paper(4, 32);
+        let map = PartitionMap::new(&p, &cfg);
+        assert_eq!(map.n_pes(), 4);
+        assert_eq!(map.page_size(), 32);
+        // Paper example: pages 0..3 of a 100-element array → PEs 0..3.
+        let x = p.array_id("X").unwrap();
+        assert_eq!(map.owner(x, 0), 0);
+        assert_eq!(map.owner(x, 33), 1);
+        assert_eq!(map.owner(x, 99), 3);
+    }
+
+    #[test]
+    fn anchor_owner_screens_iterations() {
+        let p = hydro_like(100);
+        let cfg = MachineConfig::paper(4, 32);
+        let map = PartitionMap::new(&p, &cfg);
+        let nest = p.nests().next().unwrap();
+        let stmt = &nest.body[0];
+        assert_eq!(map.anchor_owner(&p, stmt, &[0]), Some(0));
+        assert_eq!(map.anchor_owner(&p, stmt, &[32]), Some(1));
+        assert_eq!(map.anchor_owner(&p, stmt, &[96]), Some(3));
+        // Out-of-bounds iteration resolves to None rather than panicking.
+        assert_eq!(map.anchor_owner(&p, stmt, &[1000]), None);
+    }
+
+    #[test]
+    fn screened_iteration_sets_partition_the_domain() {
+        // Every iteration must belong to exactly one PE.
+        let p = hydro_like(100);
+        let cfg = MachineConfig::paper(4, 32);
+        let map = PartitionMap::new(&p, &cfg);
+        let nest = p.nests().next().unwrap();
+        let stmt = &nest.body[0];
+        let mut counts = vec![0usize; 4];
+        nest.for_each_iteration(|ivs| {
+            counts[map.anchor_owner(&p, stmt, ivs).unwrap()] += 1;
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 100);
+        assert_eq!(counts, vec![32, 32, 32, 4]); // 3 full pages + partial
+    }
+}

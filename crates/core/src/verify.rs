@@ -1,0 +1,65 @@
+//! End-to-end verification: distributed execution ≡ sequential reference.
+
+use sa_ir::{interpret, Program, ProgramResult};
+use sa_machine::MachineConfig;
+
+use crate::exec::simulate;
+
+/// Run `program` both sequentially and distributed under `cfg`, and compare
+/// every defined array cell and every scalar (tolerance 1e-9, to absorb the
+/// reduction-order difference of distributed partial sums).
+pub fn verify_against_reference(program: &Program, cfg: &MachineConfig) -> Result<(), String> {
+    let golden = interpret(program).map_err(|e| format!("reference failed: {e}"))?;
+    let rep = simulate(program, cfg).map_err(|e| format!("simulation failed: {e}"))?;
+    let distributed = ProgramResult {
+        arrays: rep.arrays,
+        scalars: rep.scalars,
+        writes: 0,
+        reads: 0,
+    };
+    golden.assert_matches(&distributed, 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{InitPattern, ProgramBuilder};
+
+    #[test]
+    fn verification_passes_for_clean_kernel() {
+        let mut b = ProgramBuilder::new("v");
+        let y = b.input("Y", &[257], InitPattern::Harmonic);
+        let x = b.output("X", &[257]);
+        let s = b.scalar("s");
+        b.nest("m", &[("k", 0, 256)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 3.0 - 1.0);
+            nb.reduce(s, sa_ir::ReduceOp::Max, nb.read(y, [iv(0)]));
+        });
+        let p = b.finish();
+        for n in [1usize, 3, 7, 16] {
+            verify_against_reference(&p, &MachineConfig::paper(n, 32))
+                .unwrap_or_else(|e| panic!("n_pes={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn verification_is_scheme_independent() {
+        use sa_machine::PartitionScheme;
+        let mut b = ProgramBuilder::new("v2");
+        let y = b.input("Y", &[100], InitPattern::Wavy);
+        let x = b.output("X", &[100]);
+        b.nest("m", &[("k", 1, 99)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(-1)]));
+        });
+        let p = b.finish();
+        for scheme in [
+            PartitionScheme::Modulo,
+            PartitionScheme::Block,
+            PartitionScheme::BlockCyclic { block_pages: 2 },
+        ] {
+            verify_against_reference(&p, &MachineConfig::paper(4, 16).with_partition(scheme))
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! Static classification of loop nests into the paper's four
+//! access-distribution classes (§7.1): Matched, Skewed, Cyclic, Random.
+//!
+//! The paper classified loops *empirically* by looking at simulation graphs;
+//! this module derives the same classes from the IR:
+//!
+//! * every read index equals the write index → **Matched** (§7.1.1);
+//! * read addresses track the write address with constant offsets →
+//!   **Skewed** with the maximum |offset| as the skew (§7.1.2);
+//! * the read address advances at a *different rate* than the write address
+//!   (ICCG's `X(k)` vs `X(i)` with `i` moving half as fast), or an outer
+//!   loop re-sweeps the address range covered by inner loops (2-D arrays
+//!   traversed along the small dimension) → **Cyclic** (§7.1.3);
+//! * gathers ("permutation lookups") or reads whose address depends on a
+//!   different *set* of loop variables than the write → **Random** (§7.1.4).
+//!
+//! The dynamic classifier in `sa-core` cross-checks these predictions
+//! against measured remote-access curves.
+
+use crate::index::IndexExpr;
+use crate::nest::{ArrayRef, LoopNest, Stmt};
+use crate::program::Program;
+
+/// Relation between one read reference and the statement's write anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRelation {
+    /// Same linearized address function — always local.
+    Identical,
+    /// Same per-variable rates, constant address offset (the *skew*).
+    Skew(i64),
+    /// Same variable support but different advance rates (e.g. read moves
+    /// 2 addresses per iteration while the write moves 1).
+    RateMismatch,
+    /// The read depends on a different set of loop variables than the write.
+    Mixed,
+    /// The read goes through an index array (gather).
+    Indirect,
+}
+
+/// The paper's access-distribution classes, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessClass {
+    /// Class 1 — matched distribution: 0 % remote reads, always.
+    Matched,
+    /// Class 2 — skewed distribution; payload is the maximum |skew|.
+    Skewed {
+        /// Largest constant offset between a read and the write.
+        max_skew: u64,
+    },
+    /// Class 3 — cyclic distribution (rate mismatch or multi-sweep).
+    Cyclic,
+    /// Class 4 — random distribution (gathers, mixed supports).
+    Random,
+}
+
+impl AccessClass {
+    /// Short display name matching the paper's abbreviations.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            AccessClass::Matched => "MD",
+            AccessClass::Skewed { .. } => "SD",
+            AccessClass::Cyclic => "CD",
+            AccessClass::Random => "RD",
+        }
+    }
+}
+
+impl core::fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AccessClass::Matched => write!(f, "Matched"),
+            AccessClass::Skewed { max_skew } => write!(f, "Skewed(±{max_skew})"),
+            AccessClass::Cyclic => write!(f, "Cyclic"),
+            AccessClass::Random => write!(f, "Random"),
+        }
+    }
+}
+
+/// Classification of one statement.
+#[derive(Debug, Clone)]
+pub struct StmtReport {
+    /// Index within the nest body.
+    pub stmt_index: usize,
+    /// `(read array name, relation)` per read, in evaluation order.
+    pub relations: Vec<(String, PairRelation)>,
+    /// Class implied by this statement alone.
+    pub class: AccessClass,
+}
+
+/// Classification of one nest.
+#[derive(Debug, Clone)]
+pub struct NestReport {
+    /// The nest label.
+    pub label: String,
+    /// Whether the write traversal re-sweeps its address range (an outer
+    /// loop advances more slowly than the span of the loops inside it).
+    pub sweep_revisit: bool,
+    /// Per-statement details.
+    pub stmts: Vec<StmtReport>,
+    /// Overall class of the nest.
+    pub class: AccessClass,
+}
+
+/// Classification of a whole program.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Per-nest reports, in phase order.
+    pub nests: Vec<NestReport>,
+    /// The program's class: the most severe nest class.
+    pub class: AccessClass,
+}
+
+/// Linearized affine address function: `coeffs · ivs + offset`.
+/// `None` if any index is indirect.
+fn linear_form(program: &Program, aref: &ArrayRef, nvars: usize) -> Option<(Vec<i64>, i64)> {
+    let decl = program.array(aref.array);
+    let strides = decl.strides();
+    let mut coeffs = vec![0i64; nvars];
+    let mut offset = 0i64;
+    for (d, ix) in aref.indices.iter().enumerate() {
+        let a = match ix {
+            IndexExpr::Affine(a) => a,
+            IndexExpr::Indirect { .. } => return None,
+        };
+        let s = strides[d] as i64;
+        for (v, c) in coeffs.iter_mut().enumerate() {
+            *c += s * a.coeff(v);
+        }
+        offset += s * a.offset;
+    }
+    Some((coeffs, offset))
+}
+
+fn support(coeffs: &[i64]) -> Vec<usize> {
+    coeffs.iter().enumerate().filter(|&(_, &c)| c != 0).map(|(v, _)| v).collect()
+}
+
+/// `a` and `b` are scalar multiples of each other (over the rationals).
+fn proportional(a: &[i64], b: &[i64]) -> bool {
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            if a[i] * b[j] != a[j] * b[i] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn relate(write: &(Vec<i64>, i64), read: &(Vec<i64>, i64)) -> PairRelation {
+    let (cw, ow) = write;
+    let (cr, or) = read;
+    if cw == cr {
+        let d = or - ow;
+        return if d == 0 { PairRelation::Identical } else { PairRelation::Skew(d) };
+    }
+    if support(cw) == support(cr) && proportional(cw, cr) {
+        // Same variables drive both addresses at proportionally different
+        // rates → cyclic revisit of a fixed page set (the paper's ICCG,
+        // whose write index moves half as fast as its read index).
+        PairRelation::RateMismatch
+    } else {
+        // Different variable sets (GLRE's `W(i-k)` vs write `W(i)`) or
+        // incommensurate rates (ADI's `DU1(ky)` vs a plane-strided write):
+        // the paper's "seemingly random" address jumps.
+        PairRelation::Mixed
+    }
+}
+
+/// Maximum trip count observed at each loop level (exact, by enumeration of
+/// the outer levels; cheap at kernel scale).
+fn level_extents(nest: &LoopNest) -> Vec<usize> {
+    let mut maxima = vec![0usize; nest.loops.len()];
+    fn rec(nest: &LoopNest, depth: usize, ivs: &mut Vec<i64>, maxima: &mut [usize]) {
+        if depth == nest.loops.len() {
+            return;
+        }
+        let lv = &nest.loops[depth];
+        let trips = lv.trip_count(ivs);
+        maxima[depth] = maxima[depth].max(trips);
+        if depth + 1 == nest.loops.len() {
+            return;
+        }
+        let lo = lv.lo.eval(ivs);
+        let hi = lv.hi.eval(ivs);
+        let mut v = lo;
+        while (lv.step > 0 && v <= hi) || (lv.step < 0 && v >= hi) {
+            ivs.push(v);
+            rec(nest, depth + 1, ivs, maxima);
+            ivs.pop();
+            v += lv.step;
+        }
+    }
+    let mut ivs = Vec::new();
+    rec(nest, 0, &mut ivs, &mut maxima);
+    maxima
+}
+
+/// Does the write traversal revisit addresses? True when some outer level's
+/// per-iteration address delta is no larger than the span the inner loops
+/// cover, so successive outer iterations re-sweep the same pages
+/// (the 2-D Explicit Hydrodynamics pattern, paper Fig. 3).
+fn sweep_revisits(nest: &LoopNest, write_coeffs: &[i64], extents: &[usize]) -> bool {
+    let nvars = nest.loops.len();
+    for l in 0..nvars.saturating_sub(1) {
+        if extents[l] <= 1 {
+            continue;
+        }
+        let d_l = (write_coeffs[l] * nest.loops[l].step).unsigned_abs();
+        if d_l == 0 {
+            continue;
+        }
+        let span_inner: u64 = (l + 1..nvars)
+            .map(|v| {
+                (write_coeffs[v] * nest.loops[v].step).unsigned_abs()
+                    * (extents[v].saturating_sub(1) as u64)
+            })
+            .sum();
+        if d_l <= span_inner && span_inner > 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does any pair of reads of the same array revisit pages across an outer
+/// loop iteration? True when two reads share coefficient vectors and their
+/// offsets differ by a small multiple of an outer loop's per-iteration
+/// write advance — e.g. 2-D Explicit Hydro reading `ZR(j,k)` and
+/// `ZR(j,k-1)`: plane `k-1` is re-read one outer iteration after it was
+/// read as plane `k` (paper Fig. 3's "pages are accessed in a cycle").
+fn read_revisits(
+    nest: &LoopNest,
+    write_coeffs: &[i64],
+    extents: &[usize],
+    reads: &[(usize, Vec<i64>, i64)],
+) -> bool {
+    let nvars = nest.loops.len();
+    if nvars < 2 {
+        return false;
+    }
+    for (a, ra) in reads.iter().enumerate() {
+        for rb in reads.iter().skip(a + 1) {
+            if ra.0 != rb.0 || ra.1 != rb.1 {
+                continue;
+            }
+            let diff = (ra.2 - rb.2).unsigned_abs();
+            if diff == 0 {
+                continue;
+            }
+            for v in 0..nvars - 1 {
+                let d_v = (write_coeffs[v] * nest.loops[v].step).unsigned_abs();
+                if d_v == 0 || extents[v] <= 1 {
+                    continue;
+                }
+                if diff % d_v == 0 {
+                    let laps = diff / d_v;
+                    if laps >= 1 && laps < extents[v] as u64 {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The reference that anchors owner-computes for a statement: the write
+/// target for assignments, the first read for reductions (reductions are
+/// executed where their data lives and combined at the host PE).
+pub fn anchor_ref(stmt: &Stmt) -> Option<&ArrayRef> {
+    match stmt {
+        Stmt::Assign { target, .. } => Some(target),
+        Stmt::Reduce { value, .. } => value.reads().first().copied(),
+    }
+}
+
+/// Classify one nest of `program`.
+pub fn classify_nest(program: &Program, nest: &LoopNest) -> NestReport {
+    let nvars = nest.loops.len();
+    let extents = level_extents(nest);
+    let mut stmts = Vec::new();
+    let mut revisit_any = false;
+
+    for (si, stmt) in nest.body.iter().enumerate() {
+        let anchor = anchor_ref(stmt);
+        let anchor_form = anchor.and_then(|a| linear_form(program, a, nvars));
+        if let (Some(_), Some(form)) = (anchor, &anchor_form) {
+            if matches!(stmt, Stmt::Assign { .. }) && sweep_revisits(nest, &form.0, &extents) {
+                revisit_any = true;
+            }
+        }
+        let mut relations = Vec::new();
+        let mut read_forms: Vec<(usize, Vec<i64>, i64)> = Vec::new();
+        for read in stmt.reads() {
+            let name = program.array(read.array).name.clone();
+            let rel = if read.has_indirection() {
+                PairRelation::Indirect
+            } else {
+                match (&anchor_form, linear_form(program, read, nvars)) {
+                    (Some(w), Some(r)) => {
+                        let rel = relate(w, &r);
+                        read_forms.push((read.array.0, r.0, r.1));
+                        rel
+                    }
+                    _ => PairRelation::Indirect,
+                }
+            };
+            relations.push((name, rel));
+        }
+        if let Some(form) = &anchor_form {
+            if matches!(stmt, Stmt::Assign { .. })
+                && read_revisits(nest, &form.0, &extents, &read_forms)
+            {
+                revisit_any = true;
+            }
+        }
+        // A write through an indirect index (scatter) is Random by itself.
+        let scatter = anchor.map(ArrayRef::has_indirection).unwrap_or(false);
+        let class = stmt_class(&relations, scatter);
+        stmts.push(StmtReport { stmt_index: si, relations, class });
+    }
+
+    let mut class = stmts.iter().map(|s| s.class).max().unwrap_or(AccessClass::Matched);
+    // A re-sweeping traversal upgrades non-local statements to Cyclic
+    // (the "cyclic and skewed combination" of Fig. 3) but never downgrades.
+    if revisit_any && matches!(class, AccessClass::Skewed { .. }) {
+        class = AccessClass::Cyclic;
+    }
+    NestReport { label: nest.label.clone(), sweep_revisit: revisit_any, stmts, class }
+}
+
+fn stmt_class(relations: &[(String, PairRelation)], scatter: bool) -> AccessClass {
+    if scatter {
+        return AccessClass::Random;
+    }
+    let mut max_skew = 0u64;
+    let mut class = AccessClass::Matched;
+    for (_, rel) in relations {
+        match rel {
+            PairRelation::Identical => {}
+            PairRelation::Skew(d) => max_skew = max_skew.max(d.unsigned_abs()),
+            PairRelation::RateMismatch => class = class.max(AccessClass::Cyclic),
+            PairRelation::Mixed | PairRelation::Indirect => class = class.max(AccessClass::Random),
+        }
+    }
+    if class == AccessClass::Matched && max_skew > 0 {
+        class = AccessClass::Skewed { max_skew };
+    } else if let AccessClass::Skewed { max_skew: m } = class {
+        class = AccessClass::Skewed { max_skew: m.max(max_skew) };
+    }
+    class
+}
+
+/// Classify every nest of a program; the program class is the most severe.
+pub fn classify_program(program: &Program) -> ProgramReport {
+    let nests: Vec<NestReport> =
+        program.nests().map(|n| classify_nest(program, n)).collect();
+    let class = nests.iter().map(|n| n.class).max().unwrap_or(AccessClass::Matched);
+    ProgramReport { nests, class }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::index::{iv, AffineIndex};
+    use crate::program::InitPattern;
+
+    #[test]
+    fn class_ordering_matches_severity() {
+        assert!(AccessClass::Matched < AccessClass::Skewed { max_skew: 1 });
+        assert!(AccessClass::Skewed { max_skew: 99 } < AccessClass::Cyclic);
+        assert!(AccessClass::Cyclic < AccessClass::Random);
+        assert_eq!(AccessClass::Random.abbrev(), "RD");
+        assert_eq!(format!("{}", AccessClass::Skewed { max_skew: 11 }), "Skewed(±11)");
+    }
+
+    #[test]
+    fn matched_loop_is_class_1() {
+        // RX(k) = XX(k) - IR(k)  (1-D Particle in a Cell fragment)
+        let mut b = ProgramBuilder::new("pic");
+        let xx = b.input("XX", &[64], InitPattern::Wavy);
+        let ir = b.input("IR", &[64], InitPattern::Harmonic);
+        let rx = b.output("RX", &[64]);
+        b.nest("k14", &[("k", 0, 63)], |n| {
+            n.assign(rx, [iv(0)], n.read(xx, [iv(0)]) - n.read(ir, [iv(0)]));
+        });
+        let rep = classify_program(&b.finish());
+        assert_eq!(rep.class, AccessClass::Matched);
+        assert!(!rep.nests[0].sweep_revisit);
+        assert!(rep.nests[0]
+            .stmts[0]
+            .relations
+            .iter()
+            .all(|(_, r)| *r == PairRelation::Identical));
+    }
+
+    #[test]
+    fn skewed_loop_reports_max_skew() {
+        // X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))  (Hydro Fragment)
+        let mut b = ProgramBuilder::new("hydro");
+        let y = b.input("Y", &[80], InitPattern::Wavy);
+        let zx = b.input("ZX", &[80], InitPattern::Wavy);
+        let x = b.output("X", &[80]);
+        b.nest("k1", &[("k", 0, 63)], |n| {
+            n.assign(
+                x,
+                [iv(0)],
+                n.read(y, [iv(0)]) * (n.read(zx, [iv(0).plus(10)]) + n.read(zx, [iv(0).plus(11)])),
+            );
+        });
+        let rep = classify_program(&b.finish());
+        assert_eq!(rep.class, AccessClass::Skewed { max_skew: 11 });
+    }
+
+    #[test]
+    fn rate_mismatch_is_cyclic() {
+        // X(i) = X(2i) - V(2i): read advances twice as fast (ICCG shape).
+        let mut b = ProgramBuilder::new("iccg");
+        let v = b.input("V", &[128], InitPattern::Wavy);
+        let x = b.array_with(
+            "X",
+            &[128],
+            crate::program::ArrayInit::Prefix { pattern: InitPattern::Wavy, len: 64 },
+        );
+        b.nest("level", &[("t", 0, 31)], |n| {
+            n.assign(
+                x,
+                [iv(0).plus(64)],
+                n.read(x, [AffineIndex::scaled_var(2, 0)])
+                    - n.read(v, [AffineIndex::scaled_var(2, 0)]),
+            );
+        });
+        let rep = classify_program(&b.finish());
+        assert_eq!(rep.class, AccessClass::Cyclic);
+    }
+
+    #[test]
+    fn multisweep_2d_traversal_is_cyclic() {
+        // ZA(j,k) = ZP(j-1,k+1) ... with k outer (extent 5) and j inner:
+        // inner loop spans the whole row stride, so pages revisit.
+        let mut b = ProgramBuilder::new("hydro2d");
+        let zp = b.input("ZP", &[100, 7], InitPattern::Wavy);
+        let za = b.output("ZA", &[100, 7]);
+        b.nest("k18", &[("k", 1, 5), ("j", 1, 98)], |n| {
+            n.assign(
+                za,
+                [iv(1), iv(0)],
+                n.read(zp, [iv(1).plus(-1), iv(0).plus(1)]) + n.read(zp, [iv(1), iv(0)]),
+            );
+        });
+        let rep = classify_program(&b.finish());
+        assert!(rep.nests[0].sweep_revisit);
+        assert_eq!(rep.class, AccessClass::Cyclic);
+    }
+
+    #[test]
+    fn mixed_support_is_random() {
+        // W(i) accumulated from W(i-k): triangular GLRE shape.
+        let mut b = ProgramBuilder::new("glre");
+        let bb = b.input("B", &[64, 64], InitPattern::Wavy);
+        let w = b.array_with(
+            "W",
+            &[64],
+            crate::program::ArrayInit::Prefix { pattern: InitPattern::Wavy, len: 1 },
+        );
+        b.nest_loops(
+            "k6",
+            vec![
+                crate::nest::LoopVar::simple("i", 1, 63),
+                crate::nest::LoopVar {
+                    name: "k".into(),
+                    lo: 1.into(),
+                    hi: iv(0),
+                    step: 1,
+                },
+            ],
+            |n| {
+                n.assign(
+                    w,
+                    [iv(0)],
+                    n.read(bb, [iv(0), iv(1)]) * n.read(w, [iv(0).add(&iv(1).scale(-1))]),
+                );
+            },
+        );
+        let rep = classify_program(&b.finish());
+        assert_eq!(rep.class, AccessClass::Random);
+    }
+
+    #[test]
+    fn gather_is_random() {
+        let mut b = ProgramBuilder::new("perm");
+        let d = b.input("D", &[64], InitPattern::Wavy);
+        let p = b.input("P", &[64], InitPattern::Permutation { seed: 3 });
+        let x = b.output("X", &[64]);
+        b.nest("g", &[("k", 0, 63)], |n| {
+            n.assign(x, [iv(0)], n.read_indirect(d, p, iv(0)));
+        });
+        let rep = classify_program(&b.finish());
+        assert_eq!(rep.class, AccessClass::Random);
+    }
+
+    #[test]
+    fn monotone_2d_row_sweep_is_not_cyclic() {
+        // A(i,j) = B(i,j-1): i outer over rows, j inner within a row —
+        // addresses advance monotonically, no revisit.
+        let mut b = ProgramBuilder::new("rows");
+        let src = b.input("B", &[16, 32], InitPattern::Wavy);
+        let dst = b.output("A", &[16, 32]);
+        b.nest("rows", &[("i", 0, 15), ("j", 1, 31)], |n| {
+            n.assign(dst, [iv(0), iv(1)], n.read(src, [iv(0), iv(1).plus(-1)]));
+        });
+        let rep = classify_program(&b.finish());
+        assert!(!rep.nests[0].sweep_revisit);
+        assert_eq!(rep.class, AccessClass::Skewed { max_skew: 1 });
+    }
+
+    #[test]
+    fn reduction_anchor_is_first_read() {
+        // Q = Σ Z(k)*X(k+5): anchor Z(k); X skewed by 5.
+        let mut b = ProgramBuilder::new("dot");
+        let z = b.input("Z", &[64], InitPattern::Wavy);
+        let x = b.input("X", &[70], InitPattern::Wavy);
+        let s = b.scalar("Q");
+        b.nest("k3", &[("k", 0, 63)], |n| {
+            n.reduce(
+                s,
+                crate::expr::ReduceOp::Sum,
+                n.read(z, [iv(0)]) * n.read(x, [iv(0).plus(5)]),
+            );
+        });
+        let rep = classify_program(&b.finish());
+        assert_eq!(rep.class, AccessClass::Skewed { max_skew: 5 });
+    }
+
+    #[test]
+    fn empty_program_is_matched() {
+        let rep = classify_program(&ProgramBuilder::new("empty").finish());
+        assert_eq!(rep.class, AccessClass::Matched);
+        assert!(rep.nests.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Ergonomic construction of [`Program`]s.
+//!
+//! Kernels read close to their FORTRAN originals:
+//!
+//! ```
+//! use sa_ir::{ProgramBuilder, InitPattern, index::iv, interpret};
+//!
+//! // DO 1 k = 1,n:  X(k) = Q + Y(k) * (R*ZX(k+10) + T*ZX(k+11))
+//! let n = 100i64;
+//! let mut b = ProgramBuilder::new("hydro");
+//! let q = b.param("Q", 0.5);
+//! let r = b.param("R", 0.25);
+//! let t = b.param("T", 0.125);
+//! let y = b.input("Y", &[n as usize + 1], InitPattern::Wavy);
+//! let zx = b.input("ZX", &[n as usize + 12], InitPattern::Harmonic);
+//! let x = b.output("X", &[n as usize + 1]);
+//! b.nest("k1", &[("k", 1, n)], |nb| {
+//!     let rhs = nb.par(q)
+//!         + nb.read(y, [iv(0)])
+//!             * (nb.par(r) * nb.read(zx, [iv(0).plus(10)])
+//!                 + nb.par(t) * nb.read(zx, [iv(0).plus(11)]));
+//!     nb.assign(x, [iv(0)], rhs);
+//! });
+//! let program = b.finish();
+//! assert!(interpret(&program).is_ok());
+//! ```
+
+use crate::expr::{Expr, ReduceOp};
+use crate::index::{AffineIndex, IndexExpr};
+use crate::nest::{ArrayRef, LoopNest, LoopVar, Stmt};
+use crate::program::{ArrayDecl, ArrayInit, InitPattern, Phase, Program};
+use crate::{ArrayId, ParamId, ScalarId};
+
+/// Builder for [`Program`]s. See the module docs for a worked example.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Start a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder { program: Program::new(name) }
+    }
+
+    /// Declare a fully initialized input array.
+    pub fn input(&mut self, name: impl Into<String>, dims: &[usize], p: InitPattern) -> ArrayId {
+        self.array_with(name, dims, ArrayInit::Full(p))
+    }
+
+    /// Declare an undefined (produced) output array.
+    pub fn output(&mut self, name: impl Into<String>, dims: &[usize]) -> ArrayId {
+        self.array_with(name, dims, ArrayInit::Undefined)
+    }
+
+    /// Declare an array with explicit initial definedness.
+    pub fn array_with(
+        &mut self,
+        name: impl Into<String>,
+        dims: &[usize],
+        init: ArrayInit,
+    ) -> ArrayId {
+        let id = ArrayId(self.program.arrays.len());
+        self.program.arrays.push(ArrayDecl { name: name.into(), dims: dims.to_vec(), init });
+        id
+    }
+
+    /// Declare a named runtime parameter.
+    pub fn param(&mut self, name: impl Into<String>, value: f64) -> ParamId {
+        let id = ParamId(self.program.params.len());
+        self.program.params.push((name.into(), value));
+        id
+    }
+
+    /// Declare a scalar reduction slot.
+    pub fn scalar(&mut self, name: impl Into<String>) -> ScalarId {
+        let id = ScalarId(self.program.scalars.len());
+        self.program.scalars.push(name.into());
+        id
+    }
+
+    /// Add a rectangular nest with constant inclusive bounds
+    /// (`(name, lo, hi)` per loop, outermost first) and unit steps.
+    pub fn nest(
+        &mut self,
+        label: impl Into<String>,
+        loops: &[(&str, i64, i64)],
+        f: impl FnOnce(&mut NestBuilder),
+    ) {
+        let loops = loops
+            .iter()
+            .map(|&(name, lo, hi)| LoopVar::simple(name, lo, hi))
+            .collect::<Vec<_>>();
+        self.nest_loops(label, loops, f);
+    }
+
+    /// Add a nest with fully general loops (affine bounds, non-unit steps).
+    pub fn nest_loops(
+        &mut self,
+        label: impl Into<String>,
+        loops: Vec<LoopVar>,
+        f: impl FnOnce(&mut NestBuilder),
+    ) {
+        let mut nb = NestBuilder { body: Vec::new() };
+        f(&mut nb);
+        self.program.phases.push(Phase::Loop(LoopNest {
+            label: label.into(),
+            loops,
+            body: nb.body,
+        }));
+    }
+
+    /// Add a re-initialization phase for `array` (paper §5).
+    pub fn reinit(&mut self, array: ArrayId) {
+        self.program.phases.push(Phase::Reinit(array));
+    }
+
+    /// Finish and return the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+}
+
+/// Builds the straight-line body of one nest.
+#[derive(Debug)]
+pub struct NestBuilder {
+    body: Vec<Stmt>,
+}
+
+impl NestBuilder {
+    /// An array read `array[indices…]` as an expression.
+    pub fn read<I>(&self, array: ArrayId, indices: I) -> Expr
+    where
+        I: IntoIterator,
+        I::Item: Into<IndexExpr>,
+    {
+        Expr::Read(ArrayRef::new(array, indices.into_iter().map(Into::into).collect()))
+    }
+
+    /// A rank-1 gather `data[ base[pos] ]`.
+    pub fn read_indirect(&self, data: ArrayId, base: ArrayId, pos: AffineIndex) -> Expr {
+        Expr::Read(ArrayRef::new(
+            data,
+            vec![IndexExpr::Indirect { base, pos, scale: 1, offset: 0 }],
+        ))
+    }
+
+    /// A rank-1 gather with scaling: `data[ scale*base[pos] + offset ]`.
+    pub fn read_indirect_scaled(
+        &self,
+        data: ArrayId,
+        base: ArrayId,
+        pos: AffineIndex,
+        scale: i64,
+        offset: i64,
+    ) -> Expr {
+        Expr::Read(ArrayRef::new(data, vec![IndexExpr::Indirect { base, pos, scale, offset }]))
+    }
+
+    /// A parameter as an expression.
+    pub fn par(&self, p: ParamId) -> Expr {
+        Expr::Param(p)
+    }
+
+    /// A previously produced reduction value as an expression.
+    pub fn scalar_value(&self, s: ScalarId) -> Expr {
+        Expr::Scalar(s)
+    }
+
+    /// Append `array[indices…] ← value`.
+    pub fn assign<I>(&mut self, array: ArrayId, indices: I, value: impl Into<Expr>)
+    where
+        I: IntoIterator,
+        I::Item: Into<IndexExpr>,
+    {
+        self.body.push(Stmt::Assign {
+            target: ArrayRef::new(array, indices.into_iter().map(Into::into).collect()),
+            value: value.into(),
+        });
+    }
+
+    /// Append `scalar ← scalar ⊕ value`.
+    pub fn reduce(&mut self, target: ScalarId, op: ReduceOp, value: impl Into<Expr>) {
+        self.body.push(Stmt::Reduce { target, op, value: value.into() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::iv;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.input("A", &[4], InitPattern::Zero);
+        let c = b.output("C", &[4, 4]);
+        let p = b.param("Q", 1.0);
+        let q = b.param("R", 2.0);
+        let s = b.scalar("acc");
+        assert_eq!((a, c), (ArrayId(0), ArrayId(1)));
+        assert_eq!((p, q), (ParamId(0), ParamId(1)));
+        assert_eq!(s, ScalarId(0));
+        let prog = b.finish();
+        assert_eq!(prog.arrays[1].dims, vec![4, 4]);
+        assert_eq!(prog.params[1], ("R".to_string(), 2.0));
+    }
+
+    #[test]
+    fn nest_builder_produces_statements_in_order() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.output("X", &[8]);
+        let y = b.input("Y", &[8], InitPattern::Zero);
+        let s = b.scalar("sum");
+        b.nest("n", &[("k", 0, 7)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 3.0);
+            nb.reduce(s, ReduceOp::Sum, nb.read(y, [iv(0)]));
+        });
+        let prog = b.finish();
+        let nest = prog.nests().next().unwrap();
+        assert_eq!(nest.body.len(), 2);
+        assert!(matches!(nest.body[0], Stmt::Assign { .. }));
+        assert!(matches!(nest.body[1], Stmt::Reduce { .. }));
+        assert_eq!(nest.loops[0].name, "k");
+    }
+
+    #[test]
+    fn general_nest_supports_steps_and_affine_bounds() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.output("X", &[64]);
+        b.nest_loops(
+            "tri",
+            vec![
+                LoopVar::simple("i", 1, 5),
+                LoopVar { name: "k".into(), lo: 0.into(), hi: iv(0).plus(-1), step: 2 },
+            ],
+            |nb| {
+                nb.assign(x, [iv(0).scale(6).add(&iv(1))], Expr::Const(1.0));
+            },
+        );
+        let prog = b.finish();
+        let nest = prog.nests().next().unwrap();
+        assert_eq!(nest.loops[1].step, 2);
+        assert!(nest.iteration_count() > 0);
+    }
+
+    #[test]
+    fn reinit_phase_recorded() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.output("X", &[4]);
+        b.reinit(x);
+        let prog = b.finish();
+        assert_eq!(prog.phases.len(), 1);
+        assert!(matches!(prog.phases[0], Phase::Reinit(a) if a == x));
+    }
+}

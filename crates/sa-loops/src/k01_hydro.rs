@@ -1,0 +1,67 @@
+//! K1 — Hydro Fragment. Paper class: **SD** (skew 10/11; Figure 1).
+//!
+//! ```fortran
+//! DO 1 k = 1,n
+//! 1    X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))
+//! ```
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+/// Build K1 at problem size `n` (official: 1001).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K1 hydro fragment");
+    let q = b.param("Q", 0.5);
+    let r = b.param("R", 0.25);
+    let t = b.param("T", 0.125);
+    let y = b.input("Y", &[n + 1], InitPattern::Wavy);
+    let zx = b.input("ZX", &[n + 12], InitPattern::Harmonic);
+    let x = b.output("X", &[n + 1]);
+    b.nest("k1", &[("k", 1, n as i64)], |nb| {
+        let rhs = nb.par(q)
+            + nb.read(y, [iv(0)])
+                * (nb.par(r) * nb.read(zx, [iv(0).plus(10)])
+                    + nb.par(t) * nb.read(zx, [iv(0).plus(11)]));
+        nb.assign(x, [iv(0)], rhs);
+    });
+    Kernel {
+        id: 1,
+        code: "K1",
+        name: "Hydro Fragment",
+        program: b.finish(),
+        expected_class: AccessClass::Skewed { max_skew: 11 },
+        paper_class: Some("SD"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn interprets_and_fills_x() {
+        let k = build(100);
+        let r = interpret(&k.program).unwrap();
+        let x = k.program.array_id("X").unwrap();
+        // X(1..100) written, X(0) padding stays undefined.
+        assert_eq!(r.arrays[x.0].defined_count(), 100);
+        assert!(r.arrays[x.0].read(0).unwrap().is_none());
+        // Spot check: X(1) = Q + Y(1)*(R*ZX(11) + T*ZX(12)).
+        let y = InitPattern::Wavy.materialize(101);
+        let zx = InitPattern::Harmonic.materialize(112);
+        let want = 0.5 + y[1] * (0.25 * zx[11] + 0.125 * zx[12]);
+        assert!((r.arrays[x.0].read(1).unwrap().unwrap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifies_as_skew_11() {
+        let k = build(100);
+        assert_eq!(
+            classify_program(&k.program).class,
+            AccessClass::Skewed { max_skew: 11 }
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! K3 — Inner Product. Class: **MD** (all indices matched); the reduction
+//! result is collected at the scalar's host PE (paper §9's vector→scalar
+//! mechanism).
+//!
+//! ```fortran
+//!       Q = 0.0
+//!       DO 3 k = 1,n
+//!  3    Q = Q + Z(k)*X(k)
+//! ```
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder, ReduceOp};
+
+use crate::suite::Kernel;
+
+/// Build K3 at problem size `n` (official: 1001).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K3 inner product");
+    let z = b.input("Z", &[n + 1], InitPattern::Wavy);
+    let x = b.input("X", &[n + 1], InitPattern::Harmonic);
+    let q = b.scalar("Q");
+    b.nest("k3", &[("k", 1, n as i64)], |nb| {
+        nb.reduce(q, ReduceOp::Sum, nb.read(z, [iv(0)]) * nb.read(x, [iv(0)]));
+    });
+    Kernel {
+        id: 3,
+        code: "K3",
+        name: "Inner Product",
+        program: b.finish(),
+        expected_class: AccessClass::Matched,
+        paper_class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn computes_the_dot_product() {
+        let k = build(100);
+        let r = interpret(&k.program).unwrap();
+        let z = InitPattern::Wavy.materialize(101);
+        let x = InitPattern::Harmonic.materialize(101);
+        let want: f64 = (1..=100).map(|i| z[i] * x[i]).sum();
+        assert!((r.scalars[0] - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classifies_as_matched() {
+        let k = build(64);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Matched);
+    }
+}

@@ -1,0 +1,106 @@
+//! K4 — Banded Linear Equations.
+//!
+//! ```fortran
+//!       m = (1001-7)/2
+//!       DO 444 k = 6,1001,m
+//!          lw = k - 6
+//!          temp = X(k-1)
+//!          DO 4 j = 5,n,5
+//!             temp = temp - X(lw)*Y(j)
+//!  4          lw = lw + 1
+//!          XB(k-1) = Y(5)*temp
+//! 444   CONTINUE
+//! ```
+//!
+//! The in-loop scalar accumulation (`temp`) becomes a `Reduce` per `k`
+//! (there are only three `k` values at the official size), and the final
+//! write goes to a fresh array `XB` since the original overwrites `X(k-1)`
+//! after reading it — the §5 conversion in action. The strided `Y(j)` read
+//! advances five times faster than the `X(lw)` anchor: a rate mismatch,
+//! hence the Cyclic class.
+
+use sa_ir::index::AffineIndex;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder, ReduceOp};
+
+use crate::suite::Kernel;
+
+/// Build K4 at problem size `n` (official: 1001).
+pub fn build(n: usize) -> Kernel {
+    let m = (1001 - 7) / 2; // the official stride, independent of n
+    let cnt = (n as i64 - 5) / 5 + 1;
+    let mut b = ProgramBuilder::new("K4 banded linear equations");
+    // X is over-dimensioned exactly as in the LFK sources: the band walk
+    // `lw = k-6 … k-6+cnt-1` runs past n for the last k.
+    let x = b.input("X", &[n + cnt as usize + 1], InitPattern::Wavy);
+    let y = b.input("Y", &[n + 1], InitPattern::Harmonic);
+    let xb = b.output("XB", &[n + 1]);
+
+    let mut k = 6i64;
+    let mut ki = 0usize;
+    while k <= n as i64 {
+        let temp = b.scalar(format!("temp{ki}"));
+        // j = 5 + 5t, lw = (k-6) + t,  t = 0..cnt-1  (DO 4 j = 5,n,5)
+        let lw = AffineIndex { coeffs: vec![1], offset: k - 6 };
+        let j = AffineIndex { coeffs: vec![5], offset: 5 };
+        b.nest(format!("k4-reduce-{ki}"), &[("t", 0, cnt - 1)], |nb| {
+            nb.reduce(temp, ReduceOp::Sum, nb.read(x, [lw.clone()]) * nb.read(y, [j.clone()]));
+        });
+        b.nest(format!("k4-write-{ki}"), &[("one", 0, 0)], |nb| {
+            nb.assign(
+                xb,
+                [AffineIndex::constant(k - 1)],
+                nb.read(y, [AffineIndex::constant(5)])
+                    * (nb.read(x, [AffineIndex::constant(k - 1)]) - nb.scalar_value(temp)),
+            );
+        });
+        k += m;
+        ki += 1;
+    }
+
+    Kernel {
+        id: 4,
+        code: "K4",
+        name: "Banded Linear Equations",
+        program: b.finish(),
+        expected_class: AccessClass::Cyclic,
+        paper_class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn computes_the_banded_solve_steps() {
+        let n = 1001;
+        let k4 = build(n);
+        let r = interpret(&k4.program).unwrap();
+        let cnt = (n - 5) / 5 + 1;
+        let x = InitPattern::Wavy.materialize(n + cnt + 1);
+        let y = InitPattern::Harmonic.materialize(n + 1);
+        let m = (1001 - 7) / 2;
+        let mut k = 6usize;
+        while k <= n {
+            let mut temp = x[k - 1];
+            let mut lw = k - 6;
+            let mut j = 5;
+            while j <= n {
+                temp -= x[lw] * y[j];
+                lw += 1;
+                j += 5;
+            }
+            let want = y[5] * temp;
+            let got = *r.arrays[2].read(k - 1).unwrap().unwrap();
+            assert!((got - want).abs() < 1e-9, "XB({})", k - 1);
+            k += m;
+        }
+    }
+
+    #[test]
+    fn classifies_as_cyclic_rate_mismatch() {
+        let k = build(1001);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Cyclic);
+    }
+}

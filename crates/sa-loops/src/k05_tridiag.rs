@@ -1,0 +1,74 @@
+//! K5 — Tri-Diagonal Elimination, Below Diagonal. Paper class: **SD**
+//! (named in §7.1.2 as a member of the skewed class).
+//!
+//! ```fortran
+//!       DO 5 i = 2,n
+//!  5    X(i) = Z(i)*(Y(i) - X(i-1))
+//! ```
+//!
+//! The loop is a first-order recurrence: each `X(i)` depends on the
+//! previous element, so under owner-computes the PEs form a pipeline whose
+//! cross-page handoffs are the skew-1 remote reads.
+
+use sa_ir::index::iv;
+use sa_ir::program::ArrayInit;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+/// Build K5 at problem size `n` (official: 1001).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K5 tri-diagonal elimination");
+    let y = b.input("Y", &[n + 1], InitPattern::Wavy);
+    let z = b.input("Z", &[n + 1], InitPattern::Harmonic);
+    // X(1) is the recurrence seed; X(2..n) is produced.
+    let x = b.array_with(
+        "X",
+        &[n + 1],
+        ArrayInit::Prefix { pattern: InitPattern::Const(0.01), len: 2 },
+    );
+    b.nest("k5", &[("i", 2, n as i64)], |nb| {
+        nb.assign(
+            x,
+            [iv(0)],
+            nb.read(z, [iv(0)]) * (nb.read(y, [iv(0)]) - nb.read(x, [iv(0).plus(-1)])),
+        );
+    });
+    Kernel {
+        id: 5,
+        code: "K5",
+        name: "Tri-Diagonal Elimination",
+        program: b.finish(),
+        expected_class: AccessClass::Skewed { max_skew: 1 },
+        paper_class: Some("SD"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn recurrence_unwinds_correctly() {
+        let k = build(50);
+        let r = interpret(&k.program).unwrap();
+        let y = InitPattern::Wavy.materialize(51);
+        let z = InitPattern::Harmonic.materialize(51);
+        let mut x = 0.01; // X(1)
+        for i in 2..=50 {
+            x = z[i] * (y[i] - x);
+            let got = *r.arrays[2].read(i).unwrap().unwrap();
+            assert!((got - x).abs() < 1e-12, "X({i})");
+        }
+    }
+
+    #[test]
+    fn classifies_as_skew_1() {
+        let k = build(64);
+        assert_eq!(
+            classify_program(&k.program).class,
+            AccessClass::Skewed { max_skew: 1 }
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! K6 — General Linear Recurrence Equations. Paper class: **RD**
+//! (Figure 4: high remote percentage with or without the cache).
+//!
+//! ```fortran
+//!       DO 6 i = 2,n
+//!       DO 6 k = 1,i-1
+//!  6    W(i) = W(i) + B(i,k) * W(i-k)
+//! ```
+//!
+//! Single-assignment conversion: the in-place accumulation becomes a
+//! partial-sum array `P(i,k)` (`P(i,0)` seeds with the initial `W`, and the
+//! final `W(i)` is `P(i,i-1)`), so the recurrence read `W(i-k)` becomes
+//! `P(i-k, i-k-1)` — still affine. Layout fidelity: FORTRAN `B(i,k)` is
+//! column-major, i.e. our row-major `B[[k],[i]]`, so the inner `k` loop
+//! jumps a whole row stride per iteration — the "multi-dimensional arrays
+//! … combined with skewed accesses" that produce random-looking page
+//! traffic (§7.1.4).
+
+use sa_ir::index::{iv, AffineIndex};
+use sa_ir::nest::LoopVar;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+/// Build K6 at problem size `n` (official: 64).
+pub fn build(n: usize) -> Kernel {
+    let nn = n + 1;
+    let mut b = ProgramBuilder::new("K6 general linear recurrence");
+    let w0 = b.input("W0", &[nn], InitPattern::Harmonic);
+    // FORTRAN B(i,k) → row-major B[k][i].
+    let bb = b.input("B", &[nn, nn], InitPattern::Wavy);
+    let p = b.output("P", &[nn, nn]);
+    let w = b.output("W", &[nn]);
+
+    // P(i,0) = W0(i): the accumulator seeds.
+    b.nest("k6-seed", &[("i", 1, n as i64)], |nb| {
+        nb.assign(p, [iv(0), AffineIndex::constant(0)], nb.read(w0, [iv(0)]));
+    });
+
+    // P(i,k) = P(i,k-1) + B(i,k) * P(i-k, i-k-1)   [W(i-k) = P(i-k,i-k-1)]
+    b.nest_loops(
+        "k6",
+        vec![
+            LoopVar::simple("i", 2, n as i64),
+            LoopVar { name: "k".into(), lo: 1.into(), hi: iv(0).plus(-1), step: 1 },
+        ],
+        |nb| {
+            let w_prev = nb.read(
+                p,
+                [iv(0).add(&iv(1).scale(-1)), iv(0).add(&iv(1).scale(-1)).plus(-1)],
+            );
+            nb.assign(
+                p,
+                [iv(0), iv(1)],
+                nb.read(p, [iv(0), iv(1).plus(-1)]) + nb.read(bb, [iv(1), iv(0)]) * w_prev,
+            );
+        },
+    );
+
+    // W(i) = P(i, i-1): expose the recurrence results.
+    b.nest("k6-extract", &[("i", 2, n as i64)], |nb| {
+        nb.assign(w, [iv(0)], nb.read(p, [iv(0), iv(0).plus(-1)]));
+    });
+
+    Kernel {
+        id: 6,
+        code: "K6",
+        name: "General Linear Recurrence Equations",
+        program: b.finish(),
+        expected_class: AccessClass::Random,
+        paper_class: Some("RD"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn matches_the_fortran_recurrence() {
+        let n = 24;
+        let k6 = build(n);
+        let r = interpret(&k6.program).unwrap();
+        // Von Neumann model of the original kernel.
+        let w0 = InitPattern::Harmonic.materialize(n + 1);
+        let bb = InitPattern::Wavy.materialize((n + 1) * (n + 1));
+        let b_at = |i: usize, k: usize| bb[k * (n + 1) + i]; // B[k][i]
+        let mut w = w0.clone();
+        for i in 2..=n {
+            for k in 1..i {
+                w[i] += b_at(i, k) * w[i - k];
+            }
+        }
+        let w_id = k6.program.array_id("W").unwrap();
+        for i in 2..=n {
+            let got = *r.arrays[w_id.0].read(i).unwrap().unwrap();
+            assert!((got - w[i]).abs() < 1e-9, "W({i}): {got} vs {}", w[i]);
+        }
+    }
+
+    #[test]
+    fn classifies_as_random() {
+        let k = build(16);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Random);
+    }
+}

@@ -1,0 +1,77 @@
+//! K7 — Equation of State Fragment. Paper class: **SD** (named in §7.1.2;
+//! skews 1..6).
+//!
+//! ```fortran
+//!       DO 7 k = 1,n
+//!  7    X(k) = U(k) + R*(Z(k) + R*Y(k))
+//!      .       + T*(U(k+3) + R*(U(k+2) + R*U(k+1))
+//!      .       + T*(U(k+6) + Q*(U(k+5) + Q*U(k+4))))
+//! ```
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+/// Build K7 at problem size `n` (official: 995).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K7 equation of state");
+    let q = b.param("Q", 0.5);
+    let r = b.param("R", 0.25);
+    let t = b.param("T", 0.125);
+    let u = b.input("U", &[n + 7], InitPattern::Wavy);
+    let y = b.input("Y", &[n + 1], InitPattern::Harmonic);
+    let z = b.input("Z", &[n + 1], InitPattern::Wavy);
+    let x = b.output("X", &[n + 1]);
+    b.nest("k7", &[("k", 1, n as i64)], |nb| {
+        let uk = |d: i64| nb.read(u, [iv(0).plus(d)]);
+        let rhs = uk(0)
+            + nb.par(r) * (nb.read(z, [iv(0)]) + nb.par(r) * nb.read(y, [iv(0)]))
+            + nb.par(t)
+                * (uk(3)
+                    + nb.par(r) * (uk(2) + nb.par(r) * uk(1))
+                    + nb.par(t) * (uk(6) + nb.par(q) * (uk(5) + nb.par(q) * uk(4))));
+        nb.assign(x, [iv(0)], rhs);
+    });
+    Kernel {
+        id: 7,
+        code: "K7",
+        name: "Equation of State Fragment",
+        program: b.finish(),
+        expected_class: AccessClass::Skewed { max_skew: 6 },
+        paper_class: Some("SD"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn interprets_and_matches_scalar_model() {
+        let k = build(64);
+        let r = interpret(&k.program).unwrap();
+        let u = InitPattern::Wavy.materialize(71);
+        let y = InitPattern::Harmonic.materialize(65);
+        let z = InitPattern::Wavy.materialize(65);
+        let (q, rr, t) = (0.5, 0.25, 0.125);
+        let kk = 10usize;
+        let want = u[kk]
+            + rr * (z[kk] + rr * y[kk])
+            + t * (u[kk + 3]
+                + rr * (u[kk + 2] + rr * u[kk + 1])
+                + t * (u[kk + 6] + q * (u[kk + 5] + q * u[kk + 4])));
+        let x = k.program.array_id("X").unwrap();
+        assert!((r.arrays[x.0].read(kk).unwrap().unwrap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classifies_as_skew_6() {
+        let k = build(64);
+        assert_eq!(
+            classify_program(&k.program).class,
+            AccessClass::Skewed { max_skew: 6 }
+        );
+    }
+}

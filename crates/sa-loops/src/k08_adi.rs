@@ -1,0 +1,134 @@
+//! K8 — A.D.I. Integration. Paper class: **RD** (named in §7.1.4).
+//!
+//! ```fortran
+//!       DO 8 kx = 2,3
+//!       DO 8 ky = 2,n
+//!          DU1(ky) = U1(kx,ky+1,1) - U1(kx,ky-1,1)
+//!          DU2(ky) = U2(kx,ky+1,1) - U2(kx,ky-1,1)
+//!          DU3(ky) = U3(kx,ky+1,1) - U3(kx,ky-1,1)
+//!          U1(kx,ky,2) = U1(kx,ky,1) + A11*DU1(ky) + A12*DU2(ky) + A13*DU3(ky)
+//!      .       + SIG*(U1(kx+1,ky,1) - 2.*U1(kx,ky,1) + U1(kx-1,ky,1))
+//!          U2(kx,ky,2) = … (A2j row)        U3(kx,ky,2) = … (A3j row)
+//!  8    CONTINUE
+//! ```
+//!
+//! Conversion notes: `DU1(ky)` is written once per `kx` iteration — a
+//! double write under single assignment — so the `DU` arrays gain a `kx`
+//! dimension (array expansion, §5). Layout fidelity: FORTRAN
+//! `U1(kx,ky,l)` is column-major (`kx` fastest), i.e. our row-major
+//! `U1[[l],[ky],[kx]]`; plane 1 is input (prefix-initialized), plane 2 is
+//! produced. The `DU(ky)` reads advance one element while the write
+//! advances a whole `kx`-row — incommensurate rates over several arrays at
+//! once, which is what makes the working set exceed the cache and the
+//! access distribution effectively random.
+
+use sa_ir::index::iv;
+use sa_ir::program::ArrayInit;
+use sa_ir::{AccessClass, Expr, InitPattern, ParamId, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+const KXD: usize = 5; // FORTRAN kx dimension extent
+
+/// Build K8 at problem size `n` (official: 101).
+pub fn build(n: usize) -> Kernel {
+    let kyd = n + 2;
+    let plane = kyd * KXD;
+    let mut b = ProgramBuilder::new("K8 ADI integration");
+
+    let a: Vec<Vec<ParamId>> = (1..=3)
+        .map(|i| (1..=3).map(|j| b.param(format!("A{i}{j}"), 0.1 * (i * 3 + j) as f64)).collect())
+        .collect();
+    let sig = b.param("SIG", 0.05);
+
+    // U*(kx,ky,l) → U*[l][ky][kx]; plane l=1 (addresses 0..plane) is input.
+    let mk_u = |b: &mut ProgramBuilder, name: &str, p: InitPattern| {
+        b.array_with(name, &[2, kyd, KXD], ArrayInit::Prefix { pattern: p, len: plane })
+    };
+    let u1 = mk_u(&mut b, "U1", InitPattern::Wavy);
+    let u2 = mk_u(&mut b, "U2", InitPattern::Harmonic);
+    let u3 = mk_u(&mut b, "U3", InitPattern::Wavy);
+    // DU*(ky) expanded with the kx dimension.
+    let du1 = b.output("DU1", &[KXD, kyd]);
+    let du2 = b.output("DU2", &[KXD, kyd]);
+    let du3 = b.output("DU3", &[KXD, kyd]);
+
+    b.nest("k8", &[("kx", 2, 3), ("ky", 2, n as i64)], |nb| {
+        let (d1, d2, d3, up1, up2, up3) = {
+            let du_rhs = |u: sa_ir::ArrayId| {
+                nb.read(u, [0.into(), iv(1).plus(1), iv(0)])
+                    - nb.read(u, [0.into(), iv(1).plus(-1), iv(0)])
+            };
+            let update = |row: &[ParamId], u: sa_ir::ArrayId| -> Expr {
+                nb.read(u, [0.into(), iv(1), iv(0)])
+                    + Expr::Param(row[0]) * nb.read(du1, [iv(0), iv(1)])
+                    + Expr::Param(row[1]) * nb.read(du2, [iv(0), iv(1)])
+                    + Expr::Param(row[2]) * nb.read(du3, [iv(0), iv(1)])
+                    + nb.par(sig)
+                        * (nb.read(u, [0.into(), iv(1), iv(0).plus(1)])
+                            - 2.0 * nb.read(u, [0.into(), iv(1), iv(0)])
+                            + nb.read(u, [0.into(), iv(1), iv(0).plus(-1)]))
+            };
+            (
+                du_rhs(u1),
+                du_rhs(u2),
+                du_rhs(u3),
+                update(&a[0], u1),
+                update(&a[1], u2),
+                update(&a[2], u3),
+            )
+        };
+        nb.assign(du1, [iv(0), iv(1)], d1);
+        nb.assign(du2, [iv(0), iv(1)], d2);
+        nb.assign(du3, [iv(0), iv(1)], d3);
+        nb.assign(u1, [1.into(), iv(1), iv(0)], up1);
+        nb.assign(u2, [1.into(), iv(1), iv(0)], up2);
+        nb.assign(u3, [1.into(), iv(1), iv(0)], up3);
+    });
+
+    Kernel {
+        id: 8,
+        code: "K8",
+        name: "A.D.I. Integration",
+        program: b.finish(),
+        expected_class: AccessClass::Random,
+        paper_class: Some("RD"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn interprets_and_spot_checks_u1() {
+        let n = 20;
+        let k8 = build(n);
+        let r = interpret(&k8.program).unwrap();
+        let kyd = n + 2;
+        let plane = kyd * KXD;
+        let u1 = InitPattern::Wavy.materialize(plane);
+        let u2 = InitPattern::Harmonic.materialize(plane);
+        let u3 = InitPattern::Wavy.materialize(plane);
+        let at = |v: &[f64], ky: usize, kx: usize| v[ky * KXD + kx];
+        let (kx, ky) = (2usize, 5usize);
+        let du1 = at(&u1, ky + 1, kx) - at(&u1, ky - 1, kx);
+        let du2 = at(&u2, ky + 1, kx) - at(&u2, ky - 1, kx);
+        let du3 = at(&u3, ky + 1, kx) - at(&u3, ky - 1, kx);
+        let want = at(&u1, ky, kx)
+            + 0.4 * du1
+            + 0.5 * du2
+            + 0.6 * du3
+            + 0.05 * (at(&u1, ky, kx + 1) - 2.0 * at(&u1, ky, kx) + at(&u1, ky, kx - 1));
+        let id = k8.program.array_id("U1").unwrap();
+        let got = *r.arrays[id.0].read(plane + ky * KXD + kx).unwrap().unwrap();
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn classifies_as_random() {
+        let k = build(20);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Random);
+    }
+}

@@ -1,0 +1,91 @@
+//! K9 — Integrate Predictors. Class: **SD** (all reads in the writer's own
+//! predictor row, skews ≤ 12).
+//!
+//! ```fortran
+//!       DO 9 i = 1,n
+//!  9    PX(1,i) = DM28*PX(13,i) + DM27*PX(12,i) + DM26*PX(11,i) +
+//!      .          DM25*PX(10,i) + DM24*PX( 9,i) + DM23*PX( 8,i) +
+//!      .          DM22*PX( 7,i) + C0*(PX(5,i) + PX(6,i)) + PX(3,i)
+//! ```
+//!
+//! `PX(1,i)` is written and only columns 3..13 are read, so the kernel is
+//! already single-assignment provided column 1 starts undefined: `PX` is
+//! split into the input columns (`PXI`, fully initialized) and the output
+//! column written here. Layout fidelity: FORTRAN `PX(j,i)` → row-major
+//! `PX[[i],[j]]` (predictor row contiguous).
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+const JD: usize = 25; // predictor row width, as in the official source
+
+/// Build K9 at problem size `n` (official: 101).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K9 integrate predictors");
+    let dm: Vec<_> = (22..=28).map(|d| b.param(format!("DM{d}"), 0.01 * d as f64)).collect();
+    let c0 = b.param("C0", 1.5);
+    let pxi = b.input("PXI", &[n + 1, JD], InitPattern::Wavy);
+    // The written column 1 lives in an identically-shaped output array so
+    // that write addresses stride exactly as the FORTRAN `PX(1,i)` does.
+    let pxo = b.output("PXO", &[n + 1, JD]);
+    b.nest("k9", &[("i", 1, n as i64)], |nb| {
+        let col = |j: i64| nb.read(pxi, [iv(0), j.into()]);
+        let rhs = nb.par(dm[6]) * col(13)
+            + nb.par(dm[5]) * col(12)
+            + nb.par(dm[4]) * col(11)
+            + nb.par(dm[3]) * col(10)
+            + nb.par(dm[2]) * col(9)
+            + nb.par(dm[1]) * col(8)
+            + nb.par(dm[0]) * col(7)
+            + nb.par(c0) * (col(5) + col(6))
+            + col(3);
+        nb.assign(pxo, [iv(0), 1i64.into()], rhs);
+    });
+    Kernel {
+        id: 9,
+        code: "K9",
+        name: "Integrate Predictors",
+        program: b.finish(),
+        expected_class: AccessClass::Skewed { max_skew: 12 },
+        paper_class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn integrates_each_row() {
+        let n = 30;
+        let k9 = build(n);
+        let r = interpret(&k9.program).unwrap();
+        let px = InitPattern::Wavy.materialize((n + 1) * JD);
+        let at = |i: usize, j: usize| px[i * JD + j];
+        for i in 1..=n {
+            let want = 0.28 * at(i, 13)
+                + 0.27 * at(i, 12)
+                + 0.26 * at(i, 11)
+                + 0.25 * at(i, 10)
+                + 0.24 * at(i, 9)
+                + 0.23 * at(i, 8)
+                + 0.22 * at(i, 7)
+                + 1.5 * (at(i, 5) + at(i, 6))
+                + at(i, 3);
+            let got = *r.arrays[1].read(i * JD + 1).unwrap().unwrap();
+            assert!((got - want).abs() < 1e-12, "PXO(1,{i})");
+        }
+    }
+
+    #[test]
+    fn classification_is_stable() {
+        let k = build(16);
+        assert_eq!(
+            classify_program(&k.program).class.abbrev(),
+            k.expected_class.abbrev()
+        );
+    }
+}

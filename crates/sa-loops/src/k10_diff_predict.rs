@@ -1,0 +1,93 @@
+//! K10 — Difference Predictors. Class: **SD** (chained column rewrites
+//! become forward-substituted skewed reads).
+//!
+//! ```fortran
+//!       DO 10 i = 1,n
+//!          AR      = CX(5,i)
+//!          BR      = AR - PX(5,i)
+//!          PX(5,i) = AR
+//!          CR      = BR - PX(6,i)
+//!          PX(6,i) = BR
+//!          …                        (continues through PX(14,i))
+//! 10    CONTINUE
+//! ```
+//!
+//! Conversion: the iteration-local scalars (`AR`, `BR`, …) are forward
+//! substituted — the value stored to column `j` is
+//! `CX(5,i) − Σ_{m=5}^{j-1} PX(m,i)` — and the rewritten columns go to a
+//! fresh array `PXN` (array expansion, §5). Layout: FORTRAN `PX(j,i)` →
+//! row-major `PX[[i],[j]]`.
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, Expr, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+const JD: usize = 25;
+
+/// Build K10 at problem size `n` (official: 101).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K10 difference predictors");
+    let cx = b.input("CX", &[n + 1, JD], InitPattern::Wavy);
+    let px = b.input("PX", &[n + 1, JD], InitPattern::Harmonic);
+    let pxn = b.output("PXN", &[n + 1, JD]);
+    b.nest("k10", &[("i", 1, n as i64)], |nb| {
+        // PXN(5,i) = AR = CX(5,i);
+        // PXN(j,i) = CX(5,i) − Σ_{m=5}^{j-1} PX(m,i)   for j = 6..14.
+        let ar = nb.read(cx, [iv(0), 5i64.into()]);
+        nb.assign(pxn, [iv(0), 5i64.into()], ar.clone());
+        let mut acc: Expr = ar;
+        for j in 6..=14i64 {
+            acc = acc - nb.read(px, [iv(0), (j - 1).into()]);
+            nb.assign(pxn, [iv(0), j.into()], acc.clone());
+        }
+    });
+    Kernel {
+        id: 10,
+        code: "K10",
+        name: "Difference Predictors",
+        program: b.finish(),
+        expected_class: AccessClass::Skewed { max_skew: 9 },
+        paper_class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn forward_substitution_matches_the_chained_original() {
+        let n = 40;
+        let k10 = build(n);
+        let r = interpret(&k10.program).unwrap();
+        let cx = InitPattern::Wavy.materialize((n + 1) * JD);
+        let px0 = InitPattern::Harmonic.materialize((n + 1) * JD);
+        for i in 1..=n {
+            // Chained original (von Neumann).
+            let mut px = px0.clone();
+            let ar = cx[i * JD + 5];
+            let mut vals = vec![ar];
+            let mut cur = ar;
+            for j in 6..=14usize {
+                cur -= px[i * JD + (j - 1)];
+                vals.push(cur);
+            }
+            px[i * JD + 5] = ar; // the original stores as it goes
+            for (idx, j) in (5..=14usize).enumerate() {
+                let got = *r.arrays[2].read(i * JD + j).unwrap().unwrap();
+                assert!((got - vals[idx]).abs() < 1e-9, "PXN({j},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn classifies_as_skewed() {
+        let k = build(16);
+        assert_eq!(
+            classify_program(&k.program).class,
+            AccessClass::Skewed { max_skew: 9 }
+        );
+    }
+}

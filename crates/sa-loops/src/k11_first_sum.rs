@@ -1,0 +1,63 @@
+//! K11 — First Sum (running sum). Paper class: **SD** (named in §7.1.2 as
+//! "First Sum").
+//!
+//! ```fortran
+//!       X(1) = Y(1)
+//!       DO 11 k = 2,n
+//! 11    X(k) = X(k-1) + Y(k)
+//! ```
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+/// Build K11 at problem size `n` (official: 1001).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K11 first sum");
+    let y = b.input("Y", &[n + 1], InitPattern::Wavy);
+    let x = b.output("X", &[n + 1]);
+    // The seed write X(1) = Y(1) is its own (single-iteration) nest.
+    b.nest("k11-seed", &[("k", 1, 1)], |nb| {
+        nb.assign(x, [iv(0)], nb.read(y, [iv(0)]));
+    });
+    b.nest("k11", &[("k", 2, n as i64)], |nb| {
+        nb.assign(x, [iv(0)], nb.read(x, [iv(0).plus(-1)]) + nb.read(y, [iv(0)]));
+    });
+    Kernel {
+        id: 11,
+        code: "K11",
+        name: "First Sum",
+        program: b.finish(),
+        expected_class: AccessClass::Skewed { max_skew: 1 },
+        paper_class: Some("SD"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn prefix_sums_are_exact() {
+        let k = build(200);
+        let r = interpret(&k.program).unwrap();
+        let y = InitPattern::Wavy.materialize(201);
+        let mut acc = 0.0;
+        for i in 1..=200 {
+            acc += y[i];
+            let got = *r.arrays[1].read(i).unwrap().unwrap();
+            assert!((got - acc).abs() < 1e-9, "X({i})");
+        }
+    }
+
+    #[test]
+    fn classifies_as_skew_1() {
+        let k = build(64);
+        assert_eq!(
+            classify_program(&k.program).class,
+            AccessClass::Skewed { max_skew: 1 }
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! K12 — First Difference. Paper class: **SD** (named in §7.1.2 as
+//! "First Differential").
+//!
+//! ```fortran
+//!       DO 12 k = 1,n
+//! 12    X(k) = Y(k+1) - Y(k)
+//! ```
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+/// Build K12 at problem size `n` (official: 1000).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K12 first difference");
+    let y = b.input("Y", &[n + 2], InitPattern::Wavy);
+    let x = b.output("X", &[n + 1]);
+    b.nest("k12", &[("k", 1, n as i64)], |nb| {
+        nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(1)]) - nb.read(y, [iv(0)]));
+    });
+    Kernel {
+        id: 12,
+        code: "K12",
+        name: "First Difference",
+        program: b.finish(),
+        expected_class: AccessClass::Skewed { max_skew: 1 },
+        paper_class: Some("SD"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn differences_are_exact() {
+        let k = build(100);
+        let r = interpret(&k.program).unwrap();
+        let y = InitPattern::Wavy.materialize(102);
+        for i in 1..=100usize {
+            let got = *r.arrays[1].read(i).unwrap().unwrap();
+            assert!((got - (y[i + 1] - y[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn classifies_as_skew_1() {
+        let k = build(64);
+        assert_eq!(
+            classify_program(&k.program).class,
+            AccessClass::Skewed { max_skew: 1 }
+        );
+    }
+}

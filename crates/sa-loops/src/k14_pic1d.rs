@@ -1,0 +1,131 @@
+//! K14 — 1-D Particle in a Cell.
+//!
+//! The paper uses the matched fragment as its Class-1 exemplar (§7.1.1):
+//!
+//! ```fortran
+//!       DO 1 k = 1,n
+//!  1    RX(k) = XX(k) - IR(k)
+//! ```
+//!
+//! [`build`] produces that fragment (class **MD**, as the paper assigns).
+//! [`build_full`] adds the kernel's gather stage — charge deposition reads
+//! `EX`/`DEX` through the particle-cell index array `GRD` — whose
+//! permutation lookups are the textbook Random-class pattern, useful for
+//! exercising indirect addressing end to end.
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+/// Build the paper's matched fragment at size `n` (official: 1001).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K14 1-D particle in a cell (fragment)");
+    let xx = b.input("XX", &[n + 1], InitPattern::Wavy);
+    let ir = b.input("IR", &[n + 1], InitPattern::Harmonic);
+    let rx = b.output("RX", &[n + 1]);
+    b.nest("k14-fragment", &[("k", 1, n as i64)], |nb| {
+        nb.assign(rx, [iv(0)], nb.read(xx, [iv(0)]) - nb.read(ir, [iv(0)]));
+    });
+    Kernel {
+        id: 14,
+        code: "K14",
+        name: "1-D Particle in a Cell",
+        program: b.finish(),
+        expected_class: AccessClass::Matched,
+        paper_class: Some("MD"),
+    }
+}
+
+/// Build the fuller kernel: gather stage + field update + the fragment.
+pub fn build_full(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K14 1-D particle in a cell (full)");
+    // GRD holds particle→cell indices: a deterministic permutation keeps
+    // every lookup in bounds while scattering accesses across the grid.
+    let grd = b.input("GRD", &[n + 1], InitPattern::Permutation { seed: 14 });
+    let ex = b.input("EX", &[n + 1], InitPattern::Wavy);
+    let dex = b.input("DEX", &[n + 1], InitPattern::Harmonic);
+    let xx = b.input("XX", &[n + 1], InitPattern::Wavy);
+    let xi = b.input("XI", &[n + 1], InitPattern::Harmonic);
+    let ir = b.input("IR", &[n + 1], InitPattern::Harmonic);
+    let ex1 = b.output("EX1", &[n + 1]);
+    let dex1 = b.output("DEX1", &[n + 1]);
+    let vx = b.output("VX", &[n + 1]);
+    let rx = b.output("RX", &[n + 1]);
+
+    // Gather stage: EX1(k) = EX(GRD(k)), DEX1(k) = DEX(GRD(k)).
+    b.nest("k14-gather", &[("k", 1, n as i64)], |nb| {
+        nb.assign(ex1, [iv(0)], nb.read_indirect(ex, grd, iv(0)));
+        nb.assign(dex1, [iv(0)], nb.read_indirect(dex, grd, iv(0)));
+    });
+    // Field update: VX(k) = EX1(k) + (XX(k) - XI(k))*DEX1(k).
+    b.nest("k14-update", &[("k", 1, n as i64)], |nb| {
+        nb.assign(
+            vx,
+            [iv(0)],
+            nb.read(ex1, [iv(0)])
+                + (nb.read(xx, [iv(0)]) - nb.read(xi, [iv(0)])) * nb.read(dex1, [iv(0)]),
+        );
+    });
+    // The paper's fragment.
+    b.nest("k14-fragment", &[("k", 1, n as i64)], |nb| {
+        nb.assign(rx, [iv(0)], nb.read(xx, [iv(0)]) - nb.read(ir, [iv(0)]));
+    });
+
+    Kernel {
+        id: 14,
+        code: "K14F",
+        name: "1-D Particle in a Cell (full)",
+        program: b.finish(),
+        expected_class: AccessClass::Random,
+        paper_class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_nest, classify_program, interpret};
+
+    #[test]
+    fn fragment_is_matched_and_exact() {
+        let k = build(100);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Matched);
+        let r = interpret(&k.program).unwrap();
+        let xx = InitPattern::Wavy.materialize(101);
+        let ir = InitPattern::Harmonic.materialize(101);
+        for i in 1..=100usize {
+            let got = *r.arrays[2].read(i).unwrap().unwrap();
+            assert!((got - (xx[i] - ir[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_kernel_gathers_through_the_permutation() {
+        let k = build_full(64);
+        let r = interpret(&k.program).unwrap();
+        let grd = InitPattern::Permutation { seed: 14 }.materialize(65);
+        let ex = InitPattern::Wavy.materialize(65);
+        for i in 1..=64usize {
+            let got = *r.arrays[6].read(i).unwrap().unwrap();
+            assert_eq!(got, ex[grd[i] as usize], "EX1({i})");
+        }
+    }
+
+    #[test]
+    fn full_kernel_is_random_but_fragment_nest_is_matched() {
+        let k = build_full(64);
+        let rep = classify_program(&k.program);
+        assert_eq!(rep.class, AccessClass::Random);
+        // Per-nest: the gather is Random, the paper's fragment is Matched.
+        let nests: Vec<_> = k.program.nests().collect();
+        assert_eq!(
+            classify_nest(&k.program, nests[0]).class,
+            AccessClass::Random
+        );
+        assert_eq!(
+            classify_nest(&k.program, nests[2]).class,
+            AccessClass::Matched
+        );
+    }
+}

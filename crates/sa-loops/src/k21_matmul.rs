@@ -1,0 +1,91 @@
+//! K21 — Matrix × Matrix Product. Class: **RD** (running accumulation over
+//! the outer `k` loop, with column-major operand reads jumping pages).
+//!
+//! ```fortran
+//!       DO 21 k = 1,25
+//!       DO 21 i = 1,25
+//!       DO 21 j = 1,n
+//! 21    PX(i,j) = PX(i,j) + VY(i,k) * CX(k,j)
+//! ```
+//!
+//! Conversion: the running sum over `k` expands into partial-sum planes —
+//! `PXS(k,i,j) = PXS(k-1,i,j) + VY(i,k)*CX(k,j)` with plane 0 holding the
+//! initial `PX` (a 26-plane array; the §5 tool's memory-for-synchronization
+//! trade made explicit). Layout fidelity: FORTRAN `PX(i,j)` → row-major
+//! `[[j],[i]]`, etc.
+
+use sa_ir::index::iv;
+use sa_ir::program::ArrayInit;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder};
+
+use crate::suite::Kernel;
+
+const MD: usize = 26; // 25 accumulation steps + seed plane
+const ID: usize = 26; // i extent (1..25 used)
+
+/// Build K21 with inner extent `n` (official: 101).
+pub fn build(n: usize) -> Kernel {
+    let jd = n + 1;
+    let mut b = ProgramBuilder::new("K21 matrix product");
+    // PXS[k][j][i]: plane 0 = initial PX (prefix-initialized).
+    let pxs = b.array_with(
+        "PXS",
+        &[MD, jd, ID],
+        ArrayInit::Prefix { pattern: InitPattern::Harmonic, len: jd * ID },
+    );
+    // FORTRAN VY(i,k) → VY[k][i]; CX(k,j) → CX[j][k].
+    let vy = b.input("VY", &[MD, ID], InitPattern::Wavy);
+    let cx = b.input("CX", &[jd, MD], InitPattern::Wavy);
+
+    b.nest("k21", &[("k", 1, 25), ("i", 1, 25), ("j", 1, n as i64)], |nb| {
+        nb.assign(
+            pxs,
+            [iv(0), iv(2), iv(1)],
+            nb.read(pxs, [iv(0).plus(-1), iv(2), iv(1)])
+                + nb.read(vy, [iv(0), iv(1)]) * nb.read(cx, [iv(2), iv(0)]),
+        );
+    });
+
+    Kernel {
+        id: 21,
+        code: "K21",
+        name: "Matrix Product",
+        program: b.finish(),
+        expected_class: AccessClass::Random,
+        paper_class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn accumulated_planes_equal_the_matrix_product() {
+        let n = 12;
+        let k21 = build(n);
+        let r = interpret(&k21.program).unwrap();
+        let jd = n + 1;
+        let px0 = InitPattern::Harmonic.materialize(jd * ID);
+        let vy = InitPattern::Wavy.materialize(MD * ID);
+        let cx = InitPattern::Wavy.materialize(jd * MD);
+        for i in 1..=3usize {
+            for j in 1..=n {
+                let mut want = px0[j * ID + i];
+                for k in 1..=25usize {
+                    want += vy[k * ID + i] * cx[j * MD + k];
+                }
+                // Final plane 25 holds the answer.
+                let got = *r.arrays[0].read(25 * jd * ID + j * ID + i).unwrap().unwrap();
+                assert!((got - want).abs() < 1e-9, "PX({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn classifies_as_random() {
+        let k = build(8);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Random);
+    }
+}

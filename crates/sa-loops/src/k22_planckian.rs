@@ -1,0 +1,63 @@
+//! K22 — Planckian Distribution. Class: **MD** (all indices matched).
+//!
+//! ```fortran
+//!       DO 22 k = 1,n
+//!       Y(k) = U(k)/V(k)
+//! 22    W(k) = X(k)/(EXP(Y(k)) - 1.0)
+//! ```
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, Expr, InitPattern, ProgramBuilder, UnaryOp};
+
+use crate::suite::Kernel;
+
+/// Build K22 at problem size `n` (official: 101).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K22 planckian distribution");
+    let u = b.input("U", &[n + 1], InitPattern::Wavy);
+    let v = b.input("V", &[n + 1], InitPattern::Wavy);
+    let x = b.input("X", &[n + 1], InitPattern::Harmonic);
+    let y = b.output("Y", &[n + 1]);
+    let w = b.output("W", &[n + 1]);
+    b.nest("k22", &[("k", 1, n as i64)], |nb| {
+        nb.assign(y, [iv(0)], nb.read(u, [iv(0)]) / nb.read(v, [iv(0)]));
+        let ey = Expr::Unary(UnaryOp::Exp, Box::new(nb.read(y, [iv(0)])));
+        nb.assign(w, [iv(0)], nb.read(x, [iv(0)]) / (ey - 1.0));
+    });
+    Kernel {
+        id: 22,
+        code: "K22",
+        name: "Planckian Distribution",
+        program: b.finish(),
+        expected_class: AccessClass::Matched,
+        paper_class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn values_match_scalar_model() {
+        let k = build(50);
+        let r = interpret(&k.program).unwrap();
+        let u = InitPattern::Wavy.materialize(51);
+        let v = InitPattern::Wavy.materialize(51);
+        let x = InitPattern::Harmonic.materialize(51);
+        for i in 1..=50usize {
+            let y = u[i] / v[i];
+            let want = x[i] / (y.exp() - 1.0);
+            let got = *r.arrays[4].read(i).unwrap().unwrap();
+            assert!((got - want).abs() < 1e-12, "W({i})");
+        }
+    }
+
+    #[test]
+    fn classifies_as_matched() {
+        // W(k) reads Y(k) written in the same iteration — skew 0 → matched.
+        let k = build(64);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Matched);
+    }
+}

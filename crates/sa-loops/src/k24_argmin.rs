@@ -1,0 +1,58 @@
+//! K24 — Location of First Minimum (here: the minimum value).
+//!
+//! ```fortran
+//!       m = 1
+//!       DO 24 k = 2,n
+//! 24    IF (X(k) .LT. X(m)) m = k
+//! ```
+//!
+//! **Substitution note:** the IR has no data-dependent control flow, so the
+//! kernel reduces to the minimum *value* via a [`sa_ir::ReduceOp::Min`]
+//! reduction — the same access pattern (one matched sweep over `X`), the
+//! same vector→scalar collection at the host PE. The argmin *index* would
+//! ride along in a real implementation at no additional memory traffic,
+//! which is the quantity the paper measures.
+
+use sa_ir::index::iv;
+use sa_ir::{AccessClass, InitPattern, ProgramBuilder, ReduceOp};
+
+use crate::suite::Kernel;
+
+/// Build K24 at problem size `n` (official: 1001).
+pub fn build(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K24 first minimum");
+    let x = b.input("X", &[n + 1], InitPattern::Wavy);
+    let m = b.scalar("MIN");
+    b.nest("k24", &[("k", 1, n as i64)], |nb| {
+        nb.reduce(m, ReduceOp::Min, nb.read(x, [iv(0)]));
+    });
+    Kernel {
+        id: 24,
+        code: "K24",
+        name: "First Minimum",
+        program: b.finish(),
+        expected_class: AccessClass::Matched,
+        paper_class: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::{classify_program, interpret};
+
+    #[test]
+    fn finds_the_minimum() {
+        let k = build(500);
+        let r = interpret(&k.program).unwrap();
+        let x = InitPattern::Wavy.materialize(501);
+        let want = x[1..=500].iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(r.scalars[0], want);
+    }
+
+    #[test]
+    fn classifies_as_matched() {
+        let k = build(64);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Matched);
+    }
+}

@@ -1,0 +1,93 @@
+//! The kernel registry.
+
+use sa_ir::{AccessClass, Program};
+
+/// One Livermore kernel, ready to simulate.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Livermore kernel number.
+    pub id: u32,
+    /// Short code (`"K1"` …).
+    pub code: &'static str,
+    /// Human name as used in the paper.
+    pub name: &'static str,
+    /// The program, in single-assignment form.
+    pub program: Program,
+    /// Class the static classifier is expected to produce.
+    pub expected_class: AccessClass,
+    /// Class the *paper* assigns (§7), where it names the kernel.
+    pub paper_class: Option<&'static str>,
+}
+
+impl Kernel {
+    /// Abbreviation of the expected class.
+    pub fn class_abbrev(&self) -> &'static str {
+        self.expected_class.abbrev()
+    }
+}
+
+/// The full suite at the official LFK problem sizes.
+pub fn suite() -> Vec<Kernel> {
+    vec![
+        crate::k01_hydro::build(1001),
+        crate::k02_iccg::build(1001),
+        crate::k03_inner_product::build(1001),
+        crate::k04_banded::build(1001),
+        crate::k05_tridiag::build(1001),
+        crate::k06_glre::build(64),
+        crate::k07_eos::build(995),
+        crate::k08_adi::build(101),
+        crate::k09_integrate::build(101),
+        crate::k10_diff_predict::build(101),
+        crate::k11_first_sum::build(1001),
+        crate::k12_first_diff::build(1000),
+        crate::k13_pic2d::build(1001),
+        crate::k14_pic1d::build(1001),
+        crate::k18_hydro2d::build(101),
+        crate::k21_matmul::build(101),
+        crate::k22_planckian::build(101),
+        crate::k24_argmin::build(1001),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_classes_match_expectations() {
+        for k in suite() {
+            let got = sa_ir::classify_program(&k.program).class;
+            assert_eq!(
+                got.abbrev(),
+                k.expected_class.abbrev(),
+                "{}: static classifier said {got}, kernel expects {}",
+                k.code,
+                k.expected_class
+            );
+        }
+    }
+
+    #[test]
+    fn paper_classes_are_consistent_with_expectations() {
+        for k in suite() {
+            if let Some(pc) = k.paper_class {
+                assert_eq!(
+                    k.expected_class.abbrev(),
+                    pc,
+                    "{}: expected class disagrees with the paper's {pc}",
+                    k.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ids_and_codes_are_unique() {
+        let kernels = suite();
+        let mut ids: Vec<u32> = kernels.iter().map(|k| k.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), kernels.len());
+    }
+}

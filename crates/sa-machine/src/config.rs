@@ -1,0 +1,191 @@
+//! Machine configuration — every knob the paper fixes, varies or proposes.
+
+use crate::cache::CachePolicy;
+use crate::network::NetworkTopology;
+use crate::partition::PartitionScheme;
+use crate::timing::AccessCosts;
+
+/// What happens when a cached page turns out to be only partially filled.
+///
+/// The paper's simulation treats cached pages as complete ("ignoring for now
+/// the possibility of partially filled pages", §4) but §8 acknowledges that
+/// "a single page might have to be fetched more than once if that page is
+/// only partially filled at the time of the first request".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartialPagePolicy {
+    /// Paper semantics: a resident page always hits.
+    Ignore,
+    /// Realistic semantics: an element missing from the fetch-time snapshot
+    /// triggers a re-fetch (counted as a remote read and as
+    /// `partial_refetches`); the snapshot is upgraded in place.
+    Refetch,
+}
+
+/// Full configuration of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of processing elements (simulation parameter 1, §6).
+    pub n_pes: usize,
+    /// Page size in elements (simulation parameter 2, §6).
+    pub page_size: usize,
+    /// Per-PE cache size in *elements* (fixed at 256 in the paper, §6);
+    /// the page capacity is `cache_elems / page_size`. 0 disables caching.
+    pub cache_elems: usize,
+    /// Replacement policy (LRU in the paper, §4).
+    pub cache_policy: CachePolicy,
+    /// Page placement scheme (modulo in the paper, §2).
+    pub partition: PartitionScheme,
+    /// Partial-page semantics (paper ignores; runtime refetches).
+    pub partial_pages: PartialPagePolicy,
+    /// Interconnect model for message/hop accounting.
+    pub network: NetworkTopology,
+    /// Cycle costs for the execution-time extension (§9).
+    pub costs: AccessCosts,
+}
+
+impl MachineConfig {
+    /// The paper's simulated machine: modulo placement, 256-element LRU
+    /// cache, complete-page semantics, ideal network.
+    pub fn paper(n_pes: usize, page_size: usize) -> Self {
+        MachineConfig {
+            n_pes,
+            page_size,
+            cache_elems: 256,
+            cache_policy: CachePolicy::Lru,
+            partition: PartitionScheme::Modulo,
+            partial_pages: PartialPagePolicy::Ignore,
+            network: NetworkTopology::Ideal,
+            costs: AccessCosts::default(),
+        }
+    }
+
+    /// The paper's machine with caching disabled (the "No Cache" series of
+    /// Figures 1–4).
+    pub fn paper_no_cache(n_pes: usize, page_size: usize) -> Self {
+        MachineConfig { cache_elems: 0, ..Self::paper(n_pes, page_size) }
+    }
+
+    /// Number of pages the cache can hold.
+    pub fn cache_pages(&self) -> usize {
+        if self.page_size == 0 {
+            0
+        } else {
+            self.cache_elems / self.page_size
+        }
+    }
+
+    /// True if caching is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_pages() > 0
+    }
+
+    /// Builder-style override: cache size in elements.
+    pub fn with_cache_elems(mut self, elems: usize) -> Self {
+        self.cache_elems = elems;
+        self
+    }
+
+    /// Builder-style override: replacement policy.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Builder-style override: partition scheme.
+    pub fn with_partition(mut self, scheme: PartitionScheme) -> Self {
+        self.partition = scheme;
+        self
+    }
+
+    /// Builder-style override: partial-page semantics.
+    pub fn with_partial_pages(mut self, p: PartialPagePolicy) -> Self {
+        self.partial_pages = p;
+        self
+    }
+
+    /// Builder-style override: network topology.
+    pub fn with_network(mut self, n: NetworkTopology) -> Self {
+        self.network = n;
+        self
+    }
+
+    /// Builder-style override: access cost model.
+    pub fn with_costs(mut self, c: AccessCosts) -> Self {
+        self.costs = c;
+        self
+    }
+
+    /// Validate the configuration, returning a description of the problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_pes == 0 {
+            return Err("n_pes must be ≥ 1".into());
+        }
+        if self.page_size == 0 {
+            return Err("page_size must be ≥ 1".into());
+        }
+        if let PartitionScheme::BlockCyclic { block_pages } = self.partition {
+            if block_pages == 0 {
+                return Err("block_pages must be ≥ 1".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_the_text() {
+        let c = MachineConfig::paper(8, 32);
+        assert_eq!(c.n_pes, 8);
+        assert_eq!(c.page_size, 32);
+        assert_eq!(c.cache_elems, 256);
+        assert_eq!(c.cache_pages(), 8); // 256/32
+        assert!(c.cache_enabled());
+        assert_eq!(c.cache_policy, CachePolicy::Lru);
+        assert_eq!(c.partition, PartitionScheme::Modulo);
+        assert_eq!(c.partial_pages, PartialPagePolicy::Ignore);
+        assert!(c.validate().is_ok());
+        // Page size 64 → 4 cache pages, as in Figures 1–4.
+        assert_eq!(MachineConfig::paper(8, 64).cache_pages(), 4);
+    }
+
+    #[test]
+    fn no_cache_variant_disables_caching() {
+        let c = MachineConfig::paper_no_cache(4, 32);
+        assert_eq!(c.cache_pages(), 0);
+        assert!(!c.cache_enabled());
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = MachineConfig::paper(4, 32)
+            .with_cache_elems(1024)
+            .with_cache_policy(CachePolicy::Fifo)
+            .with_partition(PartitionScheme::Block)
+            .with_partial_pages(PartialPagePolicy::Refetch);
+        assert_eq!(c.cache_pages(), 32);
+        assert_eq!(c.cache_policy, CachePolicy::Fifo);
+        assert_eq!(c.partition, PartitionScheme::Block);
+        assert_eq!(c.partial_pages, PartialPagePolicy::Refetch);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert!(MachineConfig::paper(0, 32).validate().is_err());
+        assert!(MachineConfig::paper(4, 0).validate().is_err());
+        assert!(MachineConfig::paper(4, 32)
+            .with_partition(PartitionScheme::BlockCyclic { block_pages: 0 })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn cache_smaller_than_page_disables_caching() {
+        let c = MachineConfig::paper(4, 512); // 256-elem cache < 512-elem page
+        assert_eq!(c.cache_pages(), 0);
+        assert!(!c.cache_enabled());
+    }
+}

@@ -1,0 +1,103 @@
+//! The host-processor re-initialization protocol (paper §5).
+//!
+//! "Each array in a computation has a specific PE assigned to it as an
+//! administrative center called the host processor. … For the
+//! re-initialization of some array A, each PE sends a re-initialization
+//! message to A's host processor. These messages are collected until the
+//! last PE has requested re-initialization. Once this happens, the host
+//! processor for A broadcasts a message to the other PEs informing them
+//! that A can now be reused."
+
+use crate::network::Network;
+
+/// The host PE of array `array_index`.
+///
+/// "The compiler ensures that the host processors are evenly distributed
+/// among the arrays" — round-robin by declaration order.
+pub fn host_of(array_index: usize, n_pes: usize) -> usize {
+    debug_assert!(n_pes > 0);
+    array_index % n_pes
+}
+
+/// Outcome of one re-initialization round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReinitSync {
+    /// The array's host PE.
+    pub host: usize,
+    /// Collection messages received by the host (one per other PE).
+    pub requests: u64,
+    /// Release broadcast messages sent by the host (one per other PE).
+    pub broadcasts: u64,
+    /// New generation number of the array.
+    pub new_generation: u32,
+}
+
+impl ReinitSync {
+    /// Total protocol messages for this round.
+    pub fn total_messages(&self) -> u64 {
+        self.requests + self.broadcasts
+    }
+}
+
+/// Run the §5 protocol over the network model: every non-host PE sends a
+/// request to the host; once all `n_pes - 1` have arrived the host
+/// broadcasts the release. Returns the accounting record.
+pub fn run_reinit_protocol(
+    network: &mut Network,
+    array_index: usize,
+    n_pes: usize,
+    new_generation: u32,
+) -> ReinitSync {
+    let host = host_of(array_index, n_pes);
+    let mut requests = 0u64;
+    for pe in 0..n_pes {
+        if pe != host {
+            network.record_message(pe, host);
+            requests += 1;
+        }
+    }
+    let mut broadcasts = 0u64;
+    for pe in 0..n_pes {
+        if pe != host {
+            network.record_message(host, pe);
+            broadcasts += 1;
+        }
+    }
+    ReinitSync { host, requests, broadcasts, new_generation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkTopology;
+
+    #[test]
+    fn hosts_are_distributed_round_robin() {
+        assert_eq!(host_of(0, 4), 0);
+        assert_eq!(host_of(1, 4), 1);
+        assert_eq!(host_of(4, 4), 0);
+        assert_eq!(host_of(7, 4), 3);
+        // Single PE machine: everything is hosted at 0.
+        assert_eq!(host_of(5, 1), 0);
+    }
+
+    #[test]
+    fn protocol_counts_collect_and_broadcast() {
+        let mut net = Network::new(NetworkTopology::Crossbar, 8);
+        let sync = run_reinit_protocol(&mut net, 2, 8, 1);
+        assert_eq!(sync.host, 2);
+        assert_eq!(sync.requests, 7);
+        assert_eq!(sync.broadcasts, 7);
+        assert_eq!(sync.total_messages(), 14);
+        assert_eq!(net.messages, 14);
+        assert_eq!(sync.new_generation, 1);
+    }
+
+    #[test]
+    fn single_pe_needs_no_messages() {
+        let mut net = Network::new(NetworkTopology::Crossbar, 1);
+        let sync = run_reinit_protocol(&mut net, 0, 1, 3);
+        assert_eq!(sync.total_messages(), 0);
+        assert_eq!(net.messages, 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Interconnect models: message and link-load accounting.
+//!
+//! The paper's abstract claims "the degradation in network performance due
+//! to multiprocessing is minimal" and §9 lists "network contention" as the
+//! next simulation step. This module provides that step: each remote page
+//! fetch is a request/reply pair routed over a topology; we count messages,
+//! hops, and per-link traffic so the contention bottleneck (the maximum
+//! link load) can be reported alongside remote-read percentages.
+
+use std::collections::HashMap;
+
+/// Interconnect topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkTopology {
+    /// Count messages only; zero hops (the paper's implicit model).
+    Ideal,
+    /// Full crossbar: one hop between any two distinct PEs.
+    Crossbar,
+    /// Bidirectional ring: minimal cyclic distance.
+    Ring,
+    /// 2-D mesh (near-square), dimension-ordered (X then Y) routing.
+    Mesh2D,
+    /// Binary hypercube (PE count rounded up to a power of two),
+    /// e-cube routing.
+    Hypercube,
+}
+
+impl NetworkTopology {
+    /// Hop count between `from` and `to` on a machine of `n` PEs.
+    pub fn hops(&self, n: usize, from: usize, to: usize) -> u32 {
+        if from == to {
+            return 0;
+        }
+        match self {
+            NetworkTopology::Ideal => 0,
+            NetworkTopology::Crossbar => 1,
+            NetworkTopology::Ring => {
+                let d = from.abs_diff(to);
+                d.min(n - d) as u32
+            }
+            NetworkTopology::Mesh2D => {
+                let cols = mesh_cols(n);
+                let (fx, fy) = (from % cols, from / cols);
+                let (tx, ty) = (to % cols, to / cols);
+                (fx.abs_diff(tx) + fy.abs_diff(ty)) as u32
+            }
+            NetworkTopology::Hypercube => (from ^ to).count_ones(),
+        }
+    }
+
+    /// Short name for report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkTopology::Ideal => "ideal",
+            NetworkTopology::Crossbar => "crossbar",
+            NetworkTopology::Ring => "ring",
+            NetworkTopology::Mesh2D => "mesh2d",
+            NetworkTopology::Hypercube => "hypercube",
+        }
+    }
+}
+
+/// Column count of the near-square mesh for `n` PEs.
+pub fn mesh_cols(n: usize) -> usize {
+    (n as f64).sqrt().ceil() as usize
+}
+
+/// A directed link between adjacent nodes.
+pub type Link = (usize, usize);
+
+/// Message/hop/link accounting for one run.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: NetworkTopology,
+    n_pes: usize,
+    /// Total request+reply messages.
+    pub messages: u64,
+    /// Total hop traversals (both directions).
+    pub hops: u64,
+    /// Messages sent per PE (requests it issued).
+    pub sent_per_pe: Vec<u64>,
+    /// Traffic per directed link (only for hop-routed topologies).
+    link_loads: HashMap<Link, u64>,
+}
+
+impl Network {
+    /// Fresh accounting for `n_pes` PEs on `topology`.
+    pub fn new(topology: NetworkTopology, n_pes: usize) -> Self {
+        Network {
+            topology,
+            n_pes,
+            messages: 0,
+            hops: 0,
+            sent_per_pe: vec![0; n_pes],
+            link_loads: HashMap::new(),
+        }
+    }
+
+    /// The configured topology.
+    pub fn topology(&self) -> NetworkTopology {
+        self.topology
+    }
+
+    /// Record a page fetch: a request `from → to` and a reply `to → from`.
+    /// Returns the one-way hop count (for the timing model).
+    pub fn record_fetch(&mut self, from: usize, to: usize) -> u32 {
+        let h = self.topology.hops(self.n_pes, from, to);
+        self.messages += 2;
+        self.hops += 2 * h as u64;
+        self.sent_per_pe[from] += 1;
+        self.route(from, to);
+        self.route(to, from);
+        h
+    }
+
+    /// Record a single one-way message (host-protocol traffic).
+    pub fn record_message(&mut self, from: usize, to: usize) -> u32 {
+        let h = self.topology.hops(self.n_pes, from, to);
+        self.messages += 1;
+        self.hops += h as u64;
+        self.sent_per_pe[from] += 1;
+        self.route(from, to);
+        h
+    }
+
+    fn route(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        match self.topology {
+            NetworkTopology::Ideal => {}
+            NetworkTopology::Crossbar => {
+                *self.link_loads.entry((from, to)).or_insert(0) += 1;
+            }
+            NetworkTopology::Ring => {
+                let n = self.n_pes;
+                let d = (to + n - from) % n;
+                let step: i64 = if d <= n - d { 1 } else { -1 };
+                let mut cur = from as i64;
+                while cur as usize != to {
+                    let next = (cur + step).rem_euclid(n as i64);
+                    *self.link_loads.entry((cur as usize, next as usize)).or_insert(0) += 1;
+                    cur = next;
+                }
+            }
+            NetworkTopology::Mesh2D => {
+                let cols = mesh_cols(self.n_pes);
+                let (mut x, mut y) = (from % cols, from / cols);
+                let (tx, ty) = (to % cols, to / cols);
+                while x != tx {
+                    let nx = if x < tx { x + 1 } else { x - 1 };
+                    *self.link_loads.entry((y * cols + x, y * cols + nx)).or_insert(0) += 1;
+                    x = nx;
+                }
+                while y != ty {
+                    let ny = if y < ty { y + 1 } else { y - 1 };
+                    *self.link_loads.entry((y * cols + x, ny * cols + x)).or_insert(0) += 1;
+                    y = ny;
+                }
+            }
+            NetworkTopology::Hypercube => {
+                let mut cur = from;
+                let mut bit = 0;
+                while cur != to {
+                    if (cur ^ to) & (1 << bit) != 0 {
+                        let next = cur ^ (1 << bit);
+                        *self.link_loads.entry((cur, next)).or_insert(0) += 1;
+                        cur = next;
+                    }
+                    bit += 1;
+                }
+            }
+        }
+    }
+
+    /// Heaviest directed-link traffic — the contention bottleneck.
+    pub fn max_link_load(&self) -> u64 {
+        self.link_loads.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct links that carried traffic.
+    pub fn active_links(&self) -> usize {
+        self.link_loads.len()
+    }
+
+    /// Mean traffic over active links (0 if none).
+    pub fn mean_link_load(&self) -> f64 {
+        if self.link_loads.is_empty() {
+            0.0
+        } else {
+            self.link_loads.values().sum::<u64>() as f64 / self.link_loads.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_counts_per_topology() {
+        assert_eq!(NetworkTopology::Ideal.hops(8, 0, 5), 0);
+        assert_eq!(NetworkTopology::Crossbar.hops(8, 0, 5), 1);
+        assert_eq!(NetworkTopology::Crossbar.hops(8, 3, 3), 0);
+        // Ring of 8: 0→5 is 3 the short way.
+        assert_eq!(NetworkTopology::Ring.hops(8, 0, 5), 3);
+        assert_eq!(NetworkTopology::Ring.hops(8, 0, 4), 4);
+        // Mesh 3×3 on 9 PEs: 0=(0,0), 8=(2,2) → 4 hops.
+        assert_eq!(NetworkTopology::Mesh2D.hops(9, 0, 8), 4);
+        // Hypercube: hops = Hamming distance.
+        assert_eq!(NetworkTopology::Hypercube.hops(8, 0b000, 0b111), 3);
+        assert_eq!(NetworkTopology::Hypercube.hops(8, 0b101, 0b100), 1);
+    }
+
+    #[test]
+    fn fetch_counts_request_and_reply() {
+        let mut n = Network::new(NetworkTopology::Crossbar, 4);
+        let h = n.record_fetch(0, 3);
+        assert_eq!(h, 1);
+        assert_eq!(n.messages, 2);
+        assert_eq!(n.hops, 2);
+        assert_eq!(n.sent_per_pe, vec![1, 0, 0, 0]);
+        assert_eq!(n.active_links(), 2); // 0→3 and 3→0
+    }
+
+    #[test]
+    fn mesh_routes_dimension_ordered() {
+        // 4 PEs → 2×2 mesh. 0=(0,0) to 3=(1,1): X first through node 1.
+        let mut n = Network::new(NetworkTopology::Mesh2D, 4);
+        n.record_message(0, 3);
+        assert_eq!(n.hops, 2);
+        assert_eq!(n.active_links(), 2);
+        assert_eq!(n.max_link_load(), 1);
+    }
+
+    #[test]
+    fn ring_takes_short_way_around() {
+        let mut n = Network::new(NetworkTopology::Ring, 6);
+        n.record_message(0, 5); // short way is 0→5 directly (distance 1)
+        assert_eq!(n.hops, 1);
+        assert!(n.active_links() == 1);
+    }
+
+    #[test]
+    fn hypercube_ecube_routing_loads_each_dimension_once() {
+        let mut n = Network::new(NetworkTopology::Hypercube, 8);
+        n.record_message(0b000, 0b110);
+        assert_eq!(n.hops, 2);
+        assert_eq!(n.active_links(), 2);
+    }
+
+    #[test]
+    fn contention_metrics_aggregate() {
+        let mut n = Network::new(NetworkTopology::Ring, 4);
+        // Everyone sends to PE 0; links near 0 get hot.
+        for from in 1..4 {
+            n.record_message(from, 0);
+        }
+        assert!(n.max_link_load() >= 1);
+        assert!(n.mean_link_load() >= 1.0);
+        // Ideal topology records messages but no links.
+        let mut i = Network::new(NetworkTopology::Ideal, 4);
+        i.record_fetch(1, 2);
+        assert_eq!(i.messages, 2);
+        assert_eq!(i.max_link_load(), 0);
+        assert_eq!(i.mean_link_load(), 0.0);
+    }
+
+    #[test]
+    fn self_messages_cost_nothing() {
+        let mut n = Network::new(NetworkTopology::Mesh2D, 9);
+        let h = n.record_message(4, 4);
+        assert_eq!(h, 0);
+        assert_eq!(n.hops, 0);
+        assert_eq!(n.active_links(), 0);
+    }
+}

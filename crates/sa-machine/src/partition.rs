@@ -1,0 +1,173 @@
+//! Page-granular data partitioning schemes.
+//!
+//! The paper's rule (§2): "Data partitioning is accomplished by segmenting
+//! each array into pages of some fixed (perhaps parameterized) size. A page
+//! *p* is allocated to the local memory of PE *P* if *p = P mod N*."
+//! The future-work section (§9) observes that "our simple modulo
+//! partitioning scheme performs worse for certain loops than a division
+//! scheme" — [`PartitionScheme::Block`] is that division scheme, and
+//! [`PartitionScheme::BlockCyclic`] generalizes both.
+
+/// The page index containing linear address `addr`.
+pub fn page_of(addr: usize, page_size: usize) -> usize {
+    debug_assert!(page_size > 0);
+    addr / page_size
+}
+
+/// Number of pages needed for `len` elements.
+pub fn pages_in(len: usize, page_size: usize) -> usize {
+    debug_assert!(page_size > 0);
+    len.div_ceil(page_size)
+}
+
+/// How pages map onto PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Paper §2: page `p` lives on PE `p mod N` (round-robin / cyclic).
+    Modulo,
+    /// The "division scheme" (§9): contiguous chunks of `ceil(P/N)` pages
+    /// per PE, like HPF `BLOCK` distribution.
+    Block,
+    /// Chunks of `block_pages` pages dealt round-robin — `BlockCyclic(1)`
+    /// is `Modulo`; `BlockCyclic(ceil(P/N))` is `Block`.
+    BlockCyclic {
+        /// Pages per dealt chunk (≥ 1).
+        block_pages: usize,
+    },
+}
+
+impl PartitionScheme {
+    /// Owning PE of `page` within an array of `total_pages`, on `n_pes` PEs.
+    pub fn owner(&self, page: usize, total_pages: usize, n_pes: usize) -> usize {
+        debug_assert!(n_pes > 0);
+        debug_assert!(page < total_pages.max(1));
+        match *self {
+            PartitionScheme::Modulo => page % n_pes,
+            PartitionScheme::Block => {
+                let chunk = total_pages.div_ceil(n_pes).max(1);
+                (page / chunk).min(n_pes - 1)
+            }
+            PartitionScheme::BlockCyclic { block_pages } => {
+                let b = block_pages.max(1);
+                (page / b) % n_pes
+            }
+        }
+    }
+
+    /// Short name used in report tables.
+    pub fn name(&self) -> String {
+        match self {
+            PartitionScheme::Modulo => "modulo".to_string(),
+            PartitionScheme::Block => "block".to_string(),
+            PartitionScheme::BlockCyclic { block_pages } => format!("blockcyclic({block_pages})"),
+        }
+    }
+
+    /// Pages of an array owned by `pe` (ascending).
+    pub fn pages_of_pe(&self, pe: usize, total_pages: usize, n_pes: usize) -> Vec<usize> {
+        (0..total_pages).filter(|&p| self.owner(p, total_pages, n_pes) == pe).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_arithmetic() {
+        assert_eq!(page_of(0, 32), 0);
+        assert_eq!(page_of(31, 32), 0);
+        assert_eq!(page_of(32, 32), 1);
+        assert_eq!(pages_in(100, 32), 4); // paper's example: 3 full + 1 partial
+        assert_eq!(pages_in(96, 32), 3);
+        assert_eq!(pages_in(1, 32), 1);
+        assert_eq!(pages_in(0, 32), 0);
+    }
+
+    #[test]
+    fn modulo_matches_paper_example() {
+        // Paper §2: 4 PEs, page size 32, arrays of 100 elements → PEs 0..2
+        // hold one full page each, PE 3 holds the partial page.
+        let s = PartitionScheme::Modulo;
+        let pages = pages_in(100, 32);
+        assert_eq!(pages, 4);
+        assert_eq!(s.owner(0, pages, 4), 0);
+        assert_eq!(s.owner(1, pages, 4), 1);
+        assert_eq!(s.owner(2, pages, 4), 2);
+        assert_eq!(s.owner(3, pages, 4), 3);
+        // Wraps for more pages than PEs.
+        assert_eq!(s.owner(5, 8, 4), 1);
+    }
+
+    #[test]
+    fn block_divides_contiguously() {
+        let s = PartitionScheme::Block;
+        // 8 pages over 4 PEs → chunks of 2.
+        for p in 0..8 {
+            assert_eq!(s.owner(p, 8, 4), p / 2);
+        }
+        // 9 pages over 4 PEs → chunks of 3: PE0 gets 0..2, PE1 3..5, PE2 6..8.
+        assert_eq!(s.owner(8, 9, 4), 2);
+        // Degenerate: fewer pages than PEs.
+        assert_eq!(s.owner(0, 1, 16), 0);
+    }
+
+    #[test]
+    fn blockcyclic_generalizes_both() {
+        let pages = 12;
+        let n = 3;
+        for p in 0..pages {
+            assert_eq!(
+                PartitionScheme::BlockCyclic { block_pages: 1 }.owner(p, pages, n),
+                PartitionScheme::Modulo.owner(p, pages, n)
+            );
+            assert_eq!(
+                PartitionScheme::BlockCyclic { block_pages: 4 }.owner(p, pages, n),
+                PartitionScheme::Block.owner(p, pages, n)
+            );
+        }
+    }
+
+    #[test]
+    fn every_page_has_exactly_one_owner_in_range() {
+        for &scheme in &[
+            PartitionScheme::Modulo,
+            PartitionScheme::Block,
+            PartitionScheme::BlockCyclic { block_pages: 3 },
+        ] {
+            for &(pages, n) in &[(1usize, 1usize), (7, 3), (64, 8), (10, 64)] {
+                for p in 0..pages {
+                    let o = scheme.owner(p, pages, n);
+                    assert!(o < n, "{scheme:?} page {p}/{pages} on {n} PEs gave owner {o}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pages_of_pe_partitions_the_page_set() {
+        let scheme = PartitionScheme::Modulo;
+        let mut all = Vec::new();
+        for pe in 0..4 {
+            all.extend(scheme.pages_of_pe(pe, 10, 4));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_pe_owns_everything() {
+        for &scheme in &[PartitionScheme::Modulo, PartitionScheme::Block] {
+            for p in 0..20 {
+                assert_eq!(scheme.owner(p, 20, 1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PartitionScheme::Modulo.name(), "modulo");
+        assert_eq!(PartitionScheme::Block.name(), "block");
+        assert_eq!(PartitionScheme::BlockCyclic { block_pages: 2 }.name(), "blockcyclic(2)");
+    }
+}

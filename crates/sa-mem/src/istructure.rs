@@ -1,0 +1,187 @@
+//! Concurrent I-structure memory for real-thread execution.
+//!
+//! The paper cites HEP full/empty bits and dataflow I-structures
+//! ([ANP87], [A&C86]) as the hardware that enforces write-before-read. This
+//! module provides the software equivalent: an array of write-once slots
+//! where readers *block* (park) until the producer writes, and a second
+//! write is an error.
+//!
+//! Slots are striped across `STRIPES` independent `Mutex`/`Condvar` pairs so
+//! unrelated cells do not contend — the same trick hardware uses by banking
+//! tag memory.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{SaError, SaResult};
+
+const STRIPES: usize = 64;
+
+struct Stripe<T> {
+    slots: Mutex<Vec<Option<T>>>,
+    cond: Condvar,
+}
+
+/// A fixed-size array of write-once cells safe to share across threads.
+///
+/// Indexing is dense `0..len`; the stripe for index `i` is `i % STRIPES`,
+/// and slot `i / STRIPES` within it, so contiguous indices land on distinct
+/// stripes (good for the sequential scans the Livermore loops perform).
+pub struct IStructure<T> {
+    stripes: Vec<Stripe<T>>,
+    len: usize,
+}
+
+impl<T: Clone> IStructure<T> {
+    /// A fresh structure of `len` undefined cells.
+    pub fn new(len: usize) -> Self {
+        let per = len.div_ceil(STRIPES);
+        let stripes = (0..STRIPES)
+            .map(|_| Stripe { slots: Mutex::new(vec![None; per]), cond: Condvar::new() })
+            .collect();
+        IStructure { stripes, len }
+    }
+
+    /// Build a structure whose every cell is already defined.
+    pub fn from_init(init: &[T]) -> Self {
+        let s = IStructure::new(init.len());
+        for (i, v) in init.iter().enumerate() {
+            s.write(i, v.clone()).expect("fresh structure accepts first writes");
+        }
+        s
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the structure has zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn locate(&self, index: usize) -> SaResult<(usize, usize)> {
+        if index >= self.len {
+            return Err(SaError::OutOfBounds { index, len: self.len });
+        }
+        Ok((index % STRIPES, index / STRIPES))
+    }
+
+    /// Single assignment of cell `index`, waking any parked readers.
+    pub fn write(&self, index: usize, value: T) -> SaResult<()> {
+        let (s, off) = self.locate(index)?;
+        let stripe = &self.stripes[s];
+        let mut slots = stripe.slots.lock();
+        if slots[off].is_some() {
+            return Err(SaError::DoubleWrite { index, generation: 0 });
+        }
+        slots[off] = Some(value);
+        stripe.cond.notify_all();
+        Ok(())
+    }
+
+    /// Blocking read: parks the calling thread until the cell is defined.
+    ///
+    /// This is the deferred-read queue of paper §3 realised with a condvar;
+    /// the "queue of read requests" is the OS parking list.
+    pub fn read_blocking(&self, index: usize) -> SaResult<T> {
+        let (s, off) = self.locate(index)?;
+        let stripe = &self.stripes[s];
+        let mut slots = stripe.slots.lock();
+        while slots[off].is_none() {
+            stripe.cond.wait(&mut slots);
+        }
+        Ok(slots[off].as_ref().expect("guarded by loop").clone())
+    }
+
+    /// Non-blocking read.
+    pub fn try_read(&self, index: usize) -> SaResult<Option<T>> {
+        let (s, off) = self.locate(index)?;
+        Ok(self.stripes[s].slots.lock()[off].clone())
+    }
+
+    /// True once cell `index` has been written.
+    pub fn is_defined(&self, index: usize) -> SaResult<bool> {
+        Ok(self.try_read(index)?.is_some())
+    }
+
+    /// Number of defined cells (O(n); diagnostics only).
+    pub fn defined_count(&self) -> usize {
+        (0..self.len).filter(|&i| self.is_defined(i).unwrap_or(false)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn write_then_reads_complete() {
+        let s = IStructure::new(100);
+        s.write(42, 3.5f64).unwrap();
+        assert_eq!(s.try_read(42).unwrap(), Some(3.5));
+        assert_eq!(s.read_blocking(42).unwrap(), 3.5);
+        assert_eq!(s.try_read(41).unwrap(), None);
+    }
+
+    #[test]
+    fn double_write_rejected() {
+        let s = IStructure::new(10);
+        s.write(0, 1u32).unwrap();
+        assert!(matches!(s.write(0, 2), Err(SaError::DoubleWrite { index: 0, .. })));
+        assert_eq!(s.read_blocking(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let s = IStructure::<u8>::new(3);
+        assert!(matches!(s.write(3, 0), Err(SaError::OutOfBounds { .. })));
+        assert!(matches!(s.read_blocking(9), Err(SaError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn from_init_defines_all() {
+        let s = IStructure::from_init(&[1, 2, 3]);
+        assert_eq!(s.defined_count(), 3);
+        assert_eq!(s.read_blocking(2).unwrap(), 3);
+    }
+
+    #[test]
+    fn blocked_reader_resumes_on_write() {
+        let s = Arc::new(IStructure::new(8));
+        let r = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || s.read_blocking(5).unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!r.is_finished(), "reader must be parked until the producer writes");
+        s.write(5, 99u64).unwrap();
+        assert_eq!(r.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn producer_consumer_pipeline_over_stripes() {
+        // Consumer chases the producer through a recurrence X(i) = X(i-1)+1:
+        // write-before-read is enforced purely by the memory, no barriers.
+        let n = 1000;
+        let x = Arc::new(IStructure::new(n));
+        x.write(0, 0u64).unwrap();
+        let producer = {
+            let x = Arc::clone(&x);
+            std::thread::spawn(move || {
+                for i in 1..n {
+                    let prev = x.read_blocking(i - 1).unwrap();
+                    x.write(i, prev + 1).unwrap();
+                }
+            })
+        };
+        let consumer = {
+            let x = Arc::clone(&x);
+            std::thread::spawn(move || x.read_blocking(n - 1).unwrap())
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), (n - 1) as u64);
+    }
+}

@@ -1,0 +1,109 @@
+//! One-shot write-once synchronization variable.
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{SaError, SaResult};
+
+/// A single-assignment variable shared between threads.
+///
+/// `IVar` is the scalar special case of an I-structure: one producer calls
+/// [`IVar::write`] exactly once, any number of consumers call
+/// [`IVar::read`] and block until the value exists. Used by the runtime for
+/// vector→scalar reduction results collected at an array's host PE
+/// (paper §9, "extension of the host processor mechanism").
+#[derive(Debug, Default)]
+pub struct IVar<T> {
+    slot: Mutex<Option<T>>,
+    cond: Condvar,
+}
+
+impl<T: Clone> IVar<T> {
+    /// A fresh, empty IVar.
+    pub fn new() -> Self {
+        IVar { slot: Mutex::new(None), cond: Condvar::new() }
+    }
+
+    /// Perform the single assignment, waking all blocked readers.
+    pub fn write(&self, value: T) -> SaResult<()> {
+        let mut guard = self.slot.lock();
+        if guard.is_some() {
+            return Err(SaError::DoubleWrite { index: 0, generation: 0 });
+        }
+        *guard = Some(value);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Blocking read: waits until the producer has written.
+    pub fn read(&self) -> T {
+        let mut guard = self.slot.lock();
+        while guard.is_none() {
+            self.cond.wait(&mut guard);
+        }
+        guard.as_ref().expect("guarded by loop").clone()
+    }
+
+    /// Non-blocking read.
+    pub fn try_read(&self) -> Option<T> {
+        self.slot.lock().clone()
+    }
+
+    /// True once written.
+    pub fn is_defined(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn write_once_then_read() {
+        let v = IVar::new();
+        assert!(!v.is_defined());
+        assert_eq!(v.try_read(), None);
+        v.write(42).unwrap();
+        assert_eq!(v.read(), 42);
+        assert_eq!(v.try_read(), Some(42));
+    }
+
+    #[test]
+    fn second_write_fails() {
+        let v = IVar::new();
+        v.write(1).unwrap();
+        assert!(matches!(v.write(2), Err(SaError::DoubleWrite { .. })));
+        assert_eq!(v.read(), 1);
+    }
+
+    #[test]
+    fn blocking_read_waits_for_producer() {
+        let v = Arc::new(IVar::new());
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let v = Arc::clone(&v);
+            readers.push(std::thread::spawn(move || v.read()));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        v.write(7u64).unwrap();
+        for r in readers {
+            assert_eq!(r.join().unwrap(), 7);
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_exactly_one_wins() {
+        let v = Arc::new(IVar::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let v = Arc::clone(&v);
+                std::thread::spawn(move || v.write(i).is_ok())
+            })
+            .collect();
+        let successes =
+            handles.into_iter().map(|h| h.join().unwrap()).filter(|&ok| ok).count();
+        assert_eq!(successes, 1);
+        assert!(v.is_defined());
+    }
+}

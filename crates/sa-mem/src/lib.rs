@@ -1,0 +1,47 @@
+//! # sa-mem — single-assignment memory substrate
+//!
+//! This crate implements the *memory tagging mechanism* of Bic, Nagel & Roy
+//! (UCI TR 89-08, §3): every memory cell is either **undefined** or
+//! **defined**, writes are allowed exactly once per cell per array
+//! *generation*, and reads of undefined cells can be *deferred* (queued)
+//! until the producer writes — the write-once/read-many discipline of HEP
+//! full/empty bits and dataflow I-structures.
+//!
+//! The substrate comes in two flavours:
+//!
+//! * **Sequential** building blocks used by the simulator
+//!   ([`SaCell`], [`TagBits`], [`SaArray`]) — deterministic, no locking.
+//! * **Concurrent** structures used by the real-thread runtime
+//!   ([`IStructure`], [`IVar`]) — blocking reads implemented with
+//!   `parking_lot` locks and condvars, so "synchronization through single
+//!   assignment" (paper §3) can be demonstrated on actual hardware threads.
+//!
+//! A second write to the same cell is a *runtime error* ([`SaError::DoubleWrite`]),
+//! exactly as the paper prescribes ("writing more than once results in a
+//! runtime error", §3). Arrays may be *re-initialized* (all cells return to
+//! undefined) which bumps their [`Generation`]; the machine layer couples this
+//! to the host-processor protocol of paper §5.
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cell;
+pub mod error;
+pub mod istructure;
+pub mod ivar;
+pub mod tagged;
+
+pub use array::SaArray;
+pub use cell::{CellRead, SaCell};
+pub use error::{SaError, SaResult};
+pub use istructure::IStructure;
+pub use ivar::IVar;
+pub use tagged::TagBits;
+
+/// Monotonically increasing version of an array's contents.
+///
+/// Single assignment holds *within* a generation; the host-processor
+/// re-initialization protocol (paper §5) is the only sanctioned way to move
+/// an array to the next generation. Caches key pages by `(array, page,
+/// generation)` so a stale page can never produce a hit.
+pub type Generation = u32;

@@ -1,0 +1,327 @@
+//! Spawn, coordinate and join the worker threads.
+
+use crossbeam::channel::unbounded;
+
+use sa_core::screening::PartitionMap;
+use sa_ir::Program;
+use sa_machine::{MachineConfig, PartitionScheme, Stats};
+use sa_mem::SaArray;
+
+use crate::net::Msg;
+use crate::worker::{Worker, WorkerResult, WorkerSpec};
+
+/// Configuration of a real-thread run (the machine parameters that matter
+/// to the runtime; network topology and cost models are simulator-side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of worker threads (PEs).
+    pub n_pes: usize,
+    /// Page size in elements.
+    pub page_size: usize,
+    /// Per-PE cache size in elements (0 disables caching).
+    pub cache_elems: usize,
+    /// Page placement scheme.
+    pub partition: PartitionScheme,
+}
+
+impl RuntimeConfig {
+    /// The paper's machine: modulo placement, 256-element cache.
+    pub fn paper(n_pes: usize, page_size: usize) -> Self {
+        RuntimeConfig { n_pes, page_size, cache_elems: 256, partition: PartitionScheme::Modulo }
+    }
+
+    /// Adopt the counting simulator's parameters.
+    pub fn from_machine(cfg: &MachineConfig) -> Self {
+        RuntimeConfig {
+            n_pes: cfg.n_pes,
+            page_size: cfg.page_size,
+            cache_elems: cfg.cache_elems,
+            partition: cfg.partition,
+        }
+    }
+
+    fn cache_pages(&self) -> usize {
+        if self.page_size == 0 {
+            0
+        } else {
+            self.cache_elems / self.page_size
+        }
+    }
+}
+
+/// Runtime failures.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Bad configuration.
+    InvalidConfig(String),
+    /// A worker thread panicked (a semantic violation such as a double
+    /// write, or an internal bug); the payload is its panic message.
+    WorkerPanicked(String),
+}
+
+impl core::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(m) => write!(f, "invalid runtime config: {m}"),
+            RuntimeError::WorkerPanicked(m) => write!(f, "worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Result of a real-thread run.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Aggregated access statistics (same categories as the simulator).
+    pub stats: Stats,
+    /// Final array contents assembled from the workers' frames.
+    pub arrays: Vec<SaArray<f64>>,
+    /// Final reduction values.
+    pub scalars: Vec<f64>,
+    /// Total messages sent across all workers.
+    pub messages: u64,
+}
+
+/// Execute `program` on `cfg.n_pes` real threads.
+pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, RuntimeError> {
+    if cfg.n_pes == 0 {
+        return Err(RuntimeError::InvalidConfig("n_pes must be ≥ 1".into()));
+    }
+    if cfg.page_size == 0 {
+        return Err(RuntimeError::InvalidConfig("page_size must be ≥ 1".into()));
+    }
+    let machine_cfg = MachineConfig::paper(cfg.n_pes, cfg.page_size)
+        .with_cache_elems(cfg.cache_elems)
+        .with_partition(cfg.partition);
+    let map = PartitionMap::new(program, &machine_cfg);
+
+    let mut txs = Vec::with_capacity(cfg.n_pes);
+    let mut rxs = Vec::with_capacity(cfg.n_pes);
+    for _ in 0..cfg.n_pes {
+        let (tx, rx) = unbounded::<Msg>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let (done_tx, done_rx) = unbounded::<usize>();
+
+    let results: Result<Vec<WorkerResult>, RuntimeError> = std::thread::scope(|s| {
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(me, inbox)| {
+                let spec = WorkerSpec {
+                    me,
+                    n_pes: cfg.n_pes,
+                    page_size: cfg.page_size,
+                    cache_pages: cfg.cache_pages(),
+                    inbox,
+                    peers: txs.clone(),
+                };
+                let map = map.clone();
+                let done = done_tx.clone();
+                s.spawn(move || Worker::new(program, map, spec).run(&done))
+            })
+            .collect();
+        // Workers stay alive (serving remote reads) until everyone is done.
+        for _ in 0..cfg.n_pes {
+            done_rx.recv().map_err(|_| {
+                RuntimeError::WorkerPanicked("a worker exited before finishing".into())
+            })?;
+        }
+        for tx in &txs {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().map_err(|e| {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "unknown panic".into());
+                    RuntimeError::WorkerPanicked(msg)
+                })
+            })
+            .collect()
+    });
+    let results = results?;
+
+    // Assemble global arrays from the owned frames.
+    let mut arrays: Vec<SaArray<f64>> = program
+        .arrays
+        .iter()
+        .map(|d| SaArray::new(d.name.clone(), d.len()))
+        .collect();
+    let mut stats = Stats::new(cfg.n_pes);
+    let mut messages = 0u64;
+    for (pe, r) in results.iter().enumerate() {
+        stats.per_pe[pe] = r.stats.counters;
+        stats.page_fetches += r.stats.page_fetches;
+        stats.partial_refetches += r.stats.partial_refetches;
+        stats.reinit_messages += r.stats.reinit_messages;
+        stats.reduction_messages += r.stats.reduction_messages;
+        messages += r.stats.messages_sent;
+        for (&(a, page), frame) in &r.frames {
+            let start = page * cfg.page_size;
+            for off in frame.tags.iter_set() {
+                arrays[a]
+                    .write(start + off, frame.values[off])
+                    .expect("frames are disjoint across owners");
+            }
+        }
+    }
+    let scalars = results.first().map(|r| r.scalars.clone()).unwrap_or_default();
+    Ok(RuntimeReport { stats, arrays, scalars, messages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{interpret, InitPattern, ProgramBuilder, ProgramResult};
+
+    fn check_against_reference(program: &Program, cfg: &RuntimeConfig) {
+        let golden = interpret(program).expect("reference runs");
+        let rep = execute(program, cfg).expect("runtime runs");
+        let got = ProgramResult {
+            arrays: rep.arrays,
+            scalars: rep.scalars,
+            writes: 0,
+            reads: 0,
+        };
+        golden.assert_matches(&got, 1e-9).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn map_program(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("map");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("m", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 2.0 + 1.0);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn matched_map_runs_on_many_thread_counts() {
+        let p = map_program(300);
+        for n in [1usize, 2, 4, 7] {
+            check_against_reference(&p, &RuntimeConfig::paper(n, 32));
+        }
+    }
+
+    #[test]
+    fn cross_pe_recurrence_pipelines_via_deferred_reads() {
+        // X(i) = Z(i)*(Y(i) - X(i-1)) — K5's chain: PE k+1 blocks on the
+        // last element of PE k's page until it is produced.
+        let n = 257;
+        let mut b = ProgramBuilder::new("chain");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let z = b.input("Z", &[n], InitPattern::Harmonic);
+        let x = b.array_with(
+            "X",
+            &[n],
+            sa_ir::program::ArrayInit::Prefix { pattern: InitPattern::Const(0.3), len: 1 },
+        );
+        b.nest("chain", &[("i", 1, n as i64 - 1)], |nb| {
+            nb.assign(
+                x,
+                [iv(0)],
+                nb.read(z, [iv(0)]) * (nb.read(y, [iv(0)]) - nb.read(x, [iv(0).plus(-1)])),
+            );
+        });
+        let p = b.finish();
+        for n_pes in [1usize, 3, 8] {
+            check_against_reference(&p, &RuntimeConfig::paper(n_pes, 32));
+        }
+    }
+
+    #[test]
+    fn reduction_collects_at_host_and_broadcasts() {
+        let n = 200;
+        let mut b = ProgramBuilder::new("dotchain");
+        let y = b.input("Y", &[n], InitPattern::Linear { base: 1.0, step: 0.0 });
+        let x = b.output("X", &[n]);
+        let s = b.scalar("s");
+        b.nest("sum", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.reduce(s, sa_ir::ReduceOp::Sum, nb.read(y, [iv(0)]));
+        });
+        // Consumers on every PE read the broadcast scalar.
+        b.nest("use", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.scalar_value(s) + nb.read(y, [iv(0)]));
+        });
+        let p = b.finish();
+        for n_pes in [1usize, 4, 6] {
+            let rep = execute(&p, &RuntimeConfig::paper(n_pes, 32)).unwrap();
+            assert_eq!(rep.scalars[0], 200.0);
+            check_against_reference(&p, &RuntimeConfig::paper(n_pes, 32));
+        }
+    }
+
+    #[test]
+    fn reinit_protocol_runs_between_generations() {
+        let n = 128;
+        let mut b = ProgramBuilder::new("gen");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("g0", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]));
+        });
+        b.reinit(x);
+        b.nest("g1", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 5.0);
+        });
+        let p = b.finish();
+        let cfg = RuntimeConfig::paper(4, 16);
+        let rep = execute(&p, &cfg).unwrap();
+        // §5 message count: (N-1) requests + (N-1) releases.
+        assert_eq!(rep.stats.reinit_messages, 6);
+        check_against_reference(&p, &cfg);
+    }
+
+    #[test]
+    fn stats_are_plausible_and_conserved() {
+        let p = map_program(1024);
+        let rep = execute(&p, &RuntimeConfig::paper(4, 32)).unwrap();
+        let s = &rep.stats;
+        assert_eq!(s.writes(), 1024);
+        assert_eq!(s.total_reads(), 1024);
+        // Matched loop: all local.
+        assert_eq!(s.remote_reads(), 0);
+        assert_eq!(rep.messages, 0);
+    }
+
+    #[test]
+    fn skewed_loop_message_count_matches_fetches() {
+        let n = 512;
+        let mut b = ProgramBuilder::new("skew");
+        let y = b.input("Y", &[n + 16], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(11)]));
+        });
+        let p = b.finish();
+        let rep = execute(&p, &RuntimeConfig::paper(4, 32)).unwrap();
+        assert!(rep.stats.remote_reads() > 0);
+        assert_eq!(rep.stats.page_fetches, rep.stats.remote_reads());
+        // request + reply per fetch (read-only inputs: replies immediate).
+        assert_eq!(rep.messages, 2 * rep.stats.page_fetches);
+        // With the cache, boundary crossings collapse to ~1 fetch per page.
+        assert!(rep.stats.remote_reads() <= (n as u64 / 32) * 2);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let p = map_program(8);
+        assert!(matches!(
+            execute(&p, &RuntimeConfig { n_pes: 0, ..RuntimeConfig::paper(1, 32) }),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            execute(&p, &RuntimeConfig { page_size: 0, ..RuntimeConfig::paper(1, 32) }),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+}

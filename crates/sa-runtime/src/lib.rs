@@ -1,0 +1,28 @@
+//! # sa-runtime — real-thread execution engine
+//!
+//! Everything the simulator *counts*, this crate actually *does*: one OS
+//! thread per PE, crossbeam channels as the interconnect, page
+//! request/reply messages for remote reads, I-structure deferral for reads
+//! of not-yet-produced cells, partial-result collection at host PEs for
+//! reductions, and the §5 host-processor protocol for re-initialization.
+//!
+//! The engine demonstrates the paper's central claim operationally: with
+//! single assignment, **no locks, barriers or programmer-inserted
+//! synchronization exist anywhere in the worker loop** — write-before-read
+//! is enforced entirely by the memory (an undefined cell queues its reader;
+//! the producer's write releases it), and cached pages never need
+//! invalidation within a generation.
+//!
+//! Every run is verified against the sequential reference interpreter in
+//! the test suite; access statistics correspond to the counting simulator
+//! under its realistic partial-page `Refetch` policy (timing-dependent
+//! fetch interleavings can only *add* refetches, never change values).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod net;
+pub mod pagecache;
+pub mod worker;
+
+pub use engine::{execute, RuntimeConfig, RuntimeError, RuntimeReport};

@@ -1,0 +1,93 @@
+//! Message types of the simulated interconnect (crossbeam channels).
+
+use sa_mem::TagBits;
+
+/// Inter-PE messages. Every variant corresponds to a message the paper's
+/// architecture exchanges: page fetches (§4), reduction partials collected
+/// at host PEs (§9), and the re-initialization protocol (§5).
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Remote read: `from` needs element `offset` of the page.
+    PageRequest {
+        /// Array identity.
+        array: usize,
+        /// Page index.
+        page: usize,
+        /// Requester's generation of the array.
+        generation: u32,
+        /// Element offset within the page that triggered the fetch
+        /// (the owner defers the reply until this cell is defined).
+        offset: usize,
+        /// Requesting PE.
+        from: usize,
+    },
+    /// The owner ships the page (values + fill snapshot).
+    PageReply {
+        /// Array identity.
+        array: usize,
+        /// Page index.
+        page: usize,
+        /// Generation of the shipped copy.
+        generation: u32,
+        /// Page contents (undefined cells hold garbage; see `fill`).
+        values: Vec<f64>,
+        /// Which cells were defined at ship time.
+        fill: TagBits,
+    },
+    /// A reduction partial result travelling to the scalar's host PE.
+    Partial {
+        /// Scalar slot.
+        scalar: usize,
+        /// Which reduce-nest occurrence this belongs to.
+        seq: u64,
+        /// The partial value.
+        value: f64,
+        /// Contributing PE.
+        from: usize,
+    },
+    /// Host broadcast of a finished reduction.
+    ScalarValue {
+        /// Scalar slot.
+        scalar: usize,
+        /// Reduce-nest occurrence.
+        seq: u64,
+        /// The combined value.
+        value: f64,
+    },
+    /// A PE asks the array's host to re-initialize (§5 collection phase).
+    ReinitRequest {
+        /// Array identity.
+        array: usize,
+        /// Requesting PE.
+        from: usize,
+    },
+    /// The host releases the array for reuse (§5 broadcast phase).
+    ReinitRelease {
+        /// Array identity.
+        array: usize,
+        /// The array's new generation.
+        generation: u32,
+    },
+    /// Coordinator tells a finished worker to stop serving and exit.
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_debuggable() {
+        let m = Msg::PageRequest { array: 1, page: 2, generation: 0, offset: 3, from: 4 };
+        let c = m.clone();
+        assert!(format!("{c:?}").contains("PageRequest"));
+        let r = Msg::PageReply {
+            array: 1,
+            page: 2,
+            generation: 0,
+            values: vec![1.0],
+            fill: TagBits::all_set(1),
+        };
+        assert!(format!("{r:?}").contains("PageReply"));
+    }
+}

@@ -1,0 +1,162 @@
+//! A value-carrying page cache for worker threads.
+//!
+//! Unlike the simulator's bookkeeping-only [`sa_machine::PageCache`], this
+//! cache stores the fetched page *contents* plus the fill snapshot shipped
+//! with the reply, so a worker can satisfy later reads without any message.
+//! Partially filled pages are upgraded in place when refetched — the §8
+//! behaviour ("a single page might have to be fetched more than once if
+//! that page is only partially filled at the time of the first request").
+
+use std::collections::HashMap;
+
+use sa_machine::PageKey;
+use sa_mem::TagBits;
+
+/// One cached page with its contents.
+#[derive(Debug, Clone)]
+pub struct CachedPage {
+    /// Page contents (cells not in `fill` hold garbage).
+    pub values: Vec<f64>,
+    /// Defined-cell snapshot at (last) fetch time.
+    pub fill: TagBits,
+    stamp: u64,
+}
+
+/// Fixed-capacity LRU page cache holding values.
+#[derive(Debug, Default)]
+pub struct ValueCache {
+    capacity: usize,
+    entries: HashMap<PageKey, CachedPage>,
+    tick: u64,
+}
+
+impl ValueCache {
+    /// A cache of `capacity_pages` pages (0 disables caching).
+    pub fn new(capacity_pages: usize) -> Self {
+        ValueCache { capacity: capacity_pages, entries: HashMap::new(), tick: 0 }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up element `offset` of `key`; `Some(value)` only if the page is
+    /// resident *and* the element was filled at fetch time (LRU-touches).
+    pub fn lookup(&mut self, key: PageKey, offset: usize) -> Option<f64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.get_mut(&key)?;
+        if offset < e.fill.len() && e.fill.get(offset) {
+            e.stamp = tick;
+            Some(e.values[offset])
+        } else {
+            None
+        }
+    }
+
+    /// Insert or upgrade a fetched page.
+    pub fn insert(&mut self, key: PageKey, values: Vec<f64>, fill: TagBits) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            // Upgrade: copy newly-filled cells, union the snapshot.
+            for i in fill.iter_set() {
+                e.values[i] = values[i];
+            }
+            e.fill.union_with(&fill);
+            e.stamp = self.tick;
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, CachedPage { values, fill, stamp: self.tick });
+    }
+
+    /// True if the page is resident, regardless of fill state.
+    pub fn has_page(&self, key: &PageKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Drop all pages of `array` (re-initialization release).
+    pub fn invalidate_array(&mut self, array: usize) {
+        self.entries.retain(|k, _| k.array != array);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(page: usize) -> PageKey {
+        PageKey { array: 0, page, generation: 0 }
+    }
+
+    fn full(vals: &[f64]) -> (Vec<f64>, TagBits) {
+        (vals.to_vec(), TagBits::all_set(vals.len()))
+    }
+
+    #[test]
+    fn miss_insert_hit_roundtrip() {
+        let mut c = ValueCache::new(2);
+        assert_eq!(c.lookup(key(0), 1), None);
+        let (v, f) = full(&[1.0, 2.0]);
+        c.insert(key(0), v, f);
+        assert_eq!(c.lookup(key(0), 1), Some(2.0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn partial_fill_misses_until_upgrade() {
+        let mut c = ValueCache::new(2);
+        let mut fill = TagBits::new(4);
+        fill.set(0);
+        c.insert(key(0), vec![5.0, 0.0, 0.0, 0.0], fill);
+        assert_eq!(c.lookup(key(0), 0), Some(5.0));
+        assert_eq!(c.lookup(key(0), 3), None, "unfilled cell must miss");
+        let mut more = TagBits::new(4);
+        more.set(3);
+        c.insert(key(0), vec![0.0, 0.0, 0.0, 9.0], more);
+        assert_eq!(c.lookup(key(0), 3), Some(9.0));
+        assert_eq!(c.lookup(key(0), 0), Some(5.0), "old cells survive upgrade");
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut c = ValueCache::new(2);
+        for p in 0..2 {
+            let (v, f) = full(&[p as f64]);
+            c.insert(key(p), v, f);
+        }
+        c.lookup(key(0), 0); // page 1 becomes LRU
+        let (v, f) = full(&[9.0]);
+        c.insert(key(2), v, f);
+        assert_eq!(c.lookup(key(0), 0), Some(0.0));
+        assert_eq!(c.lookup(key(1), 0), None);
+    }
+
+    #[test]
+    fn invalidate_by_array_and_zero_capacity() {
+        let mut c = ValueCache::new(4);
+        let (v, f) = full(&[1.0]);
+        c.insert(key(0), v, f);
+        c.invalidate_array(0);
+        assert!(c.is_empty());
+        let mut z = ValueCache::new(0);
+        let (v, f) = full(&[1.0]);
+        z.insert(key(0), v, f);
+        assert_eq!(z.lookup(key(0), 0), None);
+    }
+}

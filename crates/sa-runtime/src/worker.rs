@@ -1,0 +1,496 @@
+//! The per-PE worker thread: index screening, message serving, deferral.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::{Receiver, Sender};
+
+use sa_core::screening::PartitionMap;
+use sa_ir::interp::{EvalCtx, Memory};
+use sa_ir::nest::{LoopNest, Stmt};
+use sa_ir::program::Phase;
+use sa_ir::{ArrayId, IrError, Program, ReduceOp};
+use sa_machine::{host_of, PageKey, PeCounters};
+use sa_mem::TagBits;
+
+use crate::net::Msg;
+use crate::pagecache::ValueCache;
+
+/// Access/message statistics gathered by one worker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// The four access categories, as in the simulator.
+    pub counters: PeCounters,
+    /// Page fetch requests issued.
+    pub page_fetches: u64,
+    /// Fetches that re-requested a partially filled cached page.
+    pub partial_refetches: u64,
+    /// Total messages this worker sent.
+    pub messages_sent: u64,
+    /// Messages spent in re-initialization rounds.
+    pub reinit_messages: u64,
+    /// Messages carrying reduction partials or scalar broadcasts.
+    pub reduction_messages: u64,
+}
+
+/// One locally owned page frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Page contents (tags gate validity).
+    pub values: Vec<f64>,
+    /// Presence bits.
+    pub tags: TagBits,
+}
+
+/// Everything a worker returns when it exits.
+pub struct WorkerResult {
+    /// Statistics.
+    pub stats: WorkerStats,
+    /// Owned frames: `(array, page) → Frame`.
+    pub frames: HashMap<(usize, usize), Frame>,
+    /// Final scalar values (identical on every worker).
+    pub scalars: Vec<f64>,
+}
+
+/// Mutable machine-side state of a worker (split from the evaluation
+/// context so expression evaluation can borrow both disjointly).
+struct WorkerMem {
+    me: usize,
+    page_size: usize,
+    map: PartitionMap,
+    inbox: Receiver<Msg>,
+    peers: Vec<Sender<Msg>>,
+    frames: HashMap<(usize, usize), Frame>,
+    gens: Vec<u32>,
+    cache: ValueCache,
+    cache_enabled: bool,
+    cell_waiters: HashMap<(usize, usize), Vec<(usize, u32)>>, // addr → (pe, gen)
+    partials_inbox: HashMap<(usize, u64), Vec<f64>>,
+    scalar_ready: HashMap<(usize, u64), f64>,
+    reinit_requests: HashMap<usize, usize>,
+    reinit_released: HashMap<usize, u32>,
+    shutdown: bool,
+    stats: WorkerStats,
+}
+
+impl WorkerMem {
+    fn send(&mut self, to: usize, msg: Msg) {
+        self.stats.messages_sent += 1;
+        self.peers[to].send(msg).expect("peer inbox closed prematurely");
+    }
+
+    /// Reply to a page request from the local frame (must be resident).
+    fn reply_page(&mut self, array: usize, page: usize, generation: u32, to: usize) {
+        let frame = self.frames.get(&(array, page)).expect("owned frame exists");
+        let msg = Msg::PageReply {
+            array,
+            page,
+            generation,
+            values: frame.values.clone(),
+            fill: frame.tags.clone(),
+        };
+        self.send(to, msg);
+    }
+
+    /// Process one incoming message (anything except the PageReply the
+    /// caller may be waiting for).
+    fn handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::PageRequest { array, page, generation, offset, from } => {
+                debug_assert_eq!(
+                    generation, self.gens[array],
+                    "request for a generation the owner has left"
+                );
+                let frame = self.frames.get(&(array, page)).expect("request for owned page");
+                if frame.tags.get(offset) {
+                    self.reply_page(array, page, generation, from);
+                } else {
+                    // Defer: the paper's queued remote read (§4).
+                    let addr = page * self.page_size + offset;
+                    self.cell_waiters.entry((array, addr)).or_default().push((from, generation));
+                }
+            }
+            Msg::Partial { scalar, seq, value, .. } => {
+                self.partials_inbox.entry((scalar, seq)).or_default().push(value);
+            }
+            Msg::ScalarValue { scalar, seq, value } => {
+                self.scalar_ready.insert((scalar, seq), value);
+            }
+            Msg::ReinitRequest { array, .. } => {
+                *self.reinit_requests.entry(array).or_insert(0) += 1;
+            }
+            Msg::ReinitRelease { array, generation } => {
+                self.reinit_released.insert(array, generation);
+            }
+            Msg::Shutdown => self.shutdown = true,
+            Msg::PageReply { .. } => {
+                unreachable!("unsolicited page reply (one outstanding request at a time)")
+            }
+        }
+    }
+
+    /// Block until a condition over self becomes true, serving messages.
+    fn serve_until(&mut self, mut done: impl FnMut(&Self) -> bool) {
+        while !done(self) {
+            let msg = self.inbox.recv().expect("inbox closed while waiting");
+            self.handle(msg);
+        }
+    }
+
+    /// Producer write into an owned frame; releases queued remote readers.
+    fn local_write(&mut self, array: usize, addr: usize, value: f64) {
+        let page = addr / self.page_size;
+        let offset = addr - page * self.page_size;
+        let frame = self.frames.get_mut(&(array, page)).expect("write to owned page");
+        assert!(
+            !frame.tags.get(offset),
+            "single-assignment violation in worker {}: array {} addr {}",
+            self.me,
+            array,
+            addr
+        );
+        frame.values[offset] = value;
+        frame.tags.set(offset);
+        self.stats.counters.writes += 1;
+        if let Some(waiters) = self.cell_waiters.remove(&(array, addr)) {
+            for (pe, generation) in waiters {
+                self.reply_page(array, page, generation, pe);
+            }
+        }
+    }
+
+    /// Fetch a remote page (blocking), returning the needed element.
+    fn remote_fetch(&mut self, array: usize, addr: usize, owner: usize) -> f64 {
+        let page = addr / self.page_size;
+        let offset = addr - page * self.page_size;
+        let generation = self.gens[array];
+        let key = PageKey { array, page, generation };
+        self.stats.counters.remote_reads += 1;
+        self.stats.page_fetches += 1;
+        self.send(owner, Msg::PageRequest { array, page, generation, offset, from: self.me });
+        loop {
+            let msg = self.inbox.recv().expect("inbox closed during fetch");
+            match msg {
+                Msg::PageReply { array: a, page: p, generation: g, values, fill } => {
+                    debug_assert_eq!((a, p, g), (array, page, generation));
+                    let v = values[offset];
+                    debug_assert!(fill.get(offset), "owner replied before the cell was defined");
+                    if self.cache_enabled {
+                        self.cache.insert(key, values, fill);
+                    }
+                    return v;
+                }
+                other => self.handle(other),
+            }
+        }
+    }
+}
+
+impl Memory for WorkerMem {
+    fn load(&mut self, array: ArrayId, addr: usize) -> Result<f64, IrError> {
+        let a = array.0;
+        let owner = self.map.owner(array, addr);
+        if owner == self.me {
+            let page = addr / self.page_size;
+            let offset = addr - page * self.page_size;
+            let frame = self.frames.get(&(a, page)).expect("owned frame exists");
+            if !frame.tags.get(offset) {
+                return Err(IrError::ReadUndefined { array: format!("array#{a}"), addr });
+            }
+            self.stats.counters.local_reads += 1;
+            return Ok(frame.values[offset]);
+        }
+        let page = addr / self.page_size;
+        let offset = addr - page * self.page_size;
+        let key = PageKey { array: a, page, generation: self.gens[a] };
+        if self.cache_enabled {
+            if let Some(v) = self.cache.lookup(key, offset) {
+                self.stats.counters.cached_reads += 1;
+                return Ok(v);
+            }
+            if self.cache.has_page(&key) {
+                // Resident but the cell was unfilled at fetch time: the §8
+                // partial-page refetch.
+                self.stats.partial_refetches += 1;
+            }
+        }
+        Ok(self.remote_fetch(a, addr, owner))
+    }
+}
+
+/// The worker proper: evaluation context + machine state.
+pub struct Worker<'p> {
+    program: &'p Program,
+    ctx: EvalCtx<'p>,
+    mem: WorkerMem,
+    rr: usize,
+    n_pes: usize,
+}
+
+/// Spawn-side constructor arguments.
+pub struct WorkerSpec {
+    /// This worker's PE index.
+    pub me: usize,
+    /// Total PEs.
+    pub n_pes: usize,
+    /// Page size in elements.
+    pub page_size: usize,
+    /// Cache capacity in pages (0 disables).
+    pub cache_pages: usize,
+    /// Receiving end of this PE's inbox.
+    pub inbox: Receiver<Msg>,
+    /// Senders to every PE's inbox (index = PE).
+    pub peers: Vec<Sender<Msg>>,
+}
+
+impl<'p> Worker<'p> {
+    /// Build a worker with its owned frames initialized.
+    pub fn new(program: &'p Program, map: PartitionMap, spec: WorkerSpec) -> Self {
+        let mut frames = HashMap::new();
+        for (a, decl) in program.arrays.iter().enumerate() {
+            let len = decl.len();
+            let init = decl.init.materialize(len);
+            let pages = sa_machine::pages_in(len, spec.page_size);
+            for page in 0..pages {
+                if map.owner(ArrayId(a), page * spec.page_size) != spec.me {
+                    continue;
+                }
+                let start = page * spec.page_size;
+                let elems = (len - start).min(spec.page_size);
+                let mut frame =
+                    Frame { values: vec![0.0; elems], tags: TagBits::new(elems) };
+                for off in 0..elems {
+                    if start + off < init.len() {
+                        frame.values[off] = init[start + off];
+                        frame.tags.set(off);
+                    }
+                }
+                frames.insert((a, page), frame);
+            }
+        }
+        let gens = vec![0u32; program.arrays.len()];
+        Worker {
+            program,
+            ctx: EvalCtx::new(program),
+            n_pes: spec.n_pes,
+            rr: 0,
+            mem: WorkerMem {
+                me: spec.me,
+                page_size: spec.page_size,
+                map,
+                inbox: spec.inbox,
+                peers: spec.peers,
+                frames,
+                gens,
+                cache: ValueCache::new(spec.cache_pages),
+                cache_enabled: spec.cache_pages > 0,
+                cell_waiters: HashMap::new(),
+                partials_inbox: HashMap::new(),
+                scalar_ready: HashMap::new(),
+                reinit_requests: HashMap::new(),
+                reinit_released: HashMap::new(),
+                shutdown: false,
+                stats: WorkerStats::default(),
+            },
+        }
+    }
+
+    /// Owner of a statement instance (affine anchors only; anchorless
+    /// statements are dealt round-robin with a counter every worker
+    /// advances identically).
+    fn owner_of(&mut self, stmt: &Stmt, ivs: &[i64]) -> usize {
+        match self.mem.map.anchor_owner(self.program, stmt, ivs) {
+            Some(pe) => pe,
+            None => {
+                assert!(
+                    sa_ir::analysis::anchor_ref(stmt)
+                        .map(|r| !r.has_indirection())
+                        .unwrap_or(true),
+                    "the thread runtime requires affine statement anchors"
+                );
+                let pe = self.rr % self.n_pes;
+                self.rr += 1;
+                pe
+            }
+        }
+    }
+
+    fn run_nest(&mut self, seq: u64, nest: &LoopNest) {
+        // Pre-pass: reduction metadata (ops + participant sets), computed
+        // identically on every worker from the static screening.
+        let reduce_meta: Vec<(usize, ReduceOp)> = nest
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Reduce { target, op, .. } => Some((target.0, *op)),
+                _ => None,
+            })
+            .collect();
+        let mut participants: HashMap<usize, Vec<bool>> = HashMap::new();
+        if !reduce_meta.is_empty() {
+            for &(sid, _) in &reduce_meta {
+                participants.insert(sid, vec![false; self.n_pes]);
+            }
+            let rr_snapshot = self.rr;
+            let mut rr = rr_snapshot;
+            nest.for_each_iteration(|ivs| {
+                for stmt in &nest.body {
+                    let owner = match self.mem.map.anchor_owner(self.program, stmt, ivs) {
+                        Some(pe) => pe,
+                        None => {
+                            let pe = rr % self.n_pes;
+                            rr += 1;
+                            pe
+                        }
+                    };
+                    if let Stmt::Reduce { target, .. } = stmt {
+                        participants.get_mut(&target.0).expect("seeded")[owner] = true;
+                    }
+                }
+            });
+        }
+
+        // Local partial accumulators.
+        let mut partial: HashMap<usize, f64> = reduce_meta
+            .iter()
+            .map(|&(sid, op)| (sid, op.identity()))
+            .collect();
+        let mut participated: HashMap<usize, bool> =
+            reduce_meta.iter().map(|&(sid, _)| (sid, false)).collect();
+
+        let me = self.mem.me;
+        nest.for_each_iteration_ctl(&mut |ivs: &[i64]| {
+            for stmt in &nest.body {
+                let owner = self.owner_of(stmt, ivs);
+                if owner != me {
+                    continue;
+                }
+                match stmt {
+                    Stmt::Assign { target, value } => {
+                        let v = self
+                            .ctx
+                            .eval(value, ivs, &mut self.mem)
+                            .unwrap_or_else(|e| panic!("worker {me}: {e}"));
+                        let addr = self
+                            .ctx
+                            .resolve_addr(target, ivs, &mut self.mem)
+                            .unwrap_or_else(|e| panic!("worker {me}: {e}"));
+                        self.mem.local_write(target.array.0, addr, v);
+                    }
+                    Stmt::Reduce { target, op, value } => {
+                        let v = self
+                            .ctx
+                            .eval(value, ivs, &mut self.mem)
+                            .unwrap_or_else(|e| panic!("worker {me}: {e}"));
+                        let acc = partial.get_mut(&target.0).expect("seeded");
+                        *acc = op.combine(*acc, v);
+                        participated.insert(target.0, true);
+                    }
+                }
+            }
+        });
+
+        // Vector→scalar collection at the host PE (§9), then broadcast.
+        for &(sid, op) in &reduce_meta {
+            let host = host_of(sid, self.n_pes);
+            let parts = &participants[&sid];
+            let remote_contributors =
+                parts.iter().enumerate().filter(|&(pe, &p)| p && pe != host).count();
+            if me == host {
+                let mut acc = if parts[me] { partial[&sid] } else { op.identity() };
+                self.mem
+                    .serve_until(|m| {
+                        m.partials_inbox.get(&(sid, seq)).map(Vec::len).unwrap_or(0)
+                            >= remote_contributors
+                    });
+                for v in self.mem.partials_inbox.remove(&(sid, seq)).unwrap_or_default() {
+                    acc = op.combine(acc, v);
+                }
+                for pe in 0..self.n_pes {
+                    if pe != host {
+                        self.mem.send(pe, Msg::ScalarValue { scalar: sid, seq, value: acc });
+                        self.mem.stats.reduction_messages += 1;
+                    }
+                }
+                self.ctx.scalars[sid] = acc;
+            } else {
+                if parts[me] {
+                    let value = partial[&sid];
+                    self.mem.send(host, Msg::Partial { scalar: sid, seq, value, from: me });
+                    self.mem.stats.reduction_messages += 1;
+                }
+                self.mem.serve_until(|m| m.scalar_ready.contains_key(&(sid, seq)));
+                let v = self.mem.scalar_ready[&(sid, seq)];
+                self.ctx.scalars[sid] = v;
+            }
+        }
+    }
+
+    fn run_reinit(&mut self, a: usize) {
+        let me = self.mem.me;
+        let host = host_of(a, self.n_pes);
+        if me == host {
+            *self.mem.reinit_requests.entry(a).or_insert(0) += 1; // own request
+            let n = self.n_pes;
+            self.mem
+                .serve_until(|m| m.reinit_requests.get(&a).copied().unwrap_or(0) >= n);
+            self.mem.reinit_requests.remove(&a);
+            let new_gen = self.mem.gens[a] + 1;
+            for pe in 0..self.n_pes {
+                if pe != host {
+                    self.mem.send(pe, Msg::ReinitRelease { array: a, generation: new_gen });
+                    self.mem.stats.reinit_messages += 1;
+                }
+            }
+            self.apply_release(a, new_gen);
+        } else {
+            self.mem.send(host, Msg::ReinitRequest { array: a, from: me });
+            self.mem.stats.reinit_messages += 1;
+            self.mem.serve_until(|m| m.reinit_released.contains_key(&a));
+            let new_gen = self.mem.reinit_released.remove(&a).expect("just observed");
+            self.apply_release(a, new_gen);
+        }
+    }
+
+    fn apply_release(&mut self, a: usize, new_gen: u32) {
+        assert!(
+            !self.mem.cell_waiters.keys().any(|&(arr, _)| arr == a),
+            "re-initialization of array {a} with deferred readers pending"
+        );
+        self.mem.gens[a] = new_gen;
+        for ((arr, _), frame) in self.mem.frames.iter_mut() {
+            if *arr == a {
+                frame.tags.clear();
+            }
+        }
+        self.mem.cache.invalidate_array(a);
+    }
+
+    /// Execute the whole program, then serve peers until shutdown.
+    pub fn run(mut self, done: &Sender<usize>) -> WorkerResult {
+        for (pi, phase) in self.program.phases.iter().enumerate() {
+            match phase {
+                Phase::Loop(nest) => self.run_nest(pi as u64, nest),
+                Phase::Reinit(id) => self.run_reinit(id.0),
+            }
+        }
+        done.send(self.mem.me).expect("coordinator gone");
+        self.mem.serve_until(|m| m.shutdown);
+        WorkerResult {
+            stats: self.mem.stats,
+            frames: self.mem.frames,
+            scalars: self.ctx.scalars,
+        }
+    }
+}
+
+/// Extension trait so the execute loop above can use a `&mut FnMut` without
+/// fighting the borrow checker around `self`.
+trait ForEachCtl {
+    fn for_each_iteration_ctl(&self, f: &mut dyn FnMut(&[i64]));
+}
+
+impl ForEachCtl for LoopNest {
+    fn for_each_iteration_ctl(&self, f: &mut dyn FnMut(&[i64])) {
+        self.for_each_iteration(|ivs| f(ivs));
+    }
+}

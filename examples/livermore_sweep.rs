@@ -1,0 +1,41 @@
+//! Sweep the whole Livermore suite: static class, measured (dynamic) class,
+//! and remote-read percentages with/without the paper's cache — the §8
+//! summary reproduced as one table.
+//!
+//! ```text
+//! cargo run --release --example livermore_sweep
+//! ```
+
+use sapp::core::classify::classify_dynamic;
+use sapp::core::report::{fmt_pct, markdown_table};
+use sapp::core::simulate;
+use sapp::loops::suite;
+use sapp::machine::MachineConfig;
+
+fn main() {
+    let mut rows = Vec::new();
+    for k in suite() {
+        let cached = simulate(&k.program, &MachineConfig::paper(16, 32)).expect("sim");
+        let uncached =
+            simulate(&k.program, &MachineConfig::paper_no_cache(16, 32)).expect("sim");
+        let dynamic = classify_dynamic(&k.program, 32).expect("sweep");
+        rows.push(vec![
+            k.code.to_string(),
+            k.name.to_string(),
+            k.class_abbrev().to_string(),
+            dynamic.class.abbrev().to_string(),
+            k.paper_class.unwrap_or("—").to_string(),
+            fmt_pct(cached.remote_pct()),
+            fmt_pct(uncached.remote_pct()),
+        ]);
+    }
+    println!("Livermore Loops under automatic SA partitioning (16 PEs, ps 32, cache 256):\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["kernel", "name", "static", "measured", "paper", "remote% cache", "remote% none"],
+            &rows
+        )
+    );
+    println!("MD = matched, SD = skewed, CD = cyclic, RD = random (paper §7.1)");
+}

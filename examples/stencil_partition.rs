@@ -1,0 +1,75 @@
+//! Domain scenario: tune page size and placement for a 2-D heat-diffusion
+//! stencil — the "programmer- or compiler-selectable partitioning" the
+//! paper's future work proposes (§9).
+//!
+//! ```text
+//! cargo run --release --example stencil_partition
+//! ```
+
+use sapp::core::experiment::partition_sweep;
+use sapp::core::report::{fmt_pct, markdown_table};
+use sapp::core::simulate;
+use sapp::ir::index::iv;
+use sapp::ir::{InitPattern, Program, ProgramBuilder};
+use sapp::machine::{MachineConfig, PartitionScheme};
+
+/// One Jacobi sweep: OUT(i,j) = (IN(i-1,j)+IN(i+1,j)+IN(i,j-1)+IN(i,j+1))/4.
+fn stencil(rows: usize, cols: usize) -> Program {
+    let mut b = ProgramBuilder::new("heat stencil");
+    let input = b.input("IN", &[rows, cols], InitPattern::Wavy);
+    let out = b.output("OUT", &[rows, cols]);
+    b.nest("jacobi", &[("i", 1, rows as i64 - 2), ("j", 1, cols as i64 - 2)], |nb| {
+        let sum = nb.read(input, [iv(0).plus(-1), iv(1)])
+            + nb.read(input, [iv(0).plus(1), iv(1)])
+            + nb.read(input, [iv(0), iv(1).plus(-1)])
+            + nb.read(input, [iv(0), iv(1).plus(1)]);
+        nb.assign(out, [iv(0), iv(1)], sum / 4.0);
+    });
+    b.finish()
+}
+
+fn main() {
+    let program = stencil(128, 128);
+    let n_pes = 16;
+
+    // Page-size sweep (paper §9: "allowing the programmer or compiler to
+    // select the page size might prove useful").
+    let mut rows = Vec::new();
+    let mut best: Option<(usize, f64)> = None;
+    for ps in [8usize, 16, 32, 64, 128, 256] {
+        let rep = simulate(&program, &MachineConfig::paper(n_pes, ps)).expect("sim");
+        let pct = rep.remote_pct();
+        if best.map(|(_, b)| pct < b).unwrap_or(true) {
+            best = Some((ps, pct));
+        }
+        rows.push(vec![
+            ps.to_string(),
+            fmt_pct(pct),
+            rep.stats.remote_reads().to_string(),
+            rep.network_messages.to_string(),
+        ]);
+    }
+    println!("Page-size tuning for a 128×128 Jacobi stencil on {n_pes} PEs:\n");
+    println!("{}", markdown_table(&["page size", "remote %", "remote reads", "messages"], &rows));
+    let (bps, bpct) = best.expect("swept");
+    println!("→ best page size: {bps} ({})\n", fmt_pct(bpct));
+
+    // Placement sweep: row-aligned block placement beats modulo for
+    // stencils — exactly the paper's modulo-vs-division observation.
+    let per = partition_sweep(
+        &program,
+        n_pes,
+        bps,
+        &[
+            PartitionScheme::Modulo,
+            PartitionScheme::Block,
+            PartitionScheme::BlockCyclic { block_pages: 2 },
+            PartitionScheme::BlockCyclic { block_pages: 4 },
+        ],
+    )
+    .expect("sweep");
+    let rows: Vec<Vec<String>> =
+        per.into_iter().map(|(name, pct)| vec![name, fmt_pct(pct)]).collect();
+    println!("Placement comparison at page size {bps}:\n");
+    println!("{}", markdown_table(&["scheme", "remote %"], &rows));
+}

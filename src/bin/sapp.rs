@@ -1,0 +1,160 @@
+//! `sapp` — command-line front end to the partitioning system.
+//!
+//! ```text
+//! sapp list                       # kernels with their classes
+//! sapp show K18                   # pseudo-FORTRAN of a kernel
+//! sapp classify K6                # static + measured classification
+//! sapp simulate K1 --pes 8 --page 32 [--no-cache]
+//! sapp sweep K2 --page 32         # remote % across PE counts
+//! sapp timing K14 --page 32       # estimated speedup curve
+//! ```
+
+use sapp::core::classify::classify_dynamic;
+use sapp::core::experiment::speedup_sweep;
+use sapp::core::report::{fmt_pct, markdown_table};
+use sapp::core::simulate;
+use sapp::ir::{classify_program, pretty};
+use sapp::loops::{suite, Kernel};
+use sapp::machine::{AccessCosts, MachineConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sapp <list|show|classify|simulate|sweep|timing> [KERNEL] \
+         [--pes N] [--page N] [--cache N] [--no-cache]"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    pes: usize,
+    page: usize,
+    cache: usize,
+    no_cache: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts { pes: 16, page: 32, cache: 256, no_cache: false };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pes" => o.pes = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--page" => o.page = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--cache" => {
+                o.cache = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--no-cache" => o.no_cache = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn find_kernel(code: &str) -> Kernel {
+    suite().into_iter().find(|k| k.code.eq_ignore_ascii_case(code)).unwrap_or_else(|| {
+        eprintln!("unknown kernel {code}; try `sapp list`");
+        std::process::exit(2);
+    })
+}
+
+fn config(o: &Opts) -> MachineConfig {
+    let base = MachineConfig::paper(o.pes, o.page).with_cache_elems(o.cache);
+    if o.no_cache {
+        MachineConfig::paper_no_cache(o.pes, o.page)
+    } else {
+        base
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "list" => {
+            let rows: Vec<Vec<String>> = suite()
+                .iter()
+                .map(|k| {
+                    vec![
+                        k.code.to_string(),
+                        k.name.to_string(),
+                        k.class_abbrev().to_string(),
+                        k.paper_class.unwrap_or("—").to_string(),
+                        k.program.total_elements().to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                markdown_table(&["kernel", "name", "class", "paper", "elements"], &rows)
+            );
+        }
+        "show" => {
+            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            print!("{}", pretty::program_to_string(&k.program));
+        }
+        "classify" => {
+            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let stat = classify_program(&k.program);
+            println!("static : {} ({})", stat.class, stat.class.abbrev());
+            for nest in &stat.nests {
+                println!(
+                    "  nest {:<18} {} (revisit: {})",
+                    nest.label, nest.class, nest.sweep_revisit
+                );
+            }
+            let dynamic = classify_dynamic(&k.program, 32).expect("sweep");
+            println!("measured: {} — curve:", dynamic.class.abbrev());
+            for p in dynamic.curve {
+                println!(
+                    "  {:>3} PEs: {} cached / {} uncached",
+                    p.n_pes,
+                    fmt_pct(p.cached_pct),
+                    fmt_pct(p.uncached_pct)
+                );
+            }
+        }
+        "simulate" => {
+            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let o = parse_opts(&args[2..]);
+            let rep = simulate(&k.program, &config(&o)).expect("simulation");
+            println!(
+                "writes {}  local {}  cached {}  remote {}  → {} remote",
+                rep.stats.writes(),
+                rep.stats.local_reads(),
+                rep.stats.cached_reads(),
+                rep.stats.remote_reads(),
+                fmt_pct(rep.remote_pct()),
+            );
+            println!(
+                "messages {}  hops {}  max link load {}",
+                rep.network_messages, rep.network_hops, rep.max_link_load
+            );
+        }
+        "sweep" => {
+            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let o = parse_opts(&args[2..]);
+            let mut rows = Vec::new();
+            for n in [1usize, 2, 4, 8, 16, 32, 64] {
+                let cached = simulate(&k.program, &MachineConfig::paper(n, o.page)).unwrap();
+                let uncached =
+                    simulate(&k.program, &MachineConfig::paper_no_cache(n, o.page)).unwrap();
+                rows.push(vec![
+                    n.to_string(),
+                    fmt_pct(cached.remote_pct()),
+                    fmt_pct(uncached.remote_pct()),
+                ]);
+            }
+            println!("{}", markdown_table(&["PEs", "cache", "no cache"], &rows));
+        }
+        "timing" => {
+            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let o = parse_opts(&args[2..]);
+            let sp =
+                speedup_sweep(&k.program, &[1, 2, 4, 8, 16, 32], o.page, AccessCosts::default())
+                    .expect("timing");
+            let rows: Vec<Vec<String>> =
+                sp.into_iter().map(|(n, s)| vec![n.to_string(), format!("{s:.2}×")]).collect();
+            println!("{}", markdown_table(&["PEs", "speedup"], &rows));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,44 @@
+//! # sapp — Single-Assignment Program Partitioning
+//!
+//! A faithful, production-quality reproduction of
+//! *Automatic Data/Program Partitioning Using the Single Assignment
+//! Principle* (Lubomir Bic, Mark D. Nagel, John M.A. Roy — UC Irvine ICS
+//! TR 89-08, Supercomputing 1989).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`mem`] — single-assignment memory substrate (tagged cells, deferred
+//!   reads, concurrent I-structures).
+//! * [`ir`] — the loop-nest IR in which workloads are expressed, the
+//!   sequential reference interpreter, the static access-pattern classifier
+//!   and the automatic single-assignment conversion pass.
+//! * [`machine`] — the simulated loosely-coupled MIMD machine: page-granular
+//!   modulo/block data partitioning, per-PE LRU caches, network models, and
+//!   the host-processor re-initialization protocol.
+//! * [`loops`] — the Livermore Loops suite used by the paper's evaluation.
+//! * [`core`] — owner-computes distributed execution, access counting,
+//!   the event-driven timing pass, experiment sweeps and report tables.
+//! * [`runtime`] — a real-thread execution engine (one thread per PE,
+//!   channels as the interconnect) demonstrating that single assignment
+//!   alone synchronizes the computation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sapp::loops::k01_hydro;
+//! use sapp::machine::MachineConfig;
+//! use sapp::core::exec::simulate;
+//!
+//! let kernel = k01_hydro::build(1001);
+//! let cfg = MachineConfig::paper(8, 32); // 8 PEs, 32-element pages, 256-elem cache
+//! let report = simulate(&kernel.program, &cfg).unwrap();
+//! println!("remote reads: {:.2}%", report.stats.remote_read_pct());
+//! assert!(report.stats.remote_read_pct() < 10.0); // SD class, paper Fig. 1
+//! ```
+
+pub use sa_core as core;
+pub use sa_ir as ir;
+pub use sa_loops as loops;
+pub use sa_machine as machine;
+pub use sa_mem as mem;
+pub use sa_runtime as runtime;

@@ -1,0 +1,149 @@
+//! Property-based tests on the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use sapp::core::{simulate, verify_against_reference};
+use sapp::ir::index::iv;
+use sapp::ir::{InitPattern, ProgramBuilder};
+use sapp::machine::{
+    pages_in, CacheOutcome, CachePolicy, MachineConfig, PageCache, PageKey, PartialPagePolicy,
+    PartitionScheme,
+};
+
+fn scheme_strategy() -> impl Strategy<Value = PartitionScheme> {
+    prop_oneof![
+        Just(PartitionScheme::Modulo),
+        Just(PartitionScheme::Block),
+        (1usize..6).prop_map(|b| PartitionScheme::BlockCyclic { block_pages: b }),
+    ]
+}
+
+proptest! {
+    /// Every page has exactly one owner and that owner is a valid PE.
+    #[test]
+    fn ownership_is_total_and_in_range(
+        scheme in scheme_strategy(),
+        pages in 1usize..200,
+        n_pes in 1usize..65,
+    ) {
+        for p in 0..pages {
+            let o = scheme.owner(p, pages, n_pes);
+            prop_assert!(o < n_pes);
+        }
+    }
+
+    /// Block ownership is monotone (contiguous chunks).
+    #[test]
+    fn block_ownership_is_monotone(pages in 1usize..300, n_pes in 1usize..33) {
+        let mut prev = 0;
+        for p in 0..pages {
+            let o = PartitionScheme::Block.owner(p, pages, n_pes);
+            prop_assert!(o >= prev, "page {p}: owner {o} < {prev}");
+            prop_assert!(o <= prev + 1, "block owners must step by ≤ 1");
+            prev = o;
+        }
+    }
+
+    /// Modulo distributes pages as evenly as arithmetic allows.
+    #[test]
+    fn modulo_balance_is_tight(pages in 1usize..400, n_pes in 1usize..65) {
+        let mut counts = vec![0usize; n_pes];
+        for p in 0..pages {
+            counts[PartitionScheme::Modulo.owner(p, pages, n_pes)] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        let min = counts.iter().min().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1);
+    }
+
+    /// An LRU cache never exceeds capacity and hits after an insert.
+    #[test]
+    fn cache_capacity_and_residency(
+        capacity in 0usize..16,
+        ops in prop::collection::vec((0usize..4, 0usize..40), 1..200),
+    ) {
+        let mut cache = PageCache::new(capacity, CachePolicy::Lru);
+        for (array, page) in ops {
+            let key = PageKey { array, page, generation: 0 };
+            match cache.probe(key, 0, PartialPagePolicy::Ignore) {
+                CacheOutcome::Miss => {
+                    cache.insert(key, None);
+                    if capacity > 0 {
+                        prop_assert_eq!(
+                            cache.probe(key, 0, PartialPagePolicy::Ignore),
+                            CacheOutcome::Hit
+                        );
+                    }
+                }
+                CacheOutcome::Hit => {}
+                CacheOutcome::PartialMiss => prop_assert!(false, "no partial pages inserted"),
+            }
+            prop_assert!(cache.len() <= capacity.max(1));
+            prop_assert!(cache.len() <= capacity || capacity == 0);
+        }
+    }
+
+    /// Counting invariant: local + cached + remote = all reads; writes =
+    /// iteration count; and the distributed values equal the reference —
+    /// for randomly generated skewed kernels over random machines.
+    #[test]
+    fn random_skewed_kernels_conserve_and_verify(
+        n in 64usize..512,
+        skew in 0i64..20,
+        n_pes in 1usize..17,
+        page_size in prop::sample::select(vec![8usize, 16, 32, 64]),
+        cached in proptest::bool::ANY,
+    ) {
+        let mut b = ProgramBuilder::new("prop");
+        let y = b.input("Y", &[n + skew as usize + 1], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(skew)]) * 2.0);
+        });
+        let p = b.finish();
+        let cfg = if cached {
+            MachineConfig::paper(n_pes, page_size)
+        } else {
+            MachineConfig::paper_no_cache(n_pes, page_size)
+        };
+        let rep = simulate(&p, &cfg).expect("sim");
+        prop_assert_eq!(rep.stats.writes(), n as u64);
+        prop_assert_eq!(
+            rep.stats.total_reads(),
+            rep.stats.local_reads() + rep.stats.cached_reads() + rep.stats.remote_reads()
+        );
+        prop_assert_eq!(rep.stats.total_reads(), n as u64);
+        // With one PE nothing is remote.
+        if n_pes == 1 {
+            prop_assert_eq!(rep.stats.remote_reads(), 0);
+        }
+        verify_against_reference(&p, &cfg).map_err(TestCaseError::fail)?;
+    }
+
+    /// The cache can only reduce remote reads, never increase them.
+    #[test]
+    fn cache_monotonicity(
+        n in 64usize..512,
+        skew in 1i64..16,
+        n_pes in 2usize..17,
+    ) {
+        let mut b = ProgramBuilder::new("mono");
+        let y = b.input("Y", &[n + 16], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(skew)]));
+        });
+        let p = b.finish();
+        let with = simulate(&p, &MachineConfig::paper(n_pes, 32)).expect("sim");
+        let without = simulate(&p, &MachineConfig::paper_no_cache(n_pes, 32)).expect("sim");
+        prop_assert!(with.stats.remote_reads() <= without.stats.remote_reads());
+    }
+
+    /// pages_in/page arithmetic round-trips.
+    #[test]
+    fn page_arithmetic_roundtrips(len in 1usize..10_000, ps in 1usize..257) {
+        let pages = pages_in(len, ps);
+        prop_assert!(pages * ps >= len);
+        prop_assert!((pages - 1) * ps < len);
+    }
+}

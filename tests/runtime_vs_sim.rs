@@ -1,0 +1,102 @@
+//! Real threads vs the counting simulator: values must match the reference
+//! exactly; access statistics must correspond (identically for kernels over
+//! fully initialized inputs, conservatively for pipelined recurrences where
+//! fetch timing shifts partial-page states).
+
+use sapp::core::simulate;
+use sapp::ir::{interpret, ProgramResult};
+use sapp::loops::suite;
+use sapp::machine::MachineConfig;
+use sapp::runtime::{execute, RuntimeConfig};
+
+fn runtime_result(rep: &sapp::runtime::RuntimeReport) -> ProgramResult {
+    ProgramResult {
+        arrays: rep.arrays.clone(),
+        scalars: rep.scalars.clone(),
+        writes: 0,
+        reads: 0,
+    }
+}
+
+#[test]
+fn threaded_values_match_reference_for_whole_suite() {
+    // K21 at full size is heavy for the threaded engine in debug builds;
+    // the suite minus the two heaviest kernels runs in seconds.
+    for k in suite() {
+        if ["K21", "K6"].contains(&k.code) {
+            continue; // covered at reduced size below
+        }
+        let golden = interpret(&k.program).expect("reference");
+        let rep = execute(&k.program, &RuntimeConfig::paper(4, 32))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.code));
+        golden
+            .assert_matches(&runtime_result(&rep), 1e-9)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.code));
+    }
+}
+
+#[test]
+fn threaded_values_match_for_reduced_random_kernels() {
+    for k in [sapp::loops::k06_glre::build(24), sapp::loops::k21_matmul::build(16)] {
+        let golden = interpret(&k.program).expect("reference");
+        let rep = execute(&k.program, &RuntimeConfig::paper(4, 16))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.code));
+        golden
+            .assert_matches(&runtime_result(&rep), 1e-9)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.code));
+    }
+}
+
+#[test]
+fn stats_match_simulator_exactly_on_input_only_kernels() {
+    // K1/K7/K12 read only fully initialized arrays: every fetched page is
+    // complete, so thread scheduling cannot perturb the counts — the
+    // runtime must agree with the simulator number for number.
+    for code in ["K1", "K7", "K12"] {
+        let k = suite().into_iter().find(|k| k.code == code).unwrap();
+        let cfg = MachineConfig::paper(4, 32);
+        let sim = simulate(&k.program, &cfg).expect("sim");
+        let run = execute(&k.program, &RuntimeConfig::from_machine(&cfg)).expect("runtime");
+        assert_eq!(sim.stats.writes(), run.stats.writes(), "{code} writes");
+        assert_eq!(sim.stats.total_reads(), run.stats.total_reads(), "{code} reads");
+        assert_eq!(sim.stats.remote_reads(), run.stats.remote_reads(), "{code} remote");
+        assert_eq!(sim.stats.cached_reads(), run.stats.cached_reads(), "{code} cached");
+        assert_eq!(run.messages, 2 * run.stats.page_fetches, "{code} messages");
+    }
+}
+
+#[test]
+fn stats_bound_simulator_on_pipelined_kernels() {
+    // Recurrences (K5, K2) fetch pages of *produced* arrays whose fill
+    // state depends on timing: the runtime may refetch partially filled
+    // pages (§8), so its remote count is ≥ the paper-semantics simulator
+    // and ≤ the count with caching disabled.
+    for code in ["K5", "K2", "K11"] {
+        let k = suite().into_iter().find(|k| k.code == code).unwrap();
+        let cfg = MachineConfig::paper(4, 32);
+        let ideal = simulate(&k.program, &cfg).expect("sim").stats.remote_reads();
+        let worst = simulate(&k.program, &MachineConfig::paper_no_cache(4, 32))
+            .expect("sim")
+            .stats
+            .remote_reads();
+        let run = execute(&k.program, &RuntimeConfig::from_machine(&cfg)).expect("runtime");
+        let got = run.stats.remote_reads();
+        assert!(
+            got >= ideal && got <= worst.max(ideal),
+            "{code}: runtime {got} outside [{ideal}, {worst}]"
+        );
+        assert_eq!(run.stats.total_reads(), simulate(&k.program, &cfg).unwrap().stats.total_reads());
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let k = suite().into_iter().find(|k| k.code == "K18").unwrap();
+    let golden = interpret(&k.program).expect("reference");
+    for n in [1usize, 2, 3, 6, 8] {
+        let rep = execute(&k.program, &RuntimeConfig::paper(n, 32)).expect("runtime");
+        golden
+            .assert_matches(&runtime_result(&rep), 1e-9)
+            .unwrap_or_else(|e| panic!("{n} threads: {e}"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Functional equivalence: for every Livermore kernel and a grid of machine
+//! configurations, the distributed execution produces bit-identical array
+//! contents (and tolerance-equal reductions) to the sequential reference.
+
+use sapp::core::verify_against_reference;
+use sapp::loops::{k14_pic1d, k18_hydro2d, suite};
+use sapp::machine::{CachePolicy, MachineConfig, PartialPagePolicy, PartitionScheme};
+
+#[test]
+fn every_kernel_matches_reference_on_paper_machine() {
+    for k in suite() {
+        for n in [1usize, 4, 16] {
+            verify_against_reference(&k.program, &MachineConfig::paper(n, 32))
+                .unwrap_or_else(|e| panic!("{} on {n} PEs: {e}", k.code));
+        }
+    }
+}
+
+#[test]
+fn results_are_invariant_to_cache_configuration() {
+    // Caching is purely an optimization: any cache size/policy yields the
+    // same values.
+    for k in suite().into_iter().filter(|k| ["K1", "K2", "K6", "K18"].contains(&k.code)) {
+        for cfg in [
+            MachineConfig::paper_no_cache(8, 32),
+            MachineConfig::paper(8, 32).with_cache_elems(64),
+            MachineConfig::paper(8, 32).with_cache_policy(CachePolicy::Fifo),
+            MachineConfig::paper(8, 32).with_cache_policy(CachePolicy::Random { seed: 9 }),
+            MachineConfig::paper(8, 32).with_partial_pages(PartialPagePolicy::Refetch),
+        ] {
+            verify_against_reference(&k.program, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.code));
+        }
+    }
+}
+
+#[test]
+fn results_are_invariant_to_partitioning_scheme() {
+    for k in suite().into_iter().filter(|k| ["K1", "K5", "K18", "K21"].contains(&k.code)) {
+        for scheme in [
+            PartitionScheme::Modulo,
+            PartitionScheme::Block,
+            PartitionScheme::BlockCyclic { block_pages: 3 },
+        ] {
+            let cfg = MachineConfig::paper(8, 32).with_partition(scheme);
+            verify_against_reference(&k.program, &cfg)
+                .unwrap_or_else(|e| panic!("{} with {scheme:?}: {e}", k.code));
+        }
+    }
+}
+
+#[test]
+fn results_are_invariant_to_page_size() {
+    for k in suite().into_iter().filter(|k| ["K2", "K7", "K9"].contains(&k.code)) {
+        for ps in [8usize, 16, 64, 128] {
+            verify_against_reference(&k.program, &MachineConfig::paper(4, ps))
+                .unwrap_or_else(|e| panic!("{} at ps {ps}: {e}", k.code));
+        }
+    }
+}
+
+#[test]
+fn gather_kernel_and_multipass_kernel_match_reference() {
+    let full = k14_pic1d::build_full(257);
+    verify_against_reference(&full.program, &MachineConfig::paper(8, 32)).unwrap();
+    let multi = k18_hydro2d::build_with_passes(40, 3);
+    verify_against_reference(&multi.program, &MachineConfig::paper(8, 16)).unwrap();
+}
