@@ -17,10 +17,14 @@ fn bench_partition(c: &mut Criterion) {
         PartitionScheme::Block,
         PartitionScheme::BlockCyclic { block_pages: 4 },
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &s| {
-            let cfg = MachineConfig::paper(16, 32).with_partition(s);
-            b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &s| {
+                let cfg = MachineConfig::paper(16, 32).with_partition(s);
+                b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
+            },
+        );
     }
     g.finish();
 }
@@ -65,7 +69,11 @@ fn bench_timing_extension(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("estimate_timing_16pe", |b| {
         let cfg = MachineConfig::paper(16, 32);
-        b.iter(|| estimate_timing(black_box(&kernel.program), &cfg).unwrap().total_cycles)
+        b.iter(|| {
+            estimate_timing(black_box(&kernel.program), &cfg)
+                .unwrap()
+                .total_cycles
+        })
     });
     g.finish();
 }

@@ -46,7 +46,11 @@ fn bench_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("page_cache");
     g.bench_function("probe_hit", |b| {
         let mut cache = PageCache::new(8, CachePolicy::Lru);
-        let key = PageKey { array: 0, page: 3, generation: 0 };
+        let key = PageKey {
+            array: 0,
+            page: 3,
+            generation: 0,
+        };
         cache.insert(key, None);
         b.iter(|| cache.probe(black_box(key), 0, PartialPagePolicy::Ignore))
     });
@@ -55,7 +59,14 @@ fn bench_cache(c: &mut Criterion) {
         let mut p = 0usize;
         b.iter(|| {
             p += 1;
-            cache.insert(PageKey { array: 0, page: p, generation: 0 }, None)
+            cache.insert(
+                PageKey {
+                    array: 0,
+                    page: p,
+                    generation: 0,
+                },
+                None,
+            )
         })
     });
     g.finish();
@@ -101,5 +112,11 @@ fn bench_sa_memory(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_reads, bench_cache, bench_partition_and_network, bench_sa_memory);
+criterion_group!(
+    benches,
+    bench_reads,
+    bench_cache,
+    bench_partition_and_network,
+    bench_sa_memory
+);
 criterion_main!(benches);

@@ -5,6 +5,12 @@
 //! cargo run -p bench --release --bin figures            # everything
 //! cargo run -p bench --release --bin figures -- fig1    # one artifact
 //! ```
+//!
+//! Each artifact streams to stdout as soon as it is rendered; the heavy
+//! lifting inside an artifact — its `(n_pes, page_size, cached)` sweep
+//! grid — already fans out across all cores via `sa_core::parallel`, so
+//! the artifacts themselves run one at a time to keep the cores busy
+//! without oversubscribing them.
 
 use bench::*;
 
@@ -12,7 +18,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
-    let artifacts: [(&str, fn() -> String); 10] = [
+    type Artifact = (&'static str, fn() -> String);
+    let artifacts: [Artifact; 11] = [
         ("fig1", fig1),
         ("fig2", fig2),
         ("fig3", fig3),
@@ -23,6 +30,7 @@ fn main() {
         ("ablation-cache", ablation_cache),
         ("ablation-pagesize", ablation_pagesize),
         ("ablation-policy", ablation_policy),
+        ("timing", timing),
     ];
     let mut ran = false;
     for (name, f) in artifacts {
@@ -30,10 +38,6 @@ fn main() {
             println!("{}", f());
             ran = true;
         }
-    }
-    if want("timing") {
-        println!("{}", timing());
-        ran = true;
     }
     if !ran {
         eprintln!(

@@ -7,8 +7,9 @@
 //! simulator's wall-clock cost of regenerating each one.
 
 use sa_core::experiment::{cache_sweep, partition_sweep, pe_sweep, policy_sweep, speedup_sweep};
+use sa_core::parallel::par_map;
 use sa_core::report::{ascii_chart, fmt_pct, markdown_table, Series};
-use sa_core::{estimate_timing, simulate};
+use sa_core::{estimate_timing, simulate, SimError};
 use sa_ir::Program;
 use sa_loops::{suite, Kernel};
 use sa_machine::{
@@ -50,7 +51,13 @@ pub fn remote_pct_figure_at(title: &str, program: &Program, pes: &[usize]) -> St
         ]);
     }
     let table = markdown_table(
-        &["PEs", "Cache ps32", "NoCache ps32", "Cache ps64", "NoCache ps64"],
+        &[
+            "PEs",
+            "Cache ps32",
+            "NoCache ps32",
+            "Cache ps64",
+            "NoCache ps64",
+        ],
         &rows,
     );
     let series: Vec<Series> = [(32, true), (32, false), (64, true), (64, false)]
@@ -71,12 +78,18 @@ pub fn remote_pct_figure_at(title: &str, program: &Program, pes: &[usize]) -> St
 }
 
 fn kernel_by_code(code: &str) -> Kernel {
-    suite().into_iter().find(|k| k.code == code).unwrap_or_else(|| panic!("kernel {code}"))
+    suite()
+        .into_iter()
+        .find(|k| k.code == code)
+        .unwrap_or_else(|| panic!("kernel {code}"))
 }
 
 /// Figure 1 — Skewed access pattern (Hydro Fragment, skew 11).
 pub fn fig1() -> String {
-    remote_pct_figure("Figure 1: Hydro Fragment (SD, skew 11)", &kernel_by_code("K1").program)
+    remote_pct_figure(
+        "Figure 1: Hydro Fragment (SD, skew 11)",
+        &kernel_by_code("K1").program,
+    )
 }
 
 /// Figure 2 — Cyclic access pattern (ICCG).
@@ -134,12 +147,21 @@ pub fn fig5() -> String {
         ]);
     }
     let table = markdown_table(
-        &["PE", "Remote (cache)", "Remote (no cache)", "Local (cache)", "Local (no cache)"],
+        &[
+            "PE",
+            "Remote (cache)",
+            "Remote (no cache)",
+            "Local (cache)",
+            "Local (no cache)",
+        ],
         &rows,
     );
     let lb = |v: &[u64]| {
         let b = load_balance(v);
-        format!("mean {:.1}, min {}, max {}, cv {:.3}, jain {:.4}", b.mean, b.min, b.max, b.cv, b.jain)
+        format!(
+            "mean {:.1}, min {}, max {}, cv {:.3}, jain {:.4}",
+            b.mean, b.min, b.max, b.cv, b.jain
+        )
     };
     format!(
         "## Figure 5: Load balance (2-D Explicit Hydro, 64 PEs, page size 32)\n\n{table}\n\
@@ -158,23 +180,31 @@ pub fn fig5() -> String {
 /// percentages at the reference configuration (16 PEs, ps 32, 256-element
 /// cache vs no cache).
 pub fn summary() -> String {
-    let mut rows = Vec::new();
-    for k in suite() {
-        let cached = simulate(&k.program, &MachineConfig::paper(16, 32)).expect("sim");
-        let uncached = simulate(&k.program, &MachineConfig::paper_no_cache(16, 32)).expect("sim");
-        rows.push(vec![
+    let kernels = suite();
+    let rows: Vec<Vec<String>> = par_map(&kernels, |k| {
+        let cached = simulate(&k.program, &MachineConfig::paper(16, 32))?;
+        let uncached = simulate(&k.program, &MachineConfig::paper_no_cache(16, 32))?;
+        Ok::<_, SimError>(vec![
             k.code.to_string(),
             k.name.to_string(),
             k.class_abbrev().to_string(),
             k.paper_class.unwrap_or("—").to_string(),
             fmt_pct(cached.remote_pct()),
             fmt_pct(uncached.remote_pct()),
-        ]);
-    }
+        ])
+    })
+    .expect("sim");
     format!(
         "## Summary (all kernels, 16 PEs, page 32, cache 256 elems)\n\n{}",
         markdown_table(
-            &["kernel", "name", "class", "paper", "remote% (cache)", "remote% (no cache)"],
+            &[
+                "kernel",
+                "name",
+                "class",
+                "paper",
+                "remote% (cache)",
+                "remote% (no cache)"
+            ],
             &rows
         )
     )
@@ -197,7 +227,16 @@ pub fn ablation_partition() -> String {
     }
     format!(
         "## Ablation: partitioning scheme (16 PEs, ps 32, cache on)\n\n{}",
-        markdown_table(&["kernel", "modulo", "block", "blockcyclic(2)", "blockcyclic(4)"], &rows)
+        markdown_table(
+            &[
+                "kernel",
+                "modulo",
+                "block",
+                "blockcyclic(2)",
+                "blockcyclic(4)"
+            ],
+            &rows
+        )
     )
 }
 
@@ -225,15 +264,16 @@ pub fn ablation_cache() -> String {
 /// Ablation — programmer/compiler-selectable page size (§9).
 pub fn ablation_pagesize() -> String {
     let sizes = [8usize, 16, 32, 64, 128, 256];
-    let mut rows = Vec::new();
-    for k in suite() {
+    let kernels = suite();
+    let rows: Vec<Vec<String>> = par_map(&kernels, |k| {
         let mut row = vec![k.code.to_string()];
         for &ps in &sizes {
-            let rep = simulate(&k.program, &MachineConfig::paper(16, ps)).expect("sim");
+            let rep = simulate(&k.program, &MachineConfig::paper(16, ps))?;
             row.push(fmt_pct(rep.remote_pct()));
         }
-        rows.push(row);
-    }
+        Ok::<_, SimError>(row)
+    })
+    .expect("sim");
     let headers: Vec<String> = std::iter::once("kernel".to_string())
         .chain(sizes.iter().map(|s| format!("ps {s}")))
         .collect();
@@ -246,8 +286,11 @@ pub fn ablation_pagesize() -> String {
 
 /// Ablation — LRU vs FIFO vs Random replacement (§4 chose LRU).
 pub fn ablation_policy() -> String {
-    let policies =
-        [CachePolicy::Lru, CachePolicy::Fifo, CachePolicy::Random { seed: 0xC0FFEE }];
+    let policies = [
+        CachePolicy::Lru,
+        CachePolicy::Fifo,
+        CachePolicy::Random { seed: 0xC0FFEE },
+    ];
     let mut rows = Vec::new();
     for code in ["K1", "K2", "K6", "K18"] {
         let k = kernel_by_code(code);
@@ -267,8 +310,13 @@ pub fn timing() -> String {
     let mut rows = Vec::new();
     for code in ["K1", "K2", "K5", "K6", "K14", "K18"] {
         let k = kernel_by_code(code);
-        let sp = speedup_sweep(&k.program, &[1, 2, 4, 8, 16, 32], 32, AccessCosts::default())
-            .expect("timing");
+        let sp = speedup_sweep(
+            &k.program,
+            &[1, 2, 4, 8, 16, 32],
+            32,
+            AccessCosts::default(),
+        )
+        .expect("timing");
         let mut row = vec![code.to_string()];
         row.extend(sp.into_iter().map(|(_, s)| format!("{s:.2}×")));
         rows.push(row);
@@ -279,9 +327,11 @@ pub fn timing() -> String {
     let mut net_rows = Vec::new();
     for code in ["K1", "K6", "K18"] {
         let k = kernel_by_code(code);
-        for topo in
-            [NetworkTopology::Crossbar, NetworkTopology::Mesh2D, NetworkTopology::Hypercube]
-        {
+        for topo in [
+            NetworkTopology::Crossbar,
+            NetworkTopology::Mesh2D,
+            NetworkTopology::Hypercube,
+        ] {
             let cfg = MachineConfig::paper(16, 32).with_network(topo);
             let rep = simulate(&k.program, &cfg).expect("sim");
             net_rows.push(vec![
@@ -293,7 +343,10 @@ pub fn timing() -> String {
             ]);
         }
     }
-    let net = markdown_table(&["kernel", "topology", "messages", "hops", "max link load"], &net_rows);
+    let net = markdown_table(
+        &["kernel", "topology", "messages", "hops", "max link load"],
+        &net_rows,
+    );
     format!("## Extension: estimated speedup (cost model) and network contention\n\n{table}\n{net}")
 }
 

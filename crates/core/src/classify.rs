@@ -148,8 +148,7 @@ mod tests {
             nb.assign(
                 za,
                 [iv(1), iv(0)],
-                nb.read(zp, [iv(1).plus(-1), iv(0).plus(1)])
-                    + nb.read(zr, [iv(1), iv(0).plus(-1)]),
+                nb.read(zp, [iv(1).plus(-1), iv(0).plus(1)]) + nb.read(zr, [iv(1), iv(0).plus(-1)]),
             );
         });
         let c = classify_dynamic(&b.finish(), 32).unwrap();

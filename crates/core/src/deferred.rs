@@ -138,8 +138,8 @@ impl Engine {
         }
 
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-        for pe in 0..n {
-            if !per_pe[pe].is_empty() {
+        for (pe, insts) in per_pe.iter().enumerate() {
+            if !insts.is_empty() {
                 heap.push(Reverse((self.clock[pe], pe)));
             }
         }
@@ -222,7 +222,11 @@ impl Engine {
             if let Some(sid) = inst.reduce {
                 let host = host_of(sid, n);
                 // Non-host contributors ship a partial result.
-                let arrival = if pe == host { t } else { t + self.costs.remote_base };
+                let arrival = if pe == host {
+                    t
+                } else {
+                    t + self.costs.remote_base
+                };
                 let entry = pending.get_mut(&sid).expect("counted during setup");
                 entry.0 -= 1;
                 entry.1 = entry.1.max(arrival);
@@ -326,7 +330,10 @@ mod tests {
         let x = b.array_with(
             "X",
             &[n],
-            sa_ir::program::ArrayInit::Prefix { pattern: InitPattern::Zero, len: 1 },
+            sa_ir::program::ArrayInit::Prefix {
+                pattern: InitPattern::Zero,
+                len: 1,
+            },
         );
         b.nest("chain", &[("i", 1, n as i64 - 1)], |nb| {
             nb.assign(x, [iv(0)], nb.read(x, [iv(0).plus(-1)]) + 1.0);
@@ -352,7 +359,10 @@ mod tests {
         let t1 = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
         let t8 = estimate_timing(&p, &MachineConfig::paper(8, 32)).unwrap();
         let s = t8.speedup_over(&t1);
-        assert!(s > 7.9 && s <= 8.0, "matched loop must scale ~linearly, got {s:.2}");
+        assert!(
+            s > 7.9 && s <= 8.0,
+            "matched loop must scale ~linearly, got {s:.2}"
+        );
     }
 
     #[test]

@@ -145,22 +145,29 @@ impl Memory for CountingMem<'_> {
         match self.machine.read(self.pe, array.0, addr) {
             Ok((v, kind, hops)) => {
                 if self.tracing {
-                    self.reads.push(TraceRead { array: array.0, generation, addr, kind, hops });
+                    self.reads.push(TraceRead {
+                        array: array.0,
+                        generation,
+                        addr,
+                        kind,
+                        hops,
+                    });
                 }
                 Ok(v)
             }
             Err(MachineError::ReadUndefined { array, addr }) => {
                 Err(IrError::ReadUndefined { array, addr })
             }
-            Err(MachineError::OutOfBounds { array, addr, len }) => {
-                Err(IrError::IndexOutOfBounds {
-                    array,
-                    dim: 0,
-                    index: addr as i64,
-                    extent: len,
-                })
-            }
-            Err(e) => Err(IrError::ReadUndefined { array: e.to_string(), addr }),
+            Err(MachineError::OutOfBounds { array, addr, len }) => Err(IrError::IndexOutOfBounds {
+                array,
+                dim: 0,
+                index: addr as i64,
+                extent: len,
+            }),
+            Err(e) => Err(IrError::ReadUndefined {
+                array: e.to_string(),
+                addr,
+            }),
         }
     }
 }
@@ -173,10 +180,12 @@ struct PeekMem<'m> {
 
 impl Memory for PeekMem<'_> {
     fn load(&mut self, array: ArrayId, addr: usize) -> Result<f64, IrError> {
-        self.machine.peek(array.0, addr).ok_or(IrError::ReadUndefined {
-            array: format!("array#{}", array.0),
-            addr,
-        })
+        self.machine
+            .peek(array.0, addr)
+            .ok_or(IrError::ReadUndefined {
+                array: format!("array#{}", array.0),
+                addr,
+            })
     }
 }
 
@@ -227,13 +236,18 @@ fn run(program: &Program, cfg: &MachineConfig, tracing: bool) -> Result<SimRepor
             Phase::Reinit(id) => {
                 let sync = machine.reinit(id.0)?;
                 if tracing {
-                    phases_trace.push(PhaseTrace::Reinit { messages: sync.total_messages() });
+                    phases_trace.push(PhaseTrace::Reinit {
+                        messages: sync.total_messages(),
+                    });
                 }
             }
             Phase::Loop(nest) => {
                 let before = machine.stats().clone();
-                let mut per_pe: Vec<Vec<Instance>> =
-                    if tracing { vec![Vec::new(); cfg.n_pes] } else { Vec::new() };
+                let mut per_pe: Vec<Vec<Instance>> = if tracing {
+                    vec![Vec::new(); cfg.n_pes]
+                } else {
+                    Vec::new()
+                };
                 // Which PEs contributed to each reduction in this nest.
                 let mut reduce_participants: Vec<(usize, Vec<bool>)> = Vec::new();
                 for stmt in &nest.body {
@@ -314,7 +328,10 @@ fn run(program: &Program, cfg: &MachineConfig, tracing: bool) -> Result<SimRepor
         network_hops: network.hops,
         max_link_load: network.max_link_load(),
         arrays,
-        trace: tracing.then_some(ExecTrace { n_pes, phases: phases_trace }),
+        trace: tracing.then_some(ExecTrace {
+            n_pes,
+            phases: phases_trace,
+        }),
     })
 }
 
@@ -350,7 +367,12 @@ fn exec_stmt(
         }
     };
 
-    let mut mem = CountingMem { machine, pe, reads: Vec::new(), tracing };
+    let mut mem = CountingMem {
+        machine,
+        pe,
+        reads: Vec::new(),
+        tracing,
+    };
     match stmt {
         Stmt::Assign { target, value } => {
             let v = ctx.eval(value, ivs, &mut mem)?;
@@ -378,7 +400,12 @@ fn exec_stmt(
             scalar_reads_of(value, &mut scalar_reads);
             Ok((
                 pe,
-                Instance { reads, scalar_reads, write: None, reduce: Some(target.0) },
+                Instance {
+                    reads,
+                    scalar_reads,
+                    write: None,
+                    reduce: Some(target.0),
+                },
             ))
         }
     }
@@ -499,8 +526,10 @@ mod tests {
         for (pe, instances) in per_pe.iter().enumerate() {
             assert_eq!(instances.len(), 32, "PE {pe}");
             // Write addresses are strictly increasing within a PE.
-            let addrs: Vec<usize> =
-                instances.iter().map(|i| i.write.expect("assign").2).collect();
+            let addrs: Vec<usize> = instances
+                .iter()
+                .map(|i| i.write.expect("assign").2)
+                .collect();
             assert!(addrs.windows(2).all(|w| w[0] < w[1]));
             // Each instance performs 3 reads.
             assert!(instances.iter().all(|i| i.reads.len() == 3));
@@ -511,7 +540,14 @@ mod tests {
     fn reduction_executes_where_data_lives() {
         // s = Σ Y(k): anchored at Y(k), so each PE reduces its own pages.
         let mut b = ProgramBuilder::new("sum");
-        let y = b.input("Y", &[128], InitPattern::Linear { base: 1.0, step: 0.0 });
+        let y = b.input(
+            "Y",
+            &[128],
+            InitPattern::Linear {
+                base: 1.0,
+                step: 0.0,
+            },
+        );
         let s = b.scalar("s");
         b.nest("sum", &[("k", 0, 127)], |nb| {
             nb.reduce(s, sa_ir::ReduceOp::Sum, nb.read(y, [iv(0)]));
@@ -519,7 +555,11 @@ mod tests {
         let p = b.finish();
         let rep = simulate(&p, &MachineConfig::paper(4, 32)).unwrap();
         assert_eq!(rep.scalars[0], 128.0);
-        assert_eq!(rep.stats.remote_reads(), 0, "reduction reads must all be local");
+        assert_eq!(
+            rep.stats.remote_reads(),
+            0,
+            "reduction reads must all be local"
+        );
         // Work is spread: every PE did 32 local reads.
         assert!(rep.stats.local_reads_per_pe().iter().all(|&r| r == 32));
     }
@@ -529,7 +569,10 @@ mod tests {
         // If screening were wrong the machine would reject the write.
         let p = hydro(777); // deliberately not page aligned
         for n in [1usize, 2, 3, 5, 8] {
-            assert!(simulate(&p, &MachineConfig::paper(n, 32)).is_ok(), "n_pes={n}");
+            assert!(
+                simulate(&p, &MachineConfig::paper(n, 32)).is_ok(),
+                "n_pes={n}"
+            );
         }
     }
 

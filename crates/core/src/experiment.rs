@@ -1,10 +1,16 @@
 //! Parameter sweeps: the machinery behind every figure in the paper.
+//!
+//! Every sweep point is an independent simulation, so the drivers fan the
+//! grid out across threads via [`crate::parallel::par_map`] while keeping
+//! the exact result order of the original sequential loops (page size
+//! outermost, then cache on/off, then PE count).
 
 use sa_ir::Program;
 use sa_machine::{AccessCosts, CachePolicy, MachineConfig, PartitionScheme};
 
 use crate::deferred::{estimate_timing, TimingError};
 use crate::exec::{simulate, SimError};
+use crate::parallel::par_map;
 
 /// One measured point of a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,37 +33,74 @@ pub struct SweepPoint {
     pub messages: u64,
 }
 
+/// The full grid a [`pe_sweep`] visits, in result order: page size
+/// outermost, then cache on/off, then PE count.
+fn sweep_grid(pes: &[usize], page_sizes: &[usize], cache_options: &[bool]) -> Vec<SweepConfig> {
+    let mut grid = Vec::with_capacity(pes.len() * page_sizes.len() * cache_options.len());
+    for &page_size in page_sizes {
+        for &cached in cache_options {
+            for &n_pes in pes {
+                grid.push(SweepConfig {
+                    n_pes,
+                    page_size,
+                    cached,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// One unmeasured grid point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// PE count.
+    pub n_pes: usize,
+    /// Page size in elements.
+    pub page_size: usize,
+    /// Whether the cache is enabled.
+    pub cached: bool,
+}
+
+impl SweepConfig {
+    /// The machine this grid point simulates.
+    pub fn machine(&self) -> MachineConfig {
+        if self.cached {
+            MachineConfig::paper(self.n_pes, self.page_size)
+        } else {
+            MachineConfig::paper_no_cache(self.n_pes, self.page_size)
+        }
+    }
+}
+
+/// Measure one grid point.
+fn measure(program: &Program, cfg: &SweepConfig) -> Result<SweepPoint, SimError> {
+    let rep = simulate(program, &cfg.machine())?;
+    Ok(SweepPoint {
+        n_pes: cfg.n_pes,
+        page_size: cfg.page_size,
+        cached: cfg.cached,
+        remote_pct: rep.remote_pct(),
+        cached_pct: rep.stats.cached_read_pct(),
+        remote_reads: rep.stats.remote_reads(),
+        total_reads: rep.stats.total_reads(),
+        messages: rep.network_messages,
+    })
+}
+
 /// Sweep PE counts × page sizes × cache on/off (the axes of Figures 1–4).
+///
+/// Grid points are simulated concurrently; results are ordered as the
+/// sequential triple loop produced them (page size, cache flag, PE count).
 pub fn pe_sweep(
     program: &Program,
     pes: &[usize],
     page_sizes: &[usize],
     cache_options: &[bool],
 ) -> Result<Vec<SweepPoint>, SimError> {
-    let mut out = Vec::with_capacity(pes.len() * page_sizes.len() * cache_options.len());
-    for &page_size in page_sizes {
-        for &cached in cache_options {
-            for &n_pes in pes {
-                let cfg = if cached {
-                    MachineConfig::paper(n_pes, page_size)
-                } else {
-                    MachineConfig::paper_no_cache(n_pes, page_size)
-                };
-                let rep = simulate(program, &cfg)?;
-                out.push(SweepPoint {
-                    n_pes,
-                    page_size,
-                    cached,
-                    remote_pct: rep.remote_pct(),
-                    cached_pct: rep.stats.cached_read_pct(),
-                    remote_reads: rep.stats.remote_reads(),
-                    total_reads: rep.stats.total_reads(),
-                    messages: rep.network_messages,
-                });
-            }
-        }
-    }
-    Ok(out)
+    par_map(&sweep_grid(pes, page_sizes, cache_options), |cfg| {
+        measure(program, cfg)
+    })
 }
 
 /// Sweep cache sizes (the §7.1.4 remedy for Random-class loops).
@@ -67,13 +110,11 @@ pub fn cache_sweep(
     page_size: usize,
     cache_elems: &[usize],
 ) -> Result<Vec<(usize, f64)>, SimError> {
-    let mut out = Vec::with_capacity(cache_elems.len());
-    for &elems in cache_elems {
+    par_map(cache_elems, |&elems| {
         let cfg = MachineConfig::paper(n_pes, page_size).with_cache_elems(elems);
         let rep = simulate(program, &cfg)?;
-        out.push((elems, rep.remote_pct()));
-    }
-    Ok(out)
+        Ok((elems, rep.remote_pct()))
+    })
 }
 
 /// Compare partitioning schemes (§9: modulo vs the division scheme).
@@ -83,13 +124,11 @@ pub fn partition_sweep(
     page_size: usize,
     schemes: &[PartitionScheme],
 ) -> Result<Vec<(String, f64)>, SimError> {
-    let mut out = Vec::with_capacity(schemes.len());
-    for &scheme in schemes {
+    par_map(schemes, |&scheme| {
         let cfg = MachineConfig::paper(n_pes, page_size).with_partition(scheme);
         let rep = simulate(program, &cfg)?;
-        out.push((scheme.name(), rep.remote_pct()));
-    }
-    Ok(out)
+        Ok((scheme.name(), rep.remote_pct()))
+    })
 }
 
 /// Compare replacement policies (§4 chose LRU).
@@ -99,8 +138,7 @@ pub fn policy_sweep(
     page_size: usize,
     policies: &[CachePolicy],
 ) -> Result<Vec<(String, f64)>, SimError> {
-    let mut out = Vec::with_capacity(policies.len());
-    for &policy in policies {
+    par_map(policies, |&policy| {
         let cfg = MachineConfig::paper(n_pes, page_size).with_cache_policy(policy);
         let rep = simulate(program, &cfg)?;
         let name = match policy {
@@ -108,9 +146,8 @@ pub fn policy_sweep(
             CachePolicy::Fifo => "fifo".to_string(),
             CachePolicy::Random { .. } => "random".to_string(),
         };
-        out.push((name, rep.remote_pct()));
-    }
-    Ok(out)
+        Ok((name, rep.remote_pct()))
+    })
 }
 
 /// Estimated speedup vs PE count (the §9 execution-time extension).
@@ -120,13 +157,17 @@ pub fn speedup_sweep(
     page_size: usize,
     costs: AccessCosts,
 ) -> Result<Vec<(usize, f64)>, TimingError> {
-    let base = estimate_timing(program, &MachineConfig::paper(1, page_size).with_costs(costs))?;
-    let mut out = Vec::with_capacity(pes.len());
-    for &n in pes {
-        let t = estimate_timing(program, &MachineConfig::paper(n, page_size).with_costs(costs))?;
-        out.push((n, t.speedup_over(&base)));
-    }
-    Ok(out)
+    let base = estimate_timing(
+        program,
+        &MachineConfig::paper(1, page_size).with_costs(costs),
+    )?;
+    par_map(pes, |&n| {
+        let t = estimate_timing(
+            program,
+            &MachineConfig::paper(n, page_size).with_costs(costs),
+        )?;
+        Ok((n, t.speedup_over(&base)))
+    })
 }
 
 #[cfg(test)]
@@ -171,6 +212,61 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_matches_sequential_order() {
+        // The concurrent fan-out must return exactly what the sequential
+        // triple loop produced, point for point, in the same order.
+        let p = skewed(768, 7);
+        let (pes, page_sizes, cache_options) = (
+            &[1usize, 2, 3, 4, 8, 16][..],
+            &[16usize, 32, 64][..],
+            &[true, false][..],
+        );
+        let sequential: Vec<SweepPoint> = {
+            let mut out = Vec::new();
+            for &page_size in page_sizes {
+                for &cached in cache_options {
+                    for &n_pes in pes {
+                        out.push(
+                            measure(
+                                &p,
+                                &SweepConfig {
+                                    n_pes,
+                                    page_size,
+                                    cached,
+                                },
+                            )
+                            .unwrap(),
+                        );
+                    }
+                }
+            }
+            out
+        };
+        let parallel = pe_sweep(&p, pes, page_sizes, cache_options).unwrap();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn sweep_error_reports_lowest_grid_index() {
+        // Grid order is page size → cache → PEs, so the failing points are
+        // index 0 (page 0, 2 PEs → ZeroPageSize), index 1 (page 0, 0 PEs →
+        // ZeroPes, since n_pes is validated first) and index 3 (page 32,
+        // 0 PEs → ZeroPes). The sequential loop would stop at index 0;
+        // the parallel sweep must report that same point's error, not
+        // whichever failing point finished first.
+        use sa_machine::{ConfigError, MachineError};
+        let p = skewed(64, 1);
+        let err = pe_sweep(&p, &[2, 0], &[0, 32], &[true]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::Machine(MachineError::BadConfig(ConfigError::ZeroPageSize))
+            ),
+            "expected grid point 0's error (ZeroPageSize), got {err:?}"
+        );
+    }
+
+    #[test]
     fn cache_sweep_is_monotone_for_skewed() {
         let p = skewed(1024, 11);
         let pts = cache_sweep(&p, 4, 32, &[0, 64, 256, 1024]).unwrap();
@@ -204,7 +300,11 @@ mod tests {
             &p,
             4,
             32,
-            &[CachePolicy::Lru, CachePolicy::Fifo, CachePolicy::Random { seed: 1 }],
+            &[
+                CachePolicy::Lru,
+                CachePolicy::Fifo,
+                CachePolicy::Random { seed: 1 },
+            ],
         )
         .unwrap();
         assert_eq!(rows.len(), 3);
@@ -216,6 +316,9 @@ mod tests {
         let p = skewed(512, 0);
         let s = speedup_sweep(&p, &[1, 2, 4, 8], 32, AccessCosts::default()).unwrap();
         assert_eq!(s[0].1, 1.0);
-        assert!(s[3].1 > s[1].1, "a matched loop should keep speeding up: {s:?}");
+        assert!(
+            s[3].1 > s[1].1,
+            "a matched loop should keep speeding up: {s:?}"
+        );
     }
 }

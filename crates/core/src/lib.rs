@@ -15,7 +15,10 @@
 //!   barriers, yielding estimated cycles and speedup curves.
 //! * [`classify`] — dynamic (measurement-based) access-class detection,
 //!   cross-checking the static classifier in `sa-ir`.
-//! * [`experiment`] — parameter sweeps (PEs × page size × cache × scheme).
+//! * [`experiment`] — parameter sweeps (PEs × page size × cache × scheme),
+//!   fanned out across threads with deterministic result ordering.
+//! * [`parallel`] — the scoped-thread, order-preserving map the sweeps
+//!   (and the figure generator) are built on.
 //! * [`report`] — markdown / CSV / ASCII-chart emitters for the figures.
 //! * [`verify`] — end-to-end equivalence with the reference interpreter.
 
@@ -25,6 +28,7 @@ pub mod classify;
 pub mod deferred;
 pub mod exec;
 pub mod experiment;
+pub mod parallel;
 pub mod report;
 pub mod screening;
 pub mod verify;
@@ -32,6 +36,7 @@ pub mod verify;
 pub use classify::{classify_dynamic, DynamicClassification};
 pub use deferred::{estimate_timing, TimingReport};
 pub use exec::{simulate, simulate_traced, SimError, SimReport};
-pub use experiment::{pe_sweep, SweepPoint};
+pub use experiment::{pe_sweep, SweepConfig, SweepPoint};
+pub use parallel::par_map;
 pub use screening::PartitionMap;
 pub use verify::verify_against_reference;

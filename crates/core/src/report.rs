@@ -109,7 +109,10 @@ mod tests {
     fn markdown_table_shape() {
         let t = markdown_table(
             &["PEs", "remote %"],
-            &[vec!["4".into(), "1.23%".into()], vec!["8".into(), "1.10%".into()]],
+            &[
+                vec!["4".into(), "1.23%".into()],
+                vec!["8".into(), "1.10%".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -133,8 +136,14 @@ mod tests {
     #[test]
     fn chart_renders_all_series() {
         let s = vec![
-            Series { label: "cache".into(), points: vec![(1.0, 0.0), (32.0, 5.0)] },
-            Series { label: "no cache".into(), points: vec![(1.0, 0.0), (32.0, 20.0)] },
+            Series {
+                label: "cache".into(),
+                points: vec![(1.0, 0.0), (32.0, 5.0)],
+            },
+            Series {
+                label: "no cache".into(),
+                points: vec![(1.0, 0.0), (32.0, 20.0)],
+            },
         ];
         let chart = ascii_chart("Fig 1", &s, 40, 10);
         assert!(chart.contains("Fig 1"));
@@ -147,7 +156,10 @@ mod tests {
 
     #[test]
     fn chart_handles_degenerate_ranges() {
-        let s = vec![Series { label: "flat".into(), points: vec![(1.0, 0.0)] }];
+        let s = vec![Series {
+            label: "flat".into(),
+            points: vec![(1.0, 0.0)],
+        }];
         let chart = ascii_chart("flat", &s, 10, 4);
         assert!(chart.contains('*'));
         let empty = ascii_chart("none", &[], 10, 4);

@@ -132,7 +132,12 @@ fn linear_form(program: &Program, aref: &ArrayRef, nvars: usize) -> Option<(Vec<
 }
 
 fn support(coeffs: &[i64]) -> Vec<usize> {
-    coeffs.iter().enumerate().filter(|&(_, &c)| c != 0).map(|(v, _)| v).collect()
+    coeffs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c != 0)
+        .map(|(v, _)| v)
+        .collect()
 }
 
 /// `a` and `b` are scalar multiples of each other (over the rationals).
@@ -152,7 +157,11 @@ fn relate(write: &(Vec<i64>, i64), read: &(Vec<i64>, i64)) -> PairRelation {
     let (cr, or) = read;
     if cw == cr {
         let d = or - ow;
-        return if d == 0 { PairRelation::Identical } else { PairRelation::Skew(d) };
+        return if d == 0 {
+            PairRelation::Identical
+        } else {
+            PairRelation::Skew(d)
+        };
     }
     if support(cw) == support(cr) && proportional(cw, cr) {
         // Same variables drive both addresses at proportionally different
@@ -318,16 +327,29 @@ pub fn classify_nest(program: &Program, nest: &LoopNest) -> NestReport {
         // A write through an indirect index (scatter) is Random by itself.
         let scatter = anchor.map(ArrayRef::has_indirection).unwrap_or(false);
         let class = stmt_class(&relations, scatter);
-        stmts.push(StmtReport { stmt_index: si, relations, class });
+        stmts.push(StmtReport {
+            stmt_index: si,
+            relations,
+            class,
+        });
     }
 
-    let mut class = stmts.iter().map(|s| s.class).max().unwrap_or(AccessClass::Matched);
+    let mut class = stmts
+        .iter()
+        .map(|s| s.class)
+        .max()
+        .unwrap_or(AccessClass::Matched);
     // A re-sweeping traversal upgrades non-local statements to Cyclic
     // (the "cyclic and skewed combination" of Fig. 3) but never downgrades.
     if revisit_any && matches!(class, AccessClass::Skewed { .. }) {
         class = AccessClass::Cyclic;
     }
-    NestReport { label: nest.label.clone(), sweep_revisit: revisit_any, stmts, class }
+    NestReport {
+        label: nest.label.clone(),
+        sweep_revisit: revisit_any,
+        stmts,
+        class,
+    }
 }
 
 fn stmt_class(relations: &[(String, PairRelation)], scatter: bool) -> AccessClass {
@@ -347,16 +369,21 @@ fn stmt_class(relations: &[(String, PairRelation)], scatter: bool) -> AccessClas
     if class == AccessClass::Matched && max_skew > 0 {
         class = AccessClass::Skewed { max_skew };
     } else if let AccessClass::Skewed { max_skew: m } = class {
-        class = AccessClass::Skewed { max_skew: m.max(max_skew) };
+        class = AccessClass::Skewed {
+            max_skew: m.max(max_skew),
+        };
     }
     class
 }
 
 /// Classify every nest of a program; the program class is the most severe.
 pub fn classify_program(program: &Program) -> ProgramReport {
-    let nests: Vec<NestReport> =
-        program.nests().map(|n| classify_nest(program, n)).collect();
-    let class = nests.iter().map(|n| n.class).max().unwrap_or(AccessClass::Matched);
+    let nests: Vec<NestReport> = program.nests().map(|n| classify_nest(program, n)).collect();
+    let class = nests
+        .iter()
+        .map(|n| n.class)
+        .max()
+        .unwrap_or(AccessClass::Matched);
     ProgramReport { nests, class }
 }
 
@@ -373,7 +400,10 @@ mod tests {
         assert!(AccessClass::Skewed { max_skew: 99 } < AccessClass::Cyclic);
         assert!(AccessClass::Cyclic < AccessClass::Random);
         assert_eq!(AccessClass::Random.abbrev(), "RD");
-        assert_eq!(format!("{}", AccessClass::Skewed { max_skew: 11 }), "Skewed(±11)");
+        assert_eq!(
+            format!("{}", AccessClass::Skewed { max_skew: 11 }),
+            "Skewed(±11)"
+        );
     }
 
     #[test]
@@ -389,8 +419,7 @@ mod tests {
         let rep = classify_program(&b.finish());
         assert_eq!(rep.class, AccessClass::Matched);
         assert!(!rep.nests[0].sweep_revisit);
-        assert!(rep.nests[0]
-            .stmts[0]
+        assert!(rep.nests[0].stmts[0]
             .relations
             .iter()
             .all(|(_, r)| *r == PairRelation::Identical));
@@ -422,7 +451,10 @@ mod tests {
         let x = b.array_with(
             "X",
             &[128],
-            crate::program::ArrayInit::Prefix { pattern: InitPattern::Wavy, len: 64 },
+            crate::program::ArrayInit::Prefix {
+                pattern: InitPattern::Wavy,
+                len: 64,
+            },
         );
         b.nest("level", &[("t", 0, 31)], |n| {
             n.assign(
@@ -463,7 +495,10 @@ mod tests {
         let w = b.array_with(
             "W",
             &[64],
-            crate::program::ArrayInit::Prefix { pattern: InitPattern::Wavy, len: 1 },
+            crate::program::ArrayInit::Prefix {
+                pattern: InitPattern::Wavy,
+                len: 1,
+            },
         );
         b.nest_loops(
             "k6",

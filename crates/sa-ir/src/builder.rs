@@ -40,7 +40,9 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Start a program named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        ProgramBuilder { program: Program::new(name) }
+        ProgramBuilder {
+            program: Program::new(name),
+        }
     }
 
     /// Declare a fully initialized input array.
@@ -61,7 +63,11 @@ impl ProgramBuilder {
         init: ArrayInit,
     ) -> ArrayId {
         let id = ArrayId(self.program.arrays.len());
-        self.program.arrays.push(ArrayDecl { name: name.into(), dims: dims.to_vec(), init });
+        self.program.arrays.push(ArrayDecl {
+            name: name.into(),
+            dims: dims.to_vec(),
+            init,
+        });
         id
     }
 
@@ -134,14 +140,22 @@ impl NestBuilder {
         I: IntoIterator,
         I::Item: Into<IndexExpr>,
     {
-        Expr::Read(ArrayRef::new(array, indices.into_iter().map(Into::into).collect()))
+        Expr::Read(ArrayRef::new(
+            array,
+            indices.into_iter().map(Into::into).collect(),
+        ))
     }
 
     /// A rank-1 gather `data[ base[pos] ]`.
     pub fn read_indirect(&self, data: ArrayId, base: ArrayId, pos: AffineIndex) -> Expr {
         Expr::Read(ArrayRef::new(
             data,
-            vec![IndexExpr::Indirect { base, pos, scale: 1, offset: 0 }],
+            vec![IndexExpr::Indirect {
+                base,
+                pos,
+                scale: 1,
+                offset: 0,
+            }],
         ))
     }
 
@@ -154,7 +168,15 @@ impl NestBuilder {
         scale: i64,
         offset: i64,
     ) -> Expr {
-        Expr::Read(ArrayRef::new(data, vec![IndexExpr::Indirect { base, pos, scale, offset }]))
+        Expr::Read(ArrayRef::new(
+            data,
+            vec![IndexExpr::Indirect {
+                base,
+                pos,
+                scale,
+                offset,
+            }],
+        ))
     }
 
     /// A parameter as an expression.
@@ -181,7 +203,11 @@ impl NestBuilder {
 
     /// Append `scalar ← scalar ⊕ value`.
     pub fn reduce(&mut self, target: ScalarId, op: ReduceOp, value: impl Into<Expr>) {
-        self.body.push(Stmt::Reduce { target, op, value: value.into() });
+        self.body.push(Stmt::Reduce {
+            target,
+            op,
+            value: value.into(),
+        });
     }
 }
 
@@ -232,7 +258,12 @@ mod tests {
             "tri",
             vec![
                 LoopVar::simple("i", 1, 5),
-                LoopVar { name: "k".into(), lo: 0.into(), hi: iv(0).plus(-1), step: 2 },
+                LoopVar {
+                    name: "k".into(),
+                    lo: 0.into(),
+                    hi: iv(0).plus(-1),
+                    step: 2,
+                },
             ],
             |nb| {
                 nb.assign(x, [iv(0).scale(6).add(&iv(1))], Expr::Const(1.0));

@@ -18,7 +18,10 @@ pub struct AffineIndex {
 impl AffineIndex {
     /// The constant index `c`.
     pub fn constant(c: i64) -> Self {
-        AffineIndex { coeffs: Vec::new(), offset: c }
+        AffineIndex {
+            coeffs: Vec::new(),
+            offset: c,
+        }
     }
 
     /// The bare loop variable `var` (coefficient 1).
@@ -64,7 +67,10 @@ impl AffineIndex {
     pub fn add(&self, other: &AffineIndex) -> Self {
         let n = self.coeffs.len().max(other.coeffs.len());
         let coeffs = (0..n).map(|v| self.coeff(v) + other.coeff(v)).collect();
-        AffineIndex { coeffs, offset: self.offset + other.offset }
+        AffineIndex {
+            coeffs,
+            offset: self.offset + other.offset,
+        }
     }
 
     /// Scale the whole index by a constant.
@@ -147,7 +153,10 @@ mod tests {
     #[test]
     fn eval_affine_combinations() {
         // 2*i + 3*j - 4 at (i,j) = (5, 7) → 10 + 21 - 4 = 27
-        let a = AffineIndex { coeffs: vec![2, 3], offset: -4 };
+        let a = AffineIndex {
+            coeffs: vec![2, 3],
+            offset: -4,
+        };
         assert_eq!(a.eval(&[5, 7]), 27);
         assert_eq!(a.coeff(0), 2);
         assert_eq!(a.coeff(9), 0);
@@ -175,7 +184,10 @@ mod tests {
     fn coeffs_padded_extends_and_truncates() {
         let a = iv(1); // [0, 1]
         assert_eq!(a.coeffs_padded(4), vec![0, 1, 0, 0]);
-        let b = AffineIndex { coeffs: vec![5, 6, 7], offset: 0 };
+        let b = AffineIndex {
+            coeffs: vec![5, 6, 7],
+            offset: 0,
+        };
         assert_eq!(b.coeffs_padded(2), vec![5, 6]);
     }
 
@@ -184,7 +196,12 @@ mod tests {
         let e: IndexExpr = iv(0).plus(2).into();
         assert!(!e.is_indirect());
         assert_eq!(e.as_affine().unwrap().offset, 2);
-        let g = IndexExpr::Indirect { base: ArrayId(0), pos: iv(0), scale: 1, offset: 0 };
+        let g = IndexExpr::Indirect {
+            base: ArrayId(0),
+            pos: iv(0),
+            scale: 1,
+            offset: 0,
+        };
         assert!(g.is_indirect());
         assert!(g.as_affine().is_none());
         let c: IndexExpr = 4i64.into();

@@ -62,7 +62,12 @@ impl<'p> EvalCtx<'p> {
         for ix in &aref.indices {
             let v = match ix {
                 IndexExpr::Affine(a) => a.eval(ivs),
-                IndexExpr::Indirect { base, pos, scale, offset } => {
+                IndexExpr::Indirect {
+                    base,
+                    pos,
+                    scale,
+                    offset,
+                } => {
                     let base_decl = self.program.array(*base);
                     let p = pos.eval(ivs);
                     if p < 0 || p as usize >= base_decl.len() {
@@ -83,12 +88,7 @@ impl<'p> EvalCtx<'p> {
     }
 
     /// Evaluate an expression at iteration `ivs`, loading elements via `mem`.
-    pub fn eval(
-        &self,
-        expr: &Expr,
-        ivs: &[i64],
-        mem: &mut impl Memory,
-    ) -> Result<f64, IrError> {
+    pub fn eval(&self, expr: &Expr, ivs: &[i64], mem: &mut impl Memory) -> Result<f64, IrError> {
         Ok(match expr {
             Expr::Const(c) => *c,
             Expr::Param(p) => self.params[p.0],
@@ -125,7 +125,10 @@ impl ProgramResult {
     /// Defined values of one array as `(addr, value)` pairs.
     pub fn defined_values(&self, id: ArrayId) -> Vec<(usize, f64)> {
         let a = &self.arrays[id.0];
-        a.tags().iter_set().map(|i| (i, *a.read(i).unwrap().unwrap())).collect()
+        a.tags()
+            .iter_set()
+            .map(|i| (i, *a.read(i).unwrap().unwrap()))
+            .collect()
     }
 
     /// Compare the defined cells of every array (and all scalars) with
@@ -140,7 +143,11 @@ impl ProgramResult {
         }
         for (i, (a, b)) in self.arrays.iter().zip(&other.arrays).enumerate() {
             if a.len() != b.len() {
-                return Err(format!("array {i} length mismatch: {} vs {}", a.len(), b.len()));
+                return Err(format!(
+                    "array {i} length mismatch: {} vs {}",
+                    a.len(),
+                    b.len()
+                ));
             }
             for addr in 0..a.len() {
                 let va = a.read(addr).map_err(|e| e.to_string())?;
@@ -192,7 +199,10 @@ impl Memory for SeqMemory {
         let a = &self.arrays[array.0];
         match a.read(addr) {
             Ok(Some(v)) => Ok(*v),
-            Ok(None) => Err(IrError::ReadUndefined { array: a.name().to_string(), addr }),
+            Ok(None) => Err(IrError::ReadUndefined {
+                array: a.name().to_string(),
+                addr,
+            }),
             Err(_) => Err(IrError::IndexOutOfBounds {
                 array: a.name().to_string(),
                 dim: 0,
@@ -227,16 +237,21 @@ pub fn initial_stores(program: &Program) -> Vec<SaArray<f64>> {
 /// never-defined cell, or an out-of-bounds index.
 pub fn interpret(program: &Program) -> Result<ProgramResult, IrError> {
     let mut ctx = EvalCtx::new(program);
-    let mut mem = SeqMemory { arrays: initial_stores(program), reads: 0 };
+    let mut mem = SeqMemory {
+        arrays: initial_stores(program),
+        reads: 0,
+    };
     let mut writes = 0usize;
 
     for phase in &program.phases {
         match phase {
             Phase::Reinit(id) => {
-                mem.arrays[id.0].reinit().map_err(|_| IrError::DoubleWrite {
-                    array: program.array(*id).name.clone(),
-                    addr: usize::MAX,
-                })?;
+                mem.arrays[id.0]
+                    .reinit()
+                    .map_err(|_| IrError::DoubleWrite {
+                        array: program.array(*id).name.clone(),
+                        addr: usize::MAX,
+                    })?;
             }
             Phase::Loop(nest) => {
                 // Seed reductions with their identities before the nest runs.
@@ -303,7 +318,14 @@ mod tests {
     /// X(k) = 2*Y(k) + 1 over k=0..9.
     fn simple_program() -> Program {
         let mut b = ProgramBuilder::new("simple");
-        let y = b.input("Y", &[10], InitPattern::Linear { base: 0.0, step: 1.0 });
+        let y = b.input(
+            "Y",
+            &[10],
+            InitPattern::Linear {
+                base: 0.0,
+                step: 1.0,
+            },
+        );
         let x = b.output("X", &[10]);
         b.nest("main", &[("k", 0, 9)], |n| {
             n.assign(x, [iv(0)], 2.0 * n.read(y, [iv(0)]) + 1.0);
@@ -330,7 +352,10 @@ mod tests {
         let x = b.array_with(
             "X",
             &[10],
-            crate::program::ArrayInit::Prefix { pattern: InitPattern::Const(100.0), len: 1 },
+            crate::program::ArrayInit::Prefix {
+                pattern: InitPattern::Const(100.0),
+                len: 1,
+            },
         );
         b.nest("rec", &[("i", 1, 9)], |n| {
             n.assign(x, [iv(0)], n.read(x, [iv(0).plus(-1)]) + 1.0);
@@ -368,7 +393,14 @@ mod tests {
     fn reduction_accumulates_with_identity() {
         // s = Σ Y(k), Y = 0..9 → 45.
         let mut b = ProgramBuilder::new("red");
-        let y = b.input("Y", &[10], InitPattern::Linear { base: 0.0, step: 1.0 });
+        let y = b.input(
+            "Y",
+            &[10],
+            InitPattern::Linear {
+                base: 0.0,
+                step: 1.0,
+            },
+        );
         let s = b.scalar("s");
         b.nest("sum", &[("k", 0, 9)], |n| {
             n.reduce(s, ReduceOp::Sum, n.read(y, [iv(0)]));
@@ -399,7 +431,14 @@ mod tests {
         // X(k) = D(P(k)) where P is the identity permutation reversed by
         // hand: use Permutation pattern and verify X is a permutation of D.
         let mut b = ProgramBuilder::new("gather");
-        let d = b.input("D", &[16], InitPattern::Linear { base: 0.0, step: 2.0 });
+        let d = b.input(
+            "D",
+            &[16],
+            InitPattern::Linear {
+                base: 0.0,
+                step: 2.0,
+            },
+        );
         let perm = b.input("P", &[16], InitPattern::Permutation { seed: 7 });
         let x = b.output("X", &[16]);
         b.nest("g", &[("k", 0, 15)], |n| {
@@ -407,8 +446,9 @@ mod tests {
         });
         let r = interpret(&b.finish()).unwrap();
         // Every X value must be one of D's values (even numbers 0..30).
-        let mut got: Vec<f64> =
-            (0..16).map(|k| *r.arrays[2].read(k).unwrap().unwrap()).collect();
+        let mut got: Vec<f64> = (0..16)
+            .map(|k| *r.arrays[2].read(k).unwrap().unwrap())
+            .collect();
         got.sort_by(f64::total_cmp);
         assert_eq!(got, (0..16).map(|i| 2.0 * i as f64).collect::<Vec<_>>());
         // Reads: one gather index load + one data load per iteration.

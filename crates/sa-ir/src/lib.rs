@@ -99,18 +99,29 @@ pub enum IrError {
 impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IrError::IndexOutOfBounds { array, dim, index, extent } => write!(
+            IrError::IndexOutOfBounds {
+                array,
+                dim,
+                index,
+                extent,
+            } => write!(
                 f,
                 "index {index} out of bounds for dimension {dim} (extent {extent}) of array {array}"
             ),
             IrError::DoubleWrite { array, addr } => {
-                write!(f, "single-assignment violation: {array}[{addr}] written twice")
+                write!(
+                    f,
+                    "single-assignment violation: {array}[{addr}] written twice"
+                )
             }
             IrError::ReadUndefined { array, addr } => {
                 write!(f, "read of undefined cell {array}[{addr}]")
             }
             IrError::RankMismatch { array, got, want } => {
-                write!(f, "array {array} has rank {want} but was indexed with {got} indices")
+                write!(
+                    f,
+                    "array {array} has rank {want} but was indexed with {got} indices"
+                )
             }
             IrError::BadLoopBounds { nest, var } => {
                 write!(f, "loop {var} in nest {nest} has a zero or divergent step")

@@ -25,7 +25,12 @@ pub struct LoopVar {
 impl LoopVar {
     /// A unit-step loop `name = lo..=hi` with constant bounds.
     pub fn simple(name: impl Into<String>, lo: i64, hi: i64) -> Self {
-        LoopVar { name: name.into(), lo: Bound::constant(lo), hi: Bound::constant(hi), step: 1 }
+        LoopVar {
+            name: name.into(),
+            lo: Bound::constant(lo),
+            hi: Bound::constant(hi),
+            step: 1,
+        }
     }
 
     /// Number of iterations given outer variable values, or 0 if empty.
@@ -242,9 +247,19 @@ mod tests {
     fn trip_counts_fortran_semantics() {
         let l = LoopVar::simple("k", 1, 10);
         assert_eq!(l.trip_count(&[]), 10);
-        let l = LoopVar { name: "k".into(), lo: 2.into(), hi: 10.into(), step: 2 };
+        let l = LoopVar {
+            name: "k".into(),
+            lo: 2.into(),
+            hi: 10.into(),
+            step: 2,
+        };
         assert_eq!(l.trip_count(&[]), 5); // 2,4,6,8,10
-        let l = LoopVar { name: "k".into(), lo: 10.into(), hi: 1.into(), step: -3 };
+        let l = LoopVar {
+            name: "k".into(),
+            lo: 10.into(),
+            hi: 1.into(),
+            step: -3,
+        };
         assert_eq!(l.trip_count(&[]), 4); // 10,7,4,1
         let l = LoopVar::simple("k", 5, 4);
         assert_eq!(l.trip_count(&[]), 0);
@@ -257,7 +272,12 @@ mod tests {
             label: "tri".into(),
             loops: vec![
                 LoopVar::simple("i", 1, 4),
-                LoopVar { name: "k".into(), lo: 1.into(), hi: iv(0).plus(-1), step: 1 },
+                LoopVar {
+                    name: "k".into(),
+                    lo: 1.into(),
+                    hi: iv(0).plus(-1),
+                    step: 1,
+                },
             ],
             body: vec![],
         };
@@ -271,7 +291,12 @@ mod tests {
     fn lexicographic_order_with_negative_step() {
         let nest = LoopNest {
             label: "rev".into(),
-            loops: vec![LoopVar { name: "k".into(), lo: 3.into(), hi: 1.into(), step: -1 }],
+            loops: vec![LoopVar {
+                name: "k".into(),
+                lo: 3.into(),
+                hi: 1.into(),
+                step: -1,
+            }],
             body: vec![],
         };
         let mut seen = Vec::new();
@@ -312,7 +337,12 @@ mod tests {
         let out = ArrayId(2);
         let gathered = ArrayRef::new(
             data,
-            vec![IndexExpr::Indirect { base: perm, pos: iv(0), scale: 1, offset: 0 }],
+            vec![IndexExpr::Indirect {
+                base: perm,
+                pos: iv(0),
+                scale: 1,
+                offset: 0,
+            }],
         );
         let nest = LoopNest {
             label: "g".into(),
@@ -328,9 +358,16 @@ mod tests {
     #[test]
     fn stmt_accessors() {
         let x = ArrayRef::new(crate::ArrayId(0), vec![iv(0).into()]);
-        let s = Stmt::Assign { target: x.clone(), value: Expr::Const(1.0) };
+        let s = Stmt::Assign {
+            target: x.clone(),
+            value: Expr::Const(1.0),
+        };
         assert_eq!(s.write_target(), Some(&x));
-        let r = Stmt::Reduce { target: crate::ScalarId(0), op: ReduceOp::Sum, value: Expr::Const(1.0) };
+        let r = Stmt::Reduce {
+            target: crate::ScalarId(0),
+            op: ReduceOp::Sum,
+            value: Expr::Const(1.0),
+        };
         assert_eq!(r.write_target(), None);
         assert!(r.reads().is_empty());
     }

@@ -54,16 +54,14 @@ impl InitPattern {
                 (0..len).map(|i| base + step * i as f64).collect()
             }
             InitPattern::Harmonic => (0..len).map(|i| 1.0 / (i as f64 + 1.0)).collect(),
-            InitPattern::Wavy => {
-                (0..len).map(|i| 0.5 + (0.37 * i as f64).sin() / 4.0).collect()
-            }
-            InitPattern::BoundedPermutation { seed, limit } => InitPattern::Permutation {
-                seed,
-            }
-            .materialize(len)
-            .into_iter()
-            .map(|v| (v as usize % limit.max(1)) as f64)
-            .collect(),
+            InitPattern::Wavy => (0..len)
+                .map(|i| 0.5 + (0.37 * i as f64).sin() / 4.0)
+                .collect(),
+            InitPattern::BoundedPermutation { seed, limit } => InitPattern::Permutation { seed }
+                .materialize(len)
+                .into_iter()
+                .map(|v| (v as usize % limit.max(1)) as f64)
+                .collect(),
             InitPattern::Permutation { seed } => {
                 let mut v: Vec<f64> = (0..len).map(|i| i as f64).collect();
                 let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -245,7 +243,10 @@ impl Program {
 
     /// Look up a parameter id by name.
     pub fn param_id(&self, name: &str) -> Option<crate::ParamId> {
-        self.params.iter().position(|(n, _)| n == name).map(crate::ParamId)
+        self.params
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(crate::ParamId)
     }
 
     /// Look up an array id by name.
@@ -263,7 +264,11 @@ mod tests {
         assert_eq!(InitPattern::Zero.materialize(3), vec![0.0, 0.0, 0.0]);
         assert_eq!(InitPattern::Const(2.5).materialize(2), vec![2.5, 2.5]);
         assert_eq!(
-            InitPattern::Linear { base: 1.0, step: 0.5 }.materialize(3),
+            InitPattern::Linear {
+                base: 1.0,
+                step: 0.5
+            }
+            .materialize(3),
             vec![1.0, 1.5, 2.0]
         );
         let h = InitPattern::Harmonic.materialize(4);
@@ -290,7 +295,10 @@ mod tests {
         let v = InitPattern::BoundedPermutation { seed: 3, limit: 16 }.materialize(500);
         assert!(v.iter().all(|&x| (0.0..16.0).contains(&x)));
         let base = InitPattern::Permutation { seed: 3 }.materialize(500);
-        assert!(v.iter().zip(&base).all(|(&b, &p)| b == (p as usize % 16) as f64));
+        assert!(v
+            .iter()
+            .zip(&base)
+            .all(|(&b, &p)| b == (p as usize % 16) as f64));
         // limit 0 clamps to 1 (all zeros) rather than dividing by zero.
         let z = InitPattern::BoundedPermutation { seed: 3, limit: 0 }.materialize(8);
         assert!(z.iter().all(|&x| x == 0.0));
@@ -301,24 +309,40 @@ mod tests {
         assert_eq!(ArrayInit::Undefined.defined_len(10), 0);
         assert_eq!(ArrayInit::Full(InitPattern::Zero).defined_len(10), 10);
         assert_eq!(
-            ArrayInit::Prefix { pattern: InitPattern::Zero, len: 3 }.defined_len(10),
+            ArrayInit::Prefix {
+                pattern: InitPattern::Zero,
+                len: 3
+            }
+            .defined_len(10),
             3
         );
         // Prefix longer than the array clamps.
         assert_eq!(
-            ArrayInit::Prefix { pattern: InitPattern::Zero, len: 30 }.defined_len(10),
+            ArrayInit::Prefix {
+                pattern: InitPattern::Zero,
+                len: 30
+            }
+            .defined_len(10),
             10
         );
         assert_eq!(ArrayInit::Undefined.materialize(10), Vec::<f64>::new());
         assert_eq!(
-            ArrayInit::Prefix { pattern: InitPattern::Const(2.0), len: 2 }.materialize(10),
+            ArrayInit::Prefix {
+                pattern: InitPattern::Const(2.0),
+                len: 2
+            }
+            .materialize(10),
             vec![2.0, 2.0]
         );
     }
 
     #[test]
     fn strides_and_linearize_row_major() {
-        let d = ArrayDecl { name: "A".into(), dims: vec![4, 5, 6], init: ArrayInit::Undefined };
+        let d = ArrayDecl {
+            name: "A".into(),
+            dims: vec![4, 5, 6],
+            init: ArrayInit::Undefined,
+        };
         assert_eq!(d.len(), 120);
         assert_eq!(d.strides(), vec![30, 6, 1]);
         assert_eq!(d.linearize(&[0, 0, 0]).unwrap(), 0);
@@ -328,22 +352,45 @@ mod tests {
 
     #[test]
     fn linearize_rejects_bad_indices() {
-        let d = ArrayDecl { name: "A".into(), dims: vec![4, 5], init: ArrayInit::Undefined };
+        let d = ArrayDecl {
+            name: "A".into(),
+            dims: vec![4, 5],
+            init: ArrayInit::Undefined,
+        };
         assert!(matches!(
             d.linearize(&[4, 0]),
-            Err(IrError::IndexOutOfBounds { dim: 0, index: 4, .. })
+            Err(IrError::IndexOutOfBounds {
+                dim: 0,
+                index: 4,
+                ..
+            })
         ));
         assert!(matches!(
             d.linearize(&[0, -1]),
-            Err(IrError::IndexOutOfBounds { dim: 1, index: -1, .. })
+            Err(IrError::IndexOutOfBounds {
+                dim: 1,
+                index: -1,
+                ..
+            })
         ));
-        assert!(matches!(d.linearize(&[0]), Err(IrError::RankMismatch { got: 1, want: 2, .. })));
+        assert!(matches!(
+            d.linearize(&[0]),
+            Err(IrError::RankMismatch {
+                got: 1,
+                want: 2,
+                ..
+            })
+        ));
     }
 
     #[test]
     fn program_lookups() {
         let mut p = Program::new("t");
-        p.arrays.push(ArrayDecl { name: "X".into(), dims: vec![10], init: ArrayInit::Undefined });
+        p.arrays.push(ArrayDecl {
+            name: "X".into(),
+            dims: vec![10],
+            init: ArrayInit::Undefined,
+        });
         p.params.push(("Q".into(), 0.5));
         assert_eq!(p.array_id("X"), Some(ArrayId(0)));
         assert_eq!(p.array_id("Y"), None);

@@ -190,9 +190,7 @@ fn run_trace(program: &Program) -> Result<Trace, SsaError> {
             Expr::Param(p) => ctx.params[p.0],
             Expr::Scalar(s) => ctx.scalars[s.0],
             Expr::LoopVar(v) => ivs[*v] as f64,
-            Expr::Unary(op, a) => {
-                op.apply(eval_rec(ctx, a, ivs, phase, stmt, slot, store, trace)?)
-            }
+            Expr::Unary(op, a) => op.apply(eval_rec(ctx, a, ivs, phase, stmt, slot, store, trace)?),
             Expr::Binary(op, a, b) => {
                 let va = eval_rec(ctx, a, ivs, phase, stmt, slot, store, trace)?;
                 let vb = eval_rec(ctx, b, ivs, phase, stmt, slot, store, trace)?;
@@ -202,7 +200,16 @@ fn run_trace(program: &Program) -> Result<Trace, SsaError> {
                 let my_slot = *slot;
                 *slot += 1;
                 let addr = resolve_vn(ctx, r, ivs, phase, stmt, my_slot, store, trace)?;
-                load_vn(ctx.program, r.array, addr, phase, stmt, my_slot, store, trace)?
+                load_vn(
+                    ctx.program,
+                    r.array,
+                    addr,
+                    phase,
+                    stmt,
+                    my_slot,
+                    store,
+                    trace,
+                )?
             }
         })
     }
@@ -223,7 +230,12 @@ fn run_trace(program: &Program) -> Result<Trace, SsaError> {
         for ix in &aref.indices {
             let v = match ix {
                 IndexExpr::Affine(a) => a.eval(ivs),
-                IndexExpr::Indirect { base, pos, scale, offset } => {
+                IndexExpr::Indirect {
+                    base,
+                    pos,
+                    scale,
+                    offset,
+                } => {
                     let p = pos.eval(ivs);
                     let base_decl = ctx.program.array(*base);
                     if p < 0 || p as usize >= base_decl.len() {
@@ -234,8 +246,16 @@ fn run_trace(program: &Program) -> Result<Trace, SsaError> {
                             extent: base_decl.len(),
                         }));
                     }
-                    let fetched =
-                        load_vn(ctx.program, *base, p as usize, phase, stmt, slot, store, trace)?;
+                    let fetched = load_vn(
+                        ctx.program,
+                        *base,
+                        p as usize,
+                        phase,
+                        stmt,
+                        slot,
+                        store,
+                        trace,
+                    )?;
                     scale * (fetched as i64) + offset
                 }
             };
@@ -309,11 +329,16 @@ fn run_trace(program: &Program) -> Result<Trace, SsaError> {
                             match stmt {
                                 Stmt::Assign { target, value } => {
                                     let v = eval_rec(
-                                        &ctx, value, ivs, pi, si, &mut slot, &mut store,
-                                        &mut trace,
+                                        &ctx, value, ivs, pi, si, &mut slot, &mut store, &mut trace,
                                     )?;
                                     let addr = resolve_vn(
-                                        &ctx, target, ivs, pi, si, usize::MAX, &mut store,
+                                        &ctx,
+                                        target,
+                                        ivs,
+                                        pi,
+                                        si,
+                                        usize::MAX,
+                                        &mut store,
                                         &mut trace,
                                     )?;
                                     let a = target.array.0;
@@ -323,18 +348,11 @@ fn run_trace(program: &Program) -> Result<Trace, SsaError> {
                                     if fresh_this_version {
                                         // Second write within the version this
                                         // phase writes into.
-                                        if phase_started_version
-                                            .get(&a)
-                                            .copied()
-                                            .unwrap_or(false)
+                                        if phase_started_version.get(&a).copied().unwrap_or(false)
                                             || !already
                                         {
                                             return Err(SsaError::MultiWriteInVersion {
-                                                array: ctx
-                                                    .program
-                                                    .array(target.array)
-                                                    .name
-                                                    .clone(),
+                                                array: ctx.program.array(target.array).name.clone(),
                                                 addr,
                                                 phase: pi,
                                             });
@@ -368,11 +386,9 @@ fn run_trace(program: &Program) -> Result<Trace, SsaError> {
                                 }
                                 Stmt::Reduce { target, op, value } => {
                                     let v = eval_rec(
-                                        &ctx, value, ivs, pi, si, &mut slot, &mut store,
-                                        &mut trace,
+                                        &ctx, value, ivs, pi, si, &mut slot, &mut store, &mut trace,
                                     )?;
-                                    ctx.scalars[target.0] =
-                                        op.combine(ctx.scalars[target.0], v);
+                                    ctx.scalars[target.0] = op.combine(ctx.scalars[target.0], v);
                                     Ok(())
                                 }
                             }
@@ -405,7 +421,11 @@ pub fn convert_to_sa(program: &Program, mode: SsaMode) -> Result<Conversion, Ssa
 
     let any_conflict = trace.conflict_phases.values().any(|v| !v.is_empty());
     if !any_conflict {
-        return Ok(Conversion { program: program.clone(), versions_added: 0, reinits_added: 0 });
+        return Ok(Conversion {
+            program: program.clone(),
+            versions_added: 0,
+            reinits_added: 0,
+        });
     }
 
     match mode {
@@ -438,7 +458,11 @@ pub fn convert_to_sa(program: &Program, mode: SsaMode) -> Result<Conversion, Ssa
                 out.phases.insert(pi + off, Phase::Reinit(a));
                 inserted += 1;
             }
-            Ok(Conversion { program: out, versions_added: 0, reinits_added: inserted })
+            Ok(Conversion {
+                program: out,
+                versions_added: 0,
+                reinits_added: inserted,
+            })
         }
         SsaMode::Expand => {
             let mut out = program.clone();
@@ -514,7 +538,11 @@ pub fn convert_to_sa(program: &Program, mode: SsaMode) -> Result<Conversion, Ssa
                 }
             }
             out.phases = new_phases;
-            Ok(Conversion { program: out, versions_added: added, reinits_added: 0 })
+            Ok(Conversion {
+                program: out,
+                versions_added: added,
+                reinits_added: 0,
+            })
         }
     }
 }
@@ -530,7 +558,14 @@ mod tests {
     /// classic von Neumann array reuse.
     fn two_sweep() -> Program {
         let mut b = ProgramBuilder::new("two-sweep");
-        let x = b.input("X", &[16], InitPattern::Linear { base: 0.0, step: 1.0 });
+        let x = b.input(
+            "X",
+            &[16],
+            InitPattern::Linear {
+                base: 0.0,
+                step: 1.0,
+            },
+        );
         b.nest("sweep1", &[("k", 0, 15)], |n| {
             n.assign(x, [iv(0)], n.read(x, [iv(0)]) * 2.0);
         });
@@ -627,6 +662,9 @@ mod tests {
             n.assign(x, [iv(0)], crate::Expr::Const(0.0));
         });
         let err = convert_to_sa(&b.finish(), SsaMode::Expand).unwrap_err();
-        assert!(matches!(err, SsaError::Trace(IrError::IndexOutOfBounds { .. })));
+        assert!(matches!(
+            err,
+            SsaError::Trace(IrError::IndexOutOfBounds { .. })
+        ));
     }
 }

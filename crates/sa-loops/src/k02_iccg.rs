@@ -37,7 +37,11 @@ pub fn levels(n: usize) -> Vec<(i64, i64, i64)> {
         ipntp += ii;
         ii /= 2;
         // DO 2 k = ipnt+2, ipntp, 2
-        let count = if ipntp >= ipnt + 2 { (ipntp - (ipnt + 2)) / 2 + 1 } else { 0 };
+        let count = if ipntp >= ipnt + 2 {
+            (ipntp - (ipnt + 2)) / 2 + 1
+        } else {
+            0
+        };
         // A span-2 level (count 1 with k = ipntp) would read X(k+1) in the
         // very iteration that produces it — the FORTRAN original reads a
         // stale cell there, which only non-standard problem sizes trigger.
@@ -64,14 +68,23 @@ pub fn build(n: usize) -> Kernel {
     let x = b.array_with(
         "X",
         &[x_len],
-        ArrayInit::Prefix { pattern: InitPattern::Wavy, len: n + 1 },
+        ArrayInit::Prefix {
+            pattern: InitPattern::Wavy,
+            len: n + 1,
+        },
     );
     let v = b.input("V", &[x_len], InitPattern::Harmonic);
 
     for (li, &(ipnt, ipntp, count)) in lv.iter().enumerate() {
         // t = 0..count-1;  k = ipnt+2+2t;  i = ipntp+1+t.
-        let k = AffineIndex { coeffs: vec![2], offset: ipnt + 2 };
-        let i = AffineIndex { coeffs: vec![1], offset: ipntp + 1 };
+        let k = AffineIndex {
+            coeffs: vec![2],
+            offset: ipnt + 2,
+        };
+        let i = AffineIndex {
+            coeffs: vec![1],
+            offset: ipntp + 1,
+        };
         b.nest(format!("k2-level{li}"), &[("t", 0, count - 1)], |nb| {
             let rhs = nb.read(x, [k.clone()])
                 - nb.read(v, [k.clone()]) * nb.read(x, [k.clone().plus(-1)])

@@ -40,10 +40,20 @@ pub fn build(n: usize) -> Kernel {
     while k <= n as i64 {
         let temp = b.scalar(format!("temp{ki}"));
         // j = 5 + 5t, lw = (k-6) + t,  t = 0..cnt-1  (DO 4 j = 5,n,5)
-        let lw = AffineIndex { coeffs: vec![1], offset: k - 6 };
-        let j = AffineIndex { coeffs: vec![5], offset: 5 };
+        let lw = AffineIndex {
+            coeffs: vec![1],
+            offset: k - 6,
+        };
+        let j = AffineIndex {
+            coeffs: vec![5],
+            offset: 5,
+        };
         b.nest(format!("k4-reduce-{ki}"), &[("t", 0, cnt - 1)], |nb| {
-            nb.reduce(temp, ReduceOp::Sum, nb.read(x, [lw.clone()]) * nb.read(y, [j.clone()]));
+            nb.reduce(
+                temp,
+                ReduceOp::Sum,
+                nb.read(x, [lw.clone()]) * nb.read(y, [j.clone()]),
+            );
         });
         b.nest(format!("k4-write-{ki}"), &[("one", 0, 0)], |nb| {
             nb.assign(

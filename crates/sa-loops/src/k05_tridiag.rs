@@ -25,7 +25,10 @@ pub fn build(n: usize) -> Kernel {
     let x = b.array_with(
         "X",
         &[n + 1],
-        ArrayInit::Prefix { pattern: InitPattern::Const(0.01), len: 2 },
+        ArrayInit::Prefix {
+            pattern: InitPattern::Const(0.01),
+            len: 2,
+        },
     );
     b.nest("k5", &[("i", 2, n as i64)], |nb| {
         nb.assign(

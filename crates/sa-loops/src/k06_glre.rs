@@ -42,12 +42,20 @@ pub fn build(n: usize) -> Kernel {
         "k6",
         vec![
             LoopVar::simple("i", 2, n as i64),
-            LoopVar { name: "k".into(), lo: 1.into(), hi: iv(0).plus(-1), step: 1 },
+            LoopVar {
+                name: "k".into(),
+                lo: 1.into(),
+                hi: iv(0).plus(-1),
+                step: 1,
+            },
         ],
         |nb| {
             let w_prev = nb.read(
                 p,
-                [iv(0).add(&iv(1).scale(-1)), iv(0).add(&iv(1).scale(-1)).plus(-1)],
+                [
+                    iv(0).add(&iv(1).scale(-1)),
+                    iv(0).add(&iv(1).scale(-1)).plus(-1),
+                ],
             );
             nb.assign(
                 p,
@@ -93,9 +101,9 @@ mod tests {
             }
         }
         let w_id = k6.program.array_id("W").unwrap();
-        for i in 2..=n {
+        for (i, want) in w.iter().enumerate().take(n + 1).skip(2) {
             let got = *r.arrays[w_id.0].read(i).unwrap().unwrap();
-            assert!((got - w[i]).abs() < 1e-9, "W({i}): {got} vs {}", w[i]);
+            assert!((got - want).abs() < 1e-9, "W({i}): {got} vs {want}");
         }
     }
 

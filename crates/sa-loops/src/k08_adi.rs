@@ -37,13 +37,24 @@ pub fn build(n: usize) -> Kernel {
     let mut b = ProgramBuilder::new("K8 ADI integration");
 
     let a: Vec<Vec<ParamId>> = (1..=3)
-        .map(|i| (1..=3).map(|j| b.param(format!("A{i}{j}"), 0.1 * (i * 3 + j) as f64)).collect())
+        .map(|i| {
+            (1..=3)
+                .map(|j| b.param(format!("A{i}{j}"), 0.1 * (i * 3 + j) as f64))
+                .collect()
+        })
         .collect();
     let sig = b.param("SIG", 0.05);
 
     // U*(kx,ky,l) → U*[l][ky][kx]; plane l=1 (addresses 0..plane) is input.
     let mk_u = |b: &mut ProgramBuilder, name: &str, p: InitPattern| {
-        b.array_with(name, &[2, kyd, KXD], ArrayInit::Prefix { pattern: p, len: plane })
+        b.array_with(
+            name,
+            &[2, kyd, KXD],
+            ArrayInit::Prefix {
+                pattern: p,
+                len: plane,
+            },
+        )
     };
     let u1 = mk_u(&mut b, "U1", InitPattern::Wavy);
     let u2 = mk_u(&mut b, "U2", InitPattern::Harmonic);

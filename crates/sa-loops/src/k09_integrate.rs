@@ -24,7 +24,9 @@ const JD: usize = 25; // predictor row width, as in the official source
 /// Build K9 at problem size `n` (official: 101).
 pub fn build(n: usize) -> Kernel {
     let mut b = ProgramBuilder::new("K9 integrate predictors");
-    let dm: Vec<_> = (22..=28).map(|d| b.param(format!("DM{d}"), 0.01 * d as f64)).collect();
+    let dm: Vec<_> = (22..=28)
+        .map(|d| b.param(format!("DM{d}"), 0.01 * d as f64))
+        .collect();
     let c0 = b.param("C0", 1.5);
     let pxi = b.input("PXI", &[n + 1, JD], InitPattern::Wavy);
     // The written column 1 lives in an identically-shaped output array so

@@ -17,7 +17,11 @@ pub fn build(n: usize) -> Kernel {
     let y = b.input("Y", &[n + 2], InitPattern::Wavy);
     let x = b.output("X", &[n + 1]);
     b.nest("k12", &[("k", 1, n as i64)], |nb| {
-        nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(1)]) - nb.read(y, [iv(0)]));
+        nb.assign(
+            x,
+            [iv(0)],
+            nb.read(y, [iv(0).plus(1)]) - nb.read(y, [iv(0)]),
+        );
     });
     Kernel {
         id: 12,

@@ -83,7 +83,13 @@ pub fn build_with_passes(n: usize, passes: usize) -> Kernel {
                 b.reinit(a);
             }
         }
-        add_pass(&mut b, jn, s, t, [zp, zq, zr, zm, zz, zu, zv, za, zb, zun, zvn, zrn, zzn]);
+        add_pass(
+            &mut b,
+            jn,
+            s,
+            t,
+            [zp, zq, zr, zm, zz, zu, zv, za, zb, zun, zvn, zrn, zzn],
+        );
     }
 
     Kernel {
@@ -118,8 +124,7 @@ fn add_pass(
     // DO 70: pressure/viscosity face quantities.
     b.nest("k18-70", &[("k", 2, KN), ("j", 2, jn)], |nb| {
         let (a_rhs, b_rhs) = {
-            let at =
-                |a: ArrayId, dj: i64, dk: i64| nb.read(a, [iv(1).plus(dj), iv(0).plus(dk)]);
+            let at = |a: ArrayId, dj: i64, dk: i64| nb.read(a, [iv(1).plus(dj), iv(0).plus(dk)]);
             (
                 (at(zp, -1, 1) + at(zq, -1, 1) - at(zp, -1, 0) - at(zq, -1, 0))
                     * (at(zr, 0, 0) + at(zr, -1, 0))
@@ -136,8 +141,7 @@ fn add_pass(
     // DO 72: velocity updates (array-expanded ZU/ZV).
     b.nest("k18-72", &[("k", 2, KN), ("j", 2, jn)], |nb| {
         let (u_rhs, v_rhs) = {
-            let at =
-                |a: ArrayId, dj: i64, dk: i64| nb.read(a, [iv(1).plus(dj), iv(0).plus(dk)]);
+            let at = |a: ArrayId, dj: i64, dk: i64| nb.read(a, [iv(1).plus(dj), iv(0).plus(dk)]);
             let stencil = |f: ArrayId| {
                 at(za, 0, 0) * (at(f, 0, 0) - at(f, 1, 0))
                     - at(za, -1, 0) * (at(f, 0, 0) - at(f, -1, 0))
@@ -156,8 +160,7 @@ fn add_pass(
     // DO 75: position/field updates (array-expanded ZR/ZZ).
     b.nest("k18-75", &[("k", 2, KN), ("j", 2, jn)], |nb| {
         let (r_rhs, z_rhs) = {
-            let at =
-                |a: ArrayId, dj: i64, dk: i64| nb.read(a, [iv(1).plus(dj), iv(0).plus(dk)]);
+            let at = |a: ArrayId, dj: i64, dk: i64| nb.read(a, [iv(1).plus(dj), iv(0).plus(dk)]);
             (
                 at(zr, 0, 0) + nb.par(t) * at(zun, 0, 0),
                 at(zz, 0, 0) + nb.par(t) * at(zvn, 0, 0),
@@ -191,11 +194,10 @@ mod tests {
         let zm = InitPattern::Wavy.materialize(jd * KD);
         let at = |v: &[f64], j: usize, k: usize| v[j * KD + k];
         let (j, k) = (7usize, 3usize);
-        let want = (at(&zp, j - 1, k + 1) + at(&zq, j - 1, k + 1)
-            - at(&zp, j - 1, k)
-            - at(&zq, j - 1, k))
-            * (at(&zr, j, k) + at(&zr, j - 1, k))
-            / (at(&zm, j - 1, k) + at(&zm, j - 1, k + 1));
+        let want =
+            (at(&zp, j - 1, k + 1) + at(&zq, j - 1, k + 1) - at(&zp, j - 1, k) - at(&zq, j - 1, k))
+                * (at(&zr, j, k) + at(&zr, j - 1, k))
+                / (at(&zm, j - 1, k) + at(&zm, j - 1, k + 1));
         let za = k18.program.array_id("ZA").unwrap();
         let got = *r.arrays[za.0].read(j * KD + k).unwrap().unwrap();
         assert!((got - want).abs() < 1e-12);

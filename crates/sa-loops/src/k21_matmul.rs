@@ -31,20 +31,27 @@ pub fn build(n: usize) -> Kernel {
     let pxs = b.array_with(
         "PXS",
         &[MD, jd, ID],
-        ArrayInit::Prefix { pattern: InitPattern::Harmonic, len: jd * ID },
+        ArrayInit::Prefix {
+            pattern: InitPattern::Harmonic,
+            len: jd * ID,
+        },
     );
     // FORTRAN VY(i,k) → VY[k][i]; CX(k,j) → CX[j][k].
     let vy = b.input("VY", &[MD, ID], InitPattern::Wavy);
     let cx = b.input("CX", &[jd, MD], InitPattern::Wavy);
 
-    b.nest("k21", &[("k", 1, 25), ("i", 1, 25), ("j", 1, n as i64)], |nb| {
-        nb.assign(
-            pxs,
-            [iv(0), iv(2), iv(1)],
-            nb.read(pxs, [iv(0).plus(-1), iv(2), iv(1)])
-                + nb.read(vy, [iv(0), iv(1)]) * nb.read(cx, [iv(2), iv(0)]),
-        );
-    });
+    b.nest(
+        "k21",
+        &[("k", 1, 25), ("i", 1, 25), ("j", 1, n as i64)],
+        |nb| {
+            nb.assign(
+                pxs,
+                [iv(0), iv(2), iv(1)],
+                nb.read(pxs, [iv(0).plus(-1), iv(2), iv(1)])
+                    + nb.read(vy, [iv(0), iv(1)]) * nb.read(cx, [iv(2), iv(0)]),
+            );
+        },
+    );
 
     Kernel {
         id: 21,
@@ -77,7 +84,10 @@ mod tests {
                     want += vy[k * ID + i] * cx[j * MD + k];
                 }
                 // Final plane 25 holds the answer.
-                let got = *r.arrays[0].read(25 * jd * ID + j * ID + i).unwrap().unwrap();
+                let got = *r.arrays[0]
+                    .read(25 * jd * ID + j * ID + i)
+                    .unwrap()
+                    .unwrap();
                 assert!((got - want).abs() < 1e-9, "PX({i},{j})");
             }
         }

@@ -70,7 +70,9 @@ mod tests {
         let kernels = suite();
         let codes: Vec<&str> = kernels.iter().map(|k| k.code).collect();
         // Every kernel the paper names in §7 must be in the suite.
-        for code in ["K1", "K2", "K5", "K6", "K7", "K8", "K11", "K12", "K14", "K18"] {
+        for code in [
+            "K1", "K2", "K5", "K6", "K7", "K8", "K11", "K12", "K14", "K18",
+        ] {
             assert!(codes.contains(&code), "paper kernel {code} missing");
         }
     }

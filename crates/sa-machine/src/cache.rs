@@ -176,7 +176,13 @@ impl PageCache {
         if self.entries.len() >= self.capacity {
             self.evict_one();
         }
-        self.entries.insert(key, Entry { fill, stamp: self.tick });
+        self.entries.insert(
+            key,
+            Entry {
+                fill,
+                stamp: self.tick,
+            },
+        );
     }
 
     fn evict_one(&mut self) {
@@ -226,15 +232,25 @@ mod tests {
     use super::*;
 
     fn key(array: usize, page: usize) -> PageKey {
-        PageKey { array, page, generation: 0 }
+        PageKey {
+            array,
+            page,
+            generation: 0,
+        }
     }
 
     #[test]
     fn miss_then_insert_then_hit() {
         let mut c = PageCache::new(2, CachePolicy::Lru);
-        assert_eq!(c.probe(key(0, 0), 3, PartialPagePolicy::Ignore), CacheOutcome::Miss);
+        assert_eq!(
+            c.probe(key(0, 0), 3, PartialPagePolicy::Ignore),
+            CacheOutcome::Miss
+        );
         c.insert(key(0, 0), None);
-        assert_eq!(c.probe(key(0, 0), 3, PartialPagePolicy::Ignore), CacheOutcome::Hit);
+        assert_eq!(
+            c.probe(key(0, 0), 3, PartialPagePolicy::Ignore),
+            CacheOutcome::Hit
+        );
         assert_eq!(c.hit_stats(), (1, 1));
         assert_eq!(c.len(), 1);
     }
@@ -245,7 +261,10 @@ mod tests {
         c.insert(key(0, 0), None);
         c.insert(key(0, 1), None);
         // Touch page 0 so page 1 becomes LRU.
-        assert_eq!(c.probe(key(0, 0), 0, PartialPagePolicy::Ignore), CacheOutcome::Hit);
+        assert_eq!(
+            c.probe(key(0, 0), 0, PartialPagePolicy::Ignore),
+            CacheOutcome::Hit
+        );
         c.insert(key(0, 2), None);
         assert!(c.contains(&key(0, 0)), "recently used page must survive");
         assert!(!c.contains(&key(0, 1)), "LRU page must be evicted");
@@ -258,7 +277,10 @@ mod tests {
         c.insert(key(0, 0), None);
         c.insert(key(0, 1), None);
         // Touch page 0; FIFO must still evict it (it is oldest).
-        assert_eq!(c.probe(key(0, 0), 0, PartialPagePolicy::Ignore), CacheOutcome::Hit);
+        assert_eq!(
+            c.probe(key(0, 0), 0, PartialPagePolicy::Ignore),
+            CacheOutcome::Hit
+        );
         c.insert(key(0, 2), None);
         assert!(!c.contains(&key(0, 0)), "FIFO evicts the oldest insert");
         assert!(c.contains(&key(0, 1)));
@@ -271,8 +293,7 @@ mod tests {
             for p in 0..32 {
                 c.insert(key(0, p), None);
             }
-            let mut resident: Vec<usize> =
-                (0..32).filter(|&p| c.contains(&key(0, p))).collect();
+            let mut resident: Vec<usize> = (0..32).filter(|&p| c.contains(&key(0, p))).collect();
             resident.sort_unstable();
             resident
         };
@@ -284,7 +305,10 @@ mod tests {
     fn capacity_zero_caches_nothing() {
         let mut c = PageCache::new(0, CachePolicy::Lru);
         c.insert(key(0, 0), None);
-        assert_eq!(c.probe(key(0, 0), 0, PartialPagePolicy::Ignore), CacheOutcome::Miss);
+        assert_eq!(
+            c.probe(key(0, 0), 0, PartialPagePolicy::Ignore),
+            CacheOutcome::Miss
+        );
         assert!(c.is_empty());
     }
 
@@ -296,26 +320,48 @@ mod tests {
         fill.set(1);
         c.insert(key(0, 0), Some(fill));
         // Ignore policy: any element hits.
-        assert_eq!(c.probe(key(0, 0), 7, PartialPagePolicy::Ignore), CacheOutcome::Hit);
+        assert_eq!(
+            c.probe(key(0, 0), 7, PartialPagePolicy::Ignore),
+            CacheOutcome::Hit
+        );
         // Refetch policy: unfilled element is a partial miss…
-        assert_eq!(c.probe(key(0, 0), 7, PartialPagePolicy::Refetch), CacheOutcome::PartialMiss);
+        assert_eq!(
+            c.probe(key(0, 0), 7, PartialPagePolicy::Refetch),
+            CacheOutcome::PartialMiss
+        );
         // …until an upgraded snapshot arrives.
         let mut more = TagBits::new(8);
         more.set(7);
         c.insert(key(0, 0), Some(more));
-        assert_eq!(c.probe(key(0, 0), 7, PartialPagePolicy::Refetch), CacheOutcome::Hit);
-        assert_eq!(c.probe(key(0, 0), 0, PartialPagePolicy::Refetch), CacheOutcome::Hit);
+        assert_eq!(
+            c.probe(key(0, 0), 7, PartialPagePolicy::Refetch),
+            CacheOutcome::Hit
+        );
+        assert_eq!(
+            c.probe(key(0, 0), 0, PartialPagePolicy::Refetch),
+            CacheOutcome::Hit
+        );
         // A complete insert clears the snapshot entirely.
         c.insert(key(0, 0), None);
-        assert_eq!(c.probe(key(0, 0), 5, PartialPagePolicy::Refetch), CacheOutcome::Hit);
+        assert_eq!(
+            c.probe(key(0, 0), 5, PartialPagePolicy::Refetch),
+            CacheOutcome::Hit
+        );
     }
 
     #[test]
     fn generation_changes_miss() {
         let mut c = PageCache::new(2, CachePolicy::Lru);
         c.insert(key(0, 0), None);
-        let stale = PageKey { array: 0, page: 0, generation: 1 };
-        assert_eq!(c.probe(stale, 0, PartialPagePolicy::Ignore), CacheOutcome::Miss);
+        let stale = PageKey {
+            array: 0,
+            page: 0,
+            generation: 1,
+        };
+        assert_eq!(
+            c.probe(stale, 0, PartialPagePolicy::Ignore),
+            CacheOutcome::Miss
+        );
     }
 
     #[test]

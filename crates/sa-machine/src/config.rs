@@ -21,6 +21,33 @@ pub enum PartialPagePolicy {
     Refetch,
 }
 
+/// Why a [`MachineConfig`] is unusable. Produced by
+/// [`MachineConfig::validate`], which every machine/runtime constructor
+/// calls exactly once — downstream page arithmetic (`page_of`, `pages_in`,
+/// [`MachineConfig::cache_pages`]) may then assume non-zero parameters
+/// instead of re-checking or silently special-casing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `n_pes` was 0; the machine needs at least one PE.
+    ZeroPes,
+    /// `page_size` was 0; partitioning needs non-empty pages.
+    ZeroPageSize,
+    /// `BlockCyclic { block_pages: 0 }`; chunks must hold at least a page.
+    ZeroBlockPages,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::ZeroPes => write!(f, "n_pes must be ≥ 1"),
+            ConfigError::ZeroPageSize => write!(f, "page_size must be ≥ 1"),
+            ConfigError::ZeroBlockPages => write!(f, "block_pages must be ≥ 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full configuration of the simulated machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
@@ -62,16 +89,18 @@ impl MachineConfig {
     /// The paper's machine with caching disabled (the "No Cache" series of
     /// Figures 1–4).
     pub fn paper_no_cache(n_pes: usize, page_size: usize) -> Self {
-        MachineConfig { cache_elems: 0, ..Self::paper(n_pes, page_size) }
+        MachineConfig {
+            cache_elems: 0,
+            ..Self::paper(n_pes, page_size)
+        }
     }
 
-    /// Number of pages the cache can hold.
+    /// Number of pages the cache can hold. Requires a validated config
+    /// (`page_size ≥ 1`); zero page sizes are a [`ConfigError`], not a
+    /// silently uncached machine.
     pub fn cache_pages(&self) -> usize {
-        if self.page_size == 0 {
-            0
-        } else {
-            self.cache_elems / self.page_size
-        }
+        debug_assert!(self.page_size > 0, "cache_pages on an unvalidated config");
+        self.cache_elems / self.page_size
     }
 
     /// True if caching is active.
@@ -115,17 +144,19 @@ impl MachineConfig {
         self
     }
 
-    /// Validate the configuration, returning a description of the problem.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate the configuration. Machine and runtime constructors call
+    /// this once up front, so rejection happens with a typed error before
+    /// any page arithmetic can divide by zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_pes == 0 {
-            return Err("n_pes must be ≥ 1".into());
+            return Err(ConfigError::ZeroPes);
         }
         if self.page_size == 0 {
-            return Err("page_size must be ≥ 1".into());
+            return Err(ConfigError::ZeroPageSize);
         }
         if let PartitionScheme::BlockCyclic { block_pages } = self.partition {
             if block_pages == 0 {
-                return Err("block_pages must be ≥ 1".into());
+                return Err(ConfigError::ZeroBlockPages);
             }
         }
         Ok(())
@@ -174,12 +205,25 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_configs() {
-        assert!(MachineConfig::paper(0, 32).validate().is_err());
-        assert!(MachineConfig::paper(4, 0).validate().is_err());
-        assert!(MachineConfig::paper(4, 32)
-            .with_partition(PartitionScheme::BlockCyclic { block_pages: 0 })
-            .validate()
-            .is_err());
+        assert_eq!(
+            MachineConfig::paper(0, 32).validate(),
+            Err(ConfigError::ZeroPes)
+        );
+        assert_eq!(
+            MachineConfig::paper(4, 0).validate(),
+            Err(ConfigError::ZeroPageSize)
+        );
+        assert_eq!(
+            MachineConfig::paper(4, 32)
+                .with_partition(PartitionScheme::BlockCyclic { block_pages: 0 })
+                .validate(),
+            Err(ConfigError::ZeroBlockPages)
+        );
+        // Zero PEs is reported before zero page size (first failure wins).
+        assert_eq!(
+            MachineConfig::paper(0, 0).validate(),
+            Err(ConfigError::ZeroPes)
+        );
     }
 
     #[test]

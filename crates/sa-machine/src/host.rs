@@ -63,7 +63,12 @@ pub fn run_reinit_protocol(
             broadcasts += 1;
         }
     }
-    ReinitSync { host, requests, broadcasts, new_generation }
+    ReinitSync {
+        host,
+        requests,
+        broadcasts,
+        new_generation,
+    }
 }
 
 #[cfg(test)]

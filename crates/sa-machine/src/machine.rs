@@ -59,7 +59,7 @@ pub enum MachineError {
         len: usize,
     },
     /// Invalid machine configuration.
-    BadConfig(String),
+    BadConfig(crate::config::ConfigError),
     /// Re-initialization attempted with readers still queued.
     ReinitPending {
         /// Array name.
@@ -70,12 +70,20 @@ pub enum MachineError {
 impl core::fmt::Display for MachineError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            MachineError::RemoteWrite { pe, owner, array, addr } => write!(
+            MachineError::RemoteWrite {
+                pe,
+                owner,
+                array,
+                addr,
+            } => write!(
                 f,
                 "owner-computes violation: PE {pe} wrote {array}[{addr}] owned by PE {owner}"
             ),
             MachineError::DoubleWrite { array, addr } => {
-                write!(f, "single-assignment violation: {array}[{addr}] written twice")
+                write!(
+                    f,
+                    "single-assignment violation: {array}[{addr}] written twice"
+                )
             }
             MachineError::ReadUndefined { array, addr } => {
                 write!(f, "read of undefined {array}[{addr}]")
@@ -85,7 +93,10 @@ impl core::fmt::Display for MachineError {
             }
             MachineError::BadConfig(msg) => write!(f, "bad machine config: {msg}"),
             MachineError::ReinitPending { array } => {
-                write!(f, "re-initialization of {array} with deferred readers pending")
+                write!(
+                    f,
+                    "re-initialization of {array} with deferred readers pending"
+                )
             }
         }
     }
@@ -152,7 +163,9 @@ impl DistributedMachine {
     /// Owning PE of `addr` in array `a`.
     pub fn owner_of(&self, a: usize, addr: usize) -> usize {
         let page = page_of(addr, self.cfg.page_size);
-        self.cfg.partition.owner(page, self.pages_of(a), self.cfg.n_pes)
+        self.cfg
+            .partition
+            .owner(page, self.pages_of(a), self.cfg.n_pes)
     }
 
     /// Current generation of array `a`.
@@ -162,7 +175,13 @@ impl DistributedMachine {
 
     /// Producer write by `pe`. Enforces owner-computes and single
     /// assignment; counts as a (local) write.
-    pub fn write(&mut self, pe: usize, a: usize, addr: usize, value: f64) -> Result<(), MachineError> {
+    pub fn write(
+        &mut self,
+        pe: usize,
+        a: usize,
+        addr: usize,
+        value: f64,
+    ) -> Result<(), MachineError> {
         let arr = &self.arrays[a];
         if addr >= arr.len() {
             return Err(MachineError::OutOfBounds {
@@ -220,7 +239,11 @@ impl DistributedMachine {
             return Ok((value, AccessKind::LocalRead, 0));
         }
         let page = page_of(addr, self.cfg.page_size);
-        let key = PageKey { array: a, page, generation: self.arrays[a].generation() };
+        let key = PageKey {
+            array: a,
+            page,
+            generation: self.arrays[a].generation(),
+        };
         let offset = addr - page * self.cfg.page_size;
         if self.cfg.cache_enabled() {
             match self.caches[pe].probe(key, offset, self.cfg.partial_pages) {
@@ -334,7 +357,11 @@ mod tests {
     use crate::partition::PartitionScheme;
 
     fn spec(name: &str, len: usize, init: Vec<f64>) -> ArraySpec {
-        ArraySpec { name: name.into(), len, init }
+        ArraySpec {
+            name: name.into(),
+            len,
+            init,
+        }
     }
 
     fn machine(cfg: MachineConfig) -> DistributedMachine {
@@ -364,7 +391,14 @@ mod tests {
         let mut m = machine(MachineConfig::paper(4, 32));
         m.write(0, 0, 5, 1.0).unwrap();
         let err = m.write(0, 0, 40, 1.0).unwrap_err();
-        assert!(matches!(err, MachineError::RemoteWrite { pe: 0, owner: 1, .. }));
+        assert!(matches!(
+            err,
+            MachineError::RemoteWrite {
+                pe: 0,
+                owner: 1,
+                ..
+            }
+        ));
         assert_eq!(m.stats().writes(), 1);
     }
 
@@ -417,8 +451,14 @@ mod tests {
     #[test]
     fn read_undefined_is_an_error() {
         let mut m = machine(MachineConfig::paper(4, 32));
-        assert!(matches!(m.read(0, 0, 3), Err(MachineError::ReadUndefined { .. })));
-        assert!(matches!(m.read(0, 0, 1000), Err(MachineError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.read(0, 0, 3),
+            Err(MachineError::ReadUndefined { .. })
+        ));
+        assert!(matches!(
+            m.read(0, 0, 1000),
+            Err(MachineError::OutOfBounds { .. })
+        ));
     }
 
     #[test]

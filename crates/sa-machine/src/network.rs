@@ -139,7 +139,10 @@ impl Network {
                 let mut cur = from as i64;
                 while cur as usize != to {
                     let next = (cur + step).rem_euclid(n as i64);
-                    *self.link_loads.entry((cur as usize, next as usize)).or_insert(0) += 1;
+                    *self
+                        .link_loads
+                        .entry((cur as usize, next as usize))
+                        .or_insert(0) += 1;
                     cur = next;
                 }
             }
@@ -149,12 +152,18 @@ impl Network {
                 let (tx, ty) = (to % cols, to / cols);
                 while x != tx {
                     let nx = if x < tx { x + 1 } else { x - 1 };
-                    *self.link_loads.entry((y * cols + x, y * cols + nx)).or_insert(0) += 1;
+                    *self
+                        .link_loads
+                        .entry((y * cols + x, y * cols + nx))
+                        .or_insert(0) += 1;
                     x = nx;
                 }
                 while y != ty {
                     let ny = if y < ty { y + 1 } else { y - 1 };
-                    *self.link_loads.entry((y * cols + x, ny * cols + x)).or_insert(0) += 1;
+                    *self
+                        .link_loads
+                        .entry((y * cols + x, ny * cols + x))
+                        .or_insert(0) += 1;
                     y = ny;
                 }
             }

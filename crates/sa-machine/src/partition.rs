@@ -38,9 +38,35 @@ pub enum PartitionScheme {
 
 impl PartitionScheme {
     /// Owning PE of `page` within an array of `total_pages`, on `n_pes` PEs.
+    ///
+    /// The result is **always** `< n_pes`, including at the edges of the
+    /// domain — each handled by explicit clamping, never by wrap-around
+    /// arithmetic that happens to stay in range:
+    ///
+    /// * `total_pages == 0` — an empty array owns no pages; the (vacuous)
+    ///   answer for any `page` is PE 0 under every scheme, so callers that
+    ///   iterate `0..pages_in(0, ps)` never observe it and callers that ask
+    ///   anyway get a stable value.
+    /// * `total_pages < n_pes` — `Block`'s chunk size clamps to 1, so page
+    ///   `p` lands on PE `p` and the surplus PEs own nothing (matching the
+    ///   paper's partial-allocation example in §2).
+    /// * `page >= total_pages` (out of domain) — tolerated: `Modulo` and
+    ///   `BlockCyclic` wrap, `Block` clamps to the last PE. Debug builds
+    ///   assert so the misuse is caught in tests.
+    /// * `BlockCyclic { block_pages: 0 }` — rejected by
+    ///   [`crate::MachineConfig::validate`]; here it clamps to chunks of 1
+    ///   (≡ `Modulo`) so a hand-built scheme still cannot divide by zero.
+    ///
+    /// `n_pes == 0` has no meaningful answer and panics in all builds.
     pub fn owner(&self, page: usize, total_pages: usize, n_pes: usize) -> usize {
-        debug_assert!(n_pes > 0);
-        debug_assert!(page < total_pages.max(1));
+        assert!(n_pes > 0, "owner() on a machine with zero PEs");
+        if total_pages == 0 {
+            return 0;
+        }
+        debug_assert!(
+            page < total_pages,
+            "page {page} out of domain ({total_pages} pages)"
+        );
         match *self {
             PartitionScheme::Modulo => page % n_pes,
             PartitionScheme::Block => {
@@ -65,7 +91,9 @@ impl PartitionScheme {
 
     /// Pages of an array owned by `pe` (ascending).
     pub fn pages_of_pe(&self, pe: usize, total_pages: usize, n_pes: usize) -> Vec<usize> {
-        (0..total_pages).filter(|&p| self.owner(p, total_pages, n_pes) == pe).collect()
+        (0..total_pages)
+            .filter(|&p| self.owner(p, total_pages, n_pes) == pe)
+            .collect()
     }
 }
 
@@ -138,7 +166,10 @@ mod tests {
             for &(pages, n) in &[(1usize, 1usize), (7, 3), (64, 8), (10, 64)] {
                 for p in 0..pages {
                     let o = scheme.owner(p, pages, n);
-                    assert!(o < n, "{scheme:?} page {p}/{pages} on {n} PEs gave owner {o}");
+                    assert!(
+                        o < n,
+                        "{scheme:?} page {p}/{pages} on {n} PEs gave owner {o}"
+                    );
                 }
             }
         }
@@ -165,9 +196,62 @@ mod tests {
     }
 
     #[test]
+    fn empty_array_owner_is_stable_zero() {
+        for scheme in [
+            PartitionScheme::Modulo,
+            PartitionScheme::Block,
+            PartitionScheme::BlockCyclic { block_pages: 3 },
+        ] {
+            for page in [0usize, 1, 7] {
+                assert_eq!(scheme.owner(page, 0, 4), 0);
+            }
+            assert!(scheme.pages_of_pe(0, 0, 4).is_empty());
+        }
+    }
+
+    #[test]
+    fn fewer_pages_than_pes_leaves_surplus_pes_empty() {
+        // 3 pages on 8 PEs: Block clamps its chunk to 1 page, so pages land
+        // on PEs 0..3 and PEs 3..8 own nothing; Modulo agrees here.
+        for scheme in [PartitionScheme::Modulo, PartitionScheme::Block] {
+            for p in 0..3 {
+                assert_eq!(scheme.owner(p, 3, 8), p, "{scheme:?}");
+            }
+            for pe in 3..8 {
+                assert!(
+                    scheme.pages_of_pe(pe, 3, 8).is_empty(),
+                    "{scheme:?} PE {pe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_block_pages_clamps_to_modulo() {
+        // Rejected by config validation, but a hand-built scheme must still
+        // be total: chunks clamp to 1 page, i.e. plain modulo placement.
+        let degenerate = PartitionScheme::BlockCyclic { block_pages: 0 };
+        for p in 0..24 {
+            assert_eq!(
+                degenerate.owner(p, 24, 5),
+                PartitionScheme::Modulo.owner(p, 24, 5)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero PEs")]
+    fn zero_pes_panics() {
+        PartitionScheme::Modulo.owner(0, 4, 0);
+    }
+
+    #[test]
     fn names_are_stable() {
         assert_eq!(PartitionScheme::Modulo.name(), "modulo");
         assert_eq!(PartitionScheme::Block.name(), "block");
-        assert_eq!(PartitionScheme::BlockCyclic { block_pages: 2 }.name(), "blockcyclic(2)");
+        assert_eq!(
+            PartitionScheme::BlockCyclic { block_pages: 2 }.name(),
+            "blockcyclic(2)"
+        );
     }
 }

@@ -136,7 +136,10 @@ impl Stats {
     /// Local (+cached) reads per PE (Figure 5's second series — the paper
     /// plots "local" as reads that did not cross the network).
     pub fn local_reads_per_pe(&self) -> Vec<u64> {
-        self.per_pe.iter().map(|c| c.local_reads + c.cached_reads).collect()
+        self.per_pe
+            .iter()
+            .map(|c| c.local_reads + c.cached_reads)
+            .collect()
     }
 
     /// Writes per PE.
@@ -146,7 +149,11 @@ impl Stats {
 
     /// Merge another stats block (used when aggregating phases).
     pub fn merge(&mut self, other: &Stats) {
-        assert_eq!(self.per_pe.len(), other.per_pe.len(), "PE count mismatch in merge");
+        assert_eq!(
+            self.per_pe.len(),
+            other.per_pe.len(),
+            "PE count mismatch in merge"
+        );
         for (a, b) in self.per_pe.iter_mut().zip(&other.per_pe) {
             a.writes += b.writes;
             a.local_reads += b.local_reads;
@@ -178,19 +185,33 @@ pub struct LoadBalance {
 /// Compute load-balance metrics over per-PE values.
 pub fn load_balance(values: &[u64]) -> LoadBalance {
     if values.is_empty() {
-        return LoadBalance { mean: 0.0, min: 0, max: 0, cv: 0.0, jain: 1.0 };
+        return LoadBalance {
+            mean: 0.0,
+            min: 0,
+            max: 0,
+            cv: 0.0,
+            jain: 1.0,
+        };
     }
     let n = values.len() as f64;
     let sum: f64 = values.iter().map(|&v| v as f64).sum();
     let mean = sum / n;
-    let var = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = values
+        .iter()
+        .map(|&v| (v as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let sq_sum: f64 = values.iter().map(|&v| (v as f64).powi(2)).sum();
     LoadBalance {
         mean,
         min: *values.iter().min().expect("non-empty"),
         max: *values.iter().max().expect("non-empty"),
         cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
-        jain: if sq_sum > 0.0 { sum * sum / (n * sq_sum) } else { 1.0 },
+        jain: if sq_sum > 0.0 {
+            sum * sum / (n * sq_sum)
+        } else {
+            1.0
+        },
     }
 }
 

@@ -147,3 +147,75 @@ proptest! {
         prop_assert!(m.stats().partial_refetches <= m.stats().remote_reads());
     }
 }
+
+fn any_scheme() -> impl Strategy<Value = PartitionScheme> {
+    prop_oneof![
+        Just(PartitionScheme::Modulo),
+        Just(PartitionScheme::Block),
+        (1usize..8).prop_map(|b| PartitionScheme::BlockCyclic { block_pages: b }),
+    ]
+}
+
+proptest! {
+    /// Every scheme's owner is a valid PE for every page of the array.
+    #[test]
+    fn owner_always_below_n_pes(
+        scheme in any_scheme(),
+        total_pages in 0usize..300,
+        n_pes in 1usize..65,
+    ) {
+        for page in 0..total_pages {
+            let o = scheme.owner(page, total_pages, n_pes);
+            prop_assert!(
+                o < n_pes,
+                "{scheme:?}: page {page}/{total_pages} on {n_pes} PEs → {o}"
+            );
+        }
+    }
+
+    /// `BlockCyclic(1)` is exactly the paper's modulo scheme.
+    #[test]
+    fn blockcyclic_one_is_modulo(total_pages in 1usize..300, n_pes in 1usize..33) {
+        let bc = PartitionScheme::BlockCyclic { block_pages: 1 };
+        for page in 0..total_pages {
+            prop_assert_eq!(
+                bc.owner(page, total_pages, n_pes),
+                PartitionScheme::Modulo.owner(page, total_pages, n_pes)
+            );
+        }
+    }
+
+    /// `BlockCyclic(ceil(P/N))` is exactly the division (Block) scheme.
+    #[test]
+    fn blockcyclic_ceil_is_block(total_pages in 1usize..300, n_pes in 1usize..33) {
+        let chunk = total_pages.div_ceil(n_pes).max(1);
+        let bc = PartitionScheme::BlockCyclic { block_pages: chunk };
+        for page in 0..total_pages {
+            prop_assert_eq!(
+                bc.owner(page, total_pages, n_pes),
+                PartitionScheme::Block.owner(page, total_pages, n_pes)
+            );
+        }
+    }
+
+    /// `pages_of_pe` over all PEs is a partition of the page set: every
+    /// page appears exactly once, on the PE `owner` names.
+    #[test]
+    fn every_page_has_exactly_one_owner(
+        scheme in any_scheme(),
+        total_pages in 0usize..200,
+        n_pes in 1usize..33,
+    ) {
+        let mut seen = vec![0usize; total_pages];
+        for pe in 0..n_pes {
+            for page in scheme.pages_of_pe(pe, total_pages, n_pes) {
+                prop_assert_eq!(scheme.owner(page, total_pages, n_pes), pe);
+                seen[page] += 1;
+            }
+        }
+        prop_assert!(
+            seen.iter().all(|&c| c == 1),
+            "{scheme:?} on {n_pes} PEs: page multiplicities {seen:?}"
+        );
+    }
+}

@@ -95,7 +95,10 @@ impl<T: Clone + Default> SaArray<T> {
 
     fn check(&self, index: usize) -> SaResult<()> {
         if index >= self.values.len() {
-            Err(SaError::OutOfBounds { index, len: self.values.len() })
+            Err(SaError::OutOfBounds {
+                index,
+                len: self.values.len(),
+            })
         } else {
             Ok(())
         }
@@ -109,7 +112,10 @@ impl<T: Clone + Default> SaArray<T> {
     pub fn write(&mut self, index: usize, value: T) -> SaResult<Vec<u64>> {
         self.check(index)?;
         if self.tags.get(index) {
-            return Err(SaError::DoubleWrite { index, generation: self.generation });
+            return Err(SaError::DoubleWrite {
+                index,
+                generation: self.generation,
+            });
         }
         self.values[index] = value;
         self.tags.set(index);
@@ -119,7 +125,11 @@ impl<T: Clone + Default> SaArray<T> {
     /// Read cell `index`: `Ok(Some(&v))` if defined, `Ok(None)` if not.
     pub fn read(&self, index: usize) -> SaResult<Option<&T>> {
         self.check(index)?;
-        Ok(if self.tags.get(index) { Some(&self.values[index]) } else { None })
+        Ok(if self.tags.get(index) {
+            Some(&self.values[index])
+        } else {
+            None
+        })
     }
 
     /// Read cell `index`, queueing `token` as a deferred reader if undefined.
@@ -158,7 +168,10 @@ impl<T: Clone + Default> SaArray<T> {
     /// initialization data.
     pub fn reinit_with(&mut self, init: Vec<T>) -> SaResult<Generation> {
         if init.len() != self.values.len() {
-            return Err(SaError::OutOfBounds { index: init.len(), len: self.values.len() });
+            return Err(SaError::OutOfBounds {
+                index: init.len(),
+                len: self.values.len(),
+            });
         }
         let gen = self.reinit()?;
         self.values = init;
@@ -187,15 +200,24 @@ mod tests {
         a.write(1, 1.0).unwrap();
         assert_eq!(
             a.write(1, 2.0).unwrap_err(),
-            SaError::DoubleWrite { index: 1, generation: 0 }
+            SaError::DoubleWrite {
+                index: 1,
+                generation: 0
+            }
         );
     }
 
     #[test]
     fn out_of_bounds_is_reported() {
         let mut a = SaArray::<f64>::new("A", 4);
-        assert_eq!(a.write(4, 0.0).unwrap_err(), SaError::OutOfBounds { index: 4, len: 4 });
-        assert_eq!(a.read(9).unwrap_err(), SaError::OutOfBounds { index: 9, len: 4 });
+        assert_eq!(
+            a.write(4, 0.0).unwrap_err(),
+            SaError::OutOfBounds { index: 4, len: 4 }
+        );
+        assert_eq!(
+            a.read(9).unwrap_err(),
+            SaError::OutOfBounds { index: 9, len: 4 }
+        );
     }
 
     #[test]
@@ -227,7 +249,10 @@ mod tests {
     fn reinit_refuses_pending_readers() {
         let mut a = SaArray::<f64>::new("A", 2);
         let _ = a.read_or_defer(1, 7).unwrap();
-        assert_eq!(a.reinit().unwrap_err(), SaError::PendingReaders { waiters: 1 });
+        assert_eq!(
+            a.reinit().unwrap_err(),
+            SaError::PendingReaders { waiters: 1 }
+        );
     }
 
     #[test]

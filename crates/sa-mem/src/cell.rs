@@ -56,7 +56,9 @@ impl<T> Default for SaCell<T> {
 impl<T> SaCell<T> {
     /// A fresh, undefined cell with no waiters.
     pub const fn new() -> Self {
-        SaCell::Undefined { waiters: Vec::new() }
+        SaCell::Undefined {
+            waiters: Vec::new(),
+        }
     }
 
     /// True once the cell has been written.
@@ -115,9 +117,9 @@ impl<T> SaCell<T> {
     /// reader is left dangling across a generation boundary.
     pub fn reset(&mut self) -> SaResult<()> {
         match self {
-            SaCell::Undefined { waiters } if !waiters.is_empty() => {
-                Err(SaError::PendingReaders { waiters: waiters.len() })
-            }
+            SaCell::Undefined { waiters } if !waiters.is_empty() => Err(SaError::PendingReaders {
+                waiters: waiters.len(),
+            }),
             _ => {
                 *self = SaCell::new();
                 Ok(())
@@ -151,7 +153,13 @@ mod tests {
         let mut c = SaCell::new();
         c.write(1.0, 5, 2).unwrap();
         let err = c.write(2.0, 5, 2).unwrap_err();
-        assert_eq!(err, SaError::DoubleWrite { index: 5, generation: 2 });
+        assert_eq!(
+            err,
+            SaError::DoubleWrite {
+                index: 5,
+                generation: 2
+            }
+        );
         // Original value is preserved.
         assert_eq!(c.read(), Some(&1.0));
     }

@@ -73,13 +73,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SaError::DoubleWrite { index: 7, generation: 2 };
+        let e = SaError::DoubleWrite {
+            index: 7,
+            generation: 2,
+        };
         assert!(e.to_string().contains("cell 7"));
         assert!(e.to_string().contains("generation 2"));
         let e = SaError::OutOfBounds { index: 10, len: 4 };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains("4"));
-        let e = SaError::StaleGeneration { expected: 1, actual: 3 };
+        let e = SaError::StaleGeneration {
+            expected: 1,
+            actual: 3,
+        };
         assert!(e.to_string().contains("generation 1"));
         let e = SaError::PendingReaders { waiters: 5 };
         assert!(e.to_string().contains("5"));
@@ -87,9 +93,18 @@ mod tests {
 
     #[test]
     fn errors_are_comparable_and_copy() {
-        let a = SaError::DoubleWrite { index: 1, generation: 0 };
+        let a = SaError::DoubleWrite {
+            index: 1,
+            generation: 0,
+        };
         let b = a;
         assert_eq!(a, b);
-        assert_ne!(a, SaError::DoubleWrite { index: 2, generation: 0 });
+        assert_ne!(
+            a,
+            SaError::DoubleWrite {
+                index: 2,
+                generation: 0
+            }
+        );
     }
 }

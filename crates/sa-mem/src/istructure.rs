@@ -36,7 +36,10 @@ impl<T: Clone> IStructure<T> {
     pub fn new(len: usize) -> Self {
         let per = len.div_ceil(STRIPES);
         let stripes = (0..STRIPES)
-            .map(|_| Stripe { slots: Mutex::new(vec![None; per]), cond: Condvar::new() })
+            .map(|_| Stripe {
+                slots: Mutex::new(vec![None; per]),
+                cond: Condvar::new(),
+            })
             .collect();
         IStructure { stripes, len }
     }
@@ -45,7 +48,8 @@ impl<T: Clone> IStructure<T> {
     pub fn from_init(init: &[T]) -> Self {
         let s = IStructure::new(init.len());
         for (i, v) in init.iter().enumerate() {
-            s.write(i, v.clone()).expect("fresh structure accepts first writes");
+            s.write(i, v.clone())
+                .expect("fresh structure accepts first writes");
         }
         s
     }
@@ -62,7 +66,10 @@ impl<T: Clone> IStructure<T> {
 
     fn locate(&self, index: usize) -> SaResult<(usize, usize)> {
         if index >= self.len {
-            return Err(SaError::OutOfBounds { index, len: self.len });
+            return Err(SaError::OutOfBounds {
+                index,
+                len: self.len,
+            });
         }
         Ok((index % STRIPES, index / STRIPES))
     }
@@ -73,7 +80,10 @@ impl<T: Clone> IStructure<T> {
         let stripe = &self.stripes[s];
         let mut slots = stripe.slots.lock();
         if slots[off].is_some() {
-            return Err(SaError::DoubleWrite { index, generation: 0 });
+            return Err(SaError::DoubleWrite {
+                index,
+                generation: 0,
+            });
         }
         slots[off] = Some(value);
         stripe.cond.notify_all();
@@ -107,7 +117,9 @@ impl<T: Clone> IStructure<T> {
 
     /// Number of defined cells (O(n); diagnostics only).
     pub fn defined_count(&self) -> usize {
-        (0..self.len).filter(|&i| self.is_defined(i).unwrap_or(false)).count()
+        (0..self.len)
+            .filter(|&i| self.is_defined(i).unwrap_or(false))
+            .count()
     }
 }
 
@@ -130,7 +142,10 @@ mod tests {
     fn double_write_rejected() {
         let s = IStructure::new(10);
         s.write(0, 1u32).unwrap();
-        assert!(matches!(s.write(0, 2), Err(SaError::DoubleWrite { index: 0, .. })));
+        assert!(matches!(
+            s.write(0, 2),
+            Err(SaError::DoubleWrite { index: 0, .. })
+        ));
         assert_eq!(s.read_blocking(0).unwrap(), 1);
     }
 
@@ -138,7 +153,10 @@ mod tests {
     fn out_of_bounds_rejected() {
         let s = IStructure::<u8>::new(3);
         assert!(matches!(s.write(3, 0), Err(SaError::OutOfBounds { .. })));
-        assert!(matches!(s.read_blocking(9), Err(SaError::OutOfBounds { .. })));
+        assert!(matches!(
+            s.read_blocking(9),
+            Err(SaError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -156,7 +174,10 @@ mod tests {
             std::thread::spawn(move || s.read_blocking(5).unwrap())
         };
         std::thread::sleep(Duration::from_millis(20));
-        assert!(!r.is_finished(), "reader must be parked until the producer writes");
+        assert!(
+            !r.is_finished(),
+            "reader must be parked until the producer writes"
+        );
         s.write(5, 99u64).unwrap();
         assert_eq!(r.join().unwrap(), 99);
     }

@@ -20,14 +20,20 @@ pub struct IVar<T> {
 impl<T: Clone> IVar<T> {
     /// A fresh, empty IVar.
     pub fn new() -> Self {
-        IVar { slot: Mutex::new(None), cond: Condvar::new() }
+        IVar {
+            slot: Mutex::new(None),
+            cond: Condvar::new(),
+        }
     }
 
     /// Perform the single assignment, waking all blocked readers.
     pub fn write(&self, value: T) -> SaResult<()> {
         let mut guard = self.slot.lock();
         if guard.is_some() {
-            return Err(SaError::DoubleWrite { index: 0, generation: 0 });
+            return Err(SaError::DoubleWrite {
+                index: 0,
+                generation: 0,
+            });
         }
         *guard = Some(value);
         self.cond.notify_all();
@@ -101,8 +107,11 @@ mod tests {
                 std::thread::spawn(move || v.write(i).is_ok())
             })
             .collect();
-        let successes =
-            handles.into_iter().map(|h| h.join().unwrap()).filter(|&ok| ok).count();
+        let successes = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
         assert_eq!(successes, 1);
         assert!(v.is_defined());
     }

@@ -16,7 +16,11 @@ pub struct TagBits {
 impl TagBits {
     /// All-undefined bitmap over `len` cells.
     pub fn new(len: usize) -> Self {
-        TagBits { words: vec![0; len.div_ceil(64)], len, ones: 0 }
+        TagBits {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
     }
 
     /// All-defined bitmap over `len` cells (arrays "filled with

@@ -31,8 +31,8 @@ proptest! {
             }
         }
         prop_assert_eq!(a.defined_count(), defined);
-        for i in 0..len {
-            prop_assert_eq!(a.read(i).unwrap().copied(), model[i]);
+        for (i, want) in model.iter().enumerate() {
+            prop_assert_eq!(a.read(i).unwrap().copied(), *want);
         }
     }
 

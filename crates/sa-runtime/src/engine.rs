@@ -27,7 +27,12 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// The paper's machine: modulo placement, 256-element cache.
     pub fn paper(n_pes: usize, page_size: usize) -> Self {
-        RuntimeConfig { n_pes, page_size, cache_elems: 256, partition: PartitionScheme::Modulo }
+        RuntimeConfig {
+            n_pes,
+            page_size,
+            cache_elems: 256,
+            partition: PartitionScheme::Modulo,
+        }
     }
 
     /// Adopt the counting simulator's parameters.
@@ -40,12 +45,25 @@ impl RuntimeConfig {
         }
     }
 
+    /// The equivalent counting-simulator configuration.
+    pub fn to_machine(&self) -> MachineConfig {
+        MachineConfig::paper(self.n_pes, self.page_size)
+            .with_cache_elems(self.cache_elems)
+            .with_partition(self.partition)
+    }
+
+    /// Validate the configuration (delegates to [`MachineConfig::validate`],
+    /// so the runtime and the simulator reject exactly the same configs).
+    pub fn validate(&self) -> Result<(), sa_machine::ConfigError> {
+        self.to_machine().validate()
+    }
+
+    /// Cache capacity in pages. Only meaningful on a validated config —
+    /// zero page sizes are rejected by [`RuntimeConfig::validate`] rather
+    /// than silently treated as "no cache".
     fn cache_pages(&self) -> usize {
-        if self.page_size == 0 {
-            0
-        } else {
-            self.cache_elems / self.page_size
-        }
+        debug_assert!(self.page_size > 0, "cache_pages on an unvalidated config");
+        self.cache_elems / self.page_size
     }
 }
 
@@ -85,15 +103,9 @@ pub struct RuntimeReport {
 
 /// Execute `program` on `cfg.n_pes` real threads.
 pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, RuntimeError> {
-    if cfg.n_pes == 0 {
-        return Err(RuntimeError::InvalidConfig("n_pes must be ≥ 1".into()));
-    }
-    if cfg.page_size == 0 {
-        return Err(RuntimeError::InvalidConfig("page_size must be ≥ 1".into()));
-    }
-    let machine_cfg = MachineConfig::paper(cfg.n_pes, cfg.page_size)
-        .with_cache_elems(cfg.cache_elems)
-        .with_partition(cfg.partition);
+    cfg.validate()
+        .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+    let machine_cfg = cfg.to_machine();
     let map = PartitionMap::new(program, &machine_cfg);
 
     let mut txs = Vec::with_capacity(cfg.n_pes);
@@ -172,8 +184,16 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
             }
         }
     }
-    let scalars = results.first().map(|r| r.scalars.clone()).unwrap_or_default();
-    Ok(RuntimeReport { stats, arrays, scalars, messages })
+    let scalars = results
+        .first()
+        .map(|r| r.scalars.clone())
+        .unwrap_or_default();
+    Ok(RuntimeReport {
+        stats,
+        arrays,
+        scalars,
+        messages,
+    })
 }
 
 #[cfg(test)]
@@ -191,7 +211,9 @@ mod tests {
             writes: 0,
             reads: 0,
         };
-        golden.assert_matches(&got, 1e-9).unwrap_or_else(|e| panic!("{e}"));
+        golden
+            .assert_matches(&got, 1e-9)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn map_program(n: usize) -> Program {
@@ -223,7 +245,10 @@ mod tests {
         let x = b.array_with(
             "X",
             &[n],
-            sa_ir::program::ArrayInit::Prefix { pattern: InitPattern::Const(0.3), len: 1 },
+            sa_ir::program::ArrayInit::Prefix {
+                pattern: InitPattern::Const(0.3),
+                len: 1,
+            },
         );
         b.nest("chain", &[("i", 1, n as i64 - 1)], |nb| {
             nb.assign(
@@ -242,7 +267,14 @@ mod tests {
     fn reduction_collects_at_host_and_broadcasts() {
         let n = 200;
         let mut b = ProgramBuilder::new("dotchain");
-        let y = b.input("Y", &[n], InitPattern::Linear { base: 1.0, step: 0.0 });
+        let y = b.input(
+            "Y",
+            &[n],
+            InitPattern::Linear {
+                base: 1.0,
+                step: 0.0,
+            },
+        );
         let x = b.output("X", &[n]);
         let s = b.scalar("s");
         b.nest("sum", &[("k", 0, n as i64 - 1)], |nb| {
@@ -316,11 +348,35 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let p = map_program(8);
         assert!(matches!(
-            execute(&p, &RuntimeConfig { n_pes: 0, ..RuntimeConfig::paper(1, 32) }),
+            execute(
+                &p,
+                &RuntimeConfig {
+                    n_pes: 0,
+                    ..RuntimeConfig::paper(1, 32)
+                }
+            ),
             Err(RuntimeError::InvalidConfig(_))
         ));
         assert!(matches!(
-            execute(&p, &RuntimeConfig { page_size: 0, ..RuntimeConfig::paper(1, 32) }),
+            execute(
+                &p,
+                &RuntimeConfig {
+                    page_size: 0,
+                    ..RuntimeConfig::paper(1, 32)
+                }
+            ),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        // The runtime shares the simulator's validation: a zero-sized
+        // block-cyclic chunk is rejected up front, not clamped mid-run.
+        assert!(matches!(
+            execute(
+                &p,
+                &RuntimeConfig {
+                    partition: PartitionScheme::BlockCyclic { block_pages: 0 },
+                    ..RuntimeConfig::paper(2, 32)
+                }
+            ),
             Err(RuntimeError::InvalidConfig(_))
         ));
     }

@@ -78,7 +78,13 @@ mod tests {
 
     #[test]
     fn messages_are_cloneable_and_debuggable() {
-        let m = Msg::PageRequest { array: 1, page: 2, generation: 0, offset: 3, from: 4 };
+        let m = Msg::PageRequest {
+            array: 1,
+            page: 2,
+            generation: 0,
+            offset: 3,
+            from: 4,
+        };
         let c = m.clone();
         assert!(format!("{c:?}").contains("PageRequest"));
         let r = Msg::PageReply {

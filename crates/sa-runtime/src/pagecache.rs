@@ -33,7 +33,11 @@ pub struct ValueCache {
 impl ValueCache {
     /// A cache of `capacity_pages` pages (0 disables caching).
     pub fn new(capacity_pages: usize) -> Self {
-        ValueCache { capacity: capacity_pages, entries: HashMap::new(), tick: 0 }
+        ValueCache {
+            capacity: capacity_pages,
+            entries: HashMap::new(),
+            tick: 0,
+        }
     }
 
     /// Number of resident pages.
@@ -76,13 +80,23 @@ impl ValueCache {
             return;
         }
         if self.entries.len() >= self.capacity {
-            if let Some(victim) =
-                self.entries.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k)
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
             {
                 self.entries.remove(&victim);
             }
         }
-        self.entries.insert(key, CachedPage { values, fill, stamp: self.tick });
+        self.entries.insert(
+            key,
+            CachedPage {
+                values,
+                fill,
+                stamp: self.tick,
+            },
+        );
     }
 
     /// True if the page is resident, regardless of fill state.
@@ -101,7 +115,11 @@ mod tests {
     use super::*;
 
     fn key(page: usize) -> PageKey {
-        PageKey { array: 0, page, generation: 0 }
+        PageKey {
+            array: 0,
+            page,
+            generation: 0,
+        }
     }
 
     fn full(vals: &[f64]) -> (Vec<f64>, TagBits) {

@@ -75,7 +75,9 @@ struct WorkerMem {
 impl WorkerMem {
     fn send(&mut self, to: usize, msg: Msg) {
         self.stats.messages_sent += 1;
-        self.peers[to].send(msg).expect("peer inbox closed prematurely");
+        self.peers[to]
+            .send(msg)
+            .expect("peer inbox closed prematurely");
     }
 
     /// Reply to a page request from the local frame (must be resident).
@@ -95,22 +97,39 @@ impl WorkerMem {
     /// caller may be waiting for).
     fn handle(&mut self, msg: Msg) {
         match msg {
-            Msg::PageRequest { array, page, generation, offset, from } => {
+            Msg::PageRequest {
+                array,
+                page,
+                generation,
+                offset,
+                from,
+            } => {
                 debug_assert_eq!(
                     generation, self.gens[array],
                     "request for a generation the owner has left"
                 );
-                let frame = self.frames.get(&(array, page)).expect("request for owned page");
+                let frame = self
+                    .frames
+                    .get(&(array, page))
+                    .expect("request for owned page");
                 if frame.tags.get(offset) {
                     self.reply_page(array, page, generation, from);
                 } else {
                     // Defer: the paper's queued remote read (§4).
                     let addr = page * self.page_size + offset;
-                    self.cell_waiters.entry((array, addr)).or_default().push((from, generation));
+                    self.cell_waiters
+                        .entry((array, addr))
+                        .or_default()
+                        .push((from, generation));
                 }
             }
-            Msg::Partial { scalar, seq, value, .. } => {
-                self.partials_inbox.entry((scalar, seq)).or_default().push(value);
+            Msg::Partial {
+                scalar, seq, value, ..
+            } => {
+                self.partials_inbox
+                    .entry((scalar, seq))
+                    .or_default()
+                    .push(value);
             }
             Msg::ScalarValue { scalar, seq, value } => {
                 self.scalar_ready.insert((scalar, seq), value);
@@ -140,7 +159,10 @@ impl WorkerMem {
     fn local_write(&mut self, array: usize, addr: usize, value: f64) {
         let page = addr / self.page_size;
         let offset = addr - page * self.page_size;
-        let frame = self.frames.get_mut(&(array, page)).expect("write to owned page");
+        let frame = self
+            .frames
+            .get_mut(&(array, page))
+            .expect("write to owned page");
         assert!(
             !frame.tags.get(offset),
             "single-assignment violation in worker {}: array {} addr {}",
@@ -163,17 +185,39 @@ impl WorkerMem {
         let page = addr / self.page_size;
         let offset = addr - page * self.page_size;
         let generation = self.gens[array];
-        let key = PageKey { array, page, generation };
+        let key = PageKey {
+            array,
+            page,
+            generation,
+        };
         self.stats.counters.remote_reads += 1;
         self.stats.page_fetches += 1;
-        self.send(owner, Msg::PageRequest { array, page, generation, offset, from: self.me });
+        self.send(
+            owner,
+            Msg::PageRequest {
+                array,
+                page,
+                generation,
+                offset,
+                from: self.me,
+            },
+        );
         loop {
             let msg = self.inbox.recv().expect("inbox closed during fetch");
             match msg {
-                Msg::PageReply { array: a, page: p, generation: g, values, fill } => {
+                Msg::PageReply {
+                    array: a,
+                    page: p,
+                    generation: g,
+                    values,
+                    fill,
+                } => {
                     debug_assert_eq!((a, p, g), (array, page, generation));
                     let v = values[offset];
-                    debug_assert!(fill.get(offset), "owner replied before the cell was defined");
+                    debug_assert!(
+                        fill.get(offset),
+                        "owner replied before the cell was defined"
+                    );
                     if self.cache_enabled {
                         self.cache.insert(key, values, fill);
                     }
@@ -194,14 +238,21 @@ impl Memory for WorkerMem {
             let offset = addr - page * self.page_size;
             let frame = self.frames.get(&(a, page)).expect("owned frame exists");
             if !frame.tags.get(offset) {
-                return Err(IrError::ReadUndefined { array: format!("array#{a}"), addr });
+                return Err(IrError::ReadUndefined {
+                    array: format!("array#{a}"),
+                    addr,
+                });
             }
             self.stats.counters.local_reads += 1;
             return Ok(frame.values[offset]);
         }
         let page = addr / self.page_size;
         let offset = addr - page * self.page_size;
-        let key = PageKey { array: a, page, generation: self.gens[a] };
+        let key = PageKey {
+            array: a,
+            page,
+            generation: self.gens[a],
+        };
         if self.cache_enabled {
             if let Some(v) = self.cache.lookup(key, offset) {
                 self.stats.counters.cached_reads += 1;
@@ -256,8 +307,10 @@ impl<'p> Worker<'p> {
                 }
                 let start = page * spec.page_size;
                 let elems = (len - start).min(spec.page_size);
-                let mut frame =
-                    Frame { values: vec![0.0; elems], tags: TagBits::new(elems) };
+                let mut frame = Frame {
+                    values: vec![0.0; elems],
+                    tags: TagBits::new(elems),
+                };
                 for off in 0..elems {
                     if start + off < init.len() {
                         frame.values[off] = init[start + off];
@@ -393,21 +446,39 @@ impl<'p> Worker<'p> {
         for &(sid, op) in &reduce_meta {
             let host = host_of(sid, self.n_pes);
             let parts = &participants[&sid];
-            let remote_contributors =
-                parts.iter().enumerate().filter(|&(pe, &p)| p && pe != host).count();
+            let remote_contributors = parts
+                .iter()
+                .enumerate()
+                .filter(|&(pe, &p)| p && pe != host)
+                .count();
             if me == host {
-                let mut acc = if parts[me] { partial[&sid] } else { op.identity() };
-                self.mem
-                    .serve_until(|m| {
-                        m.partials_inbox.get(&(sid, seq)).map(Vec::len).unwrap_or(0)
-                            >= remote_contributors
-                    });
-                for v in self.mem.partials_inbox.remove(&(sid, seq)).unwrap_or_default() {
+                let mut acc = if parts[me] {
+                    partial[&sid]
+                } else {
+                    op.identity()
+                };
+                self.mem.serve_until(|m| {
+                    m.partials_inbox.get(&(sid, seq)).map(Vec::len).unwrap_or(0)
+                        >= remote_contributors
+                });
+                for v in self
+                    .mem
+                    .partials_inbox
+                    .remove(&(sid, seq))
+                    .unwrap_or_default()
+                {
                     acc = op.combine(acc, v);
                 }
                 for pe in 0..self.n_pes {
                     if pe != host {
-                        self.mem.send(pe, Msg::ScalarValue { scalar: sid, seq, value: acc });
+                        self.mem.send(
+                            pe,
+                            Msg::ScalarValue {
+                                scalar: sid,
+                                seq,
+                                value: acc,
+                            },
+                        );
                         self.mem.stats.reduction_messages += 1;
                     }
                 }
@@ -415,10 +486,19 @@ impl<'p> Worker<'p> {
             } else {
                 if parts[me] {
                     let value = partial[&sid];
-                    self.mem.send(host, Msg::Partial { scalar: sid, seq, value, from: me });
+                    self.mem.send(
+                        host,
+                        Msg::Partial {
+                            scalar: sid,
+                            seq,
+                            value,
+                            from: me,
+                        },
+                    );
                     self.mem.stats.reduction_messages += 1;
                 }
-                self.mem.serve_until(|m| m.scalar_ready.contains_key(&(sid, seq)));
+                self.mem
+                    .serve_until(|m| m.scalar_ready.contains_key(&(sid, seq)));
                 let v = self.mem.scalar_ready[&(sid, seq)];
                 self.ctx.scalars[sid] = v;
             }
@@ -437,13 +517,20 @@ impl<'p> Worker<'p> {
             let new_gen = self.mem.gens[a] + 1;
             for pe in 0..self.n_pes {
                 if pe != host {
-                    self.mem.send(pe, Msg::ReinitRelease { array: a, generation: new_gen });
+                    self.mem.send(
+                        pe,
+                        Msg::ReinitRelease {
+                            array: a,
+                            generation: new_gen,
+                        },
+                    );
                     self.mem.stats.reinit_messages += 1;
                 }
             }
             self.apply_release(a, new_gen);
         } else {
-            self.mem.send(host, Msg::ReinitRequest { array: a, from: me });
+            self.mem
+                .send(host, Msg::ReinitRequest { array: a, from: me });
             self.mem.stats.reinit_messages += 1;
             self.mem.serve_until(|m| m.reinit_released.contains_key(&a));
             let new_gen = self.mem.reinit_released.remove(&a).expect("just observed");

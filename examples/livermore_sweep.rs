@@ -16,8 +16,7 @@ fn main() {
     let mut rows = Vec::new();
     for k in suite() {
         let cached = simulate(&k.program, &MachineConfig::paper(16, 32)).expect("sim");
-        let uncached =
-            simulate(&k.program, &MachineConfig::paper_no_cache(16, 32)).expect("sim");
+        let uncached = simulate(&k.program, &MachineConfig::paper_no_cache(16, 32)).expect("sim");
         let dynamic = classify_dynamic(&k.program, 32).expect("sweep");
         rows.push(vec![
             k.code.to_string(),
@@ -33,7 +32,15 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["kernel", "name", "static", "measured", "paper", "remote% cache", "remote% none"],
+            &[
+                "kernel",
+                "name",
+                "static",
+                "measured",
+                "paper",
+                "remote% cache",
+                "remote% none"
+            ],
             &rows
         )
     );

@@ -32,7 +32,11 @@ fn main() {
 
     // The compiler side: classify the access pattern statically.
     let report = classify_program(&program);
-    println!("static access class: {} ({})", report.class, report.class.abbrev());
+    println!(
+        "static access class: {} ({})",
+        report.class,
+        report.class.abbrev()
+    );
 
     // The machine side: 8 PEs, 32-element pages, the paper's 256-element
     // LRU cache, modulo placement. Owner-computes does the rest.

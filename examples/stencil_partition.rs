@@ -18,13 +18,17 @@ fn stencil(rows: usize, cols: usize) -> Program {
     let mut b = ProgramBuilder::new("heat stencil");
     let input = b.input("IN", &[rows, cols], InitPattern::Wavy);
     let out = b.output("OUT", &[rows, cols]);
-    b.nest("jacobi", &[("i", 1, rows as i64 - 2), ("j", 1, cols as i64 - 2)], |nb| {
-        let sum = nb.read(input, [iv(0).plus(-1), iv(1)])
-            + nb.read(input, [iv(0).plus(1), iv(1)])
-            + nb.read(input, [iv(0), iv(1).plus(-1)])
-            + nb.read(input, [iv(0), iv(1).plus(1)]);
-        nb.assign(out, [iv(0), iv(1)], sum / 4.0);
-    });
+    b.nest(
+        "jacobi",
+        &[("i", 1, rows as i64 - 2), ("j", 1, cols as i64 - 2)],
+        |nb| {
+            let sum = nb.read(input, [iv(0).plus(-1), iv(1)])
+                + nb.read(input, [iv(0).plus(1), iv(1)])
+                + nb.read(input, [iv(0), iv(1).plus(-1)])
+                + nb.read(input, [iv(0), iv(1).plus(1)]);
+            nb.assign(out, [iv(0), iv(1)], sum / 4.0);
+        },
+    );
     b.finish()
 }
 
@@ -50,7 +54,13 @@ fn main() {
         ]);
     }
     println!("Page-size tuning for a 128×128 Jacobi stencil on {n_pes} PEs:\n");
-    println!("{}", markdown_table(&["page size", "remote %", "remote reads", "messages"], &rows));
+    println!(
+        "{}",
+        markdown_table(
+            &["page size", "remote %", "remote reads", "messages"],
+            &rows
+        )
+    );
     let (bps, bpct) = best.expect("swept");
     println!("→ best page size: {bps} ({})\n", fmt_pct(bpct));
 
@@ -68,8 +78,10 @@ fn main() {
         ],
     )
     .expect("sweep");
-    let rows: Vec<Vec<String>> =
-        per.into_iter().map(|(name, pct)| vec![name, fmt_pct(pct)]).collect();
+    let rows: Vec<Vec<String>> = per
+        .into_iter()
+        .map(|(name, pct)| vec![name, fmt_pct(pct)])
+        .collect();
     println!("Placement comparison at page size {bps}:\n");
     println!("{}", markdown_table(&["scheme", "remote %"], &rows));
 }

@@ -23,7 +23,9 @@ fn main() {
             writes: 0,
             reads: 0,
         };
-        golden.assert_matches(&got, 1e-9).expect("values match the sequential reference");
+        golden
+            .assert_matches(&got, 1e-9)
+            .expect("values match the sequential reference");
         let s = &rep.stats;
         println!(
             "{n_pes:>2} threads: writes {:>5}  local {:>6}  cached {:>6}  remote {:>5}  \

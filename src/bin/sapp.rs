@@ -10,7 +10,7 @@
 //! ```
 
 use sapp::core::classify::classify_dynamic;
-use sapp::core::experiment::speedup_sweep;
+use sapp::core::experiment::{pe_sweep, speedup_sweep};
 use sapp::core::report::{fmt_pct, markdown_table};
 use sapp::core::simulate;
 use sapp::ir::{classify_program, pretty};
@@ -33,14 +33,32 @@ struct Opts {
 }
 
 fn parse_opts(args: &[String]) -> Opts {
-    let mut o = Opts { pes: 16, page: 32, cache: 256, no_cache: false };
+    let mut o = Opts {
+        pes: 16,
+        page: 32,
+        cache: 256,
+        no_cache: false,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--pes" => o.pes = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--page" => o.page = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--pes" => {
+                o.pes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--page" => {
+                o.page = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--cache" => {
-                o.cache = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                o.cache = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--no-cache" => o.no_cache = true,
             _ => usage(),
@@ -50,10 +68,13 @@ fn parse_opts(args: &[String]) -> Opts {
 }
 
 fn find_kernel(code: &str) -> Kernel {
-    suite().into_iter().find(|k| k.code.eq_ignore_ascii_case(code)).unwrap_or_else(|| {
-        eprintln!("unknown kernel {code}; try `sapp list`");
-        std::process::exit(2);
-    })
+    suite()
+        .into_iter()
+        .find(|k| k.code.eq_ignore_ascii_case(code))
+        .unwrap_or_else(|| {
+            eprintln!("unknown kernel {code}; try `sapp list`");
+            std::process::exit(2);
+        })
 }
 
 fn config(o: &Opts) -> MachineConfig {
@@ -132,27 +153,38 @@ fn main() {
         "sweep" => {
             let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             let o = parse_opts(&args[2..]);
-            let mut rows = Vec::new();
-            for n in [1usize, 2, 4, 8, 16, 32, 64] {
-                let cached = simulate(&k.program, &MachineConfig::paper(n, o.page)).unwrap();
-                let uncached =
-                    simulate(&k.program, &MachineConfig::paper_no_cache(n, o.page)).unwrap();
-                rows.push(vec![
-                    n.to_string(),
-                    fmt_pct(cached.remote_pct()),
-                    fmt_pct(uncached.remote_pct()),
-                ]);
-            }
+            // All 14 grid points simulate concurrently; the result order is
+            // the sequential one (cached block first, then uncached).
+            let pes = [1usize, 2, 4, 8, 16, 32, 64];
+            let pts = pe_sweep(&k.program, &pes, &[o.page], &[true, false]).expect("sweep");
+            let (cached, uncached) = pts.split_at(pes.len());
+            let rows: Vec<Vec<String>> = cached
+                .iter()
+                .zip(uncached)
+                .map(|(c, u)| {
+                    vec![
+                        c.n_pes.to_string(),
+                        fmt_pct(c.remote_pct),
+                        fmt_pct(u.remote_pct),
+                    ]
+                })
+                .collect();
             println!("{}", markdown_table(&["PEs", "cache", "no cache"], &rows));
         }
         "timing" => {
             let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             let o = parse_opts(&args[2..]);
-            let sp =
-                speedup_sweep(&k.program, &[1, 2, 4, 8, 16, 32], o.page, AccessCosts::default())
-                    .expect("timing");
-            let rows: Vec<Vec<String>> =
-                sp.into_iter().map(|(n, s)| vec![n.to_string(), format!("{s:.2}×")]).collect();
+            let sp = speedup_sweep(
+                &k.program,
+                &[1, 2, 4, 8, 16, 32],
+                o.page,
+                AccessCosts::default(),
+            )
+            .expect("timing");
+            let rows: Vec<Vec<String>> = sp
+                .into_iter()
+                .map(|(n, s)| vec![n.to_string(), format!("{s:.2}×")])
+                .collect();
             println!("{}", markdown_table(&["PEs", "speedup"], &rows));
         }
         _ => usage(),

@@ -8,7 +8,10 @@ use sapp::loops::{k14_pic1d, k18_hydro2d, suite};
 use sapp::machine::{load_balance, MachineConfig};
 
 fn run(code: &str, cfg: &MachineConfig) -> SimReport {
-    let k = suite().into_iter().find(|k| k.code == code).expect("kernel");
+    let k = suite()
+        .into_iter()
+        .find(|k| k.code == code)
+        .expect("kernel");
     simulate(&k.program, cfg).expect("simulation")
 }
 
@@ -50,7 +53,10 @@ fn fig2_cyclic_iccg() {
     for n in [4usize, 16, 32] {
         let cached = run("K2", &MachineConfig::paper(n, 32)).remote_pct();
         let uncached = run("K2", &MachineConfig::paper_no_cache(n, 32)).remote_pct();
-        assert!(cached * 10.0 < uncached, "n={n}: {cached:.2}% vs {uncached:.2}%");
+        assert!(
+            cached * 10.0 < uncached,
+            "n={n}: {cached:.2}% vs {uncached:.2}%"
+        );
         assert!(cached < 5.0, "n={n}: {cached:.2}%");
     }
 }
@@ -61,12 +67,24 @@ fn fig3_cyclic_skewed_hydro2d_decreases_with_pes() {
     // remote % *decreases* as PEs grow (the paper's counter-intuitive
     // headline), and stays below the paper's ≈8 % ceiling.
     let k = k18_hydro2d::build_with_passes(101, 5);
-    let at4 = simulate(&k.program, &MachineConfig::paper(4, 32)).unwrap().remote_pct();
-    let at16 = simulate(&k.program, &MachineConfig::paper(16, 32)).unwrap().remote_pct();
-    assert!(at16 < at4, "cached remote% must fall with PEs: {at4:.2}% → {at16:.2}%");
-    assert!(at16 * 2.0 <= at4, "the drop is substantial: {at4:.2}% → {at16:.2}%");
+    let at4 = simulate(&k.program, &MachineConfig::paper(4, 32))
+        .unwrap()
+        .remote_pct();
+    let at16 = simulate(&k.program, &MachineConfig::paper(16, 32))
+        .unwrap()
+        .remote_pct();
+    assert!(
+        at16 < at4,
+        "cached remote% must fall with PEs: {at4:.2}% → {at16:.2}%"
+    );
+    assert!(
+        at16 * 2.0 <= at4,
+        "the drop is substantial: {at4:.2}% → {at16:.2}%"
+    );
     for n in [2usize, 4, 8, 16] {
-        let pct = simulate(&k.program, &MachineConfig::paper(n, 32)).unwrap().remote_pct();
+        let pct = simulate(&k.program, &MachineConfig::paper(n, 32))
+            .unwrap()
+            .remote_pct();
         assert!(pct < 8.0, "n={n}: {pct:.2}%");
     }
 }
@@ -88,14 +106,19 @@ fn fig4_random_glre_resists_caching() {
     // …but a larger cache does rescue it ("poor performance of RD can be
     // overcome by larger cache sizes", Fig. 4 caption).
     let k = suite().into_iter().find(|k| k.code == "K6").unwrap();
-    let small = simulate(&k.program, &MachineConfig::paper(16, 32)).unwrap().remote_pct();
+    let small = simulate(&k.program, &MachineConfig::paper(16, 32))
+        .unwrap()
+        .remote_pct();
     let big = simulate(
         &k.program,
         &MachineConfig::paper(16, 32).with_cache_elems(8192),
     )
     .unwrap()
     .remote_pct();
-    assert!(big * 2.0 < small, "8192-elem cache: {small:.2}% → {big:.2}%");
+    assert!(
+        big * 2.0 < small,
+        "8192-elem cache: {small:.2}% → {big:.2}%"
+    );
 }
 
 #[test]
@@ -144,10 +167,17 @@ fn summary_class_claims() {
     let below = suite()
         .iter()
         .filter(|k| {
-            simulate(&k.program, &MachineConfig::paper(16, 32)).unwrap().remote_pct() < 10.0
+            simulate(&k.program, &MachineConfig::paper(16, 32))
+                .unwrap()
+                .remote_pct()
+                < 10.0
         })
         .count();
-    assert!(below * 2 > suite().len(), "{below}/{} kernels below 10 %", suite().len());
+    assert!(
+        below * 2 > suite().len(),
+        "{below}/{} kernels below 10 %",
+        suite().len()
+    );
 }
 
 #[test]

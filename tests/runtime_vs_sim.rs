@@ -37,7 +37,10 @@ fn threaded_values_match_reference_for_whole_suite() {
 
 #[test]
 fn threaded_values_match_for_reduced_random_kernels() {
-    for k in [sapp::loops::k06_glre::build(24), sapp::loops::k21_matmul::build(16)] {
+    for k in [
+        sapp::loops::k06_glre::build(24),
+        sapp::loops::k21_matmul::build(16),
+    ] {
         let golden = interpret(&k.program).expect("reference");
         let rep = execute(&k.program, &RuntimeConfig::paper(4, 16))
             .unwrap_or_else(|e| panic!("{}: {e}", k.code));
@@ -58,9 +61,21 @@ fn stats_match_simulator_exactly_on_input_only_kernels() {
         let sim = simulate(&k.program, &cfg).expect("sim");
         let run = execute(&k.program, &RuntimeConfig::from_machine(&cfg)).expect("runtime");
         assert_eq!(sim.stats.writes(), run.stats.writes(), "{code} writes");
-        assert_eq!(sim.stats.total_reads(), run.stats.total_reads(), "{code} reads");
-        assert_eq!(sim.stats.remote_reads(), run.stats.remote_reads(), "{code} remote");
-        assert_eq!(sim.stats.cached_reads(), run.stats.cached_reads(), "{code} cached");
+        assert_eq!(
+            sim.stats.total_reads(),
+            run.stats.total_reads(),
+            "{code} reads"
+        );
+        assert_eq!(
+            sim.stats.remote_reads(),
+            run.stats.remote_reads(),
+            "{code} remote"
+        );
+        assert_eq!(
+            sim.stats.cached_reads(),
+            run.stats.cached_reads(),
+            "{code} cached"
+        );
         assert_eq!(run.messages, 2 * run.stats.page_fetches, "{code} messages");
     }
 }
@@ -74,7 +89,10 @@ fn stats_bound_simulator_on_pipelined_kernels() {
     for code in ["K5", "K2", "K11"] {
         let k = suite().into_iter().find(|k| k.code == code).unwrap();
         let cfg = MachineConfig::paper(4, 32);
-        let ideal = simulate(&k.program, &cfg).expect("sim").stats.remote_reads();
+        let ideal = simulate(&k.program, &cfg)
+            .expect("sim")
+            .stats
+            .remote_reads();
         let worst = simulate(&k.program, &MachineConfig::paper_no_cache(4, 32))
             .expect("sim")
             .stats
@@ -85,7 +103,10 @@ fn stats_bound_simulator_on_pipelined_kernels() {
             got >= ideal && got <= worst.max(ideal),
             "{code}: runtime {got} outside [{ideal}, {worst}]"
         );
-        assert_eq!(run.stats.total_reads(), simulate(&k.program, &cfg).unwrap().stats.total_reads());
+        assert_eq!(
+            run.stats.total_reads(),
+            simulate(&k.program, &cfg).unwrap().stats.total_reads()
+        );
     }
 }
 

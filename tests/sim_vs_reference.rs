@@ -20,7 +20,10 @@ fn every_kernel_matches_reference_on_paper_machine() {
 fn results_are_invariant_to_cache_configuration() {
     // Caching is purely an optimization: any cache size/policy yields the
     // same values.
-    for k in suite().into_iter().filter(|k| ["K1", "K2", "K6", "K18"].contains(&k.code)) {
+    for k in suite()
+        .into_iter()
+        .filter(|k| ["K1", "K2", "K6", "K18"].contains(&k.code))
+    {
         for cfg in [
             MachineConfig::paper_no_cache(8, 32),
             MachineConfig::paper(8, 32).with_cache_elems(64),
@@ -36,7 +39,10 @@ fn results_are_invariant_to_cache_configuration() {
 
 #[test]
 fn results_are_invariant_to_partitioning_scheme() {
-    for k in suite().into_iter().filter(|k| ["K1", "K5", "K18", "K21"].contains(&k.code)) {
+    for k in suite()
+        .into_iter()
+        .filter(|k| ["K1", "K5", "K18", "K21"].contains(&k.code))
+    {
         for scheme in [
             PartitionScheme::Modulo,
             PartitionScheme::Block,
@@ -51,7 +57,10 @@ fn results_are_invariant_to_partitioning_scheme() {
 
 #[test]
 fn results_are_invariant_to_page_size() {
-    for k in suite().into_iter().filter(|k| ["K2", "K7", "K9"].contains(&k.code)) {
+    for k in suite()
+        .into_iter()
+        .filter(|k| ["K2", "K7", "K9"].contains(&k.code))
+    {
         for ps in [8usize, 16, 64, 128] {
             verify_against_reference(&k.program, &MachineConfig::paper(4, ps))
                 .unwrap_or_else(|e| panic!("{} at ps {ps}: {e}", k.code));

@@ -81,7 +81,10 @@ fn serial_recurrence_exposes_pipeline_limit() {
     let t16 = estimate_timing(&k.program, &MachineConfig::paper(16, 32)).unwrap();
     let s = t16.speedup_over(&t1);
     assert!(s < 2.0, "a serial chain cannot scale: {s:.2}");
-    assert!(t16.stall_cycles.iter().sum::<u64>() > 0, "PEs must have stalled");
+    assert!(
+        t16.stall_cycles.iter().sum::<u64>() > 0,
+        "PEs must have stalled"
+    );
 }
 
 proptest! {
