@@ -1,10 +1,12 @@
 //! Ablation benches: partitioning scheme, cache size, replacement policy,
-//! partial-page semantics, and the timing extension.
+//! partial-page semantics, the timing extension, and the automatic scheme
+//! search built on the plan API.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use sa_core::{estimate_timing, simulate};
+use sa_core::search::{search, SearchSpace};
+use sa_core::{estimate_timing, simulate, CountingOracle};
 use sa_loops::{k01_hydro, k06_glre};
 use sa_machine::{CachePolicy, MachineConfig, PartialPagePolicy, PartitionScheme};
 
@@ -21,7 +23,7 @@ fn bench_partition(c: &mut Criterion) {
             BenchmarkId::from_parameter(scheme.name()),
             &scheme,
             |b, &s| {
-                let cfg = MachineConfig::paper(16, 32).with_partition(s);
+                let cfg = MachineConfig::new(16, 32).with_partition(s);
                 b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
             },
         );
@@ -35,7 +37,7 @@ fn bench_cache_size(c: &mut Criterion) {
     g.sample_size(20);
     for elems in [0usize, 256, 1024, 4096] {
         g.bench_with_input(BenchmarkId::from_parameter(elems), &elems, |b, &e| {
-            let cfg = MachineConfig::paper(16, 32).with_cache_elems(e);
+            let cfg = MachineConfig::new(16, 32).with_cache_elems(e);
             b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
         });
     }
@@ -52,12 +54,12 @@ fn bench_policy_and_partial(c: &mut Criterion) {
         ("random", CachePolicy::Random { seed: 7 }),
     ] {
         g.bench_function(name, |b| {
-            let cfg = MachineConfig::paper(16, 32).with_cache_policy(policy);
+            let cfg = MachineConfig::new(16, 32).with_cache_policy(policy);
             b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
         });
     }
     g.bench_function("partial_refetch", |b| {
-        let cfg = MachineConfig::paper(16, 32).with_partial_pages(PartialPagePolicy::Refetch);
+        let cfg = MachineConfig::new(16, 32).with_partial_pages(PartialPagePolicy::Refetch);
         b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
     });
     g.finish();
@@ -68,7 +70,7 @@ fn bench_timing_extension(c: &mut Criterion) {
     let mut g = c.benchmark_group("timing_extension");
     g.sample_size(10);
     g.bench_function("estimate_timing_16pe", |b| {
-        let cfg = MachineConfig::paper(16, 32);
+        let cfg = MachineConfig::new(16, 32);
         b.iter(|| {
             estimate_timing(black_box(&kernel.program), &cfg)
                 .unwrap()
@@ -78,11 +80,25 @@ fn bench_timing_extension(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_scheme_search(c: &mut Criterion) {
+    // The full default space (4 schemes × 6 page sizes, evaluated through
+    // the parallel plan engine) for one Skewed kernel.
+    let kernel = k01_hydro::build(1001);
+    let space = SearchSpace::default();
+    let mut g = c.benchmark_group("scheme_search");
+    g.sample_size(10);
+    g.bench_function("k1_default_space", |b| {
+        b.iter(|| search(black_box(&kernel.program), &space, &CountingOracle).unwrap())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_partition,
     bench_cache_size,
     bench_policy_and_partial,
-    bench_timing_extension
+    bench_timing_extension,
+    bench_scheme_search
 );
 criterion_main!(benches);

@@ -14,11 +14,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
 
     g.bench_function("sim_8pe_ps32_cache", |b| {
-        let cfg = MachineConfig::paper(8, 32);
+        let cfg = MachineConfig::new(8, 32);
         b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
     });
     g.bench_function("sim_8pe_ps32_nocache", |b| {
-        let cfg = MachineConfig::paper_no_cache(8, 32);
+        let cfg = MachineConfig::new(8, 32).with_cache_elems(0);
         b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
     });
     g.bench_function("full_figure_grid", |b| b.iter(|| black_box(bench::fig1())));

@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("sim_16pe_ps32_cache_5passes", |b| {
-        let cfg = MachineConfig::paper(16, 32);
+        let cfg = MachineConfig::new(16, 32);
         b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
     });
     g.bench_function("full_figure_grid", |b| b.iter(|| black_box(bench::fig3())));

@@ -13,11 +13,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
 
     g.bench_function("sim_16pe_ps32_cache", |b| {
-        let cfg = MachineConfig::paper(16, 32);
+        let cfg = MachineConfig::new(16, 32);
         b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
     });
     g.bench_function("sim_16pe_ps32_bigcache", |b| {
-        let cfg = MachineConfig::paper(16, 32).with_cache_elems(4096);
+        let cfg = MachineConfig::new(16, 32).with_cache_elems(4096);
         b.iter(|| simulate(black_box(&kernel.program), &cfg).unwrap())
     });
     g.bench_function("full_figure_grid", |b| b.iter(|| black_box(bench::fig4())));

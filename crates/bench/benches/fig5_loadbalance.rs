@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("sim_64pe_ps32", |b| {
-        let cfg = MachineConfig::paper(64, 32);
+        let cfg = MachineConfig::new(64, 32);
         b.iter(|| {
             let rep = simulate(black_box(&kernel.program), &cfg).unwrap();
             let lb = load_balance(&rep.stats.local_reads_per_pe());

@@ -27,16 +27,16 @@ fn machine_with_data(cfg: MachineConfig) -> DistributedMachine {
 fn bench_reads(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine_read");
     g.bench_function("local", |b| {
-        let mut m = machine_with_data(MachineConfig::paper(4, 32));
+        let mut m = machine_with_data(MachineConfig::new(4, 32));
         b.iter(|| m.read(0, 0, black_box(5)).unwrap().0)
     });
     g.bench_function("cached", |b| {
-        let mut m = machine_with_data(MachineConfig::paper(4, 32));
+        let mut m = machine_with_data(MachineConfig::new(4, 32));
         m.read(0, 0, 40).unwrap(); // warm the page
         b.iter(|| m.read(0, 0, black_box(41)).unwrap().0)
     });
     g.bench_function("remote_nocache", |b| {
-        let mut m = machine_with_data(MachineConfig::paper_no_cache(4, 32));
+        let mut m = machine_with_data(MachineConfig::new(4, 32).with_cache_elems(0));
         b.iter(|| m.read(0, 0, black_box(40)).unwrap().0)
     });
     g.finish();

@@ -14,7 +14,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     g.bench_function("all_kernels_16pe_ps32", |b| {
-        let cfg = MachineConfig::paper(16, 32);
+        let cfg = MachineConfig::new(16, 32);
         b.iter(|| {
             let mut acc = 0.0;
             for k in &kernels {

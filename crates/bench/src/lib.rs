@@ -2,14 +2,19 @@
 //!
 //! Each `fig*`/`ablation*` function runs the exact workload/parameter grid
 //! of the corresponding figure in the paper's evaluation (§7) and renders
-//! the same series as a markdown table plus an ASCII chart. The `figures`
-//! binary prints them; the criterion benches under `benches/` measure the
-//! simulator's wall-clock cost of regenerating each one.
+//! the same series as a markdown table plus an ASCII chart. Grids are
+//! built with the composable plan API (`sa_core::plan`) and evaluated by
+//! the counting-simulator oracle; figures *select* their series from the
+//! [`ResultSet`] by predicate, so a plan's axis order never changes what a
+//! table shows. The `figures` binary prints them; the criterion benches
+//! under `benches/` measure the simulator's wall-clock cost of
+//! regenerating each one.
 
-use sa_core::experiment::{cache_sweep, partition_sweep, pe_sweep, policy_sweep, speedup_sweep};
-use sa_core::parallel::par_map;
-use sa_core::report::{ascii_chart, fmt_pct, markdown_table, Series};
-use sa_core::{estimate_timing, simulate, SimError};
+use sa_core::experiment::speedup_sweep;
+use sa_core::plan::{ExperimentPlan, RunConfig};
+use sa_core::report::{ascii_chart, fmt_pct, markdown_table};
+use sa_core::results::ResultSet;
+use sa_core::{simulate, CountingOracle, Oracle, TimingOracle};
 use sa_ir::Program;
 use sa_loops::{suite, Kernel};
 use sa_machine::{
@@ -23,6 +28,12 @@ pub const PES_FIG3: [usize; 5] = [1, 2, 4, 8, 16];
 /// Page sizes of the paper's figure legends.
 pub const PAGE_SIZES: [usize; 2] = [32, 64];
 
+/// The `(code, program)` pairs [`ExperimentPlan::run_kernels`] resolves
+/// kernel axes against.
+fn programs(kernels: &[Kernel]) -> Vec<(&str, &Program)> {
+    kernels.iter().map(|k| (k.code, &k.program)).collect()
+}
+
 /// Render one remote-percentage figure for `program` (the shared shape of
 /// Figures 1–4): four series — {Cache, No Cache} × {ps 32, ps 64}.
 pub fn remote_pct_figure(title: &str, program: &Program) -> String {
@@ -31,14 +42,17 @@ pub fn remote_pct_figure(title: &str, program: &Program) -> String {
 
 /// [`remote_pct_figure`] over an explicit PE axis.
 pub fn remote_pct_figure_at(title: &str, program: &Program, pes: &[usize]) -> String {
-    let pts = pe_sweep(program, pes, &PAGE_SIZES, &[true, false])
+    let results = ExperimentPlan::new()
+        .page_sizes(&PAGE_SIZES)
+        .cache_flags(&[true, false])
+        .pes(pes)
+        .run(program, &CountingOracle)
         .expect("paper kernels simulate cleanly");
     let mut rows = Vec::new();
     for &n in pes {
         let cell = |ps: usize, cached: bool| -> String {
-            let p = pts
-                .iter()
-                .find(|p| p.n_pes == n && p.page_size == ps && p.cached == cached)
+            let p = results
+                .find(|r| r.cfg.n_pes == n && r.cfg.page_size == ps && r.cfg.cached() == cached)
                 .expect("grid point");
             fmt_pct(p.remote_pct)
         };
@@ -60,17 +74,17 @@ pub fn remote_pct_figure_at(title: &str, program: &Program, pes: &[usize]) -> St
         ],
         &rows,
     );
-    let series: Vec<Series> = [(32, true), (32, false), (64, true), (64, false)]
-        .iter()
-        .map(|&(ps, cached)| Series {
-            label: format!("{} ps {}", if cached { "Cache" } else { "No Cache" }, ps),
-            points: pts
-                .iter()
-                .filter(|p| p.page_size == ps && p.cached == cached)
-                .map(|p| (p.n_pes as f64, p.remote_pct))
-                .collect(),
-        })
-        .collect();
+    let series = results.series(
+        |r| {
+            format!(
+                "{} ps {}",
+                if r.cfg.cached() { "Cache" } else { "No Cache" },
+                r.cfg.page_size
+            )
+        },
+        |r| r.cfg.n_pes as f64,
+        |r| r.remote_pct,
+    );
     format!(
         "## {title}\n\n{table}\n{}\n",
         ascii_chart("% of Reads Remote vs PEs", &series, 48, 14)
@@ -129,8 +143,9 @@ pub fn fig4() -> String {
 /// magnitude (~7k local reads per PE).
 pub fn fig5() -> String {
     let program = sa_loops::k18_hydro2d::build_with_passes(1022, 2).program;
-    let cached = simulate(&program, &MachineConfig::paper(64, 32)).expect("sim");
-    let uncached = simulate(&program, &MachineConfig::paper_no_cache(64, 32)).expect("sim");
+    let cached = simulate(&program, &MachineConfig::new(64, 32)).expect("sim");
+    let uncached =
+        simulate(&program, &MachineConfig::new(64, 32).with_cache_elems(0)).expect("sim");
 
     let r_c = cached.stats.remote_reads_per_pe();
     let r_u = uncached.stats.remote_reads_per_pe();
@@ -181,19 +196,32 @@ pub fn fig5() -> String {
 /// cache vs no cache).
 pub fn summary() -> String {
     let kernels = suite();
-    let rows: Vec<Vec<String>> = par_map(&kernels, |k| {
-        let cached = simulate(&k.program, &MachineConfig::paper(16, 32))?;
-        let uncached = simulate(&k.program, &MachineConfig::paper_no_cache(16, 32))?;
-        Ok::<_, SimError>(vec![
-            k.code.to_string(),
-            k.name.to_string(),
-            k.class_abbrev().to_string(),
-            k.paper_class.unwrap_or("—").to_string(),
-            fmt_pct(cached.remote_pct()),
-            fmt_pct(uncached.remote_pct()),
-        ])
-    })
-    .expect("sim");
+    // One plan over the whole suite: kernel axis × cache on/off.
+    let codes: Vec<&str> = kernels.iter().map(|k| k.code).collect();
+    let results = ExperimentPlan::new()
+        .kernels(&codes)
+        .cache_flags(&[true, false])
+        .run_kernels(&programs(&kernels), &CountingOracle)
+        .expect("sim");
+    let rows: Vec<Vec<String>> = kernels
+        .iter()
+        .map(|k| {
+            let at = |cached: bool| {
+                results
+                    .find(|r| r.cfg.kernel.as_deref() == Some(k.code) && r.cfg.cached() == cached)
+                    .expect("grid point")
+                    .remote_pct
+            };
+            vec![
+                k.code.to_string(),
+                k.name.to_string(),
+                k.class_abbrev().to_string(),
+                k.paper_class.unwrap_or("—").to_string(),
+                fmt_pct(at(true)),
+                fmt_pct(at(false)),
+            ]
+        })
+        .collect();
     format!(
         "## Summary (all kernels, 16 PEs, page 32, cache 256 elems)\n\n{}",
         markdown_table(
@@ -210,6 +238,25 @@ pub fn summary() -> String {
     )
 }
 
+/// Render one "kernel × swept parameter" ablation: each row a kernel, each
+/// column one value of the plan's second axis, cells the remote %.
+fn kernel_grid_table(results: &ResultSet, codes: &[&str]) -> Vec<Vec<String>> {
+    codes
+        .iter()
+        .map(|code| {
+            let mut row = vec![code.to_string()];
+            row.extend(
+                results
+                    .filter(|r| r.cfg.kernel.as_deref() == Some(*code))
+                    .records()
+                    .iter()
+                    .map(|r| fmt_pct(r.remote_pct)),
+            );
+            row
+        })
+        .collect()
+}
+
 /// Ablation — modulo vs division (block) vs block-cyclic placement (§9).
 pub fn ablation_partition() -> String {
     let schemes = [
@@ -218,13 +265,13 @@ pub fn ablation_partition() -> String {
         PartitionScheme::BlockCyclic { block_pages: 2 },
         PartitionScheme::BlockCyclic { block_pages: 4 },
     ];
-    let mut rows = Vec::new();
-    for k in suite() {
-        let per = partition_sweep(&k.program, 16, 32, &schemes).expect("sim");
-        let mut row = vec![k.code.to_string()];
-        row.extend(per.into_iter().map(|(_, pct)| fmt_pct(pct)));
-        rows.push(row);
-    }
+    let kernels = suite();
+    let codes: Vec<&str> = kernels.iter().map(|k| k.code).collect();
+    let results = ExperimentPlan::new()
+        .kernels(&codes)
+        .partitions(&schemes)
+        .run_kernels(&programs(&kernels), &CountingOracle)
+        .expect("sim");
     format!(
         "## Ablation: partitioning scheme (16 PEs, ps 32, cache on)\n\n{}",
         markdown_table(
@@ -235,7 +282,7 @@ pub fn ablation_partition() -> String {
                 "blockcyclic(2)",
                 "blockcyclic(4)"
             ],
-            &rows
+            &kernel_grid_table(&results, &codes)
         )
     )
 }
@@ -243,21 +290,20 @@ pub fn ablation_partition() -> String {
 /// Ablation — cache size rescues the Random class (§7.1.4).
 pub fn ablation_cache() -> String {
     let sizes = [0usize, 64, 128, 256, 512, 1024, 2048, 4096];
-    let mut rows = Vec::new();
-    for code in ["K6", "K8", "K21", "K2", "K1"] {
-        let k = kernel_by_code(code);
-        let pts = cache_sweep(&k.program, 16, 32, &sizes).expect("sim");
-        let mut row = vec![code.to_string()];
-        row.extend(pts.into_iter().map(|(_, pct)| fmt_pct(pct)));
-        rows.push(row);
-    }
+    let codes = ["K6", "K8", "K21", "K2", "K1"];
+    let kernels = suite();
+    let results = ExperimentPlan::new()
+        .kernels(&codes)
+        .cache_elems(&sizes)
+        .run_kernels(&programs(&kernels), &CountingOracle)
+        .expect("sim");
     let headers: Vec<String> = std::iter::once("kernel".to_string())
         .chain(sizes.iter().map(|s| format!("cache {s}")))
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     format!(
         "## Ablation: cache size (16 PEs, ps 32) — larger caches rescue RD\n\n{}",
-        markdown_table(&headers_ref, &rows)
+        markdown_table(&headers_ref, &kernel_grid_table(&results, &codes))
     )
 }
 
@@ -265,22 +311,19 @@ pub fn ablation_cache() -> String {
 pub fn ablation_pagesize() -> String {
     let sizes = [8usize, 16, 32, 64, 128, 256];
     let kernels = suite();
-    let rows: Vec<Vec<String>> = par_map(&kernels, |k| {
-        let mut row = vec![k.code.to_string()];
-        for &ps in &sizes {
-            let rep = simulate(&k.program, &MachineConfig::paper(16, ps))?;
-            row.push(fmt_pct(rep.remote_pct()));
-        }
-        Ok::<_, SimError>(row)
-    })
-    .expect("sim");
+    let codes: Vec<&str> = kernels.iter().map(|k| k.code).collect();
+    let results = ExperimentPlan::new()
+        .kernels(&codes)
+        .page_sizes(&sizes)
+        .run_kernels(&programs(&kernels), &CountingOracle)
+        .expect("sim");
     let headers: Vec<String> = std::iter::once("kernel".to_string())
         .chain(sizes.iter().map(|s| format!("ps {s}")))
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
     format!(
         "## Ablation: page size (16 PEs, cache 256 elems)\n\n{}",
-        markdown_table(&headers_ref, &rows)
+        markdown_table(&headers_ref, &kernel_grid_table(&results, &codes))
     )
 }
 
@@ -291,17 +334,19 @@ pub fn ablation_policy() -> String {
         CachePolicy::Fifo,
         CachePolicy::Random { seed: 0xC0FFEE },
     ];
-    let mut rows = Vec::new();
-    for code in ["K1", "K2", "K6", "K18"] {
-        let k = kernel_by_code(code);
-        let per = policy_sweep(&k.program, 16, 32, &policies).expect("sim");
-        let mut row = vec![code.to_string()];
-        row.extend(per.into_iter().map(|(_, pct)| fmt_pct(pct)));
-        rows.push(row);
-    }
+    let codes = ["K1", "K2", "K6", "K18"];
+    let kernels = suite();
+    let results = ExperimentPlan::new()
+        .kernels(&codes)
+        .cache_policies(&policies)
+        .run_kernels(&programs(&kernels), &CountingOracle)
+        .expect("sim");
     format!(
         "## Ablation: replacement policy (16 PEs, ps 32, cache 256 elems)\n\n{}",
-        markdown_table(&["kernel", "LRU", "FIFO", "Random"], &rows)
+        markdown_table(
+            &["kernel", "LRU", "FIFO", "Random"],
+            &kernel_grid_table(&results, &codes)
+        )
     )
 }
 
@@ -323,26 +368,32 @@ pub fn timing() -> String {
     }
     let table = markdown_table(&["kernel", "1", "2", "4", "8", "16", "32"], &rows);
 
-    // Network contention at 16 PEs on a mesh vs hypercube vs crossbar.
-    let mut net_rows = Vec::new();
-    for code in ["K1", "K6", "K18"] {
-        let k = kernel_by_code(code);
-        for topo in [
+    // Network contention at 16 PEs on a mesh vs hypercube vs crossbar:
+    // one plan, kernel axis × network axis.
+    let codes = ["K1", "K6", "K18"];
+    let kernels = suite();
+    let results = ExperimentPlan::new()
+        .kernels(&codes)
+        .networks(&[
             NetworkTopology::Crossbar,
             NetworkTopology::Mesh2D,
             NetworkTopology::Hypercube,
-        ] {
-            let cfg = MachineConfig::paper(16, 32).with_network(topo);
-            let rep = simulate(&k.program, &cfg).expect("sim");
-            net_rows.push(vec![
-                code.to_string(),
-                topo.name().to_string(),
-                rep.network_messages.to_string(),
-                rep.network_hops.to_string(),
-                rep.max_link_load.to_string(),
-            ]);
-        }
-    }
+        ])
+        .run_kernels(&programs(&kernels), &CountingOracle)
+        .expect("sim");
+    let net_rows: Vec<Vec<String>> = results
+        .records()
+        .iter()
+        .map(|r| {
+            vec![
+                r.cfg.kernel.clone().unwrap_or_default(),
+                r.cfg.network.name().to_string(),
+                r.messages.to_string(),
+                r.hops.to_string(),
+                r.max_link_load.to_string(),
+            ]
+        })
+        .collect();
     let net = markdown_table(
         &["kernel", "topology", "messages", "hops", "max link load"],
         &net_rows,
@@ -353,16 +404,27 @@ pub fn timing() -> String {
 /// Extension — the timing report details for one kernel at one size.
 pub fn timing_detail(code: &str, n_pes: usize) -> String {
     let k = kernel_by_code(code);
-    let t = estimate_timing(&k.program, &MachineConfig::paper(n_pes, 32)).expect("timing");
+    let rec = TimingOracle::default()
+        .measure(
+            &k.program,
+            &RunConfig {
+                n_pes,
+                ..RunConfig::default()
+            },
+        )
+        .expect("timing");
     format!(
-        "{code} on {n_pes} PEs: {} cycles, {} instances, stall cycles per PE: {:?}\n",
-        t.total_cycles, t.instances, t.stall_cycles
+        "{code} on {n_pes} PEs: {} cycles, {} writes, {} remote reads\n",
+        rec.cycles.expect("timing oracle"),
+        rec.writes,
+        rec.remote_reads
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sa_core::results::policy_name;
 
     #[test]
     fn figure_functions_render() {
@@ -372,5 +434,12 @@ mod tests {
         assert!(f1.contains("Cache ps32"));
         let s = summary();
         assert!(s.contains("K18"));
+    }
+
+    #[test]
+    fn ablation_policy_labels_match_legacy_names() {
+        assert_eq!(policy_name(CachePolicy::Lru), "lru");
+        let a = ablation_policy();
+        assert!(a.contains("LRU"));
     }
 }

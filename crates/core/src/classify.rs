@@ -76,8 +76,11 @@ pub fn classify_dynamic(
     let pes = [4usize, 8, 16, 32];
     let mut curve = Vec::with_capacity(pes.len());
     for &n in &pes {
-        let cached = simulate(program, &MachineConfig::paper(n, page_size))?;
-        let uncached = simulate(program, &MachineConfig::paper_no_cache(n, page_size))?;
+        let cached = simulate(program, &MachineConfig::new(n, page_size))?;
+        let uncached = simulate(
+            program,
+            &MachineConfig::new(n, page_size).with_cache_elems(0),
+        )?;
         curve.push(ClassPoint {
             n_pes: n,
             cached_pct: cached.remote_pct(),

@@ -1,5 +1,5 @@
 //! Event-driven timing pass with deferred reads — the "more sophisticated
-//! simulation [that] will better explore the problems of execution time and
+//! simulation \[that\] will better explore the problems of execution time and
 //! network contention" the paper lists as future work (§9).
 //!
 //! The counting pass ([`crate::exec::simulate_traced`]) captures each PE's
@@ -344,7 +344,7 @@ mod tests {
     #[test]
     fn single_pe_timing_is_sum_of_costs() {
         let p = map_kernel(64);
-        let t = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
+        let t = estimate_timing(&p, &MachineConfig::new(1, 32)).unwrap();
         let c = AccessCosts::default();
         // 64 instances × (local read + compute + write)
         let expected = 64 * (c.local_read + c.compute + c.write);
@@ -356,8 +356,8 @@ mod tests {
     #[test]
     fn matched_loop_scales_nearly_linearly() {
         let p = map_kernel(1024);
-        let t1 = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
-        let t8 = estimate_timing(&p, &MachineConfig::paper(8, 32)).unwrap();
+        let t1 = estimate_timing(&p, &MachineConfig::new(1, 32)).unwrap();
+        let t8 = estimate_timing(&p, &MachineConfig::new(8, 32)).unwrap();
         let s = t8.speedup_over(&t1);
         assert!(
             s > 7.9 && s <= 8.0,
@@ -368,8 +368,8 @@ mod tests {
     #[test]
     fn serial_chain_does_not_scale() {
         let p = chain_kernel(512);
-        let t1 = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
-        let t8 = estimate_timing(&p, &MachineConfig::paper(8, 32)).unwrap();
+        let t1 = estimate_timing(&p, &MachineConfig::new(1, 32)).unwrap();
+        let t8 = estimate_timing(&p, &MachineConfig::new(8, 32)).unwrap();
         let s = t8.speedup_over(&t1);
         assert!(s <= 1.05, "a serial chain cannot speed up, got {s:.2}");
         // The chain crosses page boundaries: later PEs must have stalled.
@@ -379,9 +379,9 @@ mod tests {
     #[test]
     fn speedup_never_exceeds_pe_count() {
         let p = map_kernel(300);
-        let t1 = estimate_timing(&p, &MachineConfig::paper(1, 32)).unwrap();
+        let t1 = estimate_timing(&p, &MachineConfig::new(1, 32)).unwrap();
         for n in [2usize, 4, 8, 16] {
-            let tn = estimate_timing(&p, &MachineConfig::paper(n, 32)).unwrap();
+            let tn = estimate_timing(&p, &MachineConfig::new(n, 32)).unwrap();
             let s = tn.speedup_over(&t1);
             assert!(s <= n as f64 + 1e-9, "speedup {s:.2} > {n} PEs");
             assert!(tn.efficiency_over(&t1, n) <= 1.0 + 1e-9);
@@ -399,8 +399,8 @@ mod tests {
             nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(16)]));
         });
         let p = b.finish();
-        let cached = estimate_timing(&p, &MachineConfig::paper(4, 32)).unwrap();
-        let uncached = estimate_timing(&p, &MachineConfig::paper_no_cache(4, 32)).unwrap();
+        let cached = estimate_timing(&p, &MachineConfig::new(4, 32)).unwrap();
+        let uncached = estimate_timing(&p, &MachineConfig::new(4, 32).with_cache_elems(0)).unwrap();
         assert!(
             uncached.total_cycles > cached.total_cycles,
             "uncached {} ≤ cached {}",
@@ -423,7 +423,7 @@ mod tests {
             nb.assign(x, [iv(0)], nb.scalar_value(s) + nb.read(y, [iv(0)]));
         });
         let p = b.finish();
-        let t = estimate_timing(&p, &MachineConfig::paper(4, 32)).unwrap();
+        let t = estimate_timing(&p, &MachineConfig::new(4, 32)).unwrap();
         assert_eq!(t.instances, 256);
         // All PEs consumed s, which was only available after every partial
         // arrived — so no PE can have finished before the reduction did.
@@ -445,7 +445,7 @@ mod tests {
             nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 3.0);
         });
         let p = b.finish();
-        let t = estimate_timing(&p, &MachineConfig::paper(4, 16)).unwrap();
+        let t = estimate_timing(&p, &MachineConfig::new(4, 16)).unwrap();
         // After a barrier everyone advances in lockstep; with a symmetric
         // workload the finish times are identical.
         assert!(t.per_pe_cycles.iter().all(|&c| c == t.per_pe_cycles[0]));

@@ -452,7 +452,7 @@ mod tests {
     #[test]
     fn single_pe_has_zero_remote() {
         let p = hydro(1001);
-        let rep = simulate(&p, &MachineConfig::paper(1, 32)).unwrap();
+        let rep = simulate(&p, &MachineConfig::new(1, 32)).unwrap();
         assert_eq!(rep.stats.remote_reads(), 0);
         assert_eq!(rep.remote_pct(), 0.0);
         assert_eq!(rep.stats.writes(), 1001);
@@ -463,7 +463,7 @@ mod tests {
     fn values_match_reference_interpreter() {
         let p = hydro(500);
         let golden = interpret(&p).unwrap();
-        let rep = simulate(&p, &MachineConfig::paper(8, 32)).unwrap();
+        let rep = simulate(&p, &MachineConfig::new(8, 32)).unwrap();
         let x = p.array_id("X").unwrap();
         for addr in 0..500 {
             let got = rep.arrays[x.0].read(addr).unwrap().copied();
@@ -478,7 +478,7 @@ mod tests {
         // ZX(k+10) cross for the last 10 offsets, ZX(k+11) for the last 11,
         // Y(k) never. 21 remote / 96 reads ≈ 21.9 % (the paper's "22 %").
         let p = hydro(1024); // full pages only, to make the count exact
-        let rep = simulate(&p, &MachineConfig::paper_no_cache(4, 32)).unwrap();
+        let rep = simulate(&p, &MachineConfig::new(4, 32).with_cache_elems(0)).unwrap();
         // Boundary effect: the last pages of ZX extend past X's domain but
         // stay on the same page layout, so the global ratio is ≈ 21/96.
         let pct = rep.remote_pct();
@@ -488,7 +488,7 @@ mod tests {
     #[test]
     fn skew_11_with_cache_collapses_to_one_fetch_per_page() {
         let p = hydro(1024);
-        let rep = simulate(&p, &MachineConfig::paper(4, 32)).unwrap();
+        let rep = simulate(&p, &MachineConfig::new(4, 32)).unwrap();
         let pct = rep.remote_pct();
         assert!(pct < 2.0, "expected ≈1 %, got {pct:.2}%");
         // The cache converts crossings into cached reads.
@@ -498,7 +498,7 @@ mod tests {
     #[test]
     fn per_nest_stats_sum_to_total() {
         let p = hydro(300);
-        let rep = simulate(&p, &MachineConfig::paper(4, 32)).unwrap();
+        let rep = simulate(&p, &MachineConfig::new(4, 32)).unwrap();
         let total: u64 = rep.per_nest.iter().map(|(_, s)| s.total_reads()).sum();
         assert_eq!(total, rep.stats.total_reads());
         assert_eq!(rep.per_nest.len(), 1);
@@ -508,7 +508,7 @@ mod tests {
     #[test]
     fn network_counts_two_messages_per_fetch() {
         let p = hydro(1024);
-        let rep = simulate(&p, &MachineConfig::paper_no_cache(4, 32)).unwrap();
+        let rep = simulate(&p, &MachineConfig::new(4, 32).with_cache_elems(0)).unwrap();
         assert_eq!(rep.network_messages, 2 * rep.stats.page_fetches);
         assert_eq!(rep.stats.page_fetches, rep.stats.remote_reads());
     }
@@ -516,7 +516,7 @@ mod tests {
     #[test]
     fn trace_capture_groups_by_pe_in_order() {
         let p = hydro(128);
-        let rep = simulate_traced(&p, &MachineConfig::paper(4, 32)).unwrap();
+        let rep = simulate_traced(&p, &MachineConfig::new(4, 32)).unwrap();
         let trace = rep.trace.expect("tracing requested");
         assert_eq!(trace.n_pes, 4);
         let PhaseTrace::Loop { per_pe } = &trace.phases[0] else {
@@ -553,7 +553,7 @@ mod tests {
             nb.reduce(s, sa_ir::ReduceOp::Sum, nb.read(y, [iv(0)]));
         });
         let p = b.finish();
-        let rep = simulate(&p, &MachineConfig::paper(4, 32)).unwrap();
+        let rep = simulate(&p, &MachineConfig::new(4, 32)).unwrap();
         assert_eq!(rep.scalars[0], 128.0);
         assert_eq!(
             rep.stats.remote_reads(),
@@ -570,7 +570,7 @@ mod tests {
         let p = hydro(777); // deliberately not page aligned
         for n in [1usize, 2, 3, 5, 8] {
             assert!(
-                simulate(&p, &MachineConfig::paper(n, 32)).is_ok(),
+                simulate(&p, &MachineConfig::new(n, 32)).is_ok(),
                 "n_pes={n}"
             );
         }
@@ -589,7 +589,7 @@ mod tests {
             nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 2.0);
         });
         let p = b.finish();
-        let rep = simulate(&p, &MachineConfig::paper(4, 16)).unwrap();
+        let rep = simulate(&p, &MachineConfig::new(4, 16)).unwrap();
         assert_eq!(rep.stats.reinit_messages, 6);
         let x = p.array_id("X").unwrap();
         let golden = interpret(&p).unwrap();

@@ -1,16 +1,23 @@
-//! Parameter sweeps: the machinery behind every figure in the paper.
+//! Legacy sweep drivers: thin wrappers over [`crate::plan::ExperimentPlan`].
 //!
-//! Every sweep point is an independent simulation, so the drivers fan the
-//! grid out across threads via [`crate::parallel::par_map`] while keeping
-//! the exact result order of the original sequential loops (page size
-//! outermost, then cache on/off, then PE count).
+//! Every figure in the paper varies machine/partition parameters and
+//! counts remote reads; these five drivers are the historical fixed-shape
+//! entry points for that. Each now just builds the equivalent plan (axes
+//! in the driver's documented loop order), evaluates it through the
+//! default [`CountingOracle`] (or [`TimingOracle`] for speedups), and maps
+//! the records back to the driver's original return shape. Outputs are
+//! bit-identical to the original sequential loops — `tests/experiment_plan.rs`
+//! proves it point for point — so existing callers and figures are
+//! unaffected, while new code should compose plans directly.
 
 use sa_ir::Program;
 use sa_machine::{AccessCosts, CachePolicy, MachineConfig, PartitionScheme};
 
-use crate::deferred::{estimate_timing, TimingError};
-use crate::exec::{simulate, SimError};
-use crate::parallel::par_map;
+use crate::deferred::TimingError;
+use crate::exec::SimError;
+use crate::oracle::{CountingOracle, OracleError, RunRecord, TimingOracle};
+use crate::plan::{ExperimentPlan, PlanError, RunConfig};
+use crate::results::policy_name;
 
 /// One measured point of a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,25 +40,22 @@ pub struct SweepPoint {
     pub messages: u64,
 }
 
-/// The full grid a [`pe_sweep`] visits, in result order: page size
-/// outermost, then cache on/off, then PE count.
-fn sweep_grid(pes: &[usize], page_sizes: &[usize], cache_options: &[bool]) -> Vec<SweepConfig> {
-    let mut grid = Vec::with_capacity(pes.len() * page_sizes.len() * cache_options.len());
-    for &page_size in page_sizes {
-        for &cached in cache_options {
-            for &n_pes in pes {
-                grid.push(SweepConfig {
-                    n_pes,
-                    page_size,
-                    cached,
-                });
-            }
+impl SweepPoint {
+    fn from_record(r: &RunRecord) -> SweepPoint {
+        SweepPoint {
+            n_pes: r.cfg.n_pes,
+            page_size: r.cfg.page_size,
+            cached: r.cfg.cached(),
+            remote_pct: r.remote_pct,
+            cached_pct: r.cached_pct,
+            remote_reads: r.remote_reads,
+            total_reads: r.total_reads,
+            messages: r.messages,
         }
     }
-    grid
 }
 
-/// One unmeasured grid point of a sweep.
+/// One unmeasured grid point of a [`pe_sweep`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepConfig {
     /// PE count.
@@ -65,27 +69,23 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The machine this grid point simulates.
     pub fn machine(&self) -> MachineConfig {
+        let m = MachineConfig::new(self.n_pes, self.page_size);
         if self.cached {
-            MachineConfig::paper(self.n_pes, self.page_size)
+            m
         } else {
-            MachineConfig::paper_no_cache(self.n_pes, self.page_size)
+            m.with_cache_elems(0)
         }
     }
 }
 
-/// Measure one grid point.
-fn measure(program: &Program, cfg: &SweepConfig) -> Result<SweepPoint, SimError> {
-    let rep = simulate(program, &cfg.machine())?;
-    Ok(SweepPoint {
-        n_pes: cfg.n_pes,
-        page_size: cfg.page_size,
-        cached: cfg.cached,
-        remote_pct: rep.remote_pct(),
-        cached_pct: rep.stats.cached_read_pct(),
-        remote_reads: rep.stats.remote_reads(),
-        total_reads: rep.stats.total_reads(),
-        messages: rep.network_messages,
-    })
+/// Unwrap the counting-oracle errors a legacy driver can actually hit.
+fn expect_sim_error(e: PlanError) -> SimError {
+    match e {
+        PlanError::Oracle(OracleError::Sim(e)) => e,
+        // Wrappers guard empty inputs and never add kernel axes, and the
+        // counting oracle emits only `Sim` errors.
+        other => unreachable!("legacy sweep hit a non-simulation error: {other}"),
+    }
 }
 
 /// Sweep PE counts × page sizes × cache on/off (the axes of Figures 1–4).
@@ -98,9 +98,20 @@ pub fn pe_sweep(
     page_sizes: &[usize],
     cache_options: &[bool],
 ) -> Result<Vec<SweepPoint>, SimError> {
-    par_map(&sweep_grid(pes, page_sizes, cache_options), |cfg| {
-        measure(program, cfg)
-    })
+    if pes.is_empty() || page_sizes.is_empty() || cache_options.is_empty() {
+        return Ok(Vec::new());
+    }
+    let results = ExperimentPlan::new()
+        .page_sizes(page_sizes)
+        .cache_flags(cache_options)
+        .pes(pes)
+        .run(program, &CountingOracle)
+        .map_err(expect_sim_error)?;
+    Ok(results
+        .records()
+        .iter()
+        .map(SweepPoint::from_record)
+        .collect())
 }
 
 /// Sweep cache sizes (the §7.1.4 remedy for Random-class loops).
@@ -110,11 +121,23 @@ pub fn cache_sweep(
     page_size: usize,
     cache_elems: &[usize],
 ) -> Result<Vec<(usize, f64)>, SimError> {
-    par_map(cache_elems, |&elems| {
-        let cfg = MachineConfig::paper(n_pes, page_size).with_cache_elems(elems);
-        let rep = simulate(program, &cfg)?;
-        Ok((elems, rep.remote_pct()))
-    })
+    if cache_elems.is_empty() {
+        return Ok(Vec::new());
+    }
+    let results = ExperimentPlan::new()
+        .base(RunConfig {
+            n_pes,
+            page_size,
+            ..RunConfig::default()
+        })
+        .cache_elems(cache_elems)
+        .run(program, &CountingOracle)
+        .map_err(expect_sim_error)?;
+    Ok(results
+        .records()
+        .iter()
+        .map(|r| (r.cfg.cache_elems, r.remote_pct))
+        .collect())
 }
 
 /// Compare partitioning schemes (§9: modulo vs the division scheme).
@@ -124,11 +147,23 @@ pub fn partition_sweep(
     page_size: usize,
     schemes: &[PartitionScheme],
 ) -> Result<Vec<(String, f64)>, SimError> {
-    par_map(schemes, |&scheme| {
-        let cfg = MachineConfig::paper(n_pes, page_size).with_partition(scheme);
-        let rep = simulate(program, &cfg)?;
-        Ok((scheme.name(), rep.remote_pct()))
-    })
+    if schemes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let results = ExperimentPlan::new()
+        .base(RunConfig {
+            n_pes,
+            page_size,
+            ..RunConfig::default()
+        })
+        .partitions(schemes)
+        .run(program, &CountingOracle)
+        .map_err(expect_sim_error)?;
+    Ok(results
+        .records()
+        .iter()
+        .map(|r| (r.cfg.partition.name(), r.remote_pct))
+        .collect())
 }
 
 /// Compare replacement policies (§4 chose LRU).
@@ -138,16 +173,23 @@ pub fn policy_sweep(
     page_size: usize,
     policies: &[CachePolicy],
 ) -> Result<Vec<(String, f64)>, SimError> {
-    par_map(policies, |&policy| {
-        let cfg = MachineConfig::paper(n_pes, page_size).with_cache_policy(policy);
-        let rep = simulate(program, &cfg)?;
-        let name = match policy {
-            CachePolicy::Lru => "lru".to_string(),
-            CachePolicy::Fifo => "fifo".to_string(),
-            CachePolicy::Random { .. } => "random".to_string(),
-        };
-        Ok((name, rep.remote_pct()))
-    })
+    if policies.is_empty() {
+        return Ok(Vec::new());
+    }
+    let results = ExperimentPlan::new()
+        .base(RunConfig {
+            n_pes,
+            page_size,
+            ..RunConfig::default()
+        })
+        .cache_policies(policies)
+        .run(program, &CountingOracle)
+        .map_err(expect_sim_error)?;
+    Ok(results
+        .records()
+        .iter()
+        .map(|r| (policy_name(r.cfg.cache_policy).to_string(), r.remote_pct))
+        .collect())
 }
 
 /// Estimated speedup vs PE count (the §9 execution-time extension).
@@ -157,22 +199,48 @@ pub fn speedup_sweep(
     page_size: usize,
     costs: AccessCosts,
 ) -> Result<Vec<(usize, f64)>, TimingError> {
-    let base = estimate_timing(
-        program,
-        &MachineConfig::paper(1, page_size).with_costs(costs),
-    )?;
-    par_map(pes, |&n| {
-        let t = estimate_timing(
-            program,
-            &MachineConfig::paper(n, page_size).with_costs(costs),
-        )?;
-        Ok((n, t.speedup_over(&base)))
-    })
+    let expect_timing_error = |e: PlanError| match e {
+        PlanError::Oracle(OracleError::Timing(e)) => e,
+        PlanError::Oracle(OracleError::Sim(e)) => TimingError::Sim(e),
+        other => unreachable!("speedup sweep hit a non-timing error: {other}"),
+    };
+    let oracle = TimingOracle::with_costs(costs);
+    let base_plan = ExperimentPlan::new().base(RunConfig {
+        page_size,
+        ..RunConfig::default()
+    });
+    let baseline = base_plan
+        .clone()
+        .pes(&[1])
+        .run(program, &oracle)
+        .map_err(expect_timing_error)?;
+    let base_cycles = baseline.records()[0].cycles.expect("timing oracle");
+    if pes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let results = base_plan
+        .pes(pes)
+        .run(program, &oracle)
+        .map_err(expect_timing_error)?;
+    Ok(results
+        .records()
+        .iter()
+        .map(|r| {
+            let cycles = r.cycles.expect("timing oracle");
+            let speedup = if cycles == 0 {
+                1.0
+            } else {
+                base_cycles as f64 / cycles as f64
+            };
+            (r.cfg.n_pes, speedup)
+        })
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::simulate;
     use sa_ir::index::iv;
     use sa_ir::{InitPattern, ProgramBuilder};
 
@@ -184,6 +252,20 @@ mod tests {
             nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(skew)]));
         });
         b.finish()
+    }
+
+    fn measure(program: &Program, cfg: &SweepConfig) -> SweepPoint {
+        let rep = simulate(program, &cfg.machine()).unwrap();
+        SweepPoint {
+            n_pes: cfg.n_pes,
+            page_size: cfg.page_size,
+            cached: cfg.cached,
+            remote_pct: rep.remote_pct(),
+            cached_pct: rep.stats.cached_read_pct(),
+            remote_reads: rep.stats.remote_reads(),
+            total_reads: rep.stats.total_reads(),
+            messages: rep.network_messages,
+        }
     }
 
     #[test]
@@ -212,9 +294,10 @@ mod tests {
     }
 
     #[test]
-    fn parallel_sweep_matches_sequential_order() {
-        // The concurrent fan-out must return exactly what the sequential
-        // triple loop produced, point for point, in the same order.
+    fn plan_backed_sweep_matches_sequential_order() {
+        // The plan-backed wrapper must return exactly what the original
+        // sequential triple loop produced, point for point, in the same
+        // order.
         let p = skewed(768, 7);
         let (pes, page_sizes, cache_options) = (
             &[1usize, 2, 3, 4, 8, 16][..],
@@ -226,17 +309,14 @@ mod tests {
             for &page_size in page_sizes {
                 for &cached in cache_options {
                     for &n_pes in pes {
-                        out.push(
-                            measure(
-                                &p,
-                                &SweepConfig {
-                                    n_pes,
-                                    page_size,
-                                    cached,
-                                },
-                            )
-                            .unwrap(),
-                        );
+                        out.push(measure(
+                            &p,
+                            &SweepConfig {
+                                n_pes,
+                                page_size,
+                                cached,
+                            },
+                        ));
                     }
                 }
             }
@@ -263,6 +343,22 @@ mod tests {
                 SimError::Machine(MachineError::BadConfig(ConfigError::ZeroPageSize))
             ),
             "expected grid point 0's error (ZeroPageSize), got {err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_keep_legacy_empty_results() {
+        // The legacy drivers returned an empty result for empty inputs
+        // (their grids were empty); the wrappers must not turn that into
+        // the plan layer's EmptyAxis error.
+        let p = skewed(64, 1);
+        assert_eq!(pe_sweep(&p, &[], &[32], &[true]).unwrap(), vec![]);
+        assert_eq!(cache_sweep(&p, 4, 32, &[]).unwrap(), vec![]);
+        assert_eq!(partition_sweep(&p, 4, 32, &[]).unwrap(), vec![]);
+        assert_eq!(policy_sweep(&p, 4, 32, &[]).unwrap(), vec![]);
+        assert_eq!(
+            speedup_sweep(&p, &[], 32, AccessCosts::default()).unwrap(),
+            vec![]
         );
     }
 

@@ -15,11 +15,20 @@
 //!   barriers, yielding estimated cycles and speedup curves.
 //! * [`classify`] — dynamic (measurement-based) access-class detection,
 //!   cross-checking the static classifier in `sa-ir`.
-//! * [`experiment`] — parameter sweeps (PEs × page size × cache × scheme),
-//!   fanned out across threads with deterministic result ordering.
-//! * [`parallel`] — the scoped-thread, order-preserving map the sweeps
-//!   (and the figure generator) are built on.
-//! * [`report`] — markdown / CSV / ASCII-chart emitters for the figures.
+//! * [`plan`] — the composable experiment layer: typed sweep axes crossed
+//!   into a lazily enumerated grid of [`plan::RunConfig`]s.
+//! * [`oracle`] — pluggable evaluation backends behind the object-safe
+//!   [`oracle::Oracle`] trait (counting simulator by default; timing
+//!   replay; `sa-runtime` threads via that crate's adapter).
+//! * [`results`] — group-by/pivot over measured grids, so figures select
+//!   series by predicate instead of relying on loop order.
+//! * [`mod@search`] — automatic scheme search: exhaustive
+//!   `PartitionScheme × page size` per kernel, the ROADMAP's Automap item.
+//! * [`experiment`] — the five legacy sweep drivers, kept as thin wrappers
+//!   over plans with bit-identical outputs.
+//! * [`parallel`] — the scoped-thread, order-preserving map the plan
+//!   evaluator (and the figure generator) is built on.
+//! * [`report`] — markdown / CSV / JSON / ASCII-chart emitters.
 //! * [`verify`] — end-to-end equivalence with the reference interpreter.
 
 #![warn(missing_docs)]
@@ -28,15 +37,23 @@ pub mod classify;
 pub mod deferred;
 pub mod exec;
 pub mod experiment;
+pub mod oracle;
 pub mod parallel;
+pub mod plan;
 pub mod report;
+pub mod results;
 pub mod screening;
+pub mod search;
 pub mod verify;
 
 pub use classify::{classify_dynamic, DynamicClassification};
 pub use deferred::{estimate_timing, TimingReport};
 pub use exec::{simulate, simulate_traced, SimError, SimReport};
 pub use experiment::{pe_sweep, SweepConfig, SweepPoint};
+pub use oracle::{CountingOracle, Oracle, OracleError, RunRecord, TimingOracle};
 pub use parallel::par_map;
+pub use plan::{Axis, ExperimentPlan, PlanError, RunConfig};
+pub use results::{Column, ResultSet};
 pub use screening::PartitionMap;
+pub use search::{search, BestConfig, SearchSpace};
 pub use verify::verify_against_reference;

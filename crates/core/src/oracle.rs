@@ -1,0 +1,230 @@
+//! Pluggable evaluation oracles: *how* a grid point gets measured.
+//!
+//! An [`Oracle`] turns one `(program, RunConfig)` pair into a
+//! [`RunRecord`]. The trait is object-safe so plans, searches and CLIs can
+//! hold a `&dyn Oracle` and swap backends without re-monomorphizing the
+//! sweep machinery:
+//!
+//! * [`CountingOracle`] — the default: the paper's access-counting
+//!   simulator ([`crate::exec::simulate`]).
+//! * [`TimingOracle`] — the §9 execution-time extension
+//!   ([`crate::deferred::estimate_timing`]); fills [`RunRecord::cycles`].
+//! * `sa-runtime`'s thread-backed oracle — lives in that crate (it depends
+//!   on this one) and implements [`Oracle`] over real worker threads,
+//!   reporting [`OracleError::Unsupported`] for knobs the runtime lacks.
+
+use sa_ir::Program;
+use sa_machine::AccessCosts;
+
+use crate::deferred::{estimate_timing_from_trace, TimingError};
+use crate::exec::{simulate, simulate_traced, SimError};
+use crate::plan::RunConfig;
+
+/// One measured grid point: the config that produced it plus every counter
+/// the report layer might select.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The grid point that was measured.
+    pub cfg: RunConfig,
+    /// The paper's headline metric: % of reads remote.
+    pub remote_pct: f64,
+    /// % of reads served by the cache.
+    pub cached_pct: f64,
+    /// Absolute writes.
+    pub writes: u64,
+    /// Absolute local reads.
+    pub local_reads: u64,
+    /// Absolute cached reads.
+    pub cached_reads: u64,
+    /// Absolute remote reads.
+    pub remote_reads: u64,
+    /// Absolute total reads.
+    pub total_reads: u64,
+    /// Network messages (page fetches ×2 + protocol traffic).
+    pub messages: u64,
+    /// Total hop traversals (0 for backends without a network model).
+    pub hops: u64,
+    /// Heaviest directed-link traffic (0 without a network model).
+    pub max_link_load: u64,
+    /// Estimated execution cycles — only timing-capable oracles fill this.
+    pub cycles: Option<u64>,
+}
+
+/// Why one grid point failed to measure.
+#[derive(Debug)]
+pub enum OracleError {
+    /// The counting simulation failed.
+    Sim(SimError),
+    /// The timing replay failed.
+    Timing(TimingError),
+    /// The backend cannot honor a knob of the requested config (e.g. the
+    /// thread runtime has no network model).
+    Unsupported(String),
+    /// The backend failed for its own reasons (e.g. a worker panicked).
+    Backend(String),
+}
+
+impl core::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OracleError::Sim(e) => write!(f, "simulation failed: {e}"),
+            OracleError::Timing(e) => write!(f, "timing failed: {e}"),
+            OracleError::Unsupported(m) => write!(f, "unsupported config: {m}"),
+            OracleError::Backend(m) => write!(f, "oracle backend failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<SimError> for OracleError {
+    fn from(e: SimError) -> Self {
+        OracleError::Sim(e)
+    }
+}
+
+impl From<TimingError> for OracleError {
+    fn from(e: TimingError) -> Self {
+        OracleError::Timing(e)
+    }
+}
+
+/// An evaluation backend for experiment plans. Object-safe: plans and
+/// searches take `&dyn Oracle`.
+///
+/// Implementations must be deterministic for a given `(program, cfg)` pair
+/// — equivalence tests between legacy drivers and plan-built grids rely on
+/// it — and `Sync`, because grid points are measured concurrently.
+pub trait Oracle: Sync {
+    /// Short backend name for reports and CLI output.
+    fn name(&self) -> &'static str;
+
+    /// Measure one grid point.
+    fn measure(&self, program: &Program, cfg: &RunConfig) -> Result<RunRecord, OracleError>;
+}
+
+/// The default oracle: the paper's access-counting simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingOracle;
+
+impl Oracle for CountingOracle {
+    fn name(&self) -> &'static str {
+        "counting-sim"
+    }
+
+    fn measure(&self, program: &Program, cfg: &RunConfig) -> Result<RunRecord, OracleError> {
+        let rep = simulate(program, &cfg.machine())?;
+        Ok(RunRecord {
+            cfg: cfg.clone(),
+            remote_pct: rep.remote_pct(),
+            cached_pct: rep.stats.cached_read_pct(),
+            writes: rep.stats.writes(),
+            local_reads: rep.stats.local_reads(),
+            cached_reads: rep.stats.cached_reads(),
+            remote_reads: rep.stats.remote_reads(),
+            total_reads: rep.stats.total_reads(),
+            messages: rep.network_messages,
+            hops: rep.network_hops,
+            max_link_load: rep.max_link_load,
+            cycles: None,
+        })
+    }
+}
+
+/// The timing oracle: runs the counting simulation *and* the event-driven
+/// timing replay of §9, so [`RunRecord::cycles`] is filled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimingOracle {
+    /// Cycle costs the replay charges per access kind.
+    pub costs: AccessCosts,
+}
+
+impl TimingOracle {
+    /// A timing oracle with explicit access costs.
+    pub fn with_costs(costs: AccessCosts) -> Self {
+        TimingOracle { costs }
+    }
+}
+
+impl Oracle for TimingOracle {
+    fn name(&self) -> &'static str {
+        "timing-sim"
+    }
+
+    fn measure(&self, program: &Program, cfg: &RunConfig) -> Result<RunRecord, OracleError> {
+        // One traced simulation serves both the access counters and the
+        // timing replay; re-simulating for the trace would double the cost
+        // of every timing sweep.
+        let machine = cfg.machine().with_costs(self.costs);
+        let rep = simulate_traced(program, &machine)?;
+        let trace = rep.trace.as_ref().expect("simulate_traced always captures");
+        let timing = estimate_timing_from_trace(program, trace, machine.costs)?;
+        Ok(RunRecord {
+            cfg: cfg.clone(),
+            remote_pct: rep.remote_pct(),
+            cached_pct: rep.stats.cached_read_pct(),
+            writes: rep.stats.writes(),
+            local_reads: rep.stats.local_reads(),
+            cached_reads: rep.stats.cached_reads(),
+            remote_reads: rep.stats.remote_reads(),
+            total_reads: rep.stats.total_reads(),
+            messages: rep.network_messages,
+            hops: rep.network_hops,
+            max_link_load: rep.max_link_load,
+            cycles: Some(timing.total_cycles),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{InitPattern, ProgramBuilder};
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        let y = b.input("Y", &[128], InitPattern::Wavy);
+        let x = b.output("X", &[128]);
+        b.nest("s", &[("k", 0, 127)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) + 1.0);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn counting_oracle_matches_direct_simulation() {
+        let p = tiny();
+        let cfg = RunConfig {
+            n_pes: 4,
+            ..RunConfig::default()
+        };
+        let rec = CountingOracle.measure(&p, &cfg).unwrap();
+        let rep = simulate(&p, &cfg.machine()).unwrap();
+        assert_eq!(rec.remote_reads, rep.stats.remote_reads());
+        assert_eq!(rec.total_reads, rep.stats.total_reads());
+        assert_eq!(rec.messages, rep.network_messages);
+        assert_eq!(rec.remote_pct, rep.remote_pct());
+        assert_eq!(rec.cycles, None);
+        assert_eq!(CountingOracle.name(), "counting-sim");
+    }
+
+    #[test]
+    fn timing_oracle_fills_cycles() {
+        let p = tiny();
+        let rec = TimingOracle::default()
+            .measure(&p, &RunConfig::default())
+            .unwrap();
+        assert!(rec.cycles.is_some_and(|c| c > 0));
+    }
+
+    #[test]
+    fn oracles_are_object_safe() {
+        let oracles: Vec<Box<dyn Oracle>> =
+            vec![Box::new(CountingOracle), Box::new(TimingOracle::default())];
+        let p = tiny();
+        for o in &oracles {
+            assert!(o.measure(&p, &RunConfig::default()).is_ok());
+        }
+    }
+}

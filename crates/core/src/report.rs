@@ -35,6 +35,85 @@ pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Render rows as a JSON array of objects keyed by header (hand-rolled;
+/// no serde in the workspace). Cells that are plain JSON number literals
+/// are emitted unquoted, everything else as an escaped string:
+///
+/// ```
+/// let j = sa_core::report::json(&["pes", "remote"], &[vec!["4".into(), "1.23%".into()]]);
+/// assert_eq!(j, "[\n  {\"pes\": 4, \"remote\": \"1.23%\"}\n]\n");
+/// ```
+pub fn json(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        for (j, (h, cell)) in headers.iter().zip(row).enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(&json_escape(h));
+            out.push_str("\": ");
+            if is_json_number(cell) {
+                out.push_str(cell);
+            } else {
+                out.push('"');
+                out.push_str(&json_escape(cell));
+                out.push('"');
+            }
+        }
+        out.push('}');
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escape a string for inclusion inside JSON quotes.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Is `s` exactly a JSON number literal (so it can be emitted unquoted)?
+fn is_json_number(s: &str) -> bool {
+    // JSON grammar: -? int frac? exp?, no leading zeros, no leading '+',
+    // no trailing dot. Checking the charset first keeps out parse-able
+    // oddities like "inf", "1_000" or whitespace.
+    if s.is_empty()
+        || s.starts_with('+')
+        || !s
+            .bytes()
+            .all(|b| b.is_ascii_digit() || b"+-.eE".contains(&b))
+    {
+        return false;
+    }
+    let rest = s.strip_prefix('-').unwrap_or(s);
+    let mantissa = rest.split(['e', 'E']).next().unwrap_or("");
+    let int = mantissa.split('.').next().unwrap_or("");
+    if int.is_empty() || (int.len() > 1 && int.starts_with('0')) {
+        return false;
+    }
+    if mantissa.contains('.') && mantissa.ends_with('.') {
+        return false;
+    }
+    s.parse::<f64>().is_ok_and(f64::is_finite)
+}
+
 /// Format a percentage like the paper's axes (`12.34%`).
 pub fn fmt_pct(v: f64) -> String {
     format!("{v:.2}%")
@@ -125,6 +204,42 @@ mod tests {
     fn csv_shape() {
         let c = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
         assert_eq!(c, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_shape_and_typing() {
+        let j = json(
+            &["pes", "remote", "note"],
+            &[
+                vec!["4".into(), "1.23".into(), "ok".into()],
+                vec!["8".into(), "0.5".into(), "q\"uote".into()],
+            ],
+        );
+        assert_eq!(
+            j,
+            "[\n  {\"pes\": 4, \"remote\": 1.23, \"note\": \"ok\"},\n  \
+             {\"pes\": 8, \"remote\": 0.5, \"note\": \"q\\\"uote\"}\n]\n"
+        );
+        assert_eq!(json(&["a"], &[]), "[\n]\n");
+    }
+
+    #[test]
+    fn json_number_detection() {
+        for ok in ["0", "-1", "42", "1.5", "-0.25", "1e5", "2E-3", "1e+5"] {
+            assert!(is_json_number(ok), "{ok} should be a JSON number");
+        }
+        for bad in [
+            "", "01", "+5", "1.", ".5", "1_000", " 1", "inf", "NaN", "1.2%", "0x10", "--2", "1e",
+            "abc",
+        ] {
+            assert!(!is_json_number(bad), "{bad} should NOT be a JSON number");
+        }
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        let j = json(&["s"], &[vec!["a\n\tb\u{1}".into()]]);
+        assert!(j.contains("\"a\\n\\tb\\u0001\""));
     }
 
     #[test]

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn owner_matches_machine_partition() {
         let p = hydro_like(100);
-        let cfg = MachineConfig::paper(4, 32);
+        let cfg = MachineConfig::new(4, 32);
         let map = PartitionMap::new(&p, &cfg);
         assert_eq!(map.n_pes(), 4);
         assert_eq!(map.page_size(), 32);
@@ -103,7 +103,7 @@ mod tests {
     #[test]
     fn anchor_owner_screens_iterations() {
         let p = hydro_like(100);
-        let cfg = MachineConfig::paper(4, 32);
+        let cfg = MachineConfig::new(4, 32);
         let map = PartitionMap::new(&p, &cfg);
         let nest = p.nests().next().unwrap();
         let stmt = &nest.body[0];
@@ -118,7 +118,7 @@ mod tests {
     fn screened_iteration_sets_partition_the_domain() {
         // Every iteration must belong to exactly one PE.
         let p = hydro_like(100);
-        let cfg = MachineConfig::paper(4, 32);
+        let cfg = MachineConfig::new(4, 32);
         let map = PartitionMap::new(&p, &cfg);
         let nest = p.nests().next().unwrap();
         let stmt = &nest.body[0];

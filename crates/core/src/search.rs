@@ -1,0 +1,205 @@
+//! Automatic scheme search (the ROADMAP's *Automap*-style item): for one
+//! kernel, exhaustively evaluate `PartitionScheme × page size` through an
+//! [`Oracle`] and report the best configuration.
+//!
+//! The search space is an [`crate::plan::ExperimentPlan`] — partition
+//! schemes outermost, page sizes innermost — evaluated concurrently by
+//! [`crate::parallel::par_map`] underneath [`ExperimentPlan::run`]. The
+//! winner is deterministic: lowest remote %, ties broken by fewest network
+//! messages, then by enumeration order (first scheme, then smallest
+//! page-size index).
+
+use sa_ir::Program;
+use sa_machine::PartitionScheme;
+
+use crate::oracle::{Oracle, RunRecord};
+use crate::plan::{ExperimentPlan, PlanError, RunConfig};
+use crate::results::ResultSet;
+
+/// The space `search` enumerates, plus the fixed machine parameters every
+/// candidate shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    /// Candidate placement schemes.
+    pub schemes: Vec<PartitionScheme>,
+    /// Candidate page sizes in elements.
+    pub page_sizes: Vec<usize>,
+    /// PE count every candidate runs at.
+    pub n_pes: usize,
+    /// Cache size (elements) every candidate runs with.
+    pub cache_elems: usize,
+}
+
+impl Default for SearchSpace {
+    /// The ROADMAP's default space: the paper's modulo scheme, the §9
+    /// division (block) scheme and two block-cyclic hybrids, crossed with
+    /// the page sizes of the §9 "selectable page size" proposal, at the
+    /// reference 16-PE / 256-element-cache machine.
+    fn default() -> Self {
+        SearchSpace {
+            schemes: vec![
+                PartitionScheme::Modulo,
+                PartitionScheme::Block,
+                PartitionScheme::BlockCyclic { block_pages: 2 },
+                PartitionScheme::BlockCyclic { block_pages: 4 },
+            ],
+            page_sizes: vec![8, 16, 32, 64, 128, 256],
+            n_pes: 16,
+            cache_elems: 256,
+        }
+    }
+}
+
+impl SearchSpace {
+    /// The plan enumerating this space (schemes outermost).
+    pub fn plan(&self) -> ExperimentPlan {
+        ExperimentPlan::new()
+            .base(RunConfig {
+                n_pes: self.n_pes,
+                cache_elems: self.cache_elems,
+                ..RunConfig::default()
+            })
+            .partitions(&self.schemes)
+            .page_sizes(&self.page_sizes)
+    }
+}
+
+/// The winning configuration of a [`search`], with the evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestConfig {
+    /// Winning placement scheme.
+    pub scheme: PartitionScheme,
+    /// Winning page size in elements.
+    pub page_size: usize,
+    /// Remote % at the winner.
+    pub remote_pct: f64,
+    /// Network messages at the winner.
+    pub messages: u64,
+    /// How many candidates were evaluated.
+    pub evaluated: usize,
+}
+
+impl BestConfig {
+    /// Does `candidate` beat `incumbent`? Strict ordering: remote % first,
+    /// then messages; enumeration order breaks remaining ties (first wins).
+    fn beats(candidate: &RunRecord, incumbent: &RunRecord) -> bool {
+        if candidate.remote_pct != incumbent.remote_pct {
+            return candidate.remote_pct < incumbent.remote_pct;
+        }
+        candidate.messages < incumbent.messages
+    }
+
+    /// Pick the winner out of an evaluated grid (grid order = enumeration
+    /// order, so the fold is deterministic). `None` on an empty set.
+    pub fn from_results(results: &ResultSet) -> Option<BestConfig> {
+        let mut best: Option<&RunRecord> = None;
+        for r in results.records() {
+            match best {
+                Some(b) if !Self::beats(r, b) => {}
+                _ => best = Some(r),
+            }
+        }
+        best.map(|b| BestConfig {
+            scheme: b.cfg.partition,
+            page_size: b.cfg.page_size,
+            remote_pct: b.remote_pct,
+            messages: b.messages,
+            evaluated: results.len(),
+        })
+    }
+}
+
+/// Exhaustively search `space` for the best `PartitionScheme × page size`
+/// for `kernel`, measuring through `oracle` (the parallel sweep engine is
+/// the evaluation engine underneath).
+pub fn search(
+    kernel: &Program,
+    space: &SearchSpace,
+    oracle: &dyn Oracle,
+) -> Result<BestConfig, PlanError> {
+    let results = space.plan().run(kernel, oracle)?;
+    // A validated plan has non-empty axes, so a winner always exists.
+    Ok(BestConfig::from_results(&results).expect("non-empty search space"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::CountingOracle;
+    use sa_ir::index::iv;
+    use sa_ir::{InitPattern, ProgramBuilder};
+
+    /// A first-difference-style kernel (X[k] = Y[k+1] - Y[k]): Skewed, so
+    /// larger pages and blockier schemes reduce boundary crossings.
+    fn skewed(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("sk");
+        let y = b.input("Y", &[n + 1], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(
+                x,
+                [iv(0)],
+                nb.read(y, [iv(0).plus(1)]) - nb.read(y, [iv(0)]),
+            );
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn search_is_deterministic_and_exhaustive() {
+        let p = skewed(512);
+        let space = SearchSpace::default();
+        let a = search(&p, &space, &CountingOracle).unwrap();
+        let b = search(&p, &space, &CountingOracle).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.evaluated, space.schemes.len() * space.page_sizes.len());
+    }
+
+    #[test]
+    fn search_matches_manual_argmin() {
+        let p = skewed(256);
+        let space = SearchSpace {
+            schemes: vec![PartitionScheme::Modulo, PartitionScheme::Block],
+            page_sizes: vec![16, 32],
+            n_pes: 8,
+            cache_elems: 256,
+        };
+        let best = search(&p, &space, &CountingOracle).unwrap();
+        // Recompute sequentially with the raw simulator.
+        let mut manual: Option<(f64, u64, PartitionScheme, usize)> = None;
+        for &scheme in &space.schemes {
+            for &ps in &space.page_sizes {
+                let cfg = sa_machine::MachineConfig::new(8, ps).with_partition(scheme);
+                let rep = crate::exec::simulate(&p, &cfg).unwrap();
+                let cand = (rep.remote_pct(), rep.network_messages, scheme, ps);
+                let better = match &manual {
+                    None => true,
+                    Some((pct, msgs, _, _)) => cand.0 < *pct || (cand.0 == *pct && cand.1 < *msgs),
+                };
+                if better {
+                    manual = Some(cand);
+                }
+            }
+        }
+        let (pct, msgs, scheme, ps) = manual.unwrap();
+        assert_eq!(best.scheme, scheme);
+        assert_eq!(best.page_size, ps);
+        assert_eq!(best.remote_pct, pct);
+        assert_eq!(best.messages, msgs);
+    }
+
+    #[test]
+    fn empty_space_is_a_config_error() {
+        let p = skewed(64);
+        let space = SearchSpace {
+            schemes: vec![],
+            ..SearchSpace::default()
+        };
+        assert!(matches!(
+            search(&p, &space, &CountingOracle),
+            Err(PlanError::Config(sa_machine::ConfigError::EmptyAxis {
+                axis: "partition"
+            }))
+        ));
+    }
+}

@@ -38,7 +38,7 @@ mod tests {
         });
         let p = b.finish();
         for n in [1usize, 3, 7, 16] {
-            verify_against_reference(&p, &MachineConfig::paper(n, 32))
+            verify_against_reference(&p, &MachineConfig::new(n, 32))
                 .unwrap_or_else(|e| panic!("n_pes={n}: {e}"));
         }
     }
@@ -58,7 +58,7 @@ mod tests {
             PartitionScheme::Block,
             PartitionScheme::BlockCyclic { block_pages: 2 },
         ] {
-            verify_against_reference(&p, &MachineConfig::paper(4, 16).with_partition(scheme))
+            verify_against_reference(&p, &MachineConfig::new(4, 16).with_partition(scheme))
                 .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
         }
     }

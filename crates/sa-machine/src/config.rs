@@ -34,6 +34,18 @@ pub enum ConfigError {
     ZeroPageSize,
     /// `BlockCyclic { block_pages: 0 }`; chunks must hold at least a page.
     ZeroBlockPages,
+    /// An experiment-plan axis held no values, so the cross product is
+    /// empty and no grid point can be enumerated.
+    EmptyAxis {
+        /// Name of the offending axis (e.g. `"pes"`).
+        axis: &'static str,
+    },
+    /// The same axis kind was added to an experiment plan twice; the
+    /// cross product would double-count it.
+    DuplicateAxis {
+        /// Name of the repeated axis.
+        axis: &'static str,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -42,6 +54,8 @@ impl core::fmt::Display for ConfigError {
             ConfigError::ZeroPes => write!(f, "n_pes must be ≥ 1"),
             ConfigError::ZeroPageSize => write!(f, "page_size must be ≥ 1"),
             ConfigError::ZeroBlockPages => write!(f, "block_pages must be ≥ 1"),
+            ConfigError::EmptyAxis { axis } => write!(f, "axis `{axis}` has no values"),
+            ConfigError::DuplicateAxis { axis } => write!(f, "axis `{axis}` was added twice"),
         }
     }
 }
@@ -71,9 +85,12 @@ pub struct MachineConfig {
 }
 
 impl MachineConfig {
-    /// The paper's simulated machine: modulo placement, 256-element LRU
-    /// cache, complete-page semantics, ideal network.
-    pub fn paper(n_pes: usize, page_size: usize) -> Self {
+    /// The canonical constructor: the paper's reference machine at the two
+    /// swept parameters (§6). Defaults — modulo placement, 256-element LRU
+    /// cache, complete-page semantics, ideal network — are overridden with
+    /// the `with_*` builders (`with_cache_elems(0)` is the "No Cache"
+    /// series of Figures 1–4).
+    pub fn new(n_pes: usize, page_size: usize) -> Self {
         MachineConfig {
             n_pes,
             page_size,
@@ -86,13 +103,19 @@ impl MachineConfig {
         }
     }
 
-    /// The paper's machine with caching disabled (the "No Cache" series of
-    /// Figures 1–4).
+    /// The paper's simulated machine.
+    #[deprecated(since = "0.1.0", note = "use `MachineConfig::new`")]
+    pub fn paper(n_pes: usize, page_size: usize) -> Self {
+        Self::new(n_pes, page_size)
+    }
+
+    /// The paper's machine with caching disabled.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `MachineConfig::new(n, ps).with_cache_elems(0)`"
+    )]
     pub fn paper_no_cache(n_pes: usize, page_size: usize) -> Self {
-        MachineConfig {
-            cache_elems: 0,
-            ..Self::paper(n_pes, page_size)
-        }
+        Self::new(n_pes, page_size).with_cache_elems(0)
     }
 
     /// Number of pages the cache can hold. Requires a validated config
@@ -169,7 +192,7 @@ mod tests {
 
     #[test]
     fn paper_config_matches_the_text() {
-        let c = MachineConfig::paper(8, 32);
+        let c = MachineConfig::new(8, 32);
         assert_eq!(c.n_pes, 8);
         assert_eq!(c.page_size, 32);
         assert_eq!(c.cache_elems, 256);
@@ -180,19 +203,19 @@ mod tests {
         assert_eq!(c.partial_pages, PartialPagePolicy::Ignore);
         assert!(c.validate().is_ok());
         // Page size 64 → 4 cache pages, as in Figures 1–4.
-        assert_eq!(MachineConfig::paper(8, 64).cache_pages(), 4);
+        assert_eq!(MachineConfig::new(8, 64).cache_pages(), 4);
     }
 
     #[test]
     fn no_cache_variant_disables_caching() {
-        let c = MachineConfig::paper_no_cache(4, 32);
+        let c = MachineConfig::new(4, 32).with_cache_elems(0);
         assert_eq!(c.cache_pages(), 0);
         assert!(!c.cache_enabled());
     }
 
     #[test]
     fn builders_override_fields() {
-        let c = MachineConfig::paper(4, 32)
+        let c = MachineConfig::new(4, 32)
             .with_cache_elems(1024)
             .with_cache_policy(CachePolicy::Fifo)
             .with_partition(PartitionScheme::Block)
@@ -206,29 +229,51 @@ mod tests {
     #[test]
     fn validation_rejects_degenerate_configs() {
         assert_eq!(
-            MachineConfig::paper(0, 32).validate(),
+            MachineConfig::new(0, 32).validate(),
             Err(ConfigError::ZeroPes)
         );
         assert_eq!(
-            MachineConfig::paper(4, 0).validate(),
+            MachineConfig::new(4, 0).validate(),
             Err(ConfigError::ZeroPageSize)
         );
         assert_eq!(
-            MachineConfig::paper(4, 32)
+            MachineConfig::new(4, 32)
                 .with_partition(PartitionScheme::BlockCyclic { block_pages: 0 })
                 .validate(),
             Err(ConfigError::ZeroBlockPages)
         );
         // Zero PEs is reported before zero page size (first failure wins).
         assert_eq!(
-            MachineConfig::paper(0, 0).validate(),
+            MachineConfig::new(0, 0).validate(),
             Err(ConfigError::ZeroPes)
         );
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_canonical_constructor() {
+        assert_eq!(MachineConfig::paper(8, 32), MachineConfig::new(8, 32));
+        assert_eq!(
+            MachineConfig::paper_no_cache(8, 32),
+            MachineConfig::new(8, 32).with_cache_elems(0)
+        );
+    }
+
+    #[test]
+    fn axis_errors_render() {
+        assert_eq!(
+            ConfigError::EmptyAxis { axis: "pes" }.to_string(),
+            "axis `pes` has no values"
+        );
+        assert_eq!(
+            ConfigError::DuplicateAxis { axis: "cache" }.to_string(),
+            "axis `cache` was added twice"
+        );
+    }
+
+    #[test]
     fn cache_smaller_than_page_disables_caching() {
-        let c = MachineConfig::paper(4, 512); // 256-elem cache < 512-elem page
+        let c = MachineConfig::new(4, 512); // 256-elem cache < 512-elem page
         assert_eq!(c.cache_pages(), 0);
         assert!(!c.cache_enabled());
     }

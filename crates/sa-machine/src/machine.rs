@@ -378,7 +378,7 @@ mod tests {
     #[test]
     fn paper_example_ownership() {
         // §2: 4 PEs, page size 32, arrays of 100 elements.
-        let m = machine(MachineConfig::paper(4, 32));
+        let m = machine(MachineConfig::new(4, 32));
         assert_eq!(m.pages_of(0), 4);
         assert_eq!(m.owner_of(0, 0), 0); // A(1..32) → PE 0
         assert_eq!(m.owner_of(0, 32), 1); // A(33..64) → PE 1
@@ -388,7 +388,7 @@ mod tests {
 
     #[test]
     fn owner_computes_is_enforced() {
-        let mut m = machine(MachineConfig::paper(4, 32));
+        let mut m = machine(MachineConfig::new(4, 32));
         m.write(0, 0, 5, 1.0).unwrap();
         let err = m.write(0, 0, 40, 1.0).unwrap_err();
         assert!(matches!(
@@ -404,7 +404,7 @@ mod tests {
 
     #[test]
     fn double_write_is_reported() {
-        let mut m = machine(MachineConfig::paper(4, 32));
+        let mut m = machine(MachineConfig::new(4, 32));
         m.write(0, 0, 5, 1.0).unwrap();
         assert!(matches!(
             m.write(0, 0, 5, 2.0),
@@ -414,7 +414,7 @@ mod tests {
 
     #[test]
     fn local_read_is_free_of_network() {
-        let mut m = machine(MachineConfig::paper(4, 32));
+        let mut m = machine(MachineConfig::new(4, 32));
         let (v, kind, hops) = m.read(0, 1, 10).unwrap(); // B(10) owned by PE 0
         assert_eq!(v, 10.0);
         assert_eq!(kind, AccessKind::LocalRead);
@@ -424,7 +424,7 @@ mod tests {
 
     #[test]
     fn remote_then_cached_read_flow() {
-        let mut m = machine(MachineConfig::paper(4, 32));
+        let mut m = machine(MachineConfig::new(4, 32));
         // B(40) is on page 1 → PE 1. PE 0 reads it twice.
         let (_, k1, _) = m.read(0, 1, 40).unwrap();
         assert_eq!(k1, AccessKind::RemoteRead);
@@ -439,7 +439,7 @@ mod tests {
 
     #[test]
     fn no_cache_config_always_goes_remote() {
-        let mut m = machine(MachineConfig::paper_no_cache(4, 32));
+        let mut m = machine(MachineConfig::new(4, 32).with_cache_elems(0));
         for _ in 0..3 {
             let (_, k, _) = m.read(0, 1, 40).unwrap();
             assert_eq!(k, AccessKind::RemoteRead);
@@ -450,7 +450,7 @@ mod tests {
 
     #[test]
     fn read_undefined_is_an_error() {
-        let mut m = machine(MachineConfig::paper(4, 32));
+        let mut m = machine(MachineConfig::new(4, 32));
         assert!(matches!(
             m.read(0, 0, 3),
             Err(MachineError::ReadUndefined { .. })
@@ -463,7 +463,7 @@ mod tests {
 
     #[test]
     fn partial_page_refetch_counts_and_upgrades() {
-        let cfg = MachineConfig::paper(2, 4).with_partial_pages(PartialPagePolicy::Refetch);
+        let cfg = MachineConfig::new(2, 4).with_partial_pages(PartialPagePolicy::Refetch);
         let mut m = DistributedMachine::new(cfg, vec![spec("A", 16, vec![])]).unwrap();
         // Page 1 (addrs 4..8) owned by PE 1. PE 1 fills only addr 4.
         m.write(1, 0, 4, 1.0).unwrap();
@@ -483,8 +483,7 @@ mod tests {
     #[test]
     fn ignore_policy_treats_partial_pages_as_complete() {
         let mut m =
-            DistributedMachine::new(MachineConfig::paper(2, 4), vec![spec("A", 16, vec![])])
-                .unwrap();
+            DistributedMachine::new(MachineConfig::new(2, 4), vec![spec("A", 16, vec![])]).unwrap();
         m.write(1, 0, 4, 1.0).unwrap();
         assert_eq!(m.read(0, 0, 4).unwrap().1, AccessKind::RemoteRead);
         m.write(1, 0, 5, 2.0).unwrap();
@@ -496,7 +495,7 @@ mod tests {
 
     #[test]
     fn reinit_bumps_generation_invalidates_caches_counts_messages() {
-        let mut m = machine(MachineConfig::paper(4, 32));
+        let mut m = machine(MachineConfig::new(4, 32));
         // Warm PE 0's cache with B page 1.
         m.read(0, 1, 40).unwrap();
         assert_eq!(m.read(0, 1, 41).unwrap().1, AccessKind::CachedRead);
@@ -512,12 +511,12 @@ mod tests {
 
     #[test]
     fn block_partitioning_places_contiguously() {
-        let cfg = MachineConfig::paper(4, 32).with_partition(PartitionScheme::Block);
+        let cfg = MachineConfig::new(4, 32).with_partition(PartitionScheme::Block);
         let m = machine(cfg);
         // 4 pages over 4 PEs → one page each, same as modulo here;
         // but with 8 pages (len 256) block differs from modulo.
         let m2 = DistributedMachine::new(
-            MachineConfig::paper(4, 32).with_partition(PartitionScheme::Block),
+            MachineConfig::new(4, 32).with_partition(PartitionScheme::Block),
             vec![spec("A", 256, vec![])],
         )
         .unwrap();
@@ -529,7 +528,7 @@ mod tests {
 
     #[test]
     fn stats_conservation_total_reads() {
-        let mut m = machine(MachineConfig::paper(4, 32));
+        let mut m = machine(MachineConfig::new(4, 32));
         for addr in 0..100 {
             let _ = m.read(0, 1, addr).unwrap();
         }
@@ -543,7 +542,7 @@ mod tests {
 
     #[test]
     fn single_pe_everything_local() {
-        let mut m = machine(MachineConfig::paper(1, 32));
+        let mut m = machine(MachineConfig::new(1, 32));
         for addr in 0..100 {
             let (_, k, _) = m.read(0, 1, addr).unwrap();
             assert_eq!(k, AccessKind::LocalRead);
@@ -553,7 +552,7 @@ mod tests {
 
     #[test]
     fn random_policy_runs() {
-        let cfg = MachineConfig::paper(4, 32)
+        let cfg = MachineConfig::new(4, 32)
             .with_cache_policy(CachePolicy::Random { seed: 42 })
             .with_cache_elems(64); // 2 pages
         let mut m = machine(cfg);

@@ -59,7 +59,7 @@ proptest! {
         len in 1usize..600,
     ) {
         let reader = reader % n_pes;
-        let cfg = MachineConfig::paper(n_pes, page_size)
+        let cfg = MachineConfig::new(n_pes, page_size)
             .with_cache_elems(cache_elems)
             .with_partition(scheme);
         let mut m = DistributedMachine::new(
@@ -106,7 +106,7 @@ proptest! {
         n_pes in 2usize..9,
         len in 64usize..400,
     ) {
-        let cfg = MachineConfig::paper(n_pes, 16);
+        let cfg = MachineConfig::new(n_pes, 16);
         let mut m = DistributedMachine::new(
             cfg,
             vec![ArraySpec { name: "B".into(), len, init: vec![1.0; len] }],
@@ -133,7 +133,7 @@ proptest! {
             Just(PartialPagePolicy::Refetch)
         ],
     ) {
-        let cfg = MachineConfig::paper(n_pes, 8)
+        let cfg = MachineConfig::new(n_pes, 8)
             .with_partial_pages(policy)
             .with_cache_policy(CachePolicy::Lru);
         let mut m = DistributedMachine::new(

@@ -1,7 +1,7 @@
 //! Concurrent I-structure memory for real-thread execution.
 //!
 //! The paper cites HEP full/empty bits and dataflow I-structures
-//! ([ANP87], [A&C86]) as the hardware that enforces write-before-read. This
+//! (\[ANP87\], \[A&C86\]) as the hardware that enforces write-before-read. This
 //! module provides the software equivalent: an array of write-once slots
 //! where readers *block* (park) until the producer writes, and a second
 //! write is an error.

@@ -47,7 +47,7 @@ impl RuntimeConfig {
 
     /// The equivalent counting-simulator configuration.
     pub fn to_machine(&self) -> MachineConfig {
-        MachineConfig::paper(self.n_pes, self.page_size)
+        MachineConfig::new(self.n_pes, self.page_size)
             .with_cache_elems(self.cache_elems)
             .with_partition(self.partition)
     }

@@ -22,7 +22,9 @@
 
 pub mod engine;
 pub mod net;
+pub mod oracle;
 pub mod pagecache;
 pub mod worker;
 
 pub use engine::{execute, RuntimeConfig, RuntimeError, RuntimeReport};
+pub use oracle::ThreadOracle;

@@ -1,0 +1,92 @@
+//! The composable experiment-plan API, end to end: build a typed-axis
+//! grid, evaluate it through two different oracles (counting simulator and
+//! real threads), pivot the results, and run the automatic scheme search.
+//!
+//! ```text
+//! cargo run --release --example experiment_plan
+//! ```
+
+use sapp::core::plan::ExperimentPlan;
+use sapp::core::report::{ascii_chart, json, markdown_table};
+use sapp::core::results::Column;
+use sapp::core::search::{search, SearchSpace};
+use sapp::core::CountingOracle;
+use sapp::loops::suite;
+use sapp::runtime::ThreadOracle;
+
+fn main() {
+    let k12 = suite()
+        .into_iter()
+        .find(|k| k.code == "K12")
+        .expect("K12 in suite");
+
+    // One plan: page sizes × cache on/off × PE counts, lazily enumerated
+    // and evaluated concurrently by the counting simulator.
+    let plan = ExperimentPlan::new()
+        .page_sizes(&[32, 64])
+        .cache_flags(&[true, false])
+        .pes(&[1, 2, 4, 8, 16, 32]);
+    println!("grid: {} points\n", plan.len());
+    let results = plan.run(&k12.program, &CountingOracle).expect("sweep");
+
+    // Typed columns feed every report emitter.
+    let cols = [
+        Column::Pes,
+        Column::PageSize,
+        Column::Cached,
+        Column::RemotePct,
+        Column::Messages,
+    ];
+    let headers = Column::headers(&cols);
+    println!("{}", markdown_table(&headers, &results.rows(&cols)));
+
+    // Pivot into figure series without caring about axis order.
+    let series = results.series(
+        |r| {
+            format!(
+                "{} ps {}",
+                if r.cfg.cached() { "Cache" } else { "No Cache" },
+                r.cfg.page_size
+            )
+        },
+        |r| r.cfg.n_pes as f64,
+        |r| r.remote_pct,
+    );
+    println!(
+        "{}",
+        ascii_chart("K12: % of Reads Remote vs PEs", &series, 48, 12)
+    );
+
+    // The same grid shape on a different backend: real worker threads.
+    let real = ExperimentPlan::new()
+        .pes(&[1, 2, 4])
+        .run(&k12.program, &ThreadOracle)
+        .expect("runtime");
+    println!(
+        "thread-runtime remote% at 4 PEs: {:.2}%\n",
+        real.find(|r| r.cfg.n_pes == 4).expect("point").remote_pct
+    );
+
+    // Automatic scheme search (the Automap-style ROADMAP item), as JSON.
+    let best = search(&k12.program, &SearchSpace::default(), &CountingOracle).expect("search");
+    let row = vec![vec![
+        "K12".to_string(),
+        best.scheme.name(),
+        best.page_size.to_string(),
+        format!("{:.4}", best.remote_pct),
+        best.evaluated.to_string(),
+    ]];
+    println!(
+        "{}",
+        json(
+            &[
+                "kernel",
+                "best_scheme",
+                "best_page_size",
+                "remote_pct",
+                "evaluated"
+            ],
+            &row
+        )
+    );
+}

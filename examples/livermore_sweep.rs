@@ -15,8 +15,9 @@ use sapp::machine::MachineConfig;
 fn main() {
     let mut rows = Vec::new();
     for k in suite() {
-        let cached = simulate(&k.program, &MachineConfig::paper(16, 32)).expect("sim");
-        let uncached = simulate(&k.program, &MachineConfig::paper_no_cache(16, 32)).expect("sim");
+        let cached = simulate(&k.program, &MachineConfig::new(16, 32)).expect("sim");
+        let uncached =
+            simulate(&k.program, &MachineConfig::new(16, 32).with_cache_elems(0)).expect("sim");
         let dynamic = classify_dynamic(&k.program, 32).expect("sweep");
         rows.push(vec![
             k.code.to_string(),

@@ -41,8 +41,11 @@ fn main() {
     // The machine side: 8 PEs, 32-element pages, the paper's 256-element
     // LRU cache, modulo placement. Owner-computes does the rest.
     for (label, cfg) in [
-        ("with cache   ", MachineConfig::paper(8, 32)),
-        ("without cache", MachineConfig::paper_no_cache(8, 32)),
+        ("with cache   ", MachineConfig::new(8, 32)),
+        (
+            "without cache",
+            MachineConfig::new(8, 32).with_cache_elems(0),
+        ),
     ] {
         let rep = simulate(&program, &cfg).expect("simulation");
         println!(
@@ -56,7 +59,7 @@ fn main() {
     }
 
     // And the values are exactly what a sequential run produces.
-    verify_against_reference(&program, &MachineConfig::paper(8, 32))
+    verify_against_reference(&program, &MachineConfig::new(8, 32))
         .expect("distributed result equals the sequential reference");
     println!("verified: distributed execution ≡ sequential reference");
 }

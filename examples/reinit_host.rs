@@ -41,7 +41,7 @@ fn main() {
         "the conventional program re-writes SM — not single assignment"
     );
 
-    let cfg = MachineConfig::paper(8, 32);
+    let cfg = MachineConfig::new(8, 32);
     println!("Converting a 4-step array-reusing loop to single assignment (8 PEs):\n");
 
     // Strategy 1: array expansion (§5's "translators will tend to increase

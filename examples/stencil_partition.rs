@@ -41,7 +41,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut best: Option<(usize, f64)> = None;
     for ps in [8usize, 16, 32, 64, 128, 256] {
-        let rep = simulate(&program, &MachineConfig::paper(n_pes, ps)).expect("sim");
+        let rep = simulate(&program, &MachineConfig::new(n_pes, ps)).expect("sim");
         let pct = rep.remote_pct();
         if best.map(|(_, b)| pct < b).unwrap_or(true) {
             best = Some((ps, pct));

@@ -6,23 +6,49 @@
 //! sapp classify K6                # static + measured classification
 //! sapp simulate K1 --pes 8 --page 32 [--no-cache]
 //! sapp sweep K2 --page 32         # remote % across PE counts
+//! sapp search [--kernel K12]      # best scheme × page size per kernel
 //! sapp timing K14 --page 32       # estimated speedup curve
 //! ```
+//!
+//! `sweep` and `search` accept `--format {table,csv,json}` and run their
+//! grids through the composable plan API (`sapp::core::plan`) with the
+//! counting simulator as the evaluation oracle.
 
 use sapp::core::classify::classify_dynamic;
-use sapp::core::experiment::{pe_sweep, speedup_sweep};
-use sapp::core::report::{fmt_pct, markdown_table};
-use sapp::core::simulate;
+use sapp::core::experiment::speedup_sweep;
+use sapp::core::plan::ExperimentPlan;
+use sapp::core::report::{csv, fmt_pct, json, markdown_table};
+use sapp::core::search::{search, SearchSpace};
+use sapp::core::{simulate, CountingOracle};
 use sapp::ir::{classify_program, pretty};
 use sapp::loops::{suite, Kernel};
 use sapp::machine::{AccessCosts, MachineConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sapp <list|show|classify|simulate|sweep|timing> [KERNEL] \
-         [--pes N] [--page N] [--cache N] [--no-cache]"
+        "usage: sapp <list|show|classify|simulate|sweep|search|timing> [KERNEL] \
+         [--pes N] [--page N] [--cache N] [--no-cache] [--kernel CODE] \
+         [--format table|csv|json]"
     );
     std::process::exit(2);
+}
+
+/// Output format for tabular results.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Csv,
+    Json,
+}
+
+impl Format {
+    fn render(self, headers: &[&str], rows: &[Vec<String>]) -> String {
+        match self {
+            Format::Table => markdown_table(headers, rows),
+            Format::Csv => csv(headers, rows),
+            Format::Json => json(headers, rows),
+        }
+    }
 }
 
 struct Opts {
@@ -30,6 +56,8 @@ struct Opts {
     page: usize,
     cache: usize,
     no_cache: bool,
+    kernel: Option<String>,
+    format: Format,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -38,6 +66,8 @@ fn parse_opts(args: &[String]) -> Opts {
         page: 32,
         cache: 256,
         no_cache: false,
+        kernel: None,
+        format: Format::Table,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -61,6 +91,15 @@ fn parse_opts(args: &[String]) -> Opts {
                     .unwrap_or_else(|| usage())
             }
             "--no-cache" => o.no_cache = true,
+            "--kernel" => o.kernel = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--format" => {
+                o.format = match it.next().map(String::as_str) {
+                    Some("table") => Format::Table,
+                    Some("csv") => Format::Csv,
+                    Some("json") => Format::Json,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }
@@ -78,12 +117,8 @@ fn find_kernel(code: &str) -> Kernel {
 }
 
 fn config(o: &Opts) -> MachineConfig {
-    let base = MachineConfig::paper(o.pes, o.page).with_cache_elems(o.cache);
-    if o.no_cache {
-        MachineConfig::paper_no_cache(o.pes, o.page)
-    } else {
-        base
-    }
+    let elems = if o.no_cache { 0 } else { o.cache };
+    MachineConfig::new(o.pes, o.page).with_cache_elems(elems)
 }
 
 fn main() {
@@ -153,23 +188,75 @@ fn main() {
         "sweep" => {
             let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             let o = parse_opts(&args[2..]);
-            // All 14 grid points simulate concurrently; the result order is
-            // the sequential one (cached block first, then uncached).
-            let pes = [1usize, 2, 4, 8, 16, 32, 64];
-            let pts = pe_sweep(&k.program, &pes, &[o.page], &[true, false]).expect("sweep");
-            let (cached, uncached) = pts.split_at(pes.len());
-            let rows: Vec<Vec<String>> = cached
+            // One plan, all 14 grid points simulated concurrently; the
+            // cached/uncached columns are selected by predicate rather
+            // than by result position.
+            let results = ExperimentPlan::new()
+                .page_sizes(&[o.page])
+                .cache_flags(&[true, false])
+                .pes(&[1, 2, 4, 8, 16, 32, 64])
+                .run(&k.program, &CountingOracle)
+                .expect("sweep");
+            let rows: Vec<Vec<String>> = results
+                .group_by(|r| r.cfg.n_pes)
                 .iter()
-                .zip(uncached)
-                .map(|(c, u)| {
+                .map(|(n, _)| {
+                    let at = |cached: bool| {
+                        results
+                            .find(|r| r.cfg.n_pes == *n && r.cfg.cached() == cached)
+                            .map(|r| fmt_pct(r.remote_pct))
+                            .expect("grid point")
+                    };
+                    vec![n.to_string(), at(true), at(false)]
+                })
+                .collect();
+            print!(
+                "{}",
+                o.format
+                    .render(&["pes", "remote_pct_cache", "remote_pct_no_cache"], &rows)
+            );
+        }
+        "search" => {
+            let o = parse_opts(&args[1..]);
+            let kernels = match &o.kernel {
+                Some(code) => vec![find_kernel(code)],
+                None => suite(),
+            };
+            let space = SearchSpace {
+                n_pes: o.pes,
+                cache_elems: if o.no_cache { 0 } else { o.cache },
+                ..SearchSpace::default()
+            };
+            let rows: Vec<Vec<String>> = kernels
+                .iter()
+                .map(|k| {
+                    let best = search(&k.program, &space, &CountingOracle).expect("search");
                     vec![
-                        c.n_pes.to_string(),
-                        fmt_pct(c.remote_pct),
-                        fmt_pct(u.remote_pct),
+                        k.code.to_string(),
+                        k.class_abbrev().to_string(),
+                        best.scheme.name(),
+                        best.page_size.to_string(),
+                        fmt_pct(best.remote_pct),
+                        best.messages.to_string(),
+                        best.evaluated.to_string(),
                     ]
                 })
                 .collect();
-            println!("{}", markdown_table(&["PEs", "cache", "no cache"], &rows));
+            print!(
+                "{}",
+                o.format.render(
+                    &[
+                        "kernel",
+                        "class",
+                        "best_scheme",
+                        "best_page_size",
+                        "remote_pct",
+                        "messages",
+                        "evaluated"
+                    ],
+                    &rows
+                )
+            );
         }
         "timing" => {
             let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));

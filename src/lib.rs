@@ -17,10 +17,13 @@
 //!   the host-processor re-initialization protocol.
 //! * [`loops`] — the Livermore Loops suite used by the paper's evaluation.
 //! * [`core`] — owner-computes distributed execution, access counting,
-//!   the event-driven timing pass, experiment sweeps and report tables.
+//!   the event-driven timing pass, composable experiment plans with
+//!   pluggable evaluation oracles, automatic scheme search, and report
+//!   tables.
 //! * [`runtime`] — a real-thread execution engine (one thread per PE,
 //!   channels as the interconnect) demonstrating that single assignment
-//!   alone synchronizes the computation.
+//!   alone synchronizes the computation; plugs into experiment plans as
+//!   `ThreadOracle`.
 //!
 //! ## Quickstart
 //!
@@ -30,10 +33,32 @@
 //! use sapp::core::exec::simulate;
 //!
 //! let kernel = k01_hydro::build(1001);
-//! let cfg = MachineConfig::paper(8, 32); // 8 PEs, 32-element pages, 256-elem cache
+//! let cfg = MachineConfig::new(8, 32); // 8 PEs, 32-element pages, 256-elem cache
 //! let report = simulate(&kernel.program, &cfg).unwrap();
 //! println!("remote reads: {:.2}%", report.stats.remote_read_pct());
 //! assert!(report.stats.remote_read_pct() < 10.0); // SD class, paper Fig. 1
+//! ```
+//!
+//! ## Experiment plans
+//!
+//! Sweeps are composed from typed axes and evaluated through an oracle
+//! (the counting simulator, the timing replay, or real threads):
+//!
+//! ```
+//! use sapp::core::plan::ExperimentPlan;
+//! use sapp::core::CountingOracle;
+//!
+//! let kernel = sapp::loops::k12_first_diff::build(1001);
+//! let results = ExperimentPlan::new()
+//!     .page_sizes(&[32, 64])
+//!     .cache_flags(&[true, false])
+//!     .pes(&[1, 2, 4, 8])
+//!     .run(&kernel.program, &CountingOracle)
+//!     .unwrap();
+//! let pt = results
+//!     .find(|r| r.cfg.n_pes == 8 && r.cfg.page_size == 32 && r.cfg.cached())
+//!     .unwrap();
+//! assert!(pt.remote_pct < 10.0);
 //! ```
 
 pub use sa_core as core;

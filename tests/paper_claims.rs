@@ -18,17 +18,17 @@ fn run(code: &str, cfg: &MachineConfig) -> SimReport {
 #[test]
 fn fig1_skewed_hydro_fragment() {
     // 1 PE ⇒ everything local.
-    assert_eq!(run("K1", &MachineConfig::paper(1, 32)).remote_pct(), 0.0);
+    assert_eq!(run("K1", &MachineConfig::new(1, 32)).remote_pct(), 0.0);
     for n in [2usize, 4, 8, 16, 32] {
         // No cache, ps 32: the paper's ≈22 % (skew 10/11 over 32-elem pages).
-        let uncached = run("K1", &MachineConfig::paper_no_cache(n, 32)).remote_pct();
+        let uncached = run("K1", &MachineConfig::new(n, 32).with_cache_elems(0)).remote_pct();
         assert!((20.0..24.0).contains(&uncached), "n={n}: {uncached:.2}%");
         // Cache: collapses to ≈1 % ("a reduction from 22% remote reads to
         // 1% remote reads", §8).
-        let cached = run("K1", &MachineConfig::paper(n, 32)).remote_pct();
+        let cached = run("K1", &MachineConfig::new(n, 32)).remote_pct();
         assert!(cached < 2.0, "n={n}: {cached:.2}%");
         // ps 64 halves the uncached crossing ratio.
-        let uncached64 = run("K1", &MachineConfig::paper_no_cache(n, 64)).remote_pct();
+        let uncached64 = run("K1", &MachineConfig::new(n, 64).with_cache_elems(0)).remote_pct();
         assert!(
             (uncached64 - uncached / 2.0).abs() < 2.0,
             "n={n}: ps64 {uncached64:.2}% vs ps32/2 {:.2}%",
@@ -42,7 +42,7 @@ fn fig2_cyclic_iccg() {
     // Without a cache "most are remote" and it worsens with PEs.
     let mut prev = 0.0;
     for n in [2usize, 4, 8, 16, 32] {
-        let uncached = run("K2", &MachineConfig::paper_no_cache(n, 32)).remote_pct();
+        let uncached = run("K2", &MachineConfig::new(n, 32).with_cache_elems(0)).remote_pct();
         assert!(uncached >= 40.0, "n={n}: {uncached:.2}%");
         assert!(uncached >= prev, "uncached must not improve with PEs");
         prev = uncached;
@@ -51,8 +51,8 @@ fn fig2_cyclic_iccg() {
     // magnitude ("caching ... can reduce the percentage of remote reads
     // significantly", Fig. 2 caption).
     for n in [4usize, 16, 32] {
-        let cached = run("K2", &MachineConfig::paper(n, 32)).remote_pct();
-        let uncached = run("K2", &MachineConfig::paper_no_cache(n, 32)).remote_pct();
+        let cached = run("K2", &MachineConfig::new(n, 32)).remote_pct();
+        let uncached = run("K2", &MachineConfig::new(n, 32).with_cache_elems(0)).remote_pct();
         assert!(
             cached * 10.0 < uncached,
             "n={n}: {cached:.2}% vs {uncached:.2}%"
@@ -67,10 +67,10 @@ fn fig3_cyclic_skewed_hydro2d_decreases_with_pes() {
     // remote % *decreases* as PEs grow (the paper's counter-intuitive
     // headline), and stays below the paper's ≈8 % ceiling.
     let k = k18_hydro2d::build_with_passes(101, 5);
-    let at4 = simulate(&k.program, &MachineConfig::paper(4, 32))
+    let at4 = simulate(&k.program, &MachineConfig::new(4, 32))
         .unwrap()
         .remote_pct();
-    let at16 = simulate(&k.program, &MachineConfig::paper(16, 32))
+    let at16 = simulate(&k.program, &MachineConfig::new(16, 32))
         .unwrap()
         .remote_pct();
     assert!(
@@ -82,7 +82,7 @@ fn fig3_cyclic_skewed_hydro2d_decreases_with_pes() {
         "the drop is substantial: {at4:.2}% → {at16:.2}%"
     );
     for n in [2usize, 4, 8, 16] {
-        let pct = simulate(&k.program, &MachineConfig::paper(n, 32))
+        let pct = simulate(&k.program, &MachineConfig::new(n, 32))
             .unwrap()
             .remote_pct();
         assert!(pct < 8.0, "n={n}: {pct:.2}%");
@@ -92,8 +92,8 @@ fn fig3_cyclic_skewed_hydro2d_decreases_with_pes() {
 #[test]
 fn fig4_random_glre_resists_caching() {
     for n in [8usize, 16, 32] {
-        let cached = run("K6", &MachineConfig::paper(n, 32)).remote_pct();
-        let uncached = run("K6", &MachineConfig::paper_no_cache(n, 32)).remote_pct();
+        let cached = run("K6", &MachineConfig::new(n, 32)).remote_pct();
+        let uncached = run("K6", &MachineConfig::new(n, 32).with_cache_elems(0)).remote_pct();
         // High remote percentage "regardless of the presence or absence of
         // caching" (§7.1.4).
         assert!(cached >= 40.0, "n={n}: cached {cached:.2}%");
@@ -106,12 +106,12 @@ fn fig4_random_glre_resists_caching() {
     // …but a larger cache does rescue it ("poor performance of RD can be
     // overcome by larger cache sizes", Fig. 4 caption).
     let k = suite().into_iter().find(|k| k.code == "K6").unwrap();
-    let small = simulate(&k.program, &MachineConfig::paper(16, 32))
+    let small = simulate(&k.program, &MachineConfig::new(16, 32))
         .unwrap()
         .remote_pct();
     let big = simulate(
         &k.program,
-        &MachineConfig::paper(16, 32).with_cache_elems(8192),
+        &MachineConfig::new(16, 32).with_cache_elems(8192),
     )
     .unwrap()
     .remote_pct();
@@ -124,7 +124,7 @@ fn fig4_random_glre_resists_caching() {
 #[test]
 fn fig5_load_balance_on_64_pes() {
     let k = k18_hydro2d::build_with_passes(1022, 2);
-    let rep = simulate(&k.program, &MachineConfig::paper(64, 32)).unwrap();
+    let rep = simulate(&k.program, &MachineConfig::new(64, 32)).unwrap();
     let local = load_balance(&rep.stats.local_reads_per_pe());
     let remote = load_balance(&rep.stats.remote_reads_per_pe());
     let writes = load_balance(&rep.stats.writes_per_pe());
@@ -145,19 +145,19 @@ fn summary_class_claims() {
     // MD kernels: "always achieve a 0% remote access ratio" (§7.1.1).
     for code in ["K3", "K14", "K22", "K24"] {
         for n in [2usize, 8, 32] {
-            let pct = run(code, &MachineConfig::paper(n, 32)).remote_pct();
+            let pct = run(code, &MachineConfig::new(n, 32)).remote_pct();
             assert_eq!(pct, 0.0, "{code} at {n} PEs");
         }
     }
     // The paper's matched exemplar is the K14 fragment specifically.
     let frag = k14_pic1d::build(1001);
-    let rep = simulate(&frag.program, &MachineConfig::paper(16, 32)).unwrap();
+    let rep = simulate(&frag.program, &MachineConfig::new(16, 32)).unwrap();
     assert_eq!(rep.stats.remote_reads(), 0);
 
     // SD kernels stay below 10 % with the cache (§8: "SD access patterns
     // tend to achieve a very low (< 10%) remote access ratio").
     for code in ["K1", "K5", "K7", "K11", "K12"] {
-        let pct = run(code, &MachineConfig::paper(16, 32)).remote_pct();
+        let pct = run(code, &MachineConfig::new(16, 32)).remote_pct();
         assert!(pct < 10.0, "{code}: {pct:.2}%");
     }
 
@@ -167,7 +167,7 @@ fn summary_class_claims() {
     let below = suite()
         .iter()
         .filter(|k| {
-            simulate(&k.program, &MachineConfig::paper(16, 32))
+            simulate(&k.program, &MachineConfig::new(16, 32))
                 .unwrap()
                 .remote_pct()
                 < 10.0
@@ -185,7 +185,7 @@ fn conclusion_message_accounting() {
     // Every remote read is exactly one request + one reply; no coherence
     // traffic exists at all (§4).
     for code in ["K1", "K2", "K6", "K18"] {
-        let rep = run(code, &MachineConfig::paper(16, 32));
+        let rep = run(code, &MachineConfig::new(16, 32));
         assert_eq!(rep.network_messages, 2 * rep.stats.page_fetches);
         assert_eq!(rep.stats.page_fetches, rep.stats.remote_reads());
     }

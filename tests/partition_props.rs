@@ -102,9 +102,9 @@ proptest! {
         });
         let p = b.finish();
         let cfg = if cached {
-            MachineConfig::paper(n_pes, page_size)
+            MachineConfig::new(n_pes, page_size)
         } else {
-            MachineConfig::paper_no_cache(n_pes, page_size)
+            MachineConfig::new(n_pes, page_size).with_cache_elems(0)
         };
         let rep = simulate(&p, &cfg).expect("sim");
         prop_assert_eq!(rep.stats.writes(), n as u64);
@@ -134,8 +134,8 @@ proptest! {
             nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(skew)]));
         });
         let p = b.finish();
-        let with = simulate(&p, &MachineConfig::paper(n_pes, 32)).expect("sim");
-        let without = simulate(&p, &MachineConfig::paper_no_cache(n_pes, 32)).expect("sim");
+        let with = simulate(&p, &MachineConfig::new(n_pes, 32)).expect("sim");
+        let without = simulate(&p, &MachineConfig::new(n_pes, 32).with_cache_elems(0)).expect("sim");
         prop_assert!(with.stats.remote_reads() <= without.stats.remote_reads());
     }
 

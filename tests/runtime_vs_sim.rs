@@ -57,7 +57,7 @@ fn stats_match_simulator_exactly_on_input_only_kernels() {
     // runtime must agree with the simulator number for number.
     for code in ["K1", "K7", "K12"] {
         let k = suite().into_iter().find(|k| k.code == code).unwrap();
-        let cfg = MachineConfig::paper(4, 32);
+        let cfg = MachineConfig::new(4, 32);
         let sim = simulate(&k.program, &cfg).expect("sim");
         let run = execute(&k.program, &RuntimeConfig::from_machine(&cfg)).expect("runtime");
         assert_eq!(sim.stats.writes(), run.stats.writes(), "{code} writes");
@@ -88,12 +88,12 @@ fn stats_bound_simulator_on_pipelined_kernels() {
     // and ≤ the count with caching disabled.
     for code in ["K5", "K2", "K11"] {
         let k = suite().into_iter().find(|k| k.code == code).unwrap();
-        let cfg = MachineConfig::paper(4, 32);
+        let cfg = MachineConfig::new(4, 32);
         let ideal = simulate(&k.program, &cfg)
             .expect("sim")
             .stats
             .remote_reads();
-        let worst = simulate(&k.program, &MachineConfig::paper_no_cache(4, 32))
+        let worst = simulate(&k.program, &MachineConfig::new(4, 32).with_cache_elems(0))
             .expect("sim")
             .stats
             .remote_reads();

@@ -10,7 +10,7 @@ use sapp::machine::{CachePolicy, MachineConfig, PartialPagePolicy, PartitionSche
 fn every_kernel_matches_reference_on_paper_machine() {
     for k in suite() {
         for n in [1usize, 4, 16] {
-            verify_against_reference(&k.program, &MachineConfig::paper(n, 32))
+            verify_against_reference(&k.program, &MachineConfig::new(n, 32))
                 .unwrap_or_else(|e| panic!("{} on {n} PEs: {e}", k.code));
         }
     }
@@ -25,11 +25,11 @@ fn results_are_invariant_to_cache_configuration() {
         .filter(|k| ["K1", "K2", "K6", "K18"].contains(&k.code))
     {
         for cfg in [
-            MachineConfig::paper_no_cache(8, 32),
-            MachineConfig::paper(8, 32).with_cache_elems(64),
-            MachineConfig::paper(8, 32).with_cache_policy(CachePolicy::Fifo),
-            MachineConfig::paper(8, 32).with_cache_policy(CachePolicy::Random { seed: 9 }),
-            MachineConfig::paper(8, 32).with_partial_pages(PartialPagePolicy::Refetch),
+            MachineConfig::new(8, 32).with_cache_elems(0),
+            MachineConfig::new(8, 32).with_cache_elems(64),
+            MachineConfig::new(8, 32).with_cache_policy(CachePolicy::Fifo),
+            MachineConfig::new(8, 32).with_cache_policy(CachePolicy::Random { seed: 9 }),
+            MachineConfig::new(8, 32).with_partial_pages(PartialPagePolicy::Refetch),
         ] {
             verify_against_reference(&k.program, &cfg)
                 .unwrap_or_else(|e| panic!("{}: {e}", k.code));
@@ -48,7 +48,7 @@ fn results_are_invariant_to_partitioning_scheme() {
             PartitionScheme::Block,
             PartitionScheme::BlockCyclic { block_pages: 3 },
         ] {
-            let cfg = MachineConfig::paper(8, 32).with_partition(scheme);
+            let cfg = MachineConfig::new(8, 32).with_partition(scheme);
             verify_against_reference(&k.program, &cfg)
                 .unwrap_or_else(|e| panic!("{} with {scheme:?}: {e}", k.code));
         }
@@ -62,7 +62,7 @@ fn results_are_invariant_to_page_size() {
         .filter(|k| ["K2", "K7", "K9"].contains(&k.code))
     {
         for ps in [8usize, 16, 64, 128] {
-            verify_against_reference(&k.program, &MachineConfig::paper(4, ps))
+            verify_against_reference(&k.program, &MachineConfig::new(4, ps))
                 .unwrap_or_else(|e| panic!("{} at ps {ps}: {e}", k.code));
         }
     }
@@ -71,7 +71,7 @@ fn results_are_invariant_to_page_size() {
 #[test]
 fn gather_kernel_and_multipass_kernel_match_reference() {
     let full = k14_pic1d::build_full(257);
-    verify_against_reference(&full.program, &MachineConfig::paper(8, 32)).unwrap();
+    verify_against_reference(&full.program, &MachineConfig::new(8, 32)).unwrap();
     let multi = k18_hydro2d::build_with_passes(40, 3);
-    verify_against_reference(&multi.program, &MachineConfig::paper(8, 16)).unwrap();
+    verify_against_reference(&multi.program, &MachineConfig::new(8, 16)).unwrap();
 }

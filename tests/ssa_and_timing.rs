@@ -17,7 +17,7 @@ use sapp::machine::MachineConfig;
 fn timing_pass_is_deadlock_free_on_the_whole_suite() {
     for k in suite() {
         for n in [1usize, 4, 16] {
-            let t = estimate_timing(&k.program, &MachineConfig::paper(n, 32))
+            let t = estimate_timing(&k.program, &MachineConfig::new(n, 32))
                 .unwrap_or_else(|e| panic!("{} on {n} PEs: {e}", k.code));
             assert!(t.total_cycles > 0, "{}", k.code);
             assert!(t.instances > 0, "{}", k.code);
@@ -28,10 +28,10 @@ fn timing_pass_is_deadlock_free_on_the_whole_suite() {
 #[test]
 fn speedups_are_bounded_and_ordered_sensibly() {
     for k in suite() {
-        let t1 = estimate_timing(&k.program, &MachineConfig::paper(1, 32)).unwrap();
+        let t1 = estimate_timing(&k.program, &MachineConfig::new(1, 32)).unwrap();
         let mut prev_cycles = u64::MAX;
         for n in [2usize, 4, 8, 16] {
-            let tn = estimate_timing(&k.program, &MachineConfig::paper(n, 32)).unwrap();
+            let tn = estimate_timing(&k.program, &MachineConfig::new(n, 32)).unwrap();
             let s = tn.speedup_over(&t1);
             assert!(
                 s <= n as f64 + 1e-9,
@@ -57,14 +57,14 @@ fn matched_class_speedup_is_nearly_linear() {
     // K22's official size (n=101 → 4 pages) caps at 4-way parallelism,
     // which is itself worth asserting: parallelism is bounded by pages.
     let k14 = suite().into_iter().find(|k| k.code == "K14").unwrap();
-    let t1 = estimate_timing(&k14.program, &MachineConfig::paper(1, 32)).unwrap();
-    let t8 = estimate_timing(&k14.program, &MachineConfig::paper(8, 32)).unwrap();
+    let t1 = estimate_timing(&k14.program, &MachineConfig::new(1, 32)).unwrap();
+    let t8 = estimate_timing(&k14.program, &MachineConfig::new(8, 32)).unwrap();
     let s = t8.speedup_over(&t1);
     assert!(s > 6.0, "matched loop should scale: {s:.2} on 8 PEs");
 
     let k22 = suite().into_iter().find(|k| k.code == "K22").unwrap();
-    let t1 = estimate_timing(&k22.program, &MachineConfig::paper(1, 32)).unwrap();
-    let t8 = estimate_timing(&k22.program, &MachineConfig::paper(8, 32)).unwrap();
+    let t1 = estimate_timing(&k22.program, &MachineConfig::new(1, 32)).unwrap();
+    let t8 = estimate_timing(&k22.program, &MachineConfig::new(8, 32)).unwrap();
     let s = t8.speedup_over(&t1);
     assert!(
         (2.0..=4.0).contains(&s),
@@ -77,8 +77,8 @@ fn serial_recurrence_exposes_pipeline_limit() {
     // K5's chain has a true dependence every iteration: adding PEs cannot
     // help beyond overlapping the per-page pipeline fill.
     let k = suite().into_iter().find(|k| k.code == "K5").unwrap();
-    let t1 = estimate_timing(&k.program, &MachineConfig::paper(1, 32)).unwrap();
-    let t16 = estimate_timing(&k.program, &MachineConfig::paper(16, 32)).unwrap();
+    let t1 = estimate_timing(&k.program, &MachineConfig::new(1, 32)).unwrap();
+    let t16 = estimate_timing(&k.program, &MachineConfig::new(16, 32)).unwrap();
     let s = t16.speedup_over(&t1);
     assert!(s < 2.0, "a serial chain cannot scale: {s:.2}");
     assert!(
@@ -123,7 +123,7 @@ proptest! {
             prop_assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
         }
         // The converted program also runs distributed.
-        let rep = simulate(&c.program, &MachineConfig::paper(4, 16)).expect("sim");
+        let rep = simulate(&c.program, &MachineConfig::new(4, 16)).expect("sim");
         prop_assert_eq!(rep.stats.writes(), (n * sweeps) as u64);
     }
 
@@ -148,7 +148,7 @@ proptest! {
         let c = convert_to_sa(&p, SsaMode::Reinit).expect("reinit-convertible");
         prop_assert_eq!(c.reinits_added, rewrites);
         prop_assert!(verify_single_assignment(&c.program));
-        let rep = simulate(&c.program, &MachineConfig::paper(n_pes, 16)).expect("sim");
+        let rep = simulate(&c.program, &MachineConfig::new(n_pes, 16)).expect("sim");
         prop_assert_eq!(
             rep.stats.reinit_messages,
             (rewrites * 2 * (n_pes - 1)) as u64
