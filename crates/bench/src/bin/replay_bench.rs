@@ -1,0 +1,102 @@
+//! `replay_bench` — wall-clock comparison of the compiled access replay
+//! (`sa_core::replay`) against the counting interpreter on K18-style 2-D
+//! hydrodynamics nests, the ISSUE/ROADMAP acceptance workload.
+//!
+//! ```console
+//! $ cargo run -p bench --release --bin replay_bench            # n = 100_000
+//! $ cargo run -p bench --release --bin replay_bench -- 250000  # custom n
+//! $ cargo run -p bench --release --bin replay_bench -- 100000 --assert-speedup 10
+//! ```
+//!
+//! Prints a table of interpreter vs replay wall-clock per machine config
+//! and the speedup; with `--assert-speedup F` the process exits non-zero
+//! if any measured speedup falls below `F` (used as a checked-in
+//! regression gate for the "≥ 10× at n ≥ 100_000" acceptance criterion).
+
+use std::time::Instant;
+
+use sa_core::exec::simulate;
+use sa_core::replay;
+use sa_core::report::markdown_table;
+use sa_machine::MachineConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n: usize = 100_000;
+    let mut assert_speedup: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-speedup F"),
+                );
+            }
+            v => n = v.parse().expect("problem size N"),
+        }
+    }
+
+    // One pass of K18 at inner extent n: three stencil nests over
+    // (n+2)×8-element planes — the ROADMAP's "K18-style nest".
+    let kernel = sa_loops::k18_hydro2d::build(n);
+    let program = &kernel.program;
+    println!(
+        "K18-style nest, n = {n} ({} statement instances, {} array elements)\n",
+        program
+            .nests()
+            .map(|x| x.iteration_count() * x.body.len())
+            .sum::<usize>(),
+        program.total_elements(),
+    );
+
+    let configs = [
+        ("16 PEs, ps 32, cache", MachineConfig::new(16, 32)),
+        ("64 PEs, ps 32, cache", MachineConfig::new(64, 32)),
+        (
+            "64 PEs, ps 32, no cache",
+            MachineConfig::new(64, 32).with_cache_elems(0),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+    for (label, cfg) in &configs {
+        let t0 = Instant::now();
+        let sim = simulate(program, cfg).expect("interpreter");
+        let t_interp = t0.elapsed();
+
+        let t0 = Instant::now();
+        let rep = replay::counts(program, cfg).expect("replay");
+        let t_replay = t0.elapsed();
+
+        assert_eq!(rep.stats, sim.stats, "{label}: counts must be identical");
+        assert_eq!(rep.network_messages, sim.network_messages, "{label}");
+
+        let speedup = t_interp.as_secs_f64() / t_replay.as_secs_f64().max(1e-9);
+        min_speedup = min_speedup.min(speedup);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0} ms", t_interp.as_secs_f64() * 1e3),
+            format!("{:.1} ms", t_replay.as_secs_f64() * 1e3),
+            format!("{speedup:.1}×"),
+            format!("{:.2}%", rep.remote_pct()),
+        ]);
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &["config", "interpreter", "replay", "speedup", "remote"],
+            &rows
+        )
+    );
+
+    if let Some(floor) = assert_speedup {
+        if min_speedup < floor {
+            eprintln!("FAIL: minimum speedup {min_speedup:.1}× below the required {floor}×");
+            std::process::exit(1);
+        }
+        println!("\nOK: every speedup ≥ {floor}× (min {min_speedup:.1}×)");
+    }
+}

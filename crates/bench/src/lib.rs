@@ -4,17 +4,19 @@
 //! of the corresponding figure in the paper's evaluation (§7) and renders
 //! the same series as a markdown table plus an ASCII chart. Grids are
 //! built with the composable plan API (`sa_core::plan`) and evaluated by
-//! the counting-simulator oracle; figures *select* their series from the
+//! the auto-select counting oracle (`FastCountingOracle`: compiled access
+//! replay where the nest allows, interpreter fallback elsewhere — counts
+//! are bit-identical either way); figures *select* their series from the
 //! [`ResultSet`] by predicate, so a plan's axis order never changes what a
 //! table shows. The `figures` binary prints them; the criterion benches
-//! under `benches/` measure the simulator's wall-clock cost of
-//! regenerating each one.
+//! under `benches/` measure the wall-clock cost of regenerating each one.
 
 use sa_core::experiment::speedup_sweep;
 use sa_core::plan::{ExperimentPlan, RunConfig};
+use sa_core::replay::counts_or_simulate;
 use sa_core::report::{ascii_chart, fmt_pct, markdown_table};
 use sa_core::results::ResultSet;
-use sa_core::{simulate, CountingOracle, Oracle, TimingOracle};
+use sa_core::{FastCountingOracle, Oracle, TimingOracle};
 use sa_ir::Program;
 use sa_loops::{suite, Kernel};
 use sa_machine::{
@@ -46,7 +48,7 @@ pub fn remote_pct_figure_at(title: &str, program: &Program, pes: &[usize]) -> St
         .page_sizes(&PAGE_SIZES)
         .cache_flags(&[true, false])
         .pes(pes)
-        .run(program, &CountingOracle)
+        .run(program, &FastCountingOracle::default())
         .expect("paper kernels simulate cleanly");
     let mut rows = Vec::new();
     for &n in pes {
@@ -143,9 +145,9 @@ pub fn fig4() -> String {
 /// magnitude (~7k local reads per PE).
 pub fn fig5() -> String {
     let program = sa_loops::k18_hydro2d::build_with_passes(1022, 2).program;
-    let cached = simulate(&program, &MachineConfig::new(64, 32)).expect("sim");
+    let cached = counts_or_simulate(&program, &MachineConfig::new(64, 32)).expect("sim");
     let uncached =
-        simulate(&program, &MachineConfig::new(64, 32).with_cache_elems(0)).expect("sim");
+        counts_or_simulate(&program, &MachineConfig::new(64, 32).with_cache_elems(0)).expect("sim");
 
     let r_c = cached.stats.remote_reads_per_pe();
     let r_u = uncached.stats.remote_reads_per_pe();
@@ -201,7 +203,7 @@ pub fn summary() -> String {
     let results = ExperimentPlan::new()
         .kernels(&codes)
         .cache_flags(&[true, false])
-        .run_kernels(&programs(&kernels), &CountingOracle)
+        .run_kernels(&programs(&kernels), &FastCountingOracle::default())
         .expect("sim");
     let rows: Vec<Vec<String>> = kernels
         .iter()
@@ -270,7 +272,7 @@ pub fn ablation_partition() -> String {
     let results = ExperimentPlan::new()
         .kernels(&codes)
         .partitions(&schemes)
-        .run_kernels(&programs(&kernels), &CountingOracle)
+        .run_kernels(&programs(&kernels), &FastCountingOracle::default())
         .expect("sim");
     format!(
         "## Ablation: partitioning scheme (16 PEs, ps 32, cache on)\n\n{}",
@@ -295,7 +297,7 @@ pub fn ablation_cache() -> String {
     let results = ExperimentPlan::new()
         .kernels(&codes)
         .cache_elems(&sizes)
-        .run_kernels(&programs(&kernels), &CountingOracle)
+        .run_kernels(&programs(&kernels), &FastCountingOracle::default())
         .expect("sim");
     let headers: Vec<String> = std::iter::once("kernel".to_string())
         .chain(sizes.iter().map(|s| format!("cache {s}")))
@@ -315,7 +317,7 @@ pub fn ablation_pagesize() -> String {
     let results = ExperimentPlan::new()
         .kernels(&codes)
         .page_sizes(&sizes)
-        .run_kernels(&programs(&kernels), &CountingOracle)
+        .run_kernels(&programs(&kernels), &FastCountingOracle::default())
         .expect("sim");
     let headers: Vec<String> = std::iter::once("kernel".to_string())
         .chain(sizes.iter().map(|s| format!("ps {s}")))
@@ -339,7 +341,7 @@ pub fn ablation_policy() -> String {
     let results = ExperimentPlan::new()
         .kernels(&codes)
         .cache_policies(&policies)
-        .run_kernels(&programs(&kernels), &CountingOracle)
+        .run_kernels(&programs(&kernels), &FastCountingOracle::default())
         .expect("sim");
     format!(
         "## Ablation: replacement policy (16 PEs, ps 32, cache 256 elems)\n\n{}",
@@ -379,7 +381,7 @@ pub fn timing() -> String {
             NetworkTopology::Mesh2D,
             NetworkTopology::Hypercube,
         ])
-        .run_kernels(&programs(&kernels), &CountingOracle)
+        .run_kernels(&programs(&kernels), &FastCountingOracle::default())
         .expect("sim");
     let net_rows: Vec<Vec<String>> = results
         .records()

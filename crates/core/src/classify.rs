@@ -16,7 +16,8 @@
 use sa_ir::{AccessClass, Program};
 use sa_machine::MachineConfig;
 
-use crate::exec::{simulate, SimError};
+use crate::exec::SimError;
+use crate::replay::counts_or_simulate;
 
 /// Dynamic counterpart of [`AccessClass`] (no static skew payload).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,11 +74,14 @@ pub fn classify_dynamic(
     program: &Program,
     page_size: usize,
 ) -> Result<DynamicClassification, SimError> {
+    // Classification needs only remote percentages, so it measures through
+    // the compiled replay fast path (interpreter fallback for nests the
+    // replay cannot lower) — 8 simulations per kernel otherwise.
     let pes = [4usize, 8, 16, 32];
     let mut curve = Vec::with_capacity(pes.len());
     for &n in &pes {
-        let cached = simulate(program, &MachineConfig::new(n, page_size))?;
-        let uncached = simulate(
+        let cached = counts_or_simulate(program, &MachineConfig::new(n, page_size))?;
+        let uncached = counts_or_simulate(
             program,
             &MachineConfig::new(n, page_size).with_cache_elems(0),
         )?;

@@ -13,6 +13,11 @@
 //!   replays the execution with per-PE clocks, I-structure stalls on
 //!   not-yet-produced cells, network hop latencies and host-protocol
 //!   barriers, yielding estimated cycles and speedup curves.
+//! * [`replay`] — the compiled counting fast path: statically classifiable
+//!   loop nests are lowered to a per-PE arithmetic page-access model
+//!   (classify once per nest, count closed-form or per page run) that is
+//!   bit-identical to [`exec::simulate`] and sharded across host cores;
+//!   indirect/dynamic nests fall back to the interpreter.
 //! * [`classify`] — dynamic (measurement-based) access-class detection,
 //!   cross-checking the static classifier in `sa-ir`.
 //! * [`plan`] — the composable experiment layer: typed sweep axes crossed
@@ -40,6 +45,7 @@ pub mod experiment;
 pub mod oracle;
 pub mod parallel;
 pub mod plan;
+pub mod replay;
 pub mod report;
 pub mod results;
 pub mod screening;
@@ -50,10 +56,13 @@ pub use classify::{classify_dynamic, DynamicClassification};
 pub use deferred::{estimate_timing, TimingReport};
 pub use exec::{simulate, simulate_traced, SimError, SimReport};
 pub use experiment::{pe_sweep, SweepConfig, SweepPoint};
-pub use oracle::{CountingOracle, Oracle, OracleError, RunRecord, TimingOracle};
+pub use oracle::{
+    CountingOracle, Engine, FastCountingOracle, Oracle, OracleError, RunRecord, TimingOracle,
+};
 pub use parallel::par_map;
 pub use plan::{Axis, ExperimentPlan, PlanError, RunConfig};
+pub use replay::{CountEngine, CountReport, ReplayError};
 pub use results::{Column, ResultSet};
 pub use screening::PartitionMap;
-pub use search::{search, BestConfig, SearchSpace};
+pub use search::{search, search_with, BestConfig, Objective, SearchSpace};
 pub use verify::verify_against_reference;

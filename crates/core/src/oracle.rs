@@ -5,20 +5,27 @@
 //! hold a `&dyn Oracle` and swap backends without re-monomorphizing the
 //! sweep machinery:
 //!
-//! * [`CountingOracle`] — the default: the paper's access-counting
-//!   simulator ([`crate::exec::simulate`]).
+//! * [`CountingOracle`] — the paper's access-counting simulator
+//!   ([`crate::exec::simulate`]), always interpreting.
+//! * [`FastCountingOracle`] — the same counts through a selectable
+//!   [`Engine`]: the compiled access replay ([`crate::replay`]), the
+//!   interpreter, or `auto` (replay when statically classifiable, falling
+//!   back to the interpreter per program — the default everywhere counts
+//!   are all that is needed).
 //! * [`TimingOracle`] — the §9 execution-time extension
-//!   ([`crate::deferred::estimate_timing`]); fills [`RunRecord::cycles`].
+//!   ([`crate::deferred::estimate_timing`]); fills [`RunRecord::cycles`]
+//!   (cycle estimation needs the full trace, so it always interprets).
 //! * `sa-runtime`'s thread-backed oracle — lives in that crate (it depends
 //!   on this one) and implements [`Oracle`] over real worker threads,
 //!   reporting [`OracleError::Unsupported`] for knobs the runtime lacks.
 
 use sa_ir::Program;
-use sa_machine::AccessCosts;
+use sa_machine::{load_balance, AccessCosts, Stats};
 
 use crate::deferred::{estimate_timing_from_trace, TimingError};
 use crate::exec::{simulate, simulate_traced, SimError};
 use crate::plan::RunConfig;
+use crate::replay::{self, CountReport, ReplayError};
 
 /// One measured grid point: the config that produced it plus every counter
 /// the report layer might select.
@@ -46,8 +53,39 @@ pub struct RunRecord {
     pub hops: u64,
     /// Heaviest directed-link traffic (0 without a network model).
     pub max_link_load: u64,
+    /// Jain fairness index of the per-PE write distribution (1 = perfectly
+    /// balanced compute, `1/n_pes` = everything on one PE). Writes are one
+    /// per statement instance under owner-computes, so this measures how
+    /// evenly the *work* spread — the search objective's imbalance signal.
+    pub write_balance: f64,
     /// Estimated execution cycles — only timing-capable oracles fill this.
     pub cycles: Option<u64>,
+}
+
+/// [`RunRecord::write_balance`] for a stats block.
+fn write_balance_of(stats: &Stats) -> f64 {
+    load_balance(&stats.writes_per_pe()).jain
+}
+
+/// The one place a [`CountReport`] maps onto [`RunRecord`] fields — every
+/// counting-style oracle builds on this, so a new counter is threaded
+/// through a single construction site.
+fn record_of(cfg: &RunConfig, rep: &CountReport, cycles: Option<u64>) -> RunRecord {
+    RunRecord {
+        cfg: cfg.clone(),
+        remote_pct: rep.remote_pct(),
+        cached_pct: rep.stats.cached_read_pct(),
+        writes: rep.stats.writes(),
+        local_reads: rep.stats.local_reads(),
+        cached_reads: rep.stats.cached_reads(),
+        remote_reads: rep.stats.remote_reads(),
+        total_reads: rep.stats.total_reads(),
+        messages: rep.network_messages,
+        hops: rep.network_hops,
+        max_link_load: rep.max_link_load,
+        write_balance: write_balance_of(&rep.stats),
+        cycles,
+    }
 }
 
 /// Why one grid point failed to measure.
@@ -114,20 +152,86 @@ impl Oracle for CountingOracle {
 
     fn measure(&self, program: &Program, cfg: &RunConfig) -> Result<RunRecord, OracleError> {
         let rep = simulate(program, &cfg.machine())?;
-        Ok(RunRecord {
-            cfg: cfg.clone(),
-            remote_pct: rep.remote_pct(),
-            cached_pct: rep.stats.cached_read_pct(),
-            writes: rep.stats.writes(),
-            local_reads: rep.stats.local_reads(),
-            cached_reads: rep.stats.cached_reads(),
-            remote_reads: rep.stats.remote_reads(),
-            total_reads: rep.stats.total_reads(),
-            messages: rep.network_messages,
-            hops: rep.network_hops,
-            max_link_load: rep.max_link_load,
-            cycles: None,
-        })
+        Ok(record_of(cfg, &CountReport::from_sim(&rep), None))
+    }
+}
+
+/// Which counting backend a [`FastCountingOracle`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Always interpret ([`crate::exec::simulate`]): slow, but supports
+    /// everything including partial-page refetch accounting.
+    Interp,
+    /// Always use the compiled replay ([`crate::replay::counts`]); grid
+    /// points it cannot lower fail with [`OracleError::Unsupported`].
+    Replay,
+    /// Replay when statically classifiable, interpreter otherwise — the
+    /// recommended default. Debug builds cross-check small replayable runs
+    /// against the interpreter before trusting them.
+    #[default]
+    Auto,
+}
+
+impl Engine {
+    /// Parse a CLI engine name.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "interp" => Some(Engine::Interp),
+            "replay" => Some(Engine::Replay),
+            "auto" => Some(Engine::Auto),
+            _ => None,
+        }
+    }
+
+    /// Stable name (`interp` / `replay` / `auto`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Interp => "interp",
+            Engine::Replay => "replay",
+            Engine::Auto => "auto",
+        }
+    }
+}
+
+/// The counting oracle with a selectable [`Engine`] — the auto-select mode
+/// is what plans, searches, the figure harness and the CLI use by default,
+/// making the whole figure grid pay replay cost instead of interpretation
+/// cost wherever the program allows it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastCountingOracle {
+    /// Backend selection policy.
+    pub engine: Engine,
+}
+
+impl FastCountingOracle {
+    /// An oracle pinned to `engine`.
+    pub fn with_engine(engine: Engine) -> Self {
+        FastCountingOracle { engine }
+    }
+}
+
+impl Oracle for FastCountingOracle {
+    fn name(&self) -> &'static str {
+        match self.engine {
+            Engine::Interp => "counting-interp",
+            Engine::Replay => "counting-replay",
+            Engine::Auto => "counting-auto",
+        }
+    }
+
+    fn measure(&self, program: &Program, cfg: &RunConfig) -> Result<RunRecord, OracleError> {
+        let machine = cfg.machine();
+        let rep = match self.engine {
+            Engine::Interp => return CountingOracle.measure(program, cfg),
+            Engine::Replay => replay::counts(program, &machine).map_err(|e| match e {
+                ReplayError::Config(c) => {
+                    OracleError::Sim(SimError::Machine(sa_machine::MachineError::BadConfig(c)))
+                }
+                e @ ReplayError::Unsupported { .. } => OracleError::Unsupported(e.to_string()),
+            })?,
+            Engine::Auto => replay::counts_or_simulate(program, &machine)?,
+        };
+        Ok(record_of(cfg, &rep, None))
     }
 }
 
@@ -159,20 +263,11 @@ impl Oracle for TimingOracle {
         let rep = simulate_traced(program, &machine)?;
         let trace = rep.trace.as_ref().expect("simulate_traced always captures");
         let timing = estimate_timing_from_trace(program, trace, machine.costs)?;
-        Ok(RunRecord {
-            cfg: cfg.clone(),
-            remote_pct: rep.remote_pct(),
-            cached_pct: rep.stats.cached_read_pct(),
-            writes: rep.stats.writes(),
-            local_reads: rep.stats.local_reads(),
-            cached_reads: rep.stats.cached_reads(),
-            remote_reads: rep.stats.remote_reads(),
-            total_reads: rep.stats.total_reads(),
-            messages: rep.network_messages,
-            hops: rep.network_hops,
-            max_link_load: rep.max_link_load,
-            cycles: Some(timing.total_cycles),
-        })
+        Ok(record_of(
+            cfg,
+            &CountReport::from_sim(&rep),
+            Some(timing.total_cycles),
+        ))
     }
 }
 
@@ -220,11 +315,89 @@ mod tests {
 
     #[test]
     fn oracles_are_object_safe() {
-        let oracles: Vec<Box<dyn Oracle>> =
-            vec![Box::new(CountingOracle), Box::new(TimingOracle::default())];
+        let oracles: Vec<Box<dyn Oracle>> = vec![
+            Box::new(CountingOracle),
+            Box::new(TimingOracle::default()),
+            Box::new(FastCountingOracle::default()),
+        ];
         let p = tiny();
         for o in &oracles {
             assert!(o.measure(&p, &RunConfig::default()).is_ok());
         }
+    }
+
+    #[test]
+    fn fast_oracle_engines_agree_with_the_interpreter() {
+        let p = tiny();
+        let cfg = RunConfig {
+            n_pes: 4,
+            ..RunConfig::default()
+        };
+        let interp = CountingOracle.measure(&p, &cfg).unwrap();
+        for engine in [Engine::Interp, Engine::Replay, Engine::Auto] {
+            let fast = FastCountingOracle::with_engine(engine)
+                .measure(&p, &cfg)
+                .unwrap();
+            assert_eq!(fast, interp, "engine {}", engine.name());
+        }
+        assert_eq!(FastCountingOracle::default().name(), "counting-auto");
+        assert_eq!(
+            FastCountingOracle::with_engine(Engine::Replay).name(),
+            "counting-replay"
+        );
+    }
+
+    #[test]
+    fn engine_names_parse_round_trip() {
+        for engine in [Engine::Interp, Engine::Replay, Engine::Auto] {
+            assert_eq!(Engine::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(Engine::parse("warp"), None);
+        assert_eq!(Engine::default(), Engine::Auto);
+    }
+
+    #[test]
+    fn strict_replay_engine_rejects_unsupported_configs() {
+        let p = tiny();
+        let cfg = RunConfig {
+            partial_pages: sa_machine::PartialPagePolicy::Refetch,
+            ..RunConfig::default()
+        };
+        assert!(matches!(
+            FastCountingOracle::with_engine(Engine::Replay).measure(&p, &cfg),
+            Err(OracleError::Unsupported(_))
+        ));
+        // Auto measures the same point through the interpreter instead.
+        let auto = FastCountingOracle::default().measure(&p, &cfg).unwrap();
+        let interp = CountingOracle.measure(&p, &cfg).unwrap();
+        assert_eq!(auto, interp);
+    }
+
+    #[test]
+    fn write_balance_reflects_compute_distribution() {
+        let p = tiny(); // 128 elements
+                        // Evenly spread across 4 PEs at ps 32: Jain index 1.
+        let even = CountingOracle
+            .measure(
+                &p,
+                &RunConfig {
+                    n_pes: 4,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+        assert!((even.write_balance - 1.0).abs() < 1e-12);
+        // Page size 256 puts the whole array on one of 4 PEs: Jain 1/4.
+        let degenerate = CountingOracle
+            .measure(
+                &p,
+                &RunConfig {
+                    n_pes: 4,
+                    page_size: 256,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+        assert!((degenerate.write_balance - 0.25).abs() < 1e-12);
     }
 }

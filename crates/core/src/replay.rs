@@ -1,0 +1,1708 @@
+//! Compiled access-pattern replay: the counting fast path.
+//!
+//! [`crate::exec::simulate`] re-interprets the IR statement by statement for
+//! every iteration — expression trees are walked, addresses are resolved
+//! through `Vec`-allocating index paths, and every element is read from a
+//! value store — even though the paper's figures need only the *counts* of
+//! each access class. For the common case of the Livermore suite (affine
+//! anchors, affine or statically-indirect subscripts) the page-ownership
+//! pattern of a whole loop nest is decidable once, so this module lowers
+//! each [`Phase::Loop`] into a per-PE arithmetic page-access model:
+//! classify once per nest, then count local/cached/remote reads, page
+//! fetches, messages, hops and link loads with a tight per-page loop
+//! instead of per-iteration interpretation.
+//!
+//! # Soundness
+//!
+//! The counts produced here are **bit-identical** to [`simulate`]'s
+//! (`tests/replay_vs_interp.rs` proves it differentially for the full suite
+//! across the figure grid, plus proptest-generated random affine nests):
+//!
+//! * **Static placement** — owner-computes maps every statement instance to
+//!   the PE owning its anchor element, a pure function of the iteration
+//!   vector for affine anchors (and of statically-initialized index arrays
+//!   for gathers). No value ever influences *where* an access happens.
+//! * **Single assignment ⇒ order-independent counts** — a cached page can
+//!   never be invalidated by a write, so each PE's cache state depends only
+//!   on that PE's own access subsequence, whose relative order the global
+//!   lexicographic order preserves. Replaying PE *p*'s subsequence alone
+//!   (pages, not values) therefore reproduces *p*'s exact local / cached /
+//!   remote classification, LRU/FIFO/Random evictions included.
+//! * **Additive accounting** — network messages, hops and per-link loads
+//!   are sums over fetch events, so per-PE shards merge
+//!   ([`Network::merge`]) into exactly the totals of a sequential pass.
+//!
+//! The per-PE shards are independent, so they are fanned out across host
+//! cores via [`par_map`] — a single 64-PE K18 run saturates the machine
+//! (the ROADMAP's intra-simulation sharding item).
+//!
+//! # Fallback
+//!
+//! Nests this model cannot express fall back to the interpreter:
+//!
+//! * gathers through *dynamically produced* index arrays (the base array is
+//!   written or re-initialized somewhere in the program), and
+//! * [`PartialPagePolicy::Refetch`] configurations, whose refetch counts
+//!   depend on the cross-PE interleaving of writes and reads.
+//!
+//! [`counts`] reports these as [`ReplayError::Unsupported`];
+//! [`counts_or_simulate`] transparently falls back to [`simulate`], so a
+//! mixed program still measures correctly through
+//! [`crate::oracle::FastCountingOracle`]'s `auto` engine. In debug builds
+//! the auto path additionally cross-checks replay against the interpreter
+//! on small runs before trusting it (see [`counts_or_simulate`]).
+//!
+//! Replay assumes a *valid* program (one [`simulate`] would accept): it
+//! performs no bounds, definedness or double-write checking, exactly
+//! because those checks are what make interpretation slow.
+
+use sa_ir::analysis::{anchor_ref, linear_address_form};
+use sa_ir::index::IndexExpr;
+use sa_ir::nest::{ArrayRef, LoopVar, Stmt};
+use sa_ir::program::{ArrayInit, Phase};
+use sa_ir::Program;
+use sa_machine::host::run_reinit_protocol;
+use sa_machine::{
+    host_of, pages_in, CachePolicy, ConfigError, MachineConfig, Network, PageKey,
+    PartialPagePolicy, PartitionScheme, PeCounters, Stats,
+};
+
+use crate::exec::{simulate, SimError, SimReport};
+use crate::parallel::par_map;
+
+/// Which engine produced a [`CountReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountEngine {
+    /// The compiled per-PE access replay of this module.
+    Replay,
+    /// The statement-by-statement interpreter ([`simulate`]).
+    Interp,
+}
+
+impl CountEngine {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CountEngine::Replay => "replay",
+            CountEngine::Interp => "interp",
+        }
+    }
+}
+
+/// Access statistics of one run — [`SimReport`] minus values and traces
+/// (which counting does not need and replay does not produce).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountReport {
+    /// Which engine measured this run.
+    pub engine: CountEngine,
+    /// Machine-wide access statistics.
+    pub stats: Stats,
+    /// `(nest label, stats for that nest alone)`.
+    pub per_nest: Vec<(String, Stats)>,
+    /// Total network messages (page fetches ×2 + host protocol + reductions).
+    pub network_messages: u64,
+    /// Total hop traversals.
+    pub network_hops: u64,
+    /// Heaviest directed-link traffic (contention bottleneck).
+    pub max_link_load: u64,
+}
+
+impl CountReport {
+    /// The paper's *% of Reads Remote* (0 when no reads occurred).
+    pub fn remote_pct(&self) -> f64 {
+        self.stats.remote_read_pct()
+    }
+
+    /// Strip a full simulation report down to its counts.
+    pub fn from_sim(rep: &SimReport) -> CountReport {
+        CountReport {
+            engine: CountEngine::Interp,
+            stats: rep.stats.clone(),
+            per_nest: rep.per_nest.clone(),
+            network_messages: rep.network_messages,
+            network_hops: rep.network_hops,
+            max_link_load: rep.max_link_load,
+        }
+    }
+}
+
+/// Why a program could not be lowered to the replay model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The machine configuration itself is invalid.
+    Config(ConfigError),
+    /// Some nest (or config knob) needs the interpreter.
+    Unsupported {
+        /// Label of the offending nest (`"<config>"` for config knobs).
+        nest: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReplayError::Config(e) => write!(f, "bad machine config: {e}"),
+            ReplayError::Unsupported { nest, reason } => {
+                write!(f, "replay cannot lower `{nest}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+// ---------------------------------------------------------------------------
+// Compiled form
+// ---------------------------------------------------------------------------
+
+/// Linear address function `coeffs · ivs + offset` (strides folded in).
+#[derive(Debug, Clone)]
+struct LinForm {
+    coeffs: Vec<i64>,
+    offset: i64,
+}
+
+impl LinForm {
+    /// `(base, step)` of the address along the innermost loop for one outer
+    /// block: `addr(t) = base + step · t` where `t` counts inner iterations.
+    /// `inner` is `None` for zero-depth nests (single instance, step 0).
+    fn block(&self, outer: &[i64], inner: Option<(usize, i64, i64)>) -> (i64, i64) {
+        let mut base = self.offset;
+        for (v, &iv) in outer.iter().enumerate() {
+            base += self.coeffs.get(v).copied().unwrap_or(0) * iv;
+        }
+        match inner {
+            None => (base, 0),
+            Some((var, lo, step)) => {
+                let c = self.coeffs.get(var).copied().unwrap_or(0);
+                (base + c * lo, c * step)
+            }
+        }
+    }
+}
+
+/// One dimension of a gather reference.
+#[derive(Debug, Clone)]
+enum DimIdx {
+    /// Affine *index value* for this dimension.
+    Affine(LinForm),
+    /// `scale * base[pos] + offset` through a statically-initialized index
+    /// array whose (truncated) values are in `Compiled::index_values`.
+    Indirect {
+        base: usize,
+        pos: LinForm,
+        scale: i64,
+        offset: i64,
+    },
+}
+
+/// A reference with at least one indirect dimension.
+#[derive(Debug, Clone)]
+struct GatherRef {
+    array: usize,
+    strides: Vec<i64>,
+    dims: Vec<DimIdx>,
+}
+
+/// One charged read, in the interpreter's evaluation order.
+#[derive(Debug, Clone)]
+enum ReadAccess {
+    /// All-affine reference: one element load.
+    Affine { array: usize, form: LinForm },
+    /// Gather: one index load per indirect dimension, then the element.
+    Gather(GatherRef),
+}
+
+/// How a statement instance finds its executing PE.
+#[derive(Debug, Clone)]
+enum Anchor {
+    /// Affine anchor: owner of `form(ivs)` in `array`.
+    Affine { array: usize, form: LinForm },
+    /// Indirect anchor, resolved (uncharged, like the interpreter's peek)
+    /// through static index values.
+    Gather(GatherRef),
+    /// Anchorless reduction: dealt round-robin by the global counter;
+    /// `slot` is this statement's index among the nest's anchorless ones.
+    RoundRobin { slot: usize },
+}
+
+#[derive(Debug, Clone)]
+struct CStmt {
+    anchor: Anchor,
+    /// RHS reads in evaluation order.
+    reads: Vec<ReadAccess>,
+    /// Index loads of an indirect *assign target*, charged after the RHS.
+    target_loads: Vec<(usize, LinForm)>,
+    /// Assigns perform one write per instance.
+    writes: bool,
+    /// Reduce statements participate in slot `reduce_slot` of the nest.
+    reduce_slot: Option<usize>,
+    /// Any gather among the reads — disables the bulk per-page-run path.
+    has_gather: bool,
+}
+
+#[derive(Debug, Clone)]
+struct CNest {
+    label: String,
+    loops: Vec<LoopVar>,
+    body: Vec<CStmt>,
+    /// Scalar id per reduce slot, in body order.
+    reduce_scalars: Vec<usize>,
+    /// Global anchorless-instance counter value at nest entry.
+    rr_base: u64,
+    /// Anchorless statements per iteration of this nest.
+    rr_width: u64,
+}
+
+#[derive(Debug, Clone)]
+enum CPhase {
+    Loop(usize),
+    Reinit(usize),
+}
+
+#[derive(Debug)]
+struct Compiled {
+    phases: Vec<CPhase>,
+    nests: Vec<CNest>,
+    array_pages: Vec<usize>,
+    /// Truncated (`as i64`) static values per gather base array; empty for
+    /// arrays never used as a gather base.
+    index_values: Vec<Vec<i64>>,
+}
+
+fn compile(program: &Program, cfg: &MachineConfig) -> Result<Compiled, ReplayError> {
+    cfg.validate().map_err(ReplayError::Config)?;
+    if cfg.partial_pages == PartialPagePolicy::Refetch {
+        return Err(ReplayError::Unsupported {
+            nest: "<config>".into(),
+            reason: "partial-page refetch counts depend on cross-PE write/read interleaving".into(),
+        });
+    }
+
+    // Arrays whose contents change during execution cannot back a gather.
+    let mut dynamic = vec![false; program.arrays.len()];
+    for phase in &program.phases {
+        match phase {
+            Phase::Reinit(id) => dynamic[id.0] = true,
+            Phase::Loop(nest) => {
+                for a in nest.written_arrays() {
+                    dynamic[a.0] = true;
+                }
+            }
+        }
+    }
+
+    let mut index_values: Vec<Vec<i64>> = vec![Vec::new(); program.arrays.len()];
+    let mut phases = Vec::with_capacity(program.phases.len());
+    let mut nests = Vec::new();
+    let mut rr_base = 0u64;
+
+    for phase in &program.phases {
+        match phase {
+            Phase::Reinit(id) => phases.push(CPhase::Reinit(id.0)),
+            Phase::Loop(nest) => {
+                let nvars = nest.loops.len();
+                let mut body = Vec::with_capacity(nest.body.len());
+                let mut reduce_scalars = Vec::new();
+                let mut rr_width = 0u64;
+                for stmt in &nest.body {
+                    let anchor = match anchor_ref(stmt) {
+                        None => {
+                            rr_width += 1;
+                            Anchor::RoundRobin {
+                                slot: (rr_width - 1) as usize,
+                            }
+                        }
+                        Some(aref) => match compile_ref(
+                            program,
+                            &nest.label,
+                            aref,
+                            nvars,
+                            &dynamic,
+                            &mut index_values,
+                        )? {
+                            ReadAccess::Affine { array, form } => Anchor::Affine { array, form },
+                            ReadAccess::Gather(g) => Anchor::Gather(g),
+                        },
+                    };
+                    let mut reads = Vec::new();
+                    for aref in stmt.reads() {
+                        reads.push(compile_ref(
+                            program,
+                            &nest.label,
+                            aref,
+                            nvars,
+                            &dynamic,
+                            &mut index_values,
+                        )?);
+                    }
+                    let mut target_loads = Vec::new();
+                    if let Stmt::Assign { target, .. } = stmt {
+                        for ix in &target.indices {
+                            if let IndexExpr::Indirect { base, pos, .. } = ix {
+                                target_loads.push((
+                                    base.0,
+                                    LinForm {
+                                        coeffs: pos.coeffs_padded(nvars),
+                                        offset: pos.offset,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    let reduce_slot = match stmt {
+                        Stmt::Reduce { target, .. } => {
+                            reduce_scalars.push(target.0);
+                            Some(reduce_scalars.len() - 1)
+                        }
+                        Stmt::Assign { .. } => None,
+                    };
+                    let has_gather = reads.iter().any(|r| matches!(r, ReadAccess::Gather(_)));
+                    body.push(CStmt {
+                        anchor,
+                        reads,
+                        target_loads,
+                        writes: matches!(stmt, Stmt::Assign { .. }),
+                        reduce_slot,
+                        has_gather,
+                    });
+                }
+                let cn = CNest {
+                    label: nest.label.clone(),
+                    loops: nest.loops.clone(),
+                    body,
+                    reduce_scalars,
+                    rr_base,
+                    rr_width,
+                };
+                rr_base += rr_width * nest.iteration_count() as u64;
+                phases.push(CPhase::Loop(nests.len()));
+                nests.push(cn);
+            }
+        }
+    }
+
+    Ok(Compiled {
+        phases,
+        nests,
+        array_pages: program
+            .arrays
+            .iter()
+            .map(|d| pages_in(d.len(), cfg.page_size))
+            .collect(),
+        index_values,
+    })
+}
+
+fn compile_ref(
+    program: &Program,
+    nest_label: &str,
+    aref: &ArrayRef,
+    nvars: usize,
+    dynamic: &[bool],
+    index_values: &mut [Vec<i64>],
+) -> Result<ReadAccess, ReplayError> {
+    if let Some((coeffs, offset)) = linear_address_form(program, aref, nvars) {
+        return Ok(ReadAccess::Affine {
+            array: aref.array.0,
+            form: LinForm { coeffs, offset },
+        });
+    }
+    let decl = program.array(aref.array);
+    let strides: Vec<i64> = decl.strides().iter().map(|&s| s as i64).collect();
+    let mut dims = Vec::with_capacity(aref.indices.len());
+    for ix in &aref.indices {
+        match ix {
+            IndexExpr::Affine(a) => dims.push(DimIdx::Affine(LinForm {
+                coeffs: a.coeffs_padded(nvars),
+                offset: a.offset,
+            })),
+            IndexExpr::Indirect {
+                base,
+                pos,
+                scale,
+                offset,
+            } => {
+                let base_decl = program.array(*base);
+                if dynamic[base.0] {
+                    return Err(ReplayError::Unsupported {
+                        nest: nest_label.to_string(),
+                        reason: format!(
+                            "gather through dynamically produced index array `{}`",
+                            base_decl.name
+                        ),
+                    });
+                }
+                let ArrayInit::Full(pattern) = base_decl.init else {
+                    return Err(ReplayError::Unsupported {
+                        nest: nest_label.to_string(),
+                        reason: format!(
+                            "index array `{}` is not fully statically initialized",
+                            base_decl.name
+                        ),
+                    });
+                };
+                if index_values[base.0].is_empty() {
+                    index_values[base.0] = pattern
+                        .materialize(base_decl.len())
+                        .into_iter()
+                        .map(|v| v as i64)
+                        .collect();
+                }
+                dims.push(DimIdx::Indirect {
+                    base: base.0,
+                    pos: LinForm {
+                        coeffs: pos.coeffs_padded(nvars),
+                        offset: pos.offset,
+                    },
+                    scale: *scale,
+                    offset: *offset,
+                });
+            }
+        }
+    }
+    Ok(ReadAccess::Gather(GatherRef {
+        array: aref.array.0,
+        strides,
+        dims,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Per-PE execution
+// ---------------------------------------------------------------------------
+
+/// Per-nest, per-PE access tallies.
+#[derive(Debug, Clone, Copy, Default)]
+struct NestTally {
+    writes: u64,
+    local: u64,
+    cached: u64,
+    remote: u64,
+    page_fetches: u64,
+    reduction_messages: u64,
+}
+
+/// One PE's contribution to the run.
+#[derive(Debug)]
+struct Shard {
+    nest_tallies: Vec<NestTally>,
+    net: Network,
+}
+
+/// A drop-in replacement for [`PageCache`] with identical observable
+/// semantics under `PartialPagePolicy::Ignore`, backed by a linear-scan
+/// vector instead of a `HashMap` — page capacities are small (the paper's
+/// 256-element cache holds 8 pages), so a scan beats hashing by ~10×, and
+/// cache probes are the replay engine's hottest non-arithmetic operation.
+///
+/// Exact-equivalence notes (differential tests enforce these):
+/// * `tick` advances once per probe and once per insert, like
+///   `PageCache`; only the *relative order* of stamps is observable (via
+///   eviction choice), and both implementations assign identical orders.
+/// * LRU refreshes the stamp on hit; FIFO/Random do not.
+/// * LRU/FIFO evict the minimum stamp (stamps are unique).
+/// * Random advances the same xorshift64* state per eviction and picks
+///   the same victim over the ascending key list.
+#[derive(Debug, Clone)]
+struct ReplayCache {
+    capacity: usize,
+    policy: CachePolicy,
+    entries: Vec<(PageKey, u64)>,
+    tick: u64,
+    rng: u64,
+}
+
+impl ReplayCache {
+    fn new(capacity_pages: usize, policy: CachePolicy) -> Self {
+        let rng = match policy {
+            CachePolicy::Random { seed } => seed | 1,
+            _ => 1,
+        };
+        ReplayCache {
+            capacity: capacity_pages,
+            policy,
+            entries: Vec::with_capacity(capacity_pages),
+            tick: 0,
+            rng,
+        }
+    }
+
+    /// Probe for `key`; true on hit (LRU refreshes recency).
+    #[inline]
+    fn probe(&mut self, key: PageKey) -> bool {
+        self.tick += 1;
+        let lru = matches!(self.policy, CachePolicy::Lru);
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(e) => {
+                if lru {
+                    e.1 = self.tick;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, key: PageKey) -> bool {
+        self.entries.iter().any(|(k, _)| *k == key)
+    }
+
+    fn insert(&mut self, key: PageKey) {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = self.tick;
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.entries.push((key, self.tick));
+    }
+
+    fn evict_one(&mut self) {
+        let victim = match self.policy {
+            CachePolicy::Lru | CachePolicy::Fifo => self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(i, _)| i),
+            CachePolicy::Random { .. } => {
+                // xorshift64* over the *sorted* key list — bit-for-bit the
+                // victim `PageCache::evict_one` picks.
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                let n = self.entries.len() as u64;
+                let pick = (self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) % n) as usize;
+                let mut keys: Vec<PageKey> = self.entries.iter().map(|(k, _)| *k).collect();
+                keys.sort_unstable();
+                let victim_key = keys[pick];
+                self.entries.iter().position(|(k, _)| *k == victim_key)
+            }
+        };
+        if let Some(i) = victim {
+            self.entries.swap_remove(i);
+        }
+    }
+
+    fn invalidate_array(&mut self, array: usize) {
+        self.entries.retain(|(k, _)| k.array != array);
+    }
+}
+
+/// One non-local page run of one affine read: iterations `[t0, t1)` all
+/// touch `page` of `array`, owned by `owner`.
+#[derive(Debug, Clone, Copy)]
+struct ProbeRun {
+    t0: usize,
+    t1: usize,
+    array: usize,
+    page: usize,
+    owner: usize,
+}
+
+/// Floor division for a positive divisor.
+fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a < 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division for a positive divisor.
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a > 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Per-block address forms of one statement, aligned with its `CStmt`.
+struct StmtForms {
+    /// Per-read forms: one `(base, step)` per affine read, one per gather
+    /// dimension for gather reads.
+    reads: Vec<Vec<(i64, i64)>>,
+    /// Forms of the indirect-target index loads.
+    target_loads: Vec<(i64, i64)>,
+    /// Owned inner iterations, as disjoint ascending `(start, end)` ranges.
+    segs: Vec<(usize, usize)>,
+}
+
+struct Worker<'a> {
+    cp: &'a Compiled,
+    pe: usize,
+    n_pes: usize,
+    ps: usize,
+    scheme: PartitionScheme,
+    cache_on: bool,
+    lru: bool,
+    cache: ReplayCache,
+    net: Network,
+    gens: Vec<u32>,
+    cur: NestTally,
+    participation: Vec<bool>,
+    // Scratch buffers reused across the (very many) bulk windows.
+    scratch_probes: Vec<ProbeRun>,
+    scratch_cuts: Vec<usize>,
+    scratch_runs: Vec<ProbeRun>,
+}
+
+impl<'a> Worker<'a> {
+    fn new(cp: &'a Compiled, cfg: &MachineConfig, pe: usize) -> Self {
+        Worker {
+            cp,
+            pe,
+            n_pes: cfg.n_pes,
+            ps: cfg.page_size,
+            scheme: cfg.partition,
+            cache_on: cfg.cache_enabled(),
+            lru: cfg.cache_policy == sa_machine::CachePolicy::Lru,
+            cache: ReplayCache::new(cfg.cache_pages(), cfg.cache_policy),
+            net: Network::new(cfg.network, cfg.n_pes),
+            gens: vec![0; cp.array_pages.len()],
+            cur: NestTally::default(),
+            participation: Vec::new(),
+            scratch_probes: Vec::new(),
+            scratch_cuts: Vec::new(),
+            scratch_runs: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Shard {
+        let cp = self.cp;
+        let mut nest_tallies = vec![NestTally::default(); cp.nests.len()];
+        for phase in &cp.phases {
+            match phase {
+                CPhase::Reinit(a) => {
+                    self.gens[*a] += 1;
+                    self.cache.invalidate_array(*a);
+                }
+                CPhase::Loop(i) => {
+                    self.cur = NestTally::default();
+                    self.replay_nest(&cp.nests[*i]);
+                    nest_tallies[*i] = self.cur;
+                }
+            }
+        }
+        Shard {
+            nest_tallies,
+            net: self.net,
+        }
+    }
+
+    fn owner_of(&self, array: usize, addr: i64) -> usize {
+        debug_assert!(addr >= 0, "negative address in replay (invalid program)");
+        let page = addr as usize / self.ps;
+        self.scheme
+            .owner(page, self.cp.array_pages[array], self.n_pes)
+    }
+
+    /// Charge one element read exactly as `DistributedMachine::read` would.
+    fn charge_read(&mut self, array: usize, addr: i64) {
+        let owner = self.owner_of(array, addr);
+        if owner == self.pe {
+            self.cur.local += 1;
+            return;
+        }
+        if self.cache_on {
+            let page = addr as usize / self.ps;
+            let key = PageKey {
+                array,
+                page,
+                generation: self.gens[array],
+            };
+            // Offset is irrelevant under `Ignore` partial-page semantics
+            // (the only policy replay supports).
+            if self.cache.probe(key) {
+                self.cur.cached += 1;
+                return;
+            }
+            self.cache.insert(key);
+        }
+        self.net.record_fetch(self.pe, owner);
+        self.cur.remote += 1;
+        self.cur.page_fetches += 1;
+    }
+
+    /// Element address of a gather at inner iteration `t` (uncharged).
+    fn gather_addr(&self, g: &GatherRef, dims: &[(i64, i64)], t: i64) -> i64 {
+        let mut addr = 0i64;
+        for (d, dim) in g.dims.iter().enumerate() {
+            let (base_v, step_v) = dims[d];
+            let idx = match dim {
+                DimIdx::Affine(_) => base_v + step_v * t,
+                DimIdx::Indirect {
+                    base,
+                    scale,
+                    offset,
+                    ..
+                } => {
+                    let pos = base_v + step_v * t;
+                    debug_assert!(pos >= 0, "negative gather position");
+                    scale * self.cp.index_values[*base][pos as usize] + offset
+                }
+            };
+            addr += g.strides[d] * idx;
+        }
+        addr
+    }
+
+    /// Charge every access of `stmt` at inner iteration `t`.
+    fn charge_stmt(&mut self, stmt: &CStmt, forms: &StmtForms, t: i64) {
+        for (read, rf) in stmt.reads.iter().zip(&forms.reads) {
+            match read {
+                ReadAccess::Affine { array, .. } => {
+                    let (b, a) = rf[0];
+                    self.charge_read(*array, b + a * t);
+                }
+                ReadAccess::Gather(g) => {
+                    // Index loads charge in dimension order, then the
+                    // element — exactly `EvalCtx::resolve_addr` + `load`.
+                    let mut addr = 0i64;
+                    for (d, dim) in g.dims.iter().enumerate() {
+                        let (base_v, step_v) = rf[d];
+                        let idx = match dim {
+                            DimIdx::Affine(_) => base_v + step_v * t,
+                            DimIdx::Indirect {
+                                base,
+                                scale,
+                                offset,
+                                ..
+                            } => {
+                                let pos = base_v + step_v * t;
+                                self.charge_read(*base, pos);
+                                scale * self.cp.index_values[*base][pos as usize] + offset
+                            }
+                        };
+                        addr += g.strides[d] * idx;
+                    }
+                    self.charge_read(g.array, addr);
+                }
+            }
+        }
+        for ((base, _), &(b, a)) in stmt.target_loads.iter().zip(&forms.target_loads) {
+            self.charge_read(*base, b + a * t);
+        }
+        if stmt.writes {
+            self.cur.writes += 1;
+        }
+        if let Some(slot) = stmt.reduce_slot {
+            self.participation[slot] = true;
+        }
+    }
+
+    fn replay_nest(&mut self, cn: &'a CNest) {
+        self.participation = vec![false; cn.reduce_scalars.len()];
+        if cn.loops.is_empty() {
+            // A zero-depth nest is a single instance block.
+            self.block(cn, &[], 0, None);
+        } else {
+            let mut outer = Vec::with_capacity(cn.loops.len() - 1);
+            let mut g_base = 0u64;
+            self.outer_rec(cn, 0, &mut outer, &mut g_base);
+        }
+        // Vector→scalar collection: ship this PE's partials to each
+        // scalar's host (paper §9), exactly like `machine.send_partial`.
+        for (slot, &scalar) in cn.reduce_scalars.iter().enumerate() {
+            if self.participation[slot] {
+                let host = host_of(scalar, self.n_pes);
+                if host != self.pe {
+                    self.net.record_message(self.pe, host);
+                    self.cur.reduction_messages += 1;
+                }
+            }
+        }
+    }
+
+    fn outer_rec(&mut self, cn: &'a CNest, depth: usize, outer: &mut Vec<i64>, g_base: &mut u64) {
+        if depth + 1 == cn.loops.len() {
+            let lv = &cn.loops[depth];
+            let lo = lv.lo.eval(outer);
+            let m = lv.trip_count(outer);
+            if m > 0 {
+                self.block(cn, outer, *g_base, Some((depth, lo, lv.step, m)));
+                *g_base += m as u64;
+            }
+            return;
+        }
+        let lv = &cn.loops[depth];
+        let lo = lv.lo.eval(outer);
+        let hi = lv.hi.eval(outer);
+        let mut v = lo;
+        while (lv.step > 0 && v <= hi) || (lv.step < 0 && v >= hi) {
+            outer.push(v);
+            self.outer_rec(cn, depth + 1, outer, g_base);
+            outer.pop();
+            v += lv.step;
+        }
+    }
+
+    /// Replay one inner-loop block: `inner = Some((var, lo, step, m))`, or
+    /// `None` for a zero-depth nest (single instance).
+    fn block(
+        &mut self,
+        cn: &'a CNest,
+        outer: &[i64],
+        g_base: u64,
+        inner: Option<(usize, i64, i64, usize)>,
+    ) {
+        let m = inner.map(|(_, _, _, m)| m).unwrap_or(1);
+        let block_of = |f: &LinForm| f.block(outer, inner.map(|(v, lo, s, _)| (v, lo, s)));
+
+        let mut stmt_forms: Vec<StmtForms> = Vec::with_capacity(cn.body.len());
+        for stmt in &cn.body {
+            let reads = stmt
+                .reads
+                .iter()
+                .map(|r| match r {
+                    ReadAccess::Affine { form, .. } => vec![block_of(form)],
+                    ReadAccess::Gather(g) => g.dims.iter().map(|d| block_of(dim_form(d))).collect(),
+                })
+                .collect();
+            let target_loads = stmt
+                .target_loads
+                .iter()
+                .map(|(_, form)| block_of(form))
+                .collect();
+            let segs = match &stmt.anchor {
+                Anchor::Affine { array, form } => {
+                    let (b, a) = block_of(form);
+                    self.owned_segments_affine(*array, b, a, m)
+                }
+                Anchor::Gather(g) => {
+                    let anchor_dims: Vec<(i64, i64)> =
+                        g.dims.iter().map(|d| block_of(dim_form(d))).collect();
+                    self.owned_segments_by(m, |t| {
+                        let addr = self.gather_addr(g, &anchor_dims, t as i64);
+                        self.owner_of(g.array, addr) == self.pe
+                    })
+                }
+                Anchor::RoundRobin { slot } => {
+                    let (base, width, n, pe) =
+                        (cn.rr_base, cn.rr_width, self.n_pes as u64, self.pe as u64);
+                    let slot = *slot as u64;
+                    self.owned_segments_by(m, |t| {
+                        (base + (g_base + t as u64) * width + slot) % n == pe
+                    })
+                }
+            };
+            stmt_forms.push(StmtForms {
+                reads,
+                target_loads,
+                segs,
+            });
+        }
+
+        // Iterations interleave statements in body order, so walk the
+        // union of owned ranges boundary by boundary. Windows whose active
+        // statements are all-affine take the bulk per-page-run path;
+        // gather-bearing windows fall back to per-instance charging.
+        let mut cuts: Vec<usize> = Vec::new();
+        for f in &stmt_forms {
+            for &(s, e) in &f.segs {
+                cuts.push(s);
+                cuts.push(e);
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut cursors = vec![0usize; cn.body.len()];
+        let mut active: Vec<usize> = Vec::with_capacity(cn.body.len());
+        for w in cuts.windows(2) {
+            let (w0, w1) = (w[0], w[1]);
+            active.clear();
+            for (si, f) in stmt_forms.iter().enumerate() {
+                let c = &mut cursors[si];
+                while *c < f.segs.len() && f.segs[*c].1 <= w0 {
+                    *c += 1;
+                }
+                if *c < f.segs.len() && f.segs[*c].0 <= w0 {
+                    active.push(si);
+                }
+            }
+            if active.is_empty() {
+                continue;
+            }
+            if active.iter().any(|&si| cn.body[si].has_gather) {
+                for t in w0..w1 {
+                    for &si in &active {
+                        self.charge_stmt(&cn.body[si], &stmt_forms[si], t as i64);
+                    }
+                }
+            } else {
+                self.bulk_window(cn, &stmt_forms, &active, w0, w1);
+            }
+        }
+    }
+
+    /// Charge an all-affine window in bulk: writes and local reads count
+    /// closed-form per page run; only non-local runs need cache probes,
+    /// and those probe once per (page, residency) instead of per access.
+    fn bulk_window(
+        &mut self,
+        cn: &CNest,
+        stmt_forms: &[StmtForms],
+        active: &[usize],
+        w0: usize,
+        w1: usize,
+    ) {
+        let len = (w1 - w0) as u64;
+        // Non-local page runs, in (statement, read) generation order —
+        // the exact order per-instance probes would interleave in.
+        let mut probes = std::mem::take(&mut self.scratch_probes);
+        probes.clear();
+        for &si in active {
+            let stmt = &cn.body[si];
+            let forms = &stmt_forms[si];
+            if stmt.writes {
+                self.cur.writes += len;
+            }
+            if let Some(slot) = stmt.reduce_slot {
+                self.participation[slot] = true;
+            }
+            for (read, rf) in stmt.reads.iter().zip(&forms.reads) {
+                let ReadAccess::Affine { array, .. } = read else {
+                    unreachable!("bulk windows are all-affine");
+                };
+                let (b, a) = rf[0];
+                self.collect_probe_runs(*array, b, a, w0, w1, &mut probes);
+            }
+            for ((base, _), &(b, a)) in stmt.target_loads.iter().zip(&forms.target_loads) {
+                self.collect_probe_runs(*base, b, a, w0, w1, &mut probes);
+            }
+        }
+        if !probes.is_empty() {
+            self.walk_probe_runs(&probes);
+        }
+        self.scratch_probes = probes;
+    }
+
+    /// Split one affine read over `[w0, w1)` into page runs: runs owned by
+    /// this PE count as local reads closed-form; non-local runs are pushed
+    /// for cache probing.
+    fn collect_probe_runs(
+        &mut self,
+        array: usize,
+        b: i64,
+        a: i64,
+        w0: usize,
+        w1: usize,
+        out: &mut Vec<ProbeRun>,
+    ) {
+        let ps = self.ps as i64;
+        let pages = self.cp.array_pages[array];
+        let mut push = |this: &mut Self, t0: usize, t1: usize, page: usize| {
+            let owner = this.scheme.owner(page, pages, this.n_pes);
+            if owner == this.pe {
+                this.cur.local += (t1 - t0) as u64;
+            } else {
+                out.push(ProbeRun {
+                    t0,
+                    t1,
+                    array,
+                    page,
+                    owner,
+                });
+            }
+        };
+        if a == 0 {
+            debug_assert!(b >= 0, "negative read address");
+            push(self, w0, w1, b as usize / self.ps);
+            return;
+        }
+        let mut t = w0;
+        while t < w1 {
+            let addr = b + a * t as i64;
+            debug_assert!(addr >= 0, "negative read address");
+            let page = addr / ps;
+            // Largest run of iterations staying on `page`.
+            let run = if a > 0 {
+                ((page + 1) * ps - 1 - addr) / a + 1
+            } else {
+                (addr - page * ps) / (-a) + 1
+            } as usize;
+            let end = (t + run).min(w1);
+            push(self, t, end, page as usize);
+            t = end;
+        }
+    }
+
+    /// Probe the collected non-local runs with the per-access cache
+    /// semantics of `DistributedMachine::read`, bulk-counting the spans
+    /// where the outcome is provably constant:
+    ///
+    /// * no cache — every access is a remote fetch, linear in the span;
+    /// * cache on and every active page resident after the first
+    ///   iteration — evictions happen only on inserts and inserts only on
+    ///   misses, so the remaining iterations all hit (LRU recency is
+    ///   refreshed once, in probe order, preserving relative stamp order);
+    /// * otherwise (more concurrent pages than capacity — the thrashing
+    ///   regime) — fall back to per-access probing.
+    fn walk_probe_runs(&mut self, probes: &[ProbeRun]) {
+        // Fast path: one run, or several runs covering the same span (the
+        // typical stencil boundary) — no window bookkeeping needed.
+        if probes
+            .iter()
+            .all(|p| p.t0 == probes[0].t0 && p.t1 == probes[0].t1)
+        {
+            self.probe_span(probes, (probes[0].t1 - probes[0].t0) as u64);
+            return;
+        }
+        let mut cuts = std::mem::take(&mut self.scratch_cuts);
+        cuts.clear();
+        for p in probes {
+            cuts.push(p.t0);
+            cuts.push(p.t1);
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        for w in cuts.windows(2) {
+            let (v0, v1) = (w[0], w[1]);
+            // Runs live in this window, in generation order (= the
+            // per-instance interleave order). Reuses the run scratch
+            // buffer: this loop is inside the hottest counting path.
+            let mut runs = std::mem::take(&mut self.scratch_runs);
+            runs.clear();
+            runs.extend(probes.iter().filter(|p| p.t0 <= v0 && v0 < p.t1).copied());
+            if !runs.is_empty() {
+                self.probe_span(&runs, (v1 - v0) as u64);
+            }
+            self.scratch_runs = runs;
+        }
+        self.scratch_cuts = cuts;
+    }
+
+    /// Probe a set of concurrently-live runs over a span of `len`
+    /// iterations: the first iteration probes for real, the remainder is
+    /// bulk-counted where the outcome is provably constant.
+    fn probe_span(&mut self, runs: &[ProbeRun], len: u64) {
+        // First iteration: real probes, in order.
+        for p in runs {
+            self.probe_fetch(p);
+        }
+        let rest = len - 1;
+        if rest == 0 {
+            return;
+        }
+        if !self.cache_on {
+            for p in runs {
+                self.cur.remote += rest;
+                self.cur.page_fetches += rest;
+                self.net.record_fetches(self.pe, p.owner, rest);
+            }
+        } else if runs.iter().all(|p| self.cache.contains(self.key_of(p))) {
+            self.cur.cached += runs.len() as u64 * rest;
+            if self.lru {
+                // Refresh recency once per page, in probe order: the
+                // relative stamp order equals the per-access outcome.
+                for p in runs {
+                    let key = self.key_of(p);
+                    self.cache.probe(key);
+                }
+            }
+        } else {
+            for _ in 0..rest {
+                for p in runs {
+                    self.probe_fetch(p);
+                }
+            }
+        }
+    }
+
+    fn key_of(&self, p: &ProbeRun) -> PageKey {
+        PageKey {
+            array: p.array,
+            page: p.page,
+            generation: self.gens[p.array],
+        }
+    }
+
+    /// One non-local access of `p`'s page, exactly as
+    /// `DistributedMachine::read` classifies it.
+    fn probe_fetch(&mut self, p: &ProbeRun) {
+        if self.cache_on {
+            let key = self.key_of(p);
+            if self.cache.probe(key) {
+                self.cur.cached += 1;
+                return;
+            }
+            self.cache.insert(key);
+        }
+        self.net.record_fetch(self.pe, p.owner);
+        self.cur.remote += 1;
+        self.cur.page_fetches += 1;
+    }
+
+    /// Owned inner iterations of an affine anchor. Instead of walking every
+    /// page run, enumerate only the pages *this PE owns* (each partition
+    /// scheme's owned set is a union of page intervals) and map each back
+    /// to an iteration range closed-form — the per-PE cost is proportional
+    /// to the PE's own share of the nest, so the shards divide the work
+    /// instead of replicating it.
+    fn owned_segments_affine(&self, array: usize, b: i64, a: i64, m: usize) -> Vec<(usize, usize)> {
+        let mut segs: Vec<(usize, usize)> = Vec::new();
+        if a == 0 {
+            if self.owner_of(array, b) == self.pe {
+                segs.push((0, m));
+            }
+            return segs;
+        }
+        if self.n_pes == 1 {
+            return vec![(0, m)];
+        }
+        let ps = self.ps as i64;
+        let last = b + a * (m as i64 - 1);
+        debug_assert!(b >= 0 && last >= 0, "negative anchor address");
+        let (lo_addr, hi_addr) = if a > 0 { (b, last) } else { (last, b) };
+        let (plo, phi) = ((lo_addr / ps) as usize, (hi_addr / ps) as usize);
+        let total = self.cp.array_pages[array];
+        self.for_owned_page_intervals(total, plo, phi, |q0, q1| {
+            // Iterations whose address lands in pages [q0, q1).
+            let lo_bound = q0 as i64 * ps;
+            let hi_bound = q1 as i64 * ps - 1;
+            let (t0, t1) = if a > 0 {
+                (div_ceil(lo_bound - b, a), div_floor(hi_bound - b, a))
+            } else {
+                (div_ceil(b - hi_bound, -a), div_floor(b - lo_bound, -a))
+            };
+            let t0 = t0.max(0) as usize;
+            let t1 = t1.min(m as i64 - 1);
+            if t1 >= t0 as i64 {
+                segs.push((t0, t1 as usize + 1));
+            }
+        });
+        if a < 0 {
+            // Ascending pages map to descending iterations.
+            segs.reverse();
+        }
+        // Coalesce adjacent ranges (adjacent owned pages).
+        let mut out: Vec<(usize, usize)> = Vec::with_capacity(segs.len());
+        for (s, e) in segs {
+            match out.last_mut() {
+                Some(last) if last.1 >= s => last.1 = last.1.max(e),
+                _ => out.push((s, e)),
+            }
+        }
+        out
+    }
+
+    /// Invoke `f` on each maximal page interval `[q0, q1)` owned by this PE
+    /// within `[plo, phi]` of an array of `total` pages.
+    fn for_owned_page_intervals(
+        &self,
+        total: usize,
+        plo: usize,
+        phi: usize,
+        mut f: impl FnMut(usize, usize),
+    ) {
+        let n = self.n_pes;
+        match self.scheme {
+            PartitionScheme::Modulo => {
+                let first = plo + (self.pe + n - plo % n) % n;
+                let mut q = first;
+                while q <= phi {
+                    f(q, q + 1);
+                    q += n;
+                }
+            }
+            PartitionScheme::Block => {
+                // owner(q) = min(q / chunk, n - 1): one contiguous interval,
+                // extending to the end of the array for the last PE.
+                let chunk = total.div_ceil(n).max(1);
+                let q0 = self.pe * chunk;
+                let q1 = if self.pe + 1 == n {
+                    total.max(phi + 1)
+                } else {
+                    q0 + chunk
+                };
+                if q0 <= phi && q1 > plo {
+                    f(q0.max(plo), q1.min(phi + 1));
+                }
+            }
+            PartitionScheme::BlockCyclic { block_pages } => {
+                // owner(q) = (q / b) % n: owned blocks are j ≡ pe (mod n).
+                let bp = block_pages.max(1);
+                let jlo = plo / bp;
+                let mut j = jlo + (self.pe + n - jlo % n) % n;
+                loop {
+                    let q0 = j * bp;
+                    if q0 > phi {
+                        break;
+                    }
+                    f(q0.max(plo), (q0 + bp).min(phi + 1));
+                    j += n;
+                }
+            }
+        }
+    }
+
+    /// Owned iterations by per-iteration predicate (gather / round-robin
+    /// anchors), coalesced into runs.
+    fn owned_segments_by(&self, m: usize, owned: impl Fn(usize) -> bool) -> Vec<(usize, usize)> {
+        let mut segs: Vec<(usize, usize)> = Vec::new();
+        let mut t = 0usize;
+        while t < m {
+            if owned(t) {
+                let start = t;
+                t += 1;
+                while t < m && owned(t) {
+                    t += 1;
+                }
+                segs.push((start, t));
+            } else {
+                t += 1;
+            }
+        }
+        segs
+    }
+}
+
+fn dim_form(d: &DimIdx) -> &LinForm {
+    match d {
+        DimIdx::Affine(f) => f,
+        DimIdx::Indirect { pos, .. } => pos,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Count a program's accesses via the compiled replay, sharding the per-PE
+/// work across host cores. Returns [`ReplayError::Unsupported`] when any
+/// nest (or config knob) needs the interpreter — use [`counts_or_simulate`]
+/// for transparent fallback.
+pub fn counts(program: &Program, cfg: &MachineConfig) -> Result<CountReport, ReplayError> {
+    let cp = compile(program, cfg)?;
+    let pes: Vec<usize> = (0..cfg.n_pes).collect();
+    let shards: Vec<Shard> = par_map(&pes, |&pe| {
+        Ok::<_, std::convert::Infallible>(Worker::new(&cp, cfg, pe).run())
+    })
+    .unwrap_or_else(|e| match e {});
+
+    // Coordinator: host-protocol accounting (PE-independent) + merge.
+    let mut net = Network::new(cfg.network, cfg.n_pes);
+    let mut stats = Stats::new(cfg.n_pes);
+    let mut gens = vec![0u32; cp.array_pages.len()];
+    for phase in &cp.phases {
+        if let CPhase::Reinit(a) = phase {
+            gens[*a] += 1;
+            let sync = run_reinit_protocol(&mut net, *a, cfg.n_pes, gens[*a]);
+            stats.reinit_messages += sync.total_messages();
+        }
+    }
+    for shard in &shards {
+        net.merge(&shard.net);
+    }
+
+    let mut per_nest = Vec::with_capacity(cp.nests.len());
+    for (i, cn) in cp.nests.iter().enumerate() {
+        let mut ns = Stats::new(cfg.n_pes);
+        for (pe, shard) in shards.iter().enumerate() {
+            let t = &shard.nest_tallies[i];
+            ns.per_pe[pe] = PeCounters {
+                writes: t.writes,
+                local_reads: t.local,
+                cached_reads: t.cached,
+                remote_reads: t.remote,
+            };
+            ns.page_fetches += t.page_fetches;
+            ns.reduction_messages += t.reduction_messages;
+        }
+        stats.merge(&ns);
+        per_nest.push((cn.label.clone(), ns));
+    }
+
+    Ok(CountReport {
+        engine: CountEngine::Replay,
+        stats,
+        per_nest,
+        network_messages: net.messages,
+        network_hops: net.hops,
+        max_link_load: net.max_link_load(),
+    })
+}
+
+/// Total statement instances (used to gate the debug cross-check).
+#[cfg(debug_assertions)]
+fn instance_count(program: &Program) -> u64 {
+    program
+        .nests()
+        .map(|n| n.iteration_count() as u64 * n.body.len().max(1) as u64)
+        .sum()
+}
+
+/// Debug-build cross-check budget: runs at most this many instances twice.
+#[cfg(debug_assertions)]
+const CROSS_CHECK_INSTANCES: u64 = 20_000;
+
+/// Count via replay when the program is statically classifiable, falling
+/// back to [`simulate`] otherwise — the `auto` engine.
+///
+/// In debug builds, small replayable runs (≤ 20k statement instances) are
+/// additionally simulated and asserted bit-identical before the replay
+/// result is trusted; large runs rely on the differential test suite. The
+/// release path never pays the double cost.
+pub fn counts_or_simulate(program: &Program, cfg: &MachineConfig) -> Result<CountReport, SimError> {
+    match counts(program, cfg) {
+        Ok(rep) => {
+            #[cfg(debug_assertions)]
+            {
+                if instance_count(program) <= CROSS_CHECK_INSTANCES {
+                    let sim = simulate(program, cfg)?;
+                    assert_report_matches(&rep, &sim);
+                }
+            }
+            Ok(rep)
+        }
+        // Invalid configs fall through to the interpreter so the caller
+        // sees exactly the error `simulate` would have produced.
+        Err(_) => simulate(program, cfg).map(|rep| CountReport::from_sim(&rep)),
+    }
+}
+
+/// Panic with a diff if a replay report disagrees with a simulation.
+#[cfg(debug_assertions)]
+fn assert_report_matches(rep: &CountReport, sim: &SimReport) {
+    assert_eq!(
+        rep.stats, sim.stats,
+        "replay stats diverge from the interpreter"
+    );
+    assert_eq!(
+        rep.per_nest, sim.per_nest,
+        "per-nest stats diverge from the interpreter"
+    );
+    assert_eq!(rep.network_messages, sim.network_messages);
+    assert_eq!(rep.network_hops, sim.network_hops);
+    assert_eq!(rep.max_link_load, sim.max_link_load);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{InitPattern, ProgramBuilder};
+    use sa_machine::{CachePolicy, NetworkTopology};
+
+    fn assert_identical(program: &Program, cfg: &MachineConfig) {
+        let sim = simulate(program, cfg).expect("interpreter accepts the program");
+        let rep = counts(program, cfg).expect("replay supports the program");
+        assert_eq!(rep.stats, sim.stats, "global stats");
+        assert_eq!(rep.per_nest, sim.per_nest, "per-nest stats");
+        assert_eq!(rep.network_messages, sim.network_messages, "messages");
+        assert_eq!(rep.network_hops, sim.network_hops, "hops");
+        assert_eq!(rep.max_link_load, sim.max_link_load, "max link load");
+        assert_eq!(rep.remote_pct(), sim.remote_pct(), "remote %");
+    }
+
+    /// K1-shaped skewed kernel.
+    fn hydro(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("hydro");
+        let q = b.param("Q", 0.5);
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let zx = b.input("ZX", &[n + 12], InitPattern::Harmonic);
+        let x = b.output("X", &[n]);
+        b.nest("k1", &[("k", 0, n as i64 - 1)], |nb| {
+            let rhs = nb.par(q)
+                + nb.read(y, [iv(0)])
+                    * (nb.read(zx, [iv(0).plus(10)]) + nb.read(zx, [iv(0).plus(11)]));
+            nb.assign(x, [iv(0)], rhs);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn skewed_kernel_bit_identical_across_configs() {
+        let p = hydro(777); // deliberately not page aligned
+        for n_pes in [1usize, 2, 3, 4, 8, 16] {
+            for ps in [8usize, 32, 64] {
+                for cache in [0usize, 64, 256] {
+                    let cfg = MachineConfig::new(n_pes, ps).with_cache_elems(cache);
+                    assert_identical(&p, &cfg);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_schemes_and_policies_bit_identical() {
+        let p = hydro(500);
+        for scheme in [
+            PartitionScheme::Modulo,
+            PartitionScheme::Block,
+            PartitionScheme::BlockCyclic { block_pages: 2 },
+        ] {
+            for policy in [
+                CachePolicy::Lru,
+                CachePolicy::Fifo,
+                CachePolicy::Random { seed: 42 },
+            ] {
+                let cfg = MachineConfig::new(8, 32)
+                    .with_partition(scheme)
+                    .with_cache_policy(policy)
+                    .with_cache_elems(64); // small: force evictions
+                assert_identical(&p, &cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn network_topologies_bit_identical() {
+        let p = hydro(512);
+        for net in [
+            NetworkTopology::Ideal,
+            NetworkTopology::Crossbar,
+            NetworkTopology::Ring,
+            NetworkTopology::Mesh2D,
+            NetworkTopology::Hypercube,
+        ] {
+            let cfg = MachineConfig::new(8, 32)
+                .with_network(net)
+                .with_cache_elems(0);
+            assert_identical(&p, &cfg);
+        }
+    }
+
+    #[test]
+    fn multi_nest_with_reinit_bit_identical() {
+        let mut b = ProgramBuilder::new("gen");
+        let y = b.input("Y", &[256], InitPattern::Wavy);
+        let x = b.output("X", &[256]);
+        b.nest("g0", &[("k", 0, 255)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]));
+        });
+        b.reinit(x);
+        b.nest("g1", &[("k", 0, 255)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 2.0);
+        });
+        let p = b.finish();
+        assert_identical(&p, &MachineConfig::new(4, 16));
+        assert_identical(
+            &p,
+            &MachineConfig::new(4, 16).with_network(NetworkTopology::Ring),
+        );
+    }
+
+    #[test]
+    fn reductions_and_anchorless_round_robin_bit_identical() {
+        let mut b = ProgramBuilder::new("red");
+        let y = b.input("Y", &[200], InitPattern::Wavy);
+        let z = b.input("Z", &[210], InitPattern::Harmonic);
+        let s = b.scalar("s");
+        let q = b.scalar("q");
+        let c = b.scalar("c");
+        // Anchored reduction (first read Y), skewed second operand.
+        b.nest("dot", &[("k", 0, 199)], |nb| {
+            nb.reduce(
+                s,
+                sa_ir::ReduceOp::Sum,
+                nb.read(y, [iv(0)]) * nb.read(z, [iv(0).plus(7)]),
+            );
+        });
+        // Anchorless reductions (no reads): dealt round-robin, two per
+        // iteration so the global counter interleaves slots.
+        b.nest("anchorless", &[("k", 0, 99)], |nb| {
+            nb.reduce(q, sa_ir::ReduceOp::Sum, sa_ir::Expr::LoopVar(0));
+            nb.reduce(c, sa_ir::ReduceOp::Sum, sa_ir::Expr::Const(1.0));
+        });
+        let p = b.finish();
+        for n_pes in [1usize, 3, 4, 16] {
+            assert_identical(&p, &MachineConfig::new(n_pes, 32));
+        }
+    }
+
+    #[test]
+    fn static_gather_bit_identical() {
+        // Permutation gather through a static index array — the Random
+        // class. Replay resolves the indirection from the init pattern.
+        let n = 512;
+        let mut b = ProgramBuilder::new("perm");
+        let d = b.input("D", &[n], InitPattern::Wavy);
+        let perm = b.input("P", &[n], InitPattern::Permutation { seed: 11 });
+        let x = b.output("X", &[n]);
+        b.nest("g", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read_indirect(d, perm, iv(0)));
+        });
+        let p = b.finish();
+        for cache in [0usize, 256, 2048] {
+            assert_identical(&p, &MachineConfig::new(8, 32).with_cache_elems(cache));
+        }
+    }
+
+    #[test]
+    fn triangular_and_multi_level_nests_bit_identical() {
+        // Triangular nest (GLRE-shaped iteration space): the inner bound
+        // depends on the outer variable, and the transposed read has a
+        // different variable support than the write (Random class).
+        let mut b = ProgramBuilder::new("tri");
+        let bb = b.input("B", &[64, 64], InitPattern::Wavy);
+        let t = b.output("T", &[64, 64]);
+        b.nest_loops(
+            "tri",
+            vec![
+                LoopVar::simple("i", 1, 63),
+                LoopVar {
+                    name: "k".into(),
+                    lo: 1.into(),
+                    hi: iv(0),
+                    step: 1,
+                },
+            ],
+            |n| {
+                n.assign(
+                    t,
+                    [iv(0), iv(1)],
+                    n.read(bb, [iv(0), iv(1)]) * n.read(bb, [iv(1), iv(0)]),
+                );
+            },
+        );
+        let p = b.finish();
+        assert_identical(&p, &MachineConfig::new(8, 32));
+        assert_identical(&p, &MachineConfig::new(8, 32).with_cache_elems(0));
+    }
+
+    #[test]
+    fn negative_step_loops_bit_identical() {
+        let mut b = ProgramBuilder::new("rev");
+        let y = b.input("Y", &[128], InitPattern::Wavy);
+        let x = b.output("X", &[128]);
+        b.nest_loops(
+            "rev",
+            vec![LoopVar {
+                name: "k".into(),
+                lo: 127.into(),
+                hi: 0.into(),
+                step: -1,
+            }],
+            |nb| {
+                nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) + 1.0);
+            },
+        );
+        let p = b.finish();
+        assert_identical(&p, &MachineConfig::new(4, 32));
+    }
+
+    #[test]
+    fn two_statement_body_interleaves_like_the_interpreter() {
+        // Two assigns per iteration with different target arrays: PE cache
+        // state depends on the per-iteration interleave, which the merged
+        // segment walk must reproduce.
+        let n = 300;
+        let mut b = ProgramBuilder::new("pair");
+        let y = b.input("Y", &[n + 8], InitPattern::Wavy);
+        let x1 = b.output("X1", &[n]);
+        let x2 = b.output("X2", &[n + 64]);
+        b.nest("pair", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x1, [iv(0)], nb.read(y, [iv(0).plus(3)]));
+            nb.assign(x2, [iv(0).plus(64)], nb.read(y, [iv(0).plus(7)]));
+        });
+        let p = b.finish();
+        for n_pes in [2usize, 4, 8] {
+            assert_identical(&p, &MachineConfig::new(n_pes, 16).with_cache_elems(32));
+        }
+    }
+
+    #[test]
+    fn dynamic_gather_base_is_unsupported_and_auto_falls_back() {
+        // The index array is itself produced by an earlier nest, so replay
+        // must refuse and the auto path must fall back to the interpreter.
+        let n = 64;
+        let mut b = ProgramBuilder::new("dyn");
+        let src = b.input("S", &[n], InitPattern::Permutation { seed: 3 });
+        let idx = b.output("I", &[n]);
+        let d = b.input("D", &[n], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("make-idx", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(idx, [iv(0)], nb.read(src, [iv(0)]));
+        });
+        b.nest("gather", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read_indirect(d, idx, iv(0)));
+        });
+        let p = b.finish();
+        let cfg = MachineConfig::new(4, 16);
+        match counts(&p, &cfg) {
+            Err(ReplayError::Unsupported { nest, reason }) => {
+                assert_eq!(nest, "gather");
+                assert!(reason.contains("dynamically produced"), "{reason}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        let auto = counts_or_simulate(&p, &cfg).expect("fallback simulates");
+        assert_eq!(auto.engine, CountEngine::Interp);
+        let sim = simulate(&p, &cfg).unwrap();
+        assert_eq!(auto.stats, sim.stats);
+    }
+
+    #[test]
+    fn refetch_policy_is_unsupported() {
+        let p = hydro(64);
+        let cfg = MachineConfig::new(4, 16).with_partial_pages(PartialPagePolicy::Refetch);
+        assert!(matches!(
+            counts(&p, &cfg),
+            Err(ReplayError::Unsupported { .. })
+        ));
+        // Auto falls back and matches the interpreter under Refetch too.
+        let auto = counts_or_simulate(&p, &cfg).unwrap();
+        let sim = simulate(&p, &cfg).unwrap();
+        assert_eq!(auto.engine, CountEngine::Interp);
+        assert_eq!(auto.stats, sim.stats);
+    }
+
+    #[test]
+    fn bad_config_surfaces_the_interpreter_error() {
+        let p = hydro(64);
+        let err = counts_or_simulate(&p, &MachineConfig::new(0, 32)).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Machine(sa_machine::MachineError::BadConfig(ConfigError::ZeroPes))
+        ));
+        assert!(matches!(
+            counts(&p, &MachineConfig::new(4, 0)),
+            Err(ReplayError::Config(ConfigError::ZeroPageSize))
+        ));
+    }
+
+    #[test]
+    fn zero_read_program_reports_zero_remote_pct() {
+        // A write-only program performs no reads; remote % must be 0.0,
+        // never NaN (regression guard for the CSV/JSON pipelines).
+        let mut b = ProgramBuilder::new("wo");
+        let x = b.output("X", &[64]);
+        b.nest("w", &[("k", 0, 63)], |nb| {
+            nb.assign(x, [iv(0)], sa_ir::Expr::LoopVar(0));
+        });
+        let p = b.finish();
+        let rep = counts(&p, &MachineConfig::new(4, 16)).unwrap();
+        assert_eq!(rep.stats.total_reads(), 0);
+        assert_eq!(rep.remote_pct(), 0.0);
+        assert!(!rep.remote_pct().is_nan());
+        assert_identical(&p, &MachineConfig::new(4, 16));
+    }
+
+    #[test]
+    fn report_from_sim_round_trips() {
+        let p = hydro(128);
+        let cfg = MachineConfig::new(4, 32);
+        let sim = simulate(&p, &cfg).unwrap();
+        let rep = CountReport::from_sim(&sim);
+        assert_eq!(rep.engine, CountEngine::Interp);
+        assert_eq!(rep.engine.name(), "interp");
+        assert_eq!(CountEngine::Replay.name(), "replay");
+        assert_eq!(rep.stats, sim.stats);
+        assert_eq!(rep.remote_pct(), sim.remote_pct());
+    }
+}

@@ -219,6 +219,7 @@ mod tests {
             messages: 4,
             hops: 0,
             max_link_load: 0,
+            write_balance: 1.0,
             cycles: None,
         }
     }

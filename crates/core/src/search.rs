@@ -5,9 +5,17 @@
 //! The search space is an [`crate::plan::ExperimentPlan`] — partition
 //! schemes outermost, page sizes innermost — evaluated concurrently by
 //! [`crate::parallel::par_map`] underneath [`ExperimentPlan::run`]. The
-//! winner is deterministic: lowest remote %, ties broken by fewest network
-//! messages, then by enumeration order (first scheme, then smallest
-//! page-size index).
+//! winner is deterministic: lowest [`Objective`] score, ties broken by
+//! fewest network messages, then by enumeration order (first scheme, then
+//! smallest page-size index).
+//!
+//! The default [`Objective::Balanced`] scores a candidate as
+//! `remote % + weight · imbalance %`, where imbalance is derived from the
+//! Jain fairness index of the per-PE write distribution. A pure remote-%
+//! objective (the original behaviour, kept as [`Objective::RemoteOnly`])
+//! degenerates for small kernels: a page size large enough to land the
+//! whole array on one PE scores 0 % remote *because one PE does all the
+//! work* — exactly the pathology the ROADMAP follow-up named.
 
 use sa_ir::Program;
 use sa_machine::PartitionScheme;
@@ -15,6 +23,42 @@ use sa_machine::PartitionScheme;
 use crate::oracle::{Oracle, RunRecord};
 use crate::plan::{ExperimentPlan, PlanError, RunConfig};
 use crate::results::ResultSet;
+
+/// How candidates are scored (lower is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Legacy objective: remote % alone. Prone to degenerate
+    /// all-on-one-PE winners for kernels smaller than `n_pes × page size`.
+    RemoteOnly,
+    /// Remote % plus `weight × imbalance %`, where imbalance is
+    /// `100 · (1 − write_balance)` ([`RunRecord::write_balance`], the Jain
+    /// index of per-PE writes). A perfectly balanced candidate pays no
+    /// penalty; an all-on-one-PE candidate on `n` PEs pays
+    /// `weight · 100 · (1 − 1/n)`.
+    Balanced {
+        /// Penalty weight (the default is 1.0 via [`Objective::default`]).
+        weight: f64,
+    },
+}
+
+impl Default for Objective {
+    /// The balanced objective at weight 1.0.
+    fn default() -> Self {
+        Objective::Balanced { weight: 1.0 }
+    }
+}
+
+impl Objective {
+    /// Score a candidate (lower wins).
+    pub fn score(&self, r: &RunRecord) -> f64 {
+        match *self {
+            Objective::RemoteOnly => r.remote_pct,
+            Objective::Balanced { weight } => {
+                r.remote_pct + weight * 100.0 * (1.0 - r.write_balance)
+            }
+        }
+    }
+}
 
 /// The space `search` enumerates, plus the fixed machine parameters every
 /// candidate shares.
@@ -75,27 +119,33 @@ pub struct BestConfig {
     pub remote_pct: f64,
     /// Network messages at the winner.
     pub messages: u64,
+    /// Write-distribution Jain index at the winner (1 = balanced).
+    pub write_balance: f64,
+    /// The winner's objective score.
+    pub score: f64,
     /// How many candidates were evaluated.
     pub evaluated: usize,
 }
 
 impl BestConfig {
-    /// Does `candidate` beat `incumbent`? Strict ordering: remote % first,
-    /// then messages; enumeration order breaks remaining ties (first wins).
-    fn beats(candidate: &RunRecord, incumbent: &RunRecord) -> bool {
-        if candidate.remote_pct != incumbent.remote_pct {
-            return candidate.remote_pct < incumbent.remote_pct;
+    /// Does `candidate` beat `incumbent`? Strict ordering: objective score
+    /// first, then messages; enumeration order breaks remaining ties
+    /// (first wins).
+    fn beats(objective: Objective, candidate: &RunRecord, incumbent: &RunRecord) -> bool {
+        let (c, i) = (objective.score(candidate), objective.score(incumbent));
+        if c != i {
+            return c < i;
         }
         candidate.messages < incumbent.messages
     }
 
     /// Pick the winner out of an evaluated grid (grid order = enumeration
     /// order, so the fold is deterministic). `None` on an empty set.
-    pub fn from_results(results: &ResultSet) -> Option<BestConfig> {
+    pub fn from_results(results: &ResultSet, objective: Objective) -> Option<BestConfig> {
         let mut best: Option<&RunRecord> = None;
         for r in results.records() {
             match best {
-                Some(b) if !Self::beats(r, b) => {}
+                Some(b) if !Self::beats(objective, r, b) => {}
                 _ => best = Some(r),
             }
         }
@@ -104,22 +154,36 @@ impl BestConfig {
             page_size: b.cfg.page_size,
             remote_pct: b.remote_pct,
             messages: b.messages,
+            write_balance: b.write_balance,
+            score: objective.score(b),
             evaluated: results.len(),
         })
     }
 }
 
 /// Exhaustively search `space` for the best `PartitionScheme × page size`
-/// for `kernel`, measuring through `oracle` (the parallel sweep engine is
-/// the evaluation engine underneath).
+/// for `kernel` under the default balanced [`Objective`], measuring through
+/// `oracle` (the parallel sweep engine is the evaluation engine
+/// underneath). Use [`search_with`] to pick the legacy remote-only
+/// objective explicitly.
 pub fn search(
     kernel: &Program,
     space: &SearchSpace,
     oracle: &dyn Oracle,
 ) -> Result<BestConfig, PlanError> {
+    search_with(kernel, space, oracle, Objective::default())
+}
+
+/// [`search`] with an explicit scoring [`Objective`].
+pub fn search_with(
+    kernel: &Program,
+    space: &SearchSpace,
+    oracle: &dyn Oracle,
+    objective: Objective,
+) -> Result<BestConfig, PlanError> {
     let results = space.plan().run(kernel, oracle)?;
     // A validated plan has non-empty axes, so a winner always exists.
-    Ok(BestConfig::from_results(&results).expect("non-empty search space"))
+    Ok(BestConfig::from_results(&results, objective).expect("non-empty search space"))
 }
 
 #[cfg(test)]
@@ -157,6 +221,8 @@ mod tests {
 
     #[test]
     fn search_matches_manual_argmin() {
+        // The *legacy* objective must keep reproducing the original
+        // remote-%-then-messages argmin exactly.
         let p = skewed(256);
         let space = SearchSpace {
             schemes: vec![PartitionScheme::Modulo, PartitionScheme::Block],
@@ -164,7 +230,7 @@ mod tests {
             n_pes: 8,
             cache_elems: 256,
         };
-        let best = search(&p, &space, &CountingOracle).unwrap();
+        let best = search_with(&p, &space, &CountingOracle, Objective::RemoteOnly).unwrap();
         // Recompute sequentially with the raw simulator.
         let mut manual: Option<(f64, u64, PartitionScheme, usize)> = None;
         for &scheme in &space.schemes {
@@ -186,6 +252,72 @@ mod tests {
         assert_eq!(best.page_size, ps);
         assert_eq!(best.remote_pct, pct);
         assert_eq!(best.messages, msgs);
+    }
+
+    #[test]
+    fn balanced_objective_rejects_degenerate_all_on_one_pe_winners() {
+        // A 128-element kernel on 16 PEs: at page size 256 the whole array
+        // lands on one PE, so the legacy objective crowns it (0 % remote,
+        // zero messages) even though a single PE does every write. The
+        // balanced default must instead pick a configuration that spreads
+        // the work.
+        let p = skewed(128);
+        let space = SearchSpace::default(); // 16 PEs, page sizes up to 256
+        let legacy = search_with(&p, &space, &CountingOracle, Objective::RemoteOnly).unwrap();
+        assert_eq!(legacy.remote_pct, 0.0);
+        assert!(
+            legacy.write_balance < 0.2,
+            "legacy winner should be degenerate: {legacy:?}"
+        );
+        let balanced = search(&p, &space, &CountingOracle).unwrap();
+        assert!(
+            balanced.write_balance > 0.9,
+            "balanced winner must spread writes: {balanced:?}"
+        );
+        assert!(balanced.score <= legacy.remote_pct + 100.0 * (1.0 - legacy.write_balance));
+        assert_eq!(balanced.evaluated, legacy.evaluated);
+    }
+
+    #[test]
+    fn balanced_objective_is_a_noop_for_balanced_kernels() {
+        // When every candidate is near-balanced (large kernel, small page
+        // sizes), the penalty term changes nothing.
+        let p = skewed(2048);
+        let space = SearchSpace {
+            page_sizes: vec![8, 16, 32],
+            ..SearchSpace::default()
+        };
+        let legacy = search_with(&p, &space, &CountingOracle, Objective::RemoteOnly).unwrap();
+        let balanced = search(&p, &space, &CountingOracle).unwrap();
+        assert_eq!(legacy.scheme, balanced.scheme);
+        assert_eq!(legacy.page_size, balanced.page_size);
+    }
+
+    #[test]
+    fn objective_scores_compose() {
+        use crate::plan::RunConfig;
+        let rec = |remote_pct: f64, write_balance: f64| RunRecord {
+            cfg: RunConfig::default(),
+            remote_pct,
+            cached_pct: 0.0,
+            writes: 1,
+            local_reads: 1,
+            cached_reads: 0,
+            remote_reads: 0,
+            total_reads: 1,
+            messages: 0,
+            hops: 0,
+            max_link_load: 0,
+            write_balance,
+            cycles: None,
+        };
+        assert_eq!(Objective::RemoteOnly.score(&rec(7.5, 0.1)), 7.5);
+        let balanced = Objective::default();
+        assert_eq!(balanced.score(&rec(0.0, 1.0)), 0.0);
+        // All work on 1 of 16 PEs: jain 1/16 → 93.75 % imbalance penalty.
+        assert!((balanced.score(&rec(0.0, 1.0 / 16.0)) - 93.75).abs() < 1e-9);
+        let half = Objective::Balanced { weight: 0.5 };
+        assert!((half.score(&rec(2.0, 0.5)) - 27.0).abs() < 1e-9);
     }
 
     #[test]

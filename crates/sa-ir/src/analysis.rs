@@ -110,6 +110,22 @@ pub struct ProgramReport {
     pub class: AccessClass,
 }
 
+/// Linearized affine address function of `aref`: the linear address it
+/// touches at iteration `ivs` is `coeffs · ivs + offset` (row-major strides
+/// folded in, coefficients padded to `nvars` loop variables). `None` if any
+/// index is indirect.
+///
+/// This is the metadata the compiled access-replay engine
+/// (`sa_core::replay`) lowers loop nests with: an all-affine reference's
+/// page-ownership pattern is decidable once per nest from this form alone.
+pub fn linear_address_form(
+    program: &Program,
+    aref: &ArrayRef,
+    nvars: usize,
+) -> Option<(Vec<i64>, i64)> {
+    linear_form(program, aref, nvars)
+}
+
 /// Linearized affine address function: `coeffs · ivs + offset`.
 /// `None` if any index is indirect.
 fn linear_form(program: &Program, aref: &ArrayRef, nvars: usize) -> Option<(Vec<i64>, i64)> {

@@ -104,12 +104,19 @@ impl Network {
     /// Record a page fetch: a request `from → to` and a reply `to → from`.
     /// Returns the one-way hop count (for the timing model).
     pub fn record_fetch(&mut self, from: usize, to: usize) -> u32 {
+        self.record_fetches(from, to, 1)
+    }
+
+    /// Record `count` identical page fetches in one accounting step —
+    /// message, hop and link-load totals are linear in the count, so bulk
+    /// recording is exact (the replay engine's closed-form remote runs).
+    pub fn record_fetches(&mut self, from: usize, to: usize, count: u64) -> u32 {
         let h = self.topology.hops(self.n_pes, from, to);
-        self.messages += 2;
-        self.hops += 2 * h as u64;
-        self.sent_per_pe[from] += 1;
-        self.route(from, to);
-        self.route(to, from);
+        self.messages += 2 * count;
+        self.hops += 2 * h as u64 * count;
+        self.sent_per_pe[from] += count;
+        self.route_n(from, to, count);
+        self.route_n(to, from, count);
         h
     }
 
@@ -119,18 +126,18 @@ impl Network {
         self.messages += 1;
         self.hops += h as u64;
         self.sent_per_pe[from] += 1;
-        self.route(from, to);
+        self.route_n(from, to, 1);
         h
     }
 
-    fn route(&mut self, from: usize, to: usize) {
+    fn route_n(&mut self, from: usize, to: usize, weight: u64) {
         if from == to {
             return;
         }
         match self.topology {
             NetworkTopology::Ideal => {}
             NetworkTopology::Crossbar => {
-                *self.link_loads.entry((from, to)).or_insert(0) += 1;
+                *self.link_loads.entry((from, to)).or_insert(0) += weight;
             }
             NetworkTopology::Ring => {
                 let n = self.n_pes;
@@ -142,7 +149,7 @@ impl Network {
                     *self
                         .link_loads
                         .entry((cur as usize, next as usize))
-                        .or_insert(0) += 1;
+                        .or_insert(0) += weight;
                     cur = next;
                 }
             }
@@ -155,7 +162,7 @@ impl Network {
                     *self
                         .link_loads
                         .entry((y * cols + x, y * cols + nx))
-                        .or_insert(0) += 1;
+                        .or_insert(0) += weight;
                     x = nx;
                 }
                 while y != ty {
@@ -163,7 +170,7 @@ impl Network {
                     *self
                         .link_loads
                         .entry((y * cols + x, ny * cols + x))
-                        .or_insert(0) += 1;
+                        .or_insert(0) += weight;
                     y = ny;
                 }
             }
@@ -173,12 +180,34 @@ impl Network {
                 while cur != to {
                     if (cur ^ to) & (1 << bit) != 0 {
                         let next = cur ^ (1 << bit);
-                        *self.link_loads.entry((cur, next)).or_insert(0) += 1;
+                        *self.link_loads.entry((cur, next)).or_insert(0) += weight;
                         cur = next;
                     }
                     bit += 1;
                 }
             }
+        }
+    }
+
+    /// Fold another accounting block into this one: message/hop totals add,
+    /// per-PE send counts add, and per-link traffic is summed link by link.
+    ///
+    /// Network accounting is purely additive, so sharded executions (e.g.
+    /// the per-PE access replay of `sa_core::replay`, where every PE records
+    /// its own fetches into a private `Network`) merge into exactly the
+    /// totals a single sequential accounting pass would have produced.
+    ///
+    /// Panics if the two blocks describe different machines.
+    pub fn merge(&mut self, other: &Network) {
+        assert_eq!(self.n_pes, other.n_pes, "PE count mismatch in merge");
+        assert_eq!(self.topology, other.topology, "topology mismatch in merge");
+        self.messages += other.messages;
+        self.hops += other.hops;
+        for (a, b) in self.sent_per_pe.iter_mut().zip(&other.sent_per_pe) {
+            *a += b;
+        }
+        for (link, load) in &other.link_loads {
+            *self.link_loads.entry(*link).or_insert(0) += load;
         }
     }
 
@@ -273,6 +302,33 @@ mod tests {
         assert_eq!(i.messages, 2);
         assert_eq!(i.max_link_load(), 0);
         assert_eq!(i.mean_link_load(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_accounting() {
+        // Recording fetches into two shards and merging must equal one
+        // sequential accounting pass over the same events.
+        let events = [(0usize, 3usize), (1, 2), (3, 0), (2, 0), (0, 3)];
+        let mut sequential = Network::new(NetworkTopology::Ring, 4);
+        for &(f, t) in &events {
+            sequential.record_fetch(f, t);
+        }
+        let mut a = Network::new(NetworkTopology::Ring, 4);
+        let mut b = Network::new(NetworkTopology::Ring, 4);
+        for (i, &(f, t)) in events.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record_fetch(f, t);
+            } else {
+                b.record_fetch(f, t);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.messages, sequential.messages);
+        assert_eq!(a.hops, sequential.hops);
+        assert_eq!(a.sent_per_pe, sequential.sent_per_pe);
+        assert_eq!(a.max_link_load(), sequential.max_link_load());
+        assert_eq!(a.active_links(), sequential.active_links());
+        assert_eq!(a.mean_link_load(), sequential.mean_link_load());
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl PeCounters {
 }
 
 /// Machine-wide access statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Counters per PE.
     pub per_pe: Vec<PeCounters>,

@@ -60,6 +60,7 @@ impl Oracle for ThreadOracle {
             messages: rep.messages,
             hops: 0,
             max_link_load: 0,
+            write_balance: sa_machine::load_balance(&rep.stats.writes_per_pe()).jain,
             cycles: None,
         })
     }

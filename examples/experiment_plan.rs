@@ -1,6 +1,7 @@
 //! The composable experiment-plan API, end to end: build a typed-axis
-//! grid, evaluate it through two different oracles (counting simulator and
-//! real threads), pivot the results, and run the automatic scheme search.
+//! grid, evaluate it through three different oracles (compiled access
+//! replay with auto fallback, counting interpreter, real threads), pivot
+//! the results, and run the automatic scheme search.
 //!
 //! ```text
 //! cargo run --release --example experiment_plan
@@ -10,7 +11,7 @@ use sapp::core::plan::ExperimentPlan;
 use sapp::core::report::{ascii_chart, json, markdown_table};
 use sapp::core::results::Column;
 use sapp::core::search::{search, SearchSpace};
-use sapp::core::CountingOracle;
+use sapp::core::{CountingOracle, FastCountingOracle};
 use sapp::loops::suite;
 use sapp::runtime::ThreadOracle;
 
@@ -21,13 +22,20 @@ fn main() {
         .expect("K12 in suite");
 
     // One plan: page sizes × cache on/off × PE counts, lazily enumerated
-    // and evaluated concurrently by the counting simulator.
+    // and evaluated concurrently by the auto-select counting oracle (the
+    // compiled access replay here — K12 is affine — with transparent
+    // interpreter fallback; counts are bit-identical either way, proven
+    // by `tests/replay_vs_interp.rs`).
     let plan = ExperimentPlan::new()
         .page_sizes(&[32, 64])
         .cache_flags(&[true, false])
         .pes(&[1, 2, 4, 8, 16, 32]);
     println!("grid: {} points\n", plan.len());
-    let results = plan.run(&k12.program, &CountingOracle).expect("sweep");
+    let results = plan
+        .run(&k12.program, &FastCountingOracle::default())
+        .expect("sweep");
+    let interp = plan.run(&k12.program, &CountingOracle).expect("sweep");
+    assert_eq!(results.records(), interp.records(), "engines agree");
 
     // Typed columns feed every report emitter.
     let cols = [
@@ -67,13 +75,20 @@ fn main() {
         real.find(|r| r.cfg.n_pes == 4).expect("point").remote_pct
     );
 
-    // Automatic scheme search (the Automap-style ROADMAP item), as JSON.
-    let best = search(&k12.program, &SearchSpace::default(), &CountingOracle).expect("search");
+    // Automatic scheme search (the Automap-style ROADMAP item), as JSON:
+    // balanced objective by default, replay engine underneath.
+    let best = search(
+        &k12.program,
+        &SearchSpace::default(),
+        &FastCountingOracle::default(),
+    )
+    .expect("search");
     let row = vec![vec![
         "K12".to_string(),
         best.scheme.name(),
         best.page_size.to_string(),
         format!("{:.4}", best.remote_pct),
+        format!("{:.3}", best.write_balance),
         best.evaluated.to_string(),
     ]];
     println!(
@@ -84,6 +99,7 @@ fn main() {
                 "best_scheme",
                 "best_page_size",
                 "remote_pct",
+                "write_balance",
                 "evaluated"
             ],
             &row

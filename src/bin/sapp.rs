@@ -11,15 +11,23 @@
 //! ```
 //!
 //! `sweep` and `search` accept `--format {table,csv,json}` and run their
-//! grids through the composable plan API (`sapp::core::plan`) with the
-//! counting simulator as the evaluation oracle.
+//! grids through the composable plan API (`sapp::core::plan`).
+//!
+//! `simulate`, `sweep` and `search` accept `--engine {interp,replay,auto}`
+//! selecting the counting backend: the statement-by-statement interpreter,
+//! the compiled access replay (`sapp::core::replay` — ~10–100× faster for
+//! statically classifiable nests, errors on the rest), or auto-select
+//! (replay with transparent interpreter fallback; the default). `search`
+//! additionally accepts `--objective {balanced,remote}` (the legacy
+//! remote-%-only objective is `remote`).
 
 use sapp::core::classify::classify_dynamic;
 use sapp::core::experiment::speedup_sweep;
 use sapp::core::plan::ExperimentPlan;
+use sapp::core::replay::{counts, counts_or_simulate, CountReport};
 use sapp::core::report::{csv, fmt_pct, json, markdown_table};
-use sapp::core::search::{search, SearchSpace};
-use sapp::core::{simulate, CountingOracle};
+use sapp::core::search::{search_with, Objective, SearchSpace};
+use sapp::core::{simulate, Engine, FastCountingOracle};
 use sapp::ir::{classify_program, pretty};
 use sapp::loops::{suite, Kernel};
 use sapp::machine::{AccessCosts, MachineConfig};
@@ -28,7 +36,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sapp <list|show|classify|simulate|sweep|search|timing> [KERNEL] \
          [--pes N] [--page N] [--cache N] [--no-cache] [--kernel CODE] \
-         [--format table|csv|json]"
+         [--format table|csv|json] [--engine interp|replay|auto] \
+         [--objective balanced|remote]"
     );
     std::process::exit(2);
 }
@@ -58,6 +67,8 @@ struct Opts {
     no_cache: bool,
     kernel: Option<String>,
     format: Format,
+    engine: Engine,
+    objective: Objective,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -68,6 +79,8 @@ fn parse_opts(args: &[String]) -> Opts {
         no_cache: false,
         kernel: None,
         format: Format::Table,
+        engine: Engine::Auto,
+        objective: Objective::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -100,6 +113,19 @@ fn parse_opts(args: &[String]) -> Opts {
                     _ => usage(),
                 }
             }
+            "--engine" => {
+                o.engine = it
+                    .next()
+                    .and_then(|v| Engine::parse(v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--objective" => {
+                o.objective = match it.next().map(String::as_str) {
+                    Some("balanced") => Objective::default(),
+                    Some("remote") => Objective::RemoteOnly,
+                    _ => usage(),
+                }
+            }
             _ => usage(),
         }
     }
@@ -119,6 +145,28 @@ fn find_kernel(code: &str) -> Kernel {
 fn config(o: &Opts) -> MachineConfig {
     let elems = if o.no_cache { 0 } else { o.cache };
     MachineConfig::new(o.pes, o.page).with_cache_elems(elems)
+}
+
+/// Count one run through the selected engine.
+fn count_with_engine(k: &Kernel, cfg: &MachineConfig, engine: Engine) -> CountReport {
+    let fail = |e: &dyn std::fmt::Display| -> ! {
+        eprintln!("{} failed: {e}", engine.name());
+        std::process::exit(1);
+    };
+    match engine {
+        Engine::Interp => match simulate(&k.program, cfg) {
+            Ok(rep) => CountReport::from_sim(&rep),
+            Err(e) => fail(&e),
+        },
+        Engine::Replay => match counts(&k.program, cfg) {
+            Ok(rep) => rep,
+            Err(e) => fail(&e),
+        },
+        Engine::Auto => match counts_or_simulate(&k.program, cfg) {
+            Ok(rep) => rep,
+            Err(e) => fail(&e),
+        },
+    }
 }
 
 fn main() {
@@ -171,14 +219,15 @@ fn main() {
         "simulate" => {
             let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             let o = parse_opts(&args[2..]);
-            let rep = simulate(&k.program, &config(&o)).expect("simulation");
+            let rep = count_with_engine(&k, &config(&o), o.engine);
             println!(
-                "writes {}  local {}  cached {}  remote {}  → {} remote",
+                "writes {}  local {}  cached {}  remote {}  → {} remote  [{} engine]",
                 rep.stats.writes(),
                 rep.stats.local_reads(),
                 rep.stats.cached_reads(),
                 rep.stats.remote_reads(),
                 fmt_pct(rep.remote_pct()),
+                rep.engine.name(),
             );
             println!(
                 "messages {}  hops {}  max link load {}",
@@ -195,7 +244,7 @@ fn main() {
                 .page_sizes(&[o.page])
                 .cache_flags(&[true, false])
                 .pes(&[1, 2, 4, 8, 16, 32, 64])
-                .run(&k.program, &CountingOracle)
+                .run(&k.program, &FastCountingOracle::with_engine(o.engine))
                 .expect("sweep");
             let rows: Vec<Vec<String>> = results
                 .group_by(|r| r.cfg.n_pes)
@@ -227,16 +276,19 @@ fn main() {
                 cache_elems: if o.no_cache { 0 } else { o.cache },
                 ..SearchSpace::default()
             };
+            let oracle = FastCountingOracle::with_engine(o.engine);
             let rows: Vec<Vec<String>> = kernels
                 .iter()
                 .map(|k| {
-                    let best = search(&k.program, &space, &CountingOracle).expect("search");
+                    let best =
+                        search_with(&k.program, &space, &oracle, o.objective).expect("search");
                     vec![
                         k.code.to_string(),
                         k.class_abbrev().to_string(),
                         best.scheme.name(),
                         best.page_size.to_string(),
                         fmt_pct(best.remote_pct),
+                        format!("{:.3}", best.write_balance),
                         best.messages.to_string(),
                         best.evaluated.to_string(),
                     ]
@@ -251,6 +303,7 @@ fn main() {
                         "best_scheme",
                         "best_page_size",
                         "remote_pct",
+                        "write_balance",
                         "messages",
                         "evaluated"
                     ],

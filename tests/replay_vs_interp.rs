@@ -1,0 +1,346 @@
+//! Differential correctness of the compiled access replay
+//! (`sa_core::replay`) against the statement-by-statement interpreter
+//! (`sa_core::exec::simulate`):
+//!
+//! 1. **Full Livermore suite × figure grid** — every kernel, every grid
+//!    point of the paper's figures, bit-identical `Stats` (global and
+//!    per-nest), message/hop/link-load totals included.
+//! 2. **Proptest** — randomly generated affine nests (1–2 levels, skews,
+//!    scaled subscripts, reductions, multi-statement bodies) × random
+//!    machine configs.
+//! 3. **Oracle equivalence** — `FastCountingOracle` in every engine mode
+//!    produces the same `RunRecord`s as `CountingOracle` over a plan.
+
+use proptest::prelude::*;
+
+use sapp::core::exec::simulate;
+use sapp::core::plan::{ExperimentPlan, RunConfig};
+use sapp::core::replay;
+use sapp::core::{par_map, CountingOracle, Engine, FastCountingOracle, Oracle};
+use sapp::ir::index::iv;
+use sapp::ir::{InitPattern, Program, ProgramBuilder, ReduceOp};
+use sapp::loops::suite;
+use sapp::machine::{CachePolicy, MachineConfig, NetworkTopology, PartitionScheme};
+
+/// Assert replay ≡ interpreter on every counter for one (program, config).
+fn assert_identical(label: &str, program: &Program, cfg: &MachineConfig) {
+    let sim = simulate(program, cfg)
+        .unwrap_or_else(|e| panic!("{label}: interpreter rejected the program: {e}"));
+    let rep = replay::counts(program, cfg)
+        .unwrap_or_else(|e| panic!("{label}: replay rejected the program: {e}"));
+    assert_eq!(rep.stats, sim.stats, "{label}: global stats");
+    assert_eq!(rep.per_nest, sim.per_nest, "{label}: per-nest stats");
+    assert_eq!(
+        rep.network_messages, sim.network_messages,
+        "{label}: messages"
+    );
+    assert_eq!(rep.network_hops, sim.network_hops, "{label}: hops");
+    assert_eq!(rep.max_link_load, sim.max_link_load, "{label}: link load");
+}
+
+/// The paper's figure grid: PE counts × page sizes × cache on/off.
+fn figure_grid() -> Vec<MachineConfig> {
+    let mut grid = Vec::new();
+    for &n_pes in &[1usize, 2, 4, 8, 16, 32] {
+        for &ps in &[32usize, 64] {
+            for &cached in &[true, false] {
+                let cfg = MachineConfig::new(n_pes, ps);
+                grid.push(if cached { cfg } else { cfg.with_cache_elems(0) });
+            }
+        }
+    }
+    grid
+}
+
+#[test]
+fn full_suite_bit_identical_across_the_figure_grid() {
+    // Every kernel of the suite is statically classifiable (affine anchors
+    // and subscripts, or gathers through statically initialized index
+    // arrays), so the strict replay engine must accept all of them and
+    // reproduce the interpreter's counts exactly. The (kernel, config)
+    // points are independent, so fan the differential itself out.
+    let kernels = suite();
+    let grid = figure_grid();
+    let points: Vec<(usize, usize)> = (0..kernels.len())
+        .flat_map(|k| (0..grid.len()).map(move |c| (k, c)))
+        .collect();
+    par_map(&points, |&(k, c)| {
+        let kernel = &kernels[k];
+        assert_identical(
+            &format!("{} @ {:?}", kernel.code, grid[c]),
+            &kernel.program,
+            &grid[c],
+        );
+        Ok::<_, std::convert::Infallible>(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn multi_pass_k18_with_reinits_bit_identical() {
+    // The Figure-3 shape: five passes separated by §5 re-initialization
+    // rounds — generation bumps, cache invalidation and host-protocol
+    // messages all cross the replay/interpreter boundary.
+    let k = sapp::loops::k18_hydro2d::build_with_passes(101, 5);
+    for cfg in [
+        MachineConfig::new(16, 32),
+        MachineConfig::new(16, 32).with_cache_elems(0),
+        MachineConfig::new(8, 64).with_network(NetworkTopology::Hypercube),
+    ] {
+        assert_identical("K18×5", &k.program, &cfg);
+    }
+}
+
+#[test]
+fn gather_kernels_bit_identical_with_contended_networks() {
+    // K13/K14F: the Random-class gathers resolve through statically
+    // initialized index arrays, so replay handles them without fallback —
+    // including hop and per-link accounting on routed topologies.
+    for (label, program) in [
+        ("K13", sapp::loops::k13_pic2d::build(1001).program),
+        ("K14F", sapp::loops::k14_pic1d::build_full(1001).program),
+    ] {
+        for net in [
+            NetworkTopology::Ring,
+            NetworkTopology::Mesh2D,
+            NetworkTopology::Hypercube,
+        ] {
+            let cfg = MachineConfig::new(16, 32).with_network(net);
+            assert_identical(label, &program, &cfg);
+        }
+    }
+}
+
+#[test]
+fn fast_oracle_equals_counting_oracle_over_a_plan() {
+    let k = sapp::loops::k12_first_diff::build(1000);
+    let plan = ExperimentPlan::new()
+        .page_sizes(&[32, 64])
+        .cache_flags(&[true, false])
+        .pes(&[1, 4, 16]);
+    let reference = plan.run(&k.program, &CountingOracle).unwrap();
+    for engine in [Engine::Interp, Engine::Replay, Engine::Auto] {
+        let fast = plan
+            .run(&k.program, &FastCountingOracle::with_engine(engine))
+            .unwrap();
+        assert_eq!(
+            fast.records(),
+            reference.records(),
+            "engine {}",
+            engine.name()
+        );
+    }
+}
+
+#[test]
+fn strict_replay_measures_every_suite_kernel() {
+    // The `--engine replay` CLI path must not need fallback anywhere in
+    // the suite.
+    let oracle = FastCountingOracle::with_engine(Engine::Replay);
+    for kernel in suite() {
+        let rec = oracle
+            .measure(&kernel.program, &RunConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.code));
+        assert!(rec.total_reads > 0 || rec.writes > 0, "{}", kernel.code);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: random affine nests × random machine configs
+// ---------------------------------------------------------------------------
+
+/// Parameters of one generated affine statement.
+#[derive(Debug, Clone)]
+struct GenStmt {
+    /// Reduce instead of assign.
+    reduce: bool,
+    /// `(coeff on the innermost var, offset)` per read, innermost-affine.
+    reads: Vec<(i64, i64)>,
+    /// Row skew of an extra 2-D read along the outer var (2-level nests
+    /// only) — exercises outer-variable coefficients in the address form.
+    outer_skew: i64,
+}
+
+/// Parameters of one generated program.
+#[derive(Debug, Clone)]
+struct GenProgram {
+    /// Trip counts: 1-level `[n]` or 2-level `[outer, inner]`.
+    trips: Vec<usize>,
+    stmts: Vec<GenStmt>,
+    /// Append a second nest re-reading the first nest's outputs.
+    chain: bool,
+}
+
+const MAX_COEFF: i64 = 3;
+const OFF_PAD: i64 = 12; // offsets are generated in -OFF_PAD..=OFF_PAD
+
+fn stmt_strategy() -> impl Strategy<Value = GenStmt> {
+    (
+        proptest::bool::ANY,
+        proptest::collection::vec((1i64..=MAX_COEFF, -OFF_PAD..=OFF_PAD), 1..4),
+        0i64..3,
+    )
+        .prop_map(|(reduce, reads, outer_skew)| GenStmt {
+            reduce,
+            reads,
+            outer_skew,
+        })
+}
+
+fn program_strategy() -> impl Strategy<Value = GenProgram> {
+    (
+        prop_oneof![
+            (2usize..60).prop_map(|n| vec![n]),
+            ((2usize..12), (2usize..24)).prop_map(|(a, b)| vec![a, b]),
+        ],
+        proptest::collection::vec(stmt_strategy(), 1..4),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(trips, stmts, chain)| GenProgram {
+            trips,
+            stmts,
+            chain,
+        })
+}
+
+/// Materialize a generated spec into a valid single-assignment program:
+/// every statement writes its own output array at the identity subscript
+/// (so no double writes), and read arrays are padded so every generated
+/// subscript stays in bounds.
+fn build_program(spec: &GenProgram) -> Program {
+    let mut b = ProgramBuilder::new("gen");
+    let depth = spec.trips.len();
+    let inner = spec.trips[depth - 1];
+    let outer = if depth == 2 { spec.trips[0] } else { 1 };
+
+    // Shared inputs large enough for any (coeff, offset) pair.
+    let read_len = (MAX_COEFF * (inner as i64 - 1) + 2 * OFF_PAD + 1) as usize;
+    let y = b.input("Y", &[read_len], InitPattern::Wavy);
+    let y2 = b.input("Y2", &[outer + 3, inner], InitPattern::Harmonic);
+
+    let mut outputs = Vec::new();
+    for (si, stmt) in spec.stmts.iter().enumerate() {
+        let mk_value = |nb: &sapp::ir::builder::NestBuilder| {
+            let mut value: Option<sapp::ir::Expr> = None;
+            for &(c, off) in &stmt.reads {
+                // Shift by OFF_PAD so the smallest generated index is 0.
+                let idx = iv(depth - 1).scale(c).plus(off + OFF_PAD);
+                let read = nb.read(y, [idx]);
+                value = Some(match value {
+                    None => read,
+                    Some(v) => v + read,
+                });
+            }
+            let mut value = value.expect("at least one read");
+            if depth == 2 {
+                // Outer-variable coefficient in the address form.
+                value = value + nb.read(y2, [iv(0).plus(stmt.outer_skew), iv(1)]);
+            }
+            value
+        };
+        if stmt.reduce {
+            let s = b.scalar(format!("s{si}"));
+            b.nest(format!("n{si}"), &bounds(outer, inner, depth), |nb| {
+                nb.reduce(s, ReduceOp::Sum, mk_value(nb));
+            });
+        } else {
+            let dims: Vec<usize> = if depth == 2 {
+                vec![outer, inner]
+            } else {
+                vec![inner]
+            };
+            let x = b.output(format!("X{si}"), &dims);
+            outputs.push((x, dims));
+            b.nest(format!("n{si}"), &bounds(outer, inner, depth), |nb| {
+                if depth == 2 {
+                    nb.assign(x, [iv(0), iv(1)], mk_value(nb));
+                } else {
+                    nb.assign(x, [iv(0)], mk_value(nb));
+                }
+            });
+        }
+    }
+
+    if spec.chain {
+        // A follow-up nest reading the produced arrays (matched subscripts
+        // — always defined), exercising cross-nest cache state.
+        for (ci, (x, dims)) in outputs.iter().enumerate() {
+            let z = b.output(format!("Z{ci}"), dims);
+            if depth == 2 {
+                let (o, i) = (dims[0], dims[1]);
+                b.nest(format!("c{ci}"), &bounds(o, i, 2), |nb| {
+                    nb.assign(z, [iv(0), iv(1)], nb.read(*x, [iv(0), iv(1)]) * 2.0);
+                });
+            } else {
+                b.nest(format!("c{ci}"), &bounds(1, dims[0], 1), |nb| {
+                    nb.assign(z, [iv(0)], nb.read(*x, [iv(0)]) * 2.0);
+                });
+            }
+        }
+    }
+    b.finish()
+}
+
+fn bounds(outer: usize, inner: usize, depth: usize) -> Vec<(&'static str, i64, i64)> {
+    if depth == 2 {
+        vec![("i", 0, outer as i64 - 1), ("j", 0, inner as i64 - 1)]
+    } else {
+        vec![("k", 0, inner as i64 - 1)]
+    }
+}
+
+fn config_strategy() -> impl Strategy<Value = MachineConfig> {
+    (
+        (
+            1usize..17,
+            proptest::sample::select(vec![4usize, 8, 16, 32, 64]),
+            proptest::sample::select(vec![0usize, 32, 64, 256]),
+        ),
+        (
+            prop_oneof![
+                Just(PartitionScheme::Modulo),
+                Just(PartitionScheme::Block),
+                (1usize..4).prop_map(|b| PartitionScheme::BlockCyclic { block_pages: b }),
+            ],
+            prop_oneof![
+                Just(CachePolicy::Lru),
+                Just(CachePolicy::Fifo),
+                (1u64..1000).prop_map(|seed| CachePolicy::Random { seed }),
+            ],
+            proptest::sample::select(vec![
+                NetworkTopology::Ideal,
+                NetworkTopology::Crossbar,
+                NetworkTopology::Ring,
+                NetworkTopology::Mesh2D,
+                NetworkTopology::Hypercube,
+            ]),
+        ),
+    )
+        .prop_map(|((n_pes, ps, cache), (scheme, policy, net))| {
+            MachineConfig::new(n_pes, ps)
+                .with_cache_elems(cache)
+                .with_partition(scheme)
+                .with_cache_policy(policy)
+                .with_network(net)
+        })
+}
+
+proptest! {
+    /// Replay ≡ interpreter on random affine programs × random machines.
+    #[test]
+    fn random_affine_nests_bit_identical(
+        spec in program_strategy(),
+        cfg in config_strategy(),
+    ) {
+        let program = build_program(&spec);
+        let sim = simulate(&program, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        let rep = replay::counts(&program, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(&rep.stats, &sim.stats, "spec {:?} cfg {:?}", &spec, &cfg);
+        prop_assert_eq!(&rep.per_nest, &sim.per_nest);
+        prop_assert_eq!(rep.network_messages, sim.network_messages);
+        prop_assert_eq!(rep.network_hops, sim.network_hops);
+        prop_assert_eq!(rep.max_link_load, sim.max_link_load);
+    }
+}

@@ -1,0 +1,141 @@
+//! Regression tests for the report pipeline's edge cases:
+//!
+//! * zero-read programs (e.g. write-only or pure-reinit phases) must
+//!   report 0.0 remote % — never NaN — all the way from `Stats` through
+//!   the oracles into CSV/JSON cells and `ResultSet` pivots;
+//! * the hand-rolled `report::json` emitter must escape hostile kernel
+//!   and nest labels per RFC 8259.
+
+use sapp::core::exec::simulate;
+use sapp::core::plan::ExperimentPlan;
+use sapp::core::replay;
+use sapp::core::report::{csv, fmt_pct, json};
+use sapp::core::results::Column;
+use sapp::core::{CountingOracle, FastCountingOracle, Oracle};
+use sapp::ir::index::iv;
+use sapp::ir::{Program, ProgramBuilder};
+use sapp::machine::MachineConfig;
+
+/// A program whose only nest performs writes but no reads, plus a reinit
+/// round — total reads stay zero for the whole run.
+fn write_only_program() -> Program {
+    let mut b = ProgramBuilder::new("write-only");
+    let x = b.output("X", &[96]);
+    b.nest("fill", &[("k", 0, 95)], |nb| {
+        nb.assign(x, [iv(0)], sapp::ir::Expr::LoopVar(0));
+    });
+    b.reinit(x);
+    b.nest("refill", &[("k", 0, 95)], |nb| {
+        nb.assign(x, [iv(0)], sapp::ir::Expr::LoopVar(0) * 2.0);
+    });
+    b.finish()
+}
+
+#[test]
+fn zero_read_run_reports_zero_remote_pct_not_nan() {
+    let p = write_only_program();
+    let cfg = MachineConfig::new(4, 16);
+
+    let sim = simulate(&p, &cfg).unwrap();
+    assert_eq!(sim.stats.total_reads(), 0);
+    assert_eq!(sim.remote_pct(), 0.0);
+    assert!(!sim.remote_pct().is_nan());
+    assert_eq!(sim.stats.cached_read_pct(), 0.0);
+    // Per-nest stats are zero-read too and must behave the same.
+    for (label, stats) in &sim.per_nest {
+        assert_eq!(stats.remote_read_pct(), 0.0, "nest {label}");
+        assert!(!stats.remote_read_pct().is_nan(), "nest {label}");
+    }
+
+    let rep = replay::counts(&p, &cfg).unwrap();
+    assert_eq!(rep.remote_pct(), 0.0);
+    assert!(!rep.remote_pct().is_nan());
+}
+
+#[test]
+fn zero_read_records_render_cleanly_in_csv_and_json() {
+    let p = write_only_program();
+    let plan = ExperimentPlan::new().pes(&[1, 4]);
+    for oracle in [
+        Box::new(CountingOracle) as Box<dyn Oracle>,
+        Box::new(FastCountingOracle::default()),
+    ] {
+        let results = plan.run(&p, oracle.as_ref()).unwrap();
+        for r in results.records() {
+            assert_eq!(r.remote_pct, 0.0, "{}", oracle.name());
+            assert!(!r.remote_pct.is_nan());
+            assert!(!r.cached_pct.is_nan());
+            assert!(!r.write_balance.is_nan());
+        }
+        let cols = [Column::Pes, Column::RemotePct, Column::CachedPct];
+        let rows = results.rows(&cols);
+        let rendered_csv = csv(&Column::headers(&cols), &rows);
+        let rendered_json = json(&Column::headers(&cols), &rows);
+        for out in [&rendered_csv, &rendered_json] {
+            assert!(!out.contains("NaN"), "NaN leaked into output: {out}");
+            assert!(out.contains("0.00%"), "missing zero percentage: {out}");
+        }
+        // Pivots over a zero-read set stay finite as well.
+        let series = results.series(
+            |_| "all".to_string(),
+            |r| r.cfg.n_pes as f64,
+            |r| r.remote_pct,
+        );
+        assert!(series[0].points.iter().all(|(_, y)| y.is_finite()));
+    }
+}
+
+#[test]
+fn fmt_pct_of_zero_is_stable() {
+    assert_eq!(fmt_pct(0.0), "0.00%");
+}
+
+#[test]
+fn json_escapes_hostile_kernel_and_nest_labels() {
+    // A label exercising every escape class of RFC 8259 §7: quote,
+    // backslash, the two-character escapes, and a raw control byte.
+    let hostile = "K\"1\\evil\n\r\t\u{1}end";
+    let out = json(
+        &["kernel", "remote_pct"],
+        &[vec![hostile.to_string(), "1.5".into()]],
+    );
+    assert!(
+        out.contains(r#""K\"1\\evil\n\r\t\u0001end""#),
+        "label not escaped per RFC 8259: {out}"
+    );
+    // No raw control characters or unescaped quotes survive.
+    assert!(out.chars().all(|c| c >= ' ' || c == '\n'));
+
+    // Hostile headers are escaped the same way.
+    let out = json(&["a\"b\\c"], &[vec!["1".into()]]);
+    assert!(out.contains(r#""a\"b\\c""#), "{out}");
+}
+
+#[test]
+fn json_end_to_end_with_a_hostile_kernel_axis_label() {
+    // Kernel labels flow verbatim from the plan into report cells; a
+    // hostile code must come out escaped, not break the document.
+    let p = write_only_program();
+    let hostile = "K\"12\\x\n";
+    let plan = ExperimentPlan::new().kernels(&[hostile]).pes(&[2]);
+    let results = plan.run_kernels(&[(hostile, &p)], &CountingOracle).unwrap();
+    let cols = [Column::Kernel, Column::RemotePct];
+    let out = json(&Column::headers(&cols), &results.rows(&cols));
+    assert!(out.contains(r#""K\"12\\x\n""#), "{out}");
+    // Raw newline inside a string literal would be invalid JSON; the only
+    // newlines left are the pretty-printer's own, so every line must close
+    // its quotes (counting backslash escapes).
+    for line in out.lines() {
+        let (mut esc, mut quotes) = (false, 0usize);
+        for c in line.chars() {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                quotes += 1;
+            }
+        }
+        assert_eq!(quotes % 2, 0, "unbalanced quotes in line: {line}");
+    }
+}
