@@ -14,7 +14,7 @@
 use sa_core::experiment::speedup_sweep;
 use sa_core::plan::{ExperimentPlan, RunConfig};
 use sa_core::replay::counts_or_simulate;
-use sa_core::report::{ascii_chart, fmt_pct, markdown_table};
+use sa_core::report::{ascii_chart, fmt_opt_u64, fmt_pct, markdown_table};
 use sa_core::results::ResultSet;
 use sa_core::{FastCountingOracle, Oracle, TimingOracle};
 use sa_ir::Program;
@@ -391,8 +391,8 @@ pub fn timing() -> String {
                 r.cfg.kernel.clone().unwrap_or_default(),
                 r.cfg.network.name().to_string(),
                 r.messages.to_string(),
-                r.hops.to_string(),
-                r.max_link_load.to_string(),
+                fmt_opt_u64(r.hops),
+                fmt_opt_u64(r.max_link_load),
             ]
         })
         .collect();

@@ -346,24 +346,15 @@ fn exec_stmt(
     rr_counter: &mut usize,
     tracing: bool,
 ) -> Result<(usize, Instance), SimError> {
-    // Determine the executing PE (index screening).
-    let pe = match map.anchor_owner(program, stmt, ivs) {
+    // Determine the executing PE (index screening): the shared resolution
+    // path, with the machine's omniscient peek as the (uncounted) resolver
+    // for indirect anchors; anchorless reductions are dealt round-robin.
+    let pe = match map.resolved_anchor_owner(program, stmt, ivs, &mut PeekMem { machine })? {
         Some(pe) => pe,
         None => {
-            // Indirect anchor or anchorless reduction: resolve via peeking
-            // (indirect) or deal round-robin (anchorless).
-            match sa_ir::analysis::anchor_ref(stmt) {
-                Some(aref) => {
-                    let mut peek = PeekMem { machine };
-                    let addr = ctx.resolve_addr(aref, ivs, &mut peek)?;
-                    map.owner(aref.array, addr)
-                }
-                None => {
-                    let pe = *rr_counter % map.n_pes();
-                    *rr_counter += 1;
-                    pe
-                }
-            }
+            let pe = *rr_counter % map.n_pes();
+            *rr_counter += 1;
+            pe
         }
     };
 

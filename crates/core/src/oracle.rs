@@ -49,10 +49,12 @@ pub struct RunRecord {
     pub total_reads: u64,
     /// Network messages (page fetches ×2 + protocol traffic).
     pub messages: u64,
-    /// Total hop traversals (0 for backends without a network model).
-    pub hops: u64,
-    /// Heaviest directed-link traffic (0 without a network model).
-    pub max_link_load: u64,
+    /// Total hop traversals; `None` for backends without a network model
+    /// (the thread runtime), so mixed-oracle reports can tell "zero hops"
+    /// from "not modeled".
+    pub hops: Option<u64>,
+    /// Heaviest directed-link traffic; `None` without a network model.
+    pub max_link_load: Option<u64>,
     /// Jain fairness index of the per-PE write distribution (1 = perfectly
     /// balanced compute, `1/n_pes` = everything on one PE). Writes are one
     /// per statement instance under owner-computes, so this measures how
@@ -60,6 +62,20 @@ pub struct RunRecord {
     pub write_balance: f64,
     /// Estimated execution cycles — only timing-capable oracles fill this.
     pub cycles: Option<u64>,
+}
+
+impl RunRecord {
+    /// Hop count as a plot value: `NaN` when the backend has no network
+    /// model, so pivoted series drop the point instead of charting a fake
+    /// zero.
+    pub fn hops_f64(&self) -> f64 {
+        self.hops.map(|h| h as f64).unwrap_or(f64::NAN)
+    }
+
+    /// Link load as a plot value; `NaN` when not modeled.
+    pub fn max_link_load_f64(&self) -> f64 {
+        self.max_link_load.map(|l| l as f64).unwrap_or(f64::NAN)
+    }
 }
 
 /// [`RunRecord::write_balance`] for a stats block.
@@ -81,8 +97,8 @@ fn record_of(cfg: &RunConfig, rep: &CountReport, cycles: Option<u64>) -> RunReco
         remote_reads: rep.stats.remote_reads(),
         total_reads: rep.stats.total_reads(),
         messages: rep.network_messages,
-        hops: rep.network_hops,
-        max_link_load: rep.max_link_load,
+        hops: Some(rep.network_hops),
+        max_link_load: Some(rep.max_link_load),
         write_balance: write_balance_of(&rep.stats),
         cycles,
     }

@@ -306,7 +306,8 @@ impl ExperimentPlan {
 
     /// Evaluate every grid point of a plan without a [`Axis::Kernel`] axis
     /// against `program`, fanning out across threads. Results keep grid
-    /// order; the lowest-index failure wins, like a sequential `?` loop.
+    /// order; [`OracleError::Unsupported`] points are dropped (fail soft),
+    /// any other failure wins by lowest index, like a sequential `?` loop.
     pub fn run(&self, program: &Program, oracle: &dyn Oracle) -> Result<ResultSet, PlanError> {
         self.run_with(oracle, |cfg| match &cfg.kernel {
             None => Ok(program),
@@ -336,6 +337,13 @@ impl ExperimentPlan {
 
     /// Shared runner: validate, enumerate, resolve each point's program,
     /// and measure the grid concurrently through the oracle.
+    ///
+    /// Grid points the oracle rejects with [`OracleError::Unsupported`]
+    /// fail soft: they are dropped from the result set instead of
+    /// aborting the sweep, so mixed grids (e.g. a thread-oracle sweep
+    /// crossing a network or kernel axis where only some points are
+    /// executable) still report every point the oracle can measure. Any
+    /// other failure aborts, lowest grid index first.
     fn run_with<'p>(
         &self,
         oracle: &dyn Oracle,
@@ -345,9 +353,13 @@ impl ExperimentPlan {
         let grid: Vec<RunConfig> = self.configs().collect();
         let records = par_map(&grid, |cfg| {
             let program = resolve(cfg)?;
-            oracle.measure(program, cfg).map_err(PlanError::Oracle)
+            match oracle.measure(program, cfg) {
+                Ok(rec) => Ok(Some(rec)),
+                Err(OracleError::Unsupported(_)) => Ok(None),
+                Err(e) => Err(PlanError::Oracle(e)),
+            }
         })?;
-        Ok(ResultSet::new(records))
+        Ok(ResultSet::new(records.into_iter().flatten().collect()))
     }
 }
 
@@ -449,6 +461,49 @@ mod tests {
             Err(ConfigError::DuplicateAxis { axis: "pes" })
         );
         assert_eq!(demo_plan().validate(), Ok(()));
+    }
+
+    #[test]
+    fn unsupported_grid_points_fail_soft() {
+        use crate::oracle::{CountingOracle, RunRecord};
+        use sa_ir::index::iv;
+        use sa_ir::{InitPattern, ProgramBuilder};
+
+        // An oracle with a supported-config subset, like ThreadOracle's
+        // LRU-only/Ideal-only matrix: here, anything but 2 PEs.
+        struct Picky;
+        impl Oracle for Picky {
+            fn name(&self) -> &'static str {
+                "picky"
+            }
+            fn measure(
+                &self,
+                program: &Program,
+                cfg: &RunConfig,
+            ) -> Result<RunRecord, OracleError> {
+                if cfg.n_pes == 2 {
+                    return Err(OracleError::Unsupported("2 PEs unsupported".into()));
+                }
+                CountingOracle.measure(program, cfg)
+            }
+        }
+
+        let mut b = ProgramBuilder::new("tiny");
+        let y = b.input("Y", &[128], InitPattern::Wavy);
+        let x = b.output("X", &[128]);
+        b.nest("s", &[("k", 0, 127)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) + 1.0);
+        });
+        let p = b.finish();
+
+        // The 2-PE column drops out; the other grid points still report.
+        let set = ExperimentPlan::new()
+            .pes(&[1, 2, 4])
+            .page_sizes(&[16, 32])
+            .run(&p, &Picky)
+            .expect("unsupported points must not abort the sweep");
+        assert_eq!(set.len(), 4);
+        assert!(set.records().iter().all(|r| r.cfg.n_pes != 2));
     }
 
     #[test]

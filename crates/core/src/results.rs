@@ -146,6 +146,11 @@ pub enum Column {
     TotalReads,
     /// Network messages.
     Messages,
+    /// Total hop traversals (blank when the backend has no network model —
+    /// an unmodeled metric must not pivot as a zero).
+    Hops,
+    /// Heaviest directed-link traffic (blank when not modeled).
+    MaxLinkLoad,
     /// Estimated cycles (blank unless a timing oracle ran).
     Cycles,
 }
@@ -167,6 +172,8 @@ impl Column {
             Column::RemoteReads => "remote_reads",
             Column::TotalReads => "total_reads",
             Column::Messages => "messages",
+            Column::Hops => "hops",
+            Column::MaxLinkLoad => "max_link_load",
             Column::Cycles => "cycles",
         }
     }
@@ -192,7 +199,9 @@ impl Column {
             Column::RemoteReads => r.remote_reads.to_string(),
             Column::TotalReads => r.total_reads.to_string(),
             Column::Messages => r.messages.to_string(),
-            Column::Cycles => r.cycles.map(|c| c.to_string()).unwrap_or_default(),
+            Column::Hops => crate::report::fmt_opt_u64(r.hops),
+            Column::MaxLinkLoad => crate::report::fmt_opt_u64(r.max_link_load),
+            Column::Cycles => crate::report::fmt_opt_u64(r.cycles),
         }
     }
 }
@@ -217,8 +226,8 @@ mod tests {
             remote_reads: 2,
             total_reads: 3,
             messages: 4,
-            hops: 0,
-            max_link_load: 0,
+            hops: Some(0),
+            max_link_load: Some(0),
             write_balance: 1.0,
             cycles: None,
         }

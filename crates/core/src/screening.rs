@@ -8,8 +8,9 @@
 //! [`PartitionMap`] is the lightweight, immutable ownership oracle shared
 //! by the counting simulator, the timing pass and the real-thread runtime.
 
+use sa_ir::interp::{resolve_ref_addr, Memory};
 use sa_ir::nest::Stmt;
-use sa_ir::{analysis, ArrayId, Program};
+use sa_ir::{analysis, ArrayId, IrError, Program};
 use sa_machine::{pages_in, MachineConfig, PartitionScheme};
 
 /// Immutable page-ownership map for one (program, machine) pair.
@@ -59,7 +60,8 @@ impl PartitionMap {
     /// The anchor is the write target for assignments and the first read
     /// for reductions (see [`analysis::anchor_ref`]). Indirect anchors are
     /// resolved by the executor (they need memory); this fast path covers
-    /// the affine case used by owner screening.
+    /// the affine case used by owner screening. See
+    /// [`PartitionMap::resolved_anchor_owner`] for the full path.
     pub fn anchor_owner(&self, program: &Program, stmt: &Stmt, ivs: &[i64]) -> Option<usize> {
         let anchor = analysis::anchor_ref(stmt)?;
         let affine = anchor.affine_indices()?;
@@ -67,6 +69,38 @@ impl PartitionMap {
         let idx: Vec<i64> = affine.iter().map(|a| a.eval(ivs)).collect();
         let addr = decl.linearize(&idx).ok()?;
         Some(self.owner(anchor.array, addr))
+    }
+
+    /// Owning PE of a statement instance with *indirect anchors resolved*:
+    /// the one ownership routine every executor shares.
+    ///
+    /// Affine anchors take the memory-free fast path. Indirect anchors
+    /// (`A(P(i)) = …` scatters, indirect-anchored reductions) load their
+    /// index cells through `resolve` — a *non-counting* memory, because
+    /// ownership discovery is screening, not program work: the simulator
+    /// passes an omniscient peek, the thread runtime a resolution store fed
+    /// by static initializers and `IndirectFetch` messages. The index
+    /// array's own single assignment (ordered before this nest by SSA
+    /// sequencing) guarantees every executor resolves the same subscript.
+    ///
+    /// Returns `Ok(None)` only for anchorless statements (dealt round-robin
+    /// by the caller); address errors (out-of-bounds subscripts, reads of
+    /// never-defined index cells) surface as `Err`.
+    pub fn resolved_anchor_owner(
+        &self,
+        program: &Program,
+        stmt: &Stmt,
+        ivs: &[i64],
+        resolve: &mut impl Memory,
+    ) -> Result<Option<usize>, IrError> {
+        if let Some(pe) = self.anchor_owner(program, stmt, ivs) {
+            return Ok(Some(pe));
+        }
+        let Some(anchor) = analysis::anchor_ref(stmt) else {
+            return Ok(None);
+        };
+        let addr = resolve_ref_addr(program, anchor, ivs, resolve)?;
+        Ok(Some(self.owner(anchor.array, addr)))
     }
 }
 

@@ -20,7 +20,7 @@
 use sa_ir::Program;
 use sa_machine::PartitionScheme;
 
-use crate::oracle::{Oracle, RunRecord};
+use crate::oracle::{Oracle, OracleError, RunRecord};
 use crate::plan::{ExperimentPlan, PlanError, RunConfig};
 use crate::results::ResultSet;
 
@@ -182,8 +182,13 @@ pub fn search_with(
     objective: Objective,
 ) -> Result<BestConfig, PlanError> {
     let results = space.plan().run(kernel, oracle)?;
-    // A validated plan has non-empty axes, so a winner always exists.
-    Ok(BestConfig::from_results(&results, objective).expect("non-empty search space"))
+    // A validated plan has non-empty axes, but every candidate may still
+    // have been dropped as oracle-unsupported (plans fail soft per point).
+    BestConfig::from_results(&results, objective).ok_or_else(|| {
+        PlanError::Oracle(OracleError::Unsupported(
+            "every candidate configuration was unsupported by the oracle".into(),
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -306,8 +311,8 @@ mod tests {
             remote_reads: 0,
             total_reads: 1,
             messages: 0,
-            hops: 0,
-            max_link_load: 0,
+            hops: Some(0),
+            max_link_load: Some(0),
             write_balance,
             cycles: None,
         };

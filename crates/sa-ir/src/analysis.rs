@@ -300,6 +300,35 @@ pub fn anchor_ref(stmt: &Stmt) -> Option<&ArrayRef> {
     }
 }
 
+/// True if the statement's anchor goes through an index array, so its
+/// owner cannot be computed from the iteration vector alone — the executor
+/// must first resolve the gathered subscript (scatter writes `A(P(i)) = …`
+/// and indirect-anchored reductions `s ⊕= A(P(i))`).
+pub fn has_indirect_anchor(stmt: &Stmt) -> bool {
+    anchor_ref(stmt)
+        .map(ArrayRef::has_indirection)
+        .unwrap_or(false)
+}
+
+/// The index arrays the statement's anchor reads through (deduplicated, in
+/// index order); empty for affine or absent anchors. These are the arrays
+/// whose single assignment must complete *before* the anchor can be
+/// resolved — the SSA sequencing precondition the thread runtime's
+/// pre-flight check enforces.
+pub fn anchor_index_arrays(stmt: &Stmt) -> Vec<crate::ArrayId> {
+    let mut out = Vec::new();
+    if let Some(aref) = anchor_ref(stmt) {
+        for ix in &aref.indices {
+            if let IndexExpr::Indirect { base, .. } = ix {
+                if !out.contains(base) {
+                    out.push(*base);
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Classify one nest of `program`.
 pub fn classify_nest(program: &Program, nest: &LoopNest) -> NestReport {
     let nvars = nest.loops.len();

@@ -201,6 +201,32 @@ impl NestBuilder {
         });
     }
 
+    /// Append the rank-1 scatter `array[ base[pos] ] ← value` — a write
+    /// whose target address goes through an index array (the statement
+    /// anchor is *indirect*, so executors must resolve it before owner
+    /// screening). Single assignment requires the `base[pos]` values hit
+    /// by the nest to be pairwise distinct — e.g. a permutation.
+    pub fn assign_indirect(
+        &mut self,
+        array: ArrayId,
+        base: ArrayId,
+        pos: AffineIndex,
+        value: impl Into<Expr>,
+    ) {
+        self.body.push(Stmt::Assign {
+            target: ArrayRef::new(
+                array,
+                vec![IndexExpr::Indirect {
+                    base,
+                    pos,
+                    scale: 1,
+                    offset: 0,
+                }],
+            ),
+            value: value.into(),
+        });
+    }
+
     /// Append `scalar ← scalar ⊕ value`.
     pub fn reduce(&mut self, target: ScalarId, op: ReduceOp, value: impl Into<Expr>) {
         self.body.push(Stmt::Reduce {

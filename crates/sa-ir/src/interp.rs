@@ -57,34 +57,7 @@ impl<'p> EvalCtx<'p> {
         ivs: &[i64],
         mem: &mut impl Memory,
     ) -> Result<usize, IrError> {
-        let decl = self.program.array(aref.array);
-        let mut idx = Vec::with_capacity(aref.indices.len());
-        for ix in &aref.indices {
-            let v = match ix {
-                IndexExpr::Affine(a) => a.eval(ivs),
-                IndexExpr::Indirect {
-                    base,
-                    pos,
-                    scale,
-                    offset,
-                } => {
-                    let base_decl = self.program.array(*base);
-                    let p = pos.eval(ivs);
-                    if p < 0 || p as usize >= base_decl.len() {
-                        return Err(IrError::IndexOutOfBounds {
-                            array: base_decl.name.clone(),
-                            dim: 0,
-                            index: p,
-                            extent: base_decl.len(),
-                        });
-                    }
-                    let fetched = mem.load(*base, p as usize)?;
-                    scale * (fetched as i64) + offset
-                }
-            };
-            idx.push(v);
-        }
-        decl.linearize(&idx)
+        resolve_ref_addr(self.program, aref, ivs, mem)
     }
 
     /// Evaluate an expression at iteration `ivs`, loading elements via `mem`.
@@ -106,6 +79,51 @@ impl<'p> EvalCtx<'p> {
             }
         })
     }
+}
+
+/// Resolve an [`ArrayRef`] to a linear address at iteration `ivs`, loading
+/// indirect index cells through `mem`.
+///
+/// This is the one address-resolution routine in the system: the reference
+/// interpreter, the counting simulator and the thread runtime all call it
+/// (directly or via [`EvalCtx::resolve_addr`]), so a gather subscript can
+/// never resolve differently between executors. Ownership screening reuses
+/// it too — `sa-core`'s `PartitionMap::resolved_anchor_owner` passes a
+/// non-counting `mem` to discover where an indirect anchor lands.
+pub fn resolve_ref_addr(
+    program: &Program,
+    aref: &ArrayRef,
+    ivs: &[i64],
+    mem: &mut impl Memory,
+) -> Result<usize, IrError> {
+    let decl = program.array(aref.array);
+    let mut idx = Vec::with_capacity(aref.indices.len());
+    for ix in &aref.indices {
+        let v = match ix {
+            IndexExpr::Affine(a) => a.eval(ivs),
+            IndexExpr::Indirect {
+                base,
+                pos,
+                scale,
+                offset,
+            } => {
+                let base_decl = program.array(*base);
+                let p = pos.eval(ivs);
+                if p < 0 || p as usize >= base_decl.len() {
+                    return Err(IrError::IndexOutOfBounds {
+                        array: base_decl.name.clone(),
+                        dim: 0,
+                        index: p,
+                        extent: base_decl.len(),
+                    });
+                }
+                let fetched = mem.load(*base, p as usize)?;
+                scale * (fetched as i64) + offset
+            }
+        };
+        idx.push(v);
+    }
+    decl.linearize(&idx)
 }
 
 /// Final state of a program run.

@@ -31,7 +31,26 @@ const GRID: usize = 64; // 64×64 field grids
 
 /// Build K13 with `n` particles (official: 1001; grid 64×64).
 pub fn build(n: usize) -> Kernel {
-    let mut b = ProgramBuilder::new("K13 2-D particle in a cell");
+    build_with(n, false)
+}
+
+/// Build K13 with the charge-deposit stage in *true scatter form*: the
+/// per-particle deposit is pushed through a particle permutation `IP`,
+/// `DEP(IP(ip)) = B(IX(ip),IY(ip)) + C(IX(ip),IY(ip))` — a 2-D gather on
+/// the right and an indirect statement anchor on the left, so owner
+/// screening must resolve the scattered subscript first. `IP` is a
+/// permutation, keeping the write single-assignment.
+pub fn build_scatter(n: usize) -> Kernel {
+    build_with(n, true)
+}
+
+fn build_with(n: usize, scatter: bool) -> Kernel {
+    let mut b = ProgramBuilder::new(if scatter {
+        "K13 2-D particle in a cell (scatter deposit)"
+    } else {
+        "K13 2-D particle in a cell"
+    });
+    let ip = scatter.then(|| b.input("IP", &[n + 1], InitPattern::Permutation { seed: 133 }));
     // Particle cell coordinates: bounded index data. The permutation
     // pattern modulo the grid edge keeps lookups in range while scattering
     // them across the whole field — the paper's "permutation lookups".
@@ -82,10 +101,17 @@ pub fn build(n: usize) -> Kernel {
         nb.assign(xn, [iv(0)], nb.read(px, [iv(0)]) + nb.read(vx, [iv(0)]));
         nb.assign(yn, [iv(0)], nb.read(py, [iv(0)]) + nb.read(vy, [iv(0)]));
     });
-    // Charge deposit, conflict-free SA form.
-    b.nest("k13-deposit", &[("ip", 1, n as i64)], |nb| {
-        nb.assign(dep, [iv(0)], cell(field_b) + cell(field_c));
-    });
+    // Charge deposit: conflict-free SA form, or the true scatter through
+    // the particle permutation when requested.
+    if let Some(ip) = ip {
+        b.nest("k13-deposit", &[("ip", 1, n as i64)], |nb| {
+            nb.assign_indirect(dep, ip, iv(0), cell(field_b) + cell(field_c));
+        });
+    } else {
+        b.nest("k13-deposit", &[("ip", 1, n as i64)], |nb| {
+            nb.assign(dep, [iv(0)], cell(field_b) + cell(field_c));
+        });
+    }
 
     let mut program = b.finish();
     // Bound the index data: the permutations were generated over 0..n+1;
@@ -96,8 +122,12 @@ pub fn build(n: usize) -> Kernel {
 
     Kernel {
         id: 13,
-        code: "K13",
-        name: "2-D Particle in a Cell",
+        code: if scatter { "K13S" } else { "K13" },
+        name: if scatter {
+            "2-D Particle in a Cell (scatter deposit)"
+        } else {
+            "2-D Particle in a Cell"
+        },
         program,
         expected_class: AccessClass::Random,
         paper_class: None,
@@ -164,5 +194,27 @@ mod tests {
     fn classifies_as_random() {
         let k = build(64);
         assert_eq!(classify_program(&k.program).class, AccessClass::Random);
+    }
+
+    #[test]
+    fn scatter_deposit_permutes_the_deposit_vector() {
+        let n = 120;
+        let plain = interpret(&build(n).program).unwrap();
+        let k = build_scatter(n);
+        assert_eq!(classify_program(&k.program).class, AccessClass::Random);
+        let scat = interpret(&k.program).unwrap();
+        let dep_plain = plain.arrays[build(n).program.array_id("DEP").unwrap().0].clone();
+        let dep_id = k.program.array_id("DEP").unwrap();
+        let ipv = InitPattern::Permutation { seed: 133 }.materialize(n + 1);
+        // DEP(IP(ip)) in the scatter build holds what DEP(ip) holds in the
+        // conflict-free build.
+        for (ip, &target) in ipv.iter().enumerate().take(n + 1).skip(1) {
+            let want = *dep_plain.read(ip).unwrap().unwrap();
+            let got = *scat.arrays[dep_id.0]
+                .read(target as usize)
+                .unwrap()
+                .unwrap();
+            assert_eq!(got, want, "DEP(IP({ip}))");
+        }
     }
 }

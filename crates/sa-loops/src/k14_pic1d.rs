@@ -37,6 +37,65 @@ pub fn build(n: usize) -> Kernel {
     }
 }
 
+/// Build the kernel with its *scatter* stage in true indirect form:
+/// gather + field update + fragment as in [`build_full`], plus the charge
+/// push-back `RXS(GRD(k)) = EX(k) - DEX(k)` — a write whose target address
+/// goes through the particle→cell permutation, the shape that forces the
+/// executor to resolve the statement anchor before owner screening
+/// (single-assignment holds because `GRD` is a permutation: every target
+/// cell is hit at most once).
+pub fn build_scatter(n: usize) -> Kernel {
+    let mut b = ProgramBuilder::new("K14 1-D particle in a cell (scatter)");
+    let grd = b.input("GRD", &[n + 1], InitPattern::Permutation { seed: 14 });
+    let ex = b.input("EX", &[n + 1], InitPattern::Wavy);
+    let dex = b.input("DEX", &[n + 1], InitPattern::Harmonic);
+    let xx = b.input("XX", &[n + 1], InitPattern::Wavy);
+    let xi = b.input("XI", &[n + 1], InitPattern::Harmonic);
+    let ir = b.input("IR", &[n + 1], InitPattern::Harmonic);
+    let ex1 = b.output("EX1", &[n + 1]);
+    let dex1 = b.output("DEX1", &[n + 1]);
+    let vx = b.output("VX", &[n + 1]);
+    let rx = b.output("RX", &[n + 1]);
+    let rxs = b.output("RXS", &[n + 1]);
+
+    // Gather stage: EX1(k) = EX(GRD(k)), DEX1(k) = DEX(GRD(k)).
+    b.nest("k14-gather", &[("k", 1, n as i64)], |nb| {
+        nb.assign(ex1, [iv(0)], nb.read_indirect(ex, grd, iv(0)));
+        nb.assign(dex1, [iv(0)], nb.read_indirect(dex, grd, iv(0)));
+    });
+    // Field update: VX(k) = EX1(k) + (XX(k) - XI(k))*DEX1(k).
+    b.nest("k14-update", &[("k", 1, n as i64)], |nb| {
+        nb.assign(
+            vx,
+            [iv(0)],
+            nb.read(ex1, [iv(0)])
+                + (nb.read(xx, [iv(0)]) - nb.read(xi, [iv(0)])) * nb.read(dex1, [iv(0)]),
+        );
+    });
+    // Scatter stage: deposit back through the permutation (indirect anchor).
+    b.nest("k14-scatter", &[("k", 1, n as i64)], |nb| {
+        nb.assign_indirect(
+            rxs,
+            grd,
+            iv(0),
+            nb.read(ex, [iv(0)]) - nb.read(dex, [iv(0)]),
+        );
+    });
+    // The paper's fragment.
+    b.nest("k14-fragment", &[("k", 1, n as i64)], |nb| {
+        nb.assign(rx, [iv(0)], nb.read(xx, [iv(0)]) - nb.read(ir, [iv(0)]));
+    });
+
+    Kernel {
+        id: 14,
+        code: "K14S",
+        name: "1-D Particle in a Cell (scatter)",
+        program: b.finish(),
+        expected_class: AccessClass::Random,
+        paper_class: None,
+    }
+}
+
 /// Build the fuller kernel: gather stage + field update + the fragment.
 pub fn build_full(n: usize) -> Kernel {
     let mut b = ProgramBuilder::new("K14 1-D particle in a cell (full)");
@@ -110,6 +169,25 @@ mod tests {
             let got = *r.arrays[6].read(i).unwrap().unwrap();
             assert_eq!(got, ex[grd[i] as usize], "EX1({i})");
         }
+    }
+
+    #[test]
+    fn scatter_build_deposits_through_the_permutation() {
+        let n = 80;
+        let k = build_scatter(n);
+        let rep = classify_program(&k.program);
+        assert_eq!(rep.class, AccessClass::Random);
+        let r = interpret(&k.program).unwrap();
+        let grd = InitPattern::Permutation { seed: 14 }.materialize(n + 1);
+        let ex = InitPattern::Wavy.materialize(n + 1);
+        let dex = InitPattern::Harmonic.materialize(n + 1);
+        let rxs = k.program.array_id("RXS").unwrap();
+        for kx in 1..=n {
+            let got = *r.arrays[rxs.0].read(grd[kx] as usize).unwrap().unwrap();
+            assert!((got - (ex[kx] - dex[kx])).abs() < 1e-12, "RXS(GRD({kx}))");
+        }
+        // Exactly n of the n+1 cells are written (GRD misses one value).
+        assert_eq!(r.arrays[rxs.0].defined_count(), n);
     }
 
     #[test]

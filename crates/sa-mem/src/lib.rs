@@ -29,6 +29,7 @@ pub mod cell;
 pub mod error;
 pub mod istructure;
 pub mod ivar;
+pub mod page;
 pub mod tagged;
 
 pub use array::SaArray;
@@ -36,6 +37,7 @@ pub use cell::{CellRead, SaCell};
 pub use error::{SaError, SaResult};
 pub use istructure::IStructure;
 pub use ivar::IVar;
+pub use page::TaggedPage;
 pub use tagged::TagBits;
 
 /// Monotonically increasing version of an array's contents.

@@ -72,6 +72,10 @@ impl RuntimeConfig {
 pub enum RuntimeError {
     /// Bad configuration.
     InvalidConfig(String),
+    /// The program has a shape the worker protocol cannot execute (see
+    /// [`unsupported_reason`]); detected *before* any thread spawns, so an
+    /// unsupported grid point fails soft instead of aborting a sweep.
+    Unsupported(String),
     /// A worker thread panicked (a semantic violation such as a double
     /// write, or an internal bug); the payload is its panic message.
     WorkerPanicked(String),
@@ -81,12 +85,88 @@ impl core::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             RuntimeError::InvalidConfig(m) => write!(f, "invalid runtime config: {m}"),
+            RuntimeError::Unsupported(m) => write!(f, "unsupported program: {m}"),
             RuntimeError::WorkerPanicked(m) => write!(f, "worker panicked: {m}"),
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// Why `program` cannot run on the thread runtime, or `None` if it can.
+///
+/// The worker protocol resolves an indirect statement anchor (`A(P(i)) = …`)
+/// by reading the index array `P` — from a static mirror when `P` is fully
+/// initialized, or over [`crate::net::Msg::IndirectFetch`] when `P` was
+/// produced by an *earlier* nest (its single assignment is then ordered
+/// before this nest by SSA sequencing, so deferred replies always arrive).
+/// Two shapes break that ordering and are rejected up front:
+///
+/// * an index array written **in the same nest** that gathers through it —
+///   ownership would depend on intra-nest timing, a genuinely dynamic case;
+/// * an index array that is neither statically initialized nor written by
+///   any earlier nest at its current generation — resolution could only
+///   block on cells no one will produce.
+///
+/// The check is per *array*, not per cell: a program whose earlier nests
+/// write an index array only partially — or whose static initialization is
+/// only a [`ArrayInit::Prefix`] — passes here but errors during execution
+/// if a lookup lands on an undefined cell: the failing worker broadcasts
+/// an abort (locally detected reads immediately; remote requests once
+/// their owner runs out of program), and `execute` surfaces it as a typed
+/// [`RuntimeError::WorkerPanicked`], the same class of failure the
+/// reference interpreter reports as a `ReadUndefined`.
+pub fn unsupported_reason(program: &Program) -> Option<String> {
+    use sa_ir::analysis::anchor_index_arrays;
+    use sa_ir::program::{ArrayInit, Phase};
+
+    // Per array: is it resolvable before the nest currently being scanned?
+    // `Prefix` counts — its defined cells live in the owners' frames and
+    // resolve over `IndirectFetch` like any partially produced array.
+    let mut statically_init: Vec<bool> = program
+        .arrays
+        .iter()
+        .map(|d| !matches!(d.init, ArrayInit::Undefined))
+        .collect();
+    let mut written_earlier = vec![false; program.arrays.len()];
+    for phase in &program.phases {
+        match phase {
+            Phase::Reinit(id) => {
+                // A re-initialized array is undefined again until rewritten.
+                statically_init[id.0] = false;
+                written_earlier[id.0] = false;
+            }
+            Phase::Loop(nest) => {
+                let written_here = nest.written_arrays();
+                for stmt in &nest.body {
+                    for base in anchor_index_arrays(stmt) {
+                        let name = &program.array(base).name;
+                        if written_here.contains(&base) {
+                            return Some(format!(
+                                "nest `{}` gathers its statement anchor through index array \
+                                 `{name}`, which the same nest produces — ownership would \
+                                 depend on intra-nest timing",
+                                nest.label
+                            ));
+                        }
+                        if !statically_init[base.0] && !written_earlier[base.0] {
+                            return Some(format!(
+                                "nest `{}` anchors through index array `{name}`, which is \
+                                 neither statically initialized nor produced by an earlier \
+                                 nest",
+                                nest.label
+                            ));
+                        }
+                    }
+                }
+                for id in written_here {
+                    written_earlier[id.0] = true;
+                }
+            }
+        }
+    }
+    None
+}
 
 /// Result of a real-thread run.
 #[derive(Debug, Clone)]
@@ -97,14 +177,42 @@ pub struct RuntimeReport {
     pub arrays: Vec<SaArray<f64>>,
     /// Final reduction values.
     pub scalars: Vec<f64>,
-    /// Total messages sent across all workers.
+    /// Total messages sent across all workers — *everything* on the wire,
+    /// including the categories below that the counting simulator's
+    /// message model does not charge.
     pub messages: u64,
+    /// Scalar-result broadcast messages (the simulator's §9 model makes the
+    /// result "implicitly available" after collection; the runtime really
+    /// sends it).
+    pub broadcast_messages: u64,
+    /// Indirect-anchor resolution messages (the simulator resolves anchors
+    /// with an uncounted peek; the runtime really fetches index pages).
+    pub resolve_messages: u64,
+    /// Re-initialization barrier-hardening messages (`ReinitAck`/`ReinitGo`
+    /// — the second §5 round that keeps released PEs from racing ahead of
+    /// still-syncing peers; the simulator's barrier is instantaneous and
+    /// its §5 model charges only the request/release rounds).
+    pub sync_messages: u64,
+}
+
+impl RuntimeReport {
+    /// Messages under the counting simulator's model — total wire traffic
+    /// minus scalar broadcasts, anchor-resolution traffic, and barrier
+    /// sync rounds, the mechanisms the simulator performs for free. This
+    /// is the number comparable to `SimReport::network_messages`, and what
+    /// [`crate::ThreadOracle`] reports.
+    pub fn modeled_messages(&self) -> u64 {
+        self.messages - self.broadcast_messages - self.resolve_messages - self.sync_messages
+    }
 }
 
 /// Execute `program` on `cfg.n_pes` real threads.
 pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, RuntimeError> {
     cfg.validate()
         .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+    if let Some(reason) = unsupported_reason(program) {
+        return Err(RuntimeError::Unsupported(reason));
+    }
     let machine_cfg = cfg.to_machine();
     let map = PartitionMap::new(program, &machine_cfg);
 
@@ -116,6 +224,7 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         rxs.push(rx);
     }
     let (done_tx, done_rx) = unbounded::<usize>();
+    let mirrors = crate::worker::static_mirrors(program);
 
     let results: Result<Vec<WorkerResult>, RuntimeError> = std::thread::scope(|s| {
         let handles: Vec<_> = rxs
@@ -129,34 +238,54 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
                     cache_pages: cfg.cache_pages(),
                     inbox,
                     peers: txs.clone(),
+                    mirrors: mirrors.clone(),
                 };
                 let map = map.clone();
                 let done = done_tx.clone();
                 s.spawn(move || Worker::new(program, map, spec).run(&done))
             })
             .collect();
+        // Only the workers hold completion senders: if they all unwind
+        // (a worker's abort broadcast takes its peers down with it), the
+        // recv below errors instead of blocking forever.
+        drop(done_tx);
         // Workers stay alive (serving remote reads) until everyone is done.
+        let mut all_done = true;
         for _ in 0..cfg.n_pes {
-            done_rx.recv().map_err(|_| {
-                RuntimeError::WorkerPanicked("a worker exited before finishing".into())
-            })?;
+            if done_rx.recv().is_err() {
+                all_done = false;
+                break;
+            }
         }
         for tx in &txs {
             let _ = tx.send(Msg::Shutdown);
         }
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join().map_err(|e| {
-                    let msg = e
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
-                        .unwrap_or_else(|| "unknown panic".into());
-                    RuntimeError::WorkerPanicked(msg)
-                })
-            })
-            .collect()
+        // Join everyone; a panicked worker's payload (the abort reason)
+        // beats the generic early-exit diagnosis.
+        let mut out = Vec::with_capacity(cfg.n_pes);
+        let mut first_panic: Option<String> = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(e) => {
+                    if first_panic.is_none() {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "unknown panic".into());
+                        first_panic = Some(msg);
+                    }
+                }
+            }
+        }
+        match first_panic {
+            Some(msg) => Err(RuntimeError::WorkerPanicked(msg)),
+            None if !all_done => Err(RuntimeError::WorkerPanicked(
+                "a worker exited before finishing".into(),
+            )),
+            None => Ok(out),
+        }
     });
     let results = results?;
 
@@ -168,6 +297,9 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         .collect();
     let mut stats = Stats::new(cfg.n_pes);
     let mut messages = 0u64;
+    let mut broadcast_messages = 0u64;
+    let mut resolve_messages = 0u64;
+    let mut sync_messages = 0u64;
     for (pe, r) in results.iter().enumerate() {
         stats.per_pe[pe] = r.stats.counters;
         stats.page_fetches += r.stats.page_fetches;
@@ -175,11 +307,14 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         stats.reinit_messages += r.stats.reinit_messages;
         stats.reduction_messages += r.stats.reduction_messages;
         messages += r.stats.messages_sent;
+        broadcast_messages += r.stats.broadcast_messages;
+        resolve_messages += r.stats.resolve_messages;
+        sync_messages += r.stats.sync_messages;
         for (&(a, page), frame) in &r.frames {
             let start = page * cfg.page_size;
-            for off in frame.tags.iter_set() {
+            for off in frame.fill().iter_set() {
                 arrays[a]
-                    .write(start + off, frame.values[off])
+                    .write(start + off, frame.values()[off])
                     .expect("frames are disjoint across owners");
             }
         }
@@ -193,6 +328,9 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         arrays,
         scalars,
         messages,
+        broadcast_messages,
+        resolve_messages,
+        sync_messages,
     })
 }
 
@@ -308,9 +446,45 @@ mod tests {
         let p = b.finish();
         let cfg = RuntimeConfig::paper(4, 16);
         let rep = execute(&p, &cfg).unwrap();
-        // §5 message count: (N-1) requests + (N-1) releases.
+        // §5 message count: (N-1) requests + (N-1) releases; the ack/go
+        // hardening round is tallied separately, outside the modeled count.
         assert_eq!(rep.stats.reinit_messages, 6);
+        assert_eq!(rep.sync_messages, 6);
         check_against_reference(&p, &cfg);
+    }
+
+    #[test]
+    fn released_pes_cannot_race_still_syncing_peers() {
+        // Post-barrier work that *immediately* remote-reads next-generation
+        // cells other PEs produce: X is re-initialized, then the very next
+        // nest both rewrites X and cross-reads it reversed (X(n-1-k) is
+        // modulo-remote for every k when n ≡ 0 mod 4). A one-round release
+        // would let a fast PE's fetch land on a peer still blocked inside
+        // the barrier, which would misread it as a deadlocked pre-barrier
+        // reader and abort a valid run (or, in debug builds, trip the
+        // generation assert). Stress the window across repeated runs —
+        // each iteration re-races the release broadcast against the first
+        // post-barrier fetches.
+        let n = 64usize;
+        let rev = sa_ir::index::AffineIndex::scaled_var(-1, 0).plus(n as i64 - 1);
+        let mut b = ProgramBuilder::new("race");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        let w = b.output("W", &[n]);
+        b.nest("g0", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]));
+        });
+        b.reinit(x);
+        b.nest("g1", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) * 5.0);
+        });
+        b.nest("g2", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(w, [iv(0)], nb.read(x, [rev.clone()]) + nb.read(y, [iv(0)]));
+        });
+        let p = b.finish();
+        for _ in 0..100 {
+            check_against_reference(&p, &RuntimeConfig::paper(4, 4));
+        }
     }
 
     #[test]
@@ -342,6 +516,255 @@ mod tests {
         assert_eq!(rep.messages, 2 * rep.stats.page_fetches);
         // With the cache, boundary crossings collapse to ~1 fetch per page.
         assert!(rep.stats.remote_reads() <= (n as u64 / 32) * 2);
+    }
+
+    #[test]
+    fn scatter_through_a_permutation_matches_reference() {
+        // X(P(k)) = 3*Y(k): the indirect statement anchor — every worker
+        // resolves P(k) from the static mirror, the owner of the *resolved*
+        // address executes.
+        let n = 200;
+        let mut b = ProgramBuilder::new("scatter");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let p = b.input("P", &[n], InitPattern::Permutation { seed: 9 });
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign_indirect(x, p, iv(0), nb.read(y, [iv(0)]) * 3.0);
+        });
+        let prog = b.finish();
+        for n_pes in [1usize, 2, 5, 8] {
+            check_against_reference(&prog, &RuntimeConfig::paper(n_pes, 16));
+        }
+    }
+
+    #[test]
+    fn prefix_initialized_index_array_resolves_over_messages() {
+        // P's static image is only a prefix — no worker-local mirror gets
+        // materialized — but every lookup lands inside the defined prefix:
+        // the preflight must let it through and resolution goes over
+        // IndirectFetch against the owners' prefix-initialized frames.
+        let n = 96usize;
+        let mut b = ProgramBuilder::new("prefix-scatter");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let p = b.array_with(
+            "P",
+            &[n + 8],
+            sa_ir::program::ArrayInit::Prefix {
+                pattern: InitPattern::Permutation { seed: 5 },
+                len: n,
+            },
+        );
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign_indirect(x, p, iv(0), nb.read(y, [iv(0)]) * 2.0);
+        });
+        let prog = b.finish();
+        assert_eq!(unsupported_reason(&prog), None);
+        for n_pes in [1usize, 3, 4] {
+            let rep = execute(&prog, &RuntimeConfig::paper(n_pes, 16)).unwrap();
+            if n_pes > 1 {
+                assert!(
+                    rep.resolve_messages > 0,
+                    "prefix arrays have no mirror, so resolution must message"
+                );
+            }
+            check_against_reference(&prog, &RuntimeConfig::paper(n_pes, 16));
+        }
+    }
+
+    #[test]
+    fn dynamic_index_array_from_an_earlier_nest_resolves_over_messages() {
+        // P is *produced* (identity-reversal written by nest g0), then used
+        // as the scatter anchor in g1: resolution goes through
+        // IndirectFetch traffic instead of the static mirror.
+        let n = 96;
+        let mut b = ProgramBuilder::new("dyn-scatter");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let p = b.output("P", &[n]);
+        let x = b.output("X", &[n]);
+        b.nest("g0", &[("k", 0, n as i64 - 1)], |nb| {
+            // P(k) = (n-1) - k, a permutation computed at run time.
+            nb.assign(
+                p,
+                [iv(0)],
+                sa_ir::Expr::Const(n as f64 - 1.0) - sa_ir::Expr::LoopVar(0),
+            );
+        });
+        b.nest("g1", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign_indirect(x, p, iv(0), nb.read(y, [iv(0)]) + 1.0);
+        });
+        let prog = b.finish();
+        for n_pes in [1usize, 3, 4] {
+            let rep = execute(&prog, &RuntimeConfig::paper(n_pes, 16)).unwrap();
+            check_against_reference(&prog, &RuntimeConfig::paper(n_pes, 16));
+            if n_pes > 1 {
+                assert!(
+                    rep.resolve_messages > 0,
+                    "dynamic anchors must resolve over the wire"
+                );
+                // Resolution traffic is excluded from the modeled count.
+                assert_eq!(rep.modeled_messages() + rep.resolve_messages, rep.messages);
+            } else {
+                assert_eq!(rep.resolve_messages, 0, "1 PE owns everything");
+            }
+        }
+    }
+
+    #[test]
+    fn static_anchor_resolution_is_message_free() {
+        let n = 128;
+        let mut b = ProgramBuilder::new("scatter");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let p = b.input("P", &[n], InitPattern::Permutation { seed: 4 });
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign_indirect(x, p, iv(0), nb.read(y, [iv(0)]));
+        });
+        let prog = b.finish();
+        let rep = execute(&prog, &RuntimeConfig::paper(4, 16)).unwrap();
+        assert_eq!(
+            rep.resolve_messages, 0,
+            "statically initialized index arrays resolve from the mirror"
+        );
+    }
+
+    #[test]
+    fn partially_defined_index_array_errors_instead_of_hanging() {
+        // P passes the per-array pre-flight (an earlier nest *does* write
+        // it) but covers only half its cells, so anchor resolution hits an
+        // undefined cell at run time. The abort protocol must tear the run
+        // down into a typed error — no panic-and-deadlock.
+        let n = 64usize;
+        let mut b = ProgramBuilder::new("partial-idx");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let p = b.output("P", &[n]);
+        let x = b.output("X", &[n]);
+        b.nest("half", &[("k", 0, n as i64 / 2 - 1)], |nb| {
+            nb.assign(p, [iv(0)], sa_ir::Expr::LoopVar(0));
+        });
+        b.nest("gather", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign_indirect(x, p, iv(0), nb.read(y, [iv(0)]));
+        });
+        let prog = b.finish();
+        assert_eq!(unsupported_reason(&prog), None, "per-array check passes");
+        for n_pes in [1usize, 2, 4] {
+            let err =
+                execute(&prog, &RuntimeConfig::paper(n_pes, 16)).expect_err("must fail, not hang");
+            let msg = err.to_string();
+            assert!(
+                matches!(err, RuntimeError::WorkerPanicked(_)),
+                "typed failure, got: {msg}"
+            );
+            assert!(
+                msg.contains("never defines") || msg.contains("undefined"),
+                "{msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn undefined_remote_read_errors_instead_of_hanging() {
+        // PE 1 owns A's second page but has no work at all: it finishes
+        // immediately, then PE 0's reads of the never-written page arrive.
+        // A finished owner must abort such requests (it is the cell's only
+        // possible producer) instead of deferring them forever.
+        let mut b = ProgramBuilder::new("undef-read");
+        let a = b.output("A", &[32]);
+        let x = b.output("B", &[16]);
+        b.nest("g0", &[("k", 0, 15)], |nb| {
+            nb.assign(a, [iv(0)], sa_ir::Expr::LoopVar(0));
+        });
+        b.nest("g1", &[("k", 0, 15)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(a, [iv(0).plus(16)]));
+        });
+        let prog = b.finish();
+        for n_pes in [1usize, 2] {
+            let err =
+                execute(&prog, &RuntimeConfig::paper(n_pes, 16)).expect_err("must fail, not hang");
+            let msg = err.to_string();
+            assert!(matches!(err, RuntimeError::WorkerPanicked(_)), "{msg}");
+            assert!(
+                msg.contains("never defines") || msg.contains("undefined"),
+                "{msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn undefined_read_before_a_reinit_barrier_errors_instead_of_hanging() {
+        // PE 0 blocks reading A's never-written second page; the program
+        // then re-initializes A. The owner reaches the §5 barrier — which
+        // can never release, because the blocked reader will never request
+        // re-initialization — and must abort the run instead.
+        let mut b = ProgramBuilder::new("undef-then-reinit");
+        let a = b.output("A", &[32]);
+        let x = b.output("B", &[16]);
+        b.nest("g0", &[("k", 0, 15)], |nb| {
+            nb.assign(a, [iv(0)], sa_ir::Expr::LoopVar(0));
+        });
+        b.nest("g1", &[("k", 0, 15)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(a, [iv(0).plus(16)]));
+        });
+        b.reinit(a);
+        b.nest("g2", &[("k", 0, 15)], |nb| {
+            nb.assign(a, [iv(0)], sa_ir::Expr::LoopVar(0) * 2.0);
+        });
+        let prog = b.finish();
+        for n_pes in [1usize, 2] {
+            let err =
+                execute(&prog, &RuntimeConfig::paper(n_pes, 16)).expect_err("must fail, not hang");
+            let msg = err.to_string();
+            assert!(matches!(err, RuntimeError::WorkerPanicked(_)), "{msg}");
+            assert!(
+                msg.contains("never defines") || msg.contains("undefined"),
+                "{msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_nest_index_production_is_a_typed_unsupported_error() {
+        // The genuinely dynamic case: the nest both writes P and anchors
+        // through it. Rejected before any thread spawns.
+        let n = 32;
+        let mut b = ProgramBuilder::new("self-ref");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let p = b.output("P", &[n]);
+        let x = b.output("X", &[n]);
+        b.nest("bad", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(p, [iv(0)], sa_ir::Expr::LoopVar(0));
+            nb.assign_indirect(x, p, iv(0), nb.read(y, [iv(0)]));
+        });
+        let prog = b.finish();
+        assert!(unsupported_reason(&prog).is_some());
+        assert!(matches!(
+            execute(&prog, &RuntimeConfig::paper(2, 16)),
+            Err(RuntimeError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn never_defined_index_array_is_a_typed_unsupported_error() {
+        let n = 32;
+        let mut b = ProgramBuilder::new("undef-idx");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let p = b.output("P", &[n]); // declared, never written
+        let x = b.output("X", &[n]);
+        b.nest("bad", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign_indirect(x, p, iv(0), nb.read(y, [iv(0)]));
+        });
+        let prog = b.finish();
+        let reason = unsupported_reason(&prog).expect("must be rejected");
+        assert!(reason.contains("P"), "reason names the array: {reason}");
+        assert!(matches!(
+            execute(&prog, &RuntimeConfig::paper(2, 16)),
+            Err(RuntimeError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn affine_programs_pass_the_preflight() {
+        assert_eq!(unsupported_reason(&map_program(64)), None);
     }
 
     #[test]

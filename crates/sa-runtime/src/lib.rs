@@ -13,10 +13,21 @@
 //! the producer's write releases it), and cached pages never need
 //! invalidation within a generation.
 //!
+//! Indirect (gather/scatter) statement anchors run too: before owner
+//! screening, workers resolve the gathered subscript — from a local mirror
+//! when the index array is statically initialized, or over
+//! [`net::Msg::IndirectFetch`] messages (with the same deferral rule) when
+//! an earlier nest produced it — via the shared
+//! `PartitionMap::resolved_anchor_owner` path, so the *entire* Livermore
+//! suite executes on real threads. Only a genuinely dynamic shape (an
+//! index array produced in the nest that anchors through it) is rejected,
+//! up front and softly, as [`RuntimeError::Unsupported`].
+//!
 //! Every run is verified against the sequential reference interpreter in
 //! the test suite; access statistics correspond to the counting simulator
 //! under its realistic partial-page `Refetch` policy (timing-dependent
-//! fetch interleavings can only *add* refetches, never change values).
+//! fetch interleavings can only *add* refetches, never change values), and
+//! `tests/runtime_full_suite.rs` certifies count parity across the suite.
 
 #![warn(missing_docs)]
 
@@ -26,5 +37,5 @@ pub mod oracle;
 pub mod pagecache;
 pub mod worker;
 
-pub use engine::{execute, RuntimeConfig, RuntimeError, RuntimeReport};
+pub use engine::{execute, unsupported_reason, RuntimeConfig, RuntimeError, RuntimeReport};
 pub use oracle::ThreadOracle;

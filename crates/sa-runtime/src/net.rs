@@ -1,10 +1,12 @@
 //! Message types of the simulated interconnect (crossbeam channels).
 
-use sa_mem::TagBits;
+use sa_mem::TaggedPage;
 
 /// Inter-PE messages. Every variant corresponds to a message the paper's
 /// architecture exchanges: page fetches (§4), reduction partials collected
-/// at host PEs (§9), and the re-initialization protocol (§5).
+/// at host PEs (§9), the re-initialization protocol (§5), and the anchor
+/// resolution traffic indirect (gather/scatter) statements need before
+/// owner screening can run.
 #[derive(Debug, Clone)]
 pub enum Msg {
     /// Remote read: `from` needs element `offset` of the page.
@@ -29,10 +31,37 @@ pub enum Msg {
         page: usize,
         /// Generation of the shipped copy.
         generation: u32,
-        /// Page contents (undefined cells hold garbage; see `fill`).
-        values: Vec<f64>,
-        /// Which cells were defined at ship time.
-        fill: TagBits,
+        /// Page contents with the fill snapshot at ship time.
+        data: TaggedPage,
+    },
+    /// Anchor resolution: `from` needs element `offset` of an *index
+    /// array's* page to compute the owner of an indirect statement anchor
+    /// (`A(P(i)) = …`). Same deferral rule as [`Msg::PageRequest`], but the
+    /// reply feeds the requester's resolution store, not its counted page
+    /// cache — ownership screening is not program work, so these messages
+    /// are tallied separately from the §4 fetch traffic.
+    IndirectFetch {
+        /// Index array identity.
+        array: usize,
+        /// Page index.
+        page: usize,
+        /// Requester's generation of the array.
+        generation: u32,
+        /// Element offset whose definition the owner must wait for.
+        offset: usize,
+        /// Requesting PE.
+        from: usize,
+    },
+    /// Reply to an [`Msg::IndirectFetch`].
+    IndirectReply {
+        /// Index array identity.
+        array: usize,
+        /// Page index.
+        page: usize,
+        /// Generation of the shipped copy.
+        generation: u32,
+        /// Page contents with the fill snapshot at ship time.
+        data: TaggedPage,
     },
     /// A reduction partial result travelling to the scalar's host PE.
     Partial {
@@ -68,6 +97,37 @@ pub enum Msg {
         /// The array's new generation.
         generation: u32,
     },
+    /// A PE confirms it applied a [`Msg::ReinitRelease`] (frames cleared,
+    /// generation bumped). Second barrier round: without it, an
+    /// already-released PE could race into the next nest and fetch from a
+    /// peer that has not yet processed its own release — the owner would
+    /// misread that legitimate fetch as a deadlocked pre-barrier reader.
+    /// Not part of the paper's §5 message model, so tallied as sync
+    /// traffic outside the modeled count.
+    ReinitAck {
+        /// Array identity.
+        array: usize,
+        /// Acknowledging PE.
+        from: usize,
+    },
+    /// The host, having collected every [`Msg::ReinitAck`], lets the PEs
+    /// leave the barrier: only now is every worker past its release, so
+    /// any undefined-cell fetch arriving at a still-syncing worker really
+    /// is a dead end. Sync traffic, like [`Msg::ReinitAck`].
+    ReinitGo {
+        /// Array identity.
+        array: usize,
+    },
+    /// A worker hit an unrecoverable error (e.g. anchor resolution read a
+    /// cell the program never defines) and is unwinding: peers must stop
+    /// too, so the run tears down as a typed `RuntimeError` instead of
+    /// deadlocking on replies that will never come.
+    Abort {
+        /// The failing PE.
+        from: usize,
+        /// Its error message, relayed into every peer's panic payload.
+        reason: String,
+    },
     /// Coordinator tells a finished worker to stop serving and exit.
     Shutdown,
 }
@@ -91,9 +151,23 @@ mod tests {
             array: 1,
             page: 2,
             generation: 0,
-            values: vec![1.0],
-            fill: TagBits::all_set(1),
+            data: TaggedPage::full(vec![1.0]),
         };
         assert!(format!("{r:?}").contains("PageReply"));
+        let i = Msg::IndirectFetch {
+            array: 1,
+            page: 0,
+            generation: 0,
+            offset: 7,
+            from: 2,
+        };
+        assert!(format!("{i:?}").contains("IndirectFetch"));
+        let ir = Msg::IndirectReply {
+            array: 1,
+            page: 0,
+            generation: 0,
+            data: TaggedPage::undefined(4),
+        };
+        assert!(format!("{ir:?}").contains("IndirectReply"));
     }
 }

@@ -47,7 +47,10 @@ impl Oracle for ThreadOracle {
 
     fn measure(&self, program: &Program, cfg: &RunConfig) -> Result<RunRecord, OracleError> {
         let rt = Self::runtime_config(cfg)?;
-        let rep = execute(program, &rt).map_err(|e| OracleError::Backend(e.to_string()))?;
+        let rep = execute(program, &rt).map_err(|e| match e {
+            crate::engine::RuntimeError::Unsupported(m) => OracleError::Unsupported(m),
+            other => OracleError::Backend(other.to_string()),
+        })?;
         Ok(RunRecord {
             cfg: cfg.clone(),
             remote_pct: rep.stats.remote_read_pct(),
@@ -57,9 +60,14 @@ impl Oracle for ThreadOracle {
             cached_reads: rep.stats.cached_reads(),
             remote_reads: rep.stats.remote_reads(),
             total_reads: rep.stats.total_reads(),
-            messages: rep.messages,
-            hops: 0,
-            max_link_load: 0,
+            // The simulator-comparable message count: real wire traffic
+            // minus scalar broadcasts and anchor-resolution fetches, the
+            // two mechanisms the counting model performs for free.
+            messages: rep.modeled_messages(),
+            // No network topology model on threads: report "not measured",
+            // not a zero a mixed-oracle pivot would mistake for data.
+            hops: None,
+            max_link_load: None,
             write_balance: sa_machine::load_balance(&rep.stats.writes_per_pe()).jain,
             cycles: None,
         })

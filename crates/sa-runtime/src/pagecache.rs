@@ -10,15 +10,13 @@
 use std::collections::HashMap;
 
 use sa_machine::PageKey;
-use sa_mem::TagBits;
+use sa_mem::TaggedPage;
 
 /// One cached page with its contents.
 #[derive(Debug, Clone)]
 pub struct CachedPage {
-    /// Page contents (cells not in `fill` hold garbage).
-    pub values: Vec<f64>,
-    /// Defined-cell snapshot at (last) fetch time.
-    pub fill: TagBits,
+    /// Page contents gated by the fill snapshot at (last) fetch time.
+    pub data: TaggedPage,
     stamp: u64,
 }
 
@@ -56,23 +54,17 @@ impl ValueCache {
         self.tick += 1;
         let tick = self.tick;
         let e = self.entries.get_mut(&key)?;
-        if offset < e.fill.len() && e.fill.get(offset) {
-            e.stamp = tick;
-            Some(e.values[offset])
-        } else {
-            None
-        }
+        let v = e.data.get(offset)?;
+        e.stamp = tick;
+        Some(v)
     }
 
     /// Insert or upgrade a fetched page.
-    pub fn insert(&mut self, key: PageKey, values: Vec<f64>, fill: TagBits) {
+    pub fn insert(&mut self, key: PageKey, data: TaggedPage) {
         self.tick += 1;
         if let Some(e) = self.entries.get_mut(&key) {
             // Upgrade: copy newly-filled cells, union the snapshot.
-            for i in fill.iter_set() {
-                e.values[i] = values[i];
-            }
-            e.fill.union_with(&fill);
+            e.data.merge_from(&data);
             e.stamp = self.tick;
             return;
         }
@@ -92,8 +84,7 @@ impl ValueCache {
         self.entries.insert(
             key,
             CachedPage {
-                values,
-                fill,
+                data,
                 stamp: self.tick,
             },
         );
@@ -113,6 +104,7 @@ impl ValueCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sa_mem::TagBits;
 
     fn key(page: usize) -> PageKey {
         PageKey {
@@ -122,16 +114,15 @@ mod tests {
         }
     }
 
-    fn full(vals: &[f64]) -> (Vec<f64>, TagBits) {
-        (vals.to_vec(), TagBits::all_set(vals.len()))
+    fn full(vals: &[f64]) -> TaggedPage {
+        TaggedPage::full(vals.to_vec())
     }
 
     #[test]
     fn miss_insert_hit_roundtrip() {
         let mut c = ValueCache::new(2);
         assert_eq!(c.lookup(key(0), 1), None);
-        let (v, f) = full(&[1.0, 2.0]);
-        c.insert(key(0), v, f);
+        c.insert(key(0), full(&[1.0, 2.0]));
         assert_eq!(c.lookup(key(0), 1), Some(2.0));
         assert_eq!(c.len(), 1);
     }
@@ -141,12 +132,18 @@ mod tests {
         let mut c = ValueCache::new(2);
         let mut fill = TagBits::new(4);
         fill.set(0);
-        c.insert(key(0), vec![5.0, 0.0, 0.0, 0.0], fill);
+        c.insert(
+            key(0),
+            TaggedPage::from_parts(vec![5.0, 0.0, 0.0, 0.0], fill),
+        );
         assert_eq!(c.lookup(key(0), 0), Some(5.0));
         assert_eq!(c.lookup(key(0), 3), None, "unfilled cell must miss");
         let mut more = TagBits::new(4);
         more.set(3);
-        c.insert(key(0), vec![0.0, 0.0, 0.0, 9.0], more);
+        c.insert(
+            key(0),
+            TaggedPage::from_parts(vec![0.0, 0.0, 0.0, 9.0], more),
+        );
         assert_eq!(c.lookup(key(0), 3), Some(9.0));
         assert_eq!(c.lookup(key(0), 0), Some(5.0), "old cells survive upgrade");
     }
@@ -155,12 +152,10 @@ mod tests {
     fn lru_eviction_at_capacity() {
         let mut c = ValueCache::new(2);
         for p in 0..2 {
-            let (v, f) = full(&[p as f64]);
-            c.insert(key(p), v, f);
+            c.insert(key(p), full(&[p as f64]));
         }
         c.lookup(key(0), 0); // page 1 becomes LRU
-        let (v, f) = full(&[9.0]);
-        c.insert(key(2), v, f);
+        c.insert(key(2), full(&[9.0]));
         assert_eq!(c.lookup(key(0), 0), Some(0.0));
         assert_eq!(c.lookup(key(1), 0), None);
     }
@@ -168,13 +163,11 @@ mod tests {
     #[test]
     fn invalidate_by_array_and_zero_capacity() {
         let mut c = ValueCache::new(4);
-        let (v, f) = full(&[1.0]);
-        c.insert(key(0), v, f);
+        c.insert(key(0), full(&[1.0]));
         c.invalidate_array(0);
         assert!(c.is_empty());
         let mut z = ValueCache::new(0);
-        let (v, f) = full(&[1.0]);
-        z.insert(key(0), v, f);
+        z.insert(key(0), full(&[1.0]));
         assert_eq!(z.lookup(key(0), 0), None);
     }
 }

@@ -1,16 +1,17 @@
 //! The per-PE worker thread: index screening, message serving, deferral.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
 
 use sa_core::screening::PartitionMap;
 use sa_ir::interp::{EvalCtx, Memory};
 use sa_ir::nest::{LoopNest, Stmt};
-use sa_ir::program::Phase;
-use sa_ir::{ArrayId, IrError, Program, ReduceOp};
+use sa_ir::program::{ArrayInit, Phase};
+use sa_ir::{analysis, ArrayId, IrError, Program, ReduceOp};
 use sa_machine::{host_of, PageKey, PeCounters};
-use sa_mem::TagBits;
+use sa_mem::TaggedPage;
 
 use crate::net::Msg;
 use crate::pagecache::ValueCache;
@@ -28,18 +29,27 @@ pub struct WorkerStats {
     pub messages_sent: u64,
     /// Messages spent in re-initialization rounds.
     pub reinit_messages: u64,
-    /// Messages carrying reduction partials or scalar broadcasts.
+    /// Messages carrying reduction partials to their host PE (the traffic
+    /// the simulator's §9 model charges).
     pub reduction_messages: u64,
+    /// Scalar-result broadcast messages (the runtime implements the
+    /// simulator's "implicit availability broadcast" with real messages;
+    /// kept separate so the two message models stay comparable).
+    pub broadcast_messages: u64,
+    /// Anchor-resolution messages ([`Msg::IndirectFetch`] requests and
+    /// their replies). The simulator resolves indirect anchors with an
+    /// uncounted peek, so these too are tallied outside the §4 fetch model.
+    pub resolve_messages: u64,
+    /// Barrier-hardening messages ([`Msg::ReinitAck`]/[`Msg::ReinitGo`]):
+    /// the second re-initialization round that keeps released PEs from
+    /// racing ahead of still-syncing peers. The paper's §5 model charges
+    /// only the request/release rounds, so these stay outside the modeled
+    /// count.
+    pub sync_messages: u64,
 }
 
-/// One locally owned page frame.
-#[derive(Debug, Clone)]
-pub struct Frame {
-    /// Page contents (tags gate validity).
-    pub values: Vec<f64>,
-    /// Presence bits.
-    pub tags: TagBits,
-}
+/// One locally owned page frame: contents plus presence bits.
+pub type Frame = TaggedPage;
 
 /// Everything a worker returns when it exits.
 pub struct WorkerResult {
@@ -49,6 +59,16 @@ pub struct WorkerResult {
     pub frames: HashMap<(usize, usize), Frame>,
     /// Final scalar values (identical on every worker).
     pub scalars: Vec<f64>,
+}
+
+/// A queued remote reader of a not-yet-defined cell (paper §4).
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    pe: usize,
+    generation: u32,
+    /// Whether the reader asked via [`Msg::IndirectFetch`] (anchor
+    /// resolution) rather than a counted page request.
+    indirect: bool,
 }
 
 /// Mutable machine-side state of a worker (split from the evaluation
@@ -63,11 +83,37 @@ struct WorkerMem {
     gens: Vec<u32>,
     cache: ValueCache,
     cache_enabled: bool,
-    cell_waiters: HashMap<(usize, usize), Vec<(usize, u32)>>, // addr → (pe, gen)
+    cell_waiters: HashMap<(usize, usize), Vec<Waiter>>, // addr → waiters
     partials_inbox: HashMap<(usize, u64), Vec<f64>>,
     scalar_ready: HashMap<(usize, u64), f64>,
     reinit_requests: HashMap<usize, usize>,
     reinit_released: HashMap<usize, u32>,
+    reinit_acks: HashMap<usize, usize>,
+    reinit_go: HashSet<usize>,
+    /// Generation-0 full images of statically initialized index arrays
+    /// (shared read-only across all workers of a run): anchor resolution
+    /// against them is message-free, mirroring the simulator's uncounted
+    /// peek.
+    mirrors: Arc<HashMap<usize, Vec<f64>>>,
+    /// Resolution snapshots fetched via [`Msg::IndirectFetch`], keyed like
+    /// the page cache but unbounded and uncounted: ownership screening
+    /// must not perturb the measured access statistics.
+    resolutions: HashMap<PageKey, TaggedPage>,
+    /// True once this worker has executed every phase of the program and
+    /// only serves peers: a fetch of a still-undefined owned cell can then
+    /// never be satisfied (this worker was its only producer) and aborts
+    /// the run instead of deadlocking it.
+    finished: bool,
+    /// True while this worker sits inside the §5 re-initialization
+    /// barrier, *before* its release is applied (the host stays syncing
+    /// until it has broadcast [`Msg::ReinitGo`]). A release is only
+    /// possible once every PE has reached the barrier, so while syncing a
+    /// fetch of an undefined owned cell belongs to a peer that is blocked
+    /// *before* the barrier and will never arrive — same dead end as
+    /// [`WorkerMem::finished`]. After the release, deferral is safe again
+    /// and the go round keeps this worker serving until every peer is
+    /// past its own release.
+    syncing: bool,
     shutdown: bool,
     stats: WorkerStats,
 }
@@ -75,26 +121,121 @@ struct WorkerMem {
 impl WorkerMem {
     fn send(&mut self, to: usize, msg: Msg) {
         self.stats.messages_sent += 1;
-        self.peers[to]
-            .send(msg)
-            .expect("peer inbox closed prematurely");
+        if self.peers[to].send(msg).is_err() {
+            // The peer's inbox is gone, so it is unwinding — and its
+            // `fail` broadcast (sent *before* it dropped the inbox) must
+            // already be queued here. Relay that root cause instead of
+            // masking it with a generic send failure.
+            while let Ok(m) = self.inbox.try_recv() {
+                if let Msg::Abort { from, reason } = m {
+                    panic!("worker {}: aborted by worker {from}: {reason}", self.me);
+                }
+            }
+            panic!("worker {}: peer {to} exited prematurely", self.me);
+        }
+    }
+
+    /// Unrecoverable failure: broadcast [`Msg::Abort`] so every peer —
+    /// including ones blocked waiting for a reply this worker will never
+    /// send — unwinds too, then panic with the reason. The engine joins
+    /// the panicked threads and surfaces the message as a typed
+    /// `RuntimeError::WorkerPanicked`; without the broadcast, a lone
+    /// panicking worker would deadlock the whole run.
+    fn fail(&self, reason: String) -> ! {
+        for (pe, tx) in self.peers.iter().enumerate() {
+            if pe != self.me {
+                let _ = tx.send(Msg::Abort {
+                    from: self.me,
+                    reason: reason.clone(),
+                });
+            }
+        }
+        panic!("worker {}: {reason}", self.me);
     }
 
     /// Reply to a page request from the local frame (must be resident).
-    fn reply_page(&mut self, array: usize, page: usize, generation: u32, to: usize) {
-        let frame = self.frames.get(&(array, page)).expect("owned frame exists");
-        let msg = Msg::PageReply {
-            array,
-            page,
-            generation,
-            values: frame.values.clone(),
-            fill: frame.tags.clone(),
+    /// `indirect` routes the copy to the requester's resolution store.
+    fn reply_page(
+        &mut self,
+        array: usize,
+        page: usize,
+        generation: u32,
+        to: usize,
+        indirect: bool,
+    ) {
+        let data = self
+            .frames
+            .get(&(array, page))
+            .expect("owned frame exists")
+            .clone();
+        let msg = if indirect {
+            self.stats.resolve_messages += 1;
+            Msg::IndirectReply {
+                array,
+                page,
+                generation,
+                data,
+            }
+        } else {
+            Msg::PageReply {
+                array,
+                page,
+                generation,
+                data,
+            }
         };
         self.send(to, msg);
     }
 
-    /// Process one incoming message (anything except the PageReply the
-    /// caller may be waiting for).
+    /// Serve one fetch-style request: reply if the cell is defined, defer
+    /// otherwise (the paper's queued remote read, §4).
+    fn serve_fetch(
+        &mut self,
+        array: usize,
+        page: usize,
+        generation: u32,
+        offset: usize,
+        from: usize,
+        indirect: bool,
+    ) {
+        debug_assert_eq!(
+            generation, self.gens[array],
+            "request for a generation the owner has left"
+        );
+        let frame = self
+            .frames
+            .get(&(array, page))
+            .expect("request for owned page");
+        if frame.get(offset).is_some() {
+            self.reply_page(array, page, generation, from, indirect);
+        } else {
+            let addr = page * self.page_size + offset;
+            if self.finished || self.syncing {
+                // This worker is the cell's only producer under
+                // owner-computes, and it will never write again before the
+                // requester unblocks: it has either run out of program, or
+                // it sits inside the two-round re-initialization barrier —
+                // which no PE has left yet (leaving requires every PE's
+                // ack), so the requester is blocked *before* the barrier
+                // and can never reach it. Tear the run down instead of
+                // deferring forever.
+                self.fail(format!(
+                    "PE {from} read array#{array}[{addr}], which this program never defines"
+                ));
+            }
+            self.cell_waiters
+                .entry((array, addr))
+                .or_default()
+                .push(Waiter {
+                    pe: from,
+                    generation,
+                    indirect,
+                });
+        }
+    }
+
+    /// Process one incoming message (anything except the reply the caller
+    /// may be waiting for).
     fn handle(&mut self, msg: Msg) {
         match msg {
             Msg::PageRequest {
@@ -103,26 +244,14 @@ impl WorkerMem {
                 generation,
                 offset,
                 from,
-            } => {
-                debug_assert_eq!(
-                    generation, self.gens[array],
-                    "request for a generation the owner has left"
-                );
-                let frame = self
-                    .frames
-                    .get(&(array, page))
-                    .expect("request for owned page");
-                if frame.tags.get(offset) {
-                    self.reply_page(array, page, generation, from);
-                } else {
-                    // Defer: the paper's queued remote read (§4).
-                    let addr = page * self.page_size + offset;
-                    self.cell_waiters
-                        .entry((array, addr))
-                        .or_default()
-                        .push((from, generation));
-                }
-            }
+            } => self.serve_fetch(array, page, generation, offset, from, false),
+            Msg::IndirectFetch {
+                array,
+                page,
+                generation,
+                offset,
+                from,
+            } => self.serve_fetch(array, page, generation, offset, from, true),
             Msg::Partial {
                 scalar, seq, value, ..
             } => {
@@ -140,9 +269,21 @@ impl WorkerMem {
             Msg::ReinitRelease { array, generation } => {
                 self.reinit_released.insert(array, generation);
             }
+            Msg::ReinitAck { array, .. } => {
+                *self.reinit_acks.entry(array).or_insert(0) += 1;
+            }
+            Msg::ReinitGo { array } => {
+                self.reinit_go.insert(array);
+            }
             Msg::Shutdown => self.shutdown = true,
-            Msg::PageReply { .. } => {
-                unreachable!("unsolicited page reply (one outstanding request at a time)")
+            Msg::Abort { from, reason } => {
+                // A peer is unwinding; no reply this worker might be
+                // blocked on will ever arrive. Unwind too (without
+                // re-broadcasting — the originator already told everyone).
+                panic!("worker {}: aborted by worker {from}: {reason}", self.me);
+            }
+            Msg::PageReply { .. } | Msg::IndirectReply { .. } => {
+                unreachable!("unsolicited reply (one outstanding request at a time)")
             }
         }
     }
@@ -163,19 +304,15 @@ impl WorkerMem {
             .frames
             .get_mut(&(array, page))
             .expect("write to owned page");
-        assert!(
-            !frame.tags.get(offset),
-            "single-assignment violation in worker {}: array {} addr {}",
-            self.me,
-            array,
-            addr
-        );
-        frame.values[offset] = value;
-        frame.tags.set(offset);
+        if frame.set(offset, value) {
+            self.fail(format!(
+                "single-assignment violation: array {array} addr {addr} written twice"
+            ));
+        }
         self.stats.counters.writes += 1;
         if let Some(waiters) = self.cell_waiters.remove(&(array, addr)) {
-            for (pe, generation) in waiters {
-                self.reply_page(array, page, generation, pe);
+            for w in waiters {
+                self.reply_page(array, page, w.generation, w.pe, w.indirect);
             }
         }
     }
@@ -209,18 +346,94 @@ impl WorkerMem {
                     array: a,
                     page: p,
                     generation: g,
-                    values,
-                    fill,
+                    data,
                 } => {
                     debug_assert_eq!((a, p, g), (array, page, generation));
-                    let v = values[offset];
-                    debug_assert!(
-                        fill.get(offset),
-                        "owner replied before the cell was defined"
-                    );
+                    let v = data
+                        .get(offset)
+                        .expect("owner replied before the cell was defined");
                     if self.cache_enabled {
-                        self.cache.insert(key, values, fill);
+                        self.cache.insert(key, data);
                     }
+                    return v;
+                }
+                other => self.handle(other),
+            }
+        }
+    }
+
+    /// Non-counting read of an index array cell for anchor resolution.
+    ///
+    /// Resolution order: the local frame (the cell may be ours), the
+    /// generation-0 static mirror, the resolution store, and finally an
+    /// [`Msg::IndirectFetch`] round trip to the owner (who defers the reply
+    /// until the cell's single assignment completes — the SSA sequencing
+    /// that makes indirect anchors resolvable at all).
+    fn resolve_load(&mut self, array: usize, addr: usize) -> Result<f64, IrError> {
+        let page = addr / self.page_size;
+        let offset = addr - page * self.page_size;
+        if self.map.owner(ArrayId(array), addr) == self.me {
+            return self
+                .frames
+                .get(&(array, page))
+                .and_then(|f| f.get(offset))
+                .ok_or(IrError::ReadUndefined {
+                    array: format!("array#{array}"),
+                    addr,
+                });
+        }
+        if self.gens[array] == 0 {
+            if let Some(mirror) = self.mirrors.get(&array) {
+                return Ok(mirror[addr]);
+            }
+        }
+        let key = PageKey {
+            array,
+            page,
+            generation: self.gens[array],
+        };
+        if let Some(v) = self.resolutions.get(&key).and_then(|p| p.get(offset)) {
+            return Ok(v);
+        }
+        Ok(self.resolve_fetch(key, offset))
+    }
+
+    /// Blocking [`Msg::IndirectFetch`] round trip for one resolution cell.
+    fn resolve_fetch(&mut self, key: PageKey, offset: usize) -> f64 {
+        self.stats.resolve_messages += 1;
+        let owner = self
+            .map
+            .owner(ArrayId(key.array), key.page * self.page_size);
+        self.send(
+            owner,
+            Msg::IndirectFetch {
+                array: key.array,
+                page: key.page,
+                generation: key.generation,
+                offset,
+                from: self.me,
+            },
+        );
+        loop {
+            let msg = self.inbox.recv().expect("inbox closed during resolution");
+            match msg {
+                Msg::IndirectReply {
+                    array,
+                    page,
+                    generation,
+                    data,
+                } => {
+                    debug_assert_eq!(
+                        (array, page, generation),
+                        (key.array, key.page, key.generation)
+                    );
+                    let v = data
+                        .get(offset)
+                        .expect("owner resolved before the cell was defined");
+                    self.resolutions
+                        .entry(key)
+                        .and_modify(|p| p.merge_from(&data))
+                        .or_insert(data);
                     return v;
                 }
                 other => self.handle(other),
@@ -233,21 +446,17 @@ impl Memory for WorkerMem {
     fn load(&mut self, array: ArrayId, addr: usize) -> Result<f64, IrError> {
         let a = array.0;
         let owner = self.map.owner(array, addr);
-        if owner == self.me {
-            let page = addr / self.page_size;
-            let offset = addr - page * self.page_size;
-            let frame = self.frames.get(&(a, page)).expect("owned frame exists");
-            if !frame.tags.get(offset) {
-                return Err(IrError::ReadUndefined {
-                    array: format!("array#{a}"),
-                    addr,
-                });
-            }
-            self.stats.counters.local_reads += 1;
-            return Ok(frame.values[offset]);
-        }
         let page = addr / self.page_size;
         let offset = addr - page * self.page_size;
+        if owner == self.me {
+            let frame = self.frames.get(&(a, page)).expect("owned frame exists");
+            let v = frame.get(offset).ok_or(IrError::ReadUndefined {
+                array: format!("array#{a}"),
+                addr,
+            })?;
+            self.stats.counters.local_reads += 1;
+            return Ok(v);
+        }
         let key = PageKey {
             array: a,
             page,
@@ -268,11 +477,24 @@ impl Memory for WorkerMem {
     }
 }
 
+/// Adapter presenting [`WorkerMem`]'s non-counting resolution reads as a
+/// [`Memory`], for [`PartitionMap::resolved_anchor_owner`].
+struct Resolve<'a>(&'a mut WorkerMem);
+
+impl Memory for Resolve<'_> {
+    fn load(&mut self, array: ArrayId, addr: usize) -> Result<f64, IrError> {
+        self.0.resolve_load(array.0, addr)
+    }
+}
+
 /// The worker proper: evaluation context + machine state.
 pub struct Worker<'p> {
     program: &'p Program,
     ctx: EvalCtx<'p>,
     mem: WorkerMem,
+    /// Ownership map (same data as `mem.map`; a separate copy so statement
+    /// screening can resolve through `mem` without aliasing it).
+    map: PartitionMap,
     rr: usize,
     n_pes: usize,
 }
@@ -291,6 +513,31 @@ pub struct WorkerSpec {
     pub inbox: Receiver<Msg>,
     /// Senders to every PE's inbox (index = PE).
     pub peers: Vec<Sender<Msg>>,
+    /// Static anchor-resolution mirrors, built once per run with
+    /// [`static_mirrors`] and shared read-only by every worker.
+    pub mirrors: Arc<HashMap<usize, Vec<f64>>>,
+}
+
+/// Full images of the statically initialized index arrays that feed
+/// indirect statement anchors, keyed by array index. Materialized **once
+/// per run** and shared across workers via `Arc`: anchor screening against
+/// them needs no traffic at all (the simulator's uncounted peek,
+/// replicated), and sharing avoids `n_pes` identical copies of each image.
+pub fn static_mirrors(program: &Program) -> Arc<HashMap<usize, Vec<f64>>> {
+    let mut mirrors = HashMap::new();
+    for nest in program.nests() {
+        for stmt in &nest.body {
+            for base in analysis::anchor_index_arrays(stmt) {
+                let decl = program.array(base);
+                if let ArrayInit::Full(_) = decl.init {
+                    mirrors
+                        .entry(base.0)
+                        .or_insert_with(|| decl.init.materialize(decl.len()));
+                }
+            }
+        }
+    }
+    Arc::new(mirrors)
 }
 
 impl<'p> Worker<'p> {
@@ -307,14 +554,10 @@ impl<'p> Worker<'p> {
                 }
                 let start = page * spec.page_size;
                 let elems = (len - start).min(spec.page_size);
-                let mut frame = Frame {
-                    values: vec![0.0; elems],
-                    tags: TagBits::new(elems),
-                };
+                let mut frame = Frame::undefined(elems);
                 for off in 0..elems {
                     if start + off < init.len() {
-                        frame.values[off] = init[start + off];
-                        frame.tags.set(off);
+                        frame.set(off, init[start + off]);
                     }
                 }
                 frames.insert((a, page), frame);
@@ -326,6 +569,7 @@ impl<'p> Worker<'p> {
             ctx: EvalCtx::new(program),
             n_pes: spec.n_pes,
             rr: 0,
+            map: map.clone(),
             mem: WorkerMem {
                 me: spec.me,
                 page_size: spec.page_size,
@@ -341,35 +585,50 @@ impl<'p> Worker<'p> {
                 scalar_ready: HashMap::new(),
                 reinit_requests: HashMap::new(),
                 reinit_released: HashMap::new(),
+                reinit_acks: HashMap::new(),
+                reinit_go: HashSet::new(),
+                mirrors: spec.mirrors,
+                resolutions: HashMap::new(),
+                finished: false,
+                syncing: false,
                 shutdown: false,
                 stats: WorkerStats::default(),
             },
         }
     }
 
-    /// Owner of a statement instance (affine anchors only; anchorless
-    /// statements are dealt round-robin with a counter every worker
-    /// advances identically).
-    fn owner_of(&mut self, stmt: &Stmt, ivs: &[i64]) -> usize {
-        match self.mem.map.anchor_owner(self.program, stmt, ivs) {
-            Some(pe) => pe,
-            None => {
-                assert!(
-                    sa_ir::analysis::anchor_ref(stmt)
-                        .map(|r| !r.has_indirection())
-                        .unwrap_or(true),
-                    "the thread runtime requires affine statement anchors"
-                );
-                let pe = self.rr % self.n_pes;
-                self.rr += 1;
+    /// Owner of a statement instance — the one screening routine both the
+    /// execution loop and the reduction pre-pass call, so the two can never
+    /// disagree on who runs what.
+    ///
+    /// Affine anchors resolve arithmetically; indirect anchors resolve
+    /// their gathered subscript through the non-counting resolution store
+    /// ([`WorkerMem::resolve_load`]); anchorless statements are dealt
+    /// round-robin with `rr`, which every worker advances identically.
+    fn stmt_owner(&mut self, stmt: &Stmt, ivs: &[i64], rr: &mut usize) -> usize {
+        let resolved =
+            self.map
+                .resolved_anchor_owner(self.program, stmt, ivs, &mut Resolve(&mut self.mem));
+        match resolved {
+            Ok(Some(pe)) => pe,
+            Ok(None) => {
+                let pe = *rr % self.n_pes;
+                *rr += 1;
                 pe
             }
+            // Data-dependent resolution failure (out-of-bounds subscript,
+            // index cell the program never defines): tear the run down in
+            // an orderly way — the engine reports it as a typed error.
+            Err(e) => self.mem.fail(format!("anchor resolution failed: {e}")),
         }
     }
 
-    fn run_nest(&mut self, seq: u64, nest: &LoopNest) {
+    fn run_nest(&mut self, seq: u64, nest: &'p LoopNest) {
         // Pre-pass: reduction metadata (ops + participant sets), computed
-        // identically on every worker from the static screening.
+        // identically on every worker from the static screening. Uses a
+        // scratch round-robin counter from the same snapshot the execution
+        // loop starts at, and the same `stmt_owner` routine, so both passes
+        // assign every instance to the same PE.
         let reduce_meta: Vec<(usize, ReduceOp)> = nest
             .body
             .iter()
@@ -383,18 +642,10 @@ impl<'p> Worker<'p> {
             for &(sid, _) in &reduce_meta {
                 participants.insert(sid, vec![false; self.n_pes]);
             }
-            let rr_snapshot = self.rr;
-            let mut rr = rr_snapshot;
-            nest.for_each_iteration(|ivs| {
+            let mut rr = self.rr;
+            nest.for_each_iteration_ctl(&mut |ivs: &[i64]| {
                 for stmt in &nest.body {
-                    let owner = match self.mem.map.anchor_owner(self.program, stmt, ivs) {
-                        Some(pe) => pe,
-                        None => {
-                            let pe = rr % self.n_pes;
-                            rr += 1;
-                            pe
-                        }
-                    };
+                    let owner = self.stmt_owner(stmt, ivs, &mut rr);
                     if let Stmt::Reduce { target, .. } = stmt {
                         participants.get_mut(&target.0).expect("seeded")[owner] = true;
                     }
@@ -407,13 +658,12 @@ impl<'p> Worker<'p> {
             .iter()
             .map(|&(sid, op)| (sid, op.identity()))
             .collect();
-        let mut participated: HashMap<usize, bool> =
-            reduce_meta.iter().map(|&(sid, _)| (sid, false)).collect();
 
         let me = self.mem.me;
+        let mut rr = self.rr;
         nest.for_each_iteration_ctl(&mut |ivs: &[i64]| {
             for stmt in &nest.body {
-                let owner = self.owner_of(stmt, ivs);
+                let owner = self.stmt_owner(stmt, ivs, &mut rr);
                 if owner != me {
                     continue;
                 }
@@ -422,25 +672,25 @@ impl<'p> Worker<'p> {
                         let v = self
                             .ctx
                             .eval(value, ivs, &mut self.mem)
-                            .unwrap_or_else(|e| panic!("worker {me}: {e}"));
+                            .unwrap_or_else(|e| self.mem.fail(e.to_string()));
                         let addr = self
                             .ctx
                             .resolve_addr(target, ivs, &mut self.mem)
-                            .unwrap_or_else(|e| panic!("worker {me}: {e}"));
+                            .unwrap_or_else(|e| self.mem.fail(e.to_string()));
                         self.mem.local_write(target.array.0, addr, v);
                     }
                     Stmt::Reduce { target, op, value } => {
                         let v = self
                             .ctx
                             .eval(value, ivs, &mut self.mem)
-                            .unwrap_or_else(|e| panic!("worker {me}: {e}"));
+                            .unwrap_or_else(|e| self.mem.fail(e.to_string()));
                         let acc = partial.get_mut(&target.0).expect("seeded");
                         *acc = op.combine(*acc, v);
-                        participated.insert(target.0, true);
                     }
                 }
             }
         });
+        self.rr = rr;
 
         // Vector→scalar collection at the host PE (§9), then broadcast.
         for &(sid, op) in &reduce_meta {
@@ -471,6 +721,7 @@ impl<'p> Worker<'p> {
                 }
                 for pe in 0..self.n_pes {
                     if pe != host {
+                        self.mem.stats.broadcast_messages += 1;
                         self.mem.send(
                             pe,
                             Msg::ScalarValue {
@@ -479,13 +730,13 @@ impl<'p> Worker<'p> {
                                 value: acc,
                             },
                         );
-                        self.mem.stats.reduction_messages += 1;
                     }
                 }
                 self.ctx.scalars[sid] = acc;
             } else {
                 if parts[me] {
                     let value = partial[&sid];
+                    self.mem.stats.reduction_messages += 1;
                     self.mem.send(
                         host,
                         Msg::Partial {
@@ -495,7 +746,6 @@ impl<'p> Worker<'p> {
                             from: me,
                         },
                     );
-                    self.mem.stats.reduction_messages += 1;
                 }
                 self.mem
                     .serve_until(|m| m.scalar_ready.contains_key(&(sid, seq)));
@@ -508,6 +758,17 @@ impl<'p> Worker<'p> {
     fn run_reinit(&mut self, a: usize) {
         let me = self.mem.me;
         let host = host_of(a, self.n_pes);
+        // Entering the barrier: a reader already deferred on one of our
+        // cells (any array) is blocked and can never send its own reinit
+        // request, so the barrier would never release and we would never
+        // write again — a guaranteed deadlock. Abort instead.
+        if let Some((&(array, addr), _)) = self.mem.cell_waiters.iter().next() {
+            self.mem.fail(format!(
+                "re-initialization barrier reached with a deferred read of \
+                 array#{array}[{addr}] pending, which this program never defines"
+            ));
+        }
+        self.mem.syncing = true;
         if me == host {
             *self.mem.reinit_requests.entry(a).or_insert(0) += 1; // own request
             let n = self.n_pes;
@@ -517,6 +778,7 @@ impl<'p> Worker<'p> {
             let new_gen = self.mem.gens[a] + 1;
             for pe in 0..self.n_pes {
                 if pe != host {
+                    self.mem.stats.reinit_messages += 1;
                     self.mem.send(
                         pe,
                         Msg::ReinitRelease {
@@ -524,32 +786,62 @@ impl<'p> Worker<'p> {
                             generation: new_gen,
                         },
                     );
-                    self.mem.stats.reinit_messages += 1;
                 }
             }
             self.apply_release(a, new_gen);
+            // Second round: hold every PE at the barrier until all of them
+            // have applied their release. Without it, a released PE could
+            // enter the next nest and fetch from a peer still waiting on
+            // its own release — and that peer would misread the legitimate
+            // fetch as a deadlocked pre-barrier reader (or, for the
+            // re-initialized array itself, serve a stale-generation frame).
+            self.mem
+                .serve_until(|m| m.reinit_acks.get(&a).copied().unwrap_or(0) >= n - 1);
+            self.mem.reinit_acks.remove(&a);
+            for pe in 0..self.n_pes {
+                if pe != host {
+                    self.mem.stats.sync_messages += 1;
+                    self.mem.send(pe, Msg::ReinitGo { array: a });
+                }
+            }
+            self.mem.syncing = false;
         } else {
+            self.mem.stats.reinit_messages += 1;
             self.mem
                 .send(host, Msg::ReinitRequest { array: a, from: me });
-            self.mem.stats.reinit_messages += 1;
             self.mem.serve_until(|m| m.reinit_released.contains_key(&a));
             let new_gen = self.mem.reinit_released.remove(&a).expect("just observed");
             self.apply_release(a, new_gen);
+            // From here on, deferral is safe again: the release proves
+            // every PE reached the barrier, so an undefined-cell fetch
+            // arriving while we wait for the go can only come from a PE
+            // the host already let through — it will be satisfied once we
+            // run the next phase.
+            self.mem.syncing = false;
+            self.mem.stats.sync_messages += 1;
+            self.mem.send(host, Msg::ReinitAck { array: a, from: me });
+            self.mem.serve_until(|m| m.reinit_go.contains(&a));
+            self.mem.reinit_go.remove(&a);
         }
     }
 
     fn apply_release(&mut self, a: usize, new_gen: u32) {
-        assert!(
-            !self.mem.cell_waiters.keys().any(|&(arr, _)| arr == a),
-            "re-initialization of array {a} with deferred readers pending"
-        );
+        // Unreachable via the entry check + the `syncing` guard in
+        // serve_fetch, but kept as an orderly teardown rather than an
+        // assert: a stale waiter here would deadlock its requester.
+        if self.mem.cell_waiters.keys().any(|&(arr, _)| arr == a) {
+            self.mem.fail(format!(
+                "re-initialization of array {a} with deferred readers pending"
+            ));
+        }
         self.mem.gens[a] = new_gen;
         for ((arr, _), frame) in self.mem.frames.iter_mut() {
             if *arr == a {
-                frame.tags.clear();
+                frame.clear();
             }
         }
         self.mem.cache.invalidate_array(a);
+        self.mem.resolutions.retain(|k, _| k.array != a);
     }
 
     /// Execute the whole program, then serve peers until shutdown.
@@ -559,6 +851,16 @@ impl<'p> Worker<'p> {
                 Phase::Loop(nest) => self.run_nest(pi as u64, nest),
                 Phase::Reinit(id) => self.run_reinit(id.0),
             }
+        }
+        // From here on this worker only serves; a reader still queued on
+        // one of its cells (necessarily undefined, or it would have been
+        // released) can never be satisfied — owner-computes makes this
+        // worker the cell's only producer, and it has run out of program.
+        self.mem.finished = true;
+        if let Some((&(array, addr), _)) = self.mem.cell_waiters.iter().next() {
+            self.mem.fail(format!(
+                "deferred read of array#{array}[{addr}], which this program never defines"
+            ));
         }
         done.send(self.mem.me).expect("coordinator gone");
         self.mem.serve_until(|m| m.shutdown);

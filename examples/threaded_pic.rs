@@ -1,6 +1,7 @@
-//! Run the full 1-D Particle-in-Cell kernel (gathers included) on real
-//! threads: one OS thread per PE, channels as the network, synchronization
-//! done *entirely* by single-assignment memory.
+//! Run the full 1-D Particle-in-Cell kernel — gathers *and* the true
+//! scatter deposit, whose write target goes through the particle
+//! permutation — on real threads: one OS thread per PE, channels as the
+//! network, synchronization done *entirely* by single-assignment memory.
 //!
 //! ```text
 //! cargo run --release --example threaded_pic
@@ -11,7 +12,7 @@ use sapp::loops::k14_pic1d;
 use sapp::runtime::{execute, RuntimeConfig};
 
 fn main() {
-    let kernel = k14_pic1d::build_full(1001);
+    let kernel = k14_pic1d::build_scatter(1001);
     let golden = interpret(&kernel.program).expect("reference");
 
     for n_pes in [1usize, 2, 4, 8] {

@@ -13,33 +13,62 @@
 //! `sweep` and `search` accept `--format {table,csv,json}` and run their
 //! grids through the composable plan API (`sapp::core::plan`).
 //!
-//! `simulate`, `sweep` and `search` accept `--engine {interp,replay,auto}`
-//! selecting the counting backend: the statement-by-statement interpreter,
-//! the compiled access replay (`sapp::core::replay` — ~10–100× faster for
-//! statically classifiable nests, errors on the rest), or auto-select
-//! (replay with transparent interpreter fallback; the default). `search`
-//! additionally accepts `--objective {balanced,remote}` (the legacy
-//! remote-%-only objective is `remote`).
+//! `simulate`, `sweep` and `search` accept
+//! `--engine {interp,replay,auto,thread}` selecting the backend: the
+//! statement-by-statement counting interpreter, the compiled access replay
+//! (`sapp::core::replay` — ~10–100× faster for statically classifiable
+//! nests, errors on the rest), auto-select (replay with transparent
+//! interpreter fallback; the default), or **real worker threads**
+//! (`sapp::runtime::ThreadOracle` — one OS thread per PE, messages on real
+//! channels; LRU caches and the ideal network only, no hop model).
+//! `search` additionally accepts `--objective {balanced,remote}` (the
+//! legacy remote-%-only objective is `remote`).
 
 use sapp::core::classify::classify_dynamic;
 use sapp::core::experiment::speedup_sweep;
-use sapp::core::plan::ExperimentPlan;
+use sapp::core::oracle::OracleError;
+use sapp::core::plan::{ExperimentPlan, PlanError};
 use sapp::core::replay::{counts, counts_or_simulate, CountReport};
 use sapp::core::report::{csv, fmt_pct, json, markdown_table};
 use sapp::core::search::{search_with, Objective, SearchSpace};
-use sapp::core::{simulate, Engine, FastCountingOracle};
+use sapp::core::{simulate, Engine, FastCountingOracle, Oracle};
 use sapp::ir::{classify_program, pretty};
 use sapp::loops::{suite, Kernel};
 use sapp::machine::{AccessCosts, MachineConfig};
+use sapp::runtime::ThreadOracle;
 
 fn usage() -> ! {
     eprintln!(
         "usage: sapp <list|show|classify|simulate|sweep|search|timing> [KERNEL] \
          [--pes N] [--page N] [--cache N] [--no-cache] [--kernel CODE] \
-         [--format table|csv|json] [--engine interp|replay|auto] \
+         [--format table|csv|json] [--engine interp|replay|auto|thread] \
          [--objective balanced|remote]"
     );
     std::process::exit(2);
+}
+
+/// Which backend measures grid points: a counting engine or real threads.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EngineSel {
+    Counting(Engine),
+    Thread,
+}
+
+impl EngineSel {
+    fn parse(s: &str) -> Option<EngineSel> {
+        match s {
+            "thread" => Some(EngineSel::Thread),
+            other => Engine::parse(other).map(EngineSel::Counting),
+        }
+    }
+
+    /// The oracle evaluating plan grid points for this selection.
+    fn oracle(self) -> Box<dyn Oracle> {
+        match self {
+            EngineSel::Counting(e) => Box::new(FastCountingOracle::with_engine(e)),
+            EngineSel::Thread => Box::new(ThreadOracle),
+        }
+    }
 }
 
 /// Output format for tabular results.
@@ -67,7 +96,7 @@ struct Opts {
     no_cache: bool,
     kernel: Option<String>,
     format: Format,
-    engine: Engine,
+    engine: EngineSel,
     objective: Objective,
 }
 
@@ -79,7 +108,7 @@ fn parse_opts(args: &[String]) -> Opts {
         no_cache: false,
         kernel: None,
         format: Format::Table,
-        engine: Engine::Auto,
+        engine: EngineSel::Counting(Engine::Auto),
         objective: Objective::default(),
     };
     let mut it = args.iter();
@@ -116,7 +145,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--engine" => {
                 o.engine = it
                     .next()
-                    .and_then(|v| Engine::parse(v))
+                    .and_then(|v| EngineSel::parse(v))
                     .unwrap_or_else(|| usage())
             }
             "--objective" => {
@@ -147,7 +176,7 @@ fn config(o: &Opts) -> MachineConfig {
     MachineConfig::new(o.pes, o.page).with_cache_elems(elems)
 }
 
-/// Count one run through the selected engine.
+/// Count one run through the selected counting engine.
 fn count_with_engine(k: &Kernel, cfg: &MachineConfig, engine: Engine) -> CountReport {
     let fail = |e: &dyn std::fmt::Display| -> ! {
         eprintln!("{} failed: {e}", engine.name());
@@ -167,6 +196,28 @@ fn count_with_engine(k: &Kernel, cfg: &MachineConfig, engine: Engine) -> CountRe
             Err(e) => fail(&e),
         },
     }
+}
+
+/// Run one kernel on real worker threads and print the simulate-style report.
+fn simulate_on_threads(k: &Kernel, cfg: &MachineConfig) {
+    let rt = sapp::runtime::RuntimeConfig::from_machine(cfg);
+    let rep = sapp::runtime::execute(&k.program, &rt).unwrap_or_else(|e| {
+        eprintln!("thread failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "writes {}  local {}  cached {}  remote {}  → {} remote  [thread engine]",
+        rep.stats.writes(),
+        rep.stats.local_reads(),
+        rep.stats.cached_reads(),
+        rep.stats.remote_reads(),
+        fmt_pct(rep.stats.remote_read_pct()),
+    );
+    println!(
+        "messages {} on the wire ({} modeled)  hops n/a  max link load n/a",
+        rep.messages,
+        rep.modeled_messages()
+    );
 }
 
 fn main() {
@@ -219,7 +270,11 @@ fn main() {
         "simulate" => {
             let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             let o = parse_opts(&args[2..]);
-            let rep = count_with_engine(&k, &config(&o), o.engine);
+            let EngineSel::Counting(engine) = o.engine else {
+                simulate_on_threads(&k, &config(&o));
+                return;
+            };
+            let rep = count_with_engine(&k, &config(&o), engine);
             println!(
                 "writes {}  local {}  cached {}  remote {}  → {} remote  [{} engine]",
                 rep.stats.writes(),
@@ -244,8 +299,14 @@ fn main() {
                 .page_sizes(&[o.page])
                 .cache_flags(&[true, false])
                 .pes(&[1, 2, 4, 8, 16, 32, 64])
-                .run(&k.program, &FastCountingOracle::with_engine(o.engine))
+                .run(&k.program, o.engine.oracle().as_ref())
                 .expect("sweep");
+            if results.is_empty() {
+                eprintln!(
+                    "note: every grid point was unsupported by the selected engine \
+                     (unsupported points are skipped, not errors)"
+                );
+            }
             let rows: Vec<Vec<String>> = results
                 .group_by(|r| r.cfg.n_pes)
                 .iter()
@@ -276,13 +337,22 @@ fn main() {
                 cache_elems: if o.no_cache { 0 } else { o.cache },
                 ..SearchSpace::default()
             };
-            let oracle = FastCountingOracle::with_engine(o.engine);
+            let oracle = o.engine.oracle();
             let rows: Vec<Vec<String>> = kernels
                 .iter()
-                .map(|k| {
-                    let best =
-                        search_with(&k.program, &space, &oracle, o.objective).expect("search");
-                    vec![
+                .filter_map(|k| {
+                    // Per-kernel fail-soft, like the sweep: a kernel the
+                    // engine cannot execute at all drops out with a note
+                    // instead of aborting the whole table.
+                    let best = match search_with(&k.program, &space, oracle.as_ref(), o.objective) {
+                        Ok(best) => best,
+                        Err(PlanError::Oracle(OracleError::Unsupported(why))) => {
+                            eprintln!("note: skipping {}: {why}", k.code);
+                            return None;
+                        }
+                        Err(e) => panic!("search: {e}"),
+                    };
+                    Some(vec![
                         k.code.to_string(),
                         k.class_abbrev().to_string(),
                         best.scheme.name(),
@@ -291,7 +361,7 @@ fn main() {
                         format!("{:.3}", best.write_balance),
                         best.messages.to_string(),
                         best.evaluated.to_string(),
-                    ]
+                    ])
                 })
                 .collect();
             print!(

@@ -139,3 +139,66 @@ fn json_end_to_end_with_a_hostile_kernel_axis_label() {
         assert_eq!(quotes % 2, 0, "unbalanced quotes in line: {line}");
     }
 }
+
+/// A tiny kernel both backends support (LRU cache, ideal network).
+fn skewed_program() -> Program {
+    let mut b = ProgramBuilder::new("skew");
+    let y = b.input("Y", &[160], sapp::ir::InitPattern::Wavy);
+    let x = b.output("X", &[128]);
+    b.nest("s", &[("k", 0, 127)], |nb| {
+        nb.assign(x, [iv(0)], nb.read(y, [iv(0).plus(17)]));
+    });
+    b.finish()
+}
+
+#[test]
+fn mixed_oracle_pivots_distinguish_unmodeled_hops_from_zero() {
+    use sapp::core::results::ResultSet;
+    use sapp::runtime::ThreadOracle;
+
+    let p = skewed_program();
+    let plan = ExperimentPlan::new().pes(&[2, 4]);
+    let sim = plan.run(&p, &CountingOracle).unwrap();
+    let real = plan.run(&p, &ThreadOracle).unwrap();
+
+    // Counting backend models the network: hops are measured (Some, here 0
+    // on the ideal topology). Thread backend has no model: None.
+    for r in sim.records() {
+        assert_eq!(r.hops, Some(0));
+        assert_eq!(r.max_link_load, Some(0));
+        assert!(r.hops_f64() == 0.0);
+    }
+    for r in real.records() {
+        assert_eq!(r.hops, None);
+        assert_eq!(r.max_link_load, None);
+        assert!(r.hops_f64().is_nan(), "unmodeled hops pivot as NaN");
+        assert!(r.max_link_load_f64().is_nan());
+    }
+
+    // One mixed set, as a cross-backend comparison table would build it.
+    let mut records = sim.records().to_vec();
+    records.extend(real.records().iter().cloned());
+    let mixed = ResultSet::new(records);
+    let cols = [
+        Column::Pes,
+        Column::Messages,
+        Column::Hops,
+        Column::MaxLinkLoad,
+    ];
+    let rows = mixed.rows(&cols);
+    let c = csv(&Column::headers(&cols), &rows);
+    let lines: Vec<&str> = c.lines().collect();
+    assert_eq!(lines[0], "pes,messages,hops,max_link_load");
+    // Simulator rows carry the measured zero; thread rows leave the cells
+    // blank — every row still has all four columns.
+    assert_eq!(lines[1].matches(',').count(), 3);
+    assert!(lines[1].ends_with(",0,0"), "sim row: {}", lines[1]);
+    assert!(lines[3].ends_with(",,"), "thread row: {}", lines[3]);
+
+    // JSON: numbers where measured, empty strings (never a fake 0, never a
+    // bare NaN) where not.
+    let j = json(&Column::headers(&cols), &rows);
+    assert!(j.contains("\"hops\": 0"));
+    assert!(j.contains("\"hops\": \"\""));
+    assert!(!j.contains("NaN"));
+}

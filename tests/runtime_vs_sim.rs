@@ -3,8 +3,11 @@
 //! fully initialized inputs, conservatively for pipelined recurrences where
 //! fetch timing shifts partial-page states).
 
+use proptest::prelude::*;
+
 use sapp::core::simulate;
-use sapp::ir::{interpret, ProgramResult};
+use sapp::ir::index::iv;
+use sapp::ir::{interpret, InitPattern, Program, ProgramBuilder, ProgramResult};
 use sapp::loops::suite;
 use sapp::machine::MachineConfig;
 use sapp::runtime::{execute, RuntimeConfig};
@@ -119,5 +122,132 @@ fn thread_count_does_not_change_results() {
         golden
             .assert_matches(&runtime_result(&rep), 1e-9)
             .unwrap_or_else(|e| panic!("{n} threads: {e}"));
+    }
+}
+
+/// Regression for the reduction pre-pass / execution-loop ownership split:
+/// both passes now call the same `stmt_owner` routine, so interleaving
+/// round-robin-dealt (anchorless) statements with anchored ones in any
+/// body order must keep participant sets, values and counts consistent.
+#[test]
+fn statement_order_perturbation_keeps_prepass_and_execution_in_sync() {
+    let n = 160usize;
+    // Three bodies with the same statements in different orders. The
+    // anchorless reductions advance the round-robin counter *between* the
+    // anchored statements, in a different pattern per ordering.
+    let build = |order: usize| -> Program {
+        let mut b = ProgramBuilder::new("perturb");
+        let y = b.input("Y", &[n], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        let s1 = b.scalar("s1");
+        let s2 = b.scalar("s2");
+        b.nest("mix", &[("k", 0, n as i64 - 1)], |nb| {
+            let stmts: &mut [&mut dyn FnMut(&mut sapp::ir::builder::NestBuilder); 3] = &mut [
+                &mut |nb| nb.reduce(s1, sapp::ir::ReduceOp::Sum, sapp::ir::Expr::LoopVar(0)),
+                &mut |nb| {
+                    let v = nb.read(y, [iv(0)]) * 2.0;
+                    nb.assign(x, [iv(0)], v);
+                },
+                &mut |nb| {
+                    nb.reduce(
+                        s2,
+                        sapp::ir::ReduceOp::Max,
+                        sapp::ir::Expr::LoopVar(0) * 3.0,
+                    )
+                },
+            ];
+            let perm = match order {
+                0 => [0, 1, 2],
+                1 => [1, 0, 2],
+                _ => [2, 1, 0],
+            };
+            for i in perm {
+                stmts[i](nb);
+            }
+        });
+        b.finish()
+    };
+    for order in 0..3 {
+        let p = build(order);
+        let golden = interpret(&p).expect("reference");
+        for n_pes in [1usize, 3, 4, 7] {
+            let cfg = MachineConfig::new(n_pes, 16);
+            let sim = simulate(&p, &cfg).expect("sim");
+            let rep = execute(&p, &RuntimeConfig::from_machine(&cfg))
+                .unwrap_or_else(|e| panic!("order {order}, {n_pes} PEs: {e}"));
+            golden
+                .assert_matches(&runtime_result(&rep), 1e-9)
+                .unwrap_or_else(|e| panic!("order {order}, {n_pes} PEs: {e}"));
+            // Anchorless instances are dealt identically, so the reduction
+            // partial traffic must match the simulator's model exactly.
+            assert_eq!(
+                rep.stats.reduction_messages, sim.stats.reduction_messages,
+                "order {order}, {n_pes} PEs: partial-collection messages"
+            );
+            assert_eq!(rep.stats.writes(), sim.stats.writes());
+        }
+    }
+}
+
+/// Satellite: thread-runtime counts equal the simulator's on *random*
+/// statically-initialized index data — permutations (scatter-legal),
+/// bounded permutations with duplicates, and boundary-clamped lookups —
+/// for both a gather nest and a scatter nest. Everything fetched is a
+/// fully initialized input page, so the cached counts are exact too.
+fn gather_scatter_program(n: usize, limit: usize, seed: u64, scatter: bool) -> Program {
+    let mut b = ProgramBuilder::new("prop-indirect");
+    let d = b.input("D", &[n], InitPattern::Wavy);
+    // Gather index data may repeat and clamps to `limit`; scatter index
+    // data must be a permutation for single assignment.
+    let idx = if scatter {
+        b.input("IDX", &[n], InitPattern::Permutation { seed })
+    } else {
+        b.input("IDX", &[n], InitPattern::BoundedPermutation { seed, limit })
+    };
+    let x = b.output("X", &[n]);
+    b.nest("g", &[("k", 0, n as i64 - 1)], |nb| {
+        if scatter {
+            nb.assign_indirect(x, idx, iv(0), nb.read(d, [iv(0)]) + 1.0);
+        } else {
+            nb.assign(x, [iv(0)], nb.read_indirect(d, idx, iv(0)) + 1.0);
+        }
+    });
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_index_arrays_match_simulator_counts(
+        n in 48usize..220,
+        limit_frac in 1usize..100,
+        seed in 0u64..10_000,
+        n_pes in 1usize..7,
+        page in proptest::sample::select(vec![8usize, 16, 32]),
+        cache in proptest::sample::select(vec![0usize, 128, 256]),
+        scatter in proptest::bool::ANY,
+    ) {
+        // Boundary clamp: limits from 1 (every lookup hits D(0)) to n.
+        let limit = (n * limit_frac / 100).max(1);
+        let p = gather_scatter_program(n, limit, seed, scatter);
+        let cfg = MachineConfig::new(n_pes, page).with_cache_elems(cache);
+        let sim = simulate(&p, &cfg).expect("sim");
+        let rep = execute(&p, &RuntimeConfig::from_machine(&cfg)).expect("runtime");
+        prop_assert_eq!(rep.stats.writes(), sim.stats.writes());
+        prop_assert_eq!(rep.stats.total_reads(), sim.stats.total_reads());
+        prop_assert_eq!(rep.stats.local_reads(), sim.stats.local_reads());
+        prop_assert_eq!(rep.stats.cached_reads(), sim.stats.cached_reads());
+        prop_assert_eq!(rep.stats.remote_reads(), sim.stats.remote_reads());
+        prop_assert_eq!(rep.stats.page_fetches, sim.stats.page_fetches);
+        // Static index data resolves from the mirror: zero resolution
+        // traffic, and the modeled messages equal the simulator's.
+        prop_assert_eq!(rep.resolve_messages, 0);
+        prop_assert_eq!(rep.modeled_messages(), sim.network_messages);
+        // Values still match the reference.
+        let golden = interpret(&p).expect("reference");
+        golden
+            .assert_matches(&runtime_result(&rep), 1e-9)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
     }
 }
