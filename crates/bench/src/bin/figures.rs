@@ -19,13 +19,14 @@ fn main() {
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
     type Artifact = (&'static str, fn() -> String);
-    let artifacts: [Artifact; 11] = [
+    let artifacts: [Artifact; 12] = [
         ("fig1", fig1),
         ("fig2", fig2),
         ("fig3", fig3),
         ("fig4", fig4),
         ("fig5", fig5),
         ("summary", summary),
+        ("scale", scale_workloads),
         ("ablation-partition", ablation_partition),
         ("ablation-cache", ablation_cache),
         ("ablation-pagesize", ablation_pagesize),
@@ -41,7 +42,7 @@ fn main() {
     }
     if !ran {
         eprintln!(
-            "unknown artifact; choose from: fig1..fig5, summary, ablation-partition, \
+            "unknown artifact; choose from: fig1..fig5, summary, scale, ablation-partition, \
              ablation-cache, ablation-pagesize, ablation-policy, timing, all"
         );
         std::process::exit(2);

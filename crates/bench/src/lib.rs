@@ -352,6 +352,64 @@ pub fn ablation_policy() -> String {
     )
 }
 
+/// Scale-class workloads beyond the paper (ROADMAP "larger-scale
+/// workloads"): the stencil family and the CSR SpMV pair at their official
+/// sizes — 512×512 grids, a 64³ heat cube and 131k-nonzero sparse matvecs —
+/// measured at the reference machine with and without the cache. These
+/// footprints are far beyond the paper's 1001-element kernels, which is
+/// exactly why the grid runs through the compiled replay engine (the
+/// `auto` oracle falls back to the interpreter only for `SPMVD`'s
+/// prefix-initialized index data).
+pub fn scale_workloads() -> String {
+    scale_workloads_table(&sa_loops::scale_suite(), "official sizes")
+}
+
+/// [`scale_workloads`] over an explicit kernel set (the bench self-test
+/// runs it at reduced sizes).
+pub fn scale_workloads_table(kernels: &[Kernel], sizes: &str) -> String {
+    let codes: Vec<&str> = kernels.iter().map(|k| k.code).collect();
+    let results = ExperimentPlan::new()
+        .kernels(&codes)
+        .cache_flags(&[true, false])
+        .run_kernels(&programs(kernels), &FastCountingOracle::default())
+        .expect("scale workloads simulate cleanly");
+    let rows: Vec<Vec<String>> = kernels
+        .iter()
+        .map(|k| {
+            let at = |cached: bool| {
+                results
+                    .find(|r| r.cfg.kernel.as_deref() == Some(k.code) && r.cfg.cached() == cached)
+                    .expect("grid point")
+            };
+            let (c, u) = (at(true), at(false));
+            vec![
+                k.code.to_string(),
+                k.class_abbrev().to_string(),
+                k.program.total_elements().to_string(),
+                c.writes.to_string(),
+                fmt_pct(c.remote_pct),
+                fmt_pct(u.remote_pct),
+                c.messages.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "## Scale workloads: stencils + CSR SpMV ({sizes}, 16 PEs, page 32)\n\n{}",
+        markdown_table(
+            &[
+                "kernel",
+                "class",
+                "elements",
+                "writes",
+                "remote% (cache)",
+                "remote% (no cache)",
+                "messages (cache)"
+            ],
+            &rows
+        )
+    )
+}
+
 /// Extension — estimated speedups and network contention (§9 future work).
 pub fn timing() -> String {
     let mut rows = Vec::new();
@@ -436,6 +494,19 @@ mod tests {
         assert!(f1.contains("Cache ps32"));
         let s = summary();
         assert!(s.contains("K18"));
+    }
+
+    #[test]
+    fn scale_workload_table_renders_at_reduced_sizes() {
+        let kernels: Vec<Kernel> = sa_loops::workloads()
+            .iter()
+            .filter(|w| w.family == sa_loops::Family::Scale)
+            .map(|w| w.reduced())
+            .collect();
+        let t = scale_workloads_table(&kernels, "reduced sizes");
+        for code in ["ST5", "ST9", "ST7", "SPMV", "SPMVD"] {
+            assert!(t.contains(code), "{code} missing:\n{t}");
+        }
     }
 
     #[test]

@@ -146,6 +146,24 @@ impl NestBuilder {
         ))
     }
 
+    /// A stencil tap: `array[i0+offsets[0], i1+offsets[1], …]` where `i_d`
+    /// is loop variable `d` of the enclosing nest — the row-major
+    /// multi-dimensional addressing convention of [`crate::grid::Grid`]
+    /// (loop variable `d` walks array dimension `d`). One offset per array
+    /// dimension.
+    pub fn read_off(&self, array: ArrayId, offsets: &[i64]) -> Expr {
+        Expr::Read(ArrayRef::new(array, crate::grid::offset_taps(offsets)))
+    }
+
+    /// Append the stencil write `array[i0+offsets[0], …] ← value` — the
+    /// assignment counterpart of [`NestBuilder::read_off`].
+    pub fn assign_off(&mut self, array: ArrayId, offsets: &[i64], value: impl Into<Expr>) {
+        self.body.push(Stmt::Assign {
+            target: ArrayRef::new(array, crate::grid::offset_taps(offsets)),
+            value: value.into(),
+        });
+    }
+
     /// A rank-1 gather `data[ base[pos] ]`.
     pub fn read_indirect(&self, data: ArrayId, base: ArrayId, pos: AffineIndex) -> Expr {
         Expr::Read(ArrayRef::new(

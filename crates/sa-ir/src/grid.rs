@@ -1,0 +1,167 @@
+//! Row-major multi-dimensional addressing for grid-shaped workloads.
+//!
+//! The stencil and sparse workloads beyond the paper's 1-D kernels all
+//! address rectangular grids whose loop nest maps loop variable `d` onto
+//! array dimension `d` (the natural row-major orientation: the innermost
+//! loop walks the unit-stride dimension). [`Grid`] is that convention as a
+//! value: it linearizes index vectors exactly like [`ArrayDecl`] declares
+//! them, and it builds the per-dimension [`IndexExpr`]s a stencil tap needs
+//! — so the addressing used to *construct* a kernel and the addressing the
+//! partitioner *screens* with are provably the same function
+//! (`tests/partition_props.rs` checks `owner(linearize(i,j,k))` agreement
+//! against [`ArrayDecl::linearize`] for random dims and schemes).
+//!
+//! [`ArrayDecl`]: crate::program::ArrayDecl
+//! [`ArrayDecl::linearize`]: crate::program::ArrayDecl::linearize
+
+use crate::index::{AffineIndex, IndexExpr};
+
+/// A rectangular row-major grid: dimension extents, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    dims: Vec<usize>,
+}
+
+impl Grid {
+    /// A grid with the given extents (outermost first). Panics on an empty
+    /// dimension list — a zero-rank grid has no addressing to speak of.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "Grid needs at least one dimension");
+        Grid {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Dimension extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True if any extent is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides: `strides()[d]` is the linear-address step of one
+    /// increment in dimension `d`. Identical to
+    /// [`crate::program::ArrayDecl::strides`] for the same extents.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.dims.len()];
+        for d in (0..self.dims.len().saturating_sub(1)).rev() {
+            s[d] = s[d + 1] * self.dims[d + 1];
+        }
+        s
+    }
+
+    /// True if `idx` is inside the grid on every dimension.
+    pub fn contains(&self, idx: &[i64]) -> bool {
+        idx.len() == self.dims.len()
+            && idx
+                .iter()
+                .zip(&self.dims)
+                .all(|(&i, &e)| i >= 0 && (i as usize) < e)
+    }
+
+    /// Row-major linear address of `idx`, or `None` when `idx` has the
+    /// wrong rank or falls outside the grid.
+    pub fn linearize(&self, idx: &[i64]) -> Option<usize> {
+        if !self.contains(idx) {
+            return None;
+        }
+        let mut addr = 0usize;
+        for (&i, &e) in idx.iter().zip(&self.dims) {
+            addr = addr * e + i as usize;
+        }
+        Some(addr)
+    }
+
+    /// The stencil-tap index vector at constant per-dimension `offsets`
+    /// from the loop variables: dimension `d` is indexed `i_d + offsets[d]`
+    /// where `i_d` is loop variable `d` of the enclosing nest. Panics if
+    /// `offsets` does not match the grid's rank.
+    pub fn at(&self, offsets: &[i64]) -> Vec<IndexExpr> {
+        assert_eq!(
+            offsets.len(),
+            self.dims.len(),
+            "stencil tap rank must match the grid rank"
+        );
+        offset_taps(offsets)
+    }
+}
+
+/// The row-major tap convention as a function: dimension `d` of the result
+/// indexes `i_d + offsets[d]`, where `i_d` is loop variable `d` of the
+/// enclosing nest. This is the single definition behind [`Grid::at`] and
+/// [`crate::builder::NestBuilder::read_off`]/`assign_off`.
+pub fn offset_taps(offsets: &[i64]) -> Vec<IndexExpr> {
+    offsets
+        .iter()
+        .enumerate()
+        .map(|(d, &o)| IndexExpr::Affine(AffineIndex::var(d).plus(o)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArrayDecl, ArrayInit};
+
+    #[test]
+    fn linearize_matches_array_decl() {
+        let g = Grid::new(&[4, 5, 6]);
+        let d = ArrayDecl {
+            name: "A".into(),
+            dims: vec![4, 5, 6],
+            init: ArrayInit::Undefined,
+        };
+        assert_eq!(g.len(), 120);
+        assert_eq!(g.strides(), d.strides());
+        for i in 0..4i64 {
+            for j in 0..5i64 {
+                for k in 0..6i64 {
+                    assert_eq!(
+                        g.linearize(&[i, j, k]).unwrap(),
+                        d.linearize(&[i, j, k]).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_and_rank_mismatch_are_none() {
+        let g = Grid::new(&[4, 5]);
+        assert_eq!(g.linearize(&[4, 0]), None);
+        assert_eq!(g.linearize(&[0, -1]), None);
+        assert_eq!(g.linearize(&[1]), None);
+        assert!(!g.contains(&[0, 5]));
+        assert!(g.contains(&[3, 4]));
+    }
+
+    #[test]
+    fn at_builds_offset_taps() {
+        let g = Grid::new(&[8, 8]);
+        let taps = g.at(&[-1, 2]);
+        assert_eq!(taps.len(), 2);
+        let a0 = taps[0].as_affine().unwrap();
+        assert_eq!((a0.coeff(0), a0.offset), (1, -1));
+        let a1 = taps[1].as_affine().unwrap();
+        assert_eq!((a1.coeff(1), a1.offset), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must match")]
+    fn at_rejects_wrong_rank() {
+        Grid::new(&[8, 8]).at(&[0]);
+    }
+}

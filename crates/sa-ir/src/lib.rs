@@ -21,6 +21,7 @@
 pub mod analysis;
 pub mod builder;
 pub mod expr;
+pub mod grid;
 pub mod index;
 pub mod interp;
 pub mod nest;
@@ -31,6 +32,7 @@ pub mod ssa;
 pub use analysis::{classify_nest, classify_program, AccessClass, NestReport, PairRelation};
 pub use builder::ProgramBuilder;
 pub use expr::{BinOp, Expr, ReduceOp, UnaryOp};
+pub use grid::Grid;
 pub use index::{AffineIndex, IndexExpr};
 pub use interp::{interpret, ProgramResult};
 pub use nest::{ArrayRef, Bound, LoopNest, LoopVar, Stmt};

@@ -44,9 +44,13 @@ pub mod k18_hydro2d;
 pub mod k21_matmul;
 pub mod k22_planckian;
 pub mod k24_argmin;
+pub mod spmv;
+pub mod stencil;
 pub mod suite;
 
-pub use suite::{suite, Kernel};
+pub use suite::{
+    reduced_suite, scale_suite, suite, workload, workloads, Family, Kernel, Size, Workload,
+};
 
 #[cfg(test)]
 mod tests {
@@ -57,6 +61,19 @@ mod tests {
         let kernels = suite();
         assert_eq!(kernels.len(), 18);
         for k in &kernels {
+            assert!(
+                sa_ir::interpret(&k.program).is_ok(),
+                "{} must be valid single-assignment",
+                k.code
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_registry_is_interpretable() {
+        // Every registry entry — variants and scale workloads included —
+        // is valid single-assignment at its reduced size.
+        for k in reduced_suite() {
             assert!(
                 sa_ir::interpret(&k.program).is_ok(),
                 "{} must be valid single-assignment",

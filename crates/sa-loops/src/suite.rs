@@ -1,11 +1,18 @@
-//! The kernel registry.
+//! The sized workload registry.
+//!
+//! Problem sizes are defined in exactly one place: each [`Workload`]
+//! descriptor names its builder plus an **official** size (the paper's LFK
+//! sizes for the Livermore kernels; the scale-class defaults for the
+//! stencil/SpMV family) and a **reduced** size small enough for the
+//! debug-build certification suites. [`suite`], [`scale_suite`] and
+//! [`reduced_suite`] are all views of the same table.
 
 use sa_ir::{AccessClass, Program};
 
-/// One Livermore kernel, ready to simulate.
+/// One kernel, ready to simulate.
 #[derive(Debug, Clone)]
 pub struct Kernel {
-    /// Livermore kernel number.
+    /// Livermore kernel number (scale workloads use ids ≥ 100).
     pub id: u32,
     /// Short code (`"K1"` …).
     pub code: &'static str,
@@ -26,28 +33,334 @@ impl Kernel {
     }
 }
 
-/// The full suite at the official LFK problem sizes.
-pub fn suite() -> Vec<Kernel> {
+/// A problem size, shaped like the workload it sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// 1-D problem size `n` (the Livermore kernels' loop length).
+    N(usize),
+    /// 2-D grid with a sweep count (the stencil family).
+    Grid2 {
+        /// Outer (slow) extent.
+        nx: usize,
+        /// Inner (unit-stride) extent.
+        ny: usize,
+        /// Relaxation sweeps.
+        sweeps: usize,
+    },
+    /// 3-D grid with a sweep count.
+    Grid3 {
+        /// Outermost extent.
+        nx: usize,
+        /// Middle extent.
+        ny: usize,
+        /// Unit-stride extent.
+        nz: usize,
+        /// Relaxation sweeps.
+        sweeps: usize,
+    },
+    /// Sparse matrix: `rows × cols` with a uniform row degree.
+    Sparse {
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix columns (the gathered vector's length).
+        cols: usize,
+        /// Nonzeros per row.
+        deg: usize,
+    },
+}
+
+impl Size {
+    /// Render the size compactly (`"1001"`, `"512×512 ×2"`, `"16384×16384 d8"`).
+    pub fn label(&self) -> String {
+        match *self {
+            Size::N(n) => n.to_string(),
+            Size::Grid2 { nx, ny, sweeps } => format!("{nx}×{ny} ×{sweeps}"),
+            Size::Grid3 { nx, ny, nz, sweeps } => format!("{nx}×{ny}×{nz} ×{sweeps}"),
+            Size::Sparse { rows, cols, deg } => format!("{rows}×{cols} d{deg}"),
+        }
+    }
+}
+
+/// Which part of the evaluation a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// The paper's Livermore suite (§6–§8) — what [`suite`] returns.
+    Livermore,
+    /// Alternative builds of Livermore kernels (gather/scatter forms) used
+    /// by the certification suites.
+    Variant,
+    /// The scale-class workloads beyond the paper (stencils, SpMV).
+    Scale,
+}
+
+/// One entry of the registry: a builder plus its canonical sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short code (`"K1"`, `"ST5"`, `"SPMV"` …), unique across the registry.
+    pub code: &'static str,
+    /// Which slice of the evaluation the workload belongs to.
+    pub family: Family,
+    /// The official problem size ([`suite`]/[`scale_suite`] use it).
+    pub official: Size,
+    /// A reduced size for debug-build certification runs.
+    pub reduced: Size,
+    build: fn(Size) -> Kernel,
+}
+
+impl Workload {
+    /// Build the workload at an arbitrary size (panics if `size`'s shape
+    /// does not match the workload's — e.g. a grid size for a 1-D kernel).
+    pub fn build(&self, size: Size) -> Kernel {
+        (self.build)(size)
+    }
+
+    /// Build at the official size.
+    pub fn official(&self) -> Kernel {
+        self.build(self.official)
+    }
+
+    /// Build at the reduced size.
+    pub fn reduced(&self) -> Kernel {
+        self.build(self.reduced)
+    }
+}
+
+fn n_of(s: Size) -> usize {
+    match s {
+        Size::N(n) => n,
+        other => panic!("1-D workload sized with {other:?}; use Size::N"),
+    }
+}
+
+fn grid2_of(s: Size) -> (usize, usize, usize) {
+    match s {
+        Size::Grid2 { nx, ny, sweeps } => (nx, ny, sweeps),
+        other => panic!("2-D workload sized with {other:?}; use Size::Grid2"),
+    }
+}
+
+fn grid3_of(s: Size) -> (usize, usize, usize, usize) {
+    match s {
+        Size::Grid3 { nx, ny, nz, sweeps } => (nx, ny, nz, sweeps),
+        other => panic!("3-D workload sized with {other:?}; use Size::Grid3"),
+    }
+}
+
+fn sparse_of(s: Size) -> (usize, usize, usize) {
+    match s {
+        Size::Sparse { rows, cols, deg } => (rows, cols, deg),
+        other => panic!("sparse workload sized with {other:?}; use Size::Sparse"),
+    }
+}
+
+/// The full registry: the 18 Livermore kernels, their gather/scatter
+/// variant builds, and the scale-class stencil/SpMV family — each with its
+/// official and reduced problem sizes. This table is the *only* place
+/// sizes are written down.
+pub fn workloads() -> Vec<Workload> {
+    use Family::*;
+    use Size::*;
+    let w = |code, family, official, reduced, build| Workload {
+        code,
+        family,
+        official,
+        reduced,
+        build,
+    };
     vec![
-        crate::k01_hydro::build(1001),
-        crate::k02_iccg::build(1001),
-        crate::k03_inner_product::build(1001),
-        crate::k04_banded::build(1001),
-        crate::k05_tridiag::build(1001),
-        crate::k06_glre::build(64),
-        crate::k07_eos::build(995),
-        crate::k08_adi::build(101),
-        crate::k09_integrate::build(101),
-        crate::k10_diff_predict::build(101),
-        crate::k11_first_sum::build(1001),
-        crate::k12_first_diff::build(1000),
-        crate::k13_pic2d::build(1001),
-        crate::k14_pic1d::build(1001),
-        crate::k18_hydro2d::build(101),
-        crate::k21_matmul::build(101),
-        crate::k22_planckian::build(101),
-        crate::k24_argmin::build(1001),
+        w("K1", Livermore, N(1001), N(300), |s| {
+            crate::k01_hydro::build(n_of(s))
+        }),
+        w("K2", Livermore, N(1001), N(300), |s| {
+            crate::k02_iccg::build(n_of(s))
+        }),
+        w("K3", Livermore, N(1001), N(300), |s| {
+            crate::k03_inner_product::build(n_of(s))
+        }),
+        w("K4", Livermore, N(1001), N(300), |s| {
+            crate::k04_banded::build(n_of(s))
+        }),
+        w("K5", Livermore, N(1001), N(200), |s| {
+            crate::k05_tridiag::build(n_of(s))
+        }),
+        w("K6", Livermore, N(64), N(24), |s| {
+            crate::k06_glre::build(n_of(s))
+        }),
+        w("K7", Livermore, N(995), N(300), |s| {
+            crate::k07_eos::build(n_of(s))
+        }),
+        w("K8", Livermore, N(101), N(33), |s| {
+            crate::k08_adi::build(n_of(s))
+        }),
+        w("K9", Livermore, N(101), N(65), |s| {
+            crate::k09_integrate::build(n_of(s))
+        }),
+        w("K10", Livermore, N(101), N(65), |s| {
+            crate::k10_diff_predict::build(n_of(s))
+        }),
+        w("K11", Livermore, N(1001), N(300), |s| {
+            crate::k11_first_sum::build(n_of(s))
+        }),
+        w("K12", Livermore, N(1000), N(300), |s| {
+            crate::k12_first_diff::build(n_of(s))
+        }),
+        w("K13", Livermore, N(1001), N(150), |s| {
+            crate::k13_pic2d::build(n_of(s))
+        }),
+        w("K14", Livermore, N(1001), N(300), |s| {
+            crate::k14_pic1d::build(n_of(s))
+        }),
+        w("K18", Livermore, N(101), N(33), |s| {
+            crate::k18_hydro2d::build(n_of(s))
+        }),
+        w("K21", Livermore, N(101), N(12), |s| {
+            crate::k21_matmul::build(n_of(s))
+        }),
+        w("K22", Livermore, N(101), N(33), |s| {
+            crate::k22_planckian::build(n_of(s))
+        }),
+        w("K24", Livermore, N(1001), N(300), |s| {
+            crate::k24_argmin::build(n_of(s))
+        }),
+        // Gather/scatter variant builds, certified by the runtime suite.
+        w("K13S", Variant, N(1001), N(150), |s| {
+            crate::k13_pic2d::build_scatter(n_of(s))
+        }),
+        w("K14F", Variant, N(1001), N(200), |s| {
+            crate::k14_pic1d::build_full(n_of(s))
+        }),
+        w("K14S", Variant, N(1001), N(200), |s| {
+            crate::k14_pic1d::build_scatter(n_of(s))
+        }),
+        // Scale-class workloads beyond the paper.
+        w(
+            "ST5",
+            Scale,
+            Grid2 {
+                nx: 512,
+                ny: 512,
+                sweeps: 2,
+            },
+            Grid2 {
+                nx: 24,
+                ny: 20,
+                sweeps: 2,
+            },
+            |s| {
+                let (nx, ny, sweeps) = grid2_of(s);
+                crate::stencil::build_jacobi5(nx, ny, sweeps)
+            },
+        ),
+        w(
+            "ST9",
+            Scale,
+            Grid2 {
+                nx: 512,
+                ny: 512,
+                sweeps: 2,
+            },
+            Grid2 {
+                nx: 20,
+                ny: 16,
+                sweeps: 2,
+            },
+            |s| {
+                let (nx, ny, sweeps) = grid2_of(s);
+                crate::stencil::build_ninepoint(nx, ny, sweeps)
+            },
+        ),
+        w(
+            "ST7",
+            Scale,
+            Grid3 {
+                nx: 64,
+                ny: 64,
+                nz: 64,
+                sweeps: 2,
+            },
+            Grid3 {
+                nx: 10,
+                ny: 8,
+                nz: 6,
+                sweeps: 2,
+            },
+            |s| {
+                let (nx, ny, nz, sweeps) = grid3_of(s);
+                crate::stencil::build_heat7(nx, ny, nz, sweeps)
+            },
+        ),
+        w(
+            "SPMV",
+            Scale,
+            Sparse {
+                rows: 16384,
+                cols: 16384,
+                deg: 8,
+            },
+            Sparse {
+                rows: 128,
+                cols: 96,
+                deg: 4,
+            },
+            |s| {
+                let (rows, cols, deg) = sparse_of(s);
+                crate::spmv::build_csr(rows, cols, deg)
+            },
+        ),
+        w(
+            "SPMVD",
+            Scale,
+            Sparse {
+                rows: 16384,
+                cols: 16384,
+                deg: 8,
+            },
+            Sparse {
+                rows: 96,
+                cols: 64,
+                deg: 4,
+            },
+            |s| {
+                let (rows, cols, deg) = sparse_of(s);
+                crate::spmv::build_csr_dynamic(rows, cols, deg)
+            },
+        ),
     ]
+}
+
+/// Look up a registry entry by code (case-insensitive).
+pub fn workload(code: &str) -> Option<Workload> {
+    workloads()
+        .into_iter()
+        .find(|w| w.code.eq_ignore_ascii_case(code))
+}
+
+/// Build every workload of `family` at the given official/reduced slice.
+fn family_suite(family: Family, reduced: bool) -> Vec<Kernel> {
+    workloads()
+        .iter()
+        .filter(|w| w.family == family)
+        .map(|w| if reduced { w.reduced() } else { w.official() })
+        .collect()
+}
+
+/// The paper's Livermore suite at the official LFK problem sizes.
+pub fn suite() -> Vec<Kernel> {
+    family_suite(Family::Livermore, false)
+}
+
+/// The scale-class workloads (stencil family + SpMV) at their official
+/// sizes — the ROADMAP's "larger-scale workloads" item.
+pub fn scale_suite() -> Vec<Kernel> {
+    family_suite(Family::Scale, false)
+}
+
+/// Every registry workload — Livermore suite, gather/scatter variants and
+/// the scale family — at the reduced sizes the debug-build certification
+/// suites (`tests/runtime_full_suite.rs`, `tests/replay_vs_interp.rs`)
+/// run at.
+pub fn reduced_suite() -> Vec<Kernel> {
+    workloads().iter().map(Workload::reduced).collect()
 }
 
 #[cfg(test)]
@@ -56,7 +369,7 @@ mod tests {
 
     #[test]
     fn static_classes_match_expectations() {
-        for k in suite() {
+        for k in suite().into_iter().chain(family_suite(Family::Scale, true)) {
             let got = sa_ir::classify_program(&k.program).class;
             assert_eq!(
                 got.abbrev(),
@@ -89,5 +402,100 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), kernels.len());
+        // Registry codes are unique across every family.
+        let mut codes: Vec<&str> = workloads().iter().map(|w| w.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), workloads().len());
+    }
+
+    #[test]
+    fn official_sizes_match_the_paper_literals() {
+        // Regression guard for the registry refactor: the official suite is
+        // program-for-program identical to direct builds at the historical
+        // size literals.
+        let direct = [
+            crate::k01_hydro::build(1001),
+            crate::k02_iccg::build(1001),
+            crate::k03_inner_product::build(1001),
+            crate::k04_banded::build(1001),
+            crate::k05_tridiag::build(1001),
+            crate::k06_glre::build(64),
+            crate::k07_eos::build(995),
+            crate::k08_adi::build(101),
+            crate::k09_integrate::build(101),
+            crate::k10_diff_predict::build(101),
+            crate::k11_first_sum::build(1001),
+            crate::k12_first_diff::build(1000),
+            crate::k13_pic2d::build(1001),
+            crate::k14_pic1d::build(1001),
+            crate::k18_hydro2d::build(101),
+            crate::k21_matmul::build(101),
+            crate::k22_planckian::build(101),
+            crate::k24_argmin::build(1001),
+        ];
+        let from_registry = suite();
+        assert_eq!(from_registry.len(), direct.len());
+        for (r, d) in from_registry.iter().zip(&direct) {
+            assert_eq!(r.code, d.code);
+            assert_eq!(r.program, d.program, "{}: program changed", r.code);
+        }
+    }
+
+    #[test]
+    fn registry_codes_resolve_and_size_shapes_are_enforced() {
+        assert_eq!(workload("k12").unwrap().code, "K12");
+        assert_eq!(workload("spmv").unwrap().code, "SPMV");
+        assert!(workload("K99").is_none());
+        assert!(matches!(
+            workload("ST5").unwrap().official,
+            Size::Grid2 {
+                nx: 512,
+                ny: 512,
+                ..
+            }
+        ));
+        assert_eq!(Size::N(1001).label(), "1001");
+        assert_eq!(
+            Size::Grid3 {
+                nx: 4,
+                ny: 5,
+                nz: 6,
+                sweeps: 2
+            }
+            .label(),
+            "4×5×6 ×2"
+        );
+        assert_eq!(
+            Size::Sparse {
+                rows: 10,
+                cols: 20,
+                deg: 3
+            }
+            .label(),
+            "10×20 d3"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "use Size::N")]
+    fn mismatched_size_shape_panics() {
+        workload("K1").unwrap().build(Size::Sparse {
+            rows: 1,
+            cols: 1,
+            deg: 1,
+        });
+    }
+
+    #[test]
+    fn reduced_suite_covers_every_workload() {
+        let reduced = reduced_suite();
+        assert_eq!(reduced.len(), workloads().len());
+        for code in ["K13S", "K14F", "K14S", "ST5", "ST7", "SPMV", "SPMVD"] {
+            assert!(
+                reduced.iter().any(|k| k.code == code),
+                "{code} missing from the reduced suite"
+            );
+        }
     }
 }

@@ -110,7 +110,8 @@ impl std::error::Error for RuntimeError {}
 ///
 /// The check is per *array*, not per cell: a program whose earlier nests
 /// write an index array only partially — or whose static initialization is
-/// only a [`ArrayInit::Prefix`] — passes here but errors during execution
+/// only a [`sa_ir::program::ArrayInit::Prefix`] — passes here but errors
+/// during execution
 /// if a lookup lands on an undefined cell: the failing worker broadcasts
 /// an abort (locally detected reads immediately; remote requests once
 /// their owner runs out of program), and `execute` surfaces it as a typed

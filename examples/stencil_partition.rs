@@ -1,39 +1,20 @@
 //! Domain scenario: tune page size and placement for a 2-D heat-diffusion
 //! stencil — the "programmer- or compiler-selectable partitioning" the
-//! paper's future work proposes (§9).
+//! paper's future work proposes (§9), run on the registry's scale-class
+//! 5-point Jacobi workload (`ST5`) through the compiled replay engine.
 //!
 //! ```text
 //! cargo run --release --example stencil_partition
 //! ```
 
 use sapp::core::experiment::partition_sweep;
+use sapp::core::replay::counts_or_simulate;
 use sapp::core::report::{fmt_pct, markdown_table};
-use sapp::core::simulate;
-use sapp::ir::index::iv;
-use sapp::ir::{InitPattern, Program, ProgramBuilder};
+use sapp::loops::stencil::build_jacobi5;
 use sapp::machine::{MachineConfig, PartitionScheme};
 
-/// One Jacobi sweep: OUT(i,j) = (IN(i-1,j)+IN(i+1,j)+IN(i,j-1)+IN(i,j+1))/4.
-fn stencil(rows: usize, cols: usize) -> Program {
-    let mut b = ProgramBuilder::new("heat stencil");
-    let input = b.input("IN", &[rows, cols], InitPattern::Wavy);
-    let out = b.output("OUT", &[rows, cols]);
-    b.nest(
-        "jacobi",
-        &[("i", 1, rows as i64 - 2), ("j", 1, cols as i64 - 2)],
-        |nb| {
-            let sum = nb.read(input, [iv(0).plus(-1), iv(1)])
-                + nb.read(input, [iv(0).plus(1), iv(1)])
-                + nb.read(input, [iv(0), iv(1).plus(-1)])
-                + nb.read(input, [iv(0), iv(1).plus(1)]);
-            nb.assign(out, [iv(0), iv(1)], sum / 4.0);
-        },
-    );
-    b.finish()
-}
-
 fn main() {
-    let program = stencil(128, 128);
+    let program = build_jacobi5(128, 128, 1).program;
     let n_pes = 16;
 
     // Page-size sweep (paper §9: "allowing the programmer or compiler to
@@ -41,7 +22,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut best: Option<(usize, f64)> = None;
     for ps in [8usize, 16, 32, 64, 128, 256] {
-        let rep = simulate(&program, &MachineConfig::new(n_pes, ps)).expect("sim");
+        let rep = counts_or_simulate(&program, &MachineConfig::new(n_pes, ps)).expect("sim");
         let pct = rep.remote_pct();
         if best.map(|(_, b)| pct < b).unwrap_or(true) {
             best = Some((ps, pct));

@@ -1,14 +1,23 @@
 //! `sapp` — command-line front end to the partitioning system.
 //!
 //! ```text
-//! sapp list                       # kernels with their classes
+//! sapp list                       # every workload with class and size
 //! sapp show K18                   # pseudo-FORTRAN of a kernel
 //! sapp classify K6                # static + measured classification
 //! sapp simulate K1 --pes 8 --page 32 [--no-cache]
 //! sapp sweep K2 --page 32         # remote % across PE counts
+//! sapp sweep ST5 --size 96        # scale workloads size like any kernel
 //! sapp search [--kernel K12]      # best scheme × page size per kernel
 //! sapp timing K14 --page 32       # estimated speedup curve
 //! ```
+//!
+//! Workloads resolve against the sized registry (`sapp::loops::workloads`),
+//! which includes the scale-class stencil family (`ST5`, `ST9`, `ST7`) and
+//! the CSR SpMV pair (`SPMV`, `SPMVD`) beyond the paper's Livermore suite.
+//! `--size N` rescales any workload (loop length, grid edge, or matrix
+//! rows/cols); `--dims AxB[xC]` sets exact grid extents for the stencils
+//! (or `ROWSxCOLS` for the SpMV pair). Sweep counts and row degrees stay at
+//! the registry's official values.
 //!
 //! `sweep` and `search` accept `--format {table,csv,json}` and run their
 //! grids through the composable plan API (`sapp::core::plan`).
@@ -33,7 +42,7 @@ use sapp::core::report::{csv, fmt_pct, json, markdown_table};
 use sapp::core::search::{search_with, Objective, SearchSpace};
 use sapp::core::{simulate, Engine, FastCountingOracle, Oracle};
 use sapp::ir::{classify_program, pretty};
-use sapp::loops::{suite, Kernel};
+use sapp::loops::{suite, workloads, Kernel, Size, Workload};
 use sapp::machine::{AccessCosts, MachineConfig};
 use sapp::runtime::ThreadOracle;
 
@@ -41,6 +50,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sapp <list|show|classify|simulate|sweep|search|timing> [KERNEL] \
          [--pes N] [--page N] [--cache N] [--no-cache] [--kernel CODE] \
+         [--size N] [--dims AxB[xC]] \
          [--format table|csv|json] [--engine interp|replay|auto|thread] \
          [--objective balanced|remote]"
     );
@@ -95,6 +105,8 @@ struct Opts {
     cache: usize,
     no_cache: bool,
     kernel: Option<String>,
+    size: Option<usize>,
+    dims: Option<Vec<usize>>,
     format: Format,
     engine: EngineSel,
     objective: Objective,
@@ -107,6 +119,8 @@ fn parse_opts(args: &[String]) -> Opts {
         cache: 256,
         no_cache: false,
         kernel: None,
+        size: None,
+        dims: None,
         format: Format::Table,
         engine: EngineSel::Counting(Engine::Auto),
         objective: Objective::default(),
@@ -134,6 +148,24 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--no-cache" => o.no_cache = true,
             "--kernel" => o.kernel = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--size" => {
+                o.size = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--dims" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let parts: Option<Vec<usize>> = spec
+                    .split(['x', 'X', '×'])
+                    .map(|p| p.parse().ok())
+                    .collect();
+                match parts {
+                    Some(d) if d.len() == 2 || d.len() == 3 => o.dims = Some(d),
+                    _ => usage(),
+                }
+            }
             "--format" => {
                 o.format = match it.next().map(String::as_str) {
                     Some("table") => Format::Table,
@@ -161,14 +193,79 @@ fn parse_opts(args: &[String]) -> Opts {
     o
 }
 
-fn find_kernel(code: &str) -> Kernel {
-    suite()
-        .into_iter()
-        .find(|k| k.code.eq_ignore_ascii_case(code))
-        .unwrap_or_else(|| {
-            eprintln!("unknown kernel {code}; try `sapp list`");
-            std::process::exit(2);
-        })
+fn find_workload(code: &str) -> Workload {
+    sapp::loops::workload(code).unwrap_or_else(|| {
+        eprintln!("unknown kernel {code}; try `sapp list`");
+        std::process::exit(2);
+    })
+}
+
+/// The workload's official size with any `--size`/`--dims` override folded
+/// in. `--size N` rescales the dominant extent(s): a 1-D kernel's loop
+/// length, a stencil's grid edges, or the SpMV rows *and* cols. `--dims`
+/// pins exact extents (2 for a 2-D grid or SpMV rows×cols, 3 for a 3-D
+/// grid); sweep counts and row degrees keep the registry's values.
+fn sized(w: &Workload, o: &Opts) -> Size {
+    let mut size = w.official;
+    if let Some(n) = o.size {
+        size = match size {
+            Size::N(_) => Size::N(n),
+            Size::Grid2 { sweeps, .. } => Size::Grid2 {
+                nx: n,
+                ny: n,
+                sweeps,
+            },
+            Size::Grid3 { sweeps, .. } => Size::Grid3 {
+                nx: n,
+                ny: n,
+                nz: n,
+                sweeps,
+            },
+            Size::Sparse { deg, .. } => Size::Sparse {
+                rows: n,
+                cols: n,
+                deg,
+            },
+        };
+    }
+    if let Some(d) = &o.dims {
+        size = match (size, d.as_slice()) {
+            (Size::Grid2 { sweeps, .. }, &[nx, ny]) => Size::Grid2 { nx, ny, sweeps },
+            (Size::Grid3 { sweeps, .. }, &[nx, ny, nz]) => Size::Grid3 { nx, ny, nz, sweeps },
+            (Size::Sparse { deg, .. }, &[rows, cols]) => Size::Sparse { rows, cols, deg },
+            _ => {
+                eprintln!(
+                    "--dims {:?} does not fit {} (size shape {:?})",
+                    d, w.code, w.official
+                );
+                std::process::exit(2);
+            }
+        };
+    }
+    // Reject undersized overrides here with a friendly message instead of
+    // letting the builders' asserts abort with a panic trace.
+    let bad = match size {
+        Size::N(n) => n == 0,
+        Size::Grid2 { nx, ny, .. } => nx < 3 || ny < 3,
+        Size::Grid3 { nx, ny, nz, .. } => nx < 3 || ny < 3 || nz < 3,
+        Size::Sparse { rows, cols, deg } => rows == 0 || cols == 0 || deg == 0,
+    };
+    if bad {
+        eprintln!(
+            "size {} is too small for {} (grids need every extent ≥ 3, \
+             sparse/1-D sizes must be non-zero)",
+            size.label(),
+            w.code
+        );
+        std::process::exit(2);
+    }
+    size
+}
+
+/// Resolve a kernel code against the sized registry.
+fn resolve_kernel(code: &str, o: &Opts) -> Kernel {
+    let w = find_workload(code);
+    w.build(sized(&w, o))
 }
 
 fn config(o: &Opts) -> MachineConfig {
@@ -225,29 +322,42 @@ fn main() {
     let Some(cmd) = args.first() else { usage() };
     match cmd.as_str() {
         "list" => {
-            let rows: Vec<Vec<String>> = suite()
+            let rows: Vec<Vec<String>> = workloads()
                 .iter()
-                .map(|k| {
+                .map(|w| {
+                    let k = w.official();
                     vec![
                         k.code.to_string(),
                         k.name.to_string(),
                         k.class_abbrev().to_string(),
                         k.paper_class.unwrap_or("—").to_string(),
+                        w.official.label(),
                         k.program.total_elements().to_string(),
                     ]
                 })
                 .collect();
             println!(
                 "{}",
-                markdown_table(&["kernel", "name", "class", "paper", "elements"], &rows)
+                markdown_table(
+                    &["kernel", "name", "class", "paper", "size", "elements"],
+                    &rows
+                )
             );
         }
         "show" => {
-            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let o = parse_opts(args.get(2..).unwrap_or(&[]));
+            let k = resolve_kernel(
+                args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
+                &o,
+            );
             print!("{}", pretty::program_to_string(&k.program));
         }
         "classify" => {
-            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let o = parse_opts(args.get(2..).unwrap_or(&[]));
+            let k = resolve_kernel(
+                args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
+                &o,
+            );
             let stat = classify_program(&k.program);
             println!("static : {} ({})", stat.class, stat.class.abbrev());
             for nest in &stat.nests {
@@ -268,8 +378,11 @@ fn main() {
             }
         }
         "simulate" => {
-            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
-            let o = parse_opts(&args[2..]);
+            let o = parse_opts(args.get(2..).unwrap_or(&[]));
+            let k = resolve_kernel(
+                args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
+                &o,
+            );
             let EngineSel::Counting(engine) = o.engine else {
                 simulate_on_threads(&k, &config(&o));
                 return;
@@ -290,8 +403,11 @@ fn main() {
             );
         }
         "sweep" => {
-            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
-            let o = parse_opts(&args[2..]);
+            let o = parse_opts(args.get(2..).unwrap_or(&[]));
+            let k = resolve_kernel(
+                args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
+                &o,
+            );
             // One plan, all 14 grid points simulated concurrently; the
             // cached/uncached columns are selected by predicate rather
             // than by result position.
@@ -329,8 +445,17 @@ fn main() {
         "search" => {
             let o = parse_opts(&args[1..]);
             let kernels = match &o.kernel {
-                Some(code) => vec![find_kernel(code)],
-                None => suite(),
+                Some(code) => vec![resolve_kernel(code, &o)],
+                None => {
+                    // A full-suite search runs the official sizes; a size
+                    // override needs a kernel to apply to — reject it
+                    // instead of silently searching the official sizes.
+                    if o.size.is_some() || o.dims.is_some() {
+                        eprintln!("--size/--dims need --kernel CODE to apply to");
+                        std::process::exit(2);
+                    }
+                    suite()
+                }
             };
             let space = SearchSpace {
                 n_pes: o.pes,
@@ -382,8 +507,11 @@ fn main() {
             );
         }
         "timing" => {
-            let k = find_kernel(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
-            let o = parse_opts(&args[2..]);
+            let o = parse_opts(args.get(2..).unwrap_or(&[]));
+            let k = resolve_kernel(
+                args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
+                &o,
+            );
             let sp = speedup_sweep(
                 &k.program,
                 &[1, 2, 4, 8, 16, 32],

@@ -112,6 +112,75 @@ fn gather_kernels_bit_identical_with_contended_networks() {
 }
 
 #[test]
+fn scale_workloads_bit_identical_across_the_figure_grid() {
+    // The stencil family and the static-index SpMV must lower to the
+    // strict replay engine (multi-dim affine subscripts; CSR gathers
+    // through statically initialized row_ptr/col_idx) and reproduce the
+    // interpreter bit for bit across the whole figure grid at reduced
+    // sizes.
+    let kernels: Vec<_> = sapp::loops::workloads()
+        .iter()
+        .filter(|w| w.family == sapp::loops::Family::Scale && w.code != "SPMVD")
+        .map(|w| w.reduced())
+        .collect();
+    let grid = figure_grid();
+    let points: Vec<(usize, usize)> = (0..kernels.len())
+        .flat_map(|k| (0..grid.len()).map(move |c| (k, c)))
+        .collect();
+    par_map(&points, |&(k, c)| {
+        let kernel = &kernels[k];
+        assert_identical(
+            &format!("{} @ {:?}", kernel.code, grid[c]),
+            &kernel.program,
+            &grid[c],
+        );
+        Ok::<_, std::convert::Infallible>(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn prefix_spmv_falls_back_cleanly_to_the_interpreter() {
+    // SPMVD's index data is only Prefix-initialized, which the replay
+    // compiler must refuse (it resolves gathers from static init patterns)
+    // — and the auto engine must transparently interpret instead, with
+    // counts identical to a direct simulation.
+    let k = sapp::loops::workload("SPMVD").unwrap().reduced();
+    let cfg = MachineConfig::new(8, 32);
+    match replay::counts(&k.program, &cfg) {
+        Err(replay::ReplayError::Unsupported { reason, .. }) => {
+            assert!(
+                reason.contains("not fully statically initialized"),
+                "{reason}"
+            );
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    let auto = replay::counts_or_simulate(&k.program, &cfg).expect("fallback simulates");
+    assert_eq!(auto.engine, replay::CountEngine::Interp);
+    let sim = simulate(&k.program, &cfg).unwrap();
+    assert_eq!(auto.stats, sim.stats);
+    assert_eq!(auto.network_messages, sim.network_messages);
+}
+
+#[test]
+fn large_stencil_and_spmv_slices_bit_identical() {
+    // One mid-size slice per workload class, beyond the reduced sizes, so
+    // the closed-form page-interval math sees page counts the Livermore
+    // suite never produces (release CI runs this at full speed).
+    let st = sapp::loops::stencil::build_jacobi5(96, 80, 2);
+    let sp = sapp::loops::spmv::build_csr(1024, 768, 6);
+    for cfg in [
+        MachineConfig::new(16, 32),
+        MachineConfig::new(64, 32).with_cache_elems(0),
+        MachineConfig::new(16, 64).with_partition(PartitionScheme::Block),
+    ] {
+        assert_identical("ST5@96x80", &st.program, &cfg);
+        assert_identical("SPMV@1024", &sp.program, &cfg);
+    }
+}
+
+#[test]
 fn fast_oracle_equals_counting_oracle_over_a_plan() {
     let k = sapp::loops::k12_first_diff::build(1000);
     let plan = ExperimentPlan::new()
@@ -338,6 +407,114 @@ proptest! {
         let rep = replay::counts(&program, &cfg)
             .map_err(proptest::test_runner::TestCaseError::fail)?;
         prop_assert_eq!(&rep.stats, &sim.stats, "spec {:?} cfg {:?}", &spec, &cfg);
+        prop_assert_eq!(&rep.per_nest, &sim.per_nest);
+        prop_assert_eq!(rep.network_messages, sim.network_messages);
+        prop_assert_eq!(rep.network_hops, sim.network_hops);
+        prop_assert_eq!(rep.max_link_load, sim.max_link_load);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Proptest: random multi-dim stencils and random CSR structures
+// ---------------------------------------------------------------------------
+
+/// A random halo-shrinking stencil: `sweeps` cross-shaped sweeps of halo
+/// width `halo` over a random 2-D/3-D grid. Each sweep writes a fresh array
+/// over an interior shrunk by one halo (so no boundary nests are needed and
+/// the program is valid single-assignment for *any* dims — undersized grids
+/// simply produce empty nests, which replay must also count correctly).
+#[derive(Debug, Clone)]
+struct GenStencil {
+    dims: Vec<usize>,
+    halo: i64,
+    sweeps: usize,
+}
+
+fn stencil_spec_strategy() -> impl Strategy<Value = GenStencil> {
+    (
+        1i64..4,
+        1usize..3,
+        proptest::collection::vec(0usize..12, 2..4),
+    )
+        .prop_map(|(halo, sweeps, slack)| GenStencil {
+            // Extents start at the smallest grid with a non-empty first
+            // sweep (2·halo + 1) and vary upward from there.
+            dims: slack.iter().map(|&s| (2 * halo + 1) as usize + s).collect(),
+            halo,
+            sweeps,
+        })
+}
+
+fn build_halo_stencil(spec: &GenStencil) -> Program {
+    let rank = spec.dims.len();
+    let names = ["i", "j", "k"];
+    let mut b = ProgramBuilder::new("halo");
+    let mut src = b.input("U", &spec.dims, InitPattern::Wavy);
+    for s in 0..spec.sweeps {
+        let dst = b.output(format!("W{s}"), &spec.dims);
+        let m = (s as i64 + 1) * spec.halo;
+        let loops: Vec<(&str, i64, i64)> = spec
+            .dims
+            .iter()
+            .enumerate()
+            .map(|(d, &e)| (names[d], m, e as i64 - 1 - m))
+            .collect();
+        b.nest(format!("halo{s}"), &loops, |nb| {
+            let mut value = nb.read_off(src, &vec![0i64; rank]);
+            for d in 0..rank {
+                for o in 1..=spec.halo {
+                    for signed in [o, -o] {
+                        let mut off = vec![0i64; rank];
+                        off[d] = signed;
+                        value = value + nb.read_off(src, &off) * 0.125;
+                    }
+                }
+            }
+            nb.assign_off(dst, &vec![0i64; rank], value);
+        });
+        src = dst;
+    }
+    b.finish()
+}
+
+proptest! {
+    /// Replay ≡ interpreter on random grid dims × halo widths × machines.
+    #[test]
+    fn random_halo_stencils_bit_identical(
+        spec in stencil_spec_strategy(),
+        cfg in config_strategy(),
+    ) {
+        let program = build_halo_stencil(&spec);
+        let sim = simulate(&program, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        let rep = replay::counts(&program, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(&rep.stats, &sim.stats, "spec {:?} cfg {:?}", &spec, &cfg);
+        prop_assert_eq!(&rep.per_nest, &sim.per_nest);
+        prop_assert_eq!(rep.network_messages, sim.network_messages);
+        prop_assert_eq!(rep.network_hops, sim.network_hops);
+        prop_assert_eq!(rep.max_link_load, sim.max_link_load);
+    }
+
+    /// Replay ≡ interpreter on random valid CSR structures: row_ptr is
+    /// monotone by construction (Linear with step `deg`) and col_idx is
+    /// in-bounds by construction (a permutation reduced modulo `cols`) —
+    /// the representable CSR family, randomized over shape and content.
+    #[test]
+    fn random_csr_structures_bit_identical(
+        rows in 2usize..48,
+        cols in 2usize..64,
+        deg in 1usize..6,
+        seed in 0u64..1_000_000_000,
+        cfg in config_strategy(),
+    ) {
+        let k = sapp::loops::spmv::build_csr_seeded(rows, cols, deg, seed);
+        let sim = simulate(&k.program, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        let rep = replay::counts(&k.program, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(&rep.stats, &sim.stats, "{}x{} d{} seed {} cfg {:?}",
+            rows, cols, deg, seed, &cfg);
         prop_assert_eq!(&rep.per_nest, &sim.per_nest);
         prop_assert_eq!(rep.network_messages, sim.network_messages);
         prop_assert_eq!(rep.network_hops, sim.network_hops);
