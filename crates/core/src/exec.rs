@@ -370,7 +370,21 @@ fn exec_stmt(
             let addr = ctx.resolve_addr(target, ivs, &mut mem)?;
             let reads = std::mem::take(&mut mem.reads);
             let generation = machine.generation(target.array.0);
-            machine.write(pe, target.array.0, addr, v)?;
+            if let Err(e) = machine.write(pe, target.array.0, addr, v) {
+                // A dynamically trapped double write must be visible to
+                // the static verifier too (an SA001/SA002 error, or an
+                // SA003 undecidable-scatter warning); a miss here is a
+                // lint soundness bug, caught in debug builds only.
+                #[cfg(debug_assertions)]
+                if matches!(e, MachineError::DoubleWrite { .. }) {
+                    debug_assert!(
+                        !sa_lint::check_write_once(program).diagnostics.is_empty(),
+                        "interpreter trapped a double write the static \
+                         write-once verifier did not flag: {e}"
+                    );
+                }
+                return Err(e.into());
+            }
             let mut scalar_reads = Vec::new();
             scalar_reads_of(value, &mut scalar_reads);
             Ok((

@@ -24,7 +24,8 @@
 //!   into a lazily enumerated grid of [`plan::RunConfig`]s.
 //! * [`oracle`] — pluggable evaluation backends behind the object-safe
 //!   [`oracle::Oracle`] trait (counting simulator by default; timing
-//!   replay; `sa-runtime` threads via that crate's adapter).
+//!   replay; `sa-lint`'s zero-execution static estimator; `sa-runtime`
+//!   threads via that crate's adapter).
 //! * [`results`] — group-by/pivot over measured grids, so figures select
 //!   series by predicate instead of relying on loop order.
 //! * [`mod@search`] — automatic scheme search: exhaustive
@@ -57,7 +58,8 @@ pub use deferred::{estimate_timing, TimingReport};
 pub use exec::{simulate, simulate_traced, SimError, SimReport};
 pub use experiment::{pe_sweep, SweepConfig, SweepPoint};
 pub use oracle::{
-    CountingOracle, Engine, FastCountingOracle, Oracle, OracleError, RunRecord, TimingOracle,
+    CountingOracle, Engine, FastCountingOracle, Oracle, OracleError, RunRecord, StaticOracle,
+    TimingOracle,
 };
 pub use parallel::par_map;
 pub use plan::{Axis, ExperimentPlan, PlanError, RunConfig};

@@ -251,6 +251,48 @@ impl Oracle for FastCountingOracle {
     }
 }
 
+/// The zero-execution oracle: `sa-lint`'s closed-form communication
+/// estimator ([`fn@sa_lint::estimate`]). Produces the same per-PE counters
+/// and message totals as [`CountingOracle`] at `cache_elems = 0` without
+/// touching a single simulated cell — sweep cost becomes proportional to
+/// the number of *page runs*, not accesses. Grid points it cannot model
+/// (caching enabled, indirect indexing) fail soft as
+/// [`OracleError::Unsupported`]; hop/link metrics are reported as
+/// unmodeled (`None`), like the thread runtime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticOracle;
+
+impl Oracle for StaticOracle {
+    fn name(&self) -> &'static str {
+        "static-est"
+    }
+
+    fn measure(&self, program: &Program, cfg: &RunConfig) -> Result<RunRecord, OracleError> {
+        let est = sa_lint::estimate(program, &cfg.machine()).map_err(|e| match e {
+            sa_lint::EstimateError::Indirect { .. } | sa_lint::EstimateError::CacheUnsupported => {
+                OracleError::Unsupported(e.to_string())
+            }
+            e => OracleError::Backend(e.to_string()),
+        })?;
+        let stats = &est.stats;
+        Ok(RunRecord {
+            cfg: cfg.clone(),
+            remote_pct: stats.remote_read_pct(),
+            cached_pct: stats.cached_read_pct(),
+            writes: stats.writes(),
+            local_reads: stats.local_reads(),
+            cached_reads: stats.cached_reads(),
+            remote_reads: stats.remote_reads(),
+            total_reads: stats.total_reads(),
+            messages: est.network_messages,
+            hops: None,
+            max_link_load: None,
+            write_balance: write_balance_of(stats),
+            cycles: None,
+        })
+    }
+}
+
 /// The timing oracle: runs the counting simulation *and* the event-driven
 /// timing replay of §9, so [`RunRecord::cycles`] is filled.
 #[derive(Debug, Clone, Copy, Default)]
@@ -387,6 +429,43 @@ mod tests {
         let auto = FastCountingOracle::default().measure(&p, &cfg).unwrap();
         let interp = CountingOracle.measure(&p, &cfg).unwrap();
         assert_eq!(auto, interp);
+    }
+
+    #[test]
+    fn static_oracle_matches_counting_without_cache() {
+        let p = tiny();
+        for n_pes in [1, 4, 8] {
+            let cfg = RunConfig {
+                n_pes,
+                cache_elems: 0,
+                ..RunConfig::default()
+            };
+            let st = StaticOracle.measure(&p, &cfg).unwrap();
+            let dynamic = CountingOracle.measure(&p, &cfg).unwrap();
+            assert_eq!(st.writes, dynamic.writes);
+            assert_eq!(st.local_reads, dynamic.local_reads);
+            assert_eq!(st.remote_reads, dynamic.remote_reads);
+            assert_eq!(st.total_reads, dynamic.total_reads);
+            assert_eq!(st.messages, dynamic.messages);
+            assert_eq!(st.remote_pct, dynamic.remote_pct);
+            assert_eq!(st.write_balance, dynamic.write_balance);
+            assert_eq!(st.hops, None);
+            assert_eq!(st.cycles, None);
+        }
+        assert_eq!(StaticOracle.name(), "static-est");
+    }
+
+    #[test]
+    fn static_oracle_rejects_cache_as_unsupported() {
+        let p = tiny();
+        let cfg = RunConfig {
+            cache_elems: 256,
+            ..RunConfig::default()
+        };
+        assert!(matches!(
+            StaticOracle.measure(&p, &cfg),
+            Err(OracleError::Unsupported(_))
+        ));
     }
 
     #[test]

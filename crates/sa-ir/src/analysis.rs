@@ -168,6 +168,14 @@ fn proportional(a: &[i64], b: &[i64]) -> bool {
     true
 }
 
+/// Relation between two linearized affine address forms (as produced by
+/// [`linear_address_form`]): the public entry point the static lint pass
+/// (`sa-lint`) uses to label conflicting write pairs with the same
+/// vocabulary the classifier uses for write/read pairs.
+pub fn relate_forms(write: &(Vec<i64>, i64), read: &(Vec<i64>, i64)) -> PairRelation {
+    relate(write, read)
+}
+
 fn relate(write: &(Vec<i64>, i64), read: &(Vec<i64>, i64)) -> PairRelation {
     let (cw, ow) = write;
     let (cr, or) = read;
@@ -193,8 +201,10 @@ fn relate(write: &(Vec<i64>, i64), read: &(Vec<i64>, i64)) -> PairRelation {
 }
 
 /// Maximum trip count observed at each loop level (exact, by enumeration of
-/// the outer levels; cheap at kernel scale).
-fn level_extents(nest: &LoopNest) -> Vec<usize> {
+/// the outer levels; cheap at kernel scale). Public so the static
+/// write-once verifier can bound per-level iteration spans for its
+/// Banerjee-style tests.
+pub fn level_extents(nest: &LoopNest) -> Vec<usize> {
     let mut maxima = vec![0usize; nest.loops.len()];
     fn rec(nest: &LoopNest, depth: usize, ivs: &mut Vec<i64>, maxima: &mut [usize]) {
         if depth == nest.loops.len() {
@@ -305,9 +315,7 @@ pub fn anchor_ref(stmt: &Stmt) -> Option<&ArrayRef> {
 /// must first resolve the gathered subscript (scatter writes `A(P(i)) = …`
 /// and indirect-anchored reductions `s ⊕= A(P(i))`).
 pub fn has_indirect_anchor(stmt: &Stmt) -> bool {
-    anchor_ref(stmt)
-        .map(ArrayRef::has_indirection)
-        .unwrap_or(false)
+    anchor_ref(stmt).is_some_and(ArrayRef::has_indirection)
 }
 
 /// The index arrays the statement's anchor reads through (deduplicated, in
@@ -370,7 +378,7 @@ pub fn classify_nest(program: &Program, nest: &LoopNest) -> NestReport {
             }
         }
         // A write through an indirect index (scatter) is Random by itself.
-        let scatter = anchor.map(ArrayRef::has_indirection).unwrap_or(false);
+        let scatter = anchor.is_some_and(ArrayRef::has_indirection);
         let class = stmt_class(&relations, scatter);
         stmts.push(StmtReport {
             stmt_index: si,

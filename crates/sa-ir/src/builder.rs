@@ -31,6 +31,120 @@ use crate::nest::{ArrayRef, LoopNest, LoopVar, Stmt};
 use crate::program::{ArrayDecl, ArrayInit, InitPattern, Phase, Program};
 use crate::{ArrayId, ParamId, ScalarId};
 
+/// A structural defect detected by [`validate_program`] /
+/// [`ProgramBuilder::try_finish`]: the kind of malformed construction that
+/// previously surfaced only as a panic or an [`crate::IrError`] deep inside
+/// an executor. Each variant carries enough context for the `sa-lint`
+/// diagnostic model to point at the offending phase/statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An array declared with no dimensions at all.
+    RankZeroArray {
+        /// The array's name.
+        array: String,
+    },
+    /// A reference whose index count does not match the declared rank.
+    RankMismatch {
+        /// The referenced array's name.
+        array: String,
+        /// Phase index of the nest containing the reference.
+        phase: usize,
+        /// Indices supplied by the reference.
+        got: usize,
+        /// Rank the declaration expects.
+        want: usize,
+    },
+    /// A reference to an array id past the declaration table.
+    UnknownArray {
+        /// The out-of-range id.
+        id: usize,
+        /// Phase index of the offending reference.
+        phase: usize,
+    },
+    /// A reduction targeting a scalar id past the declaration table.
+    UnknownScalar {
+        /// The out-of-range id.
+        id: usize,
+        /// Phase index of the offending statement.
+        phase: usize,
+    },
+    /// A parameter expression naming an undeclared parameter.
+    UnknownParam {
+        /// The out-of-range id.
+        id: usize,
+        /// Phase index of the offending expression.
+        phase: usize,
+    },
+    /// An index or bound referencing a loop variable the nest lacks
+    /// (or, for bounds, one at or inside its own level).
+    UnboundLoopVar {
+        /// The nest's label.
+        nest: String,
+        /// The referenced variable index.
+        var: usize,
+        /// Loop variables actually in scope at that point.
+        in_scope: usize,
+    },
+    /// A loop with step 0, which would never terminate.
+    ZeroStep {
+        /// The nest's label.
+        nest: String,
+        /// The offending loop variable's name.
+        var: String,
+    },
+    /// A gather through an index array that is not rank 1.
+    IndexArrayNotRank1 {
+        /// The index array's name.
+        array: String,
+        /// Phase index of the offending gather.
+        phase: usize,
+    },
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildError::RankZeroArray { array } => {
+                write!(f, "array `{array}` is declared with no dimensions")
+            }
+            BuildError::RankMismatch {
+                array,
+                phase,
+                got,
+                want,
+            } => write!(
+                f,
+                "phase {phase}: reference to `{array}` has {got} indices but rank is {want}"
+            ),
+            BuildError::UnknownArray { id, phase } => {
+                write!(f, "phase {phase}: reference to undeclared array #{id}")
+            }
+            BuildError::UnknownScalar { id, phase } => {
+                write!(f, "phase {phase}: reduction into undeclared scalar #{id}")
+            }
+            BuildError::UnknownParam { id, phase } => {
+                write!(f, "phase {phase}: use of undeclared parameter #{id}")
+            }
+            BuildError::UnboundLoopVar {
+                nest,
+                var,
+                in_scope,
+            } => write!(
+                f,
+                "nest `{nest}`: index references loop variable {var} but only {in_scope} are in scope"
+            ),
+            BuildError::ZeroStep { nest, var } => {
+                write!(f, "nest `{nest}`: loop `{var}` has step 0 and would never terminate")
+            }
+            BuildError::IndexArrayNotRank1 { array, phase } => {
+                write!(f, "phase {phase}: index array `{array}` must be rank 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Builder for [`Program`]s. See the module docs for a worked example.
 #[derive(Debug)]
 pub struct ProgramBuilder {
@@ -125,6 +239,163 @@ impl ProgramBuilder {
     pub fn finish(self) -> Program {
         self.program
     }
+
+    /// Finish after structural validation: every malformed construction
+    /// that `finish` would let through to panic or error deep inside an
+    /// executor is reported here as a typed [`BuildError`] instead.
+    pub fn try_finish(self) -> Result<Program, BuildError> {
+        validate_program(&self.program)?;
+        Ok(self.program)
+    }
+}
+
+/// Structurally validate a program: declaration ranks, id ranges, loop
+/// variable scoping, loop steps and index-array shapes. This is the static
+/// counterpart of the panics/[`crate::IrError`]s executors raise at run
+/// time, shared by [`ProgramBuilder::try_finish`] and the `sa-lint` pass.
+pub fn validate_program(program: &Program) -> Result<(), BuildError> {
+    for decl in &program.arrays {
+        if decl.dims.is_empty() {
+            return Err(BuildError::RankZeroArray {
+                array: decl.name.clone(),
+            });
+        }
+    }
+    for (phase_idx, phase) in program.phases.iter().enumerate() {
+        match phase {
+            Phase::Reinit(id) => {
+                if id.0 >= program.arrays.len() {
+                    return Err(BuildError::UnknownArray {
+                        id: id.0,
+                        phase: phase_idx,
+                    });
+                }
+            }
+            Phase::Loop(nest) => validate_nest(program, nest, phase_idx)?,
+        }
+    }
+    Ok(())
+}
+
+fn validate_nest(program: &Program, nest: &LoopNest, phase: usize) -> Result<(), BuildError> {
+    let nvars = nest.loops.len();
+    for (level, lv) in nest.loops.iter().enumerate() {
+        if lv.step == 0 {
+            return Err(BuildError::ZeroStep {
+                nest: nest.label.clone(),
+                var: lv.name.clone(),
+            });
+        }
+        // Bounds may only reference strictly-outer loop variables.
+        for bound in [&lv.lo, &lv.hi] {
+            if let Some(var) = first_var_at_or_past(bound, level) {
+                return Err(BuildError::UnboundLoopVar {
+                    nest: nest.label.clone(),
+                    var,
+                    in_scope: level,
+                });
+            }
+        }
+    }
+    for stmt in &nest.body {
+        if let Stmt::Reduce { target, .. } = stmt {
+            if target.0 >= program.scalars.len() {
+                return Err(BuildError::UnknownScalar {
+                    id: target.0,
+                    phase,
+                });
+            }
+        }
+        if let Some(target) = stmt.write_target() {
+            validate_ref(program, target, nvars, &nest.label, phase)?;
+        }
+        validate_expr(program, stmt.value(), nvars, &nest.label, phase)?;
+    }
+    Ok(())
+}
+
+fn validate_expr(
+    program: &Program,
+    expr: &Expr,
+    nvars: usize,
+    nest: &str,
+    phase: usize,
+) -> Result<(), BuildError> {
+    match expr {
+        Expr::Read(aref) => validate_ref(program, aref, nvars, nest, phase),
+        Expr::Param(p) if p.0 >= program.params.len() => {
+            Err(BuildError::UnknownParam { id: p.0, phase })
+        }
+        Expr::Scalar(s) if s.0 >= program.scalars.len() => {
+            Err(BuildError::UnknownScalar { id: s.0, phase })
+        }
+        Expr::Unary(_, a) => validate_expr(program, a, nvars, nest, phase),
+        Expr::Binary(_, a, b) => {
+            validate_expr(program, a, nvars, nest, phase)?;
+            validate_expr(program, b, nvars, nest, phase)
+        }
+        _ => Ok(()),
+    }
+}
+
+fn validate_ref(
+    program: &Program,
+    aref: &ArrayRef,
+    nvars: usize,
+    nest: &str,
+    phase: usize,
+) -> Result<(), BuildError> {
+    if aref.array.0 >= program.arrays.len() {
+        return Err(BuildError::UnknownArray {
+            id: aref.array.0,
+            phase,
+        });
+    }
+    let decl = program.array(aref.array);
+    if aref.indices.len() != decl.rank() {
+        return Err(BuildError::RankMismatch {
+            array: decl.name.clone(),
+            phase,
+            got: aref.indices.len(),
+            want: decl.rank(),
+        });
+    }
+    for ix in &aref.indices {
+        let pos = match ix {
+            IndexExpr::Affine(a) => a,
+            IndexExpr::Indirect { base, pos, .. } => {
+                if base.0 >= program.arrays.len() {
+                    return Err(BuildError::UnknownArray { id: base.0, phase });
+                }
+                let base_decl = program.array(*base);
+                if base_decl.rank() != 1 {
+                    return Err(BuildError::IndexArrayNotRank1 {
+                        array: base_decl.name.clone(),
+                        phase,
+                    });
+                }
+                pos
+            }
+        };
+        if let Some(var) = first_var_at_or_past(pos, nvars) {
+            return Err(BuildError::UnboundLoopVar {
+                nest: nest.to_string(),
+                var,
+                in_scope: nvars,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// First loop variable with a non-zero coefficient at index ≥ `limit`.
+fn first_var_at_or_past(a: &AffineIndex, limit: usize) -> Option<usize> {
+    a.coeffs
+        .iter()
+        .enumerate()
+        .skip(limit)
+        .find(|&(_, &c)| c != 0)
+        .map(|(v, _)| v)
 }
 
 /// Builds the straight-line body of one nest.

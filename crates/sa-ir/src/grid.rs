@@ -16,6 +16,39 @@
 
 use crate::index::{AffineIndex, IndexExpr};
 
+/// Why a [`Grid`] construction or tap request was rejected.
+///
+/// The panicking constructors ([`Grid::new`], [`Grid::at`]) delegate to the
+/// `try_` variants and unwrap, so hot construction paths that want to
+/// surface problems as data (the `sa-lint` diagnostic model) can use
+/// [`Grid::try_new`]/[`Grid::try_at`] instead of catching panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// An empty dimension list: a zero-rank grid has no addressing.
+    NoDimensions,
+    /// A stencil tap whose offset vector does not match the grid's rank.
+    TapRankMismatch {
+        /// The grid's rank.
+        rank: usize,
+        /// The offending offset vector's length.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for GridError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GridError::NoDimensions => write!(f, "Grid needs at least one dimension"),
+            GridError::TapRankMismatch { rank, got } => write!(
+                f,
+                "stencil tap rank must match the grid rank ({got} offsets for rank {rank})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// A rectangular row-major grid: dimension extents, outermost first.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Grid {
@@ -30,6 +63,16 @@ impl Grid {
         Grid {
             dims: dims.to_vec(),
         }
+    }
+
+    /// [`Grid::new`] with the failure as a value instead of a panic.
+    pub fn try_new(dims: &[usize]) -> Result<Self, GridError> {
+        if dims.is_empty() {
+            return Err(GridError::NoDimensions);
+        }
+        Ok(Grid {
+            dims: dims.to_vec(),
+        })
     }
 
     /// Dimension extents, outermost first.
@@ -96,6 +139,17 @@ impl Grid {
             "stencil tap rank must match the grid rank"
         );
         offset_taps(offsets)
+    }
+
+    /// [`Grid::at`] with the rank mismatch as a value instead of a panic.
+    pub fn try_at(&self, offsets: &[i64]) -> Result<Vec<IndexExpr>, GridError> {
+        if offsets.len() != self.dims.len() {
+            return Err(GridError::TapRankMismatch {
+                rank: self.dims.len(),
+                got: offsets.len(),
+            });
+        }
+        Ok(offset_taps(offsets))
     }
 }
 

@@ -30,9 +30,9 @@ pub mod program;
 pub mod ssa;
 
 pub use analysis::{classify_nest, classify_program, AccessClass, NestReport, PairRelation};
-pub use builder::ProgramBuilder;
+pub use builder::{validate_program, BuildError, ProgramBuilder};
 pub use expr::{BinOp, Expr, ReduceOp, UnaryOp};
-pub use grid::Grid;
+pub use grid::{Grid, GridError};
 pub use index::{AffineIndex, IndexExpr};
 pub use interp::{interpret, ProgramResult};
 pub use nest::{ArrayRef, Bound, LoopNest, LoopVar, Stmt};

@@ -1,0 +1,336 @@
+//! The machine-readable diagnostic model every lint pass reports through.
+//!
+//! A [`Diagnostic`] is a severity, a stable code, a location ([`Span`]),
+//! a one-line message and a longer explanation — enough for a CLI table,
+//! for JSON consumed by CI gates, and for tests asserting on exact codes.
+
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note; never fails a gate.
+    Info,
+    /// Suspicious but not provably wrong (e.g. statically undecidable).
+    Warning,
+    /// A proven defect: the program or configuration is broken.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (`info` / `warning` / `error`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stable diagnostic codes. The numeric part is permanent; new checks get
+/// new codes rather than reusing retired ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// Two statement instances assign the same array element.
+    Sa001DoubleWrite,
+    /// A statement writes into an element the array's initializer already
+    /// defined (dynamically indistinguishable from a double write).
+    Sa002WriteIntoInit,
+    /// A scatter through a runtime-produced index array: single assignment
+    /// is statically undecidable for it.
+    Sa003UndecidableScatter,
+    /// A read of an element no initializer or statement ever defines — a
+    /// dangling I-structure deferral that would hang the thread runtime.
+    Sa004DanglingRead,
+    /// An indirect anchor whose index array has no static producer.
+    Sa005AnchorNoProducer,
+    /// A reference provably outside its array's bounds.
+    Sa006OutOfBounds,
+    /// A structurally malformed program (builder validation failure).
+    Sa007Malformed,
+    /// A partition scheme × page size that leaves PEs owning no data.
+    Pl001OrphanedPes,
+}
+
+impl Code {
+    /// The stable code string (e.g. `"SA001"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Sa001DoubleWrite => "SA001",
+            Code::Sa002WriteIntoInit => "SA002",
+            Code::Sa003UndecidableScatter => "SA003",
+            Code::Sa004DanglingRead => "SA004",
+            Code::Sa005AnchorNoProducer => "SA005",
+            Code::Sa006OutOfBounds => "SA006",
+            Code::Sa007Malformed => "SA007",
+            Code::Pl001OrphanedPes => "PL001",
+        }
+    }
+
+    /// The default severity findings with this code carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Sa001DoubleWrite
+            | Code::Sa002WriteIntoInit
+            | Code::Sa004DanglingRead
+            | Code::Sa006OutOfBounds
+            | Code::Sa007Malformed => Severity::Error,
+            Code::Sa003UndecidableScatter | Code::Pl001OrphanedPes => Severity::Warning,
+            // Same-nest producers break only the thread runtime; absent
+            // producers are upgraded to Error by the progress checker.
+            Code::Sa005AnchorNoProducer => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the program a finding points.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Phase index within [`sa_ir::Program::phases`].
+    pub phase: Option<usize>,
+    /// The nest's label, when the phase is a loop.
+    pub nest: Option<String>,
+    /// Statement index within the nest body.
+    pub stmt: Option<usize>,
+    /// Name of the array the finding concerns.
+    pub array: Option<String>,
+}
+
+impl Span {
+    /// A span pointing at a statement of a nest.
+    pub fn stmt(phase: usize, nest: &str, stmt: usize, array: &str) -> Self {
+        Span {
+            phase: Some(phase),
+            nest: Some(nest.to_string()),
+            stmt: Some(stmt),
+            array: Some(array.to_string()),
+        }
+    }
+
+    /// A span pointing at an array as a whole.
+    pub fn array(name: &str) -> Self {
+        Span {
+            array: Some(name.to_string()),
+            ..Span::default()
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        if let Some(p) = self.phase {
+            write!(f, "phase {p}")?;
+            wrote = true;
+        }
+        if let Some(n) = &self.nest {
+            if wrote {
+                f.write_str(" ")?;
+            }
+            write!(f, "nest `{n}`")?;
+            wrote = true;
+        }
+        if let Some(s) = self.stmt {
+            if wrote {
+                f.write_str(" ")?;
+            }
+            write!(f, "stmt {s}")?;
+            wrote = true;
+        }
+        if let Some(a) = &self.array {
+            if wrote {
+                f.write_str(" ")?;
+            }
+            write!(f, "array `{a}`")?;
+            wrote = true;
+        }
+        if !wrote {
+            f.write_str("<program>")?;
+        }
+        Ok(())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Stable code.
+    pub code: Code,
+    /// Location.
+    pub span: Span,
+    /// One-line message (what is wrong, with the concrete evidence).
+    pub message: String,
+    /// Longer explanation (why it matters, how to fix it).
+    pub explanation: String,
+}
+
+impl Diagnostic {
+    /// A finding at the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: code.severity(),
+            code,
+            span,
+            message: message.into(),
+            explanation: String::new(),
+        }
+    }
+
+    /// Attach a longer explanation.
+    pub fn explain(mut self, text: impl Into<String>) -> Self {
+        self.explanation = text.into();
+        self
+    }
+
+    /// Override the default severity.
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// This diagnostic as one JSON object (hand-rolled; the workspace is
+    /// offline and carries no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_kv(&mut s, "severity", self.severity.name());
+        s.push(',');
+        push_kv(&mut s, "code", self.code.as_str());
+        s.push(',');
+        s.push_str("\"span\":{");
+        let mut first = true;
+        if let Some(p) = self.span.phase {
+            s.push_str(&format!("\"phase\":{p}"));
+            first = false;
+        }
+        if let Some(n) = &self.span.nest {
+            if !first {
+                s.push(',');
+            }
+            push_kv(&mut s, "nest", n);
+            first = false;
+        }
+        if let Some(st) = self.span.stmt {
+            if !first {
+                s.push(',');
+            }
+            s.push_str(&format!("\"stmt\":{st}"));
+            first = false;
+        }
+        if let Some(a) = &self.span.array {
+            if !first {
+                s.push(',');
+            }
+            push_kv(&mut s, "array", a);
+        }
+        s.push_str("},");
+        push_kv(&mut s, "message", &self.message);
+        s.push(',');
+        push_kv(&mut s, "explanation", &self.explanation);
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+fn push_kv(s: &mut String, key: &str, value: &str) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Render a batch of diagnostics as a JSON array.
+pub fn to_json_array(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&d.to_json());
+    }
+    s.push(']');
+    s
+}
+
+/// Highest severity in a batch (`None` when empty).
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_have_stable_names_and_severities() {
+        assert_eq!(Code::Sa001DoubleWrite.as_str(), "SA001");
+        assert_eq!(Code::Pl001OrphanedPes.as_str(), "PL001");
+        assert_eq!(Code::Sa001DoubleWrite.severity(), Severity::Error);
+        assert_eq!(Code::Sa003UndecidableScatter.severity(), Severity::Warning);
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic::new(
+            Code::Sa001DoubleWrite,
+            Span::stmt(0, "k1", 1, "X"),
+            "element 3 written twice: \"both\" at it",
+        )
+        .explain("line1\nline2");
+        let j = d.to_json();
+        assert!(j.contains("\"code\":\"SA001\""));
+        assert!(j.contains("\"phase\":0"));
+        assert!(j.contains("\\\"both\\\""));
+        assert!(j.contains("line1\\nline2"));
+        let arr = to_json_array(&[d.clone(), d]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("SA001").count(), 2);
+    }
+
+    #[test]
+    fn max_severity_picks_worst() {
+        let w = Diagnostic::new(Code::Pl001OrphanedPes, Span::default(), "w");
+        let e = Diagnostic::new(Code::Sa006OutOfBounds, Span::default(), "e");
+        assert_eq!(max_severity(&[]), None);
+        assert_eq!(
+            max_severity(std::slice::from_ref(&w)),
+            Some(Severity::Warning)
+        );
+        assert_eq!(max_severity(&[w, e]), Some(Severity::Error));
+    }
+}

@@ -1,0 +1,623 @@
+//! The static communication estimator: per-PE access counts for any affine
+//! program × [`sa_machine::PartitionScheme`] × page size, **without executing a single
+//! statement**.
+//!
+//! The counting simulator's verdict for an affine program is fully
+//! determined by static data: under owner-computes every `Assign` executes
+//! on the PE owning its target element, every read classifies by comparing
+//! the read element's owning PE against the executing PE, and (with caches
+//! disabled) every non-local read is exactly one remote read plus one page
+//! fetch (two network messages). Nothing depends on the *values* flowing
+//! through the program — only on the affine address functions, the loop
+//! bounds, and the placement map.
+//!
+//! The estimator exploits that: it enumerates the outer loop levels (whose
+//! trip counts are tiny at kernel scale — they exist mostly for sweeps and
+//! 2-D/3-D grids) and treats the innermost level *symbolically*. For a
+//! fixed outer iteration vector, every reference's linear address is
+//! `a + b·t` in the normalized innermost trip `t`, so its page number is a
+//! staircase in `t`; the estimator splits `0..T` into maximal runs on which
+//! every reference of the statement sits on a constant page and charges
+//! whole runs at once — `O(pages touched)` instead of `O(iterations)` for
+//! the innermost loop, the usual `O(1)`-per-page closed form.
+//!
+//! The result is certified bit-identical against the counting simulator
+//! (`sa_core::exec::simulate` with caches disabled) on every affine
+//! workload in the registry — see `tests/lint_static.rs` at the workspace
+//! root — which is what lets partition searches use it as a zero-execution
+//! oracle.
+//!
+//! Out of scope (reported as [`EstimateError`], never silently wrong):
+//! gathers/scatters (their addresses depend on runtime data) and non-zero
+//! cache sizes (hit rates depend on access *order*, which the closed form
+//! deliberately discards).
+
+use sa_ir::index::AffineIndex;
+use sa_ir::nest::{LoopNest, Stmt};
+use sa_ir::program::Phase;
+use sa_ir::Program;
+use sa_machine::{host_of, pages_in, MachineConfig, Stats};
+
+/// The estimator's verdict: the same counters the counting simulator
+/// reports, computed in closed form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommEstimate {
+    /// Per-PE access counters plus fetch/protocol tallies, bit-identical
+    /// to `simulate(..)` with caches disabled.
+    pub stats: Stats,
+    /// Total network messages: page fetches ×2 + host-protocol
+    /// re-initialization traffic + reduction partial shipping.
+    pub network_messages: u64,
+}
+
+/// Why the estimator declined or failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The program gathers or scatters through an index array; those
+    /// addresses depend on runtime data.
+    Indirect {
+        /// Name of the array referenced through the indirection.
+        array: String,
+    },
+    /// A cache was configured; cached counts depend on access order.
+    CacheUnsupported,
+    /// A machine with no PEs.
+    NoPes,
+    /// A reference provably leaves its array's bounds (the simulator would
+    /// abort on the same iteration).
+    OutOfBounds {
+        /// The array's name.
+        array: String,
+        /// The nest's label.
+        nest: String,
+        /// Offending dimension.
+        dim: usize,
+        /// Offending index value.
+        index: i64,
+        /// The dimension's extent.
+        extent: usize,
+    },
+}
+
+impl core::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EstimateError::Indirect { array } => write!(
+                f,
+                "program reads or writes `{array}` through an index array; \
+                 static estimation needs affine addresses"
+            ),
+            EstimateError::CacheUnsupported => write!(
+                f,
+                "cache hit rates depend on access order; run the estimator \
+                 with cache_elems = 0"
+            ),
+            EstimateError::NoPes => write!(f, "machine has no PEs"),
+            EstimateError::OutOfBounds {
+                array,
+                nest,
+                dim,
+                index,
+                extent,
+            } => write!(
+                f,
+                "nest `{nest}`: index {index} leaves dimension {dim} of \
+                 `{array}` (extent {extent})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// One reference of a statement, lowered for a fixed outer iteration
+/// vector: per-dimension start/step plus the folded linear address line.
+struct RefLine {
+    /// Linear address at inner trip `t` is `a + b·t`.
+    a: i64,
+    b: i64,
+    /// Pages of the referenced array under the current config.
+    total_pages: usize,
+}
+
+/// A statement's references, split by role.
+struct StmtRefs<'p> {
+    /// `Assign` target, if any (also the anchor).
+    target: Option<&'p sa_ir::ArrayRef>,
+    /// Reads in evaluation order (the anchor of a `Reduce` is `reads[0]`).
+    reads: Vec<&'p sa_ir::ArrayRef>,
+    /// Reduction scalar, for `Reduce`.
+    reduce_sid: Option<usize>,
+}
+
+/// Estimate `program`'s counting-simulator verdict under `cfg` without
+/// executing it. See the module docs for the model and its limits.
+pub fn estimate(program: &Program, cfg: &MachineConfig) -> Result<CommEstimate, EstimateError> {
+    if cfg.n_pes == 0 {
+        return Err(EstimateError::NoPes);
+    }
+    if cfg.cache_elems > 0 {
+        return Err(EstimateError::CacheUnsupported);
+    }
+    // Refuse indirection up front so the error names the array instead of
+    // surfacing as a missing linear form mid-nest.
+    for nest in program.nests() {
+        for stmt in &nest.body {
+            for aref in refs_of(stmt) {
+                if aref.has_indirection() {
+                    return Err(EstimateError::Indirect {
+                        array: program.array(aref.array).name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    let total_pages: Vec<usize> = program
+        .arrays
+        .iter()
+        .map(|d| pages_in(d.len(), cfg.page_size))
+        .collect();
+
+    let mut stats = Stats::new(cfg.n_pes);
+    // Round-robin counter for anchorless statements — global across nests,
+    // mirroring the simulator's.
+    let mut rr = 0usize;
+
+    for phase in &program.phases {
+        match phase {
+            Phase::Reinit(_) => {
+                // §5 host protocol: n-1 collect requests + n-1 release
+                // broadcasts.
+                stats.reinit_messages += 2 * (cfg.n_pes as u64 - 1);
+            }
+            Phase::Loop(nest) => {
+                estimate_nest(program, nest, cfg, &total_pages, &mut stats, &mut rr)?;
+            }
+        }
+    }
+
+    let network_messages =
+        2 * stats.page_fetches + stats.reinit_messages + stats.reduction_messages;
+    Ok(CommEstimate {
+        stats,
+        network_messages,
+    })
+}
+
+/// All array references of a statement: the write target first, then the
+/// reads in evaluation order.
+fn refs_of(stmt: &Stmt) -> Vec<&sa_ir::ArrayRef> {
+    let mut v = Vec::new();
+    if let Some(t) = stmt.write_target() {
+        v.push(t);
+    }
+    v.extend(stmt.value().reads());
+    v
+}
+
+fn split_refs(stmt: &Stmt) -> StmtRefs<'_> {
+    match stmt {
+        Stmt::Assign { target, value } => StmtRefs {
+            target: Some(target),
+            reads: value.reads(),
+            reduce_sid: None,
+        },
+        Stmt::Reduce { target, value, .. } => StmtRefs {
+            target: None,
+            reads: value.reads(),
+            reduce_sid: Some(target.0),
+        },
+    }
+}
+
+fn estimate_nest(
+    program: &Program,
+    nest: &LoopNest,
+    cfg: &MachineConfig,
+    total_pages: &[usize],
+    stats: &mut Stats,
+    rr: &mut usize,
+) -> Result<(), EstimateError> {
+    let split: Vec<StmtRefs<'_>> = nest.body.iter().map(split_refs).collect();
+    // Which PEs contributed to each reduction, in body order, keyed by the
+    // target scalar exactly like the simulator's participant table.
+    let mut participants: Vec<(usize, Vec<bool>)> = split
+        .iter()
+        .filter_map(|s| s.reduce_sid.map(|sid| (sid, vec![false; cfg.n_pes])))
+        .collect();
+    // Anchorless statements (reductions reading no array) and their dealt
+    // round-robin schedule.
+    let anchorless: Vec<usize> = split
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.target.is_none() && s.reads.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+
+    if nest.loops.is_empty() {
+        return Ok(());
+    }
+    let inner = nest.loops.len() - 1;
+
+    // Enumerate the outer levels; each call handles one symbolic innermost
+    // sweep.
+    let mut ivs: Vec<i64> = Vec::with_capacity(inner);
+    enumerate_outer(nest, 0, inner, &mut ivs, &mut |outer_ivs| {
+        estimate_chunk(
+            program,
+            nest,
+            cfg,
+            total_pages,
+            &split,
+            &anchorless,
+            &mut participants,
+            outer_ivs,
+            stats,
+            rr,
+        )
+    })?;
+
+    // Vector→scalar collection: every participating PE ships its partial
+    // to the scalar's host; the host's own partial stays local.
+    for (sid, parts) in &participants {
+        let host = host_of(*sid, cfg.n_pes);
+        for (pe, &took_part) in parts.iter().enumerate() {
+            if took_part && pe != host {
+                stats.reduction_messages += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn enumerate_outer(
+    nest: &LoopNest,
+    level: usize,
+    inner: usize,
+    ivs: &mut Vec<i64>,
+    f: &mut impl FnMut(&[i64]) -> Result<(), EstimateError>,
+) -> Result<(), EstimateError> {
+    if level == inner {
+        return f(ivs);
+    }
+    let lv = &nest.loops[level];
+    let lo = lv.lo.eval(ivs);
+    let hi = lv.hi.eval(ivs);
+    let mut v = lo;
+    while (lv.step > 0 && v <= hi) || (lv.step < 0 && v >= hi) {
+        ivs.push(v);
+        enumerate_outer(nest, level + 1, inner, ivs, f)?;
+        ivs.pop();
+        v += lv.step;
+    }
+    Ok(())
+}
+
+/// Lower one reference for fixed outer ivs: per-dimension bounds proof at
+/// the sweep's endpoints (affine ⇒ monotone in `t`), then the folded
+/// `a + b·t` address line.
+#[allow(clippy::too_many_arguments)]
+fn lower_ref(
+    program: &Program,
+    nest: &LoopNest,
+    aref: &sa_ir::ArrayRef,
+    outer_ivs: &[i64],
+    inner_lo: i64,
+    inner_step: i64,
+    trips: i64,
+    total_pages: &[usize],
+) -> Result<RefLine, EstimateError> {
+    let decl = program.array(aref.array);
+    let strides = decl.strides();
+    let inner = nest.loops.len() - 1;
+    let mut a = 0i64;
+    let mut b = 0i64;
+    for (d, ix) in aref.indices.iter().enumerate() {
+        let idx: &AffineIndex = ix
+            .as_affine()
+            .expect("indirection rejected before lowering");
+        let mut start = idx.offset + idx.coeff(inner) * inner_lo;
+        for (v, &iv) in outer_ivs.iter().enumerate() {
+            start += idx.coeff(v) * iv;
+        }
+        let step = idx.coeff(inner) * inner_step;
+        let extent = decl.dims[d] as i64;
+        let last = start + step * (trips - 1);
+        for endpoint in [start, last] {
+            if endpoint < 0 || endpoint >= extent {
+                return Err(EstimateError::OutOfBounds {
+                    array: decl.name.clone(),
+                    nest: nest.label.clone(),
+                    dim: d,
+                    index: endpoint,
+                    extent: extent as usize,
+                });
+            }
+        }
+        a += strides[d] as i64 * start;
+        b += strides[d] as i64 * step;
+    }
+    Ok(RefLine {
+        a,
+        b,
+        total_pages: total_pages[aref.array.0],
+    })
+}
+
+impl RefLine {
+    fn addr(&self, t: i64) -> i64 {
+        self.a + self.b * t
+    }
+
+    fn page(&self, t: i64, page_size: usize) -> usize {
+        (self.addr(t) as usize) / page_size
+    }
+
+    fn owner(&self, t: i64, cfg: &MachineConfig) -> usize {
+        cfg.partition
+            .owner(self.page(t, cfg.page_size), self.total_pages, cfg.n_pes)
+    }
+
+    /// First `t > t_cur` at which this reference leaves its current page
+    /// (`i64::MAX` when it never does).
+    fn next_crossing(&self, t_cur: i64, page_size: usize) -> i64 {
+        let ps = page_size as i64;
+        let p = self.addr(t_cur) / ps;
+        if self.b > 0 {
+            // Smallest t with a + b·t ≥ (p+1)·ps.
+            let num = (p + 1) * ps - self.a;
+            (num + self.b - 1) / self.b
+        } else if self.b < 0 {
+            // Smallest t with a + b·t < p·ps.
+            let bp = -self.b;
+            (self.a - p * ps) / bp + 1
+        } else {
+            i64::MAX
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn estimate_chunk(
+    program: &Program,
+    nest: &LoopNest,
+    cfg: &MachineConfig,
+    total_pages: &[usize],
+    split: &[StmtRefs<'_>],
+    anchorless: &[usize],
+    participants: &mut [(usize, Vec<bool>)],
+    outer_ivs: &[i64],
+    stats: &mut Stats,
+    rr: &mut usize,
+) -> Result<(), EstimateError> {
+    let lv = nest.loops.last().expect("nest has loops");
+    let trips = lv.trip_count(outer_ivs) as i64;
+    if trips == 0 {
+        return Ok(());
+    }
+    let inner_lo = lv.lo.eval(outer_ivs);
+
+    let mut reduce_idx = 0usize;
+    for srefs in split {
+        let is_reduce = srefs.reduce_sid.is_some();
+        let my_reduce = if is_reduce {
+            let i = reduce_idx;
+            reduce_idx += 1;
+            Some(i)
+        } else {
+            None
+        };
+        // The anchor: the Assign target, or a Reduce's first read.
+        let anchor_ref = srefs.target.or_else(|| srefs.reads.first().copied());
+        let Some(anchor_ref) = anchor_ref else {
+            continue; // anchorless: dealt round-robin below
+        };
+
+        let anchor = lower_ref(
+            program,
+            nest,
+            anchor_ref,
+            outer_ivs,
+            inner_lo,
+            lv.step,
+            trips,
+            total_pages,
+        )?;
+        let reads: Vec<RefLine> = srefs
+            .reads
+            .iter()
+            .map(|r| {
+                lower_ref(
+                    program,
+                    nest,
+                    r,
+                    outer_ivs,
+                    inner_lo,
+                    lv.step,
+                    trips,
+                    total_pages,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Split 0..trips into maximal runs on which every reference sits
+        // on a constant page; charge each run in closed form.
+        let mut t = 0i64;
+        while t < trips {
+            let mut next = anchor.next_crossing(t, cfg.page_size);
+            for r in &reads {
+                next = next.min(r.next_crossing(t, cfg.page_size));
+            }
+            let next = next.min(trips);
+            let run = (next - t) as u64;
+            let pe = anchor.owner(t, cfg);
+            if srefs.target.is_some() {
+                stats.per_pe[pe].writes += run;
+            }
+            if let Some(ri) = my_reduce {
+                participants[ri].1[pe] = true;
+            }
+            for r in &reads {
+                if r.owner(t, cfg) == pe {
+                    stats.per_pe[pe].local_reads += run;
+                } else {
+                    stats.per_pe[pe].remote_reads += run;
+                    stats.page_fetches += run;
+                }
+            }
+            t = next;
+        }
+    }
+
+    // Anchorless statements: the q-th anchorless statement of the body at
+    // global chunk iteration i executes on PE (rr + i·A + q) mod n, where
+    // A is the number of anchorless statements per iteration. They touch
+    // no arrays, so only reduction participation needs marking — and the
+    // PE set cycles with period n / gcd(A, n).
+    if !anchorless.is_empty() {
+        let n = cfg.n_pes;
+        let a_cnt = anchorless.len();
+        let cycle = n / gcd(a_cnt % n, n).max(1);
+        // Map body index → participant-table index.
+        for (q, &body_idx) in anchorless.iter().enumerate() {
+            let ri = split[..body_idx]
+                .iter()
+                .filter(|s| s.reduce_sid.is_some())
+                .count();
+            let distinct = (trips as usize).min(cycle.max(1));
+            for i in 0..distinct {
+                let pe = (*rr + q + i * a_cnt) % n;
+                participants[ri].1[pe] = true;
+            }
+        }
+        *rr += trips as usize * a_cnt;
+    }
+    Ok(())
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{InitPattern, ProgramBuilder, ReduceOp};
+    use sa_machine::PartitionScheme;
+
+    fn skewed(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("sk");
+        let y = b.input("Y", &[n + 1], InitPattern::Wavy);
+        let x = b.output("X", &[n]);
+        b.nest("s", &[("k", 0, n as i64 - 1)], |nb| {
+            nb.assign(
+                x,
+                [iv(0)],
+                nb.read(y, [iv(0).plus(1)]) - nb.read(y, [iv(0)]),
+            );
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn skewed_kernel_counts_match_by_hand() {
+        // 128 elements, 4 PEs, page 32 (modulo): X page k → PE k; reads of
+        // Y hit the same page except at each page's last element, where
+        // Y[k+1] crosses into the next page (remote). 3 boundary crossings
+        // inside Y's pages 0..3 land remote; everything else local.
+        let p = skewed(128);
+        let cfg = MachineConfig::new(4, 32).with_cache_elems(0);
+        let est = estimate(&p, &cfg).unwrap();
+        assert_eq!(est.stats.writes(), 128);
+        assert_eq!(est.stats.total_reads(), 256);
+        assert_eq!(est.stats.remote_reads(), 4);
+        assert_eq!(est.stats.page_fetches, 4);
+        assert_eq!(est.network_messages, 8);
+    }
+
+    #[test]
+    fn cache_and_indirection_are_refused() {
+        let p = skewed(64);
+        let cached = MachineConfig::new(4, 32);
+        assert!(matches!(
+            estimate(&p, &cached),
+            Err(EstimateError::CacheUnsupported)
+        ));
+
+        let mut b = ProgramBuilder::new("g");
+        let idx = b.input("IDX", &[8], InitPattern::Permutation { seed: 1 });
+        let y = b.input("Y", &[8], InitPattern::Wavy);
+        let x = b.output("X", &[8]);
+        b.nest("n", &[("k", 0, 7)], |nb| {
+            nb.assign(x, [iv(0)], nb.read_indirect(y, idx, iv(0)));
+        });
+        let g = b.finish();
+        let nocache = MachineConfig::new(4, 32).with_cache_elems(0);
+        assert!(matches!(
+            estimate(&g, &nocache),
+            Err(EstimateError::Indirect { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_is_detected_statically() {
+        let mut b = ProgramBuilder::new("oob");
+        let x = b.output("X", &[16]);
+        b.nest("n", &[("k", 0, 16)], |nb| {
+            nb.assign(x, [iv(0)], 1.0);
+        });
+        let p = b.finish();
+        let cfg = MachineConfig::new(2, 8).with_cache_elems(0);
+        assert!(matches!(
+            estimate(&p, &cfg),
+            Err(EstimateError::OutOfBounds { index: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn reduction_partials_ship_to_the_host() {
+        // sum over Y: anchor = Y[k]; 64 elements over 4 PEs at page 16 →
+        // every PE participates; host of scalar 0 is PE 0 → 3 partials.
+        let mut b = ProgramBuilder::new("red");
+        let y = b.input("Y", &[64], InitPattern::Wavy);
+        let s = b.scalar("sum");
+        b.nest("n", &[("k", 0, 63)], |nb| {
+            nb.reduce(s, ReduceOp::Sum, nb.read(y, [iv(0)]));
+        });
+        let p = b.finish();
+        let cfg = MachineConfig::new(4, 16).with_cache_elems(0);
+        let est = estimate(&p, &cfg).unwrap();
+        assert_eq!(est.stats.reduction_messages, 3);
+        // All reads anchor-local.
+        assert_eq!(est.stats.remote_reads(), 0);
+        assert_eq!(est.stats.local_reads(), 64);
+        assert_eq!(est.network_messages, 3);
+    }
+
+    #[test]
+    fn block_scheme_and_reinit_accounting() {
+        let mut b = ProgramBuilder::new("blk");
+        let y = b.input("Y", &[64], InitPattern::Wavy);
+        let x = b.output("X", &[64]);
+        b.nest("n", &[("k", 0, 63)], |nb| {
+            nb.assign(x, [iv(0)], nb.read(y, [iv(0)]) + 1.0);
+        });
+        b.reinit(x);
+        let p = b.finish();
+        let cfg = MachineConfig::new(4, 8)
+            .with_cache_elems(0)
+            .with_partition(PartitionScheme::Block);
+        let est = estimate(&p, &cfg).unwrap();
+        // Matched access: everything local; reinit costs 2·(4−1) messages.
+        assert_eq!(est.stats.remote_reads(), 0);
+        assert_eq!(est.stats.reinit_messages, 6);
+        assert_eq!(est.network_messages, 6);
+    }
+}

@@ -1,0 +1,669 @@
+//! Static single-assignment (write-once) verification.
+//!
+//! For every array generation segment (the phases between `Reinit`s of
+//! that array) the verifier proves that no element is assigned twice.
+//! Affine write sites are first attacked with closed-form conflict tests
+//! — a Banerjee-style address-range test, a GCD lattice-residue test for
+//! rectangular nests, and a mixed-radix self-injectivity test. Only when
+//! some pair stays inconclusive does the verifier fall back to an exact
+//! enumeration of the segment's write footprint, which also recovers the
+//! two concrete iteration vectors of a genuine conflict for the
+//! diagnostic. Scatters through compile-time-constant index arrays are
+//! enumerated exactly; scatters through runtime data are reported as
+//! statically undecidable (`SA003`).
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::sites::{
+    self, resolve_static_addr, static_array_values, statically_resolvable, ResolveFail, Segment,
+    WriteSite,
+};
+use sa_ir::analysis::{self, PairRelation};
+use sa_ir::nest::LoopNest;
+use sa_ir::Program;
+
+/// Outcome of the write-once pass.
+#[derive(Debug, Default)]
+pub struct WriteOnceReport {
+    /// Findings (empty ⇒ every checkable segment is proven write-once).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Array segments discharged purely by the closed-form affine tests.
+    pub proven_affine: usize,
+    /// Array segments that required exact footprint enumeration.
+    pub enumerated: usize,
+}
+
+impl WriteOnceReport {
+    /// True if no error-severity finding was produced.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .all(|d| d.severity < crate::Severity::Error)
+    }
+}
+
+/// Verify the single-assignment property of every array generation
+/// segment of `program`.
+pub fn check_write_once(program: &Program) -> WriteOnceReport {
+    let mut report = WriteOnceReport::default();
+    let statics = static_array_values(program);
+    for seg in sites::segments(program) {
+        if seg.writes.is_empty() {
+            continue;
+        }
+        check_segment(program, &seg, &statics, &mut report);
+    }
+    report
+}
+
+fn check_segment(
+    program: &Program,
+    seg: &Segment<'_>,
+    statics: &[Option<Vec<f64>>],
+    report: &mut WriteOnceReport,
+) {
+    let decl = program.array(seg.array);
+
+    // Scatters through runtime-valued index arrays are undecidable — flag
+    // once and bail out of this segment: any exact answer would be a guess.
+    for site in &seg.writes {
+        if !site.is_affine() && !statically_resolvable(site.target, statics) {
+            let d = Diagnostic::new(
+                Code::Sa003UndecidableScatter,
+                Span::stmt(site.phase, &site.nest.label, site.stmt, &decl.name),
+                format!(
+                    "scatter into `{}` goes through a runtime-produced index array; \
+                     single assignment cannot be verified statically",
+                    decl.name
+                ),
+            )
+            .explain(
+                "The written element depends on data computed at run time, so the \
+                 write-once property is only checked dynamically (the machine traps \
+                 DoubleWrite). Use a statically-initialized permutation for the index \
+                 array if the scatter pattern is actually fixed.",
+            );
+            report.diagnostics.push(d);
+            return;
+        }
+    }
+
+    // All-affine fast path: closed-form pairwise conflict tests.
+    if seg.writes.iter().all(WriteSite::is_affine) {
+        if let Some(affine) = seg
+            .writes
+            .iter()
+            .map(|s| AffineSite::build(program, s))
+            .collect::<Option<Vec<_>>>()
+        {
+            let mut clean = true;
+            'pairs: for (i, a) in affine.iter().enumerate() {
+                if a.self_injective() != Verdict::NoConflict
+                    || a.overlaps_init(seg.init_len) != Verdict::NoConflict
+                {
+                    clean = false;
+                    break;
+                }
+                for b in affine.iter().skip(i + 1) {
+                    if a.may_conflict(b) != Verdict::NoConflict {
+                        clean = false;
+                        break 'pairs;
+                    }
+                }
+            }
+            if clean {
+                report.proven_affine += 1;
+                return;
+            }
+        }
+    }
+
+    // Exact fallback: enumerate the segment footprint in program order.
+    report.enumerated += 1;
+    enumerate_segment(program, seg, statics, report);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form affine conflict tests
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Proven disjoint.
+    NoConflict,
+    /// Possibly (or certainly) conflicting — needs exact enumeration.
+    May,
+}
+
+/// Per-level static facts about a nest, shared by its sites.
+struct LevelInfo {
+    /// Interval the loop variable's *value* stays within (box superset for
+    /// triangular nests).
+    min: i64,
+    max: i64,
+    step: i64,
+    /// Maximum trip count of the level (from `analysis::level_extents`).
+    trips: usize,
+    /// Both bounds are constants (rectangular level).
+    rect: bool,
+}
+
+fn nest_levels(nest: &LoopNest) -> Vec<LevelInfo> {
+    let trips = analysis::level_extents(nest);
+    let mut out: Vec<LevelInfo> = Vec::with_capacity(nest.loops.len());
+    for (v, lv) in nest.loops.iter().enumerate() {
+        let lo = interval_eval(&lv.lo, &out);
+        let hi = interval_eval(&lv.hi, &out);
+        out.push(LevelInfo {
+            min: lo.0.min(hi.0),
+            max: lo.1.max(hi.1),
+            step: lv.step,
+            trips: trips.get(v).copied().unwrap_or(0),
+            rect: lv.lo.is_constant() && lv.hi.is_constant(),
+        });
+    }
+    out
+}
+
+/// Interval evaluation of an affine bound over the (already computed)
+/// outer-level value intervals.
+fn interval_eval(a: &sa_ir::AffineIndex, outer: &[LevelInfo]) -> (i64, i64) {
+    let mut lo = a.offset;
+    let mut hi = a.offset;
+    for (v, info) in outer.iter().enumerate() {
+        let c = a.coeff(v);
+        let (x, y) = (c * info.min, c * info.max);
+        lo += x.min(y);
+        hi += x.max(y);
+    }
+    (lo, hi)
+}
+
+/// One affine write site reduced to closed-form address facts.
+struct AffineSite {
+    /// Linearized address form: coefficient per loop variable + offset.
+    form: (Vec<i64>, i64),
+    levels: Vec<LevelInfo>,
+    /// Inclusive range of attainable linear addresses (superset).
+    addr_lo: i64,
+    addr_hi: i64,
+    /// Address lattice `base + gcd·ℤ ⊇ attained` for fully rectangular
+    /// nests; `None` when some level is triangular.
+    lattice: Option<(i64, i64)>, // (gcd, base); gcd == 0 ⇒ single address
+}
+
+impl AffineSite {
+    fn build(program: &Program, site: &WriteSite<'_>) -> Option<AffineSite> {
+        let nvars = site.nest.loops.len();
+        let form = analysis::linear_address_form(program, site.target, nvars)?;
+        let levels = nest_levels(site.nest);
+        let (coeffs, offset) = &form;
+        let mut lo = *offset;
+        let mut hi = *offset;
+        for (v, info) in levels.iter().enumerate() {
+            let c = coeffs.get(v).copied().unwrap_or(0);
+            let (x, y) = (c * info.min, c * info.max);
+            lo += x.min(y);
+            hi += x.max(y);
+        }
+        let lattice = if levels.iter().all(|l| l.rect) {
+            let mut g = 0i64;
+            let mut base = *offset;
+            for (v, info) in levels.iter().enumerate() {
+                let c = coeffs.get(v).copied().unwrap_or(0);
+                // Rectangular ⇒ the first value of the level is the
+                // constant lower bound.
+                base += c * site.nest.loops[v].lo.offset;
+                if c != 0 && info.trips > 1 {
+                    g = gcd(g, (c * info.step).unsigned_abs() as i64);
+                }
+            }
+            Some((g, base))
+        } else {
+            None
+        };
+        Some(AffineSite {
+            form,
+            levels,
+            addr_lo: lo,
+            addr_hi: hi,
+            lattice,
+        })
+    }
+
+    /// Mixed-radix injectivity: two distinct iterations of the site's own
+    /// nest always hit distinct addresses?
+    fn self_injective(&self) -> Verdict {
+        let (coeffs, _) = &self.form;
+        let mut terms: Vec<(i64, i64)> = Vec::new(); // (|effective coeff|, span)
+        for (v, info) in self.levels.iter().enumerate() {
+            let c = coeffs.get(v).copied().unwrap_or(0);
+            if info.trips <= 1 {
+                continue;
+            }
+            if c == 0 {
+                // A free level: iterations differing only here may repeat
+                // the address (definitely, for rectangular nests).
+                return Verdict::May;
+            }
+            terms.push(((c * info.step).abs(), info.trips as i64 - 1));
+        }
+        terms.sort_unstable_by_key(|t| std::cmp::Reverse(t.0));
+        // Sorted coarse→fine: each stride must out-reach everything finer.
+        let mut finer_reach = 0i64;
+        for &(e, span) in terms.iter().rev() {
+            if e <= finer_reach {
+                return Verdict::May;
+            }
+            finer_reach += e * span;
+        }
+        Verdict::NoConflict
+    }
+
+    /// Can this site's footprint intersect another's?
+    fn may_conflict(&self, other: &AffineSite) -> Verdict {
+        // Banerjee-style range test.
+        if self.addr_hi < other.addr_lo || other.addr_hi < self.addr_lo {
+            return Verdict::NoConflict;
+        }
+        // GCD residue test on the joint lattice.
+        if let (Some((ga, ba)), Some((gb, bb))) = (self.lattice, other.lattice) {
+            let g = gcd(ga, gb);
+            let d = ba - bb;
+            if g == 0 {
+                return if d == 0 {
+                    Verdict::May
+                } else {
+                    Verdict::NoConflict
+                };
+            }
+            if d.rem_euclid(g) != 0 {
+                return Verdict::NoConflict;
+            }
+        }
+        Verdict::May
+    }
+
+    /// Can this site write into the initializer-defined region `[0, init)`?
+    fn overlaps_init(&self, init: usize) -> Verdict {
+        if init == 0 {
+            return Verdict::NoConflict;
+        }
+        let lo = self.addr_lo.max(0);
+        let hi = self.addr_hi.min(init as i64 - 1);
+        if lo > hi {
+            return Verdict::NoConflict;
+        }
+        if let Some((g, base)) = self.lattice {
+            if g == 0 {
+                return if (0..init as i64).contains(&base) {
+                    Verdict::May
+                } else {
+                    Verdict::NoConflict
+                };
+            }
+            // First lattice point ≥ lo; conflict possible iff it is ≤ hi.
+            let r = base.rem_euclid(g);
+            let first = lo + (r - lo).rem_euclid(g);
+            if first > hi {
+                return Verdict::NoConflict;
+            }
+        }
+        Verdict::May
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+// ---------------------------------------------------------------------------
+// Exact enumeration fallback
+// ---------------------------------------------------------------------------
+
+/// Walk every write of the segment in program order over a definedness
+/// bitmap; the first collision yields the diagnostic, with both involved
+/// iteration vectors recovered.
+fn enumerate_segment(
+    program: &Program,
+    seg: &Segment<'_>,
+    statics: &[Option<Vec<f64>>],
+    report: &mut WriteOnceReport,
+) {
+    let decl = program.array(seg.array);
+    let mut defined = vec![false; decl.len()];
+    for cell in defined.iter_mut().take(seg.init_len) {
+        *cell = true;
+    }
+
+    for (si, site) in seg.writes.iter().enumerate() {
+        let mut conflict: Option<(usize, Vec<i64>)> = None;
+        site.nest.for_each_iteration(|ivs| {
+            if conflict.is_some() {
+                return;
+            }
+            match resolve_static_addr(program, statics, site.target, ivs) {
+                Ok(addr) => {
+                    if defined[addr] {
+                        conflict = Some((addr, ivs.to_vec()));
+                    } else {
+                        defined[addr] = true;
+                    }
+                }
+                // Bounds/definedness failures are the progress checker's
+                // findings (SA006/SA004); skip the address here.
+                Err(ResolveFail::OutOfBounds | ResolveFail::UndefinedIndex) => {}
+                Err(ResolveFail::NotStatic) => unreachable!("segment pre-screened"),
+            }
+        });
+        if let Some((addr, ivs)) = conflict {
+            report
+                .diagnostics
+                .push(conflict_diagnostic(program, seg, si, addr, &ivs, statics));
+            return; // one finding per array segment
+        }
+    }
+}
+
+/// Recover the *first* writer of `addr` (initializer or an earlier/same
+/// site instance) and build the SA001/SA002 diagnostic.
+fn conflict_diagnostic(
+    program: &Program,
+    seg: &Segment<'_>,
+    second_site: usize,
+    addr: usize,
+    second_ivs: &[i64],
+    statics: &[Option<Vec<f64>>],
+) -> Diagnostic {
+    let decl = program.array(seg.array);
+    let second = &seg.writes[second_site];
+    let span = Span::stmt(second.phase, &second.nest.label, second.stmt, &decl.name);
+
+    if addr < seg.init_len {
+        // First writer is the initializer.
+        return Diagnostic::new(
+            Code::Sa002WriteIntoInit,
+            span,
+            format!(
+                "`{}[{addr}]` is defined by the array initializer and assigned again \
+                 at iteration {}",
+                decl.name,
+                fmt_ivs(second.nest, second_ivs),
+            ),
+        )
+        .explain(
+            "Initialization data and statement writes share one generation; \
+             re-assigning an initialized element violates single assignment exactly \
+             like a double write. Shrink the initialized region (ArrayInit::Prefix) \
+             or shift the write's index range.",
+        );
+    }
+
+    // Re-walk the earlier instances to find the first writer of `addr`.
+    let mut first: Option<(usize, Vec<i64>)> = None;
+    'sites: for (si, site) in seg.writes.iter().enumerate().take(second_site + 1) {
+        let mut found: Option<Vec<i64>> = None;
+        site.nest.for_each_iteration(|ivs| {
+            if found.is_some() {
+                return;
+            }
+            if si == second_site && ivs == second_ivs {
+                return; // stop before the colliding instance itself
+            }
+            if resolve_static_addr(program, statics, site.target, ivs) == Ok(addr) {
+                found = Some(ivs.to_vec());
+            }
+        });
+        if let Some(ivs) = found {
+            first = Some((si, ivs));
+            break 'sites;
+        }
+    }
+    let (fsi, fivs) = first.expect("a colliding address must have a first writer");
+    let fsite = &seg.writes[fsi];
+
+    // Same-nest conflicts get the analysis machinery's flavor label.
+    let flavor = if fsite.phase == second.phase && fsite.is_affine() && second.is_affine() {
+        let nvars = second.nest.loops.len();
+        match (
+            analysis::linear_address_form(program, fsite.target, nvars),
+            analysis::linear_address_form(program, second.target, nvars),
+        ) {
+            (Some(a), Some(b)) => match analysis::relate_forms(&a, &b) {
+                PairRelation::Identical => " (identical index functions)",
+                PairRelation::Skew(_) => " (skewed index functions)",
+                PairRelation::RateMismatch => " (rate-mismatched index functions)",
+                PairRelation::Mixed | PairRelation::Indirect => "",
+            },
+            _ => "",
+        }
+    } else {
+        ""
+    };
+
+    Diagnostic::new(
+        Code::Sa001DoubleWrite,
+        span,
+        format!(
+            "`{}[{addr}]` is assigned twice: first by nest `{}` stmt {} at iteration {}, \
+             again by nest `{}` stmt {} at iteration {}{flavor}",
+            decl.name,
+            fsite.nest.label,
+            fsite.stmt,
+            fmt_ivs(fsite.nest, &fivs),
+            second.nest.label,
+            second.stmt,
+            fmt_ivs(second.nest, second_ivs),
+        ),
+    )
+    .explain(
+        "Single assignment permits exactly one producer per array element per \
+         generation; the distributed machine aborts with DoubleWrite here and the \
+         thread runtime's I-structure semantics become racy. Separate the two \
+         producers into different generations with a Reinit, or disjoint their \
+         index ranges.",
+    )
+}
+
+/// Render an iteration vector as `(i=3, k=7)` using the nest's loop names.
+fn fmt_ivs(nest: &LoopNest, ivs: &[i64]) -> String {
+    let mut s = String::from("(");
+    for (v, iv) in ivs.iter().enumerate() {
+        if v > 0 {
+            s.push_str(", ");
+        }
+        match nest.loops.get(v) {
+            Some(lv) => s.push_str(&format!("{}={iv}", lv.name)),
+            None => s.push_str(&format!("v{v}={iv}")),
+        }
+    }
+    s.push(')');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::nest::LoopVar;
+    use sa_ir::program::{ArrayInit, InitPattern};
+    use sa_ir::{Expr, ProgramBuilder};
+
+    #[test]
+    fn clean_copy_is_proven_affine() {
+        let mut b = ProgramBuilder::new("clean");
+        let x = b.output("X", &[64]);
+        let y = b.input("Y", &[64], InitPattern::Harmonic);
+        b.nest("copy", &[("k", 0, 63)], |nb| {
+            let rhs = nb.read(y, [iv(0)]);
+            nb.assign(x, [iv(0)], rhs);
+        });
+        let r = check_write_once(&b.finish());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.proven_affine, 1);
+        assert_eq!(r.enumerated, 0);
+    }
+
+    #[test]
+    fn double_write_same_nest_detected_with_witnesses() {
+        let mut b = ProgramBuilder::new("dw");
+        let x = b.output("X", &[32]);
+        b.nest("dup", &[("k", 0, 31)], |nb| {
+            // x[k] and x[31-k] collide pairwise across the midpoint.
+            nb.assign(x, [iv(0)], Expr::Const(1.0));
+            nb.assign(x, [iv(0).scale(-1).plus(31)], Expr::Const(2.0));
+        });
+        let r = check_write_once(&b.finish());
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.code, Code::Sa001DoubleWrite);
+        assert_eq!(d.severity, crate::Severity::Error);
+        assert!(d.message.contains("assigned twice"), "{}", d.message);
+        assert!(d.message.contains("k="), "{}", d.message);
+    }
+
+    #[test]
+    fn rewrite_in_second_nest_detected_and_reinit_clears_it() {
+        let build = |with_reinit: bool| {
+            let mut b = ProgramBuilder::new("two-nests");
+            let x = b.output("X", &[16]);
+            b.nest("first", &[("k", 0, 15)], |nb| {
+                nb.assign(x, [iv(0)], Expr::Const(1.0));
+            });
+            if with_reinit {
+                b.reinit(x);
+            }
+            b.nest("second", &[("k", 0, 15)], |nb| {
+                nb.assign(x, [iv(0)], Expr::Const(2.0));
+            });
+            b.finish()
+        };
+        let bad = check_write_once(&build(false));
+        assert_eq!(bad.diagnostics.len(), 1);
+        assert_eq!(bad.diagnostics[0].code, Code::Sa001DoubleWrite);
+        assert!(
+            bad.diagnostics[0].message.contains("nest `first`"),
+            "{}",
+            bad.diagnostics[0].message
+        );
+        let good = check_write_once(&build(true));
+        assert!(good.diagnostics.is_empty(), "{:?}", good.diagnostics);
+    }
+
+    #[test]
+    fn write_into_initialized_prefix_is_sa002() {
+        let mut b = ProgramBuilder::new("init-clash");
+        let x = b.array_with(
+            "X",
+            &[16],
+            ArrayInit::Prefix {
+                pattern: InitPattern::Zero,
+                len: 4,
+            },
+        );
+        b.nest("fill", &[("k", 0, 15)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(1.0));
+        });
+        let r = check_write_once(&b.finish());
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].code, Code::Sa002WriteIntoInit);
+        assert!(r.diagnostics[0].message.contains("initializer"));
+    }
+
+    #[test]
+    fn strided_disjoint_writes_proven_clean() {
+        // Evens in one nest, odds in another — GCD residue test separates.
+        let mut b = ProgramBuilder::new("parity");
+        let x = b.output("X", &[64]);
+        b.nest("evens", &[("k", 0, 31)], |nb| {
+            nb.assign(x, [iv(0).scale(2)], Expr::Const(0.0));
+        });
+        b.nest("odds", &[("k", 0, 31)], |nb| {
+            nb.assign(x, [iv(0).scale(2).plus(1)], Expr::Const(1.0));
+        });
+        let r = check_write_once(&b.finish());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.proven_affine, 1);
+        assert_eq!(r.enumerated, 0);
+    }
+
+    #[test]
+    fn static_permutation_scatter_is_enumerated_clean() {
+        let mut b = ProgramBuilder::new("scatter");
+        let perm = b.input("P", &[32], InitPattern::Permutation { seed: 9 });
+        let x = b.output("X", &[32]);
+        b.nest("scat", &[("k", 0, 31)], |nb| {
+            nb.assign_indirect(x, perm, iv(0), Expr::Const(1.0));
+        });
+        let r = check_write_once(&b.finish());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.enumerated, 1);
+    }
+
+    #[test]
+    fn bounded_scatter_collision_and_runtime_scatter_warning() {
+        // BoundedPermutation over limit 4 on 32 writes must collide.
+        let mut b = ProgramBuilder::new("collide");
+        let idx = b.input(
+            "I",
+            &[32],
+            InitPattern::BoundedPermutation { seed: 5, limit: 4 },
+        );
+        let x = b.output("X", &[32]);
+        b.nest("scat", &[("k", 0, 31)], |nb| {
+            nb.assign_indirect(x, idx, iv(0), Expr::Const(1.0));
+        });
+        let r = check_write_once(&b.finish());
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].code, Code::Sa001DoubleWrite);
+
+        // Same shape but with a runtime-written index array → SA003.
+        let mut b = ProgramBuilder::new("runtime-scatter");
+        let idx = b.output("I", &[32]);
+        let x = b.output("X", &[32]);
+        b.nest("mk-idx", &[("k", 0, 31)], |nb| {
+            nb.assign(idx, [iv(0)], Expr::Const(0.0));
+        });
+        b.nest("scat", &[("k", 0, 31)], |nb| {
+            nb.assign_indirect(x, idx, iv(0), Expr::Const(1.0));
+        });
+        let r = check_write_once(&b.finish());
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::Sa003UndecidableScatter));
+    }
+
+    #[test]
+    fn triangular_nest_proven_by_self_injectivity() {
+        // x[8i + k] with k < i ≤ 8 — affine and injective, but triangular
+        // (no lattice), so the box-superset self-injectivity test must
+        // discharge it: |8| > (8-1)·1.
+        let mut b = ProgramBuilder::new("tri");
+        let x = b.output("X", &[80]);
+        b.nest_loops(
+            "tri",
+            vec![
+                LoopVar::simple("i", 1, 8),
+                LoopVar {
+                    name: "k".into(),
+                    lo: 0.into(),
+                    hi: iv(0).plus(-1),
+                    step: 1,
+                },
+            ],
+            |nb| {
+                nb.assign(x, [iv(0).scale(8).add(&iv(1))], Expr::Const(1.0));
+            },
+        );
+        let r = check_write_once(&b.finish());
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.proven_affine, 1);
+        assert_eq!(r.enumerated, 0);
+    }
+}

@@ -104,6 +104,9 @@ struct WorkerMem {
     /// never be satisfied (this worker was its only producer) and aborts
     /// the run instead of deadlocking it.
     finished: bool,
+    /// Array names, indexed by array id — only for diagnostics, so abort
+    /// messages name the array the way `sapp lint` spans do.
+    names: Vec<String>,
     /// True while this worker sits inside the §5 re-initialization
     /// barrier, *before* its release is applied (the host stays syncing
     /// until it has broadcast [`Msg::ReinitGo`]). A release is only
@@ -151,6 +154,14 @@ impl WorkerMem {
             }
         }
         panic!("worker {}: {reason}", self.me);
+    }
+
+    /// Human-readable array reference for abort messages: `` `X` (array#2) ``.
+    fn array_label(&self, array: usize) -> String {
+        match self.names.get(array) {
+            Some(n) => format!("`{n}` (array#{array})"),
+            None => format!("array#{array}"),
+        }
     }
 
     /// Reply to a page request from the local frame (must be resident).
@@ -219,8 +230,10 @@ impl WorkerMem {
                 // ack), so the requester is blocked *before* the barrier
                 // and can never reach it. Tear the run down instead of
                 // deferring forever.
+                let label = self.array_label(array);
                 self.fail(format!(
-                    "PE {from} read array#{array}[{addr}], which this program never defines"
+                    "PE {from} read {label}[{addr}], which this program never \
+                     defines — a dangling I-structure deferral (sapp lint: SA004)"
                 ));
             }
             self.cell_waiters
@@ -589,6 +602,7 @@ impl<'p> Worker<'p> {
                 reinit_go: HashSet::new(),
                 mirrors: spec.mirrors,
                 resolutions: HashMap::new(),
+                names: program.arrays.iter().map(|d| d.name.clone()).collect(),
                 finished: false,
                 syncing: false,
                 shutdown: false,
@@ -763,9 +777,11 @@ impl<'p> Worker<'p> {
         // request, so the barrier would never release and we would never
         // write again — a guaranteed deadlock. Abort instead.
         if let Some((&(array, addr), _)) = self.mem.cell_waiters.iter().next() {
+            let label = self.mem.array_label(array);
             self.mem.fail(format!(
                 "re-initialization barrier reached with a deferred read of \
-                 array#{array}[{addr}] pending, which this program never defines"
+                 {label}[{addr}] pending, which this program never defines — \
+                 a dangling I-structure deferral (sapp lint: SA004)"
             ));
         }
         self.mem.syncing = true;
@@ -830,8 +846,9 @@ impl<'p> Worker<'p> {
         // serve_fetch, but kept as an orderly teardown rather than an
         // assert: a stale waiter here would deadlock its requester.
         if self.mem.cell_waiters.keys().any(|&(arr, _)| arr == a) {
+            let label = self.mem.array_label(a);
             self.mem.fail(format!(
-                "re-initialization of array {a} with deferred readers pending"
+                "re-initialization of {label} with deferred readers pending"
             ));
         }
         self.mem.gens[a] = new_gen;
@@ -858,8 +875,10 @@ impl<'p> Worker<'p> {
         // worker the cell's only producer, and it has run out of program.
         self.mem.finished = true;
         if let Some((&(array, addr), _)) = self.mem.cell_waiters.iter().next() {
+            let label = self.mem.array_label(array);
             self.mem.fail(format!(
-                "deferred read of array#{array}[{addr}], which this program never defines"
+                "deferred read of {label}[{addr}], which this program never \
+                 defines — a dangling I-structure deferral (sapp lint: SA004)"
             ));
         }
         done.send(self.mem.me).expect("coordinator gone");

@@ -9,6 +9,8 @@
 //! sapp sweep ST5 --size 96        # scale workloads size like any kernel
 //! sapp search [--kernel K12]      # best scheme × page size per kernel
 //! sapp timing K14 --page 32       # estimated speedup curve
+//! sapp lint K13                   # static diagnostics for one kernel
+//! sapp lint --all --format json   # CI gate: exit 1 on any error finding
 //! ```
 //!
 //! Workloads resolve against the sized registry (`sapp::loops::workloads`),
@@ -23,15 +25,23 @@
 //! grids through the composable plan API (`sapp::core::plan`).
 //!
 //! `simulate`, `sweep` and `search` accept
-//! `--engine {interp,replay,auto,thread}` selecting the backend: the
+//! `--engine {interp,replay,auto,static,thread}` selecting the backend: the
 //! statement-by-statement counting interpreter, the compiled access replay
 //! (`sapp::core::replay` — ~10–100× faster for statically classifiable
 //! nests, errors on the rest), auto-select (replay with transparent
-//! interpreter fallback; the default), or **real worker threads**
+//! interpreter fallback; the default), the **zero-execution static
+//! estimator** (`sapp::lint::estimate` — closed-form counts for affine
+//! programs, uncached points only), or **real worker threads**
 //! (`sapp::runtime::ThreadOracle` — one OS thread per PE, messages on real
 //! channels; LRU caches and the ideal network only, no hop model).
 //! `search` additionally accepts `--objective {balanced,remote}` (the
 //! legacy remote-%-only objective is `remote`).
+//!
+//! `sapp lint [KERNEL|--all]` runs the static analysis passes (write-once
+//! verification, progress and partition-legality checks) and prints the
+//! diagnostics; exit status 1 when any error-severity finding exists, so
+//! CI can gate on a clean registry. `--format json` emits the structured
+//! diagnostic model.
 
 use sapp::core::classify::classify_dynamic;
 use sapp::core::experiment::speedup_sweep;
@@ -40,7 +50,7 @@ use sapp::core::plan::{ExperimentPlan, PlanError};
 use sapp::core::replay::{counts, counts_or_simulate, CountReport};
 use sapp::core::report::{csv, fmt_pct, json, markdown_table};
 use sapp::core::search::{search_with, Objective, SearchSpace};
-use sapp::core::{simulate, Engine, FastCountingOracle, Oracle};
+use sapp::core::{simulate, Engine, FastCountingOracle, Oracle, StaticOracle};
 use sapp::ir::{classify_program, pretty};
 use sapp::loops::{suite, workloads, Kernel, Size, Workload};
 use sapp::machine::{AccessCosts, MachineConfig};
@@ -48,25 +58,28 @@ use sapp::runtime::ThreadOracle;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sapp <list|show|classify|simulate|sweep|search|timing> [KERNEL] \
-         [--pes N] [--page N] [--cache N] [--no-cache] [--kernel CODE] \
+        "usage: sapp <list|show|classify|simulate|sweep|search|timing|lint> [KERNEL] \
+         [--all] [--pes N] [--page N] [--cache N] [--no-cache] [--kernel CODE] \
          [--size N] [--dims AxB[xC]] \
-         [--format table|csv|json] [--engine interp|replay|auto|thread] \
+         [--format table|csv|json] [--engine interp|replay|auto|static|thread] \
          [--objective balanced|remote]"
     );
     std::process::exit(2);
 }
 
-/// Which backend measures grid points: a counting engine or real threads.
+/// Which backend measures grid points: a counting engine, the static
+/// estimator, or real threads.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum EngineSel {
     Counting(Engine),
+    Static,
     Thread,
 }
 
 impl EngineSel {
     fn parse(s: &str) -> Option<EngineSel> {
         match s {
+            "static" => Some(EngineSel::Static),
             "thread" => Some(EngineSel::Thread),
             other => Engine::parse(other).map(EngineSel::Counting),
         }
@@ -76,6 +89,7 @@ impl EngineSel {
     fn oracle(self) -> Box<dyn Oracle> {
         match self {
             EngineSel::Counting(e) => Box::new(FastCountingOracle::with_engine(e)),
+            EngineSel::Static => Box::new(StaticOracle),
             EngineSel::Thread => Box::new(ThreadOracle),
         }
     }
@@ -104,6 +118,7 @@ struct Opts {
     page: usize,
     cache: usize,
     no_cache: bool,
+    all: bool,
     kernel: Option<String>,
     size: Option<usize>,
     dims: Option<Vec<usize>>,
@@ -118,6 +133,7 @@ fn parse_opts(args: &[String]) -> Opts {
         page: 32,
         cache: 256,
         no_cache: false,
+        all: false,
         kernel: None,
         size: None,
         dims: None,
@@ -147,6 +163,7 @@ fn parse_opts(args: &[String]) -> Opts {
                     .unwrap_or_else(|| usage())
             }
             "--no-cache" => o.no_cache = true,
+            "--all" => o.all = true,
             "--kernel" => o.kernel = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--size" => {
                 o.size = Some(
@@ -295,6 +312,26 @@ fn count_with_engine(k: &Kernel, cfg: &MachineConfig, engine: Engine) -> CountRe
     }
 }
 
+/// Print the simulate-style report from the zero-execution estimator.
+fn simulate_static(k: &Kernel, cfg: &MachineConfig) {
+    let est = sapp::lint::estimate(&k.program, cfg).unwrap_or_else(|e| {
+        eprintln!("static failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "writes {}  local {}  cached {}  remote {}  → {} remote  [static engine]",
+        est.stats.writes(),
+        est.stats.local_reads(),
+        est.stats.cached_reads(),
+        est.stats.remote_reads(),
+        fmt_pct(est.stats.remote_read_pct()),
+    );
+    println!(
+        "messages {}  hops n/a  max link load n/a",
+        est.network_messages
+    );
+}
+
 /// Run one kernel on real worker threads and print the simulate-style report.
 fn simulate_on_threads(k: &Kernel, cfg: &MachineConfig) {
     let rt = sapp::runtime::RuntimeConfig::from_machine(cfg);
@@ -383,9 +420,16 @@ fn main() {
                 args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
                 &o,
             );
-            let EngineSel::Counting(engine) = o.engine else {
-                simulate_on_threads(&k, &config(&o));
-                return;
+            let engine = match o.engine {
+                EngineSel::Counting(e) => e,
+                EngineSel::Static => {
+                    simulate_static(&k, &config(&o));
+                    return;
+                }
+                EngineSel::Thread => {
+                    simulate_on_threads(&k, &config(&o));
+                    return;
+                }
             };
             let rep = count_with_engine(&k, &config(&o), engine);
             println!(
@@ -427,11 +471,14 @@ fn main() {
                 .group_by(|r| r.cfg.n_pes)
                 .iter()
                 .map(|(n, _)| {
+                    // Engines may drop individual grid points as
+                    // unsupported (the static estimator has no cache
+                    // model); render those as a dash instead of dying.
                     let at = |cached: bool| {
                         results
                             .find(|r| r.cfg.n_pes == *n && r.cfg.cached() == cached)
                             .map(|r| fmt_pct(r.remote_pct))
-                            .expect("grid point")
+                            .unwrap_or_else(|| "—".to_string())
                     };
                     vec![n.to_string(), at(true), at(false)]
                 })
@@ -505,6 +552,72 @@ fn main() {
                     &rows
                 )
             );
+        }
+        "lint" => {
+            // `sapp lint K13` or `sapp lint --all`; the positional kernel
+            // is whatever first operand doesn't look like a flag.
+            let (code, rest) = match args.get(1).map(String::as_str) {
+                Some(a) if !a.starts_with('-') => (Some(a), args.get(2..).unwrap_or(&[])),
+                _ => (None, args.get(1..).unwrap_or(&[])),
+            };
+            let o = parse_opts(rest);
+            let kernels: Vec<Kernel> = match (code, o.all) {
+                (Some(c), false) => vec![resolve_kernel(c, &o)],
+                (None, true) => workloads().iter().map(|w| w.official()).collect(),
+                _ => usage(),
+            };
+            let cfg = sapp::lint::LintConfig {
+                n_pes: o.pes,
+                page_size: o.page,
+                ..sapp::lint::LintConfig::default()
+            };
+            let mut worst: Option<sapp::lint::Severity> = None;
+            let mut total = 0usize;
+            if o.format == Format::Json {
+                let objs: Vec<String> = kernels
+                    .iter()
+                    .map(|k| {
+                        let diags = sapp::lint::lint_program(&k.program, &cfg);
+                        worst = worst.max(sapp::lint::max_severity(&diags));
+                        total += diags.len();
+                        format!(
+                            "{{\"kernel\":\"{}\",\"diagnostics\":{}}}",
+                            k.code,
+                            sapp::lint::to_json_array(&diags)
+                        )
+                    })
+                    .collect();
+                println!("[{}]", objs.join(","));
+            } else {
+                let mut rows = Vec::new();
+                for k in &kernels {
+                    let diags = sapp::lint::lint_program(&k.program, &cfg);
+                    worst = worst.max(sapp::lint::max_severity(&diags));
+                    total += diags.len();
+                    for d in &diags {
+                        rows.push(vec![
+                            k.code.to_string(),
+                            d.severity.to_string(),
+                            d.code.to_string(),
+                            d.span.to_string(),
+                            d.message.clone(),
+                        ]);
+                    }
+                }
+                if rows.is_empty() {
+                    println!("clean: 0 diagnostics across {} kernel(s)", kernels.len());
+                } else {
+                    print!(
+                        "{}",
+                        o.format
+                            .render(&["kernel", "severity", "code", "span", "message"], &rows)
+                    );
+                    println!("{} diagnostic(s) across {} kernel(s)", total, kernels.len());
+                }
+            }
+            if worst == Some(sapp::lint::Severity::Error) {
+                std::process::exit(1);
+            }
         }
         "timing" => {
             let o = parse_opts(args.get(2..).unwrap_or(&[]));

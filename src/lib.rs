@@ -16,6 +16,9 @@
 //!   modulo/block data partitioning, per-PE LRU caches, network models, and
 //!   the host-processor re-initialization protocol.
 //! * [`loops`] — the Livermore Loops suite used by the paper's evaluation.
+//! * [`lint`] — the static analysis pass: write-once verification via
+//!   GCD/Banerjee-style conflict tests, partition-legality and progress
+//!   checking, and a certified zero-execution communication estimator.
 //! * [`core`] — owner-computes distributed execution, access counting,
 //!   the event-driven timing pass, composable experiment plans with
 //!   pluggable evaluation oracles, automatic scheme search, and report
@@ -63,6 +66,7 @@
 
 pub use sa_core as core;
 pub use sa_ir as ir;
+pub use sa_lint as lint;
 pub use sa_loops as loops;
 pub use sa_machine as machine;
 pub use sa_mem as mem;

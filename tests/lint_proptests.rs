@@ -1,0 +1,220 @@
+//! Property-based certification of the `sa-lint` passes:
+//!
+//! * the zero-execution communication estimator agrees with the counting
+//!   oracle — per-PE counters and message totals — on randomly generated
+//!   affine nests × partition schemes × page sizes × PE counts;
+//! * the write-once verifier accepts every generated program the
+//!   interpreter accepts, and flags a seeded double-write mutant of the
+//!   same program with `SA001` (which the interpreter also traps, so the
+//!   static and dynamic verdicts always agree).
+
+use proptest::prelude::*;
+
+use sapp::core::{simulate, CountingOracle, Oracle, RunConfig, StaticOracle};
+use sapp::ir::index::iv;
+use sapp::ir::{InitPattern, Program, ProgramBuilder, ReduceOp};
+use sapp::lint::{self, Code, LintConfig, Severity};
+use sapp::machine::{MachineConfig, PartitionScheme};
+
+const MAX_COEFF: i64 = 3;
+const OFF_PAD: i64 = 10;
+
+/// One randomly generated affine program: a strided write nest over reads
+/// with random (coefficient, offset) subscripts, an optional anchorless
+/// reduction nest, and an optional chained nest re-reading the outputs.
+#[derive(Debug, Clone)]
+struct Spec {
+    /// `[n]` for a 1-level nest, `[outer, inner]` for a 2-level one.
+    trips: Vec<usize>,
+    /// `(coeff, offset)` per read of the shared input, innermost-affine.
+    reads: Vec<(i64, i64)>,
+    /// Stride of the write subscript on the innermost variable.
+    stride: i64,
+    /// Append an anchorless sum-reduction nest.
+    reduce: bool,
+    /// Append a nest re-reading the written array at matched subscripts.
+    chain: bool,
+}
+
+fn spec_strategy() -> impl Strategy<Value = Spec> {
+    (
+        prop_oneof![
+            (2usize..48).prop_map(|n| vec![n]),
+            ((2usize..10), (2usize..16)).prop_map(|(a, b)| vec![a, b]),
+        ],
+        proptest::collection::vec((1i64..=MAX_COEFF, -OFF_PAD..=OFF_PAD), 1..4),
+        1i64..4,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(trips, reads, stride, reduce, chain)| Spec {
+            trips,
+            reads,
+            stride,
+            reduce,
+            chain,
+        })
+}
+
+fn bounds(spec: &Spec) -> Vec<(&'static str, i64, i64)> {
+    match spec.trips.as_slice() {
+        [n] => vec![("k", 0, *n as i64 - 1)],
+        [o, i] => vec![("i", 0, *o as i64 - 1), ("j", 0, *i as i64 - 1)],
+        _ => unreachable!(),
+    }
+}
+
+/// Materialize a spec. The clean build is valid single-assignment by
+/// construction (strided injective writes, padded reads); `dup` appends a
+/// one-iteration nest re-assigning `X[0…]`, which the write nest always
+/// also assigns (innermost 0 → address 0) — a guaranteed double write.
+fn build(spec: &Spec, dup: bool) -> Program {
+    let mut b = ProgramBuilder::new("gen");
+    let depth = spec.trips.len();
+    let inner = *spec.trips.last().unwrap();
+    let outer = if depth == 2 { spec.trips[0] } else { 1 };
+
+    let read_len = (MAX_COEFF * (inner as i64 - 1) + 2 * OFF_PAD + 1) as usize;
+    let y = b.input("Y", &[read_len], InitPattern::Wavy);
+    let row = (spec.stride * (inner as i64 - 1) + 1) as usize;
+    let dims: Vec<usize> = if depth == 2 {
+        vec![outer, row]
+    } else {
+        vec![row]
+    };
+    let x = b.output("X", &dims);
+
+    b.nest("write", &bounds(spec), |nb| {
+        let mut value: Option<sapp::ir::Expr> = None;
+        for &(c, off) in &spec.reads {
+            let read = nb.read(y, [iv(depth - 1).scale(c).plus(off + OFF_PAD)]);
+            value = Some(match value {
+                None => read,
+                Some(v) => v + read,
+            });
+        }
+        let value = value.expect("at least one read");
+        let idx = iv(depth - 1).scale(spec.stride);
+        if depth == 2 {
+            nb.assign(x, [iv(0), idx], value);
+        } else {
+            nb.assign(x, [idx], value);
+        }
+    });
+
+    if spec.reduce {
+        let s = b.scalar("s");
+        b.nest("reduce", &bounds(spec), |nb| {
+            let v = nb.read(y, [iv(depth - 1)]);
+            nb.reduce(s, ReduceOp::Sum, v);
+        });
+    }
+
+    if spec.chain {
+        let z = b.output("Z", &dims);
+        b.nest("chain", &bounds(spec), |nb| {
+            let idx = iv(depth - 1).scale(spec.stride);
+            if depth == 2 {
+                let v = nb.read(x, [iv(0), idx.clone()]);
+                nb.assign(z, [iv(0), idx], v);
+            } else {
+                let v = nb.read(x, [idx.clone()]);
+                nb.assign(z, [idx], v);
+            }
+        });
+    }
+
+    if dup {
+        b.nest("dup", &[("d", 0, 0)], |nb| {
+            let zero = iv(0).scale(0);
+            if depth == 2 {
+                nb.assign(x, [zero.clone(), zero], sapp::ir::Expr::Const(1.0));
+            } else {
+                nb.assign(x, [zero], sapp::ir::Expr::Const(1.0));
+            }
+        });
+    }
+    b.finish()
+}
+
+fn run_config_strategy() -> impl Strategy<Value = RunConfig> {
+    (
+        1usize..17,
+        proptest::sample::select(vec![4usize, 8, 32, 64]),
+        prop_oneof![
+            Just(PartitionScheme::Modulo),
+            Just(PartitionScheme::Block),
+            (1usize..4).prop_map(|b| PartitionScheme::BlockCyclic { block_pages: b }),
+        ],
+    )
+        .prop_map(|(n_pes, page_size, partition)| RunConfig {
+            n_pes,
+            page_size,
+            cache_elems: 0, // the estimator has no cache model by design
+            partition,
+            ..RunConfig::default()
+        })
+}
+
+proptest! {
+    /// Estimator totals ≡ counting oracle on random nests × schemes ×
+    /// page sizes — the closed forms, not just the CLI paths.
+    #[test]
+    fn estimator_matches_counting_oracle(
+        spec in spec_strategy(),
+        cfg in run_config_strategy(),
+    ) {
+        let program = build(&spec, false);
+        let est = lint::estimate(&program, &cfg.machine())
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        let sim = simulate(&program, &cfg.machine())
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(&est.stats, &sim.stats, "spec {:?} cfg {:?}", &spec, &cfg);
+        prop_assert_eq!(est.network_messages, sim.network_messages);
+
+        // And through the oracle adapters, field for field.
+        let s = StaticOracle.measure(&program, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        let c = CountingOracle.measure(&program, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        prop_assert_eq!(s.writes, c.writes);
+        prop_assert_eq!(s.local_reads, c.local_reads);
+        prop_assert_eq!(s.remote_reads, c.remote_reads);
+        prop_assert_eq!(s.total_reads, c.total_reads);
+        prop_assert_eq!(s.messages, c.messages);
+        prop_assert_eq!(s.remote_pct, c.remote_pct);
+        prop_assert_eq!(s.write_balance, c.write_balance);
+    }
+
+    /// The verifier accepts what the interpreter accepts, and both reject
+    /// the seeded double-write mutant of the same program.
+    #[test]
+    fn verifier_agrees_with_the_interpreter(spec in spec_strategy()) {
+        let cfg = MachineConfig::new(4, 32).with_cache_elems(0);
+
+        let clean = build(&spec, false);
+        simulate(&clean, &cfg)
+            .map_err(proptest::test_runner::TestCaseError::fail)?;
+        let diags = lint::lint_program(&clean, &LintConfig::default());
+        prop_assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "verifier rejected an interpreter-accepted program: {:?}",
+            diags
+        );
+
+        let mutant = build(&spec, true);
+        prop_assert!(
+            simulate(&mutant, &cfg).is_err(),
+            "interpreter accepted the double-write mutant"
+        );
+        let report = lint::check_write_once(&mutant);
+        prop_assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::Sa001DoubleWrite),
+            "mutant not flagged with SA001: {:?}",
+            report.diagnostics
+        );
+    }
+}
