@@ -1,0 +1,116 @@
+//! `lint_bench` — wall-clock measurement of the static-analysis passes
+//! across the workload registry, emitted as a machine-readable JSON
+//! artifact (`BENCH_lint.json`) for CI trend tracking.
+//!
+//! ```console
+//! $ cargo run -p bench --release --bin lint_bench                  # writes BENCH_lint.json
+//! $ cargo run -p bench --release --bin lint_bench -- out.json      # custom path
+//! ```
+//!
+//! Per workload it reports:
+//!
+//! * `lint_ms` — full `lint_program` wall-clock (all four passes,
+//!   including the SA008 deadlock proof at the default machine shape);
+//! * `graph_ms` — generation-level dependence-graph build time, with the
+//!   resulting node/edge counts;
+//! * `estimate_ms` / `simulate_ms` / `estimator_speedup` — the
+//!   zero-execution communication estimator against the counting
+//!   simulator on the same config (`null` where the workload's runtime
+//!   indirection makes it inestimable — the typed-rejection path).
+
+use std::time::Instant;
+
+use sa_lint::{lint_program, DepGraph, LintConfig};
+use sa_loops::suite;
+use sa_machine::MachineConfig;
+
+/// Milliseconds with microsecond resolution, as a JSON number.
+fn ms(from: Instant) -> f64 {
+    (from.elapsed().as_secs_f64() * 1e3 * 1e3).round() / 1e3
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_lint.json".to_string());
+    let lint_cfg = LintConfig::default();
+    let machine = MachineConfig::new(lint_cfg.n_pes, lint_cfg.page_size).with_cache_elems(0);
+
+    let mut entries = Vec::new();
+    let mut total_lint = 0.0f64;
+    let mut total_graph = 0.0f64;
+    for k in suite() {
+        let t0 = Instant::now();
+        let diags = lint_program(&k.program, &lint_cfg);
+        let lint_ms = ms(t0);
+
+        let t0 = Instant::now();
+        let graph = DepGraph::build(&k.program);
+        let graph_ms = ms(t0);
+
+        let t0 = Instant::now();
+        let estimate = sa_lint::estimate(&k.program, &machine);
+        let estimate_ms = ms(t0);
+        let (est_field, sim_field, speedup_field) = match estimate {
+            Ok(est) => {
+                let t0 = Instant::now();
+                let sim = sa_core::exec::simulate(&k.program, &machine).expect("simulator runs");
+                let simulate_ms = ms(t0);
+                assert_eq!(
+                    est.network_messages, sim.network_messages,
+                    "{}: estimator drifted from the simulator",
+                    k.code
+                );
+                (
+                    json_f64(estimate_ms),
+                    json_f64(simulate_ms),
+                    json_f64(simulate_ms / estimate_ms.max(1e-6)),
+                )
+            }
+            Err(_) => ("null".into(), "null".into(), "null".into()),
+        };
+
+        total_lint += lint_ms;
+        total_graph += graph_ms;
+        entries.push(format!(
+            "    {{\"code\": \"{}\", \"lint_ms\": {}, \"diagnostics\": {}, \
+             \"graph_ms\": {}, \"nodes\": {}, \"edges\": {}, \
+             \"estimate_ms\": {}, \"simulate_ms\": {}, \"estimator_speedup\": {}}}",
+            k.code,
+            json_f64(lint_ms),
+            diags.len(),
+            json_f64(graph_ms),
+            graph.nodes.len(),
+            graph.edges.len(),
+            est_field,
+            sim_field,
+            speedup_field,
+        ));
+    }
+
+    let doc = format!(
+        "{{\n  \"bench\": \"lint\",\n  \"config\": {{\"n_pes\": {}, \"page_size\": {}, \
+         \"scheme\": \"{}\"}},\n  \"totals\": {{\"lint_ms\": {}, \"graph_ms\": {}}},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        lint_cfg.n_pes,
+        lint_cfg.page_size,
+        lint_cfg.scheme.name(),
+        json_f64((total_lint * 1e3).round() / 1e3),
+        json_f64((total_graph * 1e3).round() / 1e3),
+        entries.join(",\n"),
+    );
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!(
+        "wrote {out_path}: {} workloads, lint {total_lint:.1} ms total, \
+         graphs {total_graph:.1} ms total",
+        suite().len()
+    );
+}

@@ -62,6 +62,12 @@ pub struct RunRecord {
     pub write_balance: f64,
     /// Estimated execution cycles — only timing-capable oracles fill this.
     pub cycles: Option<u64>,
+    /// Certified static upper bound on parallel speedup under this config
+    /// (`sa_lint::depgraph::speedup_bound`: work over the larger of the
+    /// critical path and the busiest PE's serial workload). Only the
+    /// zero-execution oracle fills it; `None` elsewhere or when the
+    /// program is not statically analyzable.
+    pub speedup_bound: Option<f64>,
 }
 
 impl RunRecord {
@@ -101,6 +107,7 @@ fn record_of(cfg: &RunConfig, rep: &CountReport, cycles: Option<u64>) -> RunReco
         max_link_load: Some(rep.max_link_load),
         write_balance: write_balance_of(&rep.stats),
         cycles,
+        speedup_bound: None,
     }
 }
 
@@ -289,6 +296,14 @@ impl Oracle for StaticOracle {
             max_link_load: None,
             write_balance: write_balance_of(stats),
             cycles: None,
+            speedup_bound: sa_lint::depgraph::speedup_bound(
+                program,
+                &sa_lint::LintConfig {
+                    n_pes: cfg.n_pes,
+                    page_size: cfg.page_size,
+                    scheme: cfg.partition,
+                },
+            ),
         })
     }
 }

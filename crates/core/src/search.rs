@@ -1,13 +1,20 @@
 //! Automatic scheme search (the ROADMAP's *Automap*-style item): for one
-//! kernel, exhaustively evaluate `PartitionScheme × page size` through an
-//! [`Oracle`] and report the best configuration.
+//! kernel, evaluate `PartitionScheme × page size` through an [`Oracle`]
+//! and report the best configuration.
 //!
 //! The search space is an [`crate::plan::ExperimentPlan`] — partition
-//! schemes outermost, page sizes innermost — evaluated concurrently by
-//! [`crate::parallel::par_map`] underneath [`ExperimentPlan::run`]. The
-//! winner is deterministic: lowest [`Objective`] score, ties broken by
-//! fewest network messages, then by enumeration order (first scheme, then
-//! smallest page-size index).
+//! schemes outermost, page sizes innermost. The winner is deterministic:
+//! lowest [`Objective`] score, ties broken by fewest network messages,
+//! then by enumeration order (first scheme, then smallest page-size
+//! index).
+//!
+//! [`search_with`] walks candidates sequentially with an incumbent and
+//! *prunes* configs whose static score lower bound — the imbalance
+//! penalty computed from the dependence-graph projection
+//! ([`sa_lint::depgraph::static_writes_per_pe`]), with no execution —
+//! already exceeds the incumbent's score. Pruning is certified to return
+//! bit-identical winners to the exhaustive parallel sweep, which stays
+//! available as [`search_exhaustive_with`].
 //!
 //! The default [`Objective::Balanced`] scores a candidate as
 //! `remote % + weight · imbalance %`, where imbalance is derived from the
@@ -125,6 +132,9 @@ pub struct BestConfig {
     pub score: f64,
     /// How many candidates were evaluated.
     pub evaluated: usize,
+    /// How many candidates were skipped because their static score bound
+    /// proved they cannot beat the incumbent (zero for exhaustive search).
+    pub pruned: usize,
 }
 
 impl BestConfig {
@@ -157,8 +167,31 @@ impl BestConfig {
             write_balance: b.write_balance,
             score: objective.score(b),
             evaluated: results.len(),
+            pruned: 0,
         })
     }
+}
+
+/// Static lower bound on a candidate's objective score under `cfg`, from
+/// the dependence-graph projection: remote % is nonnegative, and under
+/// owner-computes the per-PE write distribution is a pure function of the
+/// partition ([`sa_lint::depgraph::static_writes_per_pe`]), so the
+/// imbalance penalty is known without executing anything. `None` when the
+/// objective carries no imbalance term or the program is not statically
+/// projectable (runtime indirection) — both mean "cannot prune".
+fn static_score_bound(program: &Program, cfg: &RunConfig, objective: Objective) -> Option<f64> {
+    let Objective::Balanced { weight } = objective else {
+        return None;
+    };
+    let writes = sa_lint::depgraph::static_writes_per_pe(
+        program,
+        &sa_lint::LintConfig {
+            n_pes: cfg.n_pes,
+            page_size: cfg.page_size,
+            scheme: cfg.partition,
+        },
+    )?;
+    Some(weight * 100.0 * (1.0 - sa_machine::load_balance(&writes).jain))
 }
 
 /// Exhaustively search `space` for the best `PartitionScheme × page size`
@@ -175,7 +208,70 @@ pub fn search(
 }
 
 /// [`search`] with an explicit scoring [`Objective`].
+///
+/// Candidates whose static score bound (`static_score_bound`, derived
+/// from the dependence-graph projection) proves they cannot *strictly*
+/// beat the incumbent are pruned without measuring. Strictness preserves
+/// the exhaustive tie-breaks (a bound equal to the incumbent's score
+/// still gets measured — it could tie and win on messages), so pruned
+/// search returns bit-identical winners to [`search_exhaustive_with`];
+/// `tests/lint_static.rs` certifies this across the affine registry.
 pub fn search_with(
+    kernel: &Program,
+    space: &SearchSpace,
+    oracle: &dyn Oracle,
+    objective: Objective,
+) -> Result<BestConfig, PlanError> {
+    let plan = space.plan();
+    plan.validate().map_err(PlanError::Config)?;
+    let mut best: Option<(RunRecord, f64)> = None;
+    let mut evaluated = 0usize;
+    let mut pruned = 0usize;
+    for cfg in plan.configs() {
+        if let (Some((_, incumbent)), Some(bound)) =
+            (best.as_ref(), static_score_bound(kernel, &cfg, objective))
+        {
+            if bound > *incumbent {
+                pruned += 1;
+                continue;
+            }
+        }
+        let rec = match oracle.measure(kernel, &cfg) {
+            Ok(rec) => rec,
+            // Fail soft per point, like the parallel sweep engine.
+            Err(OracleError::Unsupported(_)) => continue,
+            Err(e) => return Err(PlanError::Oracle(e)),
+        };
+        evaluated += 1;
+        let score = objective.score(&rec);
+        let wins = match &best {
+            None => true,
+            Some((inc, _)) => BestConfig::beats(objective, &rec, inc),
+        };
+        if wins {
+            best = Some((rec, score));
+        }
+    }
+    let (b, score) = best.ok_or_else(|| {
+        PlanError::Oracle(OracleError::Unsupported(
+            "every candidate configuration was unsupported by the oracle".into(),
+        ))
+    })?;
+    Ok(BestConfig {
+        scheme: b.cfg.partition,
+        page_size: b.cfg.page_size,
+        remote_pct: b.remote_pct,
+        messages: b.messages,
+        write_balance: b.write_balance,
+        score,
+        evaluated,
+        pruned,
+    })
+}
+
+/// [`search_with`] without pruning: the original parallel exhaustive
+/// sweep. Kept public as the certification baseline for the pruned path.
+pub fn search_exhaustive_with(
     kernel: &Program,
     space: &SearchSpace,
     oracle: &dyn Oracle,
@@ -215,13 +311,39 @@ mod tests {
     }
 
     #[test]
-    fn search_is_deterministic_and_exhaustive() {
+    fn search_is_deterministic_and_covers_the_space() {
         let p = skewed(512);
         let space = SearchSpace::default();
         let a = search(&p, &space, &CountingOracle).unwrap();
         let b = search(&p, &space, &CountingOracle).unwrap();
         assert_eq!(a, b);
-        assert_eq!(a.evaluated, space.schemes.len() * space.page_sizes.len());
+        // Every candidate is either measured or statically pruned.
+        assert_eq!(
+            a.evaluated + a.pruned,
+            space.schemes.len() * space.page_sizes.len()
+        );
+        // The legacy objective has no static bound: fully exhaustive.
+        let legacy = search_with(&p, &space, &CountingOracle, Objective::RemoteOnly).unwrap();
+        assert_eq!(legacy.pruned, 0);
+        assert_eq!(
+            legacy.evaluated,
+            space.schemes.len() * space.page_sizes.len()
+        );
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive() {
+        for n in [128, 512] {
+            let p = skewed(n);
+            let space = SearchSpace::default();
+            let pruned = search(&p, &space, &CountingOracle).unwrap();
+            let exhaustive =
+                search_exhaustive_with(&p, &space, &CountingOracle, Objective::default()).unwrap();
+            assert_eq!(pruned.scheme, exhaustive.scheme, "n={n}");
+            assert_eq!(pruned.page_size, exhaustive.page_size, "n={n}");
+            assert_eq!(pruned.score.to_bits(), exhaustive.score.to_bits(), "n={n}");
+            assert_eq!(pruned.messages, exhaustive.messages, "n={n}");
+        }
     }
 
     #[test]
@@ -280,7 +402,9 @@ mod tests {
             "balanced winner must spread writes: {balanced:?}"
         );
         assert!(balanced.score <= legacy.remote_pct + 100.0 * (1.0 - legacy.write_balance));
-        assert_eq!(balanced.evaluated, legacy.evaluated);
+        // The balanced run may statically prune, but together with the
+        // measured points it still covers the whole space.
+        assert_eq!(balanced.evaluated + balanced.pruned, legacy.evaluated);
     }
 
     #[test]
@@ -315,6 +439,7 @@ mod tests {
             max_link_load: Some(0),
             write_balance,
             cycles: None,
+            speedup_bound: None,
         };
         assert_eq!(Objective::RemoteOnly.score(&rec(7.5, 0.1)), 7.5);
         let balanced = Objective::default();

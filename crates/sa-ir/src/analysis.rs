@@ -200,6 +200,72 @@ fn relate(write: &(Vec<i64>, i64), read: &(Vec<i64>, i64)) -> PairRelation {
     }
 }
 
+/// Exact `[min, max]` of an affine reference's *linear address* over the
+/// nest's iteration domain, or `None` if any index is indirect or the nest
+/// never iterates. Computed by enumerating the outer levels (exact even
+/// for triangular bounds) and evaluating the innermost level at its
+/// endpoints — an affine address is monotone in the innermost trip.
+///
+/// This is the footprint primitive the dependence-graph builder
+/// (`sa_lint::depgraph`) intersects pairs of references with: two affine
+/// references can only be a read-after-write pair if their address ranges
+/// overlap.
+pub fn affine_address_range(
+    program: &Program,
+    nest: &LoopNest,
+    aref: &ArrayRef,
+) -> Option<(i64, i64)> {
+    let nvars = nest.loops.len();
+    let (coeffs, offset) = linear_address_form(program, aref, nvars)?;
+    if nvars == 0 {
+        return None;
+    }
+    let inner = nvars - 1;
+    let mut range: Option<(i64, i64)> = None;
+    fn rec(
+        nest: &LoopNest,
+        depth: usize,
+        inner: usize,
+        ivs: &mut Vec<i64>,
+        coeffs: &[i64],
+        offset: i64,
+        range: &mut Option<(i64, i64)>,
+    ) {
+        if depth == inner {
+            let lv = &nest.loops[inner];
+            let trips = lv.trip_count(ivs) as i64;
+            if trips == 0 {
+                return;
+            }
+            let lo = lv.lo.eval(ivs);
+            let mut at = offset + coeffs[inner] * lo;
+            for (v, &iv) in ivs.iter().enumerate() {
+                at += coeffs[v] * iv;
+            }
+            let last = at + coeffs[inner] * lv.step * (trips - 1);
+            let (lo_a, hi_a) = (at.min(last), at.max(last));
+            *range = Some(match *range {
+                None => (lo_a, hi_a),
+                Some((l, h)) => (l.min(lo_a), h.max(hi_a)),
+            });
+            return;
+        }
+        let lv = &nest.loops[depth];
+        let lo = lv.lo.eval(ivs);
+        let hi = lv.hi.eval(ivs);
+        let mut v = lo;
+        while (lv.step > 0 && v <= hi) || (lv.step < 0 && v >= hi) {
+            ivs.push(v);
+            rec(nest, depth + 1, inner, ivs, coeffs, offset, range);
+            ivs.pop();
+            v += lv.step;
+        }
+    }
+    let mut ivs = Vec::with_capacity(inner);
+    rec(nest, 0, inner, &mut ivs, &coeffs, offset, &mut range);
+    range
+}
+
 /// Maximum trip count observed at each loop level (exact, by enumeration of
 /// the outer levels; cheap at kernel scale). Public so the static
 /// write-once verifier can bound per-level iteration spans for its

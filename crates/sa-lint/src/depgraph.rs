@@ -1,0 +1,1921 @@
+//! Static dependence graphs and the passes built on them: deadlock-freedom
+//! proofs (SA008), work/span analysis, and partition-projected speedup
+//! bounds.
+//!
+//! Single assignment makes the full producer→consumer dataflow statically
+//! derivable — the paper's core premise: every array cell has exactly one
+//! producer per generation, so read-after-write pairs are the *whole*
+//! dependence structure. Two granularities are exposed:
+//!
+//! * **Generation level** ([`DepGraph`]): nodes are array generations (the
+//!   segments between `Reinit`s) plus reduction statements; edges are
+//!   *may*-dependences between a producing and a consuming statement,
+//!   derived from affine footprint intersection (Banerjee range overlap +
+//!   GCD lattice residue via [`sa_ir::analysis`]), exact set enumeration
+//!   for statically-resolvable gathers/scatters, and a conservative
+//!   [`EdgeKind::Undecidable`] edge when an index array is runtime data.
+//!   This is the graph `sapp graph` renders, the superset the soundness
+//!   proptests check interpreter-observed RAW pairs against, and the
+//!   superset the thread runtime's observed wait edges are asserted to
+//!   fall inside ([`DepGraph::covers_wait`]).
+//! * **Instance level** (exact, by enumeration): [`summary`] computes
+//!   work, span (longest weighted path; reduction results cost a
+//!   `⌈log₂ m⌉` tree-combine) and ideal parallelism; [`project`] /
+//!   [`speedup_bound`] project the instance stream onto a concrete
+//!   `PartitionScheme` × page size, yielding per-PE serialization bounds;
+//!   [`check_deadlock`] builds the wait graph the thread runtime would
+//!   realize (data waits + per-PE execution order + reduction/reinit
+//!   barriers) and proves it acyclic or reports the cycle as SA008.
+//!
+//! ### Wait-graph model
+//!
+//! An edge `u → v` means *u cannot complete until v completes*. Three edge
+//! families mirror the thread runtime exactly:
+//!
+//! 1. **Data**: a consumer instance waits on the producer instance of every
+//!    cell it reads (reads satisfied by an initializer wait on nobody).
+//! 2. **Chain**: a PE executes its instances in program order and a remote
+//!    fetch blocks the whole PE, so each instance waits on its PE's
+//!    previous instance. Same-PE *backward* data edges are implied by
+//!    chains and dropped; cross-PE and same-PE *forward* data edges are
+//!    kept.
+//! 3. **Barrier**: reduction nests end with a collect/broadcast barrier and
+//!    `Reinit` phases are two-round barriers; a barrier waits on every
+//!    PE's last instance before it, and every PE's next instance waits on
+//!    the barrier.
+//!
+//! A cycle means the runtime deadlocks (or aborts on an undefined read
+//! along the cycle); acyclicity means any topological order — hence the
+//! I-structure runtime's data-driven order — completes. Scalar reads never
+//! block (workers read the last broadcast value), so they contribute value
+//! edges to the span DAG but not wait edges.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+use sa_ir::analysis::{affine_address_range, anchor_ref, linear_address_form, relate_forms};
+use sa_ir::index::IndexExpr;
+use sa_ir::nest::{ArrayRef, LoopNest, Stmt};
+use sa_ir::program::Phase;
+use sa_ir::{ArrayId, Expr, PairRelation, Program};
+use sa_machine::{page_of, pages_in};
+
+use crate::diag::{Code, Diagnostic, Severity, Span};
+use crate::sites::{resolve_static_addr, static_array_values, statically_resolvable};
+use crate::writeonce::fmt_ivs;
+use crate::LintConfig;
+
+/// What a generation-level graph node stands for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// One generation of an array: the segment between consecutive
+    /// `Reinit`s (generation 0 is the initial one).
+    Gen {
+        /// The array.
+        array: ArrayId,
+        /// Generation ordinal, starting at 0 and incremented per `Reinit`.
+        generation: usize,
+    },
+    /// A reduction statement (its scalar result).
+    Reduce {
+        /// `ScalarId` index of the destination slot.
+        scalar: usize,
+        /// Phase index of the nest containing the reduction.
+        phase: usize,
+        /// Statement index within the nest body.
+        stmt: usize,
+    },
+}
+
+/// A node of the generation-level dependence graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// What the node stands for.
+    pub kind: NodeKind,
+    /// Display label (`X#0`, `sum@p3/s1`).
+    pub label: String,
+}
+
+/// How a dependence edge was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Proven by exact footprint enumeration (statically-resolvable
+    /// gathers/scatters) or an identical affine form in the same nest.
+    Exact,
+    /// May-dependence from affine range overlap + GCD residue tests.
+    Affine,
+    /// At least one side resolves through a runtime-valued index array;
+    /// the edge is assumed conservatively.
+    Undecidable,
+}
+
+impl EdgeKind {
+    /// Stable lowercase name (`exact` / `affine` / `undecidable`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::Exact => "exact",
+            EdgeKind::Affine => "affine",
+            EdgeKind::Undecidable => "undecidable",
+        }
+    }
+}
+
+/// A statement location: phase index and statement index within the nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SiteRef {
+    /// Phase index within [`sa_ir::Program::phases`].
+    pub phase: usize,
+    /// Statement index within the nest body.
+    pub stmt: usize,
+}
+
+/// One read-after-write dependence at generation granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producing node index (the generation or reduction read from).
+    pub src: usize,
+    /// Consuming node index (the generation or reduction the reader
+    /// belongs to).
+    pub dst: usize,
+    /// The producing statement (for scalar-broadcast edges, the reduce).
+    pub writer: SiteRef,
+    /// The consuming statement.
+    pub reader: SiteRef,
+    /// Array carrying the dependence; `None` for scalar broadcasts.
+    pub array: Option<ArrayId>,
+    /// How the edge was established.
+    pub kind: EdgeKind,
+}
+
+/// The static generation-level dependence graph of a program.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// Program name (used as the DOT graph name).
+    pub name: String,
+    /// Nodes: one per generation segment (in `crate::sites` slot order:
+    /// every array's initial generation first, then one per `Reinit` in
+    /// phase order), then one per reduction statement.
+    pub nodes: Vec<Node>,
+    /// May-dependence edges, deduplicated.
+    pub edges: Vec<DepEdge>,
+}
+
+impl DepGraph {
+    /// Build the graph for `program`.
+    pub fn build(program: &Program) -> DepGraph {
+        build_depgraph(program)
+    }
+
+    /// Node index of `array`'s generation `generation`, if it exists.
+    pub fn gen_node(&self, array: ArrayId, generation: usize) -> Option<usize> {
+        self.nodes.iter().position(|n| {
+            matches!(&n.kind, NodeKind::Gen { array: a, generation: g }
+                     if *a == array && *g == generation)
+        })
+    }
+
+    /// True if the graph contains an edge covering a runtime wait observed
+    /// at statement (`phase`, `stmt`) on generation `generation` of
+    /// `array` — the debug-mode runtime cross-check.
+    pub fn covers_wait(
+        &self,
+        phase: usize,
+        stmt: usize,
+        array: ArrayId,
+        generation: usize,
+    ) -> bool {
+        let Some(src) = self.gen_node(array, generation) else {
+            return false;
+        };
+        self.edges.iter().any(|e| {
+            e.src == src
+                && e.array == Some(array)
+                && e.reader.phase == phase
+                && e.reader.stmt == stmt
+        })
+    }
+
+    /// Render as Graphviz DOT. Edge style encodes the kind: solid =
+    /// exact, dashed = affine (may), dotted = undecidable.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("digraph \"{}\" {{\n", esc(&self.name)));
+        s.push_str("  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = match n.kind {
+                NodeKind::Gen { .. } => "box",
+                NodeKind::Reduce { .. } => "ellipse",
+            };
+            s.push_str(&format!(
+                "  n{i} [label=\"{}\", shape={shape}];\n",
+                esc(&n.label)
+            ));
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                EdgeKind::Exact => "solid",
+                EdgeKind::Affine => "dashed",
+                EdgeKind::Undecidable => "dotted",
+            };
+            s.push_str(&format!(
+                "  n{} -> n{} [label=\"p{}/s{} -> p{}/s{}\", style={style}];\n",
+                e.src, e.dst, e.writer.phase, e.writer.stmt, e.reader.phase, e.reader.stmt
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Render as JSON (hand-rolled; the workspace carries no serde). The
+    /// optional `summary` embeds work/span/parallelism when available.
+    pub fn to_json(&self, program: &Program, summary: Option<&GraphSummary>) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"name\":\"{}\",\"nodes\":[", esc(&self.name)));
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            match &n.kind {
+                NodeKind::Gen { array, generation } => s.push_str(&format!(
+                    "{{\"id\":{i},\"kind\":\"gen\",\"array\":\"{}\",\"generation\":{generation}}}",
+                    esc(&program.array(*array).name)
+                )),
+                NodeKind::Reduce {
+                    scalar,
+                    phase,
+                    stmt,
+                } => s.push_str(&format!(
+                    "{{\"id\":{i},\"kind\":\"reduce\",\"scalar\":\"{}\",\"phase\":{phase},\"stmt\":{stmt}}}",
+                    esc(&program.scalars[*scalar])
+                )),
+            }
+        }
+        s.push_str("],\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let arr = match e.array {
+                Some(a) => format!("\"{}\"", esc(&program.array(a).name)),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "{{\"src\":{},\"dst\":{},\"kind\":\"{}\",\"array\":{arr},\
+                 \"writer\":{{\"phase\":{},\"stmt\":{}}},\"reader\":{{\"phase\":{},\"stmt\":{}}}}}",
+                e.src,
+                e.dst,
+                e.kind.name(),
+                e.writer.phase,
+                e.writer.stmt,
+                e.reader.phase,
+                e.reader.stmt
+            ));
+        }
+        s.push(']');
+        if let Some(sum) = summary {
+            s.push_str(&format!(
+                ",\"work\":{},\"span\":{},\"parallelism\":{:.3}",
+                sum.work, sum.span, sum.parallelism
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn esc(v: &str) -> String {
+    let mut s = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s
+}
+
+/// Collect every `Expr::Scalar` read in evaluation order.
+fn scalar_reads(e: &Expr, out: &mut Vec<usize>) {
+    match e {
+        Expr::Scalar(s) => out.push(s.0),
+        Expr::Unary(_, a) => scalar_reads(a, out),
+        Expr::Binary(_, a, b) => {
+            scalar_reads(a, out);
+            scalar_reads(b, out);
+        }
+        Expr::Const(_) | Expr::Param(_) | Expr::LoopVar(_) | Expr::Read(_) => {}
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn vec_gcd(coeffs: &[i64]) -> u64 {
+    coeffs.iter().fold(0u64, |g, &c| gcd(g, c.unsigned_abs()))
+}
+
+/// All array reads a statement performs, including the affine reads of
+/// index arrays hidden inside indirect indices (of both RHS reads and an
+/// assign target). Synthesized refs are owned; plain refs are cloned.
+fn all_reads(stmt: &Stmt) -> Vec<ArrayRef> {
+    let mut out = Vec::new();
+    let push_index_reads = |r: &ArrayRef, out: &mut Vec<ArrayRef>| {
+        for ix in &r.indices {
+            if let IndexExpr::Indirect { base, pos, .. } = ix {
+                out.push(ArrayRef::new(*base, vec![IndexExpr::Affine(pos.clone())]));
+            }
+        }
+    };
+    for r in stmt.reads() {
+        out.push(r.clone());
+        push_index_reads(r, &mut out);
+    }
+    if let Some(t) = stmt.write_target() {
+        push_index_reads(t, &mut out);
+    }
+    out
+}
+
+type FootSet = Option<Rc<HashSet<usize>>>;
+
+/// Exact address set of `aref` over `nest`'s domain, seen through static
+/// index arrays; iterations that fail to resolve (the runtime would abort
+/// there) are skipped. `None` if some indirection is runtime data.
+fn footprint_set(
+    program: &Program,
+    statics: &[Option<Vec<f64>>],
+    nest: &LoopNest,
+    aref: &ArrayRef,
+) -> FootSet {
+    if !statically_resolvable(aref, statics) {
+        return None;
+    }
+    let mut set = HashSet::new();
+    nest.for_each_iteration(|ivs| {
+        if let Ok(addr) = resolve_static_addr(program, statics, aref, ivs) {
+            set.insert(addr);
+        }
+    });
+    Some(Rc::new(set))
+}
+
+/// Decide whether (write site, read ref) can be a RAW pair, and how.
+#[allow(clippy::too_many_arguments)]
+fn dep_between(
+    program: &Program,
+    w_nest: &LoopNest,
+    w_phase: usize,
+    w_target: &ArrayRef,
+    r_nest: &LoopNest,
+    r_phase: usize,
+    aref: &ArrayRef,
+    w_set: &FootSet,
+    r_set: &FootSet,
+) -> Option<EdgeKind> {
+    let w_ind = w_target.has_indirection();
+    let r_ind = aref.has_indirection();
+    if !w_ind && !r_ind {
+        // Affine × affine: Banerjee range overlap + GCD lattice residue.
+        let (wlo, whi) = affine_address_range(program, w_nest, w_target)?;
+        let (rlo, rhi) = affine_address_range(program, r_nest, aref)?;
+        if whi < rlo || rhi < wlo {
+            return None;
+        }
+        let (wc, wo) = linear_address_form(program, w_target, w_nest.loops.len())?;
+        let (rc, ro) = linear_address_form(program, aref, r_nest.loops.len())?;
+        let g = gcd(vec_gcd(&wc), vec_gcd(&rc));
+        if g == 0 {
+            if wo != ro {
+                return None;
+            }
+        } else if (wo - ro).rem_euclid(g as i64) != 0 {
+            return None;
+        }
+        if w_phase == r_phase
+            && matches!(relate_forms(&(wc, wo), &(rc, ro)), PairRelation::Identical)
+        {
+            return Some(EdgeKind::Exact);
+        }
+        Some(EdgeKind::Affine)
+    } else {
+        match (w_set, r_set) {
+            (Some(ws), Some(rs)) => {
+                let (small, big) = if ws.len() <= rs.len() {
+                    (ws, rs)
+                } else {
+                    (rs, ws)
+                };
+                if small.iter().any(|a| big.contains(a)) {
+                    Some(EdgeKind::Exact)
+                } else {
+                    None
+                }
+            }
+            // Runtime-valued index array: conservatively assume the pair.
+            _ => Some(EdgeKind::Undecidable),
+        }
+    }
+}
+
+fn build_depgraph(program: &Program) -> DepGraph {
+    let statics = static_array_values(program);
+    let n_arrays = program.arrays.len();
+
+    // Generation nodes, in sites::segments slot order, plus per-slot write
+    // site lists (recomputed here so slot indices and node indices agree).
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut gen_count = vec![1usize; n_arrays];
+    for (a, decl) in program.arrays.iter().enumerate() {
+        nodes.push(Node {
+            kind: NodeKind::Gen {
+                array: ArrayId(a),
+                generation: 0,
+            },
+            label: format!("{}#0", decl.name),
+        });
+    }
+    let mut slot: Vec<usize> = (0..n_arrays).collect();
+    // Per-slot writes: (phase, stmt, nest, target).
+    let mut writes: Vec<Vec<(usize, usize, &LoopNest, &ArrayRef)>> = vec![Vec::new(); n_arrays];
+    // Reduce nodes + per-scalar site lists, and the slot live at each phase
+    // (snapshotted so the edge pass can look it up per reading phase).
+    let mut slot_at_phase: Vec<Vec<usize>> = Vec::with_capacity(program.phases.len());
+    let mut reduce_node: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut reduce_sites: Vec<Vec<(usize, usize)>> = vec![Vec::new(); program.scalars.len()];
+    for (pidx, phase) in program.phases.iter().enumerate() {
+        slot_at_phase.push(slot.clone());
+        match phase {
+            Phase::Reinit(id) => {
+                let g = gen_count[id.0];
+                gen_count[id.0] += 1;
+                nodes.push(Node {
+                    kind: NodeKind::Gen {
+                        array: *id,
+                        generation: g,
+                    },
+                    label: format!("{}#{g}", program.arrays[id.0].name),
+                });
+                slot[id.0] = nodes.len() - 1;
+                writes.push(Vec::new());
+            }
+            Phase::Loop(nest) => {
+                for (sidx, stmt) in nest.body.iter().enumerate() {
+                    match stmt {
+                        Stmt::Assign { target, .. } => {
+                            writes[slot[target.array.0]].push((pidx, sidx, nest, target));
+                        }
+                        Stmt::Reduce { target, .. } => {
+                            reduce_sites[target.0].push((pidx, sidx));
+                            reduce_node.insert((pidx, sidx), usize::MAX); // patched below
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Append reduce nodes in phase order and patch the map.
+    let mut reduce_keys: Vec<(usize, usize)> = reduce_node.keys().copied().collect();
+    reduce_keys.sort_unstable();
+    for (pidx, sidx) in reduce_keys {
+        if let Phase::Loop(nest) = &program.phases[pidx] {
+            if let Stmt::Reduce { target, .. } = &nest.body[sidx] {
+                nodes.push(Node {
+                    kind: NodeKind::Reduce {
+                        scalar: target.0,
+                        phase: pidx,
+                        stmt: sidx,
+                    },
+                    label: format!("{}@p{pidx}/s{sidx}", program.scalars[target.0]),
+                });
+                reduce_node.insert((pidx, sidx), nodes.len() - 1);
+            }
+        }
+    }
+
+    // Edge pass.
+    let mut edges: Vec<DepEdge> = Vec::new();
+    let mut seen: HashSet<(usize, usize, SiteRef, SiteRef, Option<ArrayId>)> = HashSet::new();
+    let mut foot_memo: HashMap<(usize, usize, usize), FootSet> = HashMap::new();
+    for (pidx, phase) in program.phases.iter().enumerate() {
+        let Phase::Loop(nest) = phase else { continue };
+        let live = &slot_at_phase[pidx];
+        for (sidx, stmt) in nest.body.iter().enumerate() {
+            let reader = SiteRef {
+                phase: pidx,
+                stmt: sidx,
+            };
+            let dst = match stmt {
+                Stmt::Assign { target, .. } => live[target.array.0],
+                Stmt::Reduce { .. } => reduce_node[&(pidx, sidx)],
+            };
+            for (ridx, aref) in all_reads(stmt).iter().enumerate() {
+                let seg = live[aref.array.0];
+                if writes[seg].is_empty() {
+                    continue;
+                }
+                let r_set = foot_memo
+                    .entry((pidx, sidx, ridx + 1))
+                    .or_insert_with(|| {
+                        if aref.has_indirection() {
+                            footprint_set(program, &statics, nest, aref)
+                        } else {
+                            None
+                        }
+                    })
+                    .clone();
+                for &(wp, ws, w_nest, w_target) in &writes[seg] {
+                    let w_set = foot_memo
+                        .entry((wp, ws, 0))
+                        .or_insert_with(|| {
+                            if w_target.has_indirection() {
+                                footprint_set(program, &statics, w_nest, w_target)
+                            } else {
+                                None
+                            }
+                        })
+                        .clone();
+                    // For mixed affine × indirect pairs the affine side
+                    // needs a set too (exact intersection).
+                    let (w_set, r_set) = if aref.has_indirection() || w_target.has_indirection() {
+                        let ws2 = if w_set.is_none() && !w_target.has_indirection() {
+                            footprint_set(program, &statics, w_nest, w_target)
+                        } else {
+                            w_set.clone()
+                        };
+                        let rs2 = if r_set.is_none() && !aref.has_indirection() {
+                            footprint_set(program, &statics, nest, aref)
+                        } else {
+                            r_set.clone()
+                        };
+                        (ws2, rs2)
+                    } else {
+                        (None, None)
+                    };
+                    if let Some(kind) = dep_between(
+                        program, w_nest, wp, w_target, nest, pidx, aref, &w_set, &r_set,
+                    ) {
+                        let writer = SiteRef {
+                            phase: wp,
+                            stmt: ws,
+                        };
+                        let key = (seg, dst, writer, reader, Some(aref.array));
+                        if seen.insert(key) {
+                            edges.push(DepEdge {
+                                src: seg,
+                                dst,
+                                writer,
+                                reader,
+                                array: Some(aref.array),
+                                kind,
+                            });
+                        }
+                    }
+                }
+            }
+            // Scalar broadcasts: reduce result → consumer.
+            let mut sids = Vec::new();
+            scalar_reads(stmt.value(), &mut sids);
+            for sid in sids {
+                let Some(&(wp, ws)) = reduce_sites
+                    .get(sid)
+                    .and_then(|sites| sites.iter().rev().find(|(p, _)| *p < pidx))
+                else {
+                    continue;
+                };
+                let src = reduce_node[&(wp, ws)];
+                let writer = SiteRef {
+                    phase: wp,
+                    stmt: ws,
+                };
+                let key = (src, dst, writer, reader, None);
+                if seen.insert(key) {
+                    edges.push(DepEdge {
+                        src,
+                        dst,
+                        writer,
+                        reader,
+                        array: None,
+                        kind: EdgeKind::Exact,
+                    });
+                }
+            }
+        }
+    }
+
+    DepGraph {
+        name: program.name.clone(),
+        nodes,
+        edges,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instance level
+// ---------------------------------------------------------------------------
+
+/// Why exact instance-level analysis is unavailable for a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceError {
+    /// A gather/scatter resolves through a runtime-valued index array.
+    RuntimeIndirection(ArrayId),
+    /// A reference failed static resolution (out of bounds or an undefined
+    /// index-array prefix) — the executors would abort on it.
+    Unresolvable(ArrayId),
+    /// The instance graph exceeds the `u32` id space.
+    TooLarge,
+    /// The value dependence graph itself is cyclic (an instance
+    /// transitively reads its own output); span is undefined.
+    Cyclic,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::RuntimeIndirection(_) => {
+                write!(f, "indirection through a runtime-valued index array")
+            }
+            InstanceError::Unresolvable(_) => {
+                write!(f, "a reference fails static address resolution")
+            }
+            InstanceError::TooLarge => write!(f, "instance graph exceeds the u32 id space"),
+            InstanceError::Cyclic => write!(f, "the value dependence graph is cyclic"),
+        }
+    }
+}
+
+/// Work/span/ideal-parallelism summary of the instance-level value DAG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphSummary {
+    /// Total statement instances (unit cost each; reduction tree combines
+    /// are charged to span only).
+    pub work: u64,
+    /// Longest weighted path: instances weigh 1, a reduction result weighs
+    /// `⌈log₂ m⌉` for `m` contributions (tree combine).
+    pub span: u64,
+    /// `work / span` (1.0 for empty programs).
+    pub parallelism: f64,
+}
+
+fn err_array(e: InstanceError) -> Option<ArrayId> {
+    match e {
+        InstanceError::RuntimeIndirection(a) | InstanceError::Unresolvable(a) => Some(a),
+        _ => None,
+    }
+}
+
+/// Reject programs whose indirections cannot be seen through statically.
+fn check_static(program: &Program, statics: &[Option<Vec<f64>>]) -> Result<(), InstanceError> {
+    for phase in &program.phases {
+        let Phase::Loop(nest) = phase else { continue };
+        for stmt in &nest.body {
+            let check = |r: &ArrayRef| -> Result<(), InstanceError> {
+                for ix in &r.indices {
+                    if let IndexExpr::Indirect { base, .. } = ix {
+                        if statics[base.0].is_none() {
+                            return Err(InstanceError::RuntimeIndirection(*base));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            for r in stmt.reads() {
+                check(r)?;
+            }
+            if let Some(t) = stmt.write_target() {
+                check(t)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Per-statement static classification shared by the instance walks.
+struct StmtClass<'p> {
+    stmt: &'p Stmt,
+    reads: Vec<&'p ArrayRef>,
+    sreads: Vec<usize>,
+    /// `Some(aref)` = anchored (assign target or reduce first read);
+    /// `None` = anchorless, placed round-robin.
+    anchor: Option<&'p ArrayRef>,
+    /// Index among the nest's anchorless statements (when anchorless).
+    rr_q: usize,
+}
+
+fn classify_nest(nest: &LoopNest) -> (Vec<StmtClass<'_>>, usize) {
+    let mut out = Vec::with_capacity(nest.body.len());
+    let mut a_cnt = 0usize;
+    for stmt in &nest.body {
+        let anchor = anchor_ref(stmt);
+        let rr_q = if anchor.is_none() {
+            a_cnt += 1;
+            a_cnt - 1
+        } else {
+            0
+        };
+        let mut sreads = Vec::new();
+        scalar_reads(stmt.value(), &mut sreads);
+        out.push(StmtClass {
+            stmt,
+            reads: stmt.reads(),
+            sreads,
+            anchor,
+            rr_q,
+        });
+    }
+    (out, a_cnt)
+}
+
+fn owner_of(program: &Program, cfg: &LintConfig, array: ArrayId, addr: usize) -> usize {
+    let total_pages = pages_in(program.array(array).len(), cfg.page_size);
+    cfg.scheme
+        .owner(page_of(addr, cfg.page_size), total_pages, cfg.n_pes)
+}
+
+/// Compute work and span of the instance-level value DAG.
+///
+/// Forward deferrals make program order differ from topological order, so
+/// depths come from a Kahn longest-path pass over the materialized DAG.
+pub fn summary(program: &Program) -> Result<GraphSummary, InstanceError> {
+    let statics = static_array_values(program);
+    check_static(program, &statics)?;
+
+    // Reduce-site prepass: collector k per (phase, stmt), per-scalar lists.
+    let mut collector_of: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut sites_of_scalar: Vec<Vec<(usize, usize)>> = vec![Vec::new(); program.scalars.len()];
+    for (pidx, phase) in program.phases.iter().enumerate() {
+        let Phase::Loop(nest) = phase else { continue };
+        for (sidx, stmt) in nest.body.iter().enumerate() {
+            if let Stmt::Reduce { target, .. } = stmt {
+                collector_of.insert((pidx, sidx), collector_of.len());
+                sites_of_scalar[target.0].push((pidx, sidx));
+            }
+        }
+    }
+    let n_collectors = collector_of.len();
+
+    let mut writers: Vec<Vec<u32>> = program.arrays.iter().map(|a| vec![NONE; a.len()]).collect();
+    let mut init_cov: Vec<usize> = program
+        .arrays
+        .iter()
+        .map(|a| a.init.defined_len(a.len()))
+        .collect();
+    // Forward deferrals: value edges discovered when the write arrives.
+    let mut pending: Vec<HashMap<usize, Vec<u32>>> = vec![HashMap::new(); program.arrays.len()];
+    let mut edges: Vec<(u32, u32)> = Vec::new(); // (consumer, producer) — instance ids
+    let mut cedges: Vec<(u32, u32)> = Vec::new(); // (collector k, reduce instance)
+    let mut sedges: Vec<(u32, u32)> = Vec::new(); // (instance, collector k)
+    let mut contribs: Vec<u64> = vec![0; n_collectors];
+    let mut next: usize = 0;
+    let mut err: Option<InstanceError> = None;
+
+    for (pidx, phase) in program.phases.iter().enumerate() {
+        match phase {
+            Phase::Reinit(id) => {
+                // A fresh generation: prior writers can no longer satisfy
+                // reads of this array, old dangling reads never will be,
+                // and reinit clears every definedness tag.
+                writers[id.0] = vec![NONE; program.array(*id).len()];
+                pending[id.0].clear();
+                init_cov[id.0] = 0;
+            }
+            Phase::Loop(nest) => {
+                let (classes, _) = classify_nest(nest);
+                // Scalar producer per read, resolved once per stmt: the
+                // last reduce site strictly before this phase.
+                let producer_k: Vec<Vec<usize>> = classes
+                    .iter()
+                    .map(|c| {
+                        c.sreads
+                            .iter()
+                            .filter_map(|&sid| {
+                                sites_of_scalar[sid]
+                                    .iter()
+                                    .rev()
+                                    .find(|(p, _)| *p < pidx)
+                                    .map(|site| collector_of[site])
+                            })
+                            .collect()
+                    })
+                    .collect();
+                nest.for_each_iteration(|ivs| {
+                    if err.is_some() {
+                        return;
+                    }
+                    for (sidx, c) in classes.iter().enumerate() {
+                        let id = next;
+                        next += 1;
+                        if id >= NONE as usize - 1 {
+                            err = Some(InstanceError::TooLarge);
+                            return;
+                        }
+                        for r in &c.reads {
+                            match resolve_static_addr(program, &statics, r, ivs) {
+                                Ok(addr) => {
+                                    let w = writers[r.array.0][addr];
+                                    if w != NONE {
+                                        edges.push((id as u32, w));
+                                    } else if addr >= init_cov[r.array.0] {
+                                        pending[r.array.0].entry(addr).or_default().push(id as u32);
+                                    }
+                                }
+                                Err(_) => {
+                                    err = Some(InstanceError::Unresolvable(r.array));
+                                    return;
+                                }
+                            }
+                        }
+                        for &k in &producer_k[sidx] {
+                            sedges.push((id as u32, k as u32));
+                        }
+                        match c.stmt {
+                            Stmt::Assign { target, .. } => {
+                                match resolve_static_addr(program, &statics, target, ivs) {
+                                    Ok(addr) => {
+                                        writers[target.array.0][addr] = id as u32;
+                                        if let Some(waiters) = pending[target.array.0].remove(&addr)
+                                        {
+                                            for cid in waiters {
+                                                edges.push((cid, id as u32));
+                                            }
+                                        }
+                                    }
+                                    Err(_) => {
+                                        err = Some(InstanceError::Unresolvable(target.array));
+                                        return;
+                                    }
+                                }
+                            }
+                            Stmt::Reduce { .. } => {
+                                let k = collector_of[&(pidx, sidx)];
+                                cedges.push((k as u32, id as u32));
+                                contribs[k] += 1;
+                            }
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    let n = next;
+    let total = n + n_collectors;
+    if total == 0 {
+        return Ok(GraphSummary {
+            work: 0,
+            span: 0,
+            parallelism: 1.0,
+        });
+    }
+    // Unify node ids: instances 0..n, collectors n..n+K.
+    let mut all_edges: Vec<(u32, u32)> = edges;
+    all_edges.extend(cedges.iter().map(|&(k, i)| ((n + k as usize) as u32, i)));
+    all_edges.extend(sedges.iter().map(|&(i, k)| (i, (n + k as usize) as u32)));
+    let mut weight = vec![1u64; total];
+    for (k, &m) in contribs.iter().enumerate() {
+        weight[n + k] = ceil_log2(m.max(1));
+    }
+
+    // Kahn longest path (producer → consumer CSR).
+    let mut out_count = vec![0u32; total];
+    let mut indeg = vec![0u32; total];
+    for &(c, p) in &all_edges {
+        out_count[p as usize] += 1;
+        indeg[c as usize] += 1;
+    }
+    let mut start = vec![0usize; total + 1];
+    for i in 0..total {
+        start[i + 1] = start[i] + out_count[i] as usize;
+    }
+    let mut fill = start.clone();
+    let mut csr = vec![0u32; all_edges.len()];
+    for &(c, p) in &all_edges {
+        csr[fill[p as usize]] = c;
+        fill[p as usize] += 1;
+    }
+    let mut depth: Vec<u64> = weight.clone();
+    let mut queue: Vec<u32> = (0..total as u32)
+        .filter(|&i| indeg[i as usize] == 0)
+        .collect();
+    let mut processed = 0usize;
+    while let Some(x) = queue.pop() {
+        processed += 1;
+        let xi = x as usize;
+        for &c in &csr[start[xi]..start[xi + 1]] {
+            let ci = c as usize;
+            let cand = depth[xi] + weight[ci];
+            if cand > depth[ci] {
+                depth[ci] = cand;
+            }
+            indeg[ci] -= 1;
+            if indeg[ci] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    if processed < total {
+        return Err(InstanceError::Cyclic);
+    }
+    let span = depth.iter().copied().max().unwrap_or(0);
+    let work = n as u64;
+    let parallelism = if span == 0 {
+        1.0
+    } else {
+        work as f64 / span as f64
+    };
+    Ok(GraphSummary {
+        work,
+        span,
+        parallelism,
+    })
+}
+
+fn ceil_log2(m: u64) -> u64 {
+    if m <= 1 {
+        0
+    } else {
+        (64 - (m - 1).leading_zeros()) as u64
+    }
+}
+
+/// Per-PE projection of the instance stream onto a partition config.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    /// Assign instances per owning PE — exactly the counting engines'
+    /// `Stats::writes_per_pe` (owner-computes places each assignment on
+    /// the PE owning its target element).
+    pub writes_per_pe: Vec<u64>,
+    /// All statement instances per executing PE (assigns at their target's
+    /// owner, reductions at their first read's owner, anchorless
+    /// statements round-robin) — the serialization bound.
+    pub instances_per_pe: Vec<u64>,
+}
+
+/// Project the instance stream onto `cfg`, mirroring the communication
+/// estimator's screening rules exactly (including the global round-robin
+/// counter for anchorless statements).
+pub fn project(program: &Program, cfg: &LintConfig) -> Result<Projection, InstanceError> {
+    let statics = static_array_values(program);
+    check_static(program, &statics)?;
+    let mut writes_per_pe = vec![0u64; cfg.n_pes];
+    let mut instances_per_pe = vec![0u64; cfg.n_pes];
+    let mut rr: usize = 0;
+    let mut err: Option<InstanceError> = None;
+    for phase in &program.phases {
+        let Phase::Loop(nest) = phase else { continue };
+        let (classes, a_cnt) = classify_nest(nest);
+        let mut iter_idx = 0usize;
+        nest.for_each_iteration(|ivs| {
+            if err.is_some() {
+                return;
+            }
+            for c in &classes {
+                let pe = match c.anchor {
+                    Some(aref) => match resolve_static_addr(program, &statics, aref, ivs) {
+                        Ok(addr) => owner_of(program, cfg, aref.array, addr),
+                        Err(_) => {
+                            err = Some(InstanceError::Unresolvable(aref.array));
+                            return;
+                        }
+                    },
+                    None => (rr + iter_idx * a_cnt + c.rr_q) % cfg.n_pes,
+                };
+                instances_per_pe[pe] += 1;
+                if matches!(c.stmt, Stmt::Assign { .. }) {
+                    writes_per_pe[pe] += 1;
+                }
+            }
+            iter_idx += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        rr += iter_idx * a_cnt;
+    }
+    Ok(Projection {
+        writes_per_pe,
+        instances_per_pe,
+    })
+}
+
+/// Static per-PE write counts under `cfg`, or `None` when the program is
+/// not statically projectable. Certified identical to the counting
+/// engines' `writes_per_pe`, and the basis of search pruning's imbalance
+/// lower bound.
+pub fn static_writes_per_pe(program: &Program, cfg: &LintConfig) -> Option<Vec<u64>> {
+    project(program, cfg).ok().map(|p| p.writes_per_pe)
+}
+
+/// Certified static upper bound on parallel speedup under `cfg`:
+/// `work / max(span, max_p instances_p)` — no execution can beat both the
+/// critical path and the busiest PE's serial workload. `None` when the
+/// program is not statically analyzable.
+pub fn speedup_bound(program: &Program, cfg: &LintConfig) -> Option<f64> {
+    let sum = summary(program).ok()?;
+    let proj = project(program, cfg).ok()?;
+    if sum.work == 0 {
+        return Some(1.0);
+    }
+    let serial = proj.instances_per_pe.iter().copied().max().unwrap_or(0);
+    let denom = sum.span.max(serial).max(1);
+    Some(sum.work as f64 / denom as f64)
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock-freedom (SA008)
+// ---------------------------------------------------------------------------
+
+/// Why one wait-graph node waits on another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Why {
+    /// The consumer reads `addr` of `array` produced by the waitee.
+    Data { array: ArrayId, addr: u32 },
+    /// Same-PE program order (a blocked PE executes nothing else).
+    Chain,
+    /// A reduction or reinit barrier.
+    Barrier,
+}
+
+/// A compact wait-graph node: a participating instance or a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WgNode {
+    Instance(u32),
+    /// Barrier index (into the barrier list).
+    Barrier(u32),
+}
+
+struct WaitGraph {
+    nodes: Vec<WgNode>,
+    adj: Vec<Vec<(u32, Why)>>,
+    /// Phase index per barrier, for witness text.
+    barrier_phase: Vec<usize>,
+}
+
+/// Instance enumeration for the wait graph: instance count, the PE each
+/// instance runs on, wait-relevant data edges `(consumer, producer, array,
+/// addr)`, and barrier watermarks `(instance id, phase)`.
+type WaitInstances = (
+    usize,
+    Vec<u16>,
+    Vec<(u32, u32, ArrayId, u32)>,
+    Vec<(u32, usize)>,
+);
+
+/// Enumerate instances under `cfg`, keeping only wait-relevant data edges
+/// (cross-PE, or same-PE forward — same-PE backward waits are implied by
+/// chain order), plus per-instance PEs and barrier watermarks.
+fn wait_edges(
+    program: &Program,
+    cfg: &LintConfig,
+    statics: &[Option<Vec<f64>>],
+) -> Result<WaitInstances, InstanceError> {
+    check_static(program, statics)?;
+    if cfg.n_pes == 0 || cfg.n_pes > u16::MAX as usize {
+        return Err(InstanceError::TooLarge);
+    }
+    let mut writers: Vec<Vec<u32>> = program.arrays.iter().map(|a| vec![NONE; a.len()]).collect();
+    // Addresses the initializer already defines: reads of them never wait.
+    let mut init_cov: Vec<usize> = program
+        .arrays
+        .iter()
+        .map(|a| a.init.defined_len(a.len()))
+        .collect();
+    // Forward deferrals: reads of cells nobody has written yet wait for
+    // the eventual producer, discovered when the write is enumerated.
+    let mut pending: Vec<HashMap<usize, Vec<u32>>> = vec![HashMap::new(); program.arrays.len()];
+    let mut pe_of: Vec<u16> = Vec::new();
+    let mut data: Vec<(u32, u32, ArrayId, u32)> = Vec::new();
+    let mut barriers: Vec<(u32, usize)> = Vec::new();
+    let mut next: usize = 0;
+    let mut rr: usize = 0;
+    let mut err: Option<InstanceError> = None;
+
+    for (pidx, phase) in program.phases.iter().enumerate() {
+        match phase {
+            Phase::Reinit(id) => {
+                barriers.push((next as u32, pidx));
+                writers[id.0] = vec![NONE; program.array(*id).len()];
+                // Reads the old generation never satisfied are dangling
+                // deferrals (SA004's domain), not wait edges into the new
+                // generation; reinit also clears every definedness tag.
+                pending[id.0].clear();
+                init_cov[id.0] = 0;
+            }
+            Phase::Loop(nest) => {
+                let (classes, a_cnt) = classify_nest(nest);
+                let has_reduce = classes
+                    .iter()
+                    .any(|c| matches!(c.stmt, Stmt::Reduce { .. }));
+                let mut iter_idx = 0usize;
+                nest.for_each_iteration(|ivs| {
+                    if err.is_some() {
+                        return;
+                    }
+                    for c in &classes {
+                        let id = next;
+                        next += 1;
+                        if id >= NONE as usize - 1 {
+                            err = Some(InstanceError::TooLarge);
+                            return;
+                        }
+                        let pe = match c.anchor {
+                            Some(aref) => match resolve_static_addr(program, statics, aref, ivs) {
+                                Ok(addr) => owner_of(program, cfg, aref.array, addr),
+                                Err(_) => {
+                                    err = Some(InstanceError::Unresolvable(aref.array));
+                                    return;
+                                }
+                            },
+                            None => (rr + iter_idx * a_cnt + c.rr_q) % cfg.n_pes,
+                        };
+                        pe_of.push(pe as u16);
+                        for r in &c.reads {
+                            match resolve_static_addr(program, statics, r, ivs) {
+                                Ok(addr) => {
+                                    let w = writers[r.array.0][addr];
+                                    if w != NONE {
+                                        // Same-PE backward waits are implied
+                                        // by chain order; keep cross-PE ones.
+                                        if pe_of[w as usize] != pe as u16 {
+                                            data.push((id as u32, w, r.array, addr as u32));
+                                        }
+                                    } else if addr >= init_cov[r.array.0] {
+                                        pending[r.array.0].entry(addr).or_default().push(id as u32);
+                                    }
+                                }
+                                Err(_) => {
+                                    err = Some(InstanceError::Unresolvable(r.array));
+                                    return;
+                                }
+                            }
+                        }
+                        if let Stmt::Assign { target, .. } = c.stmt {
+                            match resolve_static_addr(program, statics, target, ivs) {
+                                Ok(addr) => {
+                                    writers[target.array.0][addr] = id as u32;
+                                    // Forward waits are never chain-implied
+                                    // (producer id > consumer id): keep all.
+                                    if let Some(waiters) = pending[target.array.0].remove(&addr) {
+                                        for cid in waiters {
+                                            data.push((cid, id as u32, target.array, addr as u32));
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    err = Some(InstanceError::Unresolvable(target.array));
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    iter_idx += 1;
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                rr += iter_idx * a_cnt;
+                if has_reduce {
+                    barriers.push((next as u32, pidx));
+                }
+            }
+        }
+    }
+    Ok((next, pe_of, data, barriers))
+}
+
+/// Build the compact wait graph: participating instances + barriers, with
+/// data, chain and barrier edges.
+fn build_wait_graph(
+    n_pes: usize,
+    pe_of: &[u16],
+    data: &[(u32, u32, ArrayId, u32)],
+    barriers: &[(u32, usize)],
+) -> WaitGraph {
+    let mut participating: Vec<u32> = data.iter().flat_map(|&(c, p, _, _)| [c, p]).collect();
+    participating.sort_unstable();
+    participating.dedup();
+    let compact = |id: u32| participating.binary_search(&id).unwrap() as u32;
+    let np = participating.len();
+    let mut nodes: Vec<WgNode> = participating.iter().map(|&i| WgNode::Instance(i)).collect();
+    let mut barrier_phase = Vec::with_capacity(barriers.len());
+    for (bi, &(_, phase)) in barriers.iter().enumerate() {
+        nodes.push(WgNode::Barrier(bi as u32));
+        barrier_phase.push(phase);
+    }
+    let mut adj: Vec<Vec<(u32, Why)>> = vec![Vec::new(); nodes.len()];
+    for &(c, p, array, addr) in data {
+        adj[compact(c) as usize].push((compact(p), Why::Data { array, addr }));
+    }
+    // Chains and barrier edges, in global instance order.
+    let mut last: Vec<Option<u32>> = vec![None; n_pes];
+    let mut bi = 0usize;
+    for (ci, &inst) in participating.iter().enumerate() {
+        while bi < barriers.len() && barriers[bi].0 <= inst {
+            let bnode = (np + bi) as u32;
+            for l in last.iter_mut() {
+                if let Some(prev) = *l {
+                    adj[bnode as usize].push((prev, Why::Barrier));
+                }
+                *l = Some(bnode);
+            }
+            bi += 1;
+        }
+        let pe = pe_of[inst as usize] as usize;
+        if let Some(prev) = last[pe] {
+            let why = match nodes[prev as usize] {
+                WgNode::Barrier(_) => Why::Barrier,
+                WgNode::Instance(_) => Why::Chain,
+            };
+            adj[ci].push((prev, why));
+        }
+        last[pe] = Some(ci as u32);
+    }
+    while bi < barriers.len() {
+        let bnode = (np + bi) as u32;
+        for l in last.iter_mut() {
+            if let Some(prev) = *l {
+                adj[bnode as usize].push((prev, Why::Barrier));
+            }
+            *l = Some(bnode);
+        }
+        bi += 1;
+    }
+    WaitGraph {
+        nodes,
+        adj,
+        barrier_phase,
+    }
+}
+
+/// Find a directed cycle; returns compact node indices in edge order
+/// (`v0 → v1 → … → vk → v0`).
+fn find_cycle(adj: &[Vec<(u32, Why)>]) -> Option<Vec<usize>> {
+    let n = adj.len();
+    let mut color = vec![0u8; n]; // 0 white, 1 grey, 2 black
+    for s in 0..n {
+        if color[s] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(s, 0)];
+        color[s] = 1;
+        while let Some(&(u, ei)) = stack.last() {
+            if ei < adj[u].len() {
+                stack.last_mut().unwrap().1 += 1;
+                let v = adj[u][ei].0 as usize;
+                match color[v] {
+                    0 => {
+                        color[v] = 1;
+                        stack.push((v, 0));
+                    }
+                    1 => {
+                        let pos = stack.iter().position(|&(x, _)| x == v).unwrap();
+                        return Some(stack[pos..].iter().map(|&(x, _)| x).collect());
+                    }
+                    _ => {}
+                }
+            } else {
+                color[u] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Human description of a set of instances: phase, stmt, nest label,
+/// formatted iteration vector. Recovered by re-enumeration (ids are dense
+/// global sequence numbers), so the main pass never stores per-instance
+/// iteration vectors.
+fn describe_instances(
+    program: &Program,
+    wanted: &HashSet<u32>,
+) -> HashMap<u32, (usize, usize, String, String)> {
+    let mut out = HashMap::new();
+    let mut next: usize = 0;
+    for (pidx, phase) in program.phases.iter().enumerate() {
+        let Phase::Loop(nest) = phase else { continue };
+        let body_len = nest.body.len();
+        nest.for_each_iteration(|ivs| {
+            if out.len() == wanted.len() {
+                next += body_len;
+                return;
+            }
+            for sidx in 0..body_len {
+                let id = next as u32;
+                next += 1;
+                if wanted.contains(&id) {
+                    out.insert(id, (pidx, sidx, nest.label.clone(), fmt_ivs(nest, ivs)));
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Prove the wait graph acyclic under `cfg`, or report the cycle as SA008
+/// (with iteration vectors and owning PEs on each hop). Programs that
+/// cannot be statically enumerated get an `Info`-severity SA008 note —
+/// deadlock-freedom is then undecidable, not disproven.
+pub fn check_deadlock(program: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let statics = static_array_values(program);
+    let enumerated = match wait_edges(program, cfg, &statics) {
+        Ok(e) => e,
+        Err(e) => {
+            let span = match err_array(e) {
+                Some(a) => Span::array(&program.array(a).name),
+                None => Span::default(),
+            };
+            return vec![Diagnostic::new(
+                Code::Sa008DeadlockCycle,
+                span,
+                format!("deadlock-freedom not statically provable: {e}"),
+            )
+            .with_severity(Severity::Info)
+            .explain(
+                "The wait graph can only be proven acyclic when every reference \
+                 resolves statically. This program's instance stream cannot be \
+                 enumerated at lint time, so the deadlock check is skipped — the \
+                 runtime may still complete normally.",
+            )];
+        }
+    };
+    let (_, pe_of, data, barriers) = enumerated;
+    let wg = build_wait_graph(cfg.n_pes, &pe_of, &data, &barriers);
+    let Some(cycle) = find_cycle(&wg.adj) else {
+        return Vec::new();
+    };
+
+    // Recover the witness: describe every instance node in the cycle.
+    let wanted: HashSet<u32> = cycle
+        .iter()
+        .filter_map(|&ni| match wg.nodes[ni] {
+            WgNode::Instance(id) => Some(id),
+            WgNode::Barrier(_) => None,
+        })
+        .collect();
+    let info = describe_instances(program, &wanted);
+    let name_node = |ni: usize| -> String {
+        match wg.nodes[ni] {
+            WgNode::Instance(id) => {
+                let pe = pe_of[id as usize];
+                match info.get(&id) {
+                    Some((p, s, label, ivs)) => {
+                        format!("`{label}`/s{s} {ivs} on PE{pe} (phase {p})")
+                    }
+                    None => format!("instance {id} on PE{pe}"),
+                }
+            }
+            WgNode::Barrier(bi) => format!("barrier(phase {})", wg.barrier_phase[bi as usize]),
+        }
+    };
+    let edge_why = |from: usize, to: usize| -> Why {
+        wg.adj[from]
+            .iter()
+            .find(|(t, _)| *t as usize == to)
+            .map_or(Why::Chain, |&(_, w)| w)
+    };
+    const MAX_HOPS: usize = 8;
+    let mut msg = format!(
+        "cyclic I-structure wait under {} x {} PEs x page {}: ",
+        cfg.scheme.name(),
+        cfg.n_pes,
+        cfg.page_size
+    );
+    let k = cycle.len();
+    for (i, &ni) in cycle.iter().take(MAX_HOPS).enumerate() {
+        let nj = cycle[(i + 1) % k];
+        let why = match edge_why(ni, nj) {
+            Why::Data { array, addr } => {
+                format!(" waits for {}[{addr}] from ", program.array(array).name)
+            }
+            Why::Chain => " waits (PE order) for ".to_string(),
+            Why::Barrier => " waits (barrier) for ".to_string(),
+        };
+        if i > 0 {
+            msg.push_str("; ");
+        }
+        msg.push_str(&name_node(ni));
+        msg.push_str(&why);
+        msg.push_str(&name_node(nj));
+    }
+    if k > MAX_HOPS {
+        msg.push_str(&format!("; ... ({} more hops)", k - MAX_HOPS));
+    }
+    msg.push_str(" (cycle closes)");
+    let span = cycle
+        .iter()
+        .find_map(|&ni| match wg.nodes[ni] {
+            WgNode::Instance(id) => info
+                .get(&id)
+                .map(|(p, s, label, _)| Span::stmt(*p, label, *s, "")),
+            WgNode::Barrier(_) => None,
+        })
+        .unwrap_or_default();
+    vec![
+        Diagnostic::new(Code::Sa008DeadlockCycle, span, msg).explain(
+            "Every hop is a wait the thread runtime would actually perform: a \
+         consumer blocking on the producer of a cell it reads, a PE's \
+         program-order execution chain, or a reduction/reinit barrier. A \
+         cycle means no instance on it can ever complete — the runtime \
+         deadlocks (or aborts on an undefined read along the cycle). \
+         Break it by repartitioning (different scheme/page size), by \
+         splitting the mutually-waiting nests, or by separating the \
+         generations with a Reinit.",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_ir::index::iv;
+    use sa_ir::{Expr, InitPattern, ProgramBuilder, ReduceOp};
+    use sa_machine::PartitionScheme;
+
+    fn cfg(n_pes: usize, page_size: usize) -> LintConfig {
+        LintConfig {
+            n_pes,
+            page_size,
+            scheme: PartitionScheme::Modulo,
+        }
+    }
+
+    /// X[k] = Y[k] (Y input): no edges, two gen nodes.
+    #[test]
+    fn input_satisfied_reads_make_no_edges() {
+        let mut b = ProgramBuilder::new("copy");
+        let x = b.output("X", &[64]);
+        let y = b.input("Y", &[64], InitPattern::Wavy);
+        b.nest("copy", &[("k", 0, 63)], |nb| {
+            let rhs = nb.read(y, [iv(0)]);
+            nb.assign(x, [iv(0)], rhs);
+        });
+        let g = DepGraph::build(&b.finish());
+        assert_eq!(g.nodes.len(), 2);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    /// Two-nest chain: X produced, then Z reads X → one affine edge.
+    #[test]
+    fn cross_nest_chain_has_one_edge() {
+        let mut b = ProgramBuilder::new("chain");
+        let x = b.output("X", &[64]);
+        let z = b.output("Z", &[64]);
+        b.nest("produce", &[("k", 0, 63)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(1.0));
+        });
+        b.nest("consume", &[("k", 0, 63)], |nb| {
+            let rhs = nb.read(x, [iv(0)]);
+            nb.assign(z, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        assert_eq!(g.edges.len(), 1);
+        let e = &g.edges[0];
+        assert_eq!(e.kind, EdgeKind::Affine);
+        assert_eq!(e.writer, SiteRef { phase: 0, stmt: 0 });
+        assert_eq!(e.reader, SiteRef { phase: 1, stmt: 0 });
+        assert_eq!(g.nodes[e.src].label, "X#0");
+        assert_eq!(g.nodes[e.dst].label, "Z#0");
+        assert!(g.covers_wait(1, 0, x, 0));
+        assert!(!g.covers_wait(0, 0, x, 0));
+    }
+
+    /// Disjoint halves: the nest writes X[32..64) while the reader reads
+    /// the init-covered X[0..32) → range test rejects the pair.
+    #[test]
+    fn disjoint_ranges_make_no_edge() {
+        let mut b = ProgramBuilder::new("disjoint");
+        let x = b.array_with(
+            "X",
+            &[64],
+            sa_ir::program::ArrayInit::Prefix {
+                pattern: InitPattern::Zero,
+                len: 32,
+            },
+        );
+        let z = b.output("Z", &[32]);
+        b.nest("hi", &[("k", 0, 31)], |nb| {
+            nb.assign(x, [iv(0).plus(32)], Expr::Const(1.0));
+        });
+        b.nest("lo", &[("k", 0, 31)], |nb| {
+            let rhs = nb.read(x, [iv(0)]);
+            nb.assign(z, [iv(0)], rhs);
+        });
+        let g = DepGraph::build(&b.finish());
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    /// GCD residue: writes even cells, reads odd cells → no edge even
+    /// though ranges overlap.
+    #[test]
+    fn gcd_residue_rejects_interleaved_footprints() {
+        let mut b = ProgramBuilder::new("parity");
+        let x = b.output("X", &[64]);
+        let z = b.output("Z", &[31]);
+        b.nest("even", &[("k", 0, 31)], |nb| {
+            nb.assign(x, [iv(0).scale(2)], Expr::Const(0.0));
+        });
+        b.nest("odd", &[("k", 0, 30)], |nb| {
+            let rhs = nb.read(x, [iv(0).scale(2).plus(1)]);
+            nb.assign(z, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        assert!(
+            g.edges.is_empty(),
+            "even writes must not alias odd reads: {:?}",
+            g.edges
+        );
+    }
+
+    /// Same-nest recurrence X[k] = X[k-1]: self-edge on the X generation.
+    #[test]
+    fn recurrence_is_a_self_edge() {
+        let mut b = ProgramBuilder::new("rec");
+        let x = b.array_with(
+            "X",
+            &[64],
+            sa_ir::program::ArrayInit::Prefix {
+                pattern: InitPattern::Const(2.0),
+                len: 1,
+            },
+        );
+        b.nest("scan", &[("k", 1, 63)], |nb| {
+            let prev = nb.read(x, [iv(0).plus(-1)]);
+            nb.assign(x, [iv(0)], prev);
+        });
+        let g = DepGraph::build(&b.finish());
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].src, g.edges[0].dst);
+    }
+
+    /// Reinit splits generations: post-reinit reads depend on the new
+    /// generation's writer, not the old one.
+    #[test]
+    fn reinit_separates_generations() {
+        let mut b = ProgramBuilder::new("gens");
+        let x = b.output("X", &[16]);
+        let z = b.output("Z", &[16]);
+        let w = b.output("W", &[16]);
+        b.nest("g0", &[("k", 0, 15)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(0.0));
+        });
+        b.nest("use0", &[("k", 0, 15)], |nb| {
+            let rhs = nb.read(x, [iv(0)]);
+            nb.assign(z, [iv(0)], rhs);
+        });
+        b.reinit(x);
+        b.nest("g1", &[("k", 0, 15)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(1.0));
+        });
+        b.nest("use1", &[("k", 0, 15)], |nb| {
+            let rhs = nb.read(x, [iv(0)]);
+            nb.assign(w, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        let g0 = g.gen_node(x, 0).unwrap();
+        let g1 = g.gen_node(x, 1).unwrap();
+        assert!(g.edges.iter().any(|e| e.src == g0 && e.reader.phase == 1));
+        assert!(g.edges.iter().any(|e| e.src == g1 && e.reader.phase == 4));
+        assert!(!g.edges.iter().any(|e| e.src == g0 && e.reader.phase == 4));
+        assert!(g.covers_wait(4, 0, x, 1));
+        assert!(!g.covers_wait(4, 0, x, 0));
+    }
+
+    /// A reduction result consumed later: scalar-broadcast edge from the
+    /// reduce node.
+    #[test]
+    fn scalar_broadcast_edge() {
+        let mut b = ProgramBuilder::new("dot");
+        let x = b.input(
+            "X",
+            &[32],
+            InitPattern::Linear {
+                base: 1.0,
+                step: 1.0,
+            },
+        );
+        let z = b.output("Z", &[32]);
+        let s = b.scalar("sum");
+        b.nest("acc", &[("k", 0, 31)], |nb| {
+            let v = nb.read(x, [iv(0)]);
+            nb.reduce(s, ReduceOp::Sum, v);
+        });
+        b.nest("scale", &[("k", 0, 31)], |nb| {
+            nb.assign(z, [iv(0)], Expr::Scalar(s));
+        });
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        let scalar_edges: Vec<_> = g.edges.iter().filter(|e| e.array.is_none()).collect();
+        assert_eq!(scalar_edges.len(), 1);
+        let e = scalar_edges[0];
+        assert!(matches!(g.nodes[e.src].kind, NodeKind::Reduce { .. }));
+        assert_eq!(e.kind, EdgeKind::Exact);
+        assert_eq!(e.reader.phase, 1);
+    }
+
+    /// Runtime-valued index array → conservative undecidable edge.
+    #[test]
+    fn runtime_gather_is_undecidable() {
+        let mut b = ProgramBuilder::new("rt");
+        let idx = b.output("IDX", &[16]);
+        let x = b.output("X", &[16]);
+        let z = b.output("Z", &[16]);
+        b.nest("mkidx", &[("k", 0, 15)], |nb| {
+            nb.assign(idx, [iv(0)], Expr::LoopVar(0));
+        });
+        b.nest("mkx", &[("k", 0, 15)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(2.0));
+        });
+        b.nest("gather", &[("k", 0, 15)], |nb| {
+            let rhs = nb.read_indirect(x, idx, iv(0));
+            nb.assign(z, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.kind == EdgeKind::Undecidable && e.array == Some(x)));
+        // The index-array read itself is affine and exact/affine-edged.
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| e.array == Some(idx) && e.kind != EdgeKind::Undecidable));
+        assert!(summary(&p).is_err());
+        assert_eq!(
+            project(&p, &cfg(4, 8)),
+            Err(InstanceError::RuntimeIndirection(idx))
+        );
+    }
+
+    /// Static gather footprints intersect exactly.
+    #[test]
+    fn static_gather_is_exact() {
+        let mut b = ProgramBuilder::new("sg");
+        let idx = b.input("IDX", &[16], InitPattern::Permutation { seed: 7 });
+        let x = b.output("X", &[16]);
+        let z = b.output("Z", &[16]);
+        b.nest("mkx", &[("k", 0, 15)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(2.0));
+        });
+        b.nest("gather", &[("k", 0, 15)], |nb| {
+            let rhs = nb.read_indirect(x, idx, iv(0));
+            nb.assign(z, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        let e: Vec<_> = g.edges.iter().filter(|e| e.array == Some(x)).collect();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].kind, EdgeKind::Exact);
+    }
+
+    /// Span of an elementwise nest is 1 step; a chained consumer adds one.
+    #[test]
+    fn summary_of_chain() {
+        let mut b = ProgramBuilder::new("chain");
+        let x = b.output("X", &[100]);
+        let z = b.output("Z", &[100]);
+        b.nest("produce", &[("k", 0, 99)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(1.0));
+        });
+        b.nest("consume", &[("k", 0, 99)], |nb| {
+            let rhs = nb.read(x, [iv(0)]);
+            nb.assign(z, [iv(0)], rhs);
+        });
+        let s = summary(&b.finish()).unwrap();
+        assert_eq!(s.work, 200);
+        assert_eq!(s.span, 2);
+        assert!((s.parallelism - 100.0).abs() < 1e-9);
+    }
+
+    /// A sequential scan has span ≈ n: no parallelism to find.
+    #[test]
+    fn summary_of_scan_is_sequential() {
+        let mut b = ProgramBuilder::new("scan");
+        let x = b.array_with(
+            "X",
+            &[65],
+            sa_ir::program::ArrayInit::Prefix {
+                pattern: InitPattern::Const(2.0),
+                len: 1,
+            },
+        );
+        b.nest("scan", &[("k", 1, 64)], |nb| {
+            let prev = nb.read(x, [iv(0).plus(-1)]);
+            nb.assign(x, [iv(0)], prev);
+        });
+        let s = summary(&b.finish()).unwrap();
+        assert_eq!(s.work, 64);
+        assert_eq!(s.span, 64);
+    }
+
+    /// Reduction span includes the log-depth combine tree, and consumers
+    /// of the scalar sit beneath it.
+    #[test]
+    fn summary_reduction_tree_depth() {
+        let mut b = ProgramBuilder::new("dot");
+        let x = b.input(
+            "X",
+            &[64],
+            InitPattern::Linear {
+                base: 1.0,
+                step: 1.0,
+            },
+        );
+        let z = b.output("Z", &[64]);
+        let s = b.scalar("sum");
+        b.nest("acc", &[("k", 0, 63)], |nb| {
+            let v = nb.read(x, [iv(0)]);
+            nb.reduce(s, ReduceOp::Sum, v);
+        });
+        b.nest("scale", &[("k", 0, 63)], |nb| {
+            nb.assign(z, [iv(0)], Expr::Scalar(s));
+        });
+        let sum = summary(&b.finish()).unwrap();
+        // contributions depth 1, collector +log2(64)=6, consumer +1.
+        assert_eq!(sum.span, 1 + 6 + 1);
+        assert_eq!(sum.work, 128);
+    }
+
+    /// Projection matches hand-computed modulo ownership, and the bound
+    /// respects both span and serialization.
+    #[test]
+    fn projection_and_speedup_bound() {
+        let mut b = ProgramBuilder::new("proj");
+        let x = b.output("X", &[64]);
+        b.nest("fill", &[("k", 0, 63)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(0.0));
+        });
+        let p = b.finish();
+        // 4 PEs, page 8 → 8 pages round-robin → 2 pages = 16 writes per PE.
+        let c = cfg(4, 8);
+        let proj = project(&p, &c).unwrap();
+        assert_eq!(proj.writes_per_pe, vec![16, 16, 16, 16]);
+        assert_eq!(proj.instances_per_pe, vec![16, 16, 16, 16]);
+        let bound = speedup_bound(&p, &c).unwrap();
+        // work 64, span 1, serialization 16 → bound 4 = n_pes.
+        assert!((bound - 4.0).abs() < 1e-9);
+        // One PE owns everything under Block with a huge page.
+        let c1 = LintConfig {
+            n_pes: 4,
+            page_size: 64,
+            scheme: PartitionScheme::Block,
+        };
+        let bound1 = speedup_bound(&p, &c1).unwrap();
+        assert!((bound1 - 1.0).abs() < 1e-9);
+    }
+
+    /// Anchorless statements go round-robin with a persistent counter.
+    #[test]
+    fn anchorless_round_robin_projection() {
+        let mut b = ProgramBuilder::new("rr");
+        let s = b.scalar("acc");
+        b.nest("count", &[("k", 0, 9)], |nb| {
+            nb.reduce(s, ReduceOp::Sum, Expr::Const(1.0));
+        });
+        let p = b.finish();
+        let c = cfg(4, 8);
+        let proj = project(&p, &c).unwrap();
+        assert_eq!(proj.writes_per_pe, vec![0, 0, 0, 0]);
+        // 10 instances round-robin over 4 PEs starting at 0.
+        assert_eq!(proj.instances_per_pe, vec![3, 3, 2, 2]);
+    }
+
+    /// A clean forward-deferral program is deadlock-free.
+    #[test]
+    fn forward_deferral_is_not_a_deadlock() {
+        let mut b = ProgramBuilder::new("fwd");
+        let x = b.output("X", &[8]);
+        let z = b.output("Z", &[8]);
+        // Z reads X before X's producing nest runs: legal deferral.
+        b.nest("consume", &[("k", 0, 7)], |nb| {
+            let rhs = nb.read(x, [iv(0)]);
+            nb.assign(z, [iv(0)], rhs);
+        });
+        b.nest("produce", &[("k", 0, 7)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(1.0));
+        });
+        let p = b.finish();
+        // Different PEs own X[k] and Z[k]? Under modulo page 1 they map the
+        // same, so consumer and producer share a PE — the forward wait
+        // deadlocks there. Use page 1 × 2 PEs but shift the read.
+        let diags = check_deadlock(&p, &cfg(16, 1));
+        // Same-PE forward wait: consumer at X[k] waits for its own PE's
+        // later instance → this IS a deadlock under owner-computes.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, Code::Sa008DeadlockCycle);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    /// Cross-PE *backward* dependence (producers run first, consumers
+    /// later read a shifted neighbour): provably deadlock-free.
+    #[test]
+    fn cross_pe_backward_dependence_is_clean() {
+        let mut b = ProgramBuilder::new("bwd2");
+        let x = b.output("X", &[8]);
+        let z = b.output("Z", &[7]);
+        b.nest("produce", &[("k", 0, 7)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(1.0));
+        });
+        // Z[k] reads X[k+1]: under modulo × page 1 × 2 PEs the producer
+        // lives on the opposite PE, but it already ran → every wait is
+        // backward and the wait graph is acyclic.
+        b.nest("consume", &[("k", 0, 6)], |nb| {
+            let rhs = nb.read(x, [iv(0).plus(1)]);
+            nb.assign(z, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let diags = check_deadlock(&p, &cfg(2, 1));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// The seeded cyclic-deferral mutant: two nests exchange through each
+    /// other's outputs cross-PE → SA008 with iteration vectors.
+    #[test]
+    fn cyclic_exchange_mutant_is_rejected() {
+        let mut b = ProgramBuilder::new("mutant");
+        let w = b.output("W", &[2]);
+        let x = b.output("X", &[2]);
+        b.nest("xch1", &[("k", 0, 1)], |nb| {
+            let rhs = nb.read(x, [iv(0).scale(-1).plus(1)]);
+            nb.assign(w, [iv(0)], rhs);
+        });
+        b.nest("xch2", &[("k", 0, 1)], |nb| {
+            let rhs = nb.read(w, [iv(0).scale(-1).plus(1)]);
+            nb.assign(x, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let diags = check_deadlock(&p, &cfg(2, 1));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = &diags[0];
+        assert_eq!(d.code, Code::Sa008DeadlockCycle);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(
+            d.message.contains("k="),
+            "no iteration vector: {}",
+            d.message
+        );
+        assert!(d.message.contains("PE"), "no PE in witness: {}", d.message);
+    }
+
+    /// The same exchange under 1 PE also deadlocks (chain + forward wait).
+    #[test]
+    fn exchange_deadlocks_on_one_pe_too() {
+        let mut b = ProgramBuilder::new("mutant1");
+        let w = b.output("W", &[2]);
+        let x = b.output("X", &[2]);
+        b.nest("xch1", &[("k", 0, 1)], |nb| {
+            let rhs = nb.read(x, [iv(0).scale(-1).plus(1)]);
+            nb.assign(w, [iv(0)], rhs);
+        });
+        b.nest("xch2", &[("k", 0, 1)], |nb| {
+            let rhs = nb.read(w, [iv(0).scale(-1).plus(1)]);
+            nb.assign(x, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let diags = check_deadlock(&p, &cfg(1, 32));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    /// DOT and JSON render without panicking and carry the basics.
+    #[test]
+    fn renders_dot_and_json() {
+        let mut b = ProgramBuilder::new("render");
+        let x = b.output("X", &[8]);
+        let z = b.output("Z", &[8]);
+        b.nest("a", &[("k", 0, 7)], |nb| {
+            nb.assign(x, [iv(0)], Expr::Const(1.0));
+        });
+        b.nest("b", &[("k", 0, 7)], |nb| {
+            let rhs = nb.read(x, [iv(0)]);
+            nb.assign(z, [iv(0)], rhs);
+        });
+        let p = b.finish();
+        let g = DepGraph::build(&p);
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("X#0"));
+        assert!(dot.contains("style=dashed"));
+        let sum = summary(&p).unwrap();
+        let json = g.to_json(&p, Some(&sum));
+        assert!(json.contains("\"kind\":\"gen\""));
+        assert!(json.contains("\"work\":16"));
+        assert!(json.contains("\"span\":2"));
+    }
+}

@@ -55,6 +55,10 @@ pub enum Code {
     Sa006OutOfBounds,
     /// A structurally malformed program (builder validation failure).
     Sa007Malformed,
+    /// A cyclic I-structure wait under some partition config: the static
+    /// wait graph (data waits + per-PE execution order + barriers) has a
+    /// cycle, so the thread runtime would deadlock or abort.
+    Sa008DeadlockCycle,
     /// A partition scheme × page size that leaves PEs owning no data.
     Pl001OrphanedPes,
 }
@@ -70,6 +74,7 @@ impl Code {
             Code::Sa005AnchorNoProducer => "SA005",
             Code::Sa006OutOfBounds => "SA006",
             Code::Sa007Malformed => "SA007",
+            Code::Sa008DeadlockCycle => "SA008",
             Code::Pl001OrphanedPes => "PL001",
         }
     }
@@ -81,7 +86,8 @@ impl Code {
             | Code::Sa002WriteIntoInit
             | Code::Sa004DanglingRead
             | Code::Sa006OutOfBounds
-            | Code::Sa007Malformed => Severity::Error,
+            | Code::Sa007Malformed
+            | Code::Sa008DeadlockCycle => Severity::Error,
             Code::Sa003UndecidableScatter | Code::Pl001OrphanedPes => Severity::Warning,
             // Same-nest producers break only the thread runtime; absent
             // producers are upgraded to Error by the progress checker.

@@ -1,6 +1,6 @@
 //! # sa-lint — static analysis for single-assignment programs
 //!
-//! Three passes over the loop-nest IR, all zero-execution:
+//! Four passes over the loop-nest IR, all zero-execution:
 //!
 //! * **Write-once verification** ([`writeonce::check_write_once`]) — proves
 //!   the single-assignment property per array generation with closed-form
@@ -16,17 +16,28 @@
 //!   local/remote access counts and network messages in closed form for
 //!   any affine program × [`sa_machine::MachineConfig`], certified
 //!   bit-identical against the counting simulator.
+//! * **Dependence graphs** ([`depgraph`]) — the generation-level
+//!   producer→consumer graph single assignment makes statically
+//!   derivable, with work/span analysis, partition-projected speedup
+//!   bounds, and a per-config deadlock-freedom proof (cyclic
+//!   I-structure waits are reported as `SA008` with the iteration
+//!   vectors and owning PEs along the cycle).
 //!
 //! Findings are reported through the machine-readable [`Diagnostic`]
 //! model (severity, stable code, span, explanation, JSON rendering), so
 //! CLI tables, CI gates and tests all consume the same structure.
 
+pub mod depgraph;
 pub mod diag;
 pub mod estimate;
 pub mod progress;
 mod sites;
 pub mod writeonce;
 
+pub use depgraph::{
+    check_deadlock, speedup_bound, static_writes_per_pe, summary, DepEdge, DepGraph, EdgeKind,
+    GraphSummary, InstanceError, Node, NodeKind, SiteRef,
+};
 pub use diag::{max_severity, to_json_array, Code, Diagnostic, Severity, Span};
 pub use estimate::{estimate, CommEstimate, EstimateError};
 pub use progress::{check_partition, check_progress};
@@ -86,6 +97,7 @@ pub fn lint_program(program: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
         cfg.page_size,
         cfg.scheme,
     ));
+    diags.extend(depgraph::check_deadlock(program, cfg));
     // Stable sort: errors first, original pass order within a severity.
     diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
     diags

@@ -471,7 +471,8 @@ fn conflict_diagnostic(
 }
 
 /// Render an iteration vector as `(i=3, k=7)` using the nest's loop names.
-fn fmt_ivs(nest: &LoopNest, ivs: &[i64]) -> String {
+/// Shared with the dependence-graph pass for SA008 cycle witnesses.
+pub(crate) fn fmt_ivs(nest: &LoopNest, ivs: &[i64]) -> String {
     let mut s = String::from("(");
     for (v, iv) in ivs.iter().enumerate() {
         if v > 0 {

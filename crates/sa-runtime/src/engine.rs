@@ -8,7 +8,7 @@ use sa_machine::{MachineConfig, PartitionScheme, Stats};
 use sa_mem::SaArray;
 
 use crate::net::Msg;
-use crate::worker::{Worker, WorkerResult, WorkerSpec};
+use crate::worker::{WaitObs, Worker, WorkerResult, WorkerSpec};
 
 /// Configuration of a real-thread run (the machine parameters that matter
 /// to the runtime; network topology and cost models are simulator-side).
@@ -194,6 +194,13 @@ pub struct RuntimeReport {
     /// still-syncing peers; the simulator's barrier is instantaneous and
     /// its §5 model charges only the request/release rounds).
     pub sync_messages: u64,
+    /// Every realized read-after-write wait across all workers: reads whose
+    /// reply the owner had to defer until the producing write landed. In
+    /// debug builds [`execute`] asserts each of these is covered by an edge
+    /// of `sa-lint`'s static dependence graph
+    /// ([`sa_lint::DepGraph::covers_wait`]) — the runtime-side half of the
+    /// deadlock pass's soundness argument.
+    pub wait_edges: Vec<WaitObs>,
 }
 
 impl RuntimeReport {
@@ -301,6 +308,7 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
     let mut broadcast_messages = 0u64;
     let mut resolve_messages = 0u64;
     let mut sync_messages = 0u64;
+    let mut wait_edges: Vec<WaitObs> = Vec::new();
     for (pe, r) in results.iter().enumerate() {
         stats.per_pe[pe] = r.stats.counters;
         stats.page_fetches += r.stats.page_fetches;
@@ -311,6 +319,7 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         broadcast_messages += r.stats.broadcast_messages;
         resolve_messages += r.stats.resolve_messages;
         sync_messages += r.stats.sync_messages;
+        wait_edges.extend(r.wait_edges.iter().copied());
         for (&(a, page), frame) in &r.frames {
             let start = page * cfg.page_size;
             for off in frame.fill().iter_set() {
@@ -324,6 +333,32 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         .first()
         .map(|r| r.scalars.clone())
         .unwrap_or_default();
+    // Debug-mode soundness cross-check: every wait the machine *realized*
+    // must be predicted by the static dependence graph the deadlock pass
+    // (SA008) reasons over. A miss here means the static graph is not a
+    // superset of the runtime's wait structure — its proofs would be built
+    // on a hole.
+    #[cfg(debug_assertions)]
+    {
+        let graph = sa_lint::DepGraph::build(program);
+        for w in &wait_edges {
+            assert!(
+                graph.covers_wait(
+                    w.phase,
+                    w.stmt,
+                    sa_ir::ArrayId(w.array),
+                    w.generation as usize
+                ),
+                "runtime wait at phase {} stmt {} on `{}`#{} (addr {}) has no \
+                 covering static dependence edge",
+                w.phase,
+                w.stmt,
+                program.array(sa_ir::ArrayId(w.array)).name,
+                w.generation,
+                w.addr,
+            );
+        }
+    }
     Ok(RuntimeReport {
         stats,
         arrays,
@@ -332,6 +367,7 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         broadcast_messages,
         resolve_messages,
         sync_messages,
+        wait_edges,
     })
 }
 
@@ -399,6 +435,16 @@ mod tests {
         let p = b.finish();
         for n_pes in [1usize, 3, 8] {
             check_against_reference(&p, &RuntimeConfig::paper(n_pes, 32));
+        }
+        // The pipelining is visible in the wait trace: with several PEs,
+        // page-boundary reads of X really defer, and each observed wait is
+        // covered by the static dependence graph (X's self-edge).
+        let rep = execute(&p, &RuntimeConfig::paper(8, 32)).unwrap();
+        assert!(!rep.wait_edges.is_empty(), "the chain must realize waits");
+        let g = sa_lint::DepGraph::build(&p);
+        for w in &rep.wait_edges {
+            assert_eq!((w.array, w.generation), (x.0, 0));
+            assert!(g.covers_wait(w.phase, w.stmt, x, w.generation as usize));
         }
     }
 

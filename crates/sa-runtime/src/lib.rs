@@ -23,6 +23,12 @@
 //! index array produced in the nest that anchors through it) is rejected,
 //! up front and softly, as [`RuntimeError::Unsupported`].
 //!
+//! Each run additionally records its *realized* read-after-write waits
+//! (replies the owner had to defer — [`WaitObs`]) and, in debug builds,
+//! asserts every one of them is covered by an edge of `sa-lint`'s static
+//! dependence graph: the runtime-side witness that the SA008 deadlock
+//! pass reasons over a sound superset of the machine's wait structure.
+//!
 //! Every run is verified against the sequential reference interpreter in
 //! the test suite; access statistics correspond to the counting simulator
 //! under its realistic partial-page `Refetch` policy (timing-dependent
@@ -39,3 +45,4 @@ pub mod worker;
 
 pub use engine::{execute, unsupported_reason, RuntimeConfig, RuntimeError, RuntimeReport};
 pub use oracle::ThreadOracle;
+pub use worker::WaitObs;

@@ -33,6 +33,12 @@ pub enum Msg {
         generation: u32,
         /// Page contents with the fill snapshot at ship time.
         data: TaggedPage,
+        /// True when the owner could not answer immediately and queued the
+        /// request until the cell's producer wrote it — an I-structure
+        /// deferral, i.e. a *realized* read-after-write wait. The requester
+        /// records these so runs can be cross-checked against the static
+        /// dependence graph (`sa-lint`'s `DepGraph::covers_wait`).
+        deferred: bool,
     },
     /// Anchor resolution: `from` needs element `offset` of an *index
     /// array's* page to compute the owner of an indirect statement anchor
@@ -62,6 +68,10 @@ pub enum Msg {
         generation: u32,
         /// Page contents with the fill snapshot at ship time.
         data: TaggedPage,
+        /// True when the resolution had to wait for the index cell's
+        /// single assignment (same deferral semantics as
+        /// [`Msg::PageReply::deferred`]).
+        deferred: bool,
     },
     /// A reduction partial result travelling to the scalar's host PE.
     Partial {
@@ -152,6 +162,7 @@ mod tests {
             page: 2,
             generation: 0,
             data: TaggedPage::full(vec![1.0]),
+            deferred: false,
         };
         assert!(format!("{r:?}").contains("PageReply"));
         let i = Msg::IndirectFetch {
@@ -167,6 +178,7 @@ mod tests {
             page: 0,
             generation: 0,
             data: TaggedPage::undefined(4),
+            deferred: true,
         };
         assert!(format!("{ir:?}").contains("IndirectReply"));
     }

@@ -70,6 +70,7 @@ impl Oracle for ThreadOracle {
             max_link_load: None,
             write_balance: sa_machine::load_balance(&rep.stats.writes_per_pe()).jain,
             cycles: None,
+            speedup_bound: None,
         })
     }
 }

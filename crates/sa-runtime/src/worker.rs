@@ -51,6 +51,25 @@ pub struct WorkerStats {
 /// One locally owned page frame: contents plus presence bits.
 pub type Frame = TaggedPage;
 
+/// One *realized* read-after-write wait: this PE's read (at the statement
+/// site it was executing or screening) could not be answered immediately —
+/// the owner queued it until the cell's producer wrote the value. These
+/// are exactly the waits `sa-lint`'s static dependence graph must cover
+/// (`DepGraph::covers_wait`), and the runtime asserts that in debug builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WaitObs {
+    /// Phase index of the statement whose evaluation blocked.
+    pub phase: usize,
+    /// Statement index within the phase's nest body.
+    pub stmt: usize,
+    /// Array whose cell the read waited on.
+    pub array: usize,
+    /// Flat element address of the waited-on cell.
+    pub addr: usize,
+    /// The array's generation at wait time.
+    pub generation: u32,
+}
+
 /// Everything a worker returns when it exits.
 pub struct WorkerResult {
     /// Statistics.
@@ -59,6 +78,9 @@ pub struct WorkerResult {
     pub frames: HashMap<(usize, usize), Frame>,
     /// Final scalar values (identical on every worker).
     pub scalars: Vec<f64>,
+    /// Every deferred reply this worker received, i.e. its realized
+    /// read-after-write waits, in arrival order.
+    pub wait_edges: Vec<WaitObs>,
 }
 
 /// A queued remote reader of a not-yet-defined cell (paper §4).
@@ -119,6 +141,13 @@ struct WorkerMem {
     syncing: bool,
     shutdown: bool,
     stats: WorkerStats,
+    /// Statement site currently being executed or screened — the reader
+    /// coordinates stamped onto [`WaitObs`] records when a fetch issued
+    /// from here comes back deferred.
+    cur_phase: usize,
+    cur_stmt: usize,
+    /// Realized read-after-write waits observed by this worker.
+    wait_edges: Vec<WaitObs>,
 }
 
 impl WorkerMem {
@@ -165,7 +194,9 @@ impl WorkerMem {
     }
 
     /// Reply to a page request from the local frame (must be resident).
-    /// `indirect` routes the copy to the requester's resolution store.
+    /// `indirect` routes the copy to the requester's resolution store;
+    /// `deferred` tells the requester its read was queued behind the
+    /// producer's write (a realized RAW wait) rather than served at once.
     fn reply_page(
         &mut self,
         array: usize,
@@ -173,6 +204,7 @@ impl WorkerMem {
         generation: u32,
         to: usize,
         indirect: bool,
+        deferred: bool,
     ) {
         let data = self
             .frames
@@ -186,6 +218,7 @@ impl WorkerMem {
                 page,
                 generation,
                 data,
+                deferred,
             }
         } else {
             Msg::PageReply {
@@ -193,6 +226,7 @@ impl WorkerMem {
                 page,
                 generation,
                 data,
+                deferred,
             }
         };
         self.send(to, msg);
@@ -218,7 +252,7 @@ impl WorkerMem {
             .get(&(array, page))
             .expect("request for owned page");
         if frame.get(offset).is_some() {
-            self.reply_page(array, page, generation, from, indirect);
+            self.reply_page(array, page, generation, from, indirect, false);
         } else {
             let addr = page * self.page_size + offset;
             if self.finished || self.syncing {
@@ -325,7 +359,7 @@ impl WorkerMem {
         self.stats.counters.writes += 1;
         if let Some(waiters) = self.cell_waiters.remove(&(array, addr)) {
             for w in waiters {
-                self.reply_page(array, page, w.generation, w.pe, w.indirect);
+                self.reply_page(array, page, w.generation, w.pe, w.indirect, true);
             }
         }
     }
@@ -360,11 +394,21 @@ impl WorkerMem {
                     page: p,
                     generation: g,
                     data,
+                    deferred,
                 } => {
                     debug_assert_eq!((a, p, g), (array, page, generation));
                     let v = data
                         .get(offset)
                         .expect("owner replied before the cell was defined");
+                    if deferred {
+                        self.wait_edges.push(WaitObs {
+                            phase: self.cur_phase,
+                            stmt: self.cur_stmt,
+                            array,
+                            addr,
+                            generation,
+                        });
+                    }
                     if self.cache_enabled {
                         self.cache.insert(key, data);
                     }
@@ -435,6 +479,7 @@ impl WorkerMem {
                     page,
                     generation,
                     data,
+                    deferred,
                 } => {
                     debug_assert_eq!(
                         (array, page, generation),
@@ -443,6 +488,15 @@ impl WorkerMem {
                     let v = data
                         .get(offset)
                         .expect("owner resolved before the cell was defined");
+                    if deferred {
+                        self.wait_edges.push(WaitObs {
+                            phase: self.cur_phase,
+                            stmt: self.cur_stmt,
+                            array,
+                            addr: page * self.page_size + offset,
+                            generation,
+                        });
+                    }
                     self.resolutions
                         .entry(key)
                         .and_modify(|p| p.merge_from(&data))
@@ -607,6 +661,9 @@ impl<'p> Worker<'p> {
                 syncing: false,
                 shutdown: false,
                 stats: WorkerStats::default(),
+                cur_phase: 0,
+                cur_stmt: 0,
+                wait_edges: Vec::new(),
             },
         }
     }
@@ -658,7 +715,8 @@ impl<'p> Worker<'p> {
             }
             let mut rr = self.rr;
             nest.for_each_iteration_ctl(&mut |ivs: &[i64]| {
-                for stmt in &nest.body {
+                for (si, stmt) in nest.body.iter().enumerate() {
+                    self.mem.cur_stmt = si;
                     let owner = self.stmt_owner(stmt, ivs, &mut rr);
                     if let Stmt::Reduce { target, .. } = stmt {
                         participants.get_mut(&target.0).expect("seeded")[owner] = true;
@@ -676,7 +734,8 @@ impl<'p> Worker<'p> {
         let me = self.mem.me;
         let mut rr = self.rr;
         nest.for_each_iteration_ctl(&mut |ivs: &[i64]| {
-            for stmt in &nest.body {
+            for (si, stmt) in nest.body.iter().enumerate() {
+                self.mem.cur_stmt = si;
                 let owner = self.stmt_owner(stmt, ivs, &mut rr);
                 if owner != me {
                     continue;
@@ -864,6 +923,7 @@ impl<'p> Worker<'p> {
     /// Execute the whole program, then serve peers until shutdown.
     pub fn run(mut self, done: &Sender<usize>) -> WorkerResult {
         for (pi, phase) in self.program.phases.iter().enumerate() {
+            self.mem.cur_phase = pi;
             match phase {
                 Phase::Loop(nest) => self.run_nest(pi as u64, nest),
                 Phase::Reinit(id) => self.run_reinit(id.0),
@@ -887,6 +947,7 @@ impl<'p> Worker<'p> {
             stats: self.mem.stats,
             frames: self.mem.frames,
             scalars: self.ctx.scalars,
+            wait_edges: self.mem.wait_edges,
         }
     }
 }

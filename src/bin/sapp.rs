@@ -11,6 +11,9 @@
 //! sapp timing K14 --page 32       # estimated speedup curve
 //! sapp lint K13                   # static diagnostics for one kernel
 //! sapp lint --all --format json   # CI gate: exit 1 on any error finding
+//! sapp lint --all --deny-warnings --allow PL001   # strict gate, PL001 ok
+//! sapp graph K5                   # dependence graph as GraphViz DOT
+//! sapp graph K12 --format json    # graph + work/span summary as JSON
 //! ```
 //!
 //! Workloads resolve against the sized registry (`sapp::loops::workloads`),
@@ -38,14 +41,23 @@
 //! legacy remote-%-only objective is `remote`).
 //!
 //! `sapp lint [KERNEL|--all]` runs the static analysis passes (write-once
-//! verification, progress and partition-legality checks) and prints the
-//! diagnostics; exit status 1 when any error-severity finding exists, so
-//! CI can gate on a clean registry. `--format json` emits the structured
-//! diagnostic model.
+//! verification, progress and partition-legality checks, deadlock-freedom
+//! via the dependence graph) and prints the diagnostics; kernels lint in
+//! parallel under `--all` and the summary line reports wall-clock.
+//! `--deny-warnings` promotes warnings into the gate and repeatable
+//! `--allow CODE` flags exclude specific codes from gating (they still
+//! print); `sapp lint --help` documents the exit codes. `--format json`
+//! emits the structured diagnostic model.
+//!
+//! `sapp graph KERNEL [--format dot|json]` renders the static
+//! generation-level dependence graph (`sapp::lint::depgraph`): DOT for
+//! GraphViz by default, or JSON carrying the nodes, edges and — when the
+//! program is statically analyzable — the work/span/parallelism summary.
 
 use sapp::core::classify::classify_dynamic;
 use sapp::core::experiment::speedup_sweep;
 use sapp::core::oracle::OracleError;
+use sapp::core::parallel::par_map;
 use sapp::core::plan::{ExperimentPlan, PlanError};
 use sapp::core::replay::{counts, counts_or_simulate, CountReport};
 use sapp::core::report::{csv, fmt_pct, json, markdown_table};
@@ -58,13 +70,37 @@ use sapp::runtime::ThreadOracle;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sapp <list|show|classify|simulate|sweep|search|timing|lint> [KERNEL] \
+        "usage: sapp <list|show|classify|simulate|sweep|search|timing|lint|graph> [KERNEL] \
          [--all] [--pes N] [--page N] [--cache N] [--no-cache] [--kernel CODE] \
          [--size N] [--dims AxB[xC]] \
-         [--format table|csv|json] [--engine interp|replay|auto|static|thread] \
-         [--objective balanced|remote]"
+         [--format table|csv|json|dot] [--engine interp|replay|auto|static|thread] \
+         [--objective balanced|remote] [--deny-warnings] [--allow CODE]"
     );
     std::process::exit(2);
+}
+
+/// `sapp lint --help`: flag and exit-code reference for the CI gate.
+fn lint_help() -> ! {
+    println!(
+        "usage: sapp lint [KERNEL | --all] [--pes N] [--page N] \
+         [--format table|csv|json] [--deny-warnings] [--allow CODE]...\n\
+         \n\
+         Runs every static analysis pass (write-once verification, progress\n\
+         and partition legality, dependence-graph deadlock-freedom) on one\n\
+         kernel or the whole registry (in parallel under --all).\n\
+         \n\
+         flags:\n\
+         --deny-warnings   warning-severity findings also fail the gate\n\
+         --allow CODE      exclude CODE (e.g. PL001) from gating; repeatable;\n\
+         \u{20}                  allowed findings are still printed\n\
+         \n\
+         exit codes:\n\
+         0  no gated findings (clean, or every finding --allow'ed)\n\
+         1  at least one gated finding (error, or warning under\n\
+         \u{20}   --deny-warnings)\n\
+         2  usage error"
+    );
+    std::process::exit(0);
 }
 
 /// Which backend measures grid points: a counting engine, the static
@@ -95,12 +131,14 @@ impl EngineSel {
     }
 }
 
-/// Output format for tabular results.
+/// Output format for tabular results (plus GraphViz DOT, which only the
+/// `graph` subcommand accepts).
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
     Table,
     Csv,
     Json,
+    Dot,
 }
 
 impl Format {
@@ -109,6 +147,8 @@ impl Format {
             Format::Table => markdown_table(headers, rows),
             Format::Csv => csv(headers, rows),
             Format::Json => json(headers, rows),
+            // DOT is a graph format, not a tabular one.
+            Format::Dot => usage(),
         }
     }
 }
@@ -125,6 +165,8 @@ struct Opts {
     format: Format,
     engine: EngineSel,
     objective: Objective,
+    deny_warnings: bool,
+    allow: Vec<String>,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -140,6 +182,8 @@ fn parse_opts(args: &[String]) -> Opts {
         format: Format::Table,
         engine: EngineSel::Counting(Engine::Auto),
         objective: Objective::default(),
+        deny_warnings: false,
+        allow: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -188,9 +232,14 @@ fn parse_opts(args: &[String]) -> Opts {
                     Some("table") => Format::Table,
                     Some("csv") => Format::Csv,
                     Some("json") => Format::Json,
+                    Some("dot") => Format::Dot,
                     _ => usage(),
                 }
             }
+            "--deny-warnings" => o.deny_warnings = true,
+            "--allow" => o
+                .allow
+                .push(it.next().unwrap_or_else(|| usage()).to_uppercase()),
             "--engine" => {
                 o.engine = it
                     .next()
@@ -533,6 +582,7 @@ fn main() {
                         format!("{:.3}", best.write_balance),
                         best.messages.to_string(),
                         best.evaluated.to_string(),
+                        best.pruned.to_string(),
                     ])
                 })
                 .collect();
@@ -547,7 +597,8 @@ fn main() {
                         "remote_pct",
                         "write_balance",
                         "messages",
-                        "evaluated"
+                        "evaluated",
+                        "pruned"
                     ],
                     &rows
                 )
@@ -556,6 +607,9 @@ fn main() {
         "lint" => {
             // `sapp lint K13` or `sapp lint --all`; the positional kernel
             // is whatever first operand doesn't look like a flag.
+            if args[1..].iter().any(|a| a == "--help") {
+                lint_help();
+            }
             let (code, rest) = match args.get(1).map(String::as_str) {
                 Some(a) if !a.starts_with('-') => (Some(a), args.get(2..).unwrap_or(&[])),
                 _ => (None, args.get(1..).unwrap_or(&[])),
@@ -571,30 +625,52 @@ fn main() {
                 page_size: o.page,
                 ..sapp::lint::LintConfig::default()
             };
-            let mut worst: Option<sapp::lint::Severity> = None;
-            let mut total = 0usize;
+            // Kernels are independent: lint them in parallel (the same
+            // scoped-thread fanout the sweep engine uses) and keep the
+            // registry order of the results.
+            let started = std::time::Instant::now();
+            let linted: Vec<Vec<sapp::lint::Diagnostic>> = par_map(&kernels, |k| {
+                Ok::<_, std::convert::Infallible>(sapp::lint::lint_program(&k.program, &cfg))
+            })
+            .expect("lint is infallible");
+            let elapsed = started.elapsed();
+            // A finding gates the exit status when its severity clears the
+            // threshold (error, or warning under --deny-warnings) and its
+            // code was not --allow'ed. Allowed findings still print.
+            let threshold = if o.deny_warnings {
+                sapp::lint::Severity::Warning
+            } else {
+                sapp::lint::Severity::Error
+            };
+            let gated = linted
+                .iter()
+                .flatten()
+                .any(|d| d.severity >= threshold && !o.allow.iter().any(|a| a == d.code.as_str()));
+            let total: usize = linted.iter().map(Vec::len).sum();
+            let wall = format!("{:.1} ms", elapsed.as_secs_f64() * 1e3);
             if o.format == Format::Json {
                 let objs: Vec<String> = kernels
                     .iter()
-                    .map(|k| {
-                        let diags = sapp::lint::lint_program(&k.program, &cfg);
-                        worst = worst.max(sapp::lint::max_severity(&diags));
-                        total += diags.len();
+                    .zip(&linted)
+                    .map(|(k, diags)| {
                         format!(
                             "{{\"kernel\":\"{}\",\"diagnostics\":{}}}",
                             k.code,
-                            sapp::lint::to_json_array(&diags)
+                            sapp::lint::to_json_array(diags)
                         )
                     })
                     .collect();
                 println!("[{}]", objs.join(","));
+                eprintln!(
+                    "{} diagnostic(s) across {} kernel(s) in {}",
+                    total,
+                    kernels.len(),
+                    wall
+                );
             } else {
                 let mut rows = Vec::new();
-                for k in &kernels {
-                    let diags = sapp::lint::lint_program(&k.program, &cfg);
-                    worst = worst.max(sapp::lint::max_severity(&diags));
-                    total += diags.len();
-                    for d in &diags {
+                for (k, diags) in kernels.iter().zip(&linted) {
+                    for d in diags {
                         rows.push(vec![
                             k.code.to_string(),
                             d.severity.to_string(),
@@ -605,18 +681,45 @@ fn main() {
                     }
                 }
                 if rows.is_empty() {
-                    println!("clean: 0 diagnostics across {} kernel(s)", kernels.len());
+                    println!(
+                        "clean: 0 diagnostics across {} kernel(s) in {}",
+                        kernels.len(),
+                        wall
+                    );
                 } else {
                     print!(
                         "{}",
                         o.format
                             .render(&["kernel", "severity", "code", "span", "message"], &rows)
                     );
-                    println!("{} diagnostic(s) across {} kernel(s)", total, kernels.len());
+                    println!(
+                        "{} diagnostic(s) across {} kernel(s) in {}",
+                        total,
+                        kernels.len(),
+                        wall
+                    );
                 }
             }
-            if worst == Some(sapp::lint::Severity::Error) {
+            if gated {
                 std::process::exit(1);
+            }
+        }
+        "graph" => {
+            let o = parse_opts(args.get(2..).unwrap_or(&[]));
+            let k = resolve_kernel(
+                args.get(1).map(String::as_str).unwrap_or_else(|| usage()),
+                &o,
+            );
+            let g = sapp::lint::DepGraph::build(&k.program);
+            match o.format {
+                // DOT is the graph default; `table` only ever comes from
+                // the parser default, not an explicit request.
+                Format::Dot | Format::Table => print!("{}", g.to_dot()),
+                Format::Json => {
+                    let summary = sapp::lint::summary(&k.program).ok();
+                    println!("{}", g.to_json(&k.program, summary.as_ref()));
+                }
+                Format::Csv => usage(),
             }
         }
         "timing" => {

@@ -227,7 +227,11 @@ fn search_finds_k12_best_scheme_and_page_size() {
     let p = k12();
     let space = SearchSpace::default();
     let best = search(&p, &space, &CountingOracle).unwrap();
-    assert_eq!(best.evaluated, space.schemes.len() * space.page_sizes.len());
+    // Every candidate is either measured or statically pruned.
+    assert_eq!(
+        best.evaluated + best.pruned,
+        space.schemes.len() * space.page_sizes.len()
+    );
     assert!(space.schemes.contains(&best.scheme));
     assert!(space.page_sizes.contains(&best.page_size));
     // K12 is Skewed (X[k] = Y[k+1] - Y[k]): only page-boundary crossings

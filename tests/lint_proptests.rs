@@ -6,14 +6,23 @@
 //! * the write-once verifier accepts every generated program the
 //!   interpreter accepts, and flags a seeded double-write mutant of the
 //!   same program with `SA001` (which the interpreter also traps, so the
-//!   static and dynamic verdicts always agree).
+//!   static and dynamic verdicts always agree);
+//! * the generation-level dependence graph is *sound*: every
+//!   read-after-write pair a traced sequential execution realizes is
+//!   covered by a static edge (`DepGraph::covers_wait`);
+//! * the deadlock pass proves every generated program (producers always
+//!   precede consumers) free of wait-graph cycles at random machine
+//!   shapes.
+
+use std::collections::{HashMap, HashSet};
 
 use proptest::prelude::*;
 
 use sapp::core::{simulate, CountingOracle, Oracle, RunConfig, StaticOracle};
 use sapp::ir::index::iv;
-use sapp::ir::{InitPattern, Program, ProgramBuilder, ReduceOp};
-use sapp::lint::{self, Code, LintConfig, Severity};
+use sapp::ir::interp::{EvalCtx, Memory};
+use sapp::ir::{ArrayId, InitPattern, IrError, Phase, Program, ProgramBuilder, ReduceOp, Stmt};
+use sapp::lint::{self, Code, DepGraph, LintConfig, Severity};
 use sapp::machine::{MachineConfig, PartitionScheme};
 
 const MAX_COEFF: i64 = 3;
@@ -156,6 +165,95 @@ fn run_config_strategy() -> impl Strategy<Value = RunConfig> {
         })
 }
 
+/// Dense tracing memory for a sequential reference walk: cell values plus
+/// a per-array set of statement-written addresses, so every load of a
+/// statement-produced cell records a realized read-after-write pair at the
+/// reader's statement site.
+struct TraceMem {
+    vals: Vec<Vec<Option<f64>>>,
+    written: Vec<HashSet<usize>>,
+    gen: Vec<usize>,
+    cur: (usize, usize),
+    /// `(array, generation, reader phase, reader stmt)` observations.
+    raws: HashSet<(usize, usize, usize, usize)>,
+}
+
+impl TraceMem {
+    fn new(program: &Program) -> Self {
+        let vals = program
+            .arrays
+            .iter()
+            .map(|d| {
+                let init = d.init.materialize(d.len());
+                (0..d.len()).map(|i| init.get(i).copied()).collect()
+            })
+            .collect();
+        TraceMem {
+            vals,
+            written: vec![HashSet::new(); program.arrays.len()],
+            gen: vec![0; program.arrays.len()],
+            cur: (0, 0),
+            raws: HashSet::new(),
+        }
+    }
+}
+
+impl Memory for TraceMem {
+    fn load(&mut self, array: ArrayId, addr: usize) -> Result<f64, IrError> {
+        let a = array.0;
+        if self.written[a].contains(&addr) {
+            self.raws.insert((a, self.gen[a], self.cur.0, self.cur.1));
+        }
+        self.vals[a][addr].ok_or(IrError::ReadUndefined {
+            array: format!("array#{a}"),
+            addr,
+        })
+    }
+}
+
+/// Sequentially execute `program`, returning every realized RAW pair —
+/// the ground truth the static dependence graph must cover.
+fn observed_raws(program: &Program) -> HashSet<(usize, usize, usize, usize)> {
+    let mut ctx = EvalCtx::new(program);
+    let mut mem = TraceMem::new(program);
+    for (pi, phase) in program.phases.iter().enumerate() {
+        match phase {
+            Phase::Reinit(id) => {
+                mem.vals[id.0] = vec![None; program.array(*id).len()];
+                mem.written[id.0].clear();
+                mem.gen[id.0] += 1;
+            }
+            Phase::Loop(nest) => {
+                let mut partial: HashMap<usize, f64> = HashMap::new();
+                nest.for_each_iteration(|ivs| {
+                    for (si, stmt) in nest.body.iter().enumerate() {
+                        mem.cur = (pi, si);
+                        match stmt {
+                            Stmt::Assign { target, value } => {
+                                let v = ctx.eval(value, ivs, &mut mem).expect("clean program");
+                                let addr = ctx
+                                    .resolve_addr(target, ivs, &mut mem)
+                                    .expect("clean program");
+                                mem.vals[target.array.0][addr] = Some(v);
+                                mem.written[target.array.0].insert(addr);
+                            }
+                            Stmt::Reduce { target, op, value } => {
+                                let v = ctx.eval(value, ivs, &mut mem).expect("clean program");
+                                let acc = partial.entry(target.0).or_insert_with(|| op.identity());
+                                *acc = op.combine(*acc, v);
+                            }
+                        }
+                    }
+                });
+                for (sid, v) in partial {
+                    ctx.scalars[sid] = v;
+                }
+            }
+        }
+    }
+    mem.raws
+}
+
 proptest! {
     /// Estimator totals ≡ counting oracle on random nests × schemes ×
     /// page sizes — the closed forms, not just the CLI paths.
@@ -215,6 +313,49 @@ proptest! {
                 .any(|d| d.code == Code::Sa001DoubleWrite),
             "mutant not flagged with SA001: {:?}",
             report.diagnostics
+        );
+    }
+
+    /// Soundness of the generation-level dependence graph: every RAW pair
+    /// a traced sequential execution realizes is covered by a static edge.
+    #[test]
+    fn observed_raw_pairs_are_covered_by_the_depgraph(spec in spec_strategy()) {
+        let program = build(&spec, false);
+        let g = DepGraph::build(&program);
+        let raws = observed_raws(&program);
+        if spec.chain {
+            prop_assert!(!raws.is_empty(), "chained spec realized no RAW pair");
+        }
+        for (array, generation, phase, stmt) in raws {
+            prop_assert!(
+                g.covers_wait(phase, stmt, ArrayId(array), generation),
+                "RAW at phase {} stmt {} on array {} gen {} has no covering \
+                 static edge (spec {:?})",
+                phase, stmt, array, generation, &spec
+            );
+        }
+    }
+
+    /// Producers always precede consumers in the generated programs, so
+    /// the wait graph is acyclic at *any* machine shape — and the deadlock
+    /// pass must prove it (affine instances: a full proof, no SA008 of any
+    /// severity).
+    #[test]
+    fn generated_programs_prove_deadlock_free(
+        spec in spec_strategy(),
+        cfg in run_config_strategy(),
+    ) {
+        let program = build(&spec, false);
+        let lc = LintConfig {
+            n_pes: cfg.n_pes,
+            page_size: cfg.page_size,
+            scheme: cfg.partition,
+        };
+        let diags = lint::check_deadlock(&program, &lc);
+        prop_assert!(
+            diags.is_empty(),
+            "expected a clean deadlock-freedom proof for spec {:?} at {:?}, got {:?}",
+            &spec, &lc, &diags
         );
     }
 }

@@ -11,14 +11,26 @@
 //!    error-severity diagnostics on the stock registry (which every
 //!    executor accepts), and flags seeded double-write and
 //!    dangling-deferral mutants that the executors trap at run time.
+//! 3. **Deadlock pass ≡ thread runtime** — the stock registry proves
+//!    deadlock-free (SA008 clean) wherever the instance graph is statically
+//!    buildable, a seeded cyclic-deferral mutant is rejected with SA008 and
+//!    really fails on the thread runtime, and every wait the runtime
+//!    *realizes* on the reduced suite is covered by the static dependence
+//!    graph ([`sapp::lint::DepGraph::covers_wait`]).
+//! 4. **Pruned search ≡ exhaustive search** — `search_with`'s static
+//!    dependence-bound pruning returns bit-identical winners to the
+//!    exhaustive parallel sweep on every registry workload, with the
+//!    pruned fraction logged.
 
-use sapp::core::{simulate, StaticOracle};
+use sapp::core::search::{search_exhaustive_with, search_with, Objective, SearchSpace};
+use sapp::core::{simulate, CountingOracle, StaticOracle};
 use sapp::core::{Oracle, OracleError, RunConfig};
 use sapp::ir::index::iv;
-use sapp::ir::{InitPattern, ProgramBuilder};
-use sapp::lint::{self, Code, EstimateError, LintConfig, Severity};
+use sapp::ir::{ArrayId, InitPattern, ProgramBuilder};
+use sapp::lint::{self, Code, DepGraph, EstimateError, LintConfig, Severity};
 use sapp::loops::reduced_suite;
 use sapp::machine::{MachineConfig, PartitionScheme};
+use sapp::runtime::{execute, RuntimeConfig, RuntimeError};
 
 /// The certification grid: schemes × page sizes × PE counts, no cache
 /// (the estimator has no cache model by design).
@@ -163,5 +175,177 @@ fn dangling_deferral_is_rejected_with_sa004() {
             .iter()
             .any(|d| d.code == Code::Sa004DanglingRead && d.severity == Severity::Error),
         "dangling-deferral mutant not flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn seeded_cyclic_deferral_mutant_is_rejected_with_sa008() {
+    // The consumer nest precedes its producer: every PE blocks on its
+    // first read of X before any producer instance can run — a guaranteed
+    // deadlock on the blocking-PE machine, at any partition. The program
+    // is *not* SA004-dangling (X is fully written eventually), so only the
+    // wait-graph cycle pass can catch it.
+    let n = 32;
+    let mut b = ProgramBuilder::new("mutant-cycle");
+    let x = b.output("X", &[n]);
+    let z = b.output("Z", &[n]);
+    b.nest("consume", &[("k", 0, n as i64 - 1)], |nb| {
+        let rhs = nb.read(x, [iv(0)]);
+        nb.assign(z, [iv(0)], rhs);
+    });
+    b.nest("produce", &[("k", 0, n as i64 - 1)], |nb| {
+        nb.assign(x, [iv(0)], sapp::ir::Expr::LoopVar(0));
+    });
+    let prog = b.finish();
+    let diags = lint::lint_program(&prog, &LintConfig::default());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == Code::Sa008DeadlockCycle && d.severity == Severity::Error),
+        "cyclic-deferral mutant not flagged with SA008: {diags:?}"
+    );
+    // The thread runtime agrees: the run tears down instead of completing.
+    assert!(
+        execute(&prog, &RuntimeConfig::paper(4, 8)).is_err(),
+        "thread runtime completed a program the deadlock pass rejects"
+    );
+}
+
+#[test]
+fn stock_registry_proves_deadlock_free() {
+    // Wherever the instance graph is statically buildable, the wait graph
+    // must be acyclic (no SA008 error). Runtime-resolved indirection gets
+    // an Info "not statically provable" note, never a spurious error.
+    let mut proved = 0usize;
+    for k in reduced_suite() {
+        for (n_pes, page_size) in [(4usize, 32usize), (16, 8)] {
+            let cfg = LintConfig {
+                n_pes,
+                page_size,
+                ..LintConfig::default()
+            };
+            let diags = lint::check_deadlock(&k.program, &cfg);
+            assert!(
+                diags.iter().all(|d| d.severity != Severity::Error),
+                "{} @ {n_pes} PEs / ps {page_size}: spurious SA008: {diags:?}",
+                k.code
+            );
+            if diags.is_empty() {
+                proved += 1;
+            }
+        }
+    }
+    assert!(proved > 0, "no workload got a full deadlock-freedom proof");
+}
+
+#[test]
+fn runtime_wait_edges_fall_inside_the_static_graph() {
+    // Release-mode version of the engine's debug assertion, plus a
+    // non-vacuity guard: across the reduced suite and a recurrence chain,
+    // the thread runtime must *realize* waits, and every one must be
+    // covered by a static dependence edge.
+    let mut programs: Vec<sapp::ir::Program> =
+        reduced_suite().into_iter().map(|k| k.program).collect();
+    // K5-shaped chain: X(i) = Z(i)·(Y(i) − X(i−1)) pipelines across page
+    // boundaries, so deferrals are guaranteed at several PEs.
+    let n = 257usize;
+    let mut b = ProgramBuilder::new("chain");
+    let y = b.input("Y", &[n], InitPattern::Wavy);
+    let zz = b.input("Z", &[n], InitPattern::Harmonic);
+    let x = b.array_with(
+        "X",
+        &[n],
+        sapp::ir::program::ArrayInit::Prefix {
+            pattern: InitPattern::Const(0.3),
+            len: 1,
+        },
+    );
+    b.nest("chain", &[("i", 1, n as i64 - 1)], |nb| {
+        nb.assign(
+            x,
+            [iv(0)],
+            nb.read(zz, [iv(0)]) * (nb.read(y, [iv(0)]) - nb.read(x, [iv(0).plus(-1)])),
+        );
+    });
+    programs.push(b.finish());
+
+    let mut observed = 0usize;
+    for p in &programs {
+        let g = DepGraph::build(p);
+        for n_pes in [2usize, 5] {
+            let rep = match execute(p, &RuntimeConfig::paper(n_pes, 32)) {
+                Ok(rep) => rep,
+                Err(RuntimeError::Unsupported(_)) => continue,
+                Err(e) => panic!("{}: runtime failed: {e}", p.name),
+            };
+            for w in &rep.wait_edges {
+                observed += 1;
+                assert!(
+                    g.covers_wait(w.phase, w.stmt, ArrayId(w.array), w.generation as usize),
+                    "{}: runtime wait at phase {} stmt {} on array {} gen {} \
+                     (addr {}) has no covering static edge",
+                    p.name,
+                    w.phase,
+                    w.stmt,
+                    w.array,
+                    w.generation,
+                    w.addr
+                );
+            }
+        }
+    }
+    assert!(
+        observed > 0,
+        "no wait realized — the cross-check is vacuous"
+    );
+}
+
+#[test]
+fn pruned_search_is_bit_identical_to_exhaustive_on_the_registry() {
+    let space = SearchSpace::default();
+    let total_per_workload = space.schemes.len() * space.page_sizes.len();
+    let mut pruned_total = 0usize;
+    let mut candidates_total = 0usize;
+    for k in reduced_suite() {
+        let fast = search_with(&k.program, &space, &CountingOracle, Objective::default())
+            .unwrap_or_else(|e| panic!("{}: pruned search failed: {e:?}", k.code));
+        let slow =
+            search_exhaustive_with(&k.program, &space, &CountingOracle, Objective::default())
+                .unwrap_or_else(|e| panic!("{}: exhaustive search failed: {e:?}", k.code));
+        assert_eq!(
+            fast.scheme, slow.scheme,
+            "{}: winner scheme differs",
+            k.code
+        );
+        assert_eq!(
+            fast.page_size, slow.page_size,
+            "{}: page size differs",
+            k.code
+        );
+        assert_eq!(
+            fast.score.to_bits(),
+            slow.score.to_bits(),
+            "{}: score not bit-identical",
+            k.code
+        );
+        assert_eq!(fast.messages, slow.messages, "{}: messages differ", k.code);
+        assert_eq!(
+            fast.remote_pct.to_bits(),
+            slow.remote_pct.to_bits(),
+            "{}: remote pct not bit-identical",
+            k.code
+        );
+        assert_eq!(
+            fast.evaluated + fast.pruned,
+            total_per_workload,
+            "{}: candidates lost",
+            k.code
+        );
+        pruned_total += fast.pruned;
+        candidates_total += total_per_workload;
+    }
+    println!(
+        "search pruning: skipped {pruned_total}/{candidates_total} candidate \
+         configurations across the reduced registry"
     );
 }
