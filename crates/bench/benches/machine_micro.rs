@@ -18,6 +18,7 @@ fn machine_with_data(cfg: MachineConfig) -> DistributedMachine {
         vec![ArraySpec {
             name: "B".into(),
             len: 4096,
+            dims: vec![],
             init: (0..4096).map(|i| i as f64).collect(),
         }],
     )
@@ -79,6 +80,18 @@ fn bench_partition_and_network(c: &mut Criterion) {
     });
     g.bench_function("owner_block", |b| {
         b.iter(|| PartitionScheme::Block.owner(black_box(123), 251, 64))
+    });
+    g.bench_function("owner_tile2d", |b| {
+        let pl = sa_machine::Placement::new(
+            PartitionScheme::Tile2D {
+                tile_rows: 32,
+                tile_cols: 32,
+            },
+            32,
+            16,
+            sa_machine::ArrayShape::from_dims(&[512, 512]),
+        );
+        b.iter(|| pl.page_owner(black_box(1234)))
     });
     g.bench_function("mesh_hops", |b| {
         b.iter(|| NetworkTopology::Mesh2D.hops(64, black_box(3), black_box(60)))

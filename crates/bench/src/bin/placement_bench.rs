@@ -1,0 +1,101 @@
+//! `placement_bench` — locality comparison of the partitioning schemes on
+//! the 512×512 5-point Jacobi stencil, emitted as a machine-readable JSON
+//! artifact (`BENCH_placement.json`) for CI trend tracking.
+//!
+//! ```console
+//! $ cargo run -p bench --release --bin placement_bench             # writes BENCH_placement.json
+//! $ cargo run -p bench --release --bin placement_bench -- out.json # custom path
+//! ```
+//!
+//! Per scheme it reports remote-read percentage, modeled messages, total
+//! hops and the heaviest-link load on a 2-D mesh — the figures the
+//! ROADMAP's multi-dimensional-placement item is about: geometry-aware
+//! schemes (`rowband`, `tile2d`) keep a stencil's halo exchanges between
+//! neighbouring owners, where round-robin page placement (`modulo`)
+//! scatters every row boundary across the whole machine.
+//!
+//! The run aborts if `tile2d` fails to beat `modulo` on remote reads —
+//! this artifact doubles as a regression gate on the placement layer.
+
+use sa_core::replay::counts;
+use sa_machine::{MachineConfig, NetworkTopology, PartitionScheme};
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_placement.json".to_string());
+    let (nx, ny, sweeps) = (512usize, 512usize, 2usize);
+    let (n_pes, page_size) = (16usize, 32usize);
+    let k = sa_loops::stencil::build_jacobi5(nx, ny, sweeps);
+
+    let schemes = [
+        PartitionScheme::Modulo,
+        PartitionScheme::Block,
+        PartitionScheme::BlockCyclic { block_pages: 4 },
+        PartitionScheme::RowBand,
+        PartitionScheme::Tile2D {
+            tile_rows: 128,
+            tile_cols: 128,
+        },
+    ];
+
+    let mut entries = Vec::new();
+    let mut remote_pct = std::collections::HashMap::new();
+    for scheme in schemes {
+        // Uncached so remote reads are purely a function of placement, on
+        // a 2-D mesh so link loads expose contention differences.
+        let cfg = MachineConfig::new(n_pes, page_size)
+            .with_cache_elems(0)
+            .with_partition(scheme)
+            .with_network(NetworkTopology::Mesh2D);
+        let rep = counts(&k.program, &cfg).expect("replay handles the stencil");
+        let pct = rep.stats.remote_read_pct();
+        remote_pct.insert(scheme.name(), pct);
+        entries.push(format!(
+            "    {{\"scheme\": \"{}\", \"remote_pct\": {}, \"remote_reads\": {}, \
+             \"messages\": {}, \"hops\": {}, \"max_link_load\": {}}}",
+            scheme.name(),
+            json_f64((pct * 1e4).round() / 1e4),
+            rep.stats.remote_reads(),
+            rep.network_messages,
+            rep.network_hops,
+            rep.max_link_load,
+        ));
+        println!(
+            "{:<18} remote {:>6.2}%  messages {:>8}  hops {:>8}  max link load {:>7}",
+            scheme.name(),
+            pct,
+            rep.network_messages,
+            rep.network_hops,
+            rep.max_link_load,
+        );
+    }
+
+    let modulo = remote_pct["modulo"];
+    let tile = remote_pct["tile2d(128x128)"];
+    assert!(
+        tile < modulo,
+        "placement regression: tile2d remote {tile:.3}% is not below modulo {modulo:.3}%"
+    );
+
+    let doc = format!(
+        "{{\n  \"bench\": \"placement\",\n  \"config\": {{\"workload\": \"ST5\", \
+         \"dims\": \"{nx}x{ny}\", \"sweeps\": {sweeps}, \"n_pes\": {n_pes}, \
+         \"page_size\": {page_size}, \"cache_elems\": 0, \"network\": \"mesh2d\"}},\n  \
+         \"schemes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!(
+        "wrote {out_path}: tile2d(128x128) remote {tile:.2}% vs modulo {modulo:.2}% \
+         on ST5 {nx}x{ny}"
+    );
+}

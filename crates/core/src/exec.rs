@@ -220,6 +220,7 @@ fn run(program: &Program, cfg: &MachineConfig, tracing: bool) -> Result<SimRepor
         .map(|d| ArraySpec {
             name: d.name.clone(),
             len: d.len(),
+            dims: d.dims.clone(),
             init: d.init.materialize(d.len()),
         })
         .collect();

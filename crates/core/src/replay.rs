@@ -63,8 +63,8 @@ use sa_ir::program::{ArrayInit, Phase};
 use sa_ir::Program;
 use sa_machine::host::run_reinit_protocol;
 use sa_machine::{
-    host_of, pages_in, CachePolicy, ConfigError, MachineConfig, Network, PageKey,
-    PartialPagePolicy, PartitionScheme, PeCounters, Stats,
+    host_of, ArrayShape, CachePolicy, ConfigError, MachineConfig, Network, PageKey,
+    PartialPagePolicy, PeCounters, Placement, Stats,
 };
 
 use crate::exec::{simulate, SimError, SimReport};
@@ -266,7 +266,9 @@ enum CPhase {
 struct Compiled {
     phases: Vec<CPhase>,
     nests: Vec<CNest>,
-    array_pages: Vec<usize>,
+    /// Per-array geometry-aware placement (scheme × page size × PEs ×
+    /// declared shape) — the single owner authority for the whole replay.
+    placements: Vec<Placement>,
     /// Truncated (`as i64`) static values per gather base array; empty for
     /// arrays never used as a gather base.
     index_values: Vec<Vec<i64>>,
@@ -387,10 +389,17 @@ fn compile(program: &Program, cfg: &MachineConfig) -> Result<Compiled, ReplayErr
     Ok(Compiled {
         phases,
         nests,
-        array_pages: program
+        placements: program
             .arrays
             .iter()
-            .map(|d| pages_in(d.len(), cfg.page_size))
+            .map(|d| {
+                Placement::new(
+                    cfg.partition,
+                    cfg.page_size,
+                    cfg.n_pes,
+                    ArrayShape::from_dims(&d.dims),
+                )
+            })
             .collect(),
         index_values,
     })
@@ -647,7 +656,6 @@ struct Worker<'a> {
     pe: usize,
     n_pes: usize,
     ps: usize,
-    scheme: PartitionScheme,
     cache_on: bool,
     lru: bool,
     cache: ReplayCache,
@@ -668,12 +676,11 @@ impl<'a> Worker<'a> {
             pe,
             n_pes: cfg.n_pes,
             ps: cfg.page_size,
-            scheme: cfg.partition,
             cache_on: cfg.cache_enabled(),
             lru: cfg.cache_policy == sa_machine::CachePolicy::Lru,
             cache: ReplayCache::new(cfg.cache_pages(), cfg.cache_policy),
             net: Network::new(cfg.network, cfg.n_pes),
-            gens: vec![0; cp.array_pages.len()],
+            gens: vec![0; cp.placements.len()],
             cur: NestTally::default(),
             participation: Vec::new(),
             scratch_probes: Vec::new(),
@@ -706,9 +713,7 @@ impl<'a> Worker<'a> {
 
     fn owner_of(&self, array: usize, addr: i64) -> usize {
         debug_assert!(addr >= 0, "negative address in replay (invalid program)");
-        let page = addr as usize / self.ps;
-        self.scheme
-            .owner(page, self.cp.array_pages[array], self.n_pes)
+        self.cp.placements[array].owner_of_addr(addr as usize)
     }
 
     /// Charge one element read exactly as `DistributedMachine::read` would.
@@ -1004,9 +1009,8 @@ impl<'a> Worker<'a> {
         out: &mut Vec<ProbeRun>,
     ) {
         let ps = self.ps as i64;
-        let pages = self.cp.array_pages[array];
         let mut push = |this: &mut Self, t0: usize, t1: usize, page: usize| {
-            let owner = this.scheme.owner(page, pages, this.n_pes);
+            let owner = this.cp.placements[array].page_owner(page);
             if owner == this.pe {
                 this.cur.local += (t1 - t0) as u64;
             } else {
@@ -1169,8 +1173,7 @@ impl<'a> Worker<'a> {
         debug_assert!(b >= 0 && last >= 0, "negative anchor address");
         let (lo_addr, hi_addr) = if a > 0 { (b, last) } else { (last, b) };
         let (plo, phi) = ((lo_addr / ps) as usize, (hi_addr / ps) as usize);
-        let total = self.cp.array_pages[array];
-        self.for_owned_page_intervals(total, plo, phi, |q0, q1| {
+        self.cp.placements[array].owned_page_intervals(self.pe, plo, phi, |q0, q1| {
             // Iterations whose address lands in pages [q0, q1).
             let lo_bound = q0 as i64 * ps;
             let hi_bound = q1 as i64 * ps - 1;
@@ -1198,56 +1201,6 @@ impl<'a> Worker<'a> {
             }
         }
         out
-    }
-
-    /// Invoke `f` on each maximal page interval `[q0, q1)` owned by this PE
-    /// within `[plo, phi]` of an array of `total` pages.
-    fn for_owned_page_intervals(
-        &self,
-        total: usize,
-        plo: usize,
-        phi: usize,
-        mut f: impl FnMut(usize, usize),
-    ) {
-        let n = self.n_pes;
-        match self.scheme {
-            PartitionScheme::Modulo => {
-                let first = plo + (self.pe + n - plo % n) % n;
-                let mut q = first;
-                while q <= phi {
-                    f(q, q + 1);
-                    q += n;
-                }
-            }
-            PartitionScheme::Block => {
-                // owner(q) = min(q / chunk, n - 1): one contiguous interval,
-                // extending to the end of the array for the last PE.
-                let chunk = total.div_ceil(n).max(1);
-                let q0 = self.pe * chunk;
-                let q1 = if self.pe + 1 == n {
-                    total.max(phi + 1)
-                } else {
-                    q0 + chunk
-                };
-                if q0 <= phi && q1 > plo {
-                    f(q0.max(plo), q1.min(phi + 1));
-                }
-            }
-            PartitionScheme::BlockCyclic { block_pages } => {
-                // owner(q) = (q / b) % n: owned blocks are j ≡ pe (mod n).
-                let bp = block_pages.max(1);
-                let jlo = plo / bp;
-                let mut j = jlo + (self.pe + n - jlo % n) % n;
-                loop {
-                    let q0 = j * bp;
-                    if q0 > phi {
-                        break;
-                    }
-                    f(q0.max(plo), (q0 + bp).min(phi + 1));
-                    j += n;
-                }
-            }
-        }
     }
 
     /// Owned iterations by per-iteration predicate (gather / round-robin
@@ -1297,7 +1250,7 @@ pub fn counts(program: &Program, cfg: &MachineConfig) -> Result<CountReport, Rep
     // Coordinator: host-protocol accounting (PE-independent) + merge.
     let mut net = Network::new(cfg.network, cfg.n_pes);
     let mut stats = Stats::new(cfg.n_pes);
-    let mut gens = vec![0u32; cp.array_pages.len()];
+    let mut gens = vec![0u32; cp.placements.len()];
     for phase in &cp.phases {
         if let CPhase::Reinit(a) = phase {
             gens[*a] += 1;
@@ -1396,7 +1349,7 @@ mod tests {
     use super::*;
     use sa_ir::index::iv;
     use sa_ir::{InitPattern, ProgramBuilder};
-    use sa_machine::{CachePolicy, NetworkTopology};
+    use sa_machine::{CachePolicy, NetworkTopology, PartitionScheme};
 
     fn assert_identical(program: &Program, cfg: &MachineConfig) {
         let sim = simulate(program, cfg).expect("interpreter accepts the program");
@@ -1445,6 +1398,11 @@ mod tests {
             PartitionScheme::Modulo,
             PartitionScheme::Block,
             PartitionScheme::BlockCyclic { block_pages: 2 },
+            PartitionScheme::RowBand,
+            PartitionScheme::Tile2D {
+                tile_rows: 3,
+                tile_cols: 40,
+            },
         ] {
             for policy in [
                 CachePolicy::Lru,

@@ -11,15 +11,18 @@
 use sa_ir::interp::{resolve_ref_addr, Memory};
 use sa_ir::nest::Stmt;
 use sa_ir::{analysis, ArrayId, IrError, Program};
-use sa_machine::{pages_in, MachineConfig, PartitionScheme};
+use sa_machine::{ArrayShape, MachineConfig, Placement};
 
 /// Immutable page-ownership map for one (program, machine) pair.
+///
+/// Each array carries its own [`Placement`] built from its declared
+/// dimensions, so tiled schemes (`RowBand`, `Tile2D`) see the real grid
+/// geometry while the page-linear schemes keep the paper's §2 arithmetic.
 #[derive(Debug, Clone)]
 pub struct PartitionMap {
     n_pes: usize,
     page_size: usize,
-    scheme: PartitionScheme,
-    array_pages: Vec<usize>,
+    placements: Vec<Placement>,
 }
 
 impl PartitionMap {
@@ -28,11 +31,17 @@ impl PartitionMap {
         PartitionMap {
             n_pes: cfg.n_pes,
             page_size: cfg.page_size,
-            scheme: cfg.partition,
-            array_pages: program
+            placements: program
                 .arrays
                 .iter()
-                .map(|d| pages_in(d.len(), cfg.page_size))
+                .map(|d| {
+                    Placement::new(
+                        cfg.partition,
+                        cfg.page_size,
+                        cfg.n_pes,
+                        ArrayShape::from_dims(&d.dims),
+                    )
+                })
                 .collect(),
         }
     }
@@ -47,10 +56,14 @@ impl PartitionMap {
         self.page_size
     }
 
+    /// Placement of array `a`.
+    pub fn placement(&self, a: ArrayId) -> &Placement {
+        &self.placements[a.0]
+    }
+
     /// Owning PE of linear address `addr` in array `a`.
     pub fn owner(&self, a: ArrayId, addr: usize) -> usize {
-        let page = addr / self.page_size;
-        self.scheme.owner(page, self.array_pages[a.0], self.n_pes)
+        self.placements[a.0].owner_of_addr(addr)
     }
 
     /// Owning PE of a statement instance at iteration `ivs`, or `None` for
@@ -162,5 +175,36 @@ mod tests {
         });
         assert_eq!(counts.iter().sum::<usize>(), 100);
         assert_eq!(counts, vec![32, 32, 32, 4]); // 3 full pages + partial
+    }
+
+    #[test]
+    fn tiled_map_screens_by_grid_tile() {
+        use sa_machine::PartitionScheme;
+        // An 8×8 grid under Tile2D{4,4} on 4 PEs, page size 2: the anchor
+        // owner of (i, j) is the tile owner, not the flattened-page owner.
+        let mut b = ProgramBuilder::new("t2");
+        let y = b.input("Y", &[8, 8], InitPattern::Wavy);
+        let x = b.output("X", &[8, 8]);
+        b.nest("main", &[("i", 0, 7), ("j", 0, 7)], |nb| {
+            nb.assign(x, [iv(0), iv(1)], nb.read(y, [iv(0), iv(1)]));
+        });
+        let p = b.finish();
+        let cfg = MachineConfig::new(4, 2).with_partition(PartitionScheme::Tile2D {
+            tile_rows: 4,
+            tile_cols: 4,
+        });
+        let map = PartitionMap::new(&p, &cfg);
+        let nest = p.nests().next().unwrap();
+        let stmt = &nest.body[0];
+        assert_eq!(map.anchor_owner(&p, stmt, &[0, 0]), Some(0));
+        assert_eq!(map.anchor_owner(&p, stmt, &[0, 4]), Some(1));
+        assert_eq!(map.anchor_owner(&p, stmt, &[4, 0]), Some(2));
+        assert_eq!(map.anchor_owner(&p, stmt, &[7, 7]), Some(3));
+        // Every iteration still belongs to exactly one PE, 16 per tile.
+        let mut counts = vec![0usize; 4];
+        nest.for_each_iteration(|ivs| {
+            counts[map.anchor_owner(&p, stmt, ivs).unwrap()] += 1;
+        });
+        assert_eq!(counts, vec![16, 16, 16, 16]);
     }
 }

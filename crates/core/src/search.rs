@@ -83,9 +83,10 @@ pub struct SearchSpace {
 
 impl Default for SearchSpace {
     /// The ROADMAP's default space: the paper's modulo scheme, the §9
-    /// division (block) scheme and two block-cyclic hybrids, crossed with
-    /// the page sizes of the §9 "selectable page size" proposal, at the
-    /// reference 16-PE / 256-element-cache machine.
+    /// division (block) scheme, two block-cyclic hybrids, and the
+    /// geometry-aware tiled placements (row bands and two square tiles),
+    /// crossed with the page sizes of the §9 "selectable page size"
+    /// proposal, at the reference 16-PE / 256-element-cache machine.
     fn default() -> Self {
         SearchSpace {
             schemes: vec![
@@ -93,6 +94,15 @@ impl Default for SearchSpace {
                 PartitionScheme::Block,
                 PartitionScheme::BlockCyclic { block_pages: 2 },
                 PartitionScheme::BlockCyclic { block_pages: 4 },
+                PartitionScheme::RowBand,
+                PartitionScheme::Tile2D {
+                    tile_rows: 16,
+                    tile_cols: 16,
+                },
+                PartitionScheme::Tile2D {
+                    tile_rows: 64,
+                    tile_cols: 64,
+                },
             ],
             page_sizes: vec![8, 16, 32, 64, 128, 256],
             n_pes: 16,

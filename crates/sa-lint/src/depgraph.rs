@@ -59,7 +59,7 @@ use sa_ir::index::IndexExpr;
 use sa_ir::nest::{ArrayRef, LoopNest, Stmt};
 use sa_ir::program::Phase;
 use sa_ir::{ArrayId, Expr, PairRelation, Program};
-use sa_machine::{page_of, pages_in};
+use sa_machine::{ArrayShape, Placement};
 
 use crate::diag::{Code, Diagnostic, Severity, Span};
 use crate::sites::{resolve_static_addr, static_array_values, statically_resolvable};
@@ -737,9 +737,16 @@ fn classify_nest(nest: &LoopNest) -> (Vec<StmtClass<'_>>, usize) {
 }
 
 fn owner_of(program: &Program, cfg: &LintConfig, array: ArrayId, addr: usize) -> usize {
-    let total_pages = pages_in(program.array(array).len(), cfg.page_size);
-    cfg.scheme
-        .owner(page_of(addr, cfg.page_size), total_pages, cfg.n_pes)
+    // One geometry-aware chokepoint: SA008's wait graph must agree with the
+    // executors' placement, or its deadlock proofs are unsound under tiled
+    // schemes.
+    Placement::new(
+        cfg.scheme,
+        cfg.page_size,
+        cfg.n_pes,
+        ArrayShape::from_dims(&program.array(array).dims),
+    )
+    .owner_of_addr(addr)
 }
 
 /// Compute work and span of the instance-level value DAG.

@@ -36,7 +36,7 @@ use sa_ir::index::AffineIndex;
 use sa_ir::nest::{LoopNest, Stmt};
 use sa_ir::program::Phase;
 use sa_ir::Program;
-use sa_machine::{host_of, pages_in, MachineConfig, Stats};
+use sa_machine::{host_of, ArrayShape, MachineConfig, Placement, Stats};
 
 /// The estimator's verdict: the same counters the counting simulator
 /// reports, computed in closed form.
@@ -116,8 +116,8 @@ struct RefLine {
     /// Linear address at inner trip `t` is `a + b·t`.
     a: i64,
     b: i64,
-    /// Pages of the referenced array under the current config.
-    total_pages: usize,
+    /// Index of the referenced array's [`Placement`].
+    array: usize,
 }
 
 /// A statement's references, split by role.
@@ -153,10 +153,19 @@ pub fn estimate(program: &Program, cfg: &MachineConfig) -> Result<CommEstimate, 
         }
     }
 
-    let total_pages: Vec<usize> = program
+    // Per-array placements: tiled schemes see each array's declared grid,
+    // the page-linear schemes keep the paper's flattened-page arithmetic.
+    let placements: Vec<Placement> = program
         .arrays
         .iter()
-        .map(|d| pages_in(d.len(), cfg.page_size))
+        .map(|d| {
+            Placement::new(
+                cfg.partition,
+                cfg.page_size,
+                cfg.n_pes,
+                ArrayShape::from_dims(&d.dims),
+            )
+        })
         .collect();
 
     let mut stats = Stats::new(cfg.n_pes);
@@ -172,7 +181,7 @@ pub fn estimate(program: &Program, cfg: &MachineConfig) -> Result<CommEstimate, 
                 stats.reinit_messages += 2 * (cfg.n_pes as u64 - 1);
             }
             Phase::Loop(nest) => {
-                estimate_nest(program, nest, cfg, &total_pages, &mut stats, &mut rr)?;
+                estimate_nest(program, nest, cfg, &placements, &mut stats, &mut rr)?;
             }
         }
     }
@@ -215,7 +224,7 @@ fn estimate_nest(
     program: &Program,
     nest: &LoopNest,
     cfg: &MachineConfig,
-    total_pages: &[usize],
+    placements: &[Placement],
     stats: &mut Stats,
     rr: &mut usize,
 ) -> Result<(), EstimateError> {
@@ -248,7 +257,7 @@ fn estimate_nest(
             program,
             nest,
             cfg,
-            total_pages,
+            placements,
             &split,
             &anchorless,
             &mut participants,
@@ -306,7 +315,6 @@ fn lower_ref(
     inner_lo: i64,
     inner_step: i64,
     trips: i64,
-    total_pages: &[usize],
 ) -> Result<RefLine, EstimateError> {
     let decl = program.array(aref.array);
     let strides = decl.strides();
@@ -341,7 +349,7 @@ fn lower_ref(
     Ok(RefLine {
         a,
         b,
-        total_pages: total_pages[aref.array.0],
+        array: aref.array.0,
     })
 }
 
@@ -350,13 +358,8 @@ impl RefLine {
         self.a + self.b * t
     }
 
-    fn page(&self, t: i64, page_size: usize) -> usize {
-        (self.addr(t) as usize) / page_size
-    }
-
-    fn owner(&self, t: i64, cfg: &MachineConfig) -> usize {
-        cfg.partition
-            .owner(self.page(t, cfg.page_size), self.total_pages, cfg.n_pes)
+    fn owner(&self, t: i64, placements: &[Placement]) -> usize {
+        placements[self.array].owner_of_addr(self.addr(t) as usize)
     }
 
     /// First `t > t_cur` at which this reference leaves its current page
@@ -383,7 +386,7 @@ fn estimate_chunk(
     program: &Program,
     nest: &LoopNest,
     cfg: &MachineConfig,
-    total_pages: &[usize],
+    placements: &[Placement],
     split: &[StmtRefs<'_>],
     anchorless: &[usize],
     participants: &mut [(usize, Vec<bool>)],
@@ -415,30 +418,12 @@ fn estimate_chunk(
         };
 
         let anchor = lower_ref(
-            program,
-            nest,
-            anchor_ref,
-            outer_ivs,
-            inner_lo,
-            lv.step,
-            trips,
-            total_pages,
+            program, nest, anchor_ref, outer_ivs, inner_lo, lv.step, trips,
         )?;
         let reads: Vec<RefLine> = srefs
             .reads
             .iter()
-            .map(|r| {
-                lower_ref(
-                    program,
-                    nest,
-                    r,
-                    outer_ivs,
-                    inner_lo,
-                    lv.step,
-                    trips,
-                    total_pages,
-                )
-            })
+            .map(|r| lower_ref(program, nest, r, outer_ivs, inner_lo, lv.step, trips))
             .collect::<Result<_, _>>()?;
 
         // Split 0..trips into maximal runs on which every reference sits
@@ -451,7 +436,7 @@ fn estimate_chunk(
             }
             let next = next.min(trips);
             let run = (next - t) as u64;
-            let pe = anchor.owner(t, cfg);
+            let pe = anchor.owner(t, placements);
             if srefs.target.is_some() {
                 stats.per_pe[pe].writes += run;
             }
@@ -459,7 +444,7 @@ fn estimate_chunk(
                 participants[ri].1[pe] = true;
             }
             for r in &reads {
-                if r.owner(t, cfg) == pe {
+                if r.owner(t, placements) == pe {
                     stats.per_pe[pe].local_reads += run;
                 } else {
                     stats.per_pe[pe].remote_reads += run;

@@ -19,7 +19,7 @@ use sa_ir::index::IndexExpr;
 use sa_ir::nest::ArrayRef;
 use sa_ir::program::{ArrayInit, Phase};
 use sa_ir::Program;
-use sa_machine::{pages_in, PartitionScheme};
+use sa_machine::{ArrayShape, PartitionScheme, Placement};
 
 /// Run the progress checks (`SA004`, `SA005`, `SA006`) on `program`.
 pub fn check_progress(program: &Program) -> Vec<Diagnostic> {
@@ -393,9 +393,12 @@ pub fn check_partition(
     }
     let mut owns = vec![false; n_pes];
     for decl in &program.arrays {
-        let total_pages = pages_in(decl.len(), page_size);
-        for page in 0..total_pages {
-            owns[scheme.owner(page, total_pages, n_pes)] = true;
+        // Geometry-aware ownership: tiled schemes can orphan PEs that the
+        // flattened-page arithmetic would have covered (and vice versa), so
+        // legality must probe the same placement the executors use.
+        let pl = Placement::new(scheme, page_size, n_pes, ArrayShape::from_dims(&decl.dims));
+        for page in 0..pl.pages() {
+            owns[pl.page_owner(page)] = true;
         }
     }
     let orphans: Vec<usize> = (0..n_pes).filter(|&pe| !owns[pe]).collect();

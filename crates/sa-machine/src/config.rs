@@ -34,6 +34,9 @@ pub enum ConfigError {
     ZeroPageSize,
     /// `BlockCyclic { block_pages: 0 }`; chunks must hold at least a page.
     ZeroBlockPages,
+    /// `Tile2D` with a zero `tile_rows` or `tile_cols`; tiles must cover
+    /// at least one grid element.
+    ZeroTileShape,
     /// An experiment-plan axis held no values, so the cross product is
     /// empty and no grid point can be enumerated.
     EmptyAxis {
@@ -54,6 +57,7 @@ impl core::fmt::Display for ConfigError {
             ConfigError::ZeroPes => write!(f, "n_pes must be ≥ 1"),
             ConfigError::ZeroPageSize => write!(f, "page_size must be ≥ 1"),
             ConfigError::ZeroBlockPages => write!(f, "block_pages must be ≥ 1"),
+            ConfigError::ZeroTileShape => write!(f, "tile_rows and tile_cols must be ≥ 1"),
             ConfigError::EmptyAxis { axis } => write!(f, "axis `{axis}` has no values"),
             ConfigError::DuplicateAxis { axis } => write!(f, "axis `{axis}` was added twice"),
         }
@@ -182,6 +186,15 @@ impl MachineConfig {
                 return Err(ConfigError::ZeroBlockPages);
             }
         }
+        if let PartitionScheme::Tile2D {
+            tile_rows,
+            tile_cols,
+        } = self.partition
+        {
+            if tile_rows == 0 || tile_cols == 0 {
+                return Err(ConfigError::ZeroTileShape);
+            }
+        }
         Ok(())
     }
 }
@@ -247,6 +260,28 @@ mod tests {
             MachineConfig::new(0, 0).validate(),
             Err(ConfigError::ZeroPes)
         );
+        for (tile_rows, tile_cols) in [(0usize, 4usize), (4, 0), (0, 0)] {
+            assert_eq!(
+                MachineConfig::new(4, 32)
+                    .with_partition(PartitionScheme::Tile2D {
+                        tile_rows,
+                        tile_cols
+                    })
+                    .validate(),
+                Err(ConfigError::ZeroTileShape)
+            );
+        }
+        assert!(MachineConfig::new(4, 32)
+            .with_partition(PartitionScheme::Tile2D {
+                tile_rows: 8,
+                tile_cols: 8
+            })
+            .validate()
+            .is_ok());
+        assert!(MachineConfig::new(4, 32)
+            .with_partition(PartitionScheme::RowBand)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod host;
 pub mod machine;
 pub mod network;
 pub mod partition;
+pub mod placement;
 pub mod stats;
 pub mod timing;
 
@@ -34,7 +35,8 @@ pub use cache::{CacheOutcome, CachePolicy, PageCache, PageKey};
 pub use config::{ConfigError, MachineConfig, PartialPagePolicy};
 pub use host::{host_of, ReinitSync};
 pub use machine::{DistributedMachine, MachineError};
-pub use network::{Network, NetworkTopology};
+pub use network::{LinkModel, Network, NetworkTopology};
 pub use partition::{page_of, pages_in, PartitionScheme};
+pub use placement::{ArrayShape, Placement};
 pub use stats::{load_balance, AccessKind, LoadBalance, PeCounters, Stats};
 pub use timing::AccessCosts;

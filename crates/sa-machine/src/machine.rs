@@ -6,7 +6,8 @@ use crate::cache::{CacheOutcome, PageCache, PageKey};
 use crate::config::{MachineConfig, PartialPagePolicy};
 use crate::host::{run_reinit_protocol, ReinitSync};
 use crate::network::Network;
-use crate::partition::{page_of, pages_in};
+use crate::partition::page_of;
+use crate::placement::{ArrayShape, Placement};
 use crate::stats::{AccessKind, Stats};
 
 /// Description of one array to place on the machine.
@@ -17,8 +18,38 @@ pub struct ArraySpec {
     /// Total elements (linear address space; multi-dim arrays are
     /// linearized row-major upstream).
     pub len: usize,
+    /// Declared dimensions, outermost first (empty means linear `[len]`).
+    /// Only the tiled partition schemes read the geometry; the page-linear
+    /// schemes place identically whatever is declared here.
+    pub dims: Vec<usize>,
     /// Initially defined prefix values (empty for produced arrays).
     pub init: Vec<f64>,
+}
+
+impl ArraySpec {
+    /// A linear (1-D) array spec.
+    pub fn linear(name: impl Into<String>, len: usize, init: Vec<f64>) -> Self {
+        ArraySpec {
+            name: name.into(),
+            len,
+            dims: Vec::new(),
+            init,
+        }
+    }
+
+    /// The placement geometry this spec declares.
+    pub fn shape(&self) -> ArrayShape {
+        if self.dims.is_empty() {
+            ArrayShape::linear(self.len)
+        } else {
+            debug_assert_eq!(
+                self.dims.iter().product::<usize>(),
+                self.len,
+                "declared dims must cover the array"
+            );
+            ArrayShape::from_dims(&self.dims)
+        }
+    }
 }
 
 /// Errors raised by machine operations.
@@ -114,6 +145,7 @@ impl std::error::Error for MachineError {}
 pub struct DistributedMachine {
     cfg: MachineConfig,
     arrays: Vec<SaArray<f64>>,
+    placements: Vec<Placement>,
     caches: Vec<PageCache>,
     stats: Stats,
     network: Network,
@@ -123,6 +155,10 @@ impl DistributedMachine {
     /// Build a machine and place `specs` on it.
     pub fn new(cfg: MachineConfig, specs: Vec<ArraySpec>) -> Result<Self, MachineError> {
         cfg.validate().map_err(MachineError::BadConfig)?;
+        let placements = specs
+            .iter()
+            .map(|s| Placement::new(cfg.partition, cfg.page_size, cfg.n_pes, s.shape()))
+            .collect();
         let arrays = specs
             .into_iter()
             .map(|s| {
@@ -141,6 +177,7 @@ impl DistributedMachine {
             network: Network::new(cfg.network, cfg.n_pes),
             cfg,
             arrays,
+            placements,
             caches,
         })
     }
@@ -157,15 +194,17 @@ impl DistributedMachine {
 
     /// Pages of array `a`.
     pub fn pages_of(&self, a: usize) -> usize {
-        pages_in(self.arrays[a].len(), self.cfg.page_size)
+        self.placements[a].pages()
+    }
+
+    /// Placement of array `a`.
+    pub fn placement_of(&self, a: usize) -> &Placement {
+        &self.placements[a]
     }
 
     /// Owning PE of `addr` in array `a`.
     pub fn owner_of(&self, a: usize, addr: usize) -> usize {
-        let page = page_of(addr, self.cfg.page_size);
-        self.cfg
-            .partition
-            .owner(page, self.pages_of(a), self.cfg.n_pes)
+        self.placements[a].owner_of_addr(addr)
     }
 
     /// Current generation of array `a`.
@@ -357,11 +396,7 @@ mod tests {
     use crate::partition::PartitionScheme;
 
     fn spec(name: &str, len: usize, init: Vec<f64>) -> ArraySpec {
-        ArraySpec {
-            name: name.into(),
-            len,
-            init,
-        }
+        ArraySpec::linear(name, len, init)
     }
 
     fn machine(cfg: MachineConfig) -> DistributedMachine {
@@ -524,6 +559,40 @@ mod tests {
         assert_eq!(m2.owner_of(0, 32), 0); // pages 0,1 → PE 0
         assert_eq!(m2.owner_of(0, 64), 1);
         drop(m);
+    }
+
+    #[test]
+    fn tiled_placement_enforces_owner_computes_by_tile() {
+        // 8×8 grid, 2×2-element pages along the flattening, 4 PEs under
+        // Tile2D{4,4}: element (0,0) is in tile 0 → PE 0; element (0,4) in
+        // tile 1 → PE 1; element (4,0) in tile 2 → PE 2.
+        let cfg = MachineConfig::new(4, 2).with_partition(PartitionScheme::Tile2D {
+            tile_rows: 4,
+            tile_cols: 4,
+        });
+        let mut m = DistributedMachine::new(
+            cfg,
+            vec![ArraySpec {
+                name: "G".into(),
+                len: 64,
+                dims: vec![8, 8],
+                init: vec![],
+            }],
+        )
+        .unwrap();
+        assert_eq!(m.owner_of(0, 0), 0);
+        assert_eq!(m.owner_of(0, 4), 1);
+        assert_eq!(m.owner_of(0, 4 * 8), 2);
+        assert_eq!(m.owner_of(0, 4 * 8 + 4), 3);
+        // Owner-computes is enforced against the tile owner.
+        m.write(1, 0, 4, 1.0).unwrap();
+        assert!(matches!(
+            m.write(0, 0, 5, 1.0),
+            Err(MachineError::RemoteWrite { owner: 1, .. })
+        ));
+        // A remote read of PE 1's tile is network traffic for PE 0.
+        let (_, k, _) = m.read(0, 0, 4).unwrap();
+        assert_eq!(k, AccessKind::RemoteRead);
     }
 
     #[test]

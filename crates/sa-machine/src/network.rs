@@ -9,54 +9,267 @@
 
 use std::collections::HashMap;
 
-/// Interconnect topology.
+/// How a topology measures and routes point-to-point traffic.
+///
+/// A link model answers two questions for a machine of `n` PEs: how many
+/// link traversals a message `from → to` costs ([`hops`](LinkModel::hops)),
+/// and which directed links it crosses on the way
+/// ([`route`](LinkModel::route)). [`Network`] calls both on every recorded
+/// message, so implementing this trait for a new interconnect is all it
+/// takes for message, hop, and per-link contention accounting — on the
+/// counting simulator, the replay engine, and the thread runtime alike —
+/// to understand it.
+///
+/// The contract the accounting relies on:
+///
+/// * `hops(n, p, p) == 0` and `route` visits nothing for a self-message;
+/// * `route(n, from, to, visit)` invokes `visit` exactly `hops(n, from,
+///   to)` times, once per traversed directed link;
+/// * link endpoints passed to `visit` are node ids — they may exceed
+///   `n - 1` for switch-only intermediate nodes (a ragged torus row, the
+///   [`Bus`](NetworkTopology::Bus)'s shared medium), which carry traffic
+///   but never originate it;
+/// * models are stateless and [`Sync`], so sharded engines can share one
+///   `&'static` instance.
+pub trait LinkModel: Sync {
+    /// Short name for report tables.
+    fn name(&self) -> &'static str;
+    /// Link traversals for a message `from → to` on `n` PEs.
+    fn hops(&self, n: usize, from: usize, to: usize) -> u32;
+    /// Visit each directed link of the route `from → to`, in order.
+    fn route(&self, n: usize, from: usize, to: usize, visit: &mut dyn FnMut(usize, usize));
+}
+
+/// Interconnect topology. Each variant is backed by a [`LinkModel`]
+/// (see [`NetworkTopology::model`]) that defines its distance metric and
+/// its routing — the enum is the cheap, `Copy` configuration handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetworkTopology {
     /// Count messages only; zero hops (the paper's implicit model).
     Ideal,
     /// Full crossbar: one hop between any two distinct PEs.
     Crossbar,
+    /// A single shared medium: one hop between any two distinct PEs, but
+    /// *every* message loads the same link, so `max_link_load` equals the
+    /// total bus traffic — the serialization bottleneck made visible.
+    Bus,
     /// Bidirectional ring: minimal cyclic distance.
     Ring,
     /// 2-D mesh (near-square), dimension-ordered (X then Y) routing.
     Mesh2D,
+    /// 2-D torus: the mesh plus wraparound links, so each dimension's
+    /// distance is cyclic. Ragged PE counts are laid out on the full
+    /// near-square rectangle; the unpopulated positions act as
+    /// switch-only nodes.
+    Torus2D,
     /// Binary hypercube (PE count rounded up to a power of two),
     /// e-cube routing.
     Hypercube,
 }
 
+/// The paper's implicit zero-cost interconnect.
+struct IdealModel;
+/// One hop between any pair; every pair is its own link.
+struct CrossbarModel;
+/// One shared link for everything.
+struct BusModel;
+/// Bidirectional ring, shortest way around.
+struct RingModel;
+/// Near-square mesh, dimension-ordered routing.
+struct Mesh2DModel;
+/// Near-square torus: per-dimension cyclic shortest way.
+struct Torus2DModel;
+/// Binary hypercube, e-cube (ascending-bit) routing.
+struct HypercubeModel;
+
+impl LinkModel for IdealModel {
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+    fn hops(&self, _n: usize, _from: usize, _to: usize) -> u32 {
+        0
+    }
+    fn route(&self, _n: usize, _from: usize, _to: usize, _visit: &mut dyn FnMut(usize, usize)) {}
+}
+
+impl LinkModel for CrossbarModel {
+    fn name(&self) -> &'static str {
+        "crossbar"
+    }
+    fn hops(&self, _n: usize, from: usize, to: usize) -> u32 {
+        u32::from(from != to)
+    }
+    fn route(&self, _n: usize, from: usize, to: usize, visit: &mut dyn FnMut(usize, usize)) {
+        if from != to {
+            visit(from, to);
+        }
+    }
+}
+
+impl LinkModel for BusModel {
+    fn name(&self) -> &'static str {
+        "bus"
+    }
+    fn hops(&self, _n: usize, from: usize, to: usize) -> u32 {
+        u32::from(from != to)
+    }
+    fn route(&self, n: usize, from: usize, to: usize, visit: &mut dyn FnMut(usize, usize)) {
+        if from != to {
+            // The shared medium is modeled as the single pseudo-link
+            // (n, n + 1) — ids no real PE pair can collide with — so all
+            // traffic aggregates onto one contention figure.
+            visit(n, n + 1);
+        }
+    }
+}
+
+impl LinkModel for RingModel {
+    fn name(&self) -> &'static str {
+        "ring"
+    }
+    fn hops(&self, n: usize, from: usize, to: usize) -> u32 {
+        let d = from.abs_diff(to);
+        d.min(n - d) as u32
+    }
+    fn route(&self, n: usize, from: usize, to: usize, visit: &mut dyn FnMut(usize, usize)) {
+        if from == to {
+            return;
+        }
+        let d = (to + n - from) % n;
+        let step: i64 = if d <= n - d { 1 } else { -1 };
+        let mut cur = from as i64;
+        while cur as usize != to {
+            let next = (cur + step).rem_euclid(n as i64);
+            visit(cur as usize, next as usize);
+            cur = next;
+        }
+    }
+}
+
+impl LinkModel for Mesh2DModel {
+    fn name(&self) -> &'static str {
+        "mesh2d"
+    }
+    fn hops(&self, n: usize, from: usize, to: usize) -> u32 {
+        let cols = mesh_cols(n);
+        let (fx, fy) = (from % cols, from / cols);
+        let (tx, ty) = (to % cols, to / cols);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u32
+    }
+    fn route(&self, n: usize, from: usize, to: usize, visit: &mut dyn FnMut(usize, usize)) {
+        let cols = mesh_cols(n);
+        let (mut x, mut y) = (from % cols, from / cols);
+        let (tx, ty) = (to % cols, to / cols);
+        while x != tx {
+            let nx = if x < tx { x + 1 } else { x - 1 };
+            visit(y * cols + x, y * cols + nx);
+            x = nx;
+        }
+        while y != ty {
+            let ny = if y < ty { y + 1 } else { y - 1 };
+            visit(y * cols + x, ny * cols + x);
+            y = ny;
+        }
+    }
+}
+
+impl LinkModel for Torus2DModel {
+    fn name(&self) -> &'static str {
+        "torus2d"
+    }
+    fn hops(&self, n: usize, from: usize, to: usize) -> u32 {
+        if from == to {
+            return 0;
+        }
+        let cols = mesh_cols(n);
+        let rows = n.div_ceil(cols).max(1);
+        let (fx, fy) = (from % cols, from / cols);
+        let (tx, ty) = (to % cols, to / cols);
+        let dx = fx.abs_diff(tx);
+        let dy = fy.abs_diff(ty);
+        (dx.min(cols - dx) + dy.min(rows - dy)) as u32
+    }
+    fn route(&self, n: usize, from: usize, to: usize, visit: &mut dyn FnMut(usize, usize)) {
+        if from == to {
+            return;
+        }
+        let cols = mesh_cols(n);
+        let rows = n.div_ceil(cols).max(1);
+        let (mut x, mut y) = (from % cols, from / cols);
+        let (tx, ty) = (to % cols, to / cols);
+        // X first, short way around the cycle (wrap links included);
+        // intermediate (y, x) positions on a ragged rectangle may not be
+        // populated PEs — they are switch-only nodes.
+        while x != tx {
+            let d = (tx + cols - x) % cols;
+            let nx = if d <= cols - d {
+                (x + 1) % cols
+            } else {
+                (x + cols - 1) % cols
+            };
+            visit(y * cols + x, y * cols + nx);
+            x = nx;
+        }
+        while y != ty {
+            let d = (ty + rows - y) % rows;
+            let ny = if d <= rows - d {
+                (y + 1) % rows
+            } else {
+                (y + rows - 1) % rows
+            };
+            visit(y * cols + x, ny * cols + x);
+            y = ny;
+        }
+    }
+}
+
+impl LinkModel for HypercubeModel {
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+    fn hops(&self, _n: usize, from: usize, to: usize) -> u32 {
+        (from ^ to).count_ones()
+    }
+    fn route(&self, _n: usize, from: usize, to: usize, visit: &mut dyn FnMut(usize, usize)) {
+        let mut cur = from;
+        let mut bit = 0;
+        while cur != to {
+            if (cur ^ to) & (1 << bit) != 0 {
+                let next = cur ^ (1 << bit);
+                visit(cur, next);
+                cur = next;
+            }
+            bit += 1;
+        }
+    }
+}
+
 impl NetworkTopology {
+    /// The [`LinkModel`] backing this topology. Models are stateless unit
+    /// values, shared as `&'static` across threads and shards.
+    pub fn model(&self) -> &'static dyn LinkModel {
+        match self {
+            NetworkTopology::Ideal => &IdealModel,
+            NetworkTopology::Crossbar => &CrossbarModel,
+            NetworkTopology::Bus => &BusModel,
+            NetworkTopology::Ring => &RingModel,
+            NetworkTopology::Mesh2D => &Mesh2DModel,
+            NetworkTopology::Torus2D => &Torus2DModel,
+            NetworkTopology::Hypercube => &HypercubeModel,
+        }
+    }
+
     /// Hop count between `from` and `to` on a machine of `n` PEs.
     pub fn hops(&self, n: usize, from: usize, to: usize) -> u32 {
         if from == to {
             return 0;
         }
-        match self {
-            NetworkTopology::Ideal => 0,
-            NetworkTopology::Crossbar => 1,
-            NetworkTopology::Ring => {
-                let d = from.abs_diff(to);
-                d.min(n - d) as u32
-            }
-            NetworkTopology::Mesh2D => {
-                let cols = mesh_cols(n);
-                let (fx, fy) = (from % cols, from / cols);
-                let (tx, ty) = (to % cols, to / cols);
-                (fx.abs_diff(tx) + fy.abs_diff(ty)) as u32
-            }
-            NetworkTopology::Hypercube => (from ^ to).count_ones(),
-        }
+        self.model().hops(n, from, to)
     }
 
     /// Short name for report tables.
     pub fn name(&self) -> &'static str {
-        match self {
-            NetworkTopology::Ideal => "ideal",
-            NetworkTopology::Crossbar => "crossbar",
-            NetworkTopology::Ring => "ring",
-            NetworkTopology::Mesh2D => "mesh2d",
-            NetworkTopology::Hypercube => "hypercube",
-        }
+        self.model().name()
     }
 }
 
@@ -134,59 +347,12 @@ impl Network {
         if from == to {
             return;
         }
-        match self.topology {
-            NetworkTopology::Ideal => {}
-            NetworkTopology::Crossbar => {
-                *self.link_loads.entry((from, to)).or_insert(0) += weight;
-            }
-            NetworkTopology::Ring => {
-                let n = self.n_pes;
-                let d = (to + n - from) % n;
-                let step: i64 = if d <= n - d { 1 } else { -1 };
-                let mut cur = from as i64;
-                while cur as usize != to {
-                    let next = (cur + step).rem_euclid(n as i64);
-                    *self
-                        .link_loads
-                        .entry((cur as usize, next as usize))
-                        .or_insert(0) += weight;
-                    cur = next;
-                }
-            }
-            NetworkTopology::Mesh2D => {
-                let cols = mesh_cols(self.n_pes);
-                let (mut x, mut y) = (from % cols, from / cols);
-                let (tx, ty) = (to % cols, to / cols);
-                while x != tx {
-                    let nx = if x < tx { x + 1 } else { x - 1 };
-                    *self
-                        .link_loads
-                        .entry((y * cols + x, y * cols + nx))
-                        .or_insert(0) += weight;
-                    x = nx;
-                }
-                while y != ty {
-                    let ny = if y < ty { y + 1 } else { y - 1 };
-                    *self
-                        .link_loads
-                        .entry((y * cols + x, ny * cols + x))
-                        .or_insert(0) += weight;
-                    y = ny;
-                }
-            }
-            NetworkTopology::Hypercube => {
-                let mut cur = from;
-                let mut bit = 0;
-                while cur != to {
-                    if (cur ^ to) & (1 << bit) != 0 {
-                        let next = cur ^ (1 << bit);
-                        *self.link_loads.entry((cur, next)).or_insert(0) += weight;
-                        cur = next;
-                    }
-                    bit += 1;
-                }
-            }
-        }
+        let loads = &mut self.link_loads;
+        self.topology
+            .model()
+            .route(self.n_pes, from, to, &mut |a, b| {
+                *loads.entry((a, b)).or_insert(0) += weight;
+            });
     }
 
     /// Fold another accounting block into this one: message/hop totals add,
@@ -329,6 +495,71 @@ mod tests {
         assert_eq!(a.max_link_load(), sequential.max_link_load());
         assert_eq!(a.active_links(), sequential.active_links());
         assert_eq!(a.mean_link_load(), sequential.mean_link_load());
+    }
+
+    #[test]
+    fn bus_serializes_everything_onto_one_link() {
+        let mut n = Network::new(NetworkTopology::Bus, 4);
+        n.record_fetch(0, 3);
+        n.record_fetch(1, 2);
+        n.record_message(2, 0);
+        // 2 + 2 + 1 messages, each one hop over the shared medium.
+        assert_eq!(n.messages, 5);
+        assert_eq!(n.hops, 5);
+        assert_eq!(n.active_links(), 1);
+        assert_eq!(n.max_link_load(), 5);
+    }
+
+    #[test]
+    fn torus_wraps_where_mesh_walks() {
+        // 3×3 grid: corner to corner is 4 mesh hops but 2 torus hops
+        // (one wrap per dimension).
+        assert_eq!(NetworkTopology::Mesh2D.hops(9, 0, 8), 4);
+        assert_eq!(NetworkTopology::Torus2D.hops(9, 0, 8), 2);
+        let mut n = Network::new(NetworkTopology::Torus2D, 9);
+        n.record_message(0, 8);
+        assert_eq!(n.hops, 2);
+        assert_eq!(n.active_links(), 2);
+    }
+
+    #[test]
+    fn every_route_visits_exactly_hops_links() {
+        // The LinkModel contract: route() emits one visit per hop, for
+        // every topology and every ordered PE pair, including ragged
+        // (non-square, non-power-of-two) machine sizes.
+        for topo in [
+            NetworkTopology::Ideal,
+            NetworkTopology::Crossbar,
+            NetworkTopology::Bus,
+            NetworkTopology::Ring,
+            NetworkTopology::Mesh2D,
+            NetworkTopology::Torus2D,
+            NetworkTopology::Hypercube,
+        ] {
+            for n in [1usize, 2, 4, 6, 7, 9, 16] {
+                for from in 0..n {
+                    for to in 0..n {
+                        let mut visits = 0u32;
+                        topo.model().route(n, from, to, &mut |a, b| {
+                            assert_ne!(a, b, "{topo:?} n={n} degenerate link");
+                            visits += 1;
+                        });
+                        assert_eq!(
+                            visits,
+                            topo.hops(n, from, to),
+                            "{topo:?} n={n} {from}->{to}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_cover_all_topologies() {
+        assert_eq!(NetworkTopology::Bus.name(), "bus");
+        assert_eq!(NetworkTopology::Torus2D.name(), "torus2d");
+        assert_eq!(NetworkTopology::Mesh2D.name(), "mesh2d");
     }
 
     #[test]

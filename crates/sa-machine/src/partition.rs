@@ -34,6 +34,27 @@ pub enum PartitionScheme {
         /// Pages per dealt chunk (≥ 1).
         block_pages: usize,
     },
+    /// Contiguous bands of grid *rows* per PE (HPF `BLOCK` on the leading
+    /// dimension). Geometry-aware: owners follow the array's declared shape
+    /// through [`crate::Placement`]. Without geometry (this enum alone),
+    /// rows degenerate to pages and the scheme coincides with [`Block`]
+    /// — see [`PartitionScheme::owner`].
+    ///
+    /// [`Block`]: PartitionScheme::Block
+    RowBand,
+    /// 2-D tiles of `tile_rows × tile_cols` grid elements, dealt to PEs
+    /// round-robin in row-major tile order. Geometry-aware via
+    /// [`crate::Placement`]; without geometry it degenerates to
+    /// [`BlockCyclic`] with `block_pages = tile_rows` — see
+    /// [`PartitionScheme::owner`].
+    ///
+    /// [`BlockCyclic`]: PartitionScheme::BlockCyclic
+    Tile2D {
+        /// Tile height in grid rows (≥ 1).
+        tile_rows: usize,
+        /// Tile width in grid columns (≥ 1).
+        tile_cols: usize,
+    },
 }
 
 impl PartitionScheme {
@@ -50,12 +71,30 @@ impl PartitionScheme {
     /// * `total_pages < n_pes` — `Block`'s chunk size clamps to 1, so page
     ///   `p` lands on PE `p` and the surplus PEs own nothing (matching the
     ///   paper's partial-allocation example in §2).
-    /// * `page >= total_pages` (out of domain) — tolerated: `Modulo` and
-    ///   `BlockCyclic` wrap, `Block` clamps to the last PE. Debug builds
-    ///   assert so the misuse is caught in tests.
+    /// * `page >= total_pages` (out of domain) — tolerated, but the schemes
+    ///   are deliberately asymmetric about it: `Modulo` and `BlockCyclic`
+    ///   **wrap** (owner keeps cycling as if the array were larger), while
+    ///   `Block` and the tiled schemes (`RowBand`, `Tile2D`) **clamp** — an
+    ///   out-of-domain page is owned by the same PE as the last real page,
+    ///   never wrapped back to PE 0. Clamping is the contract the
+    ///   geometry-aware [`crate::Placement`] relies on: it derives a page's
+    ///   owner from its *first in-domain element*, so a trailing partial
+    ///   page can never be attributed to a PE that owns no part of it.
+    ///   Both behaviors are defined in all builds and pinned by tests
+    ///   (this used to be a debug-only assertion, which left the
+    ///   asymmetry unstated and untestable).
     /// * `BlockCyclic { block_pages: 0 }` — rejected by
     ///   [`crate::MachineConfig::validate`]; here it clamps to chunks of 1
     ///   (≡ `Modulo`) so a hand-built scheme still cannot divide by zero.
+    ///   `RowBand`/`Tile2D` tile extents clamp to 1 the same way.
+    ///
+    /// Without geometry this page-space view treats the array as a
+    /// one-column grid (`rows = total_pages`, `cols = 1`, tile extents in
+    /// pages), under which `RowBand` coincides with `Block` and
+    /// `Tile2D { tile_rows: r, .. }` with `BlockCyclic { block_pages: r }`.
+    /// Engines always route ownership through [`crate::Placement`], which
+    /// applies the true declared shape; this degenerate view exists so the
+    /// enum alone is still total.
     ///
     /// `n_pes == 0` has no meaningful answer and panics in all builds.
     pub fn owner(&self, page: usize, total_pages: usize, n_pes: usize) -> usize {
@@ -63,18 +102,18 @@ impl PartitionScheme {
         if total_pages == 0 {
             return 0;
         }
-        debug_assert!(
-            page < total_pages,
-            "page {page} out of domain ({total_pages} pages)"
-        );
         match *self {
             PartitionScheme::Modulo => page % n_pes,
-            PartitionScheme::Block => {
+            PartitionScheme::Block | PartitionScheme::RowBand => {
                 let chunk = total_pages.div_ceil(n_pes).max(1);
                 (page / chunk).min(n_pes - 1)
             }
             PartitionScheme::BlockCyclic { block_pages } => {
                 let b = block_pages.max(1);
+                (page / b) % n_pes
+            }
+            PartitionScheme::Tile2D { tile_rows, .. } => {
+                let b = tile_rows.max(1);
                 (page / b) % n_pes
             }
         }
@@ -86,6 +125,11 @@ impl PartitionScheme {
             PartitionScheme::Modulo => "modulo".to_string(),
             PartitionScheme::Block => "block".to_string(),
             PartitionScheme::BlockCyclic { block_pages } => format!("blockcyclic({block_pages})"),
+            PartitionScheme::RowBand => "rowband".to_string(),
+            PartitionScheme::Tile2D {
+                tile_rows,
+                tile_cols,
+            } => format!("tile2d({tile_rows}x{tile_cols})"),
         }
     }
 
@@ -237,6 +281,45 @@ mod tests {
                 PartitionScheme::Modulo.owner(p, 24, 5)
             );
         }
+    }
+
+    #[test]
+    fn geometryless_tiled_schemes_have_documented_degenerates() {
+        // Without a declared shape, RowBand is Block-over-pages and
+        // Tile2D{r, c} is BlockCyclic{r}: the same tile formulas applied to
+        // the one-column page grid. Placement supplies the real geometry.
+        let pages = 17;
+        for n in [1usize, 3, 4, 8] {
+            for p in 0..pages {
+                assert_eq!(
+                    PartitionScheme::RowBand.owner(p, pages, n),
+                    PartitionScheme::Block.owner(p, pages, n)
+                );
+                assert_eq!(
+                    PartitionScheme::Tile2D {
+                        tile_rows: 3,
+                        tile_cols: 5
+                    }
+                    .owner(p, pages, n),
+                    PartitionScheme::BlockCyclic { block_pages: 3 }.owner(p, pages, n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_schemes_clamp_out_of_domain_pages() {
+        // The clamp asymmetry, pinned: Modulo/BlockCyclic wrap out-of-domain
+        // pages, Block and the tiled schemes clamp. A release-mode caller
+        // probing one page past a 6-page array must see the last real
+        // owner, never a wrap back to PE 0.
+        let pages = 6;
+        let n = 3;
+        let last = PartitionScheme::Block.owner(pages - 1, pages, n);
+        assert_eq!(PartitionScheme::Block.owner(pages, pages, n), last);
+        assert_eq!(PartitionScheme::RowBand.owner(pages, pages, n), last);
+        // Wrapping schemes cycle on.
+        assert_eq!(PartitionScheme::Modulo.owner(pages, pages, n), pages % n);
     }
 
     #[test]

@@ -11,8 +11,10 @@ fn any_topology() -> impl Strategy<Value = NetworkTopology> {
     prop_oneof![
         Just(NetworkTopology::Ideal),
         Just(NetworkTopology::Crossbar),
+        Just(NetworkTopology::Bus),
         Just(NetworkTopology::Ring),
         Just(NetworkTopology::Mesh2D),
+        Just(NetworkTopology::Torus2D),
         Just(NetworkTopology::Hypercube),
     ]
 }
@@ -34,9 +36,11 @@ proptest! {
         prop_assert_eq!(h_ab == 0, a == b || matches!(topo, NetworkTopology::Ideal));
         let diameter = match topo {
             NetworkTopology::Ideal => 0,
-            NetworkTopology::Crossbar => 1,
+            NetworkTopology::Crossbar | NetworkTopology::Bus => 1,
             NetworkTopology::Ring => (n / 2) as u32,
             NetworkTopology::Mesh2D => (2 * sa_machine::network::mesh_cols(n)) as u32,
+            // Per-dimension cyclic distance is at most half the extent.
+            NetworkTopology::Torus2D => sa_machine::network::mesh_cols(n) as u32 + 1,
             NetworkTopology::Hypercube => usize::BITS - n.leading_zeros(),
         };
         prop_assert!(h_ab <= diameter.max(1), "{h_ab} > diameter {diameter}");
@@ -67,6 +71,7 @@ proptest! {
             vec![ArraySpec {
                 name: "B".into(),
                 len,
+                dims: vec![],
                 init: (0..len).map(|i| i as f64).collect(),
             }],
         ).unwrap();
@@ -109,7 +114,7 @@ proptest! {
         let cfg = MachineConfig::new(n_pes, 16);
         let mut m = DistributedMachine::new(
             cfg,
-            vec![ArraySpec { name: "B".into(), len, init: vec![1.0; len] }],
+            vec![ArraySpec { name: "B".into(), len, dims: vec![], init: vec![1.0; len] }],
         ).unwrap();
         for addr in 0..len {
             m.read(0, 0, addr).unwrap();
@@ -138,7 +143,7 @@ proptest! {
             .with_cache_policy(CachePolicy::Lru);
         let mut m = DistributedMachine::new(
             cfg,
-            vec![ArraySpec { name: "B".into(), len, init: vec![2.0; len] }],
+            vec![ArraySpec { name: "B".into(), len, dims: vec![], init: vec![2.0; len] }],
         ).unwrap();
         for addr in 0..len {
             m.read(0, 0, addr).unwrap();
@@ -153,6 +158,11 @@ fn any_scheme() -> impl Strategy<Value = PartitionScheme> {
         Just(PartitionScheme::Modulo),
         Just(PartitionScheme::Block),
         (1usize..8).prop_map(|b| PartitionScheme::BlockCyclic { block_pages: b }),
+        Just(PartitionScheme::RowBand),
+        ((1usize..9), (1usize..9)).prop_map(|(r, c)| PartitionScheme::Tile2D {
+            tile_rows: r,
+            tile_cols: c,
+        }),
     ]
 }
 
@@ -217,5 +227,85 @@ proptest! {
             seen.iter().all(|&c| c == 1),
             "{scheme:?} on {n_pes} PEs: page multiplicities {seen:?}"
         );
+    }
+}
+
+use sa_machine::{ArrayShape, Placement};
+
+proptest! {
+    /// Geometry-aware placement still assigns every page of every shape to
+    /// exactly one in-range PE, for all schemes including the tiled ones.
+    #[test]
+    fn placement_owner_agreement(
+        scheme in any_scheme(),
+        rows in 1usize..25,
+        cols in 1usize..25,
+        page_size in prop::sample::select(vec![1usize, 4, 8, 32]),
+        n_pes in 1usize..17,
+    ) {
+        let pl = Placement::new(scheme, page_size, n_pes, ArrayShape::from_dims(&[rows, cols]));
+        let mut seen = vec![0usize; pl.pages()];
+        for pe in 0..n_pes {
+            for page in pl.pages_of_pe(pe) {
+                prop_assert_eq!(pl.page_owner(page), pe);
+                seen[page] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "{scheme:?}: {seen:?}");
+        // The legacy schemes must not notice the geometry at all.
+        if matches!(
+            scheme,
+            PartitionScheme::Modulo | PartitionScheme::Block | PartitionScheme::BlockCyclic { .. }
+        ) {
+            for p in 0..pl.pages() {
+                prop_assert_eq!(pl.page_owner(p), scheme.owner(p, pl.pages(), n_pes));
+            }
+        }
+    }
+
+    /// `owned_page_intervals` enumerates exactly the owned pages of the
+    /// probed range, for every scheme over every shape.
+    #[test]
+    fn placement_intervals_match_brute_force(
+        scheme in any_scheme(),
+        rows in 1usize..20,
+        cols in 1usize..20,
+        page_size in prop::sample::select(vec![1usize, 4, 8]),
+        n_pes in 1usize..9,
+    ) {
+        let pl = Placement::new(scheme, page_size, n_pes, ArrayShape::from_dims(&[rows, cols]));
+        let pages = pl.pages();
+        prop_assert!(pages > 0); // rows, cols ≥ 1 ⇒ at least one page
+        let (plo, phi) = (pages / 3, pages - 1);
+        for pe in 0..n_pes {
+            let mut got = Vec::new();
+            pl.owned_page_intervals(pe, plo, phi, |q0, q1| {
+                got.extend((q0..q1).filter(|&q| q >= plo && q <= phi));
+            });
+            let want: Vec<usize> =
+                (plo..=phi).filter(|&q| pl.page_owner(q) == pe).collect();
+            prop_assert_eq!(got, want, "{:?} pe={} [{}..={}]", scheme, pe, plo, phi);
+        }
+    }
+
+    /// Tiled schemes never wrap out-of-domain pages: probing past the end
+    /// of the array clamps to the owner of the last real page (the clamp
+    /// contract `Block` established, extended to `RowBand`/`Tile2D`).
+    #[test]
+    fn tiled_placement_clamps_out_of_domain(
+        rows in 1usize..25,
+        cols in 1usize..25,
+        tile in (1usize..9, 1usize..9),
+        n_pes in 1usize..9,
+        past in 0usize..10,
+    ) {
+        for scheme in [
+            PartitionScheme::RowBand,
+            PartitionScheme::Tile2D { tile_rows: tile.0, tile_cols: tile.1 },
+        ] {
+            let pl = Placement::new(scheme, 8, n_pes, ArrayShape::from_dims(&[rows, cols]));
+            let last = pl.page_owner(pl.pages() - 1);
+            prop_assert_eq!(pl.page_owner(pl.pages() + past), last, "{:?}", scheme);
+        }
     }
 }

@@ -4,14 +4,14 @@ use crossbeam::channel::unbounded;
 
 use sa_core::screening::PartitionMap;
 use sa_ir::Program;
-use sa_machine::{MachineConfig, PartitionScheme, Stats};
+use sa_machine::{MachineConfig, Network, NetworkTopology, PartitionScheme, Stats};
 use sa_mem::SaArray;
 
 use crate::net::Msg;
 use crate::worker::{WaitObs, Worker, WorkerResult, WorkerSpec};
 
 /// Configuration of a real-thread run (the machine parameters that matter
-/// to the runtime; network topology and cost models are simulator-side).
+/// to the runtime; timing cost models remain simulator-side).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
     /// Number of worker threads (PEs).
@@ -22,6 +22,10 @@ pub struct RuntimeConfig {
     pub cache_elems: usize,
     /// Page placement scheme.
     pub partition: PartitionScheme,
+    /// Interconnect topology for hop and link-load accounting. The real
+    /// threads still talk over channels; the topology's [`sa_machine::LinkModel`]
+    /// prices each modeled message exactly like the counting simulator.
+    pub network: NetworkTopology,
 }
 
 impl RuntimeConfig {
@@ -32,6 +36,7 @@ impl RuntimeConfig {
             page_size,
             cache_elems: 256,
             partition: PartitionScheme::Modulo,
+            network: NetworkTopology::Ideal,
         }
     }
 
@@ -42,6 +47,7 @@ impl RuntimeConfig {
             page_size: cfg.page_size,
             cache_elems: cfg.cache_elems,
             partition: cfg.partition,
+            network: cfg.network,
         }
     }
 
@@ -50,6 +56,7 @@ impl RuntimeConfig {
         MachineConfig::new(self.n_pes, self.page_size)
             .with_cache_elems(self.cache_elems)
             .with_partition(self.partition)
+            .with_network(self.network)
     }
 
     /// Validate the configuration (delegates to [`MachineConfig::validate`],
@@ -194,6 +201,14 @@ pub struct RuntimeReport {
     /// still-syncing peers; the simulator's barrier is instantaneous and
     /// its §5 model charges only the request/release rounds).
     pub sync_messages: u64,
+    /// Total hop traversals of the *modeled* traffic (remote fetches,
+    /// reduction partials, §5 request/release rounds) priced by the
+    /// configured topology's [`sa_machine::LinkModel`] — the same events
+    /// the counting simulator routes, so the two engines certify equal.
+    pub hops: u64,
+    /// Heaviest directed-link traffic of the modeled messages (the
+    /// contention bottleneck under the configured topology).
+    pub max_link_load: u64,
     /// Every realized read-after-write wait across all workers: reads whose
     /// reply the owner had to defer until the producing write landed. In
     /// debug builds [`execute`] asserts each of these is covered by an edge
@@ -244,6 +259,7 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
                     n_pes: cfg.n_pes,
                     page_size: cfg.page_size,
                     cache_pages: cfg.cache_pages(),
+                    network: cfg.network,
                     inbox,
                     peers: txs.clone(),
                     mirrors: mirrors.clone(),
@@ -304,6 +320,9 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         .map(|d| SaArray::new(d.name.clone(), d.len()))
         .collect();
     let mut stats = Stats::new(cfg.n_pes);
+    // Per-worker accounting blocks merge exactly like the replay engine's
+    // shards: network arithmetic is purely additive.
+    let mut net = Network::new(cfg.network, cfg.n_pes);
     let mut messages = 0u64;
     let mut broadcast_messages = 0u64;
     let mut resolve_messages = 0u64;
@@ -315,6 +334,7 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         stats.partial_refetches += r.stats.partial_refetches;
         stats.reinit_messages += r.stats.reinit_messages;
         stats.reduction_messages += r.stats.reduction_messages;
+        net.merge(&r.net);
         messages += r.stats.messages_sent;
         broadcast_messages += r.stats.broadcast_messages;
         resolve_messages += r.stats.resolve_messages;
@@ -367,6 +387,8 @@ pub fn execute(program: &Program, cfg: &RuntimeConfig) -> Result<RuntimeReport, 
         broadcast_messages,
         resolve_messages,
         sync_messages,
+        hops: net.hops,
+        max_link_load: net.max_link_load(),
         wait_edges,
     })
 }

@@ -3,15 +3,19 @@
 //!
 //! This is the adapter the ROADMAP's "real-runtime parity" item needs: the
 //! same grid an [`sa_core::plan::ExperimentPlan`] enumerates, evaluated by
-//! a different backend. Knobs the thread runtime does not model — network
-//! topologies, replacement policies other than the page cache's LRU, the
-//! simulator's `Ignore` partial-page fiction — are reported as
-//! [`OracleError::Unsupported`] rather than silently approximated.
+//! a different backend. Knobs the thread runtime does not model —
+//! replacement policies other than the page cache's LRU, the simulator's
+//! `Ignore` partial-page fiction — are reported as
+//! [`OracleError::Unsupported`] rather than silently approximated. Network
+//! topologies *are* modeled: every modeled message a worker really sends is
+//! priced through the topology's [`sa_machine::LinkModel`], so hop and
+//! link-load figures come back `Some(..)` and certify against the counting
+//! simulator's.
 
 use sa_core::oracle::{Oracle, OracleError, RunRecord};
 use sa_core::plan::RunConfig;
 use sa_ir::Program;
-use sa_machine::{CachePolicy, NetworkTopology};
+use sa_machine::CachePolicy;
 
 use crate::engine::{execute, RuntimeConfig};
 
@@ -29,11 +33,6 @@ impl ThreadOracle {
         if cfg.cache_policy != CachePolicy::Lru {
             return Err(OracleError::Unsupported(
                 "thread runtime caches are LRU-only".to_string(),
-            ));
-        }
-        if cfg.network != NetworkTopology::Ideal {
-            return Err(OracleError::Unsupported(
-                "thread runtime has no network topology model".to_string(),
             ));
         }
         Ok(RuntimeConfig::from_machine(&cfg.machine()))
@@ -64,10 +63,10 @@ impl Oracle for ThreadOracle {
             // minus scalar broadcasts and anchor-resolution fetches, the
             // two mechanisms the counting model performs for free.
             messages: rep.modeled_messages(),
-            // No network topology model on threads: report "not measured",
-            // not a zero a mixed-oracle pivot would mistake for data.
-            hops: None,
-            max_link_load: None,
+            // Real measurements: the workers priced every modeled send
+            // through the configured topology's link model.
+            hops: Some(rep.hops),
+            max_link_load: Some(rep.max_link_load),
             write_balance: sa_machine::load_balance(&rep.stats.writes_per_pe()).jain,
             cycles: None,
             speedup_bound: None,
@@ -113,14 +112,6 @@ mod tests {
     fn unsupported_knobs_are_typed_errors() {
         let p = tiny();
         let cfg = RunConfig {
-            network: NetworkTopology::Hypercube,
-            ..RunConfig::default()
-        };
-        assert!(matches!(
-            ThreadOracle.measure(&p, &cfg),
-            Err(OracleError::Unsupported(_))
-        ));
-        let cfg = RunConfig {
             cache_policy: CachePolicy::Fifo,
             ..RunConfig::default()
         };
@@ -128,6 +119,37 @@ mod tests {
             ThreadOracle.measure(&p, &cfg),
             Err(OracleError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn topologies_certify_against_the_simulator() {
+        // Hops and max link load are real measurements now, certified equal
+        // to the counting simulator's locality accounting (cache disabled so
+        // the two engines see identical fetch events).
+        let p = tiny();
+        for network in [
+            sa_machine::NetworkTopology::Ideal,
+            sa_machine::NetworkTopology::Bus,
+            sa_machine::NetworkTopology::Ring,
+            sa_machine::NetworkTopology::Mesh2D,
+            sa_machine::NetworkTopology::Torus2D,
+            sa_machine::NetworkTopology::Hypercube,
+        ] {
+            let cfg = RunConfig {
+                n_pes: 4,
+                cache_elems: 0,
+                network,
+                ..RunConfig::default()
+            };
+            let real = ThreadOracle.measure(&p, &cfg).unwrap();
+            let sim = CountingOracle.measure(&p, &cfg).unwrap();
+            assert_eq!(real.hops, sim.hops, "{network:?} hops");
+            assert_eq!(
+                real.max_link_load, sim.max_link_load,
+                "{network:?} link load"
+            );
+            assert!(real.hops.is_some());
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use sa_ir::interp::{EvalCtx, Memory};
 use sa_ir::nest::{LoopNest, Stmt};
 use sa_ir::program::{ArrayInit, Phase};
 use sa_ir::{analysis, ArrayId, IrError, Program, ReduceOp};
-use sa_machine::{host_of, PageKey, PeCounters};
+use sa_machine::{host_of, Network, NetworkTopology, PageKey, PeCounters};
 use sa_mem::TaggedPage;
 
 use crate::net::Msg;
@@ -74,6 +74,11 @@ pub struct WaitObs {
 pub struct WorkerResult {
     /// Statistics.
     pub stats: WorkerStats,
+    /// This worker's share of the modeled-traffic network accounting
+    /// (remote fetches it issued, partials and §5 rounds it sent), priced
+    /// by the configured topology. The engine merges all shares into the
+    /// run's hop and link-load totals.
+    pub net: Network,
     /// Owned frames: `(array, page) → Frame`.
     pub frames: HashMap<(usize, usize), Frame>,
     /// Final scalar values (identical on every worker).
@@ -141,6 +146,11 @@ struct WorkerMem {
     syncing: bool,
     shutdown: bool,
     stats: WorkerStats,
+    /// Topology-priced accounting of this worker's modeled sends — only
+    /// the traffic the counting simulator's message model charges (page
+    /// fetches, reduction partials, §5 request/release), never broadcasts,
+    /// anchor resolution, or barrier-hardening rounds.
+    net: Network,
     /// Statement site currently being executed or screened — the reader
     /// coordinates stamped onto [`WaitObs`] records when a fetch issued
     /// from here comes back deferred.
@@ -376,6 +386,9 @@ impl WorkerMem {
         };
         self.stats.counters.remote_reads += 1;
         self.stats.page_fetches += 1;
+        // Price the fetch (request + reply) exactly like the counting
+        // simulator's `record_fetch` at its remote-read site.
+        self.net.record_fetch(self.me, owner);
         self.send(
             owner,
             Msg::PageRequest {
@@ -576,6 +589,8 @@ pub struct WorkerSpec {
     pub page_size: usize,
     /// Cache capacity in pages (0 disables).
     pub cache_pages: usize,
+    /// Interconnect topology pricing the modeled traffic.
+    pub network: NetworkTopology,
     /// Receiving end of this PE's inbox.
     pub inbox: Receiver<Msg>,
     /// Senders to every PE's inbox (index = PE).
@@ -661,6 +676,7 @@ impl<'p> Worker<'p> {
                 syncing: false,
                 shutdown: false,
                 stats: WorkerStats::default(),
+                net: Network::new(spec.network, spec.n_pes),
                 cur_phase: 0,
                 cur_stmt: 0,
                 wait_edges: Vec::new(),
@@ -810,6 +826,7 @@ impl<'p> Worker<'p> {
                 if parts[me] {
                     let value = partial[&sid];
                     self.mem.stats.reduction_messages += 1;
+                    self.mem.net.record_message(me, host);
                     self.mem.send(
                         host,
                         Msg::Partial {
@@ -854,6 +871,7 @@ impl<'p> Worker<'p> {
             for pe in 0..self.n_pes {
                 if pe != host {
                     self.mem.stats.reinit_messages += 1;
+                    self.mem.net.record_message(me, pe);
                     self.mem.send(
                         pe,
                         Msg::ReinitRelease {
@@ -882,6 +900,7 @@ impl<'p> Worker<'p> {
             self.mem.syncing = false;
         } else {
             self.mem.stats.reinit_messages += 1;
+            self.mem.net.record_message(me, host);
             self.mem
                 .send(host, Msg::ReinitRequest { array: a, from: me });
             self.mem.serve_until(|m| m.reinit_released.contains_key(&a));
@@ -945,6 +964,7 @@ impl<'p> Worker<'p> {
         self.mem.serve_until(|m| m.shutdown);
         WorkerResult {
             stats: self.mem.stats,
+            net: self.mem.net,
             frames: self.mem.frames,
             scalars: self.ctx.scalars,
             wait_edges: self.mem.wait_edges,

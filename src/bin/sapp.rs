@@ -21,8 +21,15 @@
 //! the CSR SpMV pair (`SPMV`, `SPMVD`) beyond the paper's Livermore suite.
 //! `--size N` rescales any workload (loop length, grid edge, or matrix
 //! rows/cols); `--dims AxB[xC]` sets exact grid extents for the stencils
-//! (or `ROWSxCOLS` for the SpMV pair). Sweep counts and row degrees stay at
-//! the registry's official values.
+//! (or `ROWSxCOLS` for the SpMV pair); `--sweeps N` overrides the stencil
+//! sweep count (registry default otherwise). Row degrees stay at the
+//! registry's official values.
+//!
+//! `--partition SCHEME` pins the ownership scheme for `simulate`, `sweep`
+//! and `lint`: `modulo`, `block`, `blockcyclic:B`, `rowband`, or
+//! `tile2d:RxC` (grid-tiled ownership; see `sapp::machine::Placement`).
+//! `--network TOPO` picks the link model pricing every modeled message:
+//! `ideal`, `crossbar`, `bus`, `ring`, `mesh2d`, `torus2d`, `hypercube`.
 //!
 //! `sweep` and `search` accept `--format {table,csv,json}` and run their
 //! grids through the composable plan API (`sapp::core::plan`).
@@ -36,7 +43,9 @@
 //! estimator** (`sapp::lint::estimate` — closed-form counts for affine
 //! programs, uncached points only), or **real worker threads**
 //! (`sapp::runtime::ThreadOracle` — one OS thread per PE, messages on real
-//! channels; LRU caches and the ideal network only, no hop model).
+//! channels; LRU caches, with every modeled send priced through the
+//! configured topology's link model, so hop and link-load figures are
+//! real measurements).
 //! `search` additionally accepts `--objective {balanced,remote}` (the
 //! legacy remote-%-only objective is `remote`).
 //!
@@ -65,14 +74,16 @@ use sapp::core::search::{search_with, Objective, SearchSpace};
 use sapp::core::{simulate, Engine, FastCountingOracle, Oracle, StaticOracle};
 use sapp::ir::{classify_program, pretty};
 use sapp::loops::{suite, workloads, Kernel, Size, Workload};
-use sapp::machine::{AccessCosts, MachineConfig};
+use sapp::machine::{AccessCosts, MachineConfig, NetworkTopology, PartitionScheme};
 use sapp::runtime::ThreadOracle;
 
 fn usage() -> ! {
     eprintln!(
         "usage: sapp <list|show|classify|simulate|sweep|search|timing|lint|graph> [KERNEL] \
          [--all] [--pes N] [--page N] [--cache N] [--no-cache] [--kernel CODE] \
-         [--size N] [--dims AxB[xC]] \
+         [--size N] [--dims AxB[xC]] [--sweeps N] \
+         [--partition modulo|block|blockcyclic:B|rowband|tile2d:RxC] \
+         [--network ideal|crossbar|bus|ring|mesh2d|torus2d|hypercube] \
          [--format table|csv|json|dot] [--engine interp|replay|auto|static|thread] \
          [--objective balanced|remote] [--deny-warnings] [--allow CODE]"
     );
@@ -162,6 +173,9 @@ struct Opts {
     kernel: Option<String>,
     size: Option<usize>,
     dims: Option<Vec<usize>>,
+    sweeps: Option<usize>,
+    partition: Option<PartitionScheme>,
+    network: Option<NetworkTopology>,
     format: Format,
     engine: EngineSel,
     objective: Objective,
@@ -179,6 +193,9 @@ fn parse_opts(args: &[String]) -> Opts {
         kernel: None,
         size: None,
         dims: None,
+        sweeps: None,
+        partition: None,
+        network: None,
         format: Format::Table,
         engine: EngineSel::Counting(Engine::Auto),
         objective: Objective::default(),
@@ -227,6 +244,28 @@ fn parse_opts(args: &[String]) -> Opts {
                     _ => usage(),
                 }
             }
+            "--sweeps" => {
+                o.sweeps = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--partition" => {
+                o.partition = Some(
+                    it.next()
+                        .and_then(|v| parse_partition(v))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--network" => {
+                o.network = Some(
+                    it.next()
+                        .and_then(|v| parse_network(v))
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--format" => {
                 o.format = match it.next().map(String::as_str) {
                     Some("table") => Format::Table,
@@ -259,6 +298,56 @@ fn parse_opts(args: &[String]) -> Opts {
     o
 }
 
+/// Parse `--partition` specs: bare names plus the parameterised
+/// `blockcyclic:B` and `tile2d:RxC` forms (`:` or `=` separators).
+fn parse_partition(spec: &str) -> Option<PartitionScheme> {
+    let (name, arg) = match spec.split_once([':', '=']) {
+        Some((n, a)) => (n, Some(a)),
+        None => (spec, None),
+    };
+    match (name, arg) {
+        ("modulo", None) => Some(PartitionScheme::Modulo),
+        ("block", None) => Some(PartitionScheme::Block),
+        ("rowband", None) => Some(PartitionScheme::RowBand),
+        ("blockcyclic", Some(a)) => {
+            let block_pages: usize = a.parse().ok().filter(|&b| b > 0)?;
+            Some(PartitionScheme::BlockCyclic { block_pages })
+        }
+        ("tile2d", arg) => {
+            // Default tile if unspecified; otherwise RxC like --dims.
+            let (tile_rows, tile_cols) = match arg {
+                None => (64, 64),
+                Some(a) => {
+                    let (r, c) = a.split_once(['x', 'X', '×'])?;
+                    (
+                        r.parse().ok().filter(|&n: &usize| n > 0)?,
+                        c.parse().ok().filter(|&n: &usize| n > 0)?,
+                    )
+                }
+            };
+            Some(PartitionScheme::Tile2D {
+                tile_rows,
+                tile_cols,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Parse `--network` topology names.
+fn parse_network(spec: &str) -> Option<NetworkTopology> {
+    match spec {
+        "ideal" => Some(NetworkTopology::Ideal),
+        "crossbar" => Some(NetworkTopology::Crossbar),
+        "bus" => Some(NetworkTopology::Bus),
+        "ring" => Some(NetworkTopology::Ring),
+        "mesh2d" | "mesh" => Some(NetworkTopology::Mesh2D),
+        "torus2d" | "torus" => Some(NetworkTopology::Torus2D),
+        "hypercube" => Some(NetworkTopology::Hypercube),
+        _ => None,
+    }
+}
+
 fn find_workload(code: &str) -> Workload {
     sapp::loops::workload(code).unwrap_or_else(|| {
         eprintln!("unknown kernel {code}; try `sapp list`");
@@ -266,11 +355,13 @@ fn find_workload(code: &str) -> Workload {
     })
 }
 
-/// The workload's official size with any `--size`/`--dims` override folded
-/// in. `--size N` rescales the dominant extent(s): a 1-D kernel's loop
-/// length, a stencil's grid edges, or the SpMV rows *and* cols. `--dims`
-/// pins exact extents (2 for a 2-D grid or SpMV rows×cols, 3 for a 3-D
-/// grid); sweep counts and row degrees keep the registry's values.
+/// The workload's official size with any `--size`/`--dims`/`--sweeps`
+/// override folded in. `--size N` rescales the dominant extent(s): a 1-D
+/// kernel's loop length, a stencil's grid edges, or the SpMV rows *and*
+/// cols. `--dims` pins exact extents (2 for a 2-D grid or SpMV rows×cols,
+/// 3 for a 3-D grid). `--sweeps N` overrides a stencil's sweep count and
+/// is rejected on non-grid workloads; row degrees keep the registry's
+/// values.
 fn sized(w: &Workload, o: &Opts) -> Size {
     let mut size = w.official;
     if let Some(n) = o.size {
@@ -308,6 +399,24 @@ fn sized(w: &Workload, o: &Opts) -> Size {
             }
         };
     }
+    if let Some(s) = o.sweeps {
+        size = match size {
+            Size::Grid2 { nx, ny, .. } => Size::Grid2 { nx, ny, sweeps: s },
+            Size::Grid3 { nx, ny, nz, .. } => Size::Grid3 {
+                nx,
+                ny,
+                nz,
+                sweeps: s,
+            },
+            other => {
+                eprintln!(
+                    "--sweeps only applies to the grid stencils, not {} (size shape {:?})",
+                    w.code, other
+                );
+                std::process::exit(2);
+            }
+        };
+    }
     // Reject undersized overrides here with a friendly message instead of
     // letting the builders' asserts abort with a panic trace.
     let bad = match size {
@@ -336,7 +445,14 @@ fn resolve_kernel(code: &str, o: &Opts) -> Kernel {
 
 fn config(o: &Opts) -> MachineConfig {
     let elems = if o.no_cache { 0 } else { o.cache };
-    MachineConfig::new(o.pes, o.page).with_cache_elems(elems)
+    let mut cfg = MachineConfig::new(o.pes, o.page).with_cache_elems(elems);
+    if let Some(scheme) = o.partition {
+        cfg = cfg.with_partition(scheme);
+    }
+    if let Some(net) = o.network {
+        cfg = cfg.with_network(net);
+    }
+    cfg
 }
 
 /// Count one run through the selected counting engine.
@@ -397,9 +513,11 @@ fn simulate_on_threads(k: &Kernel, cfg: &MachineConfig) {
         fmt_pct(rep.stats.remote_read_pct()),
     );
     println!(
-        "messages {} on the wire ({} modeled)  hops n/a  max link load n/a",
+        "messages {} on the wire ({} modeled)  hops {}  max link load {}",
         rep.messages,
-        rep.modeled_messages()
+        rep.modeled_messages(),
+        rep.hops,
+        rep.max_link_load
     );
 }
 
@@ -503,11 +621,19 @@ fn main() {
             );
             // One plan, all 14 grid points simulated concurrently; the
             // cached/uncached columns are selected by predicate rather
-            // than by result position.
-            let results = ExperimentPlan::new()
+            // than by result position. `--partition`/`--network` pin those
+            // axes to a single value across the grid.
+            let mut plan = ExperimentPlan::new()
                 .page_sizes(&[o.page])
                 .cache_flags(&[true, false])
-                .pes(&[1, 2, 4, 8, 16, 32, 64])
+                .pes(&[1, 2, 4, 8, 16, 32, 64]);
+            if let Some(scheme) = o.partition {
+                plan = plan.partitions(&[scheme]);
+            }
+            if let Some(net) = o.network {
+                plan = plan.networks(&[net]);
+            }
+            let results = plan
                 .run(&k.program, o.engine.oracle().as_ref())
                 .expect("sweep");
             if results.is_empty() {
@@ -620,11 +746,14 @@ fn main() {
                 (None, true) => workloads().iter().map(|w| w.official()).collect(),
                 _ => usage(),
             };
-            let cfg = sapp::lint::LintConfig {
+            let mut cfg = sapp::lint::LintConfig {
                 n_pes: o.pes,
                 page_size: o.page,
                 ..sapp::lint::LintConfig::default()
             };
+            if let Some(scheme) = o.partition {
+                cfg.scheme = scheme;
+            }
             // Kernels are independent: lint them in parallel (the same
             // scoped-thread fanout the sweep engine uses) and keep the
             // registry order of the results.

@@ -7,8 +7,8 @@ use sapp::ir::index::iv;
 use sapp::ir::program::{ArrayDecl, ArrayInit};
 use sapp::ir::{Grid, InitPattern, ProgramBuilder};
 use sapp::machine::{
-    pages_in, CacheOutcome, CachePolicy, MachineConfig, PageCache, PageKey, PartialPagePolicy,
-    PartitionScheme,
+    pages_in, ArrayShape, CacheOutcome, CachePolicy, MachineConfig, PageCache, PageKey,
+    PartialPagePolicy, PartitionScheme, Placement,
 };
 
 fn scheme_strategy() -> impl Strategy<Value = PartitionScheme> {
@@ -16,6 +16,11 @@ fn scheme_strategy() -> impl Strategy<Value = PartitionScheme> {
         Just(PartitionScheme::Modulo),
         Just(PartitionScheme::Block),
         (1usize..6).prop_map(|b| PartitionScheme::BlockCyclic { block_pages: b }),
+        Just(PartitionScheme::RowBand),
+        ((1usize..6), (1usize..6)).prop_map(|(tile_rows, tile_cols)| PartitionScheme::Tile2D {
+            tile_rows,
+            tile_cols,
+        }),
     ]
 }
 
@@ -193,6 +198,50 @@ proptest! {
             *next.last_mut().unwrap() += 1;
             if let Some(naddr) = g.linearize(&next) {
                 prop_assert_eq!(naddr, addr + 1, "idx {:?}", &idx);
+            }
+        }
+    }
+
+    /// Geometry-aware ownership agrees with grid linearization: for every
+    /// cell of a random 2-D grid, `Placement::owner_of_addr(linearize(r,c))`
+    /// is a valid PE, and at element granularity (page size 1) the tiled
+    /// schemes match their closed-form grid formulas — `Tile2D` owns by
+    /// `((r/tr)·tiles_per_row + c/tc) mod n`, `RowBand` by contiguous row
+    /// bands — so screening a stencil tap through the placement can never
+    /// disagree with the owner the executors compute.
+    #[test]
+    fn placement_owner_agrees_with_grid_formulas(
+        rows in 1usize..17,
+        cols in 1usize..17,
+        tr in 1usize..6,
+        tc in 1usize..6,
+        ps in prop::sample::select(vec![1usize, 2, 4, 8, 32]),
+        n_pes in 1usize..17,
+    ) {
+        let g = Grid::new(&[rows, cols]);
+        let shape = ArrayShape::from_dims(&[rows, cols]);
+        let tile = Placement::new(
+            PartitionScheme::Tile2D { tile_rows: tr, tile_cols: tc },
+            ps,
+            n_pes,
+            shape,
+        );
+        let band = Placement::new(PartitionScheme::RowBand, ps, n_pes, shape);
+        let tiles_per_row = cols.div_ceil(tc).max(1);
+        let band_rows = rows.div_ceil(n_pes).max(1);
+        for r in 0..rows {
+            for c in 0..cols {
+                let addr = g.linearize(&[r as i64, c as i64]).expect("in range");
+                prop_assert!(tile.owner_of_addr(addr) < n_pes);
+                prop_assert!(band.owner_of_addr(addr) < n_pes);
+                if ps == 1 {
+                    // Element granularity: the page IS the element, so the
+                    // owner must be the grid formula exactly.
+                    let want = ((r / tr) * tiles_per_row + c / tc) % n_pes;
+                    prop_assert_eq!(tile.owner_of_addr(addr), want, "tile ({r},{c})");
+                    let want_band = (r / band_rows).min(n_pes - 1);
+                    prop_assert_eq!(band.owner_of_addr(addr), want_band, "band ({r},{c})");
+                }
             }
         }
     }

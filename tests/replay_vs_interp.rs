@@ -140,6 +140,55 @@ fn scale_workloads_bit_identical_across_the_figure_grid() {
 }
 
 #[test]
+fn stencils_bit_identical_under_tiled_schemes_and_routed_topologies() {
+    // The geometry-aware schemes exercise the placement layer end-to-end:
+    // replay's owned-interval enumeration must reproduce the interpreter's
+    // tile-strided page runs exactly, and every modeled message must price
+    // identically through the shared link models — for each stencil of the
+    // scale family at reduced size, across tiled schemes × routed
+    // topologies.
+    let kernels: Vec<_> = ["ST5", "ST9", "ST7"]
+        .iter()
+        .map(|c| sapp::loops::workload(c).unwrap().reduced())
+        .collect();
+    let schemes = [
+        PartitionScheme::RowBand,
+        PartitionScheme::Tile2D {
+            tile_rows: 8,
+            tile_cols: 8,
+        },
+        PartitionScheme::Tile2D {
+            tile_rows: 3,
+            tile_cols: 17,
+        },
+    ];
+    let nets = [
+        NetworkTopology::Bus,
+        NetworkTopology::Mesh2D,
+        NetworkTopology::Torus2D,
+    ];
+    let points: Vec<(usize, usize, usize)> = (0..kernels.len())
+        .flat_map(|k| (0..schemes.len()).flat_map(move |s| (0..nets.len()).map(move |n| (k, s, n))))
+        .collect();
+    par_map(&points, |&(k, s, n)| {
+        let kernel = &kernels[k];
+        for cached in [true, false] {
+            let cfg = MachineConfig::new(16, 32)
+                .with_partition(schemes[s])
+                .with_network(nets[n]);
+            let cfg = if cached { cfg } else { cfg.with_cache_elems(0) };
+            assert_identical(
+                &format!("{} @ {:?} × {:?}", kernel.code, schemes[s], nets[n]),
+                &kernel.program,
+                &cfg,
+            );
+        }
+        Ok::<_, std::convert::Infallible>(())
+    })
+    .unwrap();
+}
+
+#[test]
 fn prefix_spmv_falls_back_cleanly_to_the_interpreter() {
     // SPMVD's index data is only Prefix-initialized, which the replay
     // compiler must refuse (it resolves gathers from static init patterns)
@@ -370,6 +419,13 @@ fn config_strategy() -> impl Strategy<Value = MachineConfig> {
                 Just(PartitionScheme::Modulo),
                 Just(PartitionScheme::Block),
                 (1usize..4).prop_map(|b| PartitionScheme::BlockCyclic { block_pages: b }),
+                Just(PartitionScheme::RowBand),
+                ((1usize..9), (1usize..9)).prop_map(|(tile_rows, tile_cols)| {
+                    PartitionScheme::Tile2D {
+                        tile_rows,
+                        tile_cols,
+                    }
+                }),
             ],
             prop_oneof![
                 Just(CachePolicy::Lru),
@@ -379,8 +435,10 @@ fn config_strategy() -> impl Strategy<Value = MachineConfig> {
             proptest::sample::select(vec![
                 NetworkTopology::Ideal,
                 NetworkTopology::Crossbar,
+                NetworkTopology::Bus,
                 NetworkTopology::Ring,
                 NetworkTopology::Mesh2D,
+                NetworkTopology::Torus2D,
                 NetworkTopology::Hypercube,
             ]),
         ),

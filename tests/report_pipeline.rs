@@ -154,21 +154,26 @@ fn skewed_program() -> Program {
 #[test]
 fn mixed_oracle_pivots_distinguish_unmodeled_hops_from_zero() {
     use sapp::core::results::ResultSet;
+    use sapp::core::StaticOracle;
     use sapp::runtime::ThreadOracle;
 
     let p = skewed_program();
-    let plan = ExperimentPlan::new().pes(&[2, 4]);
+    // Uncached grid so the static estimator accepts every point too.
+    let plan = ExperimentPlan::new().pes(&[2, 4]).cache_flags(&[false]);
     let sim = plan.run(&p, &CountingOracle).unwrap();
     let real = plan.run(&p, &ThreadOracle).unwrap();
+    let est = plan.run(&p, &StaticOracle).unwrap();
 
-    // Counting backend models the network: hops are measured (Some, here 0
-    // on the ideal topology). Thread backend has no model: None.
-    for r in sim.records() {
+    // Counting and thread backends model the network: hops are measured
+    // (Some, here 0 on the ideal topology — the thread workers price every
+    // modeled send through the same link model). The static estimator has
+    // no hop model: None.
+    for r in sim.records().iter().chain(real.records()) {
         assert_eq!(r.hops, Some(0));
         assert_eq!(r.max_link_load, Some(0));
         assert!(r.hops_f64() == 0.0);
     }
-    for r in real.records() {
+    for r in est.records() {
         assert_eq!(r.hops, None);
         assert_eq!(r.max_link_load, None);
         assert!(r.hops_f64().is_nan(), "unmodeled hops pivot as NaN");
@@ -177,7 +182,7 @@ fn mixed_oracle_pivots_distinguish_unmodeled_hops_from_zero() {
 
     // One mixed set, as a cross-backend comparison table would build it.
     let mut records = sim.records().to_vec();
-    records.extend(real.records().iter().cloned());
+    records.extend(est.records().iter().cloned());
     let mixed = ResultSet::new(records);
     let cols = [
         Column::Pes,
@@ -189,11 +194,11 @@ fn mixed_oracle_pivots_distinguish_unmodeled_hops_from_zero() {
     let c = csv(&Column::headers(&cols), &rows);
     let lines: Vec<&str> = c.lines().collect();
     assert_eq!(lines[0], "pes,messages,hops,max_link_load");
-    // Simulator rows carry the measured zero; thread rows leave the cells
-    // blank — every row still has all four columns.
+    // Simulator rows carry the measured zero; estimator rows leave the
+    // cells blank — every row still has all four columns.
     assert_eq!(lines[1].matches(',').count(), 3);
     assert!(lines[1].ends_with(",0,0"), "sim row: {}", lines[1]);
-    assert!(lines[3].ends_with(",,"), "thread row: {}", lines[3]);
+    assert!(lines[3].ends_with(",,"), "estimator row: {}", lines[3]);
 
     // JSON: numbers where measured, empty strings (never a fake 0, never a
     // bare NaN) where not.

@@ -128,8 +128,55 @@ fn full_suite_counts_match_simulator_without_cache() {
             .unwrap_or_else(|e| panic!("{}: thread oracle failed: {e}", k.code));
         assert_counts_match(k.code, &sim, &real);
         assert_counts_match(k.code, &fast, &real);
-        assert_eq!(real.hops, None, "{}: threads have no hop model", k.code);
-        assert_eq!(real.max_link_load, None, "{}", k.code);
+        // Locality certification: the workers price their modeled traffic
+        // through the same link model the simulator routes with, so hop and
+        // link-load figures are real measurements and must agree exactly.
+        assert_eq!(real.hops, sim.hops, "{}: hops", k.code);
+        assert_eq!(real.max_link_load, sim.max_link_load, "{}", k.code);
+        assert!(real.hops.is_some(), "{}: threads measure hops now", k.code);
+    }
+}
+
+#[test]
+fn full_suite_locality_certifies_on_routed_topologies() {
+    // The affine registry under a routed topology × a tiled placement: the
+    // thread engine's Some(hops)/Some(max_link_load) must equal the
+    // counting simulator's locality accounting event for event.
+    for (network, partition) in [
+        (
+            sapp::machine::NetworkTopology::Mesh2D,
+            sapp::machine::PartitionScheme::Modulo,
+        ),
+        (
+            sapp::machine::NetworkTopology::Torus2D,
+            sapp::machine::PartitionScheme::Tile2D {
+                tile_rows: 8,
+                tile_cols: 8,
+            },
+        ),
+        (
+            sapp::machine::NetworkTopology::Bus,
+            sapp::machine::PartitionScheme::RowBand,
+        ),
+    ] {
+        let cfg = RunConfig {
+            network,
+            partition,
+            ..thread_cfg(0)
+        };
+        for k in reduced_suite() {
+            let sim = CountingOracle.measure(&k.program, &cfg).unwrap();
+            let real = ThreadOracle
+                .measure(&k.program, &cfg)
+                .unwrap_or_else(|e| panic!("{}: thread oracle failed: {e}", k.code));
+            assert_counts_match(k.code, &sim, &real);
+            assert_eq!(real.hops, sim.hops, "{}: {network:?} hops", k.code);
+            assert_eq!(
+                real.max_link_load, sim.max_link_load,
+                "{}: {network:?} link load",
+                k.code
+            );
+        }
     }
 }
 
