@@ -1,0 +1,207 @@
+//! `search_bench` — oracle evaluations and wall-clock of the guided
+//! search strategies (`sa_core::search::strategy`) against exhaustion on
+//! the PR-9-expanded ST5 space, emitted as `BENCH_search.json` — the
+//! first entry of the search-performance trajectory.
+//!
+//! ```console
+//! $ cargo run -p bench --release --bin search_bench              # writes BENCH_search.json
+//! $ cargo run -p bench --release --bin search_bench -- out.json  # custom path
+//! $ cargo run -p bench --release --bin search_bench -- --assert-saving 5
+//! ```
+//!
+//! The space is the expanded grid the annealer exists for: nine schemes
+//! (all five families, three tile shapes, two block-cyclic factors) ×
+//! six page sizes × all seven interconnect topologies = 378 candidates.
+//! Exhaustion measures every one; `anneal` and `propagate` run under the
+//! default budget through the shared memo cache. Per strategy the
+//! artifact reports evaluations, wall-clock, the winner, its score gap
+//! to the exhaustive optimum, and the evaluations-saved factor.
+//!
+//! The run aborts unless both guided strategies save at least the
+//! `--assert-saving` factor (default 5×) in oracle evaluations, and
+//! unless a cached re-query is answered with zero new oracle calls —
+//! this artifact doubles as the regression gate on the strategy layer.
+
+use std::time::Instant;
+
+use sa_core::search::strategy::{Searcher, Strategy, StrategyOracle, StrategyParams};
+use sa_core::search::{search_exhaustive_with, Objective, SearchSpace};
+use sa_machine::{NetworkTopology, PartitionScheme};
+
+fn expanded_space() -> SearchSpace {
+    SearchSpace {
+        schemes: vec![
+            PartitionScheme::Modulo,
+            PartitionScheme::Block,
+            PartitionScheme::BlockCyclic { block_pages: 2 },
+            PartitionScheme::BlockCyclic { block_pages: 4 },
+            PartitionScheme::RowBand,
+            PartitionScheme::Tile2D {
+                tile_rows: 16,
+                tile_cols: 16,
+            },
+            PartitionScheme::Tile2D {
+                tile_rows: 32,
+                tile_cols: 32,
+            },
+            PartitionScheme::Tile2D {
+                tile_rows: 64,
+                tile_cols: 64,
+            },
+            PartitionScheme::Tile2D {
+                tile_rows: 128,
+                tile_cols: 128,
+            },
+        ],
+        page_sizes: vec![8, 16, 32, 64, 128, 256],
+        networks: vec![
+            NetworkTopology::Ideal,
+            NetworkTopology::Crossbar,
+            NetworkTopology::Bus,
+            NetworkTopology::Ring,
+            NetworkTopology::Mesh2D,
+            NetworkTopology::Torus2D,
+            NetworkTopology::Hypercube,
+        ],
+        n_pes: 16,
+        cache_elems: 256,
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_search.json".to_string();
+    let mut floor = 5.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--assert-saving" {
+            floor = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--assert-saving N");
+        } else {
+            out_path = a;
+        }
+    }
+
+    let (nx, ny, sweeps) = (256usize, 256usize, 2usize);
+    let k = sa_loops::stencil::build_jacobi5(nx, ny, sweeps);
+    let space = expanded_space();
+    let size = space.schemes.len() * space.page_sizes.len() * space.networks.len();
+    let (seed, budget) = (7u64, 64usize);
+
+    // Exhaustion baseline: the un-pruned parallel sweep measures every
+    // candidate — the denominator of the evaluations-saved factor.
+    let t0 = Instant::now();
+    let exhaustive = search_exhaustive_with(
+        &k.program,
+        &space,
+        &StrategyOracle::default(),
+        Objective::default(),
+    )
+    .expect("exhaustive sweep handles the stencil");
+    let exhaustive_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "{:<12} {:>4} evaluations  {:>8.1} ms  winner {}/page {} score {:.4}",
+        "exhaustive",
+        exhaustive.evaluated,
+        exhaustive_ms,
+        exhaustive.scheme.name(),
+        exhaustive.page_size,
+        exhaustive.score,
+    );
+
+    let mut entries = Vec::new();
+    for strategy in [Strategy::Anneal, Strategy::Propagate] {
+        let searcher = Searcher::new(
+            &space,
+            Box::<StrategyOracle>::default(),
+            StrategyParams {
+                strategy,
+                seed,
+                budget,
+                ..StrategyParams::default()
+            },
+        )
+        .expect("space is valid");
+        let t = Instant::now();
+        let rep = searcher
+            .search(&k.program)
+            .expect("guided search handles the stencil");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        // The memo cache must answer an identical re-query for free.
+        let requery = searcher.search(&k.program).expect("re-query");
+        assert_eq!(
+            requery.oracle_evals,
+            0,
+            "{}: cached re-query paid {} oracle calls",
+            strategy.name(),
+            requery.oracle_evals
+        );
+        assert_eq!(
+            requery.best,
+            rep.best,
+            "{}: re-query diverged",
+            strategy.name()
+        );
+        let saving = exhaustive.evaluated as f64 / rep.oracle_evals as f64;
+        let gap = rep.best.score - exhaustive.score;
+        println!(
+            "{:<12} {:>4} evaluations  {:>8.1} ms  winner {}/page {} score {:.4}  \
+             gap {:+.4}  saved {:.1}x",
+            strategy.name(),
+            rep.oracle_evals,
+            ms,
+            rep.best.scheme.name(),
+            rep.best.page_size,
+            rep.best.score,
+            gap,
+            saving,
+        );
+        assert!(
+            saving >= floor,
+            "search regression: {} used {} of {} evaluations — {saving:.2}x saved, \
+             below the {floor}x floor",
+            strategy.name(),
+            rep.oracle_evals,
+            exhaustive.evaluated,
+        );
+        entries.push(format!(
+            "    {{\"strategy\": \"{}\", \"evaluations\": {}, \"pruned\": {}, \
+             \"wall_ms\": {:.2}, \"scheme\": \"{}\", \"page_size\": {}, \
+             \"network\": \"{}\", \"score\": {:.6}, \"winner_gap\": {:.6}, \
+             \"evaluations_saved_factor\": {:.2}, \"cached_requery_evals\": {}}}",
+            strategy.name(),
+            rep.oracle_evals,
+            rep.best.pruned,
+            ms,
+            rep.best.scheme.name(),
+            rep.best.page_size,
+            rep.record.cfg.network.model().name(),
+            rep.best.score,
+            gap,
+            saving,
+            requery.oracle_evals,
+        ));
+    }
+
+    let doc = format!(
+        "{{\n  \"bench\": \"search\",\n  \"config\": {{\"workload\": \"ST5\", \
+         \"dims\": \"{nx}x{ny}\", \"sweeps\": {sweeps}, \"n_pes\": 16, \
+         \"cache_elems\": 256, \"candidates\": {size}, \"budget\": {budget}, \
+         \"seed\": {seed}}},\n  \
+         \"exhaustive\": {{\"evaluations\": {}, \"wall_ms\": {:.2}, \
+         \"scheme\": \"{}\", \"page_size\": {}, \"score\": {:.6}}},\n  \
+         \"strategies\": [\n{}\n  ]\n}}\n",
+        exhaustive.evaluated,
+        exhaustive_ms,
+        exhaustive.scheme.name(),
+        exhaustive.page_size,
+        exhaustive.score,
+        entries.join(",\n"),
+    );
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!(
+        "wrote {out_path}: {size} candidates, exhaustive {} evaluations vs budget {budget}",
+        exhaustive.evaluated,
+    );
+}

@@ -29,7 +29,10 @@
 //! * [`results`] — group-by/pivot over measured grids, so figures select
 //!   series by predicate instead of relying on loop order.
 //! * [`mod@search`] — automatic scheme search: exhaustive
-//!   `PartitionScheme × page size` per kernel, the ROADMAP's Automap item.
+//!   `PartitionScheme × page size` per kernel, the ROADMAP's Automap item,
+//!   plus [`search::strategy`] — seeded simulated annealing and
+//!   write-to-read propagation over the full
+//!   `scheme × page × topology` space behind a memoizing oracle cache.
 //! * [`experiment`] — the five legacy sweep drivers, kept as thin wrappers
 //!   over plans with bit-identical outputs.
 //! * [`parallel`] — the scoped-thread, order-preserving map the plan
@@ -66,5 +69,8 @@ pub use plan::{Axis, ExperimentPlan, PlanError, RunConfig};
 pub use replay::{CountEngine, CountReport, ReplayError};
 pub use results::{Column, ResultSet};
 pub use screening::PartitionMap;
+pub use search::strategy::{
+    MemoOracle, SearchReport, Searcher, Strategy, StrategyOracle, StrategyParams,
+};
 pub use search::{search, search_with, BestConfig, Objective, SearchSpace};
 pub use verify::verify_against_reference;

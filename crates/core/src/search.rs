@@ -25,11 +25,13 @@
 //! work* — exactly the pathology the ROADMAP follow-up named.
 
 use sa_ir::Program;
-use sa_machine::PartitionScheme;
+use sa_machine::{NetworkTopology, PartitionScheme};
 
 use crate::oracle::{Oracle, OracleError, RunRecord};
 use crate::plan::{ExperimentPlan, PlanError, RunConfig};
 use crate::results::ResultSet;
+
+pub mod strategy;
 
 /// How candidates are scored (lower is better).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +77,11 @@ pub struct SearchSpace {
     pub schemes: Vec<PartitionScheme>,
     /// Candidate page sizes in elements.
     pub page_sizes: Vec<usize>,
+    /// Candidate interconnect topologies (innermost axis). The default is
+    /// the single ideal network, which keeps the classic
+    /// `scheme × page size` grid — and every winner computed over it —
+    /// unchanged; the guided strategies ([`strategy`]) widen this axis.
+    pub networks: Vec<NetworkTopology>,
     /// PE count every candidate runs at.
     pub n_pes: usize,
     /// Cache size (elements) every candidate runs with.
@@ -105,6 +112,7 @@ impl Default for SearchSpace {
                 },
             ],
             page_sizes: vec![8, 16, 32, 64, 128, 256],
+            networks: vec![NetworkTopology::Ideal],
             n_pes: 16,
             cache_elems: 256,
         }
@@ -112,7 +120,8 @@ impl Default for SearchSpace {
 }
 
 impl SearchSpace {
-    /// The plan enumerating this space (schemes outermost).
+    /// The plan enumerating this space (schemes outermost, then page
+    /// sizes, then network topologies innermost).
     pub fn plan(&self) -> ExperimentPlan {
         ExperimentPlan::new()
             .base(RunConfig {
@@ -122,6 +131,7 @@ impl SearchSpace {
             })
             .partitions(&self.schemes)
             .page_sizes(&self.page_sizes)
+            .networks(&self.networks)
     }
 }
 
@@ -151,7 +161,11 @@ impl BestConfig {
     /// Does `candidate` beat `incumbent`? Strict ordering: objective score
     /// first, then messages; enumeration order breaks remaining ties
     /// (first wins).
-    fn beats(objective: Objective, candidate: &RunRecord, incumbent: &RunRecord) -> bool {
+    pub(crate) fn beats(
+        objective: Objective,
+        candidate: &RunRecord,
+        incumbent: &RunRecord,
+    ) -> bool {
         let (c, i) = (objective.score(candidate), objective.score(incumbent));
         if c != i {
             return c < i;
@@ -189,7 +203,11 @@ impl BestConfig {
 /// imbalance penalty is known without executing anything. `None` when the
 /// objective carries no imbalance term or the program is not statically
 /// projectable (runtime indirection) — both mean "cannot prune".
-fn static_score_bound(program: &Program, cfg: &RunConfig, objective: Objective) -> Option<f64> {
+pub(crate) fn static_score_bound(
+    program: &Program,
+    cfg: &RunConfig,
+    objective: Objective,
+) -> Option<f64> {
     let Objective::Balanced { weight } = objective else {
         return None;
     };
@@ -365,7 +383,7 @@ mod tests {
             schemes: vec![PartitionScheme::Modulo, PartitionScheme::Block],
             page_sizes: vec![16, 32],
             n_pes: 8,
-            cache_elems: 256,
+            ..SearchSpace::default()
         };
         let best = search_with(&p, &space, &CountingOracle, Objective::RemoteOnly).unwrap();
         // Recompute sequentially with the raw simulator.

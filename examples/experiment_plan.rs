@@ -1,7 +1,8 @@
 //! The composable experiment-plan API, end to end: build a typed-axis
 //! grid, evaluate it through three different oracles (compiled access
 //! replay with auto fallback, counting interpreter, real threads), pivot
-//! the results, and run the automatic scheme search.
+//! the results, and run the automatic scheme search — exhaustive and
+//! guided (seeded annealing through the memoizing oracle cache).
 //!
 //! ```text
 //! cargo run --release --example experiment_plan
@@ -10,6 +11,7 @@
 use sapp::core::plan::ExperimentPlan;
 use sapp::core::report::{ascii_chart, json, markdown_table};
 use sapp::core::results::Column;
+use sapp::core::search::strategy::{Searcher, Strategy, StrategyOracle, StrategyParams};
 use sapp::core::search::{search, SearchSpace};
 use sapp::core::{CountingOracle, FastCountingOracle};
 use sapp::loops::suite;
@@ -104,5 +106,33 @@ fn main() {
             ],
             &row
         )
+    );
+
+    // Guided search: seeded annealing over the same space through the
+    // memoizing oracle cache. The walk is a pure function of
+    // (program, space, seed, budget), so the warm re-query replays the
+    // identical winner with zero new oracle calls.
+    let searcher = Searcher::new(
+        &SearchSpace::default(),
+        Box::<StrategyOracle>::default(),
+        StrategyParams {
+            strategy: Strategy::Anneal,
+            seed: 7,
+            budget: 16,
+            ..StrategyParams::default()
+        },
+    )
+    .expect("space is valid");
+    let rep = searcher.search(&k12.program).expect("anneal");
+    let warm = searcher.search(&k12.program).expect("re-query");
+    assert_eq!(warm.best, rep.best, "warm replay diverged");
+    assert_eq!(warm.oracle_evals, 0, "warm replay paid the oracle");
+    println!(
+        "anneal(seed 7, budget 16): {} on page {} after {} oracle \
+         evaluations; cached re-query paid {}",
+        rep.best.scheme.name(),
+        rep.best.page_size,
+        rep.oracle_evals,
+        warm.oracle_evals
     );
 }

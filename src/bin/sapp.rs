@@ -47,7 +47,13 @@
 //! configured topology's link model, so hop and link-load figures are
 //! real measurements).
 //! `search` additionally accepts `--objective {balanced,remote}` (the
-//! legacy remote-%-only objective is `remote`).
+//! legacy remote-%-only objective is `remote`) and
+//! `--strategy {exhaustive,anneal,propagate}` with `--seed S` and
+//! `--budget K` (`sapp::core::search::strategy`): seeded simulated
+//! annealing and Automap-style write-to-read propagation over the
+//! candidate grid, behind a memoizing oracle cache shared across the
+//! kernels of one invocation. The candidate space is materialized once
+//! per invocation and kernels are searched in parallel over it.
 //!
 //! `sapp lint [KERNEL|--all]` runs the static analysis passes (write-once
 //! verification, progress and partition-legality checks, deadlock-freedom
@@ -70,7 +76,10 @@ use sapp::core::parallel::par_map;
 use sapp::core::plan::{ExperimentPlan, PlanError};
 use sapp::core::replay::{counts, counts_or_simulate, CountReport};
 use sapp::core::report::{csv, fmt_pct, json, markdown_table};
-use sapp::core::search::{search_with, Objective, SearchSpace};
+use sapp::core::search::strategy::{
+    Searcher, Strategy, StrategyOracle, StrategyParams, DEFAULT_BUDGET, DEFAULT_SEED,
+};
+use sapp::core::search::{Objective, SearchSpace};
 use sapp::core::{simulate, Engine, FastCountingOracle, Oracle, StaticOracle};
 use sapp::ir::{classify_program, pretty};
 use sapp::loops::{suite, workloads, Kernel, Size, Workload};
@@ -85,7 +94,8 @@ fn usage() -> ! {
          [--partition modulo|block|blockcyclic:B|rowband|tile2d:RxC] \
          [--network ideal|crossbar|bus|ring|mesh2d|torus2d|hypercube] \
          [--format table|csv|json|dot] [--engine interp|replay|auto|static|thread] \
-         [--objective balanced|remote] [--deny-warnings] [--allow CODE]"
+         [--objective balanced|remote] [--strategy exhaustive|anneal|propagate] \
+         [--seed S] [--budget K] [--deny-warnings] [--allow CODE]"
     );
     std::process::exit(2);
 }
@@ -179,6 +189,9 @@ struct Opts {
     format: Format,
     engine: EngineSel,
     objective: Objective,
+    strategy: Strategy,
+    seed: u64,
+    budget: usize,
     deny_warnings: bool,
     allow: Vec<String>,
 }
@@ -199,6 +212,9 @@ fn parse_opts(args: &[String]) -> Opts {
         format: Format::Table,
         engine: EngineSel::Counting(Engine::Auto),
         objective: Objective::default(),
+        strategy: Strategy::Exhaustive,
+        seed: DEFAULT_SEED,
+        budget: DEFAULT_BUDGET,
         deny_warnings: false,
         allow: Vec::new(),
     };
@@ -291,6 +307,25 @@ fn parse_opts(args: &[String]) -> Opts {
                     Some("remote") => Objective::RemoteOnly,
                     _ => usage(),
                 }
+            }
+            "--strategy" => {
+                o.strategy = it
+                    .next()
+                    .and_then(|v| Strategy::parse(v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                o.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget" => {
+                o.budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k: &usize| k > 0)
+                    .unwrap_or_else(|| usage())
             }
             _ => usage(),
         }
@@ -684,21 +719,48 @@ fn main() {
                 cache_elems: if o.no_cache { 0 } else { o.cache },
                 ..SearchSpace::default()
             };
-            let oracle = o.engine.oracle();
+            // The default engine gets the strategy hybrid: the certified
+            // zero-execution static estimator for uncached affine points,
+            // auto-select replay otherwise. An explicit --engine is
+            // honored as-is.
+            let oracle: Box<dyn Oracle> = match o.engine {
+                EngineSel::Counting(Engine::Auto) => Box::<StrategyOracle>::default(),
+                sel => sel.oracle(),
+            };
+            // One Searcher per invocation: the candidate space is
+            // materialized exactly once and the memo cache is shared, so
+            // the kernels fan out in parallel over the same space.
+            let searcher = Searcher::new(
+                &space,
+                oracle,
+                StrategyParams {
+                    strategy: o.strategy,
+                    objective: o.objective,
+                    seed: o.seed,
+                    budget: o.budget,
+                },
+            )
+            .unwrap_or_else(|e| panic!("search: {e}"));
+            let reports = par_map(&kernels, |k| {
+                // Per-kernel fail-soft, like the sweep: a kernel the
+                // engine cannot execute at all drops out with a note
+                // instead of aborting the whole table.
+                match searcher.search(&k.program) {
+                    Ok(rep) => Ok::<_, std::convert::Infallible>(Some(rep)),
+                    Err(PlanError::Oracle(OracleError::Unsupported(why))) => {
+                        eprintln!("note: skipping {}: {why}", k.code);
+                        Ok(None)
+                    }
+                    Err(e) => panic!("search: {e}"),
+                }
+            })
+            .expect("per-kernel errors are handled in the closure");
             let rows: Vec<Vec<String>> = kernels
                 .iter()
-                .filter_map(|k| {
-                    // Per-kernel fail-soft, like the sweep: a kernel the
-                    // engine cannot execute at all drops out with a note
-                    // instead of aborting the whole table.
-                    let best = match search_with(&k.program, &space, oracle.as_ref(), o.objective) {
-                        Ok(best) => best,
-                        Err(PlanError::Oracle(OracleError::Unsupported(why))) => {
-                            eprintln!("note: skipping {}: {why}", k.code);
-                            return None;
-                        }
-                        Err(e) => panic!("search: {e}"),
-                    };
+                .zip(&reports)
+                .filter_map(|(k, rep)| {
+                    let rep = rep.as_ref()?;
+                    let best = &rep.best;
                     Some(vec![
                         k.code.to_string(),
                         k.class_abbrev().to_string(),
@@ -709,6 +771,7 @@ fn main() {
                         best.messages.to_string(),
                         best.evaluated.to_string(),
                         best.pruned.to_string(),
+                        rep.oracle_evals.to_string(),
                     ])
                 })
                 .collect();
@@ -724,10 +787,18 @@ fn main() {
                         "write_balance",
                         "messages",
                         "evaluated",
-                        "pruned"
+                        "pruned",
+                        "oracle_evals"
                     ],
                     &rows
                 )
+            );
+            eprintln!(
+                "strategy {} over {} candidates: {} oracle evaluations, {} memo hits",
+                o.strategy.name(),
+                searcher.candidates().len(),
+                searcher.cache_misses(),
+                searcher.cache_hits(),
             );
         }
         "lint" => {

@@ -1,0 +1,288 @@
+//! Certification of the guided search strategies
+//! (`sapp::core::search::strategy`) against exhaustion:
+//!
+//! 1. **Guided ≡ exhaustive** — on every space where exhaustion is still
+//!    feasible (the full affine registry × all five scheme families ×
+//!    pages {8, 32, 256}), `anneal` and `propagate` with the default
+//!    budget return a winner within 0 bits of `search_exhaustive_with`:
+//!    scheme, page size, score bits and the messages tie-break all match
+//!    exactly.
+//! 2. **Determinism** — same `--seed` ⇒ bit-identical winner and an
+//!    identical evaluation trace, proptested across seeds and budgets on
+//!    a space wide enough that the annealer really wanders.
+//! 3. **Memo cache** — a second identical query is answered entirely
+//!    from the cache: the same `RunRecord` (whole-report equality), zero
+//!    new oracle calls, hit/miss counters asserted; and cache keys are
+//!    collide-free across the registry and under program relabeling
+//!    (proptest over registry pairs).
+//! 4. **Space hoisting** — one search invocation materializes its
+//!    candidate space exactly once, however many kernels it fans out
+//!    over (the regression test for the per-kernel rebuild fix).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use sapp::core::search::strategy::{
+    program_fingerprint, Searcher, Strategy, StrategyOracle, StrategyParams,
+};
+use sapp::core::search::{search_exhaustive_with, Objective, SearchSpace};
+use sapp::lint::{self, EstimateError};
+use sapp::loops::{reduced_suite, Kernel};
+use sapp::machine::{MachineConfig, NetworkTopology, PartitionScheme};
+
+/// The registry at reduced sizes, restricted to the statically affine
+/// kernels (the ones the estimator accepts — same filter the estimator
+/// certification uses). Guided-vs-exhaustive equality is certified on
+/// these; indirect kernels exercise the replay fallback elsewhere.
+fn affine_registry() -> &'static Vec<Kernel> {
+    static CELL: OnceLock<Vec<Kernel>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        reduced_suite()
+            .into_iter()
+            .filter(|k| {
+                let cfg = MachineConfig::new(4, 32).with_cache_elems(0);
+                !matches!(
+                    lint::estimate(&k.program, &cfg),
+                    Err(EstimateError::Indirect { .. })
+                )
+            })
+            .collect()
+    })
+}
+
+/// The feasible exhaustion space of the certification sweep: all five
+/// scheme families crossed with pages {8, 32, 256}, uncached so the
+/// zero-execution estimator arm of the hybrid oracle answers the affine
+/// points. 15 candidates — comfortably under the default budget, so the
+/// guided strategies must cover it completely.
+fn certification_space() -> SearchSpace {
+    SearchSpace {
+        schemes: vec![
+            PartitionScheme::Modulo,
+            PartitionScheme::Block,
+            PartitionScheme::BlockCyclic { block_pages: 2 },
+            PartitionScheme::RowBand,
+            PartitionScheme::Tile2D {
+                tile_rows: 16,
+                tile_cols: 16,
+            },
+        ],
+        page_sizes: vec![8, 32, 256],
+        cache_elems: 0,
+        ..SearchSpace::default()
+    }
+}
+
+/// A space wider than the default guided budget (7 schemes × 6 pages ×
+/// 2 topologies = 84 candidates), so a small-budget annealer genuinely
+/// wanders instead of degrading to the full sweep.
+fn wide_space() -> SearchSpace {
+    SearchSpace {
+        networks: vec![NetworkTopology::Ideal, NetworkTopology::Mesh2D],
+        cache_elems: 0,
+        ..SearchSpace::default()
+    }
+}
+
+fn params(strategy: Strategy) -> StrategyParams {
+    StrategyParams {
+        strategy,
+        ..StrategyParams::default()
+    }
+}
+
+#[test]
+fn guided_strategies_match_exhaustive_bit_exactly_on_feasible_spaces() {
+    let space = certification_space();
+    let mut certified = 0usize;
+    for k in affine_registry() {
+        let exhaustive = search_exhaustive_with(
+            &k.program,
+            &space,
+            &StrategyOracle::default(),
+            Objective::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: exhaustive baseline failed: {e}", k.code));
+        for strategy in [Strategy::Anneal, Strategy::Propagate] {
+            let searcher =
+                Searcher::new(&space, Box::<StrategyOracle>::default(), params(strategy)).unwrap();
+            let rep = searcher
+                .search(&k.program)
+                .unwrap_or_else(|e| panic!("{}: {} failed: {e}", k.code, strategy.name()));
+            // Exact tie-break match: scheme, page, score bits, messages.
+            assert_eq!(
+                rep.best.scheme,
+                exhaustive.scheme,
+                "{} {}: scheme diverged from exhaustive",
+                k.code,
+                strategy.name()
+            );
+            assert_eq!(
+                rep.best.page_size,
+                exhaustive.page_size,
+                "{} {}: page size diverged",
+                k.code,
+                strategy.name()
+            );
+            assert_eq!(
+                rep.best.score.to_bits(),
+                exhaustive.score.to_bits(),
+                "{} {}: score not within 0 bits",
+                k.code,
+                strategy.name()
+            );
+            assert_eq!(
+                rep.best.messages,
+                exhaustive.messages,
+                "{} {}: messages tie-break diverged",
+                k.code,
+                strategy.name()
+            );
+            // Full coverage is what makes the exactness a theorem, not
+            // luck: every candidate was measured or statically pruned.
+            assert_eq!(
+                rep.best.evaluated + rep.best.pruned + unsupported_count(&rep),
+                rep.space_size,
+                "{} {}: incomplete coverage",
+                k.code,
+                strategy.name()
+            );
+            certified += 1;
+        }
+    }
+    assert!(
+        certified >= 2 * 10,
+        "affine registry unexpectedly small: {certified} certifications"
+    );
+}
+
+/// Touched-but-unsupported candidates (traced, neither evaluated nor
+/// pruned).
+fn unsupported_count(rep: &sapp::core::SearchReport) -> usize {
+    rep.trace.len() - rep.best.evaluated
+}
+
+#[test]
+fn memo_cache_answers_second_query_with_zero_new_oracle_calls() {
+    let k = &affine_registry()[0];
+    let searcher = Searcher::new(
+        &wide_space(),
+        Box::<StrategyOracle>::default(),
+        StrategyParams {
+            strategy: Strategy::Anneal,
+            budget: 24,
+            ..StrategyParams::default()
+        },
+    )
+    .unwrap();
+    let first = searcher.search(&k.program).unwrap();
+    assert!(first.oracle_evals > 0, "first query must pay for something");
+    assert_eq!(first.cache_hits, 0, "fresh cache cannot hit");
+    let (hits_before, misses_before) = (searcher.cache_hits(), searcher.cache_misses());
+    assert_eq!(misses_before, first.oracle_evals as u64);
+
+    let second = searcher.search(&k.program).unwrap();
+    // Identical result — same RunRecord bit for bit, same trace — and
+    // the oracle was never consulted again.
+    assert_eq!(first.best, second.best);
+    assert_eq!(first.record, second.record);
+    assert_eq!(first.trace, second.trace);
+    assert_eq!(second.oracle_evals, 0, "second query paid oracle calls");
+    assert_eq!(second.cache_hits, first.trace.len());
+    assert_eq!(
+        searcher.cache_misses(),
+        misses_before,
+        "inner oracle was invoked again"
+    );
+    assert_eq!(
+        searcher.cache_hits(),
+        hits_before + second.cache_hits as u64
+    );
+}
+
+#[test]
+fn space_is_materialized_exactly_once_per_invocation() {
+    let searcher = Searcher::new(
+        &certification_space(),
+        Box::<StrategyOracle>::default(),
+        params(Strategy::Exhaustive),
+    )
+    .unwrap();
+    // Fan several kernels out over the same invocation, like the CLI.
+    for k in affine_registry().iter().take(3) {
+        searcher.search(&k.program).unwrap();
+    }
+    assert_eq!(
+        searcher.space_builds(),
+        1,
+        "candidate space must be built once per invocation, not per kernel"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed ⇒ bit-identical winner *and* identical evaluation trace,
+    /// whatever the seed and however tight the budget.
+    #[test]
+    fn same_seed_gives_bit_identical_winner_and_trace(
+        seed in 0u64..u64::MAX,
+        budget in 4usize..=20,
+    ) {
+        let k = &affine_registry()[0];
+        let space = wide_space();
+        let p = StrategyParams {
+            strategy: Strategy::Anneal,
+            seed,
+            budget,
+            ..StrategyParams::default()
+        };
+        let run = || {
+            Searcher::new(&space, Box::<StrategyOracle>::default(), p)
+                .unwrap()
+                .search(&k.program)
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+        prop_assert_eq!(&a.record, &b.record);
+        prop_assert_eq!(&a.trace, &b.trace);
+        prop_assert_eq!(a.oracle_evals, b.oracle_evals);
+        prop_assert!(a.oracle_evals <= budget, "budget overrun: {}", a.oracle_evals);
+    }
+
+    /// Memo-cache keys never collide across registry programs, and
+    /// relabeling a program (renaming arrays or the program itself)
+    /// always changes its key — a relabeled program can never replay
+    /// another program's cached records.
+    #[test]
+    fn fingerprints_are_collide_free_under_relabeling(
+        i in 0usize..26,
+        j in 0usize..26,
+    ) {
+        let suite = reduced_suite();
+        let i = i % suite.len();
+        let j = j % suite.len();
+        let (fi, fj) = (
+            program_fingerprint(&suite[i].program),
+            program_fingerprint(&suite[j].program),
+        );
+        prop_assert_eq!(fi == fj, i == j, "{} vs {}", suite[i].code, suite[j].code);
+
+        let mut relabeled = suite[i].program.clone();
+        relabeled.name.push('\'');
+        for a in &mut relabeled.arrays {
+            a.name.push('_');
+        }
+        let fr = program_fingerprint(&relabeled);
+        for k in &suite {
+            prop_assert!(
+                fr != program_fingerprint(&k.program),
+                "relabeled {} aliases {}",
+                suite[i].code,
+                k.code
+            );
+        }
+    }
+}
